@@ -1,0 +1,40 @@
+//! Criterion micro-bench: workload generation throughput (instance
+//! generation must stay negligible next to the algorithms it feeds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geacc_datagen::{AttrDistribution, City, MeetupConfig, SyntheticConfig};
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen_synthetic");
+    group.sample_size(10);
+    for attr in [
+        ("uniform", AttrDistribution::Uniform),
+        ("normal", AttrDistribution::Normal),
+        ("zipf", AttrDistribution::Zipf { exponent: 1.3 }),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(attr.0), |b| {
+            b.iter(|| {
+                SyntheticConfig {
+                    num_events: 100,
+                    num_users: 1000,
+                    attr_dist: attr.1,
+                    ..Default::default()
+                }
+                .generate()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_meetup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen_meetup");
+    group.sample_size(10);
+    group.bench_function("auckland", |b| {
+        b.iter(|| MeetupConfig::new(City::Auckland).generate())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic, bench_meetup);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-bench: the min-cost-flow substrate on GEACC-shaped
+//! bipartite networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geacc_flow::graph::FlowNetwork;
+use geacc_flow::maxflow::Dinic;
+use geacc_flow::mincost::MinCostFlow;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bipartite nv × nu network with unit cross arcs, random costs.
+fn network(nv: usize, nu: usize, seed: u64) -> FlowNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source = nv + nu;
+    let sink = nv + nu + 1;
+    let mut net = FlowNetwork::with_capacity(nv + nu + 2, nv + nu + nv * nu);
+    for v in 0..nv {
+        net.add_arc(source, v, rng.gen_range(1..=10), 0.0);
+    }
+    for u in 0..nu {
+        net.add_arc(nv + u, sink, rng.gen_range(1..=3), 0.0);
+    }
+    for v in 0..nv {
+        for u in 0..nu {
+            net.add_arc(v, nv + u, 1, rng.gen::<f64>());
+        }
+    }
+    net
+}
+
+fn bench_ssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssp_max_flow");
+    group.sample_size(10);
+    for (nv, nu) in [(20, 100), (50, 250), (100, 500)] {
+        let net = network(nv, nu, 5);
+        let (s, t) = (nv + nu, nv + nu + 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nv}x{nu}")),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let mut mcf = MinCostFlow::new(net.clone(), s, t).unwrap();
+                    mcf.max_flow()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic_max_flow");
+    group.sample_size(10);
+    for (nv, nu) in [(50, 250), (100, 500)] {
+        let net = network(nv, nu, 6);
+        let (s, t) = (nv + nu, nv + nu + 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nv}x{nu}")),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let mut d = Dinic::new(net.clone(), s, t).unwrap();
+                    d.max_flow()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssp, bench_dinic);
+criterion_main!(benches);

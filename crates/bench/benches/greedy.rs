@@ -1,0 +1,50 @@
+//! Criterion micro-bench: Greedy-GEACC kernel across instance sizes
+//! (the workhorse algorithm of Figs. 3–5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geacc_core::algorithms::greedy;
+use geacc_datagen::SyntheticConfig;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy");
+    group.sample_size(10);
+    for (nv, nu) in [(20, 200), (50, 500), (100, 1000)] {
+        let instance = SyntheticConfig {
+            num_events: nv,
+            num_users: nu,
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nv}x{nu}")),
+            &instance,
+            |b, inst| b.iter(|| greedy(inst)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_conflict_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_conflicts");
+    group.sample_size(10);
+    for ratio in [0.0, 0.5, 1.0] {
+        let instance = SyntheticConfig {
+            num_events: 50,
+            num_users: 500,
+            conflict_ratio: ratio,
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("cf{ratio}")),
+            &instance,
+            |b, inst| b.iter(|| greedy(inst)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_greedy_conflict_density);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-bench: the three NN indexes at low and high
+//! dimensionality — the curse-of-dimensionality story behind the core
+//! algorithms defaulting to linear-scan streams at the paper's d = 20.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geacc_index::idistance::IDistance;
+use geacc_index::kdtree::KdTree;
+use geacc_index::linear::LinearScan;
+use geacc_index::vafile::VaFile;
+use geacc_index::{NnIndex, PointSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, dim: usize, seed: u64) -> PointSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = PointSet::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.gen::<f64>() * 10_000.0;
+        }
+        pts.push(&row);
+    }
+    pts
+}
+
+fn query(dim: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..dim).map(|_| rng.gen::<f64>() * 10_000.0).collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    for dim in [2usize, 20] {
+        let pts = points(5000, dim, 7);
+        let q = query(dim, 8);
+        let mut group = c.benchmark_group(format!("knn_d{dim}"));
+        group.sample_size(20);
+        group.bench_function(BenchmarkId::new("linear", "k=16"), |b| {
+            let idx = LinearScan::build(&pts);
+            b.iter(|| idx.knn(&q, 16))
+        });
+        group.bench_function(BenchmarkId::new("kdtree", "k=16"), |b| {
+            let idx = KdTree::build(&pts);
+            b.iter(|| idx.knn(&q, 16))
+        });
+        group.bench_function(BenchmarkId::new("idistance", "k=16"), |b| {
+            let idx = IDistance::build(&pts);
+            b.iter(|| idx.knn(&q, 16))
+        });
+        group.bench_function(BenchmarkId::new("vafile", "k=16"), |b| {
+            let idx = VaFile::build(&pts);
+            b.iter(|| idx.knn(&q, 16))
+        });
+        group.finish();
+    }
+}
+
+fn bench_build(c: &mut Criterion) {
+    let pts = points(5000, 20, 9);
+    let mut group = c.benchmark_group("index_build_d20");
+    group.sample_size(10);
+    group.bench_function("kdtree", |b| b.iter(|| KdTree::build(&pts)));
+    group.bench_function("idistance", |b| b.iter(|| IDistance::build(&pts)));
+    group.bench_function("vafile", |b| b.iter(|| VaFile::build(&pts)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-bench: MinCostFlow-GEACC (the paper's stated reason to
+//! prefer Greedy at scale is this algorithm's growth — visible here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geacc_core::algorithms::mincostflow;
+use geacc_datagen::SyntheticConfig;
+
+fn bench_mincostflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mincostflow");
+    group.sample_size(10);
+    for (nv, nu) in [(10, 100), (20, 200), (50, 500)] {
+        let instance = SyntheticConfig {
+            num_events: nv,
+            num_users: nu,
+            seed: 3,
+            ..Default::default()
+        }
+        .generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nv}x{nu}")),
+            &instance,
+            |b, inst| b.iter(|| mincostflow(inst)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mincostflow);
+criterion_main!(benches);

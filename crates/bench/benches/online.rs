@@ -1,0 +1,59 @@
+//! Online-arrival extension: throughput of the streaming arranger and
+//! the quality cost of not knowing the future.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geacc_core::algorithms::online::{online_greedy, OnlineConfig};
+use geacc_core::algorithms::greedy;
+use geacc_datagen::SyntheticConfig;
+
+fn bench_online_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_throughput");
+    group.sample_size(10);
+    for (nv, nu) in [(50, 500), (100, 1000)] {
+        let inst = SyntheticConfig {
+            num_events: nv,
+            num_users: nu,
+            seed: 15,
+            ..Default::default()
+        }
+        .generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nv}x{nu}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| online_greedy(inst, inst.users(), OnlineConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Quality comparison printed once per run (criterion measures time;
+/// quality goes to stderr for the curious).
+fn bench_online_vs_offline(c: &mut Criterion) {
+    let inst = SyntheticConfig {
+        num_events: 50,
+        num_users: 500,
+        seed: 16,
+        ..Default::default()
+    }
+    .generate();
+    let online = online_greedy(&inst, inst.users(), OnlineConfig::default());
+    let offline = greedy(&inst);
+    eprintln!(
+        "[online_vs_offline] online MaxSum {:.2} vs offline greedy {:.2} ({:.1}%)",
+        online.max_sum(),
+        offline.max_sum(),
+        100.0 * online.max_sum() / offline.max_sum()
+    );
+    let mut group = c.benchmark_group("online_vs_offline");
+    group.sample_size(10);
+    group.bench_function("offline_greedy", |b| b.iter(|| greedy(&inst)));
+    group.bench_function("online_arrival_order", |b| {
+        b.iter(|| online_greedy(&inst, inst.users(), OnlineConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_throughput, bench_online_vs_offline);
+criterion_main!(benches);

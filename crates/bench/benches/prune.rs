@@ -1,0 +1,60 @@
+//! Criterion micro-bench: Prune-GEACC vs exhaustive search (Fig. 6b's
+//! running-time comparison, at micro-bench fidelity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geacc_core::algorithms::{exhaustive, prune};
+use geacc_datagen::{CapDistribution, SyntheticConfig};
+
+fn instance(nu: usize) -> geacc_core::Instance {
+    // Keep c_u tiny: the exhaustive comparator's tree is roughly
+    // Π_u Σ_{k≤c_u} C(|V|, k).
+    SyntheticConfig {
+        num_events: 4,
+        num_users: nu,
+        cap_v_dist: CapDistribution::Uniform { min: 1, max: 5 },
+        cap_u_dist: CapDistribution::Uniform { min: 1, max: 2 },
+        seed: 4,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10);
+    for nu in [4, 6] {
+        let inst = instance(nu);
+        group.bench_with_input(BenchmarkId::new("prune", nu), &inst, |b, i| {
+            b.iter(|| prune(i))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", nu), &inst, |b, i| {
+            b.iter(|| exhaustive(i))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_dp", nu), &inst, |b, i| {
+            b.iter(|| geacc_core::algorithms::exact_dp(i).expect("small instance"))
+        });
+    }
+    group.finish();
+}
+
+/// The DP at the paper's literal Fig. 5c setting, where branch-and-bound
+/// degenerates — the extension's raison d'être.
+fn bench_dp_at_paper_setting(c: &mut Criterion) {
+    let inst = SyntheticConfig {
+        num_events: 5,
+        num_users: 15,
+        cap_v_dist: CapDistribution::Uniform { min: 1, max: 10 },
+        seed: 0, // a seed where prune() runs for minutes+
+        ..Default::default()
+    }
+    .generate();
+    let mut group = c.benchmark_group("exact_dp_literal_setting");
+    group.sample_size(10);
+    group.bench_function("5x15_cv10", |b| {
+        b.iter(|| geacc_core::algorithms::exact_dp(&inst).expect("within DP limits"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune, bench_dp_at_paper_setting);
+criterion_main!(benches);

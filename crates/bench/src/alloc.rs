@@ -1,0 +1,89 @@
+//! A counting global allocator for the memory panels of Figs. 3–5.
+//!
+//! Wraps the system allocator, tracking live bytes and the peak since the
+//! last [`reset_peak`] call. Binaries opt in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: geacc_bench::alloc::TrackingAllocator =
+//!     geacc_bench::alloc::TrackingAllocator;
+//! ```
+//!
+//! The harness measures an algorithm's *working set*: live bytes are
+//! sampled before the run, the peak is reset, the algorithm runs, and the
+//! reported figure is `peak − live_at_start` — memory net of the input
+//! instance, matching how the paper reports its scalability memory
+//! ("relatively small subtracting those consumed by input data").
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Counting wrapper around the system allocator.
+pub struct TrackingAllocator;
+
+// SAFETY: delegates all allocation to `System`; only adds relaxed
+// atomic counters.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                let live =
+                    LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed)
+                        + (new_size - layout.size());
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+/// Bytes currently allocated (0 if the tracking allocator is not
+/// installed).
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak live bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current live level.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    // The allocator is only installed in the fig* binaries; these tests
+    // exercise the counter plumbing directly.
+    use super::*;
+
+    #[test]
+    fn counters_start_consistent() {
+        // Without installation, live/peak just reflect whatever the
+        // statics hold; the API must not panic and peak ≥ 0 trivially.
+        reset_peak();
+        assert!(peak_bytes() >= live_bytes() || peak_bytes() == live_bytes());
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 5 of the paper.
+//!
+//! - `--panel scale`: Greedy-GEACC scalability (Fig. 5a time, 5b
+//!   memory): `|V| ∈ {100, 200, 500, 1000}` × `|U| ∈ {10K … 100K}`,
+//!   `max c_v = 200`, one series per `|V|`.
+//! - `--panel approx`: effectiveness of the approximations (Fig. 5c
+//!   MaxSum vs optimal, 5d time): small instances sweeping the conflict
+//!   ratio, averaged over seeds (scaled slightly below the paper's
+//!   stated sizes for exact-search tractability — see `approx_panel`).
+//!
+//! ```sh
+//! cargo run -p geacc-bench --release --bin fig5 -- --panel approx
+//! cargo run -p geacc-bench --release --bin fig5 -- --panel scale --quick
+//! ```
+
+use geacc_bench::cli;
+use geacc_bench::runner::measure;
+use geacc_bench::table::{write_csv, Series};
+use geacc_core::algorithms::Algorithm;
+use geacc_datagen::{CapDistribution, SyntheticConfig};
+use std::path::Path;
+
+#[global_allocator]
+static ALLOC: geacc_bench::alloc::TrackingAllocator = geacc_bench::alloc::TrackingAllocator;
+
+fn main() {
+    let panel = cli::flag_value("panel");
+    let quick = cli::has_flag("quick");
+    let run_all = panel.is_none();
+    let panel = panel.unwrap_or_default();
+
+    if run_all || panel == "scale" {
+        scale_panel(quick);
+    }
+    if run_all || panel == "approx" {
+        approx_panel(quick);
+    }
+}
+
+/// Fig. 5a/5b: Greedy time and memory over |U|, one series per |V|.
+fn scale_panel(quick: bool) {
+    let v_sweep: &[usize] = if quick { &[100, 500] } else { &[100, 200, 500, 1000] };
+    let u_sweep: &[usize] = if quick {
+        &[10_000, 50_000]
+    } else {
+        &[10_000, 25_000, 50_000, 75_000, 100_000]
+    };
+    let mut time = Series::new("fig5a: Greedy-GEACC time (s) vs |U|", "|U|");
+    let mut memory = Series::new("fig5b: Greedy-GEACC memory (MB) vs |U|", "|U|");
+    time.x = u_sweep.iter().map(usize::to_string).collect();
+    memory.x = time.x.clone();
+    for &nv in v_sweep {
+        for &nu in u_sweep {
+            eprintln!("[fig5 scale] |V| = {nv}, |U| = {nu} …");
+            let instance = SyntheticConfig {
+                num_events: nv,
+                num_users: nu,
+                cap_v_dist: CapDistribution::Uniform { min: 1, max: 200 },
+                seed: 900 + nv as u64 * 7 + nu as u64,
+                ..Default::default()
+            }
+            .generate();
+            let m = measure(&instance, Algorithm::Greedy, 1);
+            let series_name = format!("|V|={nv}");
+            time.push(&series_name, m.seconds);
+            memory.push(&series_name, m.peak_bytes as f64 / 1e6);
+        }
+    }
+    for (stem, series) in [("fig5a_time", &time), ("fig5b_memory", &memory)] {
+        println!("{}", series.to_text());
+        write_csv(Path::new("results"), stem, series).expect("write results CSV");
+    }
+}
+
+/// Fig. 5c/5d: approximations vs the exact optimum, at the paper's
+/// **literal** setting: `|V| = 5`, `|U| = 15`, `c_v ~ U[1, 10]`, other
+/// parameters default.
+///
+/// **Documented deviation** (see EXPERIMENTS.md): the exact optimum is
+/// computed by the capacity-vector DP (`algorithms::dp`, deterministic
+/// `O(|U|·Π(c_v+1)·subsets)`), not by Prune-GEACC — at d = 20
+/// similarities concentrate so tightly that the Lemma 6 bound barely
+/// prunes and Prune-GEACC's running time varies from milliseconds to
+/// hours across seeds at exactly this setting. The optimum *values* are
+/// identical (both algorithms are exact; the property suite
+/// cross-checks them), so Fig. 5c is reproduced verbatim; Fig. 5d's
+/// "exact" series shows the DP's (much steadier) running time.
+fn approx_panel(quick: bool) {
+    let ratios: &[f64] = if quick { &[0.0, 0.5, 1.0] } else { &[0.0, 0.25, 0.5, 0.75, 1.0] };
+    let seeds: u64 = if quick { 2 } else { 5 };
+    let mut max_sum = Series::new(
+        "fig5c: MaxSum vs |CF| ratio (|V|=5, |U|=15, c_v~U[1,10], mean over seeds)",
+        "|CF| ratio",
+    );
+    let mut time = Series::new("fig5d: time (s) vs |CF| ratio", "|CF| ratio");
+    let algos = [
+        Algorithm::MinCostFlow,
+        Algorithm::Greedy,
+        Algorithm::ExactDp, // = OPT (see deviation note)
+    ];
+    for &ratio in ratios {
+        eprintln!("[fig5 approx] |CF| ratio = {ratio} …");
+        max_sum.x.push(format!("{ratio}"));
+        time.x.push(format!("{ratio}"));
+        let mut sums = [0.0f64; 3];
+        let mut times = [0.0f64; 3];
+        for seed in 0..seeds {
+            let instance = SyntheticConfig {
+                num_events: 5,
+                num_users: 15,
+                cap_v_dist: CapDistribution::Uniform { min: 1, max: 10 },
+                conflict_ratio: ratio,
+                seed: 1000 + seed,
+                ..Default::default()
+            }
+            .generate();
+            for (i, algo) in algos.iter().enumerate() {
+                let m = measure(&instance, *algo, 1);
+                sums[i] += m.max_sum;
+                times[i] += m.seconds;
+            }
+        }
+        let labels = ["MinCostFlow-GEACC", "Greedy-GEACC", "Optimal(DP)"];
+        for i in 0..3 {
+            max_sum.push(labels[i], sums[i] / seeds as f64);
+            time.push(labels[i], times[i] / seeds as f64);
+        }
+    }
+    for (stem, series) in [("fig5c_maxsum", &max_sum), ("fig5d_time", &time)] {
+        println!("{}", series.to_text());
+        write_csv(Path::new("results"), stem, series).expect("write results CSV");
+    }
+}

@@ -1,0 +1,25 @@
+//! Minimal flag parsing shared by the fig* binaries (no CLI dependency;
+//! the binaries take two or three flags each).
+
+/// Value of `--name <value>`, if present.
+pub fn flag_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Whether bare `--name` is present.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Parsed `--repeats N` (default `default`).
+pub fn repeats(default: usize) -> usize {
+    flag_value("repeats")
+        .map(|v| v.parse().expect("--repeats takes an integer"))
+        .unwrap_or(default)
+}

@@ -1,0 +1,29 @@
+//! # geacc-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! GEACC paper's evaluation (Section V). Binaries:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig3` | Fig. 3 — cardinality (`\|V\|`, `\|U\|`), dimensionality, conflict-set sweeps |
+//! | `fig4` | Fig. 4 — capacity sweeps, distribution variants, real (Meetup-sim) data |
+//! | `fig5` | Fig. 5 — Greedy scalability, approximate-vs-exact effectiveness |
+//! | `fig6` | Fig. 6 — pruning effectiveness of Prune-GEACC |
+//!
+//! Each binary prints aligned text tables (one per panel: MaxSum, running
+//! time, memory) and writes CSV into `results/`. Criterion micro-benches
+//! for the algorithm kernels and ablations live in `benches/`.
+//!
+//! Measurement notes: times are wall-clock medians over `repeats` runs;
+//! memory is the peak live-bytes of the algorithm's *working set*
+//! (allocations beyond the input instance), captured by
+//! [`alloc::TrackingAllocator`] — the paper likewise reports memory net
+//! of input data in its scalability study.
+
+pub mod alloc;
+pub mod cli;
+pub mod runner;
+pub mod table;
+
+pub use runner::{measure, Measurement};
+pub use table::{write_csv, Series};

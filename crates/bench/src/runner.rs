@@ -1,0 +1,80 @@
+//! Timed, memory-tracked algorithm runs.
+
+use crate::alloc;
+use geacc_core::algorithms::{self, Algorithm};
+use geacc_core::Instance;
+use std::time::Instant;
+
+/// One measured algorithm run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// `MaxSum` of the produced arrangement.
+    pub max_sum: f64,
+    /// Number of matched pairs.
+    pub pairs: usize,
+    /// Median wall-clock seconds across the repeats.
+    pub seconds: f64,
+    /// Peak working-set bytes (allocations beyond the input instance)
+    /// observed during the first run.
+    pub peak_bytes: usize,
+}
+
+/// Run `algorithm` on `instance` `repeats` times; report the median time,
+/// the first run's peak working set, and the (identical across runs for
+/// deterministic algorithms) arrangement quality.
+///
+/// Every produced arrangement is feasibility-audited — a benchmark that
+/// measures an infeasible arrangement would be meaningless, so this
+/// panics on violations.
+pub fn measure(instance: &Instance, algorithm: Algorithm, repeats: usize) -> Measurement {
+    assert!(repeats >= 1, "need at least one repeat");
+    let mut times = Vec::with_capacity(repeats);
+    let mut result = None;
+    let mut peak = 0;
+    for i in 0..repeats {
+        let live_before = alloc::live_bytes();
+        alloc::reset_peak();
+        let start = Instant::now();
+        let arrangement = algorithms::solve(instance, algorithm);
+        times.push(start.elapsed().as_secs_f64());
+        if i == 0 {
+            peak = alloc::peak_bytes().saturating_sub(live_before);
+            let violations = arrangement.validate(instance);
+            assert!(
+                violations.is_empty(),
+                "{} produced an infeasible arrangement: {violations:?}",
+                algorithm.name()
+            );
+            result = Some(arrangement);
+        }
+    }
+    times.sort_by(f64::total_cmp);
+    let arrangement = result.expect("at least one run");
+    Measurement {
+        max_sum: arrangement.max_sum(),
+        pairs: arrangement.len(),
+        seconds: times[times.len() / 2],
+        peak_bytes: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geacc_core::toy;
+
+    #[test]
+    fn measure_reports_quality_and_time() {
+        let inst = toy::table1_instance();
+        let m = measure(&inst, Algorithm::Greedy, 3);
+        assert!((m.max_sum - toy::GREEDY_MAX_SUM).abs() < 1e-9);
+        assert_eq!(m.pairs, 7);
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repeat")]
+    fn zero_repeats_rejected() {
+        measure(&toy::table1_instance(), Algorithm::Greedy, 0);
+    }
+}

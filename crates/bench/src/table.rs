@@ -1,0 +1,166 @@
+//! Aligned text tables and CSV emission for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One figure panel: an x-axis and one named series per algorithm.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Panel title, e.g. `"Fig 3 (row 1): MaxSum vs |V|"`.
+    pub title: String,
+    /// X-axis label, e.g. `"|V|"`.
+    pub x_label: String,
+    /// X values, one per sweep point.
+    pub x: Vec<String>,
+    /// `(series name, y values)`, y aligned with `x`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Start an empty panel.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Series {
+            title: title.into(),
+            x_label: x_label.into(),
+            x: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Append a y value to (creating if needed) the named series.
+    pub fn push(&mut self, name: &str, y: f64) {
+        match self.series.iter_mut().find(|(n, _)| n == name) {
+            Some((_, ys)) => ys.push(y),
+            None => self.series.push((name.to_string(), vec![y])),
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let width = 18usize;
+        let _ = write!(out, "{:<10}", self.x_label);
+        for (name, _) in &self.series {
+            let _ = write!(out, "{name:>width$}");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(10 + width * self.series.len()));
+        for (i, x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{x:<10}");
+            for (_, ys) in &self.series {
+                match ys.get(i) {
+                    Some(y) => {
+                        let _ = write!(out, "{:>width$}", format_value(*y));
+                    }
+                    None => {
+                        let _ = write!(out, "{:>width$}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV (header = x label + series names).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for (name, _) in &self.series {
+            let _ = write!(out, ",{name}");
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for (_, ys) in &self.series {
+                match ys.get(i) {
+                    Some(y) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => {
+                        let _ = write!(out, ",");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Human-friendly number formatting: large values get thousands
+/// separators-ish scientific, small times keep precision.
+fn format_value(y: f64) -> String {
+    if y == 0.0 {
+        "0".to_string()
+    } else if y.abs() >= 1e6 {
+        format!("{y:.3e}")
+    } else if y.abs() >= 100.0 {
+        format!("{y:.1}")
+    } else if y.abs() >= 0.01 {
+        format!("{y:.4}")
+    } else {
+        format!("{y:.3e}")
+    }
+}
+
+/// Write a panel's CSV under `results/`, creating the directory.
+pub fn write_csv(dir: &Path, file_stem: &str, series: &Series) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{file_stem}.csv")), series.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Series {
+        let mut s = Series::new("test panel", "|V|");
+        s.x = vec!["20".into(), "50".into()];
+        s.push("Greedy", 1.5);
+        s.push("Greedy", 2.5);
+        s.push("Random", 0.5);
+        s
+    }
+
+    #[test]
+    fn text_table_contains_all_cells() {
+        let text = sample().to_text();
+        assert!(text.contains("test panel"));
+        assert!(text.contains("Greedy"));
+        assert!(text.contains("1.5000"));
+        assert!(text.contains("2.5000"));
+        // Missing Random value at x=50 renders as '-'.
+        assert!(text.lines().last().unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "|V|,Greedy,Random");
+        assert_eq!(lines[1], "20,1.5,0.5");
+        assert_eq!(lines[2], "50,2.5,");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("geacc_bench_test_csv");
+        write_csv(&dir, "panel", &sample()).unwrap();
+        let content = std::fs::read_to_string(dir.join("panel.csv")).unwrap();
+        assert!(content.starts_with("|V|,"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn value_formatting_tiers() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(1234567.0), "1.235e6");
+        assert_eq!(format_value(123.45), "123.5");
+        assert_eq!(format_value(0.5), "0.5000");
+        assert_eq!(format_value(0.0001), "1.000e-4");
+    }
+}

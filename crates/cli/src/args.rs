@@ -1,0 +1,181 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy keeps
+//! the tree to the vetted crates; a full CLI framework isn't warranted
+//! for six subcommands).
+//!
+//! Grammar: `geacc <command> [--flag [value]]…`. Flags take at most one
+//! value; repeated flags are an error; unknown flags are an error, so
+//! typos fail loudly instead of silently running defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand and its flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// First positional token (`generate`, `solve`, …).
+    pub command: String,
+    flags: BTreeMap<String, Option<String>>,
+}
+
+/// A user-facing argument error (printed with usage, exit code 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parse a raw token stream (without the program name).
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut tokens = tokens.into_iter().peekable();
+        let command = tokens
+            .next()
+            .ok_or_else(|| ArgError("missing command".into()))?;
+        if command.starts_with('-') {
+            return Err(ArgError(format!("expected a command, got flag {command:?}")));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = tokens.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument {tok:?}")));
+            };
+            if name.is_empty() {
+                return Err(ArgError("empty flag name '--'".into()));
+            }
+            let value = match tokens.peek() {
+                Some(next) if !next.starts_with("--") => tokens.next(),
+                _ => None,
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(ArgError(format!("flag --{name} given more than once")));
+            }
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// String value of `--name`, if the flag is present with a value.
+    pub fn value(&self, name: &str) -> Result<Option<&str>, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v)),
+            Some(None) => Err(ArgError(format!("flag --{name} needs a value"))),
+        }
+    }
+
+    /// Required string value of `--name`.
+    pub fn required(&self, name: &str) -> Result<&str, ArgError> {
+        self.value(name)?
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))
+    }
+
+    /// Whether bare `--name` is present (with or without value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Parsed value of `--name`, or `default` if absent.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value(name)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| ArgError(format!("invalid value for --{name}: {e}"))),
+        }
+    }
+
+    /// Error unless every present flag is in `allowed` (typo guard).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{name} for command {:?} (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_and_flags() {
+        let a = parse("solve --input x.json --algorithm greedy").unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.value("input").unwrap(), Some("x.json"));
+        assert_eq!(a.required("algorithm").unwrap(), "greedy");
+        assert_eq!(a.value("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn bare_flags_have_no_value() {
+        let a = parse("solve --quiet --input x").unwrap();
+        assert!(a.has("quiet"));
+        assert!(a.value("quiet").is_err()); // present without value
+    }
+
+    #[test]
+    fn values_never_start_with_dashes() {
+        let a = parse("solve --quiet --verbose").unwrap();
+        assert!(a.has("quiet") && a.has("verbose"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert!(parse("").is_err());
+        assert!(parse("--flag").is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert!(parse("solve --x 1 --x 2").is_err());
+    }
+
+    #[test]
+    fn stray_positional_is_an_error() {
+        assert!(parse("solve input.json").is_err());
+    }
+
+    #[test]
+    fn parsed_or_converts_and_defaults() {
+        let a = parse("generate --events 50").unwrap();
+        assert_eq!(a.parsed_or("events", 10usize).unwrap(), 50);
+        assert_eq!(a.parsed_or("users", 10usize).unwrap(), 10);
+        assert!(a.parsed_or("events", 0.5f64).is_ok());
+        let bad = parse("generate --events fifty").unwrap();
+        assert!(bad.parsed_or("events", 10usize).is_err());
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let a = parse("solve --inptu x").unwrap();
+        let err = a.expect_only(&["input", "algorithm"]).unwrap_err();
+        assert!(err.0.contains("inptu"));
+        assert!(a.expect_only(&["inptu"]).is_ok());
+    }
+
+    #[test]
+    fn required_reports_flag_name() {
+        let a = parse("solve").unwrap();
+        assert!(a.required("input").unwrap_err().0.contains("--input"));
+    }
+}

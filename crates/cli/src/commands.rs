@@ -1,0 +1,518 @@
+//! The `geacc` subcommands. Each returns its textual output so tests can
+//! assert on it directly; `main` prints it.
+
+use crate::args::ParsedArgs;
+use crate::io::{load_arrangement, load_instance, to_json, write_output, CliError};
+use geacc_core::algorithms::{self, Algorithm};
+use geacc_datagen::{AttrDistribution, City, MeetupConfig, SyntheticConfig};
+use std::time::Instant;
+
+/// Usage text for `geacc help` and argument errors.
+pub const USAGE: &str = "\
+geacc — conflict-aware event-participant arrangement (ICDE 2015)
+
+USAGE:
+  geacc generate [--kind synthetic|meetup] [--events N] [--users N] [--dim D]
+                 [--attr-dist uniform|normal|zipf] [--conflict-ratio R]
+                 [--city vancouver|auckland|singapore] [--seed S] [--output FILE]
+  geacc solve    --input FILE [--algorithm greedy|mincostflow|prune|exhaustive|
+                 exact-dp|random-v|random-u] [--seed S] [--output FILE]
+  geacc validate --input FILE --arrangement FILE
+  geacc stats    --input FILE
+  geacc inspect  --input FILE --arrangement FILE [--top N] [--certify]
+  geacc improve  --input FILE --arrangement FILE [--output FILE] [--max-passes N]
+  geacc toy      [--output FILE]
+  geacc help
+
+FILE may be '-' for stdin/stdout. Instances and arrangements are JSON.
+";
+
+/// Dispatch a parsed command line; returns the text to print.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "solve" => solve(args),
+        "validate" => validate(args),
+        "stats" => stats(args),
+        "inspect" => inspect(args),
+        "improve" => improve_cmd(args),
+        "toy" => toy(args),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn generate(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&[
+        "kind",
+        "events",
+        "users",
+        "dim",
+        "attr-dist",
+        "conflict-ratio",
+        "city",
+        "seed",
+        "output",
+    ])?;
+    let kind = args.value("kind")?.unwrap_or("synthetic");
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let instance = match kind {
+        "synthetic" => {
+            let attr_dist = match args.value("attr-dist")?.unwrap_or("uniform") {
+                "uniform" => AttrDistribution::Uniform,
+                "normal" => AttrDistribution::Normal,
+                "zipf" => AttrDistribution::Zipf { exponent: 1.3 },
+                other => return Err(CliError(format!("unknown attr-dist {other:?}"))),
+            };
+            SyntheticConfig {
+                num_events: args.parsed_or("events", 100)?,
+                num_users: args.parsed_or("users", 1000)?,
+                dim: args.parsed_or("dim", 20)?,
+                attr_dist,
+                conflict_ratio: args.parsed_or("conflict-ratio", 0.25)?,
+                seed,
+                ..SyntheticConfig::default()
+            }
+            .generate()
+        }
+        "meetup" => {
+            let city = match args.value("city")?.unwrap_or("auckland") {
+                "vancouver" => City::Vancouver,
+                "auckland" => City::Auckland,
+                "singapore" => City::Singapore,
+                other => return Err(CliError(format!("unknown city {other:?}"))),
+            };
+            let mut config = MeetupConfig::new(city);
+            config.conflict_ratio = args.parsed_or("conflict-ratio", 0.25)?;
+            config.seed = seed;
+            config.generate()
+        }
+        other => return Err(CliError(format!("unknown kind {other:?}"))),
+    };
+    let json = to_json(&instance)?;
+    let output = args.value("output")?.unwrap_or("-");
+    write_output(output, &json)?;
+    Ok(format!(
+        "generated {kind} instance: {} events, {} users, {} conflicting pairs → {output}",
+        instance.num_events(),
+        instance.num_users(),
+        instance.conflicts().num_pairs()
+    ))
+}
+
+fn parse_algorithm(name: &str, seed: u64) -> Result<Algorithm, CliError> {
+    Ok(match name {
+        "greedy" => Algorithm::Greedy,
+        "mincostflow" => Algorithm::MinCostFlow,
+        "prune" => Algorithm::Prune,
+        "exhaustive" => Algorithm::Exhaustive,
+        "exact-dp" => Algorithm::ExactDp,
+        "random-v" => Algorithm::RandomV { seed },
+        "random-u" => Algorithm::RandomU { seed },
+        other => {
+            return Err(CliError(format!(
+                "unknown algorithm {other:?} (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u)"
+            )))
+        }
+    })
+}
+
+fn solve(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["input", "algorithm", "seed", "output"])?;
+    let instance = load_instance(args.required("input")?)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let algorithm = parse_algorithm(args.value("algorithm")?.unwrap_or("greedy"), seed)?;
+    if matches!(algorithm, Algorithm::Prune | Algorithm::Exhaustive)
+        && instance.num_events() * instance.num_users() > 200
+    {
+        return Err(CliError(format!(
+            "refusing to run the exact search on {} pairs (exponential); use greedy or mincostflow",
+            instance.num_events() * instance.num_users()
+        )));
+    }
+    let start = Instant::now();
+    // Exact-DP has its own size guard (state-space, not pair count);
+    // surface its error cleanly instead of panicking through `solve`.
+    let arrangement = if algorithm == Algorithm::ExactDp {
+        algorithms::exact_dp(&instance).map_err(|e| CliError(e.to_string()))?
+    } else {
+        algorithms::solve(&instance, algorithm)
+    };
+    let elapsed = start.elapsed();
+    let violations = arrangement.validate(&instance);
+    if !violations.is_empty() {
+        return Err(CliError(format!("internal error: infeasible output: {violations:?}")));
+    }
+    if let Some(output) = args.value("output")? {
+        write_output(output, &to_json(&arrangement)?)?;
+    }
+    Ok(format!(
+        "{}: MaxSum {:.4}, {} pairs, {:.3?}",
+        algorithm.name(),
+        arrangement.max_sum(),
+        arrangement.len(),
+        elapsed
+    ))
+}
+
+fn validate(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["input", "arrangement"])?;
+    let instance = load_instance(args.required("input")?)?;
+    let arrangement = load_arrangement(args.required("arrangement")?)?;
+    let violations = arrangement.validate(&instance);
+    if violations.is_empty() {
+        Ok(format!(
+            "feasible: {} pairs, MaxSum {:.4}",
+            arrangement.len(),
+            arrangement.max_sum()
+        ))
+    } else {
+        let mut out = format!("INFEASIBLE: {} violation(s)\n", violations.len());
+        for v in &violations {
+            out.push_str(&format!("  - {v}\n"));
+        }
+        Err(CliError(out))
+    }
+}
+
+fn stats(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["input"])?;
+    let instance = load_instance(args.required("input")?)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "events: {} (capacity total {}, max {})\n",
+        instance.num_events(),
+        instance.total_event_capacity(),
+        instance.max_event_capacity()
+    ));
+    out.push_str(&format!(
+        "users:  {} (capacity total {}, max {})\n",
+        instance.num_users(),
+        instance.total_user_capacity(),
+        instance.max_user_capacity()
+    ));
+    out.push_str(&format!(
+        "conflicts: {} pairs (density {:.4})\n",
+        instance.conflicts().num_pairs(),
+        instance.conflicts().density()
+    ));
+    out.push_str(&format!("attribute dimensionality: {}\n", instance.dim()));
+    out.push_str(&format!(
+        "approximation ratios here: greedy ≥ 1/{}, mincostflow ≥ 1/{}\n",
+        1 + instance.max_user_capacity(),
+        instance.max_user_capacity().max(1)
+    ));
+    match instance.validate_paper_assumptions() {
+        Ok(()) => out.push_str("paper assumptions: satisfied\n"),
+        Err(e) => out.push_str(&format!("paper assumptions: VIOLATED — {e}\n")),
+    }
+    Ok(out)
+}
+
+fn inspect(args: &ParsedArgs) -> Result<String, CliError> {
+    use geacc_core::model::ArrangementStats;
+    args.expect_only(&["input", "arrangement", "top", "certify"])?;
+    let instance = load_instance(args.required("input")?)?;
+    let arrangement = load_arrangement(args.required("arrangement")?)?;
+    let violations = arrangement.validate(&instance);
+    if !violations.is_empty() {
+        return Err(CliError(format!(
+            "arrangement is infeasible for this instance ({} violations); run `geacc validate` for details",
+            violations.len()
+        )));
+    }
+    let stats = ArrangementStats::compute(&instance, &arrangement);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "MaxSum {:.4} over {} pairs (mean sim {:.4}, min {:.4})\n",
+        stats.max_sum, stats.pairs, stats.mean_similarity, stats.min_similarity
+    ));
+    out.push_str(&format!(
+        "seats filled {:.1}%, user slots filled {:.1}%\n",
+        stats.seat_utilization * 100.0,
+        stats.slot_utilization * 100.0
+    ));
+    out.push_str(&format!(
+        "active: {}/{} events, {}/{} users ({} users unassigned)\n",
+        stats.active_events,
+        instance.num_events(),
+        stats.active_users,
+        instance.num_users(),
+        stats.unassigned_users
+    ));
+    let top: usize = args.parsed_or("top", 5)?;
+    let mut occupancy = ArrangementStats::occupancy(&instance, &arrangement);
+    occupancy.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.push_str(&format!("top {top} events by attendance:\n"));
+    for (v, attendees, capacity) in occupancy.into_iter().take(top) {
+        out.push_str(&format!("  {v}: {attendees}/{capacity}\n"));
+    }
+    if args.has("certify") {
+        // The relaxation bound needs a min-cost-flow solve — opt-in.
+        let gap = geacc_core::algorithms::optimality_gap(&instance, &arrangement);
+        out.push_str(&format!(
+            "certified ≥ {:.1}% of optimal (upper bound {:.4} via conflict-free relaxation)\n",
+            gap.certified_ratio * 100.0,
+            gap.upper_bound
+        ));
+    }
+    Ok(out)
+}
+
+fn improve_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    use geacc_core::algorithms::localsearch::{improve, LocalSearchConfig};
+    args.expect_only(&["input", "arrangement", "output", "max-passes"])?;
+    let instance = load_instance(args.required("input")?)?;
+    let arrangement = load_arrangement(args.required("arrangement")?)?;
+    let violations = arrangement.validate(&instance);
+    if !violations.is_empty() {
+        return Err(CliError(format!(
+            "refusing to improve an infeasible arrangement ({} violations)",
+            violations.len()
+        )));
+    }
+    let before = arrangement.max_sum();
+    let config = LocalSearchConfig {
+        max_passes: args.parsed_or("max-passes", 32usize)?,
+        ..LocalSearchConfig::default()
+    };
+    let start = Instant::now();
+    let result = improve(&instance, arrangement, config);
+    let elapsed = start.elapsed();
+    debug_assert!(result.arrangement.validate(&instance).is_empty());
+    if let Some(output) = args.value("output")? {
+        write_output(output, &to_json(&result.arrangement)?)?;
+    }
+    Ok(format!(
+        "local search: MaxSum {before:.4} → {:.4} ({} moves, {} passes, {elapsed:.3?})",
+        result.arrangement.max_sum(),
+        result.moves,
+        result.passes
+    ))
+}
+
+fn toy(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["output"])?;
+    let instance = geacc_core::toy::table1_instance();
+    if let Some(output) = args.value("output")? {
+        write_output(output, &to_json(&instance)?)?;
+    }
+    let mut out = String::from("paper Table I toy instance\n");
+    for algo in [Algorithm::Prune, Algorithm::Greedy, Algorithm::MinCostFlow] {
+        let arrangement = algorithms::solve(&instance, algo);
+        out.push_str(&format!(
+            "  {:<20} MaxSum {:.2}\n",
+            algo.name(),
+            arrangement.max_sum()
+        ));
+    }
+    out.push_str("  (paper: optimal 4.39, greedy 4.28, min-cost-flow 4.13)\n");
+    Ok(out)
+}
+
+/// Helper for tests and `main`: run from raw tokens.
+pub fn run_tokens(tokens: impl IntoIterator<Item = String>) -> Result<String, CliError> {
+    let args = ParsedArgs::parse(tokens)?;
+    run(&args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        run_tokens(s.split_whitespace().map(String::from))
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join("geacc_cli_cmd_tests")
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn toy_reports_golden_values() {
+        let out = run_str("toy").unwrap();
+        assert!(out.contains("4.39"));
+        assert!(out.contains("4.28"));
+        assert!(out.contains("4.13"));
+    }
+
+    #[test]
+    fn generate_solve_validate_pipeline() {
+        let inst = tmp("pipeline_instance.json");
+        let arr = tmp("pipeline_arrangement.json");
+        let out = run_str(&format!(
+            "generate --kind synthetic --events 8 --users 30 --seed 3 --output {inst}"
+        ))
+        .unwrap();
+        assert!(out.contains("8 events"));
+        let out = run_str(&format!(
+            "solve --input {inst} --algorithm greedy --output {arr}"
+        ))
+        .unwrap();
+        assert!(out.contains("Greedy-GEACC"));
+        let out =
+            run_str(&format!("validate --input {inst} --arrangement {arr}")).unwrap();
+        assert!(out.contains("feasible"));
+    }
+
+    #[test]
+    fn stats_reports_shape() {
+        let inst = tmp("stats_instance.json");
+        run_str(&format!("generate --events 5 --users 12 --output {inst}")).unwrap();
+        let out = run_str(&format!("stats --input {inst}")).unwrap();
+        assert!(out.contains("events: 5"));
+        assert!(out.contains("users:  12"));
+        assert!(out.contains("paper assumptions"));
+    }
+
+    #[test]
+    fn meetup_generation() {
+        let inst = tmp("meetup_instance.json");
+        let out = run_str(&format!(
+            "generate --kind meetup --city auckland --output {inst}"
+        ))
+        .unwrap();
+        assert!(out.contains("37 events"));
+    }
+
+    #[test]
+    fn exact_search_is_size_guarded() {
+        let inst = tmp("guard_instance.json");
+        run_str(&format!("generate --events 50 --users 100 --output {inst}")).unwrap();
+        let err = run_str(&format!("solve --input {inst} --algorithm prune")).unwrap_err();
+        assert!(err.0.contains("refusing"));
+    }
+
+    #[test]
+    fn unknown_things_error_cleanly() {
+        assert!(run_str("frobnicate").is_err());
+        assert!(run_str("generate --kind cube").is_err());
+        assert!(run_str("generate --city atlantis --kind meetup").is_err());
+        let inst = tmp("err_instance.json");
+        run_str(&format!("generate --events 4 --users 8 --output {inst}")).unwrap();
+        assert!(run_str(&format!("solve --input {inst} --algorithm magic")).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_arrangement() {
+        let inst_a = tmp("va_instance.json");
+        let inst_b = tmp("vb_instance.json");
+        let arr_b = tmp("vb_arrangement.json");
+        run_str(&format!("generate --events 4 --users 10 --seed 1 --output {inst_a}"))
+            .unwrap();
+        run_str(&format!(
+            "generate --events 9 --users 25 --seed 2 --output {inst_b}"
+        ))
+        .unwrap();
+        run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
+        // Arrangement for B validated against A: shape mismatch ⇒ error.
+        assert!(run_str(&format!(
+            "validate --input {inst_a} --arrangement {arr_b}"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_str("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn improve_lifts_a_random_arrangement() {
+        let inst = tmp("improve_instance.json");
+        let arr = tmp("improve_arrangement.json");
+        let better = tmp("improve_better.json");
+        run_str(&format!("generate --events 6 --users 20 --seed 4 --output {inst}"))
+            .unwrap();
+        run_str(&format!(
+            "solve --input {inst} --algorithm random-v --seed 3 --output {arr}"
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "improve --input {inst} --arrangement {arr} --output {better}"
+        ))
+        .unwrap();
+        assert!(out.contains("local search"));
+        assert!(run_str(&format!("validate --input {inst} --arrangement {better}"))
+            .unwrap()
+            .contains("feasible"));
+    }
+
+    #[test]
+    fn improve_refuses_infeasible_input() {
+        let inst_a = tmp("imp_a.json");
+        let inst_b = tmp("imp_b.json");
+        let arr_b = tmp("imp_b_arr.json");
+        run_str(&format!("generate --events 3 --users 8 --seed 1 --output {inst_a}"))
+            .unwrap();
+        run_str(&format!("generate --events 9 --users 30 --seed 2 --output {inst_b}"))
+            .unwrap();
+        run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
+        assert!(run_str(&format!(
+            "improve --input {inst_a} --arrangement {arr_b}"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn inspect_summarizes_an_arrangement() {
+        let inst = tmp("inspect_instance.json");
+        let arr = tmp("inspect_arrangement.json");
+        run_str(&format!("generate --events 6 --users 20 --output {inst}")).unwrap();
+        run_str(&format!("solve --input {inst} --output {arr}")).unwrap();
+        let out =
+            run_str(&format!("inspect --input {inst} --arrangement {arr} --top 3"))
+                .unwrap();
+        assert!(out.contains("MaxSum"));
+        assert!(out.contains("seats filled"));
+        assert!(out.contains("top 3 events"));
+    }
+
+    #[test]
+    fn inspect_certify_reports_a_ratio() {
+        let inst = tmp("certify_instance.json");
+        let arr = tmp("certify_arrangement.json");
+        run_str(&format!("generate --events 5 --users 15 --output {inst}")).unwrap();
+        run_str(&format!("solve --input {inst} --output {arr}")).unwrap();
+        let out = run_str(&format!(
+            "inspect --input {inst} --arrangement {arr} --certify"
+        ))
+        .unwrap();
+        assert!(out.contains("certified"), "{out}");
+        assert!(out.contains("% of optimal"));
+    }
+
+    #[test]
+    fn inspect_rejects_infeasible_arrangement() {
+        let inst_a = tmp("inspect_a.json");
+        let inst_b = tmp("inspect_b.json");
+        let arr_b = tmp("inspect_b_arr.json");
+        run_str(&format!("generate --events 3 --users 9 --seed 5 --output {inst_a}"))
+            .unwrap();
+        run_str(&format!("generate --events 7 --users 30 --seed 6 --output {inst_b}"))
+            .unwrap();
+        run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
+        assert!(run_str(&format!(
+            "inspect --input {inst_a} --arrangement {arr_b}"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn solve_algorithms_all_work_on_small_instances() {
+        // 3×6 keeps the exact algorithms sub-second even with the CLI's
+        // default capacity distributions (c_v up to 50).
+        let inst = tmp("algos_instance.json");
+        run_str(&format!("generate --events 3 --users 6 --output {inst}")).unwrap();
+        for algo in ["greedy", "mincostflow", "prune", "exhaustive", "random-v", "random-u"]
+        {
+            let out =
+                run_str(&format!("solve --input {inst} --algorithm {algo}")).unwrap();
+            assert!(out.contains("MaxSum"), "{algo}: {out}");
+        }
+    }
+}

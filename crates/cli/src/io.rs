@@ -1,0 +1,114 @@
+//! File I/O helpers: JSON instances and arrangements on disk, `-` for
+//! stdin/stdout.
+
+use geacc_core::{Arrangement, Instance};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A CLI-level error with a user-facing message (exit code 1).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<crate::args::ArgError> for CliError {
+    fn from(e: crate::args::ArgError) -> Self {
+        CliError(e.0)
+    }
+}
+
+/// Read an entire file, or stdin when `path` is `-`.
+pub fn read_input(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| CliError(format!("reading stdin: {e}")))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("reading {path}: {e}")))
+    }
+}
+
+/// Write `content` to a file, or stdout when `path` is `-`.
+pub fn write_output(path: &str, content: &str) -> Result<(), CliError> {
+    if path == "-" {
+        std::io::stdout()
+            .write_all(content.as_bytes())
+            .map_err(|e| CliError(format!("writing stdout: {e}")))
+    } else {
+        if let Some(parent) = Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| CliError(format!("creating {}: {e}", parent.display())))?;
+            }
+        }
+        std::fs::write(path, content).map_err(|e| CliError(format!("writing {path}: {e}")))
+    }
+}
+
+/// Load a JSON instance.
+pub fn load_instance(path: &str) -> Result<Instance, CliError> {
+    let text = read_input(path)?;
+    serde_json::from_str(&text).map_err(|e| CliError(format!("parsing instance {path}: {e}")))
+}
+
+/// Load a JSON arrangement.
+pub fn load_arrangement(path: &str) -> Result<Arrangement, CliError> {
+    let text = read_input(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| CliError(format!("parsing arrangement {path}: {e}")))
+}
+
+/// Serialize any value as pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> Result<String, CliError> {
+    serde_json::to_string_pretty(value).map_err(|e| CliError(format!("serializing: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("geacc_cli_io_test");
+        let path = dir.join("x.json").to_string_lossy().into_owned();
+        write_output(&path, "{\"a\": 1}").unwrap();
+        assert_eq!(read_input(&path).unwrap(), "{\"a\": 1}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = read_input("/nonexistent/geacc/file.json").unwrap_err();
+        assert!(err.0.contains("/nonexistent/geacc/file.json"));
+    }
+
+    #[test]
+    fn instance_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("geacc_cli_io_inst");
+        let path = dir.join("toy.json").to_string_lossy().into_owned();
+        let inst = geacc_core::toy::table1_instance();
+        write_output(&path, &to_json(&inst).unwrap()).unwrap();
+        let back = load_instance(&path).unwrap();
+        assert_eq!(inst, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_instance_is_a_clean_error() {
+        let dir = std::env::temp_dir().join("geacc_cli_io_bad");
+        let path = dir.join("bad.json").to_string_lossy().into_owned();
+        write_output(&path, "{not json").unwrap();
+        assert!(load_instance(&path).is_err());
+        assert!(load_arrangement(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

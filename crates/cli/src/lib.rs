@@ -1,0 +1,24 @@
+//! # geacc-cli
+//!
+//! The `geacc` command-line tool: generate GEACC instances (synthetic or
+//! Meetup-like), solve them with any of the paper's algorithms, validate
+//! arrangements, and inspect instance statistics — all over a JSON
+//! interchange format, so the library slots into shell pipelines:
+//!
+//! ```sh
+//! geacc generate --kind meetup --city auckland --output city.json
+//! geacc solve --input city.json --algorithm greedy --output plan.json
+//! geacc validate --input city.json --arrangement plan.json
+//! ```
+//!
+//! The crate is a thin shell around `geacc-core` / `geacc-datagen`; all
+//! command logic lives in [`commands`] as testable functions, and
+//! `src/main.rs` only handles process exit codes.
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{run, run_tokens, USAGE};
+pub use io::CliError;

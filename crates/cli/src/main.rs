@@ -1,0 +1,26 @@
+//! Binary entry point for the `geacc` CLI. See [`geacc_cli`] for the
+//! command surface; this shim only maps errors to exit codes
+//! (2 = bad arguments, 1 = runtime failure).
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    if tokens.is_empty() {
+        eprint!("{}", geacc_cli::USAGE);
+        std::process::exit(2);
+    }
+    let parsed = match geacc_cli::ParsedArgs::parse(tokens) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", geacc_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match geacc_cli::run(&parsed) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Upper bounds on the optimal `MaxSum` — certificates without an exact
+//! solve.
+//!
+//! The exact algorithms are exponential; an operator usually only needs
+//! to know *how far* an approximation can be from optimal. Two bounds:
+//!
+//! - [`trivial_upper_bound`] — `O(|V|·|U|)` counting bound: each event
+//!   contributes at most `c_v` pairs at its best similarity, each user at
+//!   most `c_u` at theirs; both sums cap the optimum, take the smaller.
+//!   (The event-side sum is exactly the `Σ s_v·c_v` quantity Prune-GEACC
+//!   uses at its root.)
+//! - [`relaxation_upper_bound`] — the conflict-free relaxation
+//!   `MaxSum(M_∅)` via the min-cost-flow sweep (Corollary 1); tighter,
+//!   at MinCostFlow-GEACC's phase-1 price.
+//!
+//! [`optimality_gap`] packages either bound with an arrangement's value
+//! into the certificate ratio `MaxSum(M) / UB ≤ MaxSum(M) / OPT`.
+
+use crate::algorithms::mincostflow::{mincostflow_with, McfConfig};
+use crate::model::arrangement::Arrangement;
+use crate::Instance;
+
+/// The cheap counting bound (see module docs). Always ≥ the optimum.
+pub fn trivial_upper_bound(inst: &Instance) -> f64 {
+    let mut row = Vec::new();
+    let mut event_side = 0.0;
+    let mut best_for_user = vec![0.0f64; inst.num_users()];
+    for v in inst.events() {
+        inst.similarity_row(v, &mut row);
+        let mut best = 0.0f64;
+        for (u, &s) in row.iter().enumerate() {
+            if s > best {
+                best = s;
+            }
+            if s > best_for_user[u] {
+                best_for_user[u] = s;
+            }
+        }
+        event_side += best * inst.event_capacity(v) as f64;
+    }
+    let user_side: f64 = inst
+        .users()
+        .map(|u| best_for_user[u.index()] * inst.user_capacity(u) as f64)
+        .sum();
+    event_side.min(user_side)
+}
+
+/// The conflict-free relaxation value `MaxSum(M_∅)` (Corollary 1:
+/// an upper bound on the constrained optimum). Cost: one incremental
+/// min-cost-flow sweep.
+pub fn relaxation_upper_bound(inst: &Instance) -> f64 {
+    // Early-stop is exact for the bound (the sweep objective is concave).
+    mincostflow_with(inst, McfConfig { early_stop: true, ..Default::default() })
+        .relaxation
+        .max_sum
+}
+
+/// An arrangement's certified optimality interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapReport {
+    /// The arrangement's `MaxSum` (a lower bound on the optimum).
+    pub achieved: f64,
+    /// The upper bound used.
+    pub upper_bound: f64,
+    /// `achieved / upper_bound` — the certified fraction of optimal
+    /// (1.0 means provably optimal; 0/0 reports 1.0).
+    pub certified_ratio: f64,
+}
+
+/// Certify `arrangement` against the relaxation bound (the tighter one).
+pub fn optimality_gap(inst: &Instance, arrangement: &Arrangement) -> GapReport {
+    let upper = relaxation_upper_bound(inst);
+    let achieved = arrangement.max_sum();
+    GapReport {
+        achieved,
+        upper_bound: upper,
+        certified_ratio: if upper <= 0.0 { 1.0 } else { (achieved / upper).min(1.0) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{greedy, prune};
+    use crate::model::conflict::ConflictGraph;
+    use crate::similarity::SimMatrix;
+    use crate::toy;
+
+    #[test]
+    fn both_bounds_dominate_the_true_optimum() {
+        let inst = toy::table1_instance();
+        let opt = prune(&inst).arrangement.max_sum();
+        assert!(trivial_upper_bound(&inst) + 1e-9 >= opt);
+        assert!(relaxation_upper_bound(&inst) + 1e-9 >= opt);
+    }
+
+    #[test]
+    fn relaxation_is_tighter_than_trivial_on_the_toy() {
+        let inst = toy::table1_instance();
+        assert!(relaxation_upper_bound(&inst) <= trivial_upper_bound(&inst) + 1e-9);
+    }
+
+    #[test]
+    fn relaxation_bound_matches_the_known_toy_value() {
+        // Measured in the flow regression suite: MaxSum(M_∅) = 5.64.
+        let inst = toy::table1_instance();
+        assert!((relaxation_upper_bound(&inst) - 5.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_report_certifies_greedy_on_the_toy() {
+        let inst = toy::table1_instance();
+        let g = greedy(&inst);
+        let gap = optimality_gap(&inst, &g);
+        assert!((gap.achieved - toy::GREEDY_MAX_SUM).abs() < 1e-9);
+        assert!((gap.upper_bound - 5.64).abs() < 1e-9);
+        // 4.28 / 5.64 ≈ 0.759 — the certificate; true ratio is 4.28/4.39.
+        assert!((gap.certified_ratio - 4.28 / 5.64).abs() < 1e-9);
+        assert!(gap.certified_ratio <= 1.0);
+    }
+
+    #[test]
+    fn without_conflicts_the_relaxation_certifies_mcf_as_optimal() {
+        let m = SimMatrix::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.8]]);
+        let inst =
+            Instance::from_matrix(m, vec![1, 1], vec![1, 1], ConflictGraph::empty(2)).unwrap();
+        let mcf = crate::algorithms::mincostflow(&inst).arrangement;
+        let gap = optimality_gap(&inst, &mcf);
+        assert!((gap.certified_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_arrangement_certifies_zero() {
+        let inst = toy::table1_instance();
+        let gap = optimality_gap(&inst, &Arrangement::empty_for(&inst));
+        assert_eq!(gap.achieved, 0.0);
+        assert!(gap.certified_ratio < 0.01);
+    }
+
+    #[test]
+    fn trivial_bound_uses_the_smaller_side() {
+        // One high-capacity event, one low-capacity user: user side binds.
+        let m = SimMatrix::from_rows(&[vec![1.0]]);
+        let inst =
+            Instance::from_matrix(m, vec![50], vec![1], ConflictGraph::empty(1)).unwrap();
+        assert!((trivial_upper_bound(&inst) - 1.0).abs() < 1e-12);
+    }
+}

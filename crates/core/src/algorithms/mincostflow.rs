@@ -1,0 +1,360 @@
+//! MinCostFlow-GEACC (Algorithm 1 of the paper).
+//!
+//! Two phases:
+//!
+//! 1. **Relaxation.** Ignore conflicts. The relaxed problem is a min-cost
+//!    flow: source → events (capacity `c_v`), one unit arc per
+//!    event–user pair with cost `1 − sim`, users → sink (capacity `c_u`).
+//!    The paper computes a min-cost flow for every amount
+//!    `Δ ∈ [Δ_min, Δ_max]` and keeps the arrangement with the largest
+//!    `MaxSum(M_∅^Δ)`. Because `Σ flow·sim = Δ − cost(F^Δ)` and sim = 0
+//!    arcs contribute nothing, `MaxSum(M_∅^Δ) = Δ − cost(F^Δ)` exactly —
+//!    so the sweep reduces to watching `Δ − cost` during a *single*
+//!    incremental Successive-Shortest-Path run (each augmentation extends
+//!    `F^Δ` to `F^{Δ+amount}`; SSP invariance makes every prefix optimal,
+//!    the paper's Lemma 1). An ablation bench re-solves from scratch per
+//!    `Δ` to confirm the algebraic identity empirically.
+//! 2. **Conflict repair.** For each user, keep a maximum-weight-ish
+//!    independent set of their assigned events, greedily by similarity
+//!    (the exact MWIS is itself NP-hard, as the paper notes).
+//!
+//! Guarantee: `1 / max c_u` of the optimum (Theorem 2).
+
+use crate::model::arrangement::Arrangement;
+use crate::model::ids::{EventId, UserId};
+use crate::Instance;
+use geacc_flow::assignment::BipartiteMatcher;
+
+/// Tolerance for cost comparisons during the Δ sweep.
+const EPS: f64 = 1e-9;
+
+/// Configuration for [`mincostflow`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McfConfig {
+    /// Stop the Δ sweep as soon as an augmenting path of unit cost ≥ 1
+    /// appears. Successive shortest paths have non-decreasing unit cost,
+    /// so later Δ can only lower `Δ − cost`; the result is unchanged and
+    /// the sweep often much shorter. Off by default to follow the
+    /// paper's full `Δ_min..Δ_max` loop (the `mcf_sweep` ablation bench
+    /// measures the gap).
+    pub early_stop: bool,
+    /// Solve each user's conflict repair *exactly* instead of greedily.
+    /// The repair step is a per-user maximum-weight independent set; the
+    /// paper keeps it greedy because MWIS is NP-hard in general, but a
+    /// user's assigned set is capacity-bounded (≤ c_u events), so exact
+    /// bitmask enumeration is affordable up to
+    /// [`EXACT_REPAIR_LIMIT`] events and can only raise `MaxSum`.
+    /// Off by default (the paper's Algorithm 1); users with more
+    /// assigned events than the limit fall back to the greedy scan.
+    pub exact_repair: bool,
+}
+
+/// Largest per-user assigned-event count repaired exactly under
+/// [`McfConfig::exact_repair`] (2²⁰ subsets ≈ 1M, microseconds per user).
+pub const EXACT_REPAIR_LIMIT: usize = 20;
+
+/// Diagnostics from the relaxation phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxationInfo {
+    /// `MaxSum(M_∅)` — the optimal conflict-free relaxation value
+    /// (an upper bound on the constrained optimum, Corollary 1).
+    pub max_sum: f64,
+    /// The flow amount `Δ` at which the relaxation peaked.
+    pub best_delta: i64,
+    /// The saturation flow (`Δ_max` effectively reached).
+    pub max_delta: i64,
+}
+
+/// Result of MinCostFlow-GEACC.
+#[derive(Debug, Clone)]
+pub struct McfResult {
+    /// The final feasible arrangement (after conflict repair).
+    pub arrangement: Arrangement,
+    /// Relaxation diagnostics (`M_∅` value, peak Δ).
+    pub relaxation: RelaxationInfo,
+}
+
+/// Run MinCostFlow-GEACC with default configuration.
+pub fn mincostflow(inst: &Instance) -> McfResult {
+    mincostflow_with(inst, McfConfig::default())
+}
+
+/// Run MinCostFlow-GEACC.
+pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
+    let nu = inst.num_users();
+
+    // Phase 1a: sweep Δ on an incremental SSP solver, recording where
+    // MaxSum(M_∅^Δ) = Δ − cost(F^Δ) peaks. Unit costs are non-decreasing
+    // so the objective is concave in Δ; tracking step endpoints finds the
+    // exact peak.
+    let mut matcher = build_matcher(inst);
+    let solver = matcher.solver_mut();
+    let mut best_ms = 0.0;
+    let mut best_delta = 0i64;
+    while let Some(step) = solver.augment_step(i64::MAX) {
+        let ms = solver.flow() as f64 - solver.cost();
+        if ms > best_ms + EPS {
+            best_ms = ms;
+            best_delta = solver.flow();
+        }
+        if config.early_stop && step.unit_cost >= 1.0 - EPS {
+            break;
+        }
+    }
+    let max_delta = solver.flow();
+
+    // Phase 1b: re-solve to exactly Δ* to materialize M_∅. (The sweep
+    // solver has flown past the peak; SSP prefixes are optimal, so a
+    // fresh run to best_delta reproduces an optimal F^{Δ*}.)
+    let mut arrangement = Arrangement::empty_for(inst);
+    let mut per_user: Vec<Vec<(f64, EventId)>> = vec![Vec::new(); nu];
+    if best_delta > 0 {
+        let mut exact = build_matcher(inst);
+        let pairs = exact.match_amount(best_delta).expect("costs are finite");
+        debug_assert_eq!(exact.flow(), best_delta);
+        debug_assert!((exact.flow() as f64 - exact.cost() - best_ms).abs() < 1e-6);
+        for (v, u) in pairs {
+            let (ev, us) = (EventId(v as u32), UserId(u as u32));
+            let sim = inst.similarity(ev, us);
+            if sim > 0.0 {
+                per_user[u].push((sim, ev));
+            }
+        }
+
+        // Phase 2 (lines 8–14): per-user independent set — greedy (the
+        // paper's Algorithm 1) or exact bitmask MWIS when configured.
+        for (u, list) in per_user.iter_mut().enumerate() {
+            list.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            let user = UserId(u as u32);
+            if config.exact_repair && list.len() <= EXACT_REPAIR_LIMIT {
+                for &(sim, v) in exact_independent_set(inst, list) {
+                    arrangement.push_unchecked(v, user, sim);
+                }
+            } else {
+                for &(sim, v) in list.iter() {
+                    if !inst
+                        .conflicts()
+                        .conflicts_with_any(v, arrangement.events_of(user))
+                    {
+                        arrangement.push_unchecked(v, user, sim);
+                    }
+                }
+            }
+        }
+    }
+
+    McfResult {
+        arrangement,
+        relaxation: RelaxationInfo { max_sum: best_ms, best_delta, max_delta },
+    }
+}
+
+/// Exact maximum-weight independent set over one user's assigned events
+/// by bitmask enumeration (`list.len() ≤ EXACT_REPAIR_LIMIT`). Returns
+/// the winning subset as a sub-slice selection.
+fn exact_independent_set<'l>(
+    inst: &Instance,
+    list: &'l [(f64, EventId)],
+) -> Vec<&'l (f64, EventId)> {
+    let n = list.len();
+    debug_assert!(n <= EXACT_REPAIR_LIMIT);
+    // Precompute pairwise conflict masks.
+    let mut conflict_mask = vec![0u32; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if inst.conflicts().conflicts(list[i].1, list[j].1) {
+                conflict_mask[i] |= 1 << j;
+                conflict_mask[j] |= 1 << i;
+            }
+        }
+    }
+    let mut best_mask = 0u32;
+    let mut best_weight = -1.0;
+    'outer: for mask in 0u32..(1 << n) {
+        let mut weight = 0.0;
+        for i in 0..n {
+            if mask >> i & 1 == 1 {
+                if conflict_mask[i] & mask != 0 {
+                    continue 'outer;
+                }
+                weight += list[i].0;
+            }
+        }
+        if weight > best_weight {
+            best_weight = weight;
+            best_mask = mask;
+        }
+    }
+    (0..n).filter(|&i| best_mask >> i & 1 == 1).map(|i| &list[i]).collect()
+}
+
+/// Construct the paper's flow network `G_F` as a bipartite matcher:
+/// events on the left (capacity `c_v`), users on the right (capacity
+/// `c_u`), unit cross arcs of cost `1 − sim` — including the paper's
+/// `sim = 0` arcs (cost 1), which never help `MaxSum` but are part of
+/// the construction.
+fn build_matcher(inst: &Instance) -> BipartiteMatcher {
+    let event_caps: Vec<u32> = inst.events().map(|v| inst.event_capacity(v)).collect();
+    let user_caps: Vec<u32> = inst.users().map(|u| inst.user_capacity(u)).collect();
+    // Pre-compute rows so the cost closure is a cheap lookup.
+    let mut sims = Vec::with_capacity(inst.num_events());
+    let mut row = Vec::new();
+    for v in inst.events() {
+        inst.similarity_row(v, &mut row);
+        sims.push(row.clone());
+    }
+    BipartiteMatcher::new(&event_caps, &user_caps, |v, u| 1.0 - sims[v][u])
+        .expect("GEACC network is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conflict::ConflictGraph;
+    use crate::similarity::SimMatrix;
+    use crate::toy;
+
+    #[test]
+    fn reproduces_paper_example_2() {
+        // Fig. 1c: MinCostFlow-GEACC on the Table I toy yields 4.13.
+        let inst = toy::table1_instance();
+        let res = mincostflow(&inst);
+        assert!(
+            (res.arrangement.max_sum() - toy::MINCOSTFLOW_MAX_SUM).abs() < 1e-9,
+            "got {}",
+            res.arrangement.max_sum()
+        );
+        assert!(res.arrangement.validate(&inst).is_empty());
+    }
+
+    #[test]
+    fn relaxation_upper_bounds_the_final_arrangement() {
+        let inst = toy::table1_instance();
+        let res = mincostflow(&inst);
+        assert!(res.relaxation.max_sum >= res.arrangement.max_sum() - 1e-9);
+        assert!(res.relaxation.best_delta <= res.relaxation.max_delta);
+    }
+
+    #[test]
+    fn no_conflicts_means_no_repair_loss() {
+        // With CF = ∅ the result is the optimal relaxation (Lemma 1).
+        let m = SimMatrix::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.8]]);
+        let inst =
+            Instance::from_matrix(m, vec![1, 1], vec![1, 1], ConflictGraph::empty(2)).unwrap();
+        let res = mincostflow(&inst);
+        assert!((res.arrangement.max_sum() - 1.7).abs() < 1e-9);
+        assert!((res.relaxation.max_sum - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_similarity_pairs_are_excluded_from_the_matching() {
+        let m = SimMatrix::from_rows(&[vec![0.0, 0.6]]);
+        let inst =
+            Instance::from_matrix(m, vec![2], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let res = mincostflow(&inst);
+        assert_eq!(res.arrangement.len(), 1);
+        assert!(res.arrangement.contains(EventId(0), UserId(1)));
+        assert!(res.arrangement.validate(&inst).is_empty());
+    }
+
+    #[test]
+    fn exact_repair_never_loses_to_greedy_repair() {
+        let inst = toy::table1_instance();
+        let greedy_repair = mincostflow(&inst);
+        let exact = mincostflow_with(
+            &inst,
+            McfConfig { exact_repair: true, ..McfConfig::default() },
+        );
+        assert!(exact.arrangement.validate(&inst).is_empty());
+        assert!(
+            exact.arrangement.max_sum() + 1e-12 >= greedy_repair.arrangement.max_sum()
+        );
+    }
+
+    #[test]
+    fn exact_repair_beats_greedy_on_an_adversarial_conflict_chain() {
+        // One user assigned three events in M_∅ with a path conflict
+        // v0–v1, v1–v2. Greedy repair takes the single best event v1
+        // (0.8) and is then blocked from both neighbours; exact repair
+        // takes {v0, v2} = 1.4.
+        let m = SimMatrix::from_rows(&[vec![0.7], vec![0.8], vec![0.7]]);
+        let inst = Instance::from_matrix(
+            m,
+            vec![1, 1, 1],
+            vec![3],
+            ConflictGraph::from_pairs(
+                3,
+                [(EventId(0), EventId(1)), (EventId(1), EventId(2))],
+            ),
+        )
+        .unwrap();
+        let greedy_repair = mincostflow(&inst);
+        assert!((greedy_repair.arrangement.max_sum() - 0.8).abs() < 1e-9);
+        let exact = mincostflow_with(
+            &inst,
+            McfConfig { exact_repair: true, ..McfConfig::default() },
+        );
+        assert!((exact.arrangement.max_sum() - 1.4).abs() < 1e-9);
+        assert!(exact.arrangement.validate(&inst).is_empty());
+    }
+
+    #[test]
+    fn exact_repair_equals_greedy_without_conflicts() {
+        let m = SimMatrix::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.8]]);
+        let inst =
+            Instance::from_matrix(m, vec![1, 1], vec![1, 1], ConflictGraph::empty(2)).unwrap();
+        let a = mincostflow(&inst).arrangement;
+        let b = mincostflow_with(
+            &inst,
+            McfConfig { exact_repair: true, ..McfConfig::default() },
+        )
+        .arrangement;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn early_stop_matches_full_sweep() {
+        let inst = toy::table1_instance();
+        let full = mincostflow_with(&inst, McfConfig { early_stop: false, ..Default::default() });
+        let fast = mincostflow_with(&inst, McfConfig { early_stop: true, ..Default::default() });
+        assert!((full.arrangement.max_sum() - fast.arrangement.max_sum()).abs() < 1e-9);
+        assert!((full.relaxation.max_sum - fast.relaxation.max_sum).abs() < 1e-9);
+        assert_eq!(full.relaxation.best_delta, fast.relaxation.best_delta);
+    }
+
+    #[test]
+    fn conflict_repair_keeps_the_best_event_per_user() {
+        // One user, two conflicting events; repair must keep the better.
+        let m = SimMatrix::from_rows(&[vec![0.9], vec![0.7]]);
+        let inst = Instance::from_matrix(
+            m,
+            vec![1, 1],
+            vec![2],
+            ConflictGraph::complete(2),
+        )
+        .unwrap();
+        let res = mincostflow(&inst);
+        assert_eq!(res.arrangement.len(), 1);
+        assert!(res.arrangement.contains(EventId(0), UserId(0)));
+        // Relaxation had both: 1.6.
+        assert!((res.relaxation.max_sum - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_similarities_yield_empty_arrangement() {
+        let m = SimMatrix::from_rows(&[vec![0.0, 0.0]]);
+        let inst =
+            Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let res = mincostflow(&inst);
+        assert!(res.arrangement.is_empty());
+        assert_eq!(res.relaxation.best_delta, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let inst = toy::table1_instance();
+        let a = mincostflow(&inst);
+        let b = mincostflow(&inst);
+        assert_eq!(a.arrangement, b.arrangement);
+    }
+}

@@ -1,0 +1,371 @@
+//! Prune-GEACC (Algorithms 3–4 of the paper): exact branch-and-bound.
+//!
+//! The search enumerates the matched/unmatched state of every pair,
+//! visiting events in non-increasing `s_v · c_v` order (`s_v` = the
+//! similarity of `v`'s best user) and, within an event, users in
+//! non-increasing similarity. Lemma 6 gives the upper bound that prunes a
+//! subtree: the current partial `MaxSum`, plus `Σ s·c` over unvisited
+//! events, plus the current pair's similarity times the event's remaining
+//! capacity, cannot be exceeded by any completion. Greedy-GEACC seeds the
+//! incumbent so pruning bites from the first recursion.
+//!
+//! [`SearchStats`] mirrors the four panels of the paper's Fig. 6: average
+//! recursion depth at prune time, running time (measured by the bench
+//! harness), number of complete searches, and number of `Search`
+//! invocations. Disabling `enable_pruning` yields the "exhaustive search
+//! without pruning" comparator of that figure.
+//!
+//! Complexity is exponential — the problem is NP-hard — so this is for
+//! small instances (the paper uses `|V| = 5`, `|U| ≤ 15`).
+//!
+//! One deliberate deviation: Algorithm 4's feasibility test (its line 3)
+//! omits `sim > 0`, but Definition 5 requires matched pairs to have
+//! positive similarity; we enforce it. A zero-similarity pair adds
+//! nothing to `MaxSum`, so the optimal *value* is unchanged — only
+//! technically-infeasible optima are excluded.
+
+use crate::algorithms::greedy::greedy;
+use crate::model::arrangement::Arrangement;
+use crate::model::ids::{EventId, UserId};
+use crate::Instance;
+
+/// Slack for the strict `bound > incumbent` descent test.
+const EPS: f64 = 1e-12;
+
+/// Configuration for [`prune`].
+#[derive(Debug, Clone, Copy)]
+pub struct PruneConfig {
+    /// Apply the Lemma 6 bound. `false` = the paper's exhaustive-search
+    /// comparator (still exact, explores everything).
+    pub enable_pruning: bool,
+    /// Seed the incumbent with Greedy-GEACC's arrangement (Algorithm 3
+    /// line 1). Ignored (treated as `false`) when pruning is disabled —
+    /// the incumbent only matters as a bound.
+    pub greedy_seed: bool,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig { enable_pruning: true, greedy_seed: true }
+    }
+}
+
+/// Counters describing one branch-and-bound run (Fig. 6's metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Times the recursive `Search` procedure was entered.
+    pub invocations: u64,
+    /// Times the recursion reached the final pair and evaluated a
+    /// complete matching.
+    pub complete_searches: u64,
+    /// Times the Lemma 6 bound cut a subtree.
+    pub prunes: u64,
+    /// Sum of the recursion depths (1-based pair index) at which prunes
+    /// happened; divide by `prunes` for Fig. 6a's average.
+    pub total_pruned_depth: u64,
+    /// The deepest possible recursion, `|V| · |U|`.
+    pub max_depth: u64,
+}
+
+impl SearchStats {
+    /// Average recursion depth at which pruning took place (Fig. 6a).
+    pub fn avg_pruned_depth(&self) -> f64 {
+        if self.prunes == 0 {
+            0.0
+        } else {
+            self.total_pruned_depth as f64 / self.prunes as f64
+        }
+    }
+}
+
+/// Result of the exact search.
+#[derive(Debug, Clone)]
+pub struct PruneResult {
+    /// An optimal feasible arrangement.
+    pub arrangement: Arrangement,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+/// Run Prune-GEACC with default configuration (pruning + greedy seed).
+pub fn prune(inst: &Instance) -> PruneResult {
+    prune_with(inst, PruneConfig::default())
+}
+
+/// The paper's exhaustive-search comparator: identical enumeration with
+/// the bound disabled.
+pub fn exhaustive(inst: &Instance) -> PruneResult {
+    prune_with(inst, PruneConfig { enable_pruning: false, greedy_seed: false })
+}
+
+/// Run the exact search with explicit configuration.
+pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
+    let nv = inst.num_events();
+    let nu = inst.num_users();
+
+    // Per-event neighbour lists: users by similarity desc, id asc —
+    // the "j-NN of v" order of Algorithm 4. Zero-similarity users stay in
+    // the list (they occupy recursion depth, as in the paper's Fig. 6
+    // depth accounting) but can never be matched.
+    let mut row = Vec::new();
+    let mut neighbors: Vec<Vec<(f64, u32)>> = Vec::with_capacity(nv);
+    for v in inst.events() {
+        inst.similarity_row(v, &mut row);
+        let mut nbrs: Vec<(f64, u32)> =
+            row.iter().enumerate().map(|(u, &s)| (s, u as u32)).collect();
+        nbrs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        neighbors.push(nbrs);
+    }
+
+    // L: events by s_v · c_v non-increasing (Algorithm 3 line 5).
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    let weight = |v: u32| {
+        neighbors[v as usize][0].0 * inst.event_capacity(EventId(v)) as f64
+    };
+    order.sort_by(|&a, &b| weight(b).total_cmp(&weight(a)).then(a.cmp(&b)));
+
+    // suffix[i] = Σ_{k ≥ i} s·c over L; sum_remain at position i is
+    // suffix[i + 1].
+    let mut suffix = vec![0.0; nv + 1];
+    for i in (0..nv).rev() {
+        suffix[i] = suffix[i + 1] + weight(order[i]);
+    }
+
+    let incumbent = if config.enable_pruning && config.greedy_seed {
+        greedy(inst)
+    } else {
+        Arrangement::empty_for(inst)
+    };
+
+    let mut search = Search {
+        inst,
+        neighbors: &neighbors,
+        order: &order,
+        suffix: &suffix,
+        pruning: config.enable_pruning,
+        cap_v: inst.events().map(|v| inst.event_capacity(v)).collect(),
+        cap_u: inst.users().map(|u| inst.user_capacity(u)).collect(),
+        current: Arrangement::empty_for(inst),
+        best_sum: incumbent.max_sum(),
+        best: incumbent,
+        stats: SearchStats {
+            max_depth: (nv * nu) as u64,
+            ..SearchStats::default()
+        },
+    };
+    if nv > 0 && nu > 0 {
+        search.run(0, 0, 0.0);
+    }
+    PruneResult { arrangement: search.best, stats: search.stats }
+}
+
+struct Search<'a> {
+    inst: &'a Instance,
+    neighbors: &'a [Vec<(f64, u32)>],
+    order: &'a [u32],
+    suffix: &'a [f64],
+    pruning: bool,
+    cap_v: Vec<u32>,
+    cap_u: Vec<u32>,
+    current: Arrangement,
+    /// Exact `MaxSum` of the incumbent. Kept separately from
+    /// `best.max_sum()` and compared against the recursion's *threaded*
+    /// partial sum: backtracking by `add x; … ; subtract x` is not exact
+    /// in floating point, and over billions of search nodes the cached
+    /// sum in `current` drifts enough to flip bound comparisons (this
+    /// was a real observed bug — prune and exhaustive disagreed on the
+    /// optimum of a d = 2 instance after ~10⁹ nodes).
+    best_sum: f64,
+    best: Arrangement,
+    stats: SearchStats,
+}
+
+impl Search<'_> {
+    /// 1-based global recursion depth of pair `(i, j)` — the paper's
+    /// Fig. 6a unit.
+    fn depth(&self, i: usize, j: usize) -> u64 {
+        (i * self.inst.num_users() + j + 1) as u64
+    }
+
+    /// Algorithm 4: enumerate both states of the pair at position
+    /// `(i, j)` — event `L[i]`, its `j`-th nearest user. `cur` is the
+    /// exact partial `MaxSum` of the visited pairs, threaded through the
+    /// recursion (never recovered by subtraction — see `best_sum`).
+    fn run(&mut self, i: usize, j: usize, cur: f64) {
+        self.stats.invocations += 1;
+        let v = EventId(self.order[i]);
+        let (sim, uid) = self.neighbors[v.index()][j];
+        let u = UserId(uid);
+
+        let feasible = sim > 0.0
+            && self.cap_v[v.index()] > 0
+            && self.cap_u[u.index()] > 0
+            && !self.inst.conflicts().conflicts_with_any(v, self.current.events_of(u));
+        if feasible {
+            // Matched state (lines 4–19).
+            self.current.push_unchecked(v, u, sim);
+            self.cap_v[v.index()] -= 1;
+            self.cap_u[u.index()] -= 1;
+            self.advance(i, j, cur + sim);
+            self.cap_v[v.index()] += 1;
+            self.cap_u[u.index()] += 1;
+            self.current.remove_pair(v, u, sim);
+        }
+        // Unmatched state (line 20).
+        self.advance(i, j, cur);
+    }
+
+    /// Lines 6–17: move to the next pair (or finish), applying the
+    /// Lemma 6 bound before each descent.
+    fn advance(&mut self, i: usize, j: usize, cur: f64) {
+        let v = EventId(self.order[i]);
+        let last_j = self.inst.num_users() - 1;
+        if j == last_j || self.cap_v[v.index()] == 0 {
+            // Done with this event; next event or complete.
+            if i == self.order.len() - 1 {
+                self.stats.complete_searches += 1;
+                if cur > self.best_sum {
+                    self.best_sum = cur;
+                    self.best = self.rebuild_current();
+                }
+            } else {
+                let bound = cur + self.suffix[i + 1];
+                if !self.pruning || bound > self.best_sum + EPS {
+                    self.run(i + 1, 0, cur);
+                } else {
+                    self.stats.prunes += 1;
+                    self.stats.total_pruned_depth += self.depth(i + 1, 0);
+                }
+            }
+        } else {
+            let (next_sim, _) = self.neighbors[v.index()][j + 1];
+            let bound = cur + self.suffix[i + 1] + next_sim * self.cap_v[v.index()] as f64;
+            if !self.pruning || bound > self.best_sum + EPS {
+                self.run(i, j + 1, cur);
+            } else {
+                self.stats.prunes += 1;
+                self.stats.total_pruned_depth += self.depth(i, j + 1);
+            }
+        }
+    }
+
+    /// Snapshot `current` with a freshly accumulated `MaxSum` (the cached
+    /// sum inside `current` has backtracking drift; rebuilding from the
+    /// instance's similarities is exact for the ≤ `Σc_u` pairs involved).
+    fn rebuild_current(&self) -> Arrangement {
+        let mut snapshot = Arrangement::empty_for(self.inst);
+        for (v, u) in self.current.pairs() {
+            snapshot.push_unchecked(v, u, self.inst.similarity(v, u));
+        }
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conflict::ConflictGraph;
+    use crate::similarity::SimMatrix;
+    use crate::toy;
+
+    #[test]
+    fn finds_the_paper_optimum_on_the_toy() {
+        let inst = toy::table1_instance();
+        let res = prune(&inst);
+        assert!(
+            (res.arrangement.max_sum() - toy::OPTIMAL_MAX_SUM).abs() < 1e-9,
+            "got {}",
+            res.arrangement.max_sum()
+        );
+        assert!(res.arrangement.validate(&inst).is_empty());
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_prune() {
+        let inst = toy::table1_instance();
+        let a = prune(&inst);
+        let b = exhaustive(&inst);
+        assert!((a.arrangement.max_sum() - b.arrangement.max_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let inst = toy::table1_instance();
+        let pruned = prune(&inst);
+        let full = exhaustive(&inst);
+        assert!(pruned.stats.invocations < full.stats.invocations);
+        assert!(pruned.stats.complete_searches <= full.stats.complete_searches);
+        assert!(pruned.stats.prunes > 0);
+        assert_eq!(full.stats.prunes, 0);
+        assert!(pruned.stats.avg_pruned_depth() > 0.0);
+        assert!(pruned.stats.avg_pruned_depth() <= pruned.stats.max_depth as f64);
+    }
+
+    #[test]
+    fn max_depth_is_v_times_u() {
+        let inst = toy::table1_instance();
+        assert_eq!(prune(&inst).stats.max_depth, 15);
+    }
+
+    #[test]
+    fn dominates_both_approximations() {
+        let inst = toy::table1_instance();
+        let opt = prune(&inst).arrangement.max_sum();
+        assert!(opt >= crate::algorithms::greedy::greedy(&inst).max_sum() - 1e-9);
+        assert!(
+            opt >= crate::algorithms::mincostflow::mincostflow(&inst)
+                .arrangement
+                .max_sum()
+                - 1e-9
+        );
+    }
+
+    #[test]
+    fn single_pair_instance() {
+        let m = SimMatrix::from_rows(&[vec![0.4]]);
+        let inst = Instance::from_matrix(m, vec![1], vec![1], ConflictGraph::empty(1)).unwrap();
+        let res = prune(&inst);
+        assert_eq!(res.arrangement.len(), 1);
+        assert!((res.arrangement.max_sum() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_conflicts_reduce_to_assignment() {
+        // Every event conflicts: each user attends ≤ 1 event; the optimum
+        // is the best per-user column pick subject to event capacities.
+        let m = SimMatrix::from_rows(&[vec![0.9, 0.1], vec![0.8, 0.7]]);
+        let inst = Instance::from_matrix(
+            m,
+            vec![1, 1],
+            vec![2, 2],
+            ConflictGraph::complete(2),
+        )
+        .unwrap();
+        let res = prune(&inst);
+        // Best: {v0,u0}=0.9 + {v1,u1}=0.7 = 1.6.
+        assert!((res.arrangement.max_sum() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_seed_never_changes_the_optimum() {
+        let inst = toy::table1_instance();
+        let with = prune_with(&inst, PruneConfig { enable_pruning: true, greedy_seed: true });
+        let without =
+            prune_with(&inst, PruneConfig { enable_pruning: true, greedy_seed: false });
+        assert!(
+            (with.arrangement.max_sum() - without.arrangement.max_sum()).abs() < 1e-9
+        );
+        // The seed can only help pruning.
+        assert!(with.stats.invocations <= without.stats.invocations);
+    }
+
+    #[test]
+    fn zero_capacity_event_contributes_nothing() {
+        let m = SimMatrix::from_rows(&[vec![0.9], vec![0.8]]);
+        let inst =
+            Instance::from_matrix(m, vec![0, 1], vec![1], ConflictGraph::empty(2)).unwrap();
+        let res = prune(&inst);
+        assert_eq!(res.arrangement.len(), 1);
+        assert!((res.arrangement.max_sum() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's randomized baselines (Section V, "Baselines").
+//!
+//! - **Random-V** iterates events; each pair `{v, u}` joins the matching
+//!   with probability `c_v / |U|` if it satisfies every constraint.
+//! - **Random-U** iterates users; each pair joins with probability
+//!   `c_u / |V|` under the same condition.
+//!
+//! Both always produce feasible arrangements (constraints are checked
+//! before every insertion); they exist to show how much headroom the
+//! informed algorithms exploit.
+
+use crate::model::arrangement::Arrangement;
+use crate::Instance;
+use rand::Rng;
+
+/// Run the Random-V baseline.
+pub fn random_v<R: Rng + ?Sized>(inst: &Instance, rng: &mut R) -> Arrangement {
+    let mut arrangement = Arrangement::empty_for(inst);
+    let nu = inst.num_users() as f64;
+    for v in inst.events() {
+        let p = inst.event_capacity(v) as f64 / nu;
+        for u in inst.users() {
+            if rng.gen::<f64>() < p {
+                let _ = arrangement.try_add(inst, v, u);
+            }
+        }
+    }
+    arrangement
+}
+
+/// Run the Random-U baseline.
+pub fn random_u<R: Rng + ?Sized>(inst: &Instance, rng: &mut R) -> Arrangement {
+    let mut arrangement = Arrangement::empty_for(inst);
+    let nv = inst.num_events() as f64;
+    for u in inst.users() {
+        let p = inst.user_capacity(u) as f64 / nv;
+        for v in inst.events() {
+            if rng.gen::<f64>() < p {
+                let _ = arrangement.try_add(inst, v, u);
+            }
+        }
+    }
+    arrangement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_v_is_always_feasible() {
+        let inst = toy::table1_instance();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let arr = random_v(&inst, &mut rng);
+            assert!(arr.validate(&inst).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_u_is_always_feasible() {
+        let inst = toy::table1_instance();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let arr = random_u(&inst, &mut rng);
+            assert!(arr.validate(&inst).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let inst = toy::table1_instance();
+        let a = random_v(&inst, &mut StdRng::seed_from_u64(7));
+        let b = random_v(&inst, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baselines_never_beat_the_optimum() {
+        let inst = toy::table1_instance();
+        let opt = crate::algorithms::prune::prune(&inst).arrangement.max_sum();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert!(random_v(&inst, &mut rng).max_sum() <= opt + 1e-9);
+            assert!(random_u(&inst, &mut rng).max_sum() <= opt + 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_probability_fills_to_capacity() {
+        // c_v = |U| ⇒ probability 1: Random-V adds every feasible pair in
+        // scan order, i.e. behaves like a deterministic greedy fill.
+        use crate::model::conflict::ConflictGraph;
+        use crate::similarity::SimMatrix;
+        let m = SimMatrix::from_rows(&[vec![0.5, 0.5]]);
+        let inst = crate::Instance::from_matrix(
+            m,
+            vec![2],
+            vec![1, 1],
+            ConflictGraph::empty(1),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let arr = random_v(&inst, &mut rng);
+        assert_eq!(arr.len(), 2);
+    }
+}

@@ -1,0 +1,363 @@
+//! The conflict graph over events (Definition 3 of the paper).
+//!
+//! Two events conflict when no user can attend both — overlapping
+//! timetables, or venues too far apart to travel between. The graph is
+//! stored as a dense bitset adjacency matrix: Greedy-GEACC performs a
+//! conflict test on every heap pop and Prune-GEACC on every search node,
+//! so `O(1)` `conflicts` lookups with one word-indexed load dominate any
+//! sparse representation for the paper's scales (`|V| ≤ ~1000`).
+//!
+//! Besides explicit pair lists, constructors derive conflicts from time
+//! intervals and from interval-plus-travel-time geometry — the two
+//! real-world sources the paper's introduction motivates (the
+//! hiking/badminton/basketball example).
+
+use crate::model::ids::EventId;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric, irreflexive conflict relation over `n` events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    num_events: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+    num_pairs: usize,
+}
+
+impl ConflictGraph {
+    /// A graph with no conflicts (`CF = ∅`).
+    pub fn empty(num_events: usize) -> Self {
+        let words_per_row = num_events.div_ceil(64);
+        ConflictGraph {
+            num_events,
+            words_per_row,
+            bits: vec![0; words_per_row * num_events],
+            num_pairs: 0,
+        }
+    }
+
+    /// The complete conflict graph: every pair of distinct events
+    /// conflicts (the paper's `|CF| / (|V|(|V|−1)/2) = 1` extreme, where
+    /// every user attends at most one event).
+    pub fn complete(num_events: usize) -> Self {
+        let mut g = ConflictGraph::empty(num_events);
+        for i in 0..num_events {
+            for j in (i + 1)..num_events {
+                g.add_pair(EventId(i as u32), EventId(j as u32));
+            }
+        }
+        g
+    }
+
+    /// Build from explicit conflicting pairs. Duplicate and reflexive
+    /// pairs are ignored.
+    pub fn from_pairs(
+        num_events: usize,
+        pairs: impl IntoIterator<Item = (EventId, EventId)>,
+    ) -> Self {
+        let mut g = ConflictGraph::empty(num_events);
+        for (a, b) in pairs {
+            g.add_pair(a, b);
+        }
+        g
+    }
+
+    /// Derive conflicts from half-open time intervals `[start, end)`:
+    /// events conflict iff their intervals overlap.
+    pub fn from_intervals(intervals: &[(f64, f64)]) -> Self {
+        let mut g = ConflictGraph::empty(intervals.len());
+        for i in 0..intervals.len() {
+            for j in (i + 1)..intervals.len() {
+                let (s1, e1) = intervals[i];
+                let (s2, e2) = intervals[j];
+                if s1 < e2 && s2 < e1 {
+                    g.add_pair(EventId(i as u32), EventId(j as u32));
+                }
+            }
+        }
+        g
+    }
+
+    /// Derive conflicts from intervals plus venue locations: events
+    /// conflict if their intervals overlap, **or** if the gap between them
+    /// is shorter than the travel time between their venues at `speed`
+    /// (Euclidean distance / speed). This is exactly the basketball-court
+    /// scenario from the paper's introduction: back-to-back events an hour
+    /// apart by car conflict even though their time slots are disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` and `locations` lengths differ or
+    /// `speed <= 0`.
+    pub fn from_intervals_with_travel(
+        intervals: &[(f64, f64)],
+        locations: &[(f64, f64)],
+        speed: f64,
+    ) -> Self {
+        assert_eq!(intervals.len(), locations.len(), "one location per event");
+        assert!(speed > 0.0, "speed must be positive");
+        let mut g = ConflictGraph::empty(intervals.len());
+        for i in 0..intervals.len() {
+            for j in (i + 1)..intervals.len() {
+                let (s1, e1) = intervals[i];
+                let (s2, e2) = intervals[j];
+                let overlap = s1 < e2 && s2 < e1;
+                let conflict = overlap || {
+                    let dx = locations[i].0 - locations[j].0;
+                    let dy = locations[i].1 - locations[j].1;
+                    let travel = (dx * dx + dy * dy).sqrt() / speed;
+                    // Gap between the earlier event's end and the later
+                    // one's start.
+                    let gap = if e1 <= s2 { s2 - e1 } else { s1 - e2 };
+                    gap < travel
+                };
+                if conflict {
+                    g.add_pair(EventId(i as u32), EventId(j as u32));
+                }
+            }
+        }
+        g
+    }
+
+    /// Add one conflicting pair; no-op if `a == b` or already present.
+    pub fn add_pair(&mut self, a: EventId, b: EventId) {
+        assert!(a.index() < self.num_events, "event {a} out of range");
+        assert!(b.index() < self.num_events, "event {b} out of range");
+        if a == b || self.conflicts(a, b) {
+            return;
+        }
+        self.set_bit(a.index(), b.index());
+        self.set_bit(b.index(), a.index());
+        self.num_pairs += 1;
+    }
+
+    fn set_bit(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Whether `a` and `b` conflict. `O(1)`.
+    #[inline]
+    pub fn conflicts(&self, a: EventId, b: EventId) -> bool {
+        debug_assert!(a.index() < self.num_events && b.index() < self.num_events);
+        let word = self.bits[a.index() * self.words_per_row + b.index() / 64];
+        word >> (b.index() % 64) & 1 == 1
+    }
+
+    /// Whether `event` conflicts with any event in `others`.
+    ///
+    /// This is the hot test in every algorithm (`v` against a user's
+    /// currently matched events); `others` is capacity-bounded, so the
+    /// loop is short.
+    #[inline]
+    pub fn conflicts_with_any(&self, event: EventId, others: &[EventId]) -> bool {
+        others.iter().any(|&o| self.conflicts(event, o))
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Number of conflicting pairs, `|CF|`.
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.num_pairs
+    }
+
+    /// `|CF|` as a fraction of all `|V|(|V|−1)/2` event pairs — the
+    /// x-axis of the paper's conflict-set experiments.
+    pub fn density(&self) -> f64 {
+        let total = self.num_events * self.num_events.saturating_sub(1) / 2;
+        if total == 0 {
+            0.0
+        } else {
+            self.num_pairs as f64 / total as f64
+        }
+    }
+
+    /// Iterate over all conflicting pairs `(a, b)` with `a < b`.
+    pub fn pairs(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        (0..self.num_events).flat_map(move |i| {
+            ((i + 1)..self.num_events).filter_map(move |j| {
+                let (a, b) = (EventId(i as u32), EventId(j as u32));
+                self.conflicts(a, b).then_some((a, b))
+            })
+        })
+    }
+}
+
+impl Serialize for ConflictGraph {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        #[derive(Serialize)]
+        struct Dto {
+            num_events: usize,
+            pairs: Vec<(u32, u32)>,
+        }
+        Dto {
+            num_events: self.num_events,
+            pairs: self.pairs().map(|(a, b)| (a.0, b.0)).collect(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for ConflictGraph {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Dto {
+            num_events: usize,
+            pairs: Vec<(u32, u32)>,
+        }
+        let dto = Dto::deserialize(deserializer)?;
+        for &(a, b) in &dto.pairs {
+            if a as usize >= dto.num_events || b as usize >= dto.num_events {
+                return Err(serde::de::Error::custom(format!(
+                    "conflict pair ({a}, {b}) out of range for {} events",
+                    dto.num_events
+                )));
+            }
+        }
+        Ok(ConflictGraph::from_pairs(
+            dto.num_events,
+            dto.pairs.into_iter().map(|(a, b)| (EventId(a), EventId(b))),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_conflicts() {
+        let g = ConflictGraph::empty(3);
+        assert_eq!(g.num_pairs(), 0);
+        assert!(!g.conflicts(EventId(0), EventId(1)));
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn add_pair_is_symmetric_and_deduplicated() {
+        let mut g = ConflictGraph::empty(3);
+        g.add_pair(EventId(0), EventId(2));
+        g.add_pair(EventId(2), EventId(0)); // duplicate, reversed
+        assert!(g.conflicts(EventId(0), EventId(2)));
+        assert!(g.conflicts(EventId(2), EventId(0)));
+        assert_eq!(g.num_pairs(), 1);
+    }
+
+    #[test]
+    fn reflexive_pairs_are_ignored() {
+        let mut g = ConflictGraph::empty(2);
+        g.add_pair(EventId(1), EventId(1));
+        assert_eq!(g.num_pairs(), 0);
+        assert!(!g.conflicts(EventId(1), EventId(1)));
+    }
+
+    #[test]
+    fn complete_graph_density_is_one() {
+        let g = ConflictGraph::complete(5);
+        assert_eq!(g.num_pairs(), 10);
+        assert_eq!(g.density(), 1.0);
+    }
+
+    #[test]
+    fn conflicts_with_any_scans_list() {
+        let g = ConflictGraph::from_pairs(4, [(EventId(0), EventId(3))]);
+        assert!(g.conflicts_with_any(EventId(0), &[EventId(1), EventId(3)]));
+        assert!(!g.conflicts_with_any(EventId(0), &[EventId(1), EventId(2)]));
+        assert!(!g.conflicts_with_any(EventId(0), &[]));
+    }
+
+    #[test]
+    fn intervals_overlap_iff_conflict() {
+        // [0,2) [1,3) overlap; [3,4) touches neither ([1,3) is half-open).
+        let g = ConflictGraph::from_intervals(&[(0.0, 2.0), (1.0, 3.0), (3.0, 4.0)]);
+        assert!(g.conflicts(EventId(0), EventId(1)));
+        assert!(!g.conflicts(EventId(1), EventId(2)));
+        assert!(!g.conflicts(EventId(0), EventId(2)));
+    }
+
+    #[test]
+    fn travel_time_creates_conflicts_between_disjoint_intervals() {
+        // Events 1 hour apart in time, venues 2 "hours" apart at speed 1.
+        let intervals = [(0.0, 1.0), (2.0, 3.0)];
+        let near = [(0.0, 0.0), (0.5, 0.0)];
+        let far = [(0.0, 0.0), (2.0, 0.0)];
+        assert!(!ConflictGraph::from_intervals_with_travel(&intervals, &near, 1.0)
+            .conflicts(EventId(0), EventId(1)));
+        assert!(ConflictGraph::from_intervals_with_travel(&intervals, &far, 1.0)
+            .conflicts(EventId(0), EventId(1)));
+    }
+
+    #[test]
+    fn pairs_iterator_roundtrips() {
+        let src = [(EventId(0), EventId(1)), (EventId(2), EventId(3)), (EventId(1), EventId(3))];
+        let g = ConflictGraph::from_pairs(4, src);
+        let collected: Vec<_> = g.pairs().collect();
+        assert_eq!(collected.len(), 3);
+        let g2 = ConflictGraph::from_pairs(4, collected);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn works_past_word_boundaries() {
+        let mut g = ConflictGraph::empty(130);
+        g.add_pair(EventId(0), EventId(129));
+        g.add_pair(EventId(63), EventId(64));
+        assert!(g.conflicts(EventId(129), EventId(0)));
+        assert!(g.conflicts(EventId(64), EventId(63)));
+        assert!(!g.conflicts(EventId(1), EventId(128)));
+        assert_eq!(g.num_pairs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pair_panics() {
+        let mut g = ConflictGraph::empty(2);
+        g.add_pair(EventId(0), EventId(5));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = ConflictGraph::from_pairs(5, [(EventId(0), EventId(4)), (EventId(1), EventId(2))]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ConflictGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_pairs() {
+        let json = r#"{"num_events":2,"pairs":[[0,7]]}"#;
+        assert!(serde_json::from_str::<ConflictGraph>(json).is_err());
+    }
+
+    #[test]
+    fn density_of_single_event_graph_is_zero() {
+        assert_eq!(ConflictGraph::empty(1).density(), 0.0);
+        assert_eq!(ConflictGraph::complete(1).num_pairs(), 0);
+    }
+
+    #[test]
+    fn touching_intervals_do_not_conflict() {
+        // Half-open semantics: [0,2) and [2,4) share only the boundary.
+        let g = ConflictGraph::from_intervals(&[(0.0, 2.0), (2.0, 4.0)]);
+        assert_eq!(g.num_pairs(), 0);
+    }
+
+    #[test]
+    fn identical_intervals_conflict() {
+        let g = ConflictGraph::from_intervals(&[(1.0, 3.0), (1.0, 3.0)]);
+        assert!(g.conflicts(EventId(0), EventId(1)));
+    }
+
+    #[test]
+    fn fast_travel_reduces_to_pure_overlap() {
+        let intervals = [(0.0, 1.0), (1.0, 2.0)];
+        let same_place = [(3.0, 3.0), (3.0, 3.0)];
+        let g =
+            ConflictGraph::from_intervals_with_travel(&intervals, &same_place, 100.0);
+        assert_eq!(g.num_pairs(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed identifiers for events and users.
+//!
+//! The algorithms juggle two index spaces of similar magnitude; newtypes
+//! make it impossible to hand an event index to a user-indexed structure.
+//! Both are thin `u32` wrappers (an instance with 2³² events is far beyond
+//! anything the exact or approximate algorithms could touch).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an event: its position in [`crate::Instance::events`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct EventId(pub u32);
+
+/// Identifier of a user: its position in [`crate::Instance::users`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+impl EventId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl UserId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<u32> for EventId {
+    fn from(v: u32) -> Self {
+        EventId(v)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(EventId(0).to_string(), "v0");
+        assert_eq!(UserId(4).to_string(), "u4");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(EventId::from(7u32).index(), 7);
+        assert_eq!(UserId::from(9u32).index(), 9);
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(EventId(1) < EventId(2));
+        assert!(UserId(0) < UserId(10));
+    }
+}

@@ -1,0 +1,14 @@
+//! The GEACC problem model: events, users, conflicts, instances, and
+//! arrangements (Definitions 1–5 of the paper).
+
+pub mod arrangement;
+pub mod conflict;
+pub mod ids;
+pub mod instance;
+pub mod stats;
+
+pub use arrangement::{Arrangement, Violation};
+pub use conflict::ConflictGraph;
+pub use ids::{EventId, UserId};
+pub use instance::{Instance, InstanceBuilder, InstanceError};
+pub use stats::ArrangementStats;

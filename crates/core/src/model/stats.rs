@@ -1,0 +1,157 @@
+//! Descriptive statistics over an arrangement — the reporting layer an
+//! EBSN operator actually looks at (fill rates, satisfaction spread),
+//! used by the CLI's `inspect` command and the examples.
+
+use crate::model::arrangement::Arrangement;
+use crate::model::ids::{EventId, UserId};
+use crate::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of an arrangement against its instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrangementStats {
+    /// `MaxSum(M)`.
+    pub max_sum: f64,
+    /// Matched pairs.
+    pub pairs: usize,
+    /// Mean similarity over matched pairs (0 when empty).
+    pub mean_similarity: f64,
+    /// Minimum similarity over matched pairs (0 when empty).
+    pub min_similarity: f64,
+    /// Fraction of total event seats filled.
+    pub seat_utilization: f64,
+    /// Fraction of total user slots filled.
+    pub slot_utilization: f64,
+    /// Events with at least one attendee.
+    pub active_events: usize,
+    /// Users with at least one assignment.
+    pub active_users: usize,
+    /// Users with no assignment at all — the "left out" count an
+    /// operator watches.
+    pub unassigned_users: usize,
+}
+
+impl ArrangementStats {
+    /// Compute statistics for `arrangement` on `instance`.
+    ///
+    /// The arrangement is not re-validated here; run
+    /// [`Arrangement::validate`] first if it comes from an untrusted
+    /// source.
+    pub fn compute(instance: &Instance, arrangement: &Arrangement) -> Self {
+        let pairs = arrangement.len();
+        let mut min_similarity = f64::INFINITY;
+        for (v, u) in arrangement.pairs() {
+            min_similarity = min_similarity.min(instance.similarity(v, u));
+        }
+        if pairs == 0 {
+            min_similarity = 0.0;
+        }
+        let active_events = instance
+            .events()
+            .filter(|&v| arrangement.attendees_of(v) > 0)
+            .count();
+        let active_users = instance
+            .users()
+            .filter(|&u| !arrangement.events_of(u).is_empty())
+            .count();
+        let seats = instance.total_event_capacity();
+        let slots = instance.total_user_capacity();
+        ArrangementStats {
+            max_sum: arrangement.max_sum(),
+            pairs,
+            mean_similarity: if pairs == 0 {
+                0.0
+            } else {
+                arrangement.max_sum() / pairs as f64
+            },
+            min_similarity,
+            seat_utilization: if seats == 0 { 0.0 } else { pairs as f64 / seats as f64 },
+            slot_utilization: if slots == 0 { 0.0 } else { pairs as f64 / slots as f64 },
+            active_events,
+            active_users,
+            unassigned_users: instance.num_users() - active_users,
+        }
+    }
+
+    /// Per-event occupancy `(event, attendees, capacity)`, ordered by id.
+    pub fn occupancy(instance: &Instance, arrangement: &Arrangement) -> Vec<(EventId, u32, u32)> {
+        instance
+            .events()
+            .map(|v| (v, arrangement.attendees_of(v), instance.event_capacity(v)))
+            .collect()
+    }
+
+    /// Per-user satisfaction `(user, assigned, capacity, total sim)`.
+    pub fn satisfaction(
+        instance: &Instance,
+        arrangement: &Arrangement,
+    ) -> Vec<(UserId, usize, u32, f64)> {
+        instance
+            .users()
+            .map(|u| {
+                let events = arrangement.events_of(u);
+                let total: f64 =
+                    events.iter().map(|&v| instance.similarity(v, u)).sum();
+                (u, events.len(), instance.user_capacity(u), total)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::greedy;
+    use crate::toy;
+
+    #[test]
+    fn stats_on_the_toy_greedy_arrangement() {
+        let inst = toy::table1_instance();
+        let arr = greedy(&inst);
+        let stats = ArrangementStats::compute(&inst, &arr);
+        assert_eq!(stats.pairs, 7);
+        assert!((stats.max_sum - toy::GREEDY_MAX_SUM).abs() < 1e-9);
+        assert!((stats.mean_similarity - toy::GREEDY_MAX_SUM / 7.0).abs() < 1e-9);
+        assert!(stats.min_similarity > 0.0);
+        assert_eq!(stats.active_events, 3);
+        assert_eq!(stats.active_users, 5);
+        assert_eq!(stats.unassigned_users, 0);
+        // 10 seats (5+3+2), 7 filled.
+        assert!((stats.seat_utilization - 0.7).abs() < 1e-12);
+        // 10 slots (3+1+1+2+3), 7 filled.
+        assert!((stats.slot_utilization - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_empty_arrangement() {
+        let inst = toy::table1_instance();
+        let stats = ArrangementStats::compute(&inst, &Arrangement::empty_for(&inst));
+        assert_eq!(stats.pairs, 0);
+        assert_eq!(stats.mean_similarity, 0.0);
+        assert_eq!(stats.min_similarity, 0.0);
+        assert_eq!(stats.unassigned_users, 5);
+        assert_eq!(stats.seat_utilization, 0.0);
+    }
+
+    #[test]
+    fn occupancy_and_satisfaction_cover_everyone() {
+        let inst = toy::table1_instance();
+        let arr = greedy(&inst);
+        let occ = ArrangementStats::occupancy(&inst, &arr);
+        assert_eq!(occ.len(), 3);
+        assert!(occ.iter().all(|&(_, a, c)| a <= c));
+        let sat = ArrangementStats::satisfaction(&inst, &arr);
+        assert_eq!(sat.len(), 5);
+        let total: f64 = sat.iter().map(|&(_, _, _, s)| s).sum();
+        assert!((total - arr.max_sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = toy::table1_instance();
+        let stats = ArrangementStats::compute(&inst, &greedy(&inst));
+        let back: ArrangementStats =
+            serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+        assert_eq!(stats, back);
+    }
+}

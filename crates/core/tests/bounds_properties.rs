@@ -1,0 +1,95 @@
+//! Property tests for the optimality-bound certificates: both upper
+//! bounds must dominate the true optimum on arbitrary instances, the
+//! relaxation must never exceed the trivial counting bound's validity,
+//! and the certified ratio must be sound for every algorithm's output.
+
+use geacc_core::algorithms::{
+    greedy, mincostflow, optimality_gap, prune, random_v, relaxation_upper_bound,
+    trivial_upper_bound,
+};
+use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    rows: Vec<Vec<f64>>,
+    cap_v: Vec<u32>,
+    cap_u: Vec<u32>,
+    conflicts: Vec<(usize, usize)>,
+}
+
+impl Spec {
+    fn build(&self) -> Instance {
+        let nv = self.rows.len();
+        Instance::from_matrix(
+            SimMatrix::from_rows(&self.rows),
+            self.cap_v.clone(),
+            self.cap_u.clone(),
+            ConflictGraph::from_pairs(
+                nv,
+                self.conflicts
+                    .iter()
+                    .map(|&(a, b)| (EventId((a % nv) as u32), EventId((b % nv) as u32))),
+            ),
+        )
+        .expect("consistent spec")
+    }
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (1usize..=4, 1usize..=6).prop_flat_map(|(nv, nu)| {
+        let sim = (0u32..=100).prop_map(|x| x as f64 / 100.0);
+        (
+            proptest::collection::vec(proptest::collection::vec(sim, nu), nv),
+            proptest::collection::vec(1u32..=3, nv),
+            proptest::collection::vec(1u32..=3, nu),
+            proptest::collection::vec((0..nv, 0..nv), 0..=nv),
+        )
+            .prop_map(|(rows, cap_v, cap_u, conflicts)| Spec { rows, cap_v, cap_u, conflicts })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn both_bounds_dominate_the_optimum(s in spec()) {
+        let inst = s.build();
+        let opt = prune(&inst).arrangement.max_sum();
+        prop_assert!(trivial_upper_bound(&inst) + 1e-9 >= opt);
+        prop_assert!(relaxation_upper_bound(&inst) + 1e-9 >= opt);
+    }
+
+    /// The relaxation equals the optimum when there are no conflicts
+    /// (Lemma 1 restated as a bound property).
+    #[test]
+    fn relaxation_is_tight_without_conflicts(s in spec()) {
+        let mut s = s;
+        s.conflicts.clear();
+        let inst = s.build();
+        let opt = prune(&inst).arrangement.max_sum();
+        prop_assert!((relaxation_upper_bound(&inst) - opt).abs() < 1e-9);
+    }
+
+    /// Certified ratios are sound: certified ≤ true ratio ≤ 1.
+    #[test]
+    fn certificates_never_overclaim(s in spec(), seed in 0u64..50) {
+        let inst = s.build();
+        let opt = prune(&inst).arrangement.max_sum();
+        for arr in [
+            greedy(&inst),
+            mincostflow(&inst).arrangement,
+            random_v(&inst, &mut StdRng::seed_from_u64(seed)),
+        ] {
+            let gap = optimality_gap(&inst, &arr);
+            prop_assert!(gap.certified_ratio <= 1.0 + 1e-9);
+            if opt > 0.0 {
+                let true_ratio = arr.max_sum() / opt;
+                prop_assert!(gap.certified_ratio <= true_ratio + 1e-9,
+                    "certified {} exceeds true {}", gap.certified_ratio, true_ratio);
+            }
+        }
+    }
+}

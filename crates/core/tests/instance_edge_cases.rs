@@ -1,0 +1,134 @@
+//! Edge-case and failure-injection tests for the instance layer: the
+//! places a production deployment gets hurt — degenerate shapes,
+//! boundary capacities, adversarial similarity values.
+
+use geacc_core::algorithms::{greedy, mincostflow, prune};
+use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix, SimilarityModel, UserId};
+
+#[test]
+fn single_event_single_user() {
+    let m = SimMatrix::from_rows(&[vec![1.0]]);
+    let inst = Instance::from_matrix(m, vec![1], vec![1], ConflictGraph::empty(1)).unwrap();
+    for arr in [
+        greedy(&inst),
+        mincostflow(&inst).arrangement,
+        prune(&inst).arrangement,
+    ] {
+        assert_eq!(arr.len(), 1);
+        assert!((arr.max_sum() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn all_similarities_exactly_zero() {
+    let m = SimMatrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
+    let inst =
+        Instance::from_matrix(m, vec![2, 2], vec![2, 2], ConflictGraph::empty(2)).unwrap();
+    assert!(greedy(&inst).is_empty());
+    assert!(mincostflow(&inst).arrangement.is_empty());
+    assert!(prune(&inst).arrangement.is_empty());
+}
+
+#[test]
+fn similarity_exactly_one_everywhere() {
+    // Saturated similarities: the optimum is just the max matching size.
+    let m = SimMatrix::from_rows(&[vec![1.0; 4], vec![1.0; 4]]);
+    let inst =
+        Instance::from_matrix(m, vec![2, 2], vec![1, 1, 1, 1], ConflictGraph::empty(2))
+            .unwrap();
+    let opt = prune(&inst).arrangement;
+    assert_eq!(opt.len(), 4);
+    assert!((opt.max_sum() - 4.0).abs() < 1e-12);
+    let g = greedy(&inst);
+    assert_eq!(g.len(), 4);
+}
+
+#[test]
+fn capacities_larger_than_counterpart_still_work() {
+    // Violates the paper's standing assumption (max c_v ≤ |U|) but must
+    // degrade gracefully, not panic.
+    let m = SimMatrix::from_rows(&[vec![0.5, 0.6]]);
+    let inst =
+        Instance::from_matrix(m, vec![100], vec![50, 50], ConflictGraph::empty(1)).unwrap();
+    assert!(inst.validate_paper_assumptions().is_err());
+    let g = greedy(&inst);
+    assert_eq!(g.len(), 2);
+    assert!(g.validate(&inst).is_empty());
+    let mcf = mincostflow(&inst).arrangement;
+    assert_eq!(mcf.len(), 2);
+}
+
+#[test]
+fn tiny_similarities_survive_the_flow_solver() {
+    // Costs 1 − sim very close to 1.0: the Δ-sweep peak detection must
+    // not lose these pairs to rounding.
+    let eps = 1e-7;
+    let m = SimMatrix::from_rows(&[vec![eps, eps * 2.0]]);
+    let inst =
+        Instance::from_matrix(m, vec![2], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+    let res = mincostflow(&inst);
+    assert_eq!(res.arrangement.len(), 2);
+    assert!((res.arrangement.max_sum() - eps * 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn conflict_chain_forces_alternating_selection() {
+    // Path conflict structure v0–v1, v1–v2, v2–v3: one shared user can
+    // attend {v0, v2} or {v1, v3} (or mixes); optimum picks by weight.
+    let m = SimMatrix::from_rows(&[vec![0.9], vec![0.5], vec![0.8], vec![0.6]]);
+    let conflicts = ConflictGraph::from_pairs(
+        4,
+        [
+            (EventId(0), EventId(1)),
+            (EventId(1), EventId(2)),
+            (EventId(2), EventId(3)),
+        ],
+    );
+    let inst = Instance::from_matrix(m, vec![1; 4], vec![4], conflicts).unwrap();
+    let opt = prune(&inst).arrangement;
+    // {v0, v2} = 1.7 beats {v0, v3} = 1.5 and {v1, v3} = 1.1.
+    assert!((opt.max_sum() - 1.7).abs() < 1e-9);
+    assert!(opt.contains(EventId(0), UserId(0)));
+    assert!(opt.contains(EventId(2), UserId(0)));
+}
+
+#[test]
+fn euclidean_instances_with_degenerate_geometry() {
+    // All points identical: every similarity is 1.
+    let mut b = Instance::builder(3, SimilarityModel::Euclidean { t: 10.0 });
+    for _ in 0..2 {
+        b.event(&[5.0, 5.0, 5.0], 1);
+    }
+    for _ in 0..3 {
+        b.user(&[5.0, 5.0, 5.0], 1);
+    }
+    let inst = b.build().unwrap();
+    let g = greedy(&inst);
+    assert_eq!(g.len(), 2);
+    assert!((g.max_sum() - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn wide_instance_many_events_single_user() {
+    let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![0.2 + (i % 10) as f64 / 20.0]).collect();
+    let m = SimMatrix::from_rows(&rows);
+    let inst =
+        Instance::from_matrix(m, vec![1; 40], vec![3], ConflictGraph::empty(40)).unwrap();
+    let g = greedy(&inst);
+    assert_eq!(g.len(), 3);
+    // Greedy takes the three highest-similarity events (0.65 each).
+    assert!((g.max_sum() - 1.95).abs() < 1e-9);
+}
+
+#[test]
+fn tall_instance_single_event_many_users() {
+    let m = SimMatrix::from_rows(&[(0..50).map(|i| 0.1 + (i as f64) / 100.0).collect()]);
+    let inst =
+        Instance::from_matrix(m, vec![5], vec![1; 50], ConflictGraph::empty(1)).unwrap();
+    let g = greedy(&inst);
+    assert_eq!(g.len(), 5);
+    // Top five users: sims 0.59, 0.58, 0.57, 0.56, 0.55.
+    assert!((g.max_sum() - (0.59 + 0.58 + 0.57 + 0.56 + 0.55)).abs() < 1e-9);
+    let mcf = mincostflow(&inst).arrangement;
+    assert!((mcf.max_sum() - g.max_sum()).abs() < 1e-9);
+}

@@ -1,0 +1,92 @@
+//! Cross-model behaviour: the algorithms are similarity-model-agnostic
+//! (Definition 4 allows any `sim ∈ [0,1]`); these tests run the whole
+//! stack under each model and check the invariants that don't depend on
+//! geometry.
+
+use geacc_core::algorithms::{greedy, mincostflow, prune};
+use geacc_core::{Instance, SimilarityModel};
+
+fn build(model: SimilarityModel, t: f64) -> Instance {
+    let mut b = Instance::builder(4, model);
+    // A small structured cloud; attribute values within [0, t].
+    let pts: [[f64; 4]; 6] = [
+        [0.1 * t, 0.2 * t, 0.0, 0.3 * t],
+        [0.9 * t, 0.1 * t, 0.4 * t, 0.0],
+        [0.5 * t, 0.5 * t, 0.5 * t, 0.5 * t],
+        [0.0, 0.8 * t, 0.2 * t, 0.1 * t],
+        [0.3 * t, 0.3 * t, 0.9 * t, 0.2 * t],
+        [0.7 * t, 0.0, 0.1 * t, 0.8 * t],
+    ];
+    b.event(&pts[0], 2);
+    b.event(&pts[1], 2);
+    for p in &pts[2..] {
+        b.user(p, 1);
+    }
+    let mut conflicts = geacc_core::ConflictGraph::empty(2);
+    conflicts.add_pair(geacc_core::EventId(0), geacc_core::EventId(1));
+    b.conflicts(conflicts);
+    b.build().unwrap()
+}
+
+#[test]
+fn euclidean_model_full_stack() {
+    let inst = build(SimilarityModel::Euclidean { t: 100.0 }, 100.0);
+    let g = greedy(&inst);
+    assert!(g.validate(&inst).is_empty());
+    let opt = prune(&inst).arrangement;
+    assert!(opt.max_sum() + 1e-9 >= g.max_sum());
+    assert!(g.max_sum() + 1e-9 >= opt.max_sum() / (1.0 + inst.max_user_capacity() as f64));
+}
+
+#[test]
+fn cosine_model_full_stack() {
+    let inst = build(SimilarityModel::Cosine, 100.0);
+    // Cosine of non-negative vectors is in [0, 1]; the whole pipeline
+    // must hold without the distance-monotone property.
+    for v in inst.events() {
+        for u in inst.users() {
+            let s = inst.similarity(v, u);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+    let g = greedy(&inst);
+    assert!(g.validate(&inst).is_empty());
+    let m = mincostflow(&inst);
+    assert!(m.arrangement.validate(&inst).is_empty());
+    let opt = prune(&inst).arrangement;
+    assert!(opt.max_sum() + 1e-9 >= g.max_sum());
+    assert!(opt.max_sum() + 1e-9 >= m.arrangement.max_sum());
+    assert!(m.relaxation.max_sum + 1e-9 >= opt.max_sum());
+}
+
+#[test]
+fn models_rank_consistently_on_identical_vectors() {
+    // A user identical to an event is that event's top match under both
+    // models.
+    let t = 10.0;
+    for model in [SimilarityModel::Euclidean { t }, SimilarityModel::Cosine] {
+        let mut b = Instance::builder(2, model);
+        let v = b.event(&[3.0, 4.0], 1);
+        b.user(&[3.0, 4.0], 1); // clone of the event
+        b.user(&[9.0, 1.0], 1);
+        let inst = b.build().unwrap();
+        let clone_sim = inst.similarity(v, geacc_core::UserId(0));
+        let other_sim = inst.similarity(v, geacc_core::UserId(1));
+        assert!((clone_sim - 1.0).abs() < 1e-9);
+        assert!(clone_sim > other_sim);
+        let g = greedy(&inst);
+        assert!(g.contains(v, geacc_core::UserId(0)));
+    }
+}
+
+#[test]
+fn scale_invariance_differs_between_models() {
+    // Cosine is scale-invariant, Euclidean is not — a documented
+    // behavioural difference users must understand when choosing.
+    let a = [1.0, 2.0];
+    let b2 = [2.0, 4.0]; // same direction, double magnitude
+    let cos = geacc_core::similarity::cosine_similarity(&a, &b2);
+    assert!((cos - 1.0).abs() < 1e-9);
+    let euc = geacc_core::similarity::euclidean_similarity(&a, &b2, 10.0);
+    assert!(euc < 1.0);
+}

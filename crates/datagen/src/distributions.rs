@@ -1,0 +1,167 @@
+//! The value distributions of the paper's evaluation (Table III).
+//!
+//! Attribute values and capacities are generated following Uniform,
+//! Normal, or Zipf distributions. Capacities are "converted into
+//! integers" (Table III's footnote) and clamped to at least 1; Normal
+//! attribute values are clamped into the cube `[0, T]`.
+
+use rand::Rng;
+use rand_distr::{Distribution as _, Normal, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of attribute values over `[0, t]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttrDistribution {
+    /// Uniform on `[0, t]` — the paper's default.
+    Uniform,
+    /// The paper's Normal setting: an even mixture of
+    /// `N(t/4, (t/4)²)` and `N(3t/4, (t/4)²)`, clamped to `[0, t]`.
+    /// (Table III lists both components.)
+    Normal,
+    /// Zipf with the given exponent (the paper uses 1.3): ranks
+    /// `1..=1000` sampled Zipf-ly and mapped linearly onto `[0, t]`, so
+    /// small values are overwhelmingly common — the skew the paper is
+    /// after.
+    Zipf {
+        /// Zipf exponent (> 0); the paper's setting is 1.3.
+        exponent: f64,
+    },
+}
+
+/// Number of Zipf ranks used to discretize `[0, t]`.
+const ZIPF_RANKS: u64 = 1000;
+
+impl AttrDistribution {
+    /// Sample one attribute value in `[0, t]`.
+    pub fn sample<R: Rng + ?Sized>(&self, t: f64, rng: &mut R) -> f64 {
+        match *self {
+            AttrDistribution::Uniform => rng.gen::<f64>() * t,
+            AttrDistribution::Normal => {
+                let mu = if rng.gen::<bool>() { t / 4.0 } else { 3.0 * t / 4.0 };
+                let normal = Normal::new(mu, t / 4.0).expect("sigma > 0");
+                normal.sample(rng).clamp(0.0, t)
+            }
+            AttrDistribution::Zipf { exponent } => {
+                let zipf = Zipf::new(ZIPF_RANKS, exponent).expect("valid zipf");
+                let rank = zipf.sample(rng); // 1..=ZIPF_RANKS
+                (rank - 1.0) / (ZIPF_RANKS - 1) as f64 * t
+            }
+        }
+    }
+}
+
+/// Distribution of capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CapDistribution {
+    /// Uniform integer on `[min, max]` (the paper's `c_v ~ U[1, 50]`,
+    /// `c_u ~ U[1, 4]` defaults and every x-axis of Fig. 4's capacity
+    /// panels).
+    Uniform {
+        /// Inclusive lower bound (≥ 1).
+        min: u32,
+        /// Inclusive upper bound.
+        max: u32,
+    },
+    /// Normal with the given mean and standard deviation, rounded to an
+    /// integer and clamped to ≥ 1 (the paper's `N(25, 12.5)` for events
+    /// and `N(2, 1)` for users).
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+}
+
+impl CapDistribution {
+    /// Sample one integer capacity (always ≥ 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match *self {
+            CapDistribution::Uniform { min, max } => {
+                assert!(min >= 1 && min <= max, "need 1 ≤ min ≤ max");
+                rng.gen_range(min..=max)
+            }
+            CapDistribution::Normal { mean, std_dev } => {
+                let normal = Normal::new(mean, std_dev).expect("sigma > 0");
+                (normal.sample(rng).round() as i64).max(1) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_attrs_stay_in_range_and_spread() {
+        let mut r = rng();
+        let samples: Vec<f64> =
+            (0..2000).map(|_| AttrDistribution::Uniform.sample(100.0, &mut r)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=100.0).contains(&x)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 50.0).abs() < 5.0, "uniform mean {mean}");
+    }
+
+    #[test]
+    fn normal_attrs_are_bimodal_and_clamped() {
+        let mut r = rng();
+        let t = 100.0;
+        let samples: Vec<f64> =
+            (0..4000).map(|_| AttrDistribution::Normal.sample(t, &mut r)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=t).contains(&x)));
+        // Mixture mean = t/2.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 50.0).abs() < 5.0, "mixture mean {mean}");
+    }
+
+    #[test]
+    fn zipf_attrs_skew_toward_zero() {
+        let mut r = rng();
+        let d = AttrDistribution::Zipf { exponent: 1.3 };
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(100.0, &mut r)).collect();
+        assert!(samples.iter().all(|&x| (0.0..=100.0).contains(&x)));
+        let below_10 = samples.iter().filter(|&&x| x < 10.0).count();
+        assert!(
+            below_10 > samples.len() / 2,
+            "zipf should concentrate low: {below_10}/{}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn uniform_caps_cover_their_range() {
+        let mut r = rng();
+        let d = CapDistribution::Uniform { min: 1, max: 4 };
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let c = d.sample(&mut r);
+            assert!((1..=4).contains(&c));
+            seen[c as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && seen[4]);
+    }
+
+    #[test]
+    fn normal_caps_are_integers_at_least_one() {
+        let mut r = rng();
+        let d = CapDistribution::Normal { mean: 2.0, std_dev: 1.0 };
+        let samples: Vec<u32> = (0..1000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&c| c >= 1));
+        let mean = samples.iter().sum::<u32>() as f64 / samples.len() as f64;
+        // Clamping to ≥ 1 raises the mean slightly above 2.
+        assert!((1.8..=2.7).contains(&mean), "normal cap mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ min ≤ max")]
+    fn degenerate_uniform_cap_panics() {
+        CapDistribution::Uniform { min: 5, max: 2 }.sample(&mut rng());
+    }
+}

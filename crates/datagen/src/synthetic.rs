@@ -1,0 +1,218 @@
+//! Synthetic instance generator (Table III of the paper).
+//!
+//! Defaults are the paper's bold settings: `|V| = 100`, `|U| = 1000`,
+//! `d = 20`, attributes Uniform on `[0, T]` with `T = 10⁴`,
+//! `c_v ~ U[1, 50]`, `c_u ~ U[1, 4]`, conflict ratio 0.25. Every
+//! experiment of Figs. 3–5 is a one-field variation of this
+//! configuration.
+
+use crate::distributions::{AttrDistribution, CapDistribution};
+use geacc_core::{ConflictGraph, EventId, Instance, SimilarityModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Full description of a synthetic workload. Mirrors Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// `|V|` — number of events.
+    pub num_events: usize,
+    /// `|U|` — number of users.
+    pub num_users: usize,
+    /// `d` — attribute dimensionality.
+    pub dim: usize,
+    /// `T` — attribute upper bound.
+    pub t: f64,
+    /// Distribution of every attribute value.
+    pub attr_dist: AttrDistribution,
+    /// Distribution of event capacities `c_v`.
+    pub cap_v_dist: CapDistribution,
+    /// Distribution of user capacities `c_u`.
+    pub cap_u_dist: CapDistribution,
+    /// `|CF| / (|V|(|V|−1)/2)` — fraction of event pairs that conflict.
+    pub conflict_ratio: f64,
+    /// RNG seed; same config + seed ⇒ identical instance.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    /// The paper's default (bold) settings.
+    fn default() -> Self {
+        SyntheticConfig {
+            num_events: 100,
+            num_users: 1000,
+            dim: 20,
+            t: 10_000.0,
+            attr_dist: AttrDistribution::Uniform,
+            cap_v_dist: CapDistribution::Uniform { min: 1, max: 50 },
+            cap_u_dist: CapDistribution::Uniform { min: 1, max: 4 },
+            conflict_ratio: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Generate the instance described by this configuration.
+    pub fn generate(&self) -> Instance {
+        assert!(self.num_events > 0 && self.num_users > 0, "need events and users");
+        assert!(
+            (0.0..=1.0).contains(&self.conflict_ratio),
+            "conflict ratio must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder =
+            Instance::builder(self.dim, SimilarityModel::Euclidean { t: self.t });
+        let mut attrs = vec![0.0; self.dim];
+        for _ in 0..self.num_events {
+            for a in &mut attrs {
+                *a = self.attr_dist.sample(self.t, &mut rng);
+            }
+            builder.event(&attrs, self.cap_v_dist.sample(&mut rng));
+        }
+        for _ in 0..self.num_users {
+            for a in &mut attrs {
+                *a = self.attr_dist.sample(self.t, &mut rng);
+            }
+            builder.user(&attrs, self.cap_u_dist.sample(&mut rng));
+        }
+        builder.conflicts(random_conflicts(self.num_events, self.conflict_ratio, &mut rng));
+        builder.build().expect("generated attributes lie in [0, T] by construction")
+    }
+}
+
+/// Sample `ratio · |V|(|V|−1)/2` distinct conflicting pairs uniformly.
+pub fn random_conflicts<R: Rng + ?Sized>(
+    num_events: usize,
+    ratio: f64,
+    rng: &mut R,
+) -> ConflictGraph {
+    assert!((0.0..=1.0).contains(&ratio), "conflict ratio must be in [0, 1]");
+    let total = num_events * num_events.saturating_sub(1) / 2;
+    let want = (ratio * total as f64).round() as usize;
+    if want == 0 {
+        return ConflictGraph::empty(num_events);
+    }
+    if want >= total {
+        return ConflictGraph::complete(num_events);
+    }
+    // Partial Fisher–Yates over the pair universe. |V| ≤ ~1000 in every
+    // experiment, so materializing the ≤ ~500K pairs is cheap.
+    let mut pairs: Vec<(u32, u32)> = (0..num_events as u32)
+        .flat_map(|i| ((i + 1)..num_events as u32).map(move |j| (i, j)))
+        .collect();
+    let (chosen, _) = pairs.partial_shuffle(rng, want);
+    ConflictGraph::from_pairs(
+        num_events,
+        chosen.iter().map(|&(a, b)| (EventId(a), EventId(b))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.num_events, 100);
+        assert_eq!(c.num_users, 1000);
+        assert_eq!(c.dim, 20);
+        assert_eq!(c.t, 10_000.0);
+        assert_eq!(c.attr_dist, AttrDistribution::Uniform);
+        assert_eq!(c.cap_v_dist, CapDistribution::Uniform { min: 1, max: 50 });
+        assert_eq!(c.cap_u_dist, CapDistribution::Uniform { min: 1, max: 4 });
+        assert_eq!(c.conflict_ratio, 0.25);
+    }
+
+    #[test]
+    fn generated_instance_matches_config() {
+        let config = SyntheticConfig {
+            num_events: 12,
+            num_users: 30,
+            dim: 5,
+            conflict_ratio: 0.5,
+            ..SyntheticConfig::default()
+        };
+        let inst = config.generate();
+        assert_eq!(inst.num_events(), 12);
+        assert_eq!(inst.num_users(), 30);
+        assert_eq!(inst.dim(), 5);
+        let expected_pairs = (0.5_f64 * (12.0 * 11.0 / 2.0)).round() as usize;
+        assert_eq!(inst.conflicts().num_pairs(), expected_pairs);
+        for v in inst.events() {
+            assert!((1..=50).contains(&inst.event_capacity(v)));
+        }
+        for u in inst.users() {
+            assert!((1..=4).contains(&inst.user_capacity(u)));
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_instance() {
+        let config = SyntheticConfig { num_events: 8, num_users: 20, ..Default::default() };
+        assert_eq!(config.generate(), config.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticConfig { num_events: 8, num_users: 20, seed: 1, ..Default::default() };
+        let b = SyntheticConfig { num_events: 8, num_users: 20, seed: 2, ..Default::default() };
+        assert_ne!(a.generate(), b.generate());
+    }
+
+    #[test]
+    fn conflict_ratio_extremes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(random_conflicts(10, 0.0, &mut rng).num_pairs(), 0);
+        assert_eq!(random_conflicts(10, 1.0, &mut rng).num_pairs(), 45);
+        let half = random_conflicts(10, 0.5, &mut rng);
+        assert!((half.density() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn generated_instances_usually_satisfy_paper_assumptions() {
+        // With uniform attributes most similarities are positive, so the
+        // Definition 4 assumption holds.
+        let config =
+            SyntheticConfig { num_events: 10, num_users: 40, ..SyntheticConfig::default() };
+        assert!(config.generate().validate_paper_assumptions().is_ok());
+    }
+
+    #[test]
+    fn zipf_and_normal_distributions_produce_valid_instances() {
+        for attr_dist in [
+            AttrDistribution::Zipf { exponent: 1.3 },
+            AttrDistribution::Normal,
+        ] {
+            let config = SyntheticConfig {
+                num_events: 6,
+                num_users: 15,
+                attr_dist,
+                cap_v_dist: CapDistribution::Normal { mean: 25.0, std_dev: 12.5 },
+                cap_u_dist: CapDistribution::Normal { mean: 2.0, std_dev: 1.0 },
+                ..SyntheticConfig::default()
+            };
+            let inst = config.generate();
+            assert_eq!(inst.num_events(), 6);
+            for u in inst.users() {
+                assert!(inst.user_capacity(u) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let config = SyntheticConfig::default();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: SyntheticConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict ratio")]
+    fn invalid_ratio_panics() {
+        SyntheticConfig { conflict_ratio: 1.5, ..Default::default() }.generate();
+    }
+}

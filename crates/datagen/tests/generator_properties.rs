@@ -1,0 +1,105 @@
+//! Property tests over the workload generators: any configuration in the
+//! paper's parameter space must yield a structurally valid, reproducible
+//! instance with exactly the requested shape.
+
+use geacc_datagen::{AttrDistribution, CapDistribution, SyntheticConfig};
+use proptest::prelude::*;
+
+fn attr_dist() -> impl Strategy<Value = AttrDistribution> {
+    prop_oneof![
+        Just(AttrDistribution::Uniform),
+        Just(AttrDistribution::Normal),
+        (1.05f64..2.0).prop_map(|e| AttrDistribution::Zipf { exponent: e }),
+    ]
+}
+
+fn cap_dist(max_hi: u32) -> impl Strategy<Value = CapDistribution> {
+    prop_oneof![
+        (1u32..=max_hi).prop_flat_map(move |hi| {
+            (1u32..=hi).prop_map(move |lo| CapDistribution::Uniform { min: lo, max: hi })
+        }),
+        (1.0f64..30.0, 0.5f64..15.0)
+            .prop_map(|(mean, std_dev)| CapDistribution::Normal { mean, std_dev }),
+    ]
+}
+
+fn config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..=20,
+        1usize..=60,
+        1usize..=8,
+        attr_dist(),
+        cap_dist(20),
+        cap_dist(6),
+        0.0f64..=1.0,
+        0u64..1000,
+    )
+        .prop_map(
+            |(num_events, num_users, dim, attr_dist, cap_v_dist, cap_u_dist, ratio, seed)| {
+                SyntheticConfig {
+                    num_events,
+                    num_users,
+                    dim,
+                    attr_dist,
+                    cap_v_dist,
+                    cap_u_dist,
+                    conflict_ratio: ratio,
+                    seed,
+                    ..SyntheticConfig::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_instances_have_the_requested_shape(config in config()) {
+        let inst = config.generate();
+        prop_assert_eq!(inst.num_events(), config.num_events);
+        prop_assert_eq!(inst.num_users(), config.num_users);
+        prop_assert_eq!(inst.dim(), config.dim);
+        let total = config.num_events * config.num_events.saturating_sub(1) / 2;
+        let expected = (config.conflict_ratio * total as f64).round() as usize;
+        prop_assert_eq!(inst.conflicts().num_pairs(), expected);
+    }
+
+    #[test]
+    fn attributes_stay_in_the_cube(config in config()) {
+        let inst = config.generate();
+        for v in inst.events() {
+            for &x in inst.event_attrs(v) {
+                prop_assert!((0.0..=config.t).contains(&x), "event attr {x}");
+            }
+        }
+        for u in inst.users() {
+            for &x in inst.user_attrs(u) {
+                prop_assert!((0.0..=config.t).contains(&x), "user attr {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacities_are_positive_integers(config in config()) {
+        let inst = config.generate();
+        for v in inst.events() {
+            prop_assert!(inst.event_capacity(v) >= 1);
+        }
+        for u in inst.users() {
+            prop_assert!(inst.user_capacity(u) >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(config in config()) {
+        prop_assert_eq!(config.generate(), config.generate());
+    }
+
+    #[test]
+    fn greedy_solves_any_generated_instance_feasibly(config in config()) {
+        let inst = config.generate();
+        let arr = geacc_core::algorithms::greedy(&inst);
+        prop_assert!(arr.validate(&inst).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Bellman–Ford shortest paths over the residual graph.
+//!
+//! Two roles in this crate:
+//!
+//! 1. bootstrap the Johnson potentials of [`crate::mincost::MinCostFlow`]
+//!    when the input network carries negative-cost arcs (the GEACC
+//!    reduction itself never does — its costs are `1 - sim ≥ 0` — but the
+//!    substrate is general);
+//! 2. serve as an independent, simple oracle against which the
+//!    Dijkstra-with-potentials path search is property-tested.
+
+use crate::graph::FlowNetwork;
+use crate::{FlowError, EPS};
+
+/// Result of a single-source shortest-path computation over residual arcs.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// `dist[v]` — cost of the cheapest residual path from the source to
+    /// `v`, or `f64::INFINITY` if unreachable.
+    pub dist: Vec<f64>,
+    /// `parent_arc[v]` — raw id of the residual arc through which `v` was
+    /// reached (`u32::MAX` for the source and unreachable nodes).
+    pub parent_arc: Vec<u32>,
+}
+
+impl ShortestPaths {
+    /// Whether `node` is reachable from the source.
+    #[inline]
+    pub fn reachable(&self, node: usize) -> bool {
+        self.dist[node].is_finite()
+    }
+}
+
+/// Run Bellman–Ford from `source` over all residual arcs with positive
+/// remaining capacity.
+///
+/// Returns [`FlowError::NegativeCycle`] if a negative-cost cycle is
+/// reachable from `source` — min-cost flow is undefined on such inputs.
+///
+/// Complexity `O(n · m)`; only used off the hot path.
+pub fn shortest_paths(net: &FlowNetwork, source: usize) -> Result<ShortestPaths, FlowError> {
+    let n = net.num_nodes();
+    if source >= n {
+        return Err(FlowError::InvalidNode { node: source, num_nodes: n });
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_arc = vec![u32::MAX; n];
+    dist[source] = 0.0;
+
+    // Standard relaxation with an early-exit when a full pass changes
+    // nothing. A queue-based SPFA variant would be faster on sparse graphs,
+    // but this routine is deliberately the "obviously correct" oracle.
+    let mut changed = true;
+    let mut pass = 0;
+    while changed {
+        if pass > n {
+            return Err(FlowError::NegativeCycle);
+        }
+        changed = false;
+        for u in 0..n {
+            if !dist[u].is_finite() {
+                continue;
+            }
+            for &a in net.raw_adj(u) {
+                if net.raw_cap(a) <= 0 {
+                    continue;
+                }
+                let v = net.raw_to(a);
+                let nd = dist[u] + net.raw_cost(a);
+                if nd + EPS < dist[v] {
+                    dist[v] = nd;
+                    parent_arc[v] = a;
+                    changed = true;
+                }
+            }
+        }
+        pass += 1;
+    }
+    Ok(ShortestPaths { dist, parent_arc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_network() -> FlowNetwork {
+        // 0 -(1.0)-> 1 -(2.0)-> 2, plus a direct 0 -(4.0)-> 2.
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1, 1.0);
+        net.add_arc(1, 2, 1, 2.0);
+        net.add_arc(0, 2, 1, 4.0);
+        net
+    }
+
+    #[test]
+    fn picks_cheaper_two_hop_path() {
+        let sp = shortest_paths(&line_network(), 0).unwrap();
+        assert!((sp.dist[2] - 3.0).abs() < 1e-12);
+        assert!(sp.reachable(2));
+    }
+
+    #[test]
+    fn saturated_arcs_are_skipped() {
+        let mut net = line_network();
+        // Saturate 0 -> 1, forcing the direct arc.
+        let a = crate::graph::ArcId(0);
+        assert_eq!(net.head(a), 1);
+        net.raw_push(0, 1);
+        let sp = shortest_paths(&net, 0).unwrap();
+        assert!((sp.dist[2] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_infinite_distance() {
+        let net = FlowNetwork::new(3); // no arcs at all
+        let sp = shortest_paths(&net, 0).unwrap();
+        assert!(!sp.reachable(1));
+        assert!(!sp.reachable(2));
+        assert_eq!(sp.dist[0], 0.0);
+    }
+
+    #[test]
+    fn negative_arcs_are_handled() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1, 5.0);
+        net.add_arc(1, 2, 1, -3.0);
+        let sp = shortest_paths(&net, 0).unwrap();
+        assert!((sp.dist[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_cycle_is_detected() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 1, -1.0);
+        net.add_arc(1, 0, 1, -1.0);
+        assert!(matches!(shortest_paths(&net, 0), Err(FlowError::NegativeCycle)));
+    }
+
+    #[test]
+    fn invalid_source_is_rejected() {
+        let net = FlowNetwork::new(2);
+        assert!(matches!(
+            shortest_paths(&net, 9),
+            Err(FlowError::InvalidNode { node: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn parent_arcs_trace_back_to_source() {
+        let sp = shortest_paths(&line_network(), 0).unwrap();
+        // 2 was reached via arc 1->2, whose raw id is 2 (second add_arc).
+        let net = line_network();
+        let mut node = 2;
+        let mut hops = 0;
+        while node != 0 {
+            let a = sp.parent_arc[node];
+            assert_ne!(a, u32::MAX);
+            node = net.raw_to(a ^ 1);
+            hops += 1;
+        }
+        assert_eq!(hops, 2);
+    }
+}

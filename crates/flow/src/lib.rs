@@ -1,0 +1,144 @@
+//! # geacc-flow
+//!
+//! A self-contained network-flow substrate for the `geacc` workspace.
+//!
+//! The GEACC paper's first approximation algorithm, MinCostFlow-GEACC,
+//! reduces the conflict-free relaxation of the arrangement problem to a
+//! sequence of *minimum-cost flow* computations with real-valued arc costs.
+//! The paper (citing U et al., SIGMOD'08) singles out the *Successive
+//! Shortest Path Algorithm* (SSPA) as the appropriate solver for large,
+//! many-to-many matchings with real costs — so that is the primary solver
+//! here ([`mincost::MinCostFlow`]), implemented with Johnson potentials and
+//! Dijkstra so that every augmentation runs on non-negative reduced costs.
+//!
+//! The crate also ships:
+//!
+//! - [`bellman`] — a Bellman–Ford shortest-path routine used to bootstrap
+//!   potentials when a network starts with negative-cost arcs, and as an
+//!   independent oracle in tests;
+//! - [`maxflow`] — a Dinic maximum-flow solver, used by the test-suite and
+//!   by the NP-hardness-reduction demonstration (max-flow with conflict
+//!   graph, the problem GEACC is reduced *from*);
+//! - [`cyclecancel`] — Klein's cycle-canceling min-cost flow: a second,
+//!   invariant-independent route to the optimum, property-tested against
+//!   the SSP solver;
+//! - [`graph::FlowNetwork`] — the shared residual-graph representation.
+//!
+//! All solvers operate on integral capacities and `f64` costs. Costs in the
+//! GEACC reduction are `1 - sim ∈ [0, 1]`, so no scaling tricks are needed;
+//! comparisons use [`EPS`] to absorb floating-point noise.
+//!
+//! ## Example
+//!
+//! ```
+//! use geacc_flow::graph::FlowNetwork;
+//! use geacc_flow::mincost::MinCostFlow;
+//!
+//! // s=0 -> {1,2} -> t=3, cheaper through node 1.
+//! let mut net = FlowNetwork::new(4);
+//! let s = 0;
+//! let t = 3;
+//! net.add_arc(s, 1, 1, 0.0);
+//! net.add_arc(s, 2, 1, 0.0);
+//! net.add_arc(1, t, 1, 0.25);
+//! net.add_arc(2, t, 1, 0.75);
+//! let mut mcf = MinCostFlow::new(net, s, t).unwrap();
+//! let outcome = mcf.augment_to(1).unwrap();
+//! assert_eq!(outcome.flow, 1);
+//! assert!((outcome.cost - 0.25).abs() < 1e-9);
+//! ```
+
+pub mod assignment;
+pub mod bellman;
+pub mod cyclecancel;
+pub mod graph;
+pub mod maxflow;
+pub mod mincost;
+
+/// Tolerance used for all floating-point cost comparisons in this crate.
+///
+/// GEACC costs are differences of similarity values in `[0, 1]`; path costs
+/// are sums of at most a few thousand such terms, so `1e-9` is far above
+/// accumulated rounding error yet far below any meaningful cost difference.
+pub const EPS: f64 = 1e-9;
+
+/// Errors produced by the flow solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// A node id was out of range for the network.
+    InvalidNode { node: usize, num_nodes: usize },
+    /// An arc was created with negative capacity.
+    NegativeCapacity { capacity: i64 },
+    /// Source and sink must be distinct.
+    SourceIsSink { node: usize },
+    /// The network contains a negative-cost cycle reachable from the source,
+    /// so shortest-path distances (and hence SSPA) are undefined.
+    NegativeCycle,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::InvalidNode { node, num_nodes } => {
+                write!(f, "node {node} out of range for network of {num_nodes} nodes")
+            }
+            FlowError::NegativeCapacity { capacity } => {
+                write!(f, "arc capacity must be non-negative, got {capacity}")
+            }
+            FlowError::SourceIsSink { node } => {
+                write!(f, "source and sink must differ, both are {node}")
+            }
+            FlowError::NegativeCycle => {
+                write!(f, "network contains a negative-cost cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// A `f64` wrapper with a total order, used as a priority-queue key.
+///
+/// `f64` itself is only `PartialOrd`; this wrapper uses
+/// [`f64::total_cmp`], which is a total order agreeing with `<` on the
+/// non-NaN values the solvers produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_f64_orders_like_f64() {
+        assert!(TotalF64(1.0) < TotalF64(2.0));
+        assert!(TotalF64(-1.0) < TotalF64(0.0));
+        assert_eq!(TotalF64(0.5), TotalF64(0.5));
+    }
+
+    #[test]
+    fn flow_error_display_is_informative() {
+        let e = FlowError::InvalidNode { node: 7, num_nodes: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        assert!(FlowError::NegativeCycle.to_string().contains("negative"));
+        assert!(
+            FlowError::NegativeCapacity { capacity: -2 }.to_string().contains("-2")
+        );
+        assert!(FlowError::SourceIsSink { node: 1 }.to_string().contains("differ"));
+    }
+}

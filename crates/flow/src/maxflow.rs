@@ -1,0 +1,209 @@
+//! Dinic maximum flow.
+//!
+//! Not used by the GEACC approximation algorithms themselves, but part of
+//! the substrate for two reasons: (1) the paper's NP-hardness proof reduces
+//! *from* maximum flow with a conflict graph, and the workspace demonstrates
+//! that reduction end-to-end in tests; (2) it provides the max-flow value
+//! against which the SSP solver's saturation behaviour is cross-checked.
+
+use crate::graph::FlowNetwork;
+use crate::FlowError;
+
+/// Dinic max-flow solver over a [`FlowNetwork`] (costs ignored).
+#[derive(Debug, Clone)]
+pub struct Dinic {
+    net: FlowNetwork,
+    source: usize,
+    sink: usize,
+    level: Vec<i32>,
+    /// Per-node cursor into the adjacency list (the "current-arc"
+    /// optimization that makes Dinic run in `O(V²E)`).
+    cursor: Vec<usize>,
+    queue: Vec<u32>,
+}
+
+impl Dinic {
+    /// Wrap a network for max-flow from `source` to `sink`.
+    pub fn new(net: FlowNetwork, source: usize, sink: usize) -> Result<Self, FlowError> {
+        let n = net.num_nodes();
+        if source >= n {
+            return Err(FlowError::InvalidNode { node: source, num_nodes: n });
+        }
+        if sink >= n {
+            return Err(FlowError::InvalidNode { node: sink, num_nodes: n });
+        }
+        if source == sink {
+            return Err(FlowError::SourceIsSink { node: source });
+        }
+        Ok(Dinic {
+            level: vec![-1; n],
+            cursor: vec![0; n],
+            queue: Vec::with_capacity(n),
+            net,
+            source,
+            sink,
+        })
+    }
+
+    /// The wrapped network, for reading per-arc flow after solving.
+    #[inline]
+    pub fn network(&self) -> &FlowNetwork {
+        &self.net
+    }
+
+    /// Consume the solver, returning the network with its final flow.
+    pub fn into_network(self) -> FlowNetwork {
+        self.net
+    }
+
+    /// Compute the maximum flow value.
+    pub fn max_flow(&mut self) -> i64 {
+        let mut total = 0;
+        while self.bfs() {
+            self.cursor.fill(0);
+            loop {
+                let pushed = self.dfs(self.source, i64::MAX);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// Build the level graph; returns whether the sink is reachable.
+    fn bfs(&mut self) -> bool {
+        self.level.fill(-1);
+        self.level[self.source] = 0;
+        self.queue.clear();
+        self.queue.push(self.source as u32);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            for &a in self.net.raw_adj(u) {
+                let v = self.net.raw_to(a);
+                if self.net.raw_cap(a) > 0 && self.level[v] < 0 {
+                    self.level[v] = self.level[u] + 1;
+                    self.queue.push(v as u32);
+                }
+            }
+        }
+        self.level[self.sink] >= 0
+    }
+
+    /// Blocking-flow DFS along level-increasing arcs.
+    fn dfs(&mut self, u: usize, limit: i64) -> i64 {
+        if u == self.sink || limit == 0 {
+            return limit;
+        }
+        while self.cursor[u] < self.net.raw_adj(u).len() {
+            let a = self.net.raw_adj(u)[self.cursor[u]];
+            let v = self.net.raw_to(a);
+            if self.net.raw_cap(a) > 0 && self.level[v] == self.level[u] + 1 {
+                let pushed = self.dfs(v, limit.min(self.net.raw_cap(a)));
+                if pushed > 0 {
+                    self.net.raw_push(a, pushed);
+                    return pushed;
+                }
+            }
+            self.cursor[u] += 1;
+        }
+        // Dead end: prune this node for the rest of the phase.
+        self.level[u] = -1;
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arc() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 7, 0.0);
+        let mut d = Dinic::new(net, 0, 1).unwrap();
+        assert_eq!(d.max_flow(), 7);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure: max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_arc(0, 1, 16, 0.0);
+        net.add_arc(0, 2, 13, 0.0);
+        net.add_arc(1, 2, 10, 0.0);
+        net.add_arc(2, 1, 4, 0.0);
+        net.add_arc(1, 3, 12, 0.0);
+        net.add_arc(3, 2, 9, 0.0);
+        net.add_arc(2, 4, 14, 0.0);
+        net.add_arc(4, 3, 7, 0.0);
+        net.add_arc(3, 5, 20, 0.0);
+        net.add_arc(4, 5, 4, 0.0);
+        let mut d = Dinic::new(net, 0, 5).unwrap();
+        assert_eq!(d.max_flow(), 23);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5, 0.0);
+        let mut d = Dinic::new(net, 0, 2).unwrap();
+        assert_eq!(d.max_flow(), 0);
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3, 0.0);
+        net.add_arc(0, 2, 3, 0.0);
+        net.add_arc(1, 3, 2, 0.0);
+        net.add_arc(2, 3, 2, 0.0);
+        net.add_arc(1, 2, 5, 0.0);
+        let mut d = Dinic::new(net, 0, 3).unwrap();
+        let f = d.max_flow();
+        assert_eq!(f, 4);
+        let net = d.network();
+        assert_eq!(net.net_outflow(0), 4);
+        assert_eq!(net.net_outflow(3), -4);
+        assert_eq!(net.net_outflow(1), 0);
+        assert_eq!(net.net_outflow(2), 0);
+    }
+
+    #[test]
+    fn endpoint_validation() {
+        let net = FlowNetwork::new(2);
+        assert!(Dinic::new(net.clone(), 2, 0).is_err());
+        assert!(Dinic::new(net.clone(), 0, 2).is_err());
+        assert!(Dinic::new(net, 0, 0).is_err());
+    }
+
+    #[test]
+    fn agrees_with_mincost_saturation_on_bipartite_graph() {
+        // Bipartite 3×3 with unit capacities on cross arcs — the GEACC
+        // network shape. Max flow must match what SSP saturates to.
+        let build = || {
+            let mut net = FlowNetwork::new(8);
+            for v in 1..=3 {
+                net.add_arc(0, v, 2, 0.0);
+            }
+            for v in 1..=3 {
+                for u in 4..=6 {
+                    net.add_arc(v, u, 1, 0.5);
+                }
+            }
+            for u in 4..=6 {
+                net.add_arc(u, 7, 2, 0.0);
+            }
+            net
+        };
+        let mut d = Dinic::new(build(), 0, 7).unwrap();
+        let mf = d.max_flow();
+        let mut mcf = crate::mincost::MinCostFlow::new(build(), 0, 7).unwrap();
+        let out = mcf.max_flow();
+        assert_eq!(mf, out.flow);
+        assert_eq!(mf, 6);
+    }
+}

@@ -1,0 +1,398 @@
+//! Successive Shortest Path min-cost flow with Johnson potentials.
+//!
+//! This is the solver the GEACC paper prescribes for the conflict-free
+//! relaxation (it cites SSPA as "the one suitable for large-scale data and
+//! many-to-many matching with real-valued arc costs"). Each augmentation
+//! runs Dijkstra on *reduced* costs `cost(u,v) + π(u) − π(v)`, which the
+//! potential invariant keeps non-negative, so no cost scaling is needed
+//! even though arc costs are arbitrary reals.
+//!
+//! The solver is *incremental*: [`MinCostFlow::augment_step`] pushes one
+//! more cheapest augmenting path and reports its unit cost, so a caller
+//! sweeping the flow amount `Δ = Δ_min … Δ_max` (as Algorithm 1 of the
+//! paper does) pays for a single maximum-flow computation overall instead
+//! of `Δ_max` from-scratch solves. Because successive shortest paths have
+//! non-decreasing unit cost, the per-`Δ` objective the paper scans,
+//! `MaxSum(M_∅^Δ) = Δ − cost(F^Δ)`, is concave in `Δ` and its maximum is
+//! visible during the sweep.
+
+use std::collections::BinaryHeap;
+
+use crate::bellman;
+use crate::graph::{ArcId, FlowNetwork};
+use crate::{FlowError, TotalF64, EPS};
+
+/// Aggregate state after augmenting (see [`MinCostFlow::augment_to`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowOutcome {
+    /// Total flow currently routed from source to sink.
+    pub flow: i64,
+    /// Total cost of that flow.
+    pub cost: f64,
+    /// Whether the requested target amount was reached (`false` means the
+    /// network saturated first).
+    pub reached_target: bool,
+}
+
+/// One incremental augmentation (see [`MinCostFlow::augment_step`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentStep {
+    /// Units pushed along this cheapest path (its bottleneck, clamped to
+    /// the caller-supplied limit).
+    pub amount: i64,
+    /// True (un-reduced) cost of the path, per unit of flow.
+    pub unit_cost: f64,
+}
+
+/// Incremental Successive-Shortest-Path min-cost-flow solver.
+///
+/// Owns the [`FlowNetwork`]; inspect arc flows through
+/// [`MinCostFlow::network`] and dismantle with
+/// [`MinCostFlow::into_network`].
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    net: FlowNetwork,
+    source: usize,
+    sink: usize,
+    /// Johnson potentials; invariant: every residual arc with positive
+    /// capacity has non-negative reduced cost.
+    potential: Vec<f64>,
+    flow: i64,
+    cost: f64,
+    exhausted: bool,
+    // Scratch buffers reused across Dijkstra runs.
+    dist: Vec<f64>,
+    parent_arc: Vec<u32>,
+    settled: Vec<bool>,
+}
+
+impl MinCostFlow {
+    /// Wrap a network for min-cost flow from `source` to `sink`.
+    ///
+    /// If the network contains negative-cost arcs, a single Bellman–Ford
+    /// pass initializes the potentials (and detects negative cycles);
+    /// otherwise potentials start at zero. The GEACC reduction's costs are
+    /// `1 − sim ∈ [0, 1]`, so it always takes the zero-initialization path.
+    pub fn new(net: FlowNetwork, source: usize, sink: usize) -> Result<Self, FlowError> {
+        let n = net.num_nodes();
+        if source >= n {
+            return Err(FlowError::InvalidNode { node: source, num_nodes: n });
+        }
+        if sink >= n {
+            return Err(FlowError::InvalidNode { node: sink, num_nodes: n });
+        }
+        if source == sink {
+            return Err(FlowError::SourceIsSink { node: source });
+        }
+        let has_negative =
+            (0..net.num_arcs()).any(|i| net.arc_cost(ArcId((i as u32) << 1)) < -EPS);
+        let potential = if has_negative {
+            let sp = bellman::shortest_paths(&net, source)?;
+            // Unreachable nodes keep potential 0; they can never lie on an
+            // augmenting path (no positive-capacity arc reaches them, and
+            // augmentations only create residual capacity along paths of
+            // reachable nodes).
+            sp.dist.iter().map(|&d| if d.is_finite() { d } else { 0.0 }).collect()
+        } else {
+            vec![0.0; n]
+        };
+        Ok(MinCostFlow {
+            dist: vec![f64::INFINITY; n],
+            parent_arc: vec![u32::MAX; n],
+            settled: vec![false; n],
+            net,
+            source,
+            sink,
+            potential,
+            flow: 0,
+            cost: 0.0,
+            exhausted: false,
+        })
+    }
+
+    /// The wrapped network, for reading per-arc flow.
+    #[inline]
+    pub fn network(&self) -> &FlowNetwork {
+        &self.net
+    }
+
+    /// Consume the solver, returning the network with its final flow.
+    pub fn into_network(self) -> FlowNetwork {
+        self.net
+    }
+
+    /// Flow routed so far.
+    #[inline]
+    pub fn flow(&self) -> i64 {
+        self.flow
+    }
+
+    /// Cost of the flow routed so far.
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Push at most `limit` more units along the *single* cheapest
+    /// augmenting path. Returns `None` when the sink is unreachable (the
+    /// flow is maximum) or `limit == 0`.
+    ///
+    /// Successive calls return paths of non-decreasing `unit_cost` — the
+    /// classic SSP invariant — which callers (and our property tests)
+    /// rely on.
+    pub fn augment_step(&mut self, limit: i64) -> Option<AugmentStep> {
+        if limit <= 0 || self.exhausted {
+            return None;
+        }
+        if !self.dijkstra() {
+            self.exhausted = true;
+            return None;
+        }
+        // Walk parents to find the bottleneck and true path cost.
+        let mut bottleneck = limit;
+        let mut unit_cost = 0.0;
+        let mut node = self.sink;
+        while node != self.source {
+            let a = self.parent_arc[node];
+            bottleneck = bottleneck.min(self.net.raw_cap(a));
+            unit_cost += self.net.raw_cost(a);
+            node = self.net.raw_to(a ^ 1);
+        }
+        debug_assert!(bottleneck > 0);
+        // Apply the push.
+        let mut node = self.sink;
+        while node != self.source {
+            let a = self.parent_arc[node];
+            self.net.raw_push(a, bottleneck);
+            node = self.net.raw_to(a ^ 1);
+        }
+        // Fold distances into the potentials to keep reduced costs
+        // non-negative for the next round. Dijkstra terminates as soon as
+        // the sink settles, so distances of unsettled (and unreachable)
+        // nodes are only upper bounds; capping every distance at
+        // `dist[sink]` preserves the invariant — settled nodes get their
+        // exact distance, everything else has true distance ≥ dist[sink].
+        let dist_sink = self.dist[self.sink];
+        debug_assert!(dist_sink.is_finite());
+        for v in 0..self.net.num_nodes() {
+            self.potential[v] += self.dist[v].min(dist_sink);
+        }
+        self.flow += bottleneck;
+        self.cost += unit_cost * bottleneck as f64;
+        Some(AugmentStep { amount: bottleneck, unit_cost })
+    }
+
+    /// Augment until total flow reaches `target` or the network saturates.
+    pub fn augment_to(&mut self, target: i64) -> Result<FlowOutcome, FlowError> {
+        while self.flow < target {
+            if self.augment_step(target - self.flow).is_none() {
+                return Ok(FlowOutcome {
+                    flow: self.flow,
+                    cost: self.cost,
+                    reached_target: false,
+                });
+            }
+        }
+        Ok(FlowOutcome { flow: self.flow, cost: self.cost, reached_target: self.flow >= target })
+    }
+
+    /// Route the maximum flow at minimum cost; returns the final state.
+    pub fn max_flow(&mut self) -> FlowOutcome {
+        while self.augment_step(i64::MAX).is_some() {}
+        FlowOutcome { flow: self.flow, cost: self.cost, reached_target: true }
+    }
+
+    /// Dijkstra over reduced costs; fills `dist`/`parent_arc`. Returns
+    /// whether the sink was reached.
+    fn dijkstra(&mut self) -> bool {
+        let n = self.net.num_nodes();
+        self.dist[..n].fill(f64::INFINITY);
+        self.settled[..n].fill(false);
+        self.dist[self.source] = 0.0;
+        let mut heap: BinaryHeap<std::cmp::Reverse<(TotalF64, u32)>> = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((TotalF64(0.0), self.source as u32)));
+        while let Some(std::cmp::Reverse((TotalF64(d), u))) = heap.pop() {
+            let u = u as usize;
+            if self.settled[u] {
+                continue;
+            }
+            self.settled[u] = true;
+            if u == self.sink {
+                // Lazy termination: remaining heap entries can't improve
+                // the sink once it settles.
+                return true;
+            }
+            for &a in self.net.raw_adj(u) {
+                if self.net.raw_cap(a) <= 0 {
+                    continue;
+                }
+                let v = self.net.raw_to(a);
+                if self.settled[v] {
+                    continue;
+                }
+                let reduced = self.net.raw_cost(a) + self.potential[u] - self.potential[v];
+                // The invariant guarantees reduced ≥ 0 up to rounding;
+                // clamp tiny negatives so Dijkstra stays sound.
+                let reduced = reduced.max(0.0);
+                let nd = d + reduced;
+                if nd + EPS < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.parent_arc[v] = a;
+                    heap.push(std::cmp::Reverse((TotalF64(nd), v as u32)));
+                }
+            }
+        }
+        self.dist[self.sink].is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic 4-node diamond: two unit paths, costs 1 and 2.
+    fn diamond() -> FlowNetwork {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1, 1.0);
+        net.add_arc(0, 2, 1, 2.0);
+        net.add_arc(1, 3, 1, 0.0);
+        net.add_arc(2, 3, 1, 0.0);
+        net
+    }
+
+    #[test]
+    fn routes_cheapest_path_first() {
+        let mut mcf = MinCostFlow::new(diamond(), 0, 3).unwrap();
+        let s1 = mcf.augment_step(i64::MAX).unwrap();
+        assert_eq!(s1.amount, 1);
+        assert!((s1.unit_cost - 1.0).abs() < 1e-12);
+        let s2 = mcf.augment_step(i64::MAX).unwrap();
+        assert!((s2.unit_cost - 2.0).abs() < 1e-12);
+        assert!(mcf.augment_step(i64::MAX).is_none());
+        assert_eq!(mcf.flow(), 2);
+        assert!((mcf.cost() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn augment_to_stops_at_target() {
+        let mut mcf = MinCostFlow::new(diamond(), 0, 3).unwrap();
+        let out = mcf.augment_to(1).unwrap();
+        assert_eq!(out.flow, 1);
+        assert!(out.reached_target);
+        assert!((out.cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn augment_to_reports_saturation() {
+        let mut mcf = MinCostFlow::new(diamond(), 0, 3).unwrap();
+        let out = mcf.augment_to(10).unwrap();
+        assert_eq!(out.flow, 2);
+        assert!(!out.reached_target);
+    }
+
+    #[test]
+    fn rerouting_through_residual_arcs_is_optimal() {
+        // Without residual (backward) arcs a greedy path choice is
+        // sub-optimal here: the cheap first path blocks both remaining
+        // ones unless flow can be pushed back.
+        //
+        //   0 → 1 (cap 1, 0.0)   0 → 2 (cap 1, 10.0)
+        //   1 → 2 (cap 1, 0.0)   1 → 3 (cap 1, 10.0)
+        //   2 → 3 (cap 1, 0.0)
+        //
+        // Max flow 2 must use 0→1→3 and 0→2→3 (total 20.0) even though
+        // the first shortest path is 0→1→2→3 (0.0).
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1, 0.0);
+        net.add_arc(0, 2, 1, 10.0);
+        net.add_arc(1, 2, 1, 0.0);
+        net.add_arc(1, 3, 1, 10.0);
+        net.add_arc(2, 3, 1, 0.0);
+        let mut mcf = MinCostFlow::new(net, 0, 3).unwrap();
+        let out = mcf.max_flow();
+        assert_eq!(out.flow, 2);
+        assert!((out.cost - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_costs_are_non_decreasing() {
+        // Wider diamond with many parallel cost tiers.
+        let mut net = FlowNetwork::new(2);
+        for i in 0..8 {
+            net.add_arc(0, 1, 2, i as f64 * 0.1);
+        }
+        let mut mcf = MinCostFlow::new(net, 0, 1).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        while let Some(step) = mcf.augment_step(1) {
+            assert!(step.unit_cost + 1e-9 >= last);
+            last = step.unit_cost;
+        }
+        assert_eq!(mcf.flow(), 16);
+    }
+
+    #[test]
+    fn negative_costs_are_supported_via_bellman_bootstrap() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1, -2.0);
+        net.add_arc(1, 2, 1, 1.0);
+        net.add_arc(0, 2, 1, 0.5);
+        let mut mcf = MinCostFlow::new(net, 0, 2).unwrap();
+        let out = mcf.max_flow();
+        assert_eq!(out.flow, 2);
+        assert!((out.cost - (-1.0 + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected_at_construction() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1, -1.0);
+        net.add_arc(1, 0, 1, -1.0);
+        net.add_arc(1, 2, 1, 0.0);
+        assert!(matches!(MinCostFlow::new(net, 0, 2), Err(FlowError::NegativeCycle)));
+    }
+
+    #[test]
+    fn validates_endpoints() {
+        let net = FlowNetwork::new(2);
+        assert!(matches!(
+            MinCostFlow::new(net.clone(), 5, 1),
+            Err(FlowError::InvalidNode { node: 5, .. })
+        ));
+        assert!(matches!(
+            MinCostFlow::new(net.clone(), 0, 5),
+            Err(FlowError::InvalidNode { node: 5, .. })
+        ));
+        assert!(matches!(
+            MinCostFlow::new(net, 1, 1),
+            Err(FlowError::SourceIsSink { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn flow_conservation_holds_after_max_flow() {
+        let mut net = FlowNetwork::new(6);
+        net.add_arc(0, 1, 3, 0.2);
+        net.add_arc(0, 2, 2, 0.9);
+        net.add_arc(1, 3, 2, 0.1);
+        net.add_arc(1, 4, 2, 0.4);
+        net.add_arc(2, 3, 2, 0.3);
+        net.add_arc(3, 5, 3, 0.0);
+        net.add_arc(4, 5, 2, 0.0);
+        let mut mcf = MinCostFlow::new(net, 0, 5).unwrap();
+        let out = mcf.max_flow();
+        let net = mcf.network();
+        assert_eq!(net.net_outflow(0), out.flow);
+        assert_eq!(net.net_outflow(5), -out.flow);
+        for v in 1..5 {
+            assert_eq!(net.net_outflow(v), 0, "conservation at node {v}");
+        }
+        assert!((net.total_cost() - out.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_limit_step_is_a_noop() {
+        let mut mcf = MinCostFlow::new(diamond(), 0, 3).unwrap();
+        assert!(mcf.augment_step(0).is_none());
+        assert_eq!(mcf.flow(), 0);
+    }
+}

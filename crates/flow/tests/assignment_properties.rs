@@ -1,0 +1,117 @@
+//! Property tests for the bipartite matcher layer: optimal cost vs
+//! brute force, layout-contract integrity, incremental-sweep coherence.
+
+use geacc_flow::assignment::BipartiteMatcher;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    left_caps: Vec<u32>,
+    right_caps: Vec<u32>,
+    costs: Vec<Vec<f64>>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (1usize..=3, 1usize..=3).prop_flat_map(|(nl, nr)| {
+        let cost = (0u32..=100).prop_map(|c| c as f64 / 100.0);
+        (
+            proptest::collection::vec(1u32..=2, nl),
+            proptest::collection::vec(1u32..=2, nr),
+            proptest::collection::vec(proptest::collection::vec(cost, nr), nl),
+        )
+            .prop_map(|(left_caps, right_caps, costs)| Spec { left_caps, right_caps, costs })
+    })
+}
+
+/// Brute-force minimum cost of matching exactly `target` unit edges.
+fn brute(spec: &Spec, target: usize) -> Option<f64> {
+    let nl = spec.left_caps.len();
+    let nr = spec.right_caps.len();
+    let edges: Vec<(usize, usize)> =
+        (0..nl).flat_map(|i| (0..nr).map(move |j| (i, j))).collect();
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << edges.len()) {
+        if mask.count_ones() as usize != target {
+            continue;
+        }
+        let mut used_l = vec![0u32; nl];
+        let mut used_r = vec![0u32; nr];
+        let mut cost = 0.0;
+        let mut ok = true;
+        for (b, &(i, j)) in edges.iter().enumerate() {
+            if mask >> b & 1 == 1 {
+                used_l[i] += 1;
+                used_r[j] += 1;
+                if used_l[i] > spec.left_caps[i] || used_r[j] > spec.right_caps[j] {
+                    ok = false;
+                    break;
+                }
+                cost += spec.costs[i][j];
+            }
+        }
+        if ok && best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matcher_cost_is_optimal_at_every_amount(s in spec()) {
+        for target in 1..=4usize {
+            let mut m = BipartiteMatcher::new(
+                &s.left_caps,
+                &s.right_caps,
+                |i, j| s.costs[i][j],
+            ).unwrap();
+            let pairs = m.match_amount(target as i64).unwrap();
+            match brute(&s, target) {
+                Some(opt) if m.flow() == target as i64 => {
+                    prop_assert!((m.cost() - opt).abs() < 1e-9,
+                        "target {target}: matcher {} brute {opt}", m.cost());
+                    prop_assert_eq!(pairs.len(), target);
+                }
+                Some(_) => prop_assert!(false, "saturated below feasible target"),
+                None => prop_assert!(m.flow() < target as i64,
+                    "matched an infeasible amount"),
+            }
+        }
+    }
+
+    #[test]
+    fn matched_pairs_respect_capacities(s in spec()) {
+        let mut m = BipartiteMatcher::new(
+            &s.left_caps,
+            &s.right_caps,
+            |i, j| s.costs[i][j],
+        ).unwrap();
+        let pairs = m.match_amount(i64::MAX >> 1).unwrap();
+        let mut used_l = vec![0u32; s.left_caps.len()];
+        let mut used_r = vec![0u32; s.right_caps.len()];
+        for (i, j) in pairs {
+            used_l[i] += 1;
+            used_r[j] += 1;
+        }
+        for (i, &c) in s.left_caps.iter().enumerate() {
+            prop_assert!(used_l[i] <= c);
+        }
+        for (j, &c) in s.right_caps.iter().enumerate() {
+            prop_assert!(used_r[j] <= c);
+        }
+    }
+
+    #[test]
+    fn pair_cost_sum_equals_reported_cost(s in spec()) {
+        let mut m = BipartiteMatcher::new(
+            &s.left_caps,
+            &s.right_caps,
+            |i, j| s.costs[i][j],
+        ).unwrap();
+        m.match_amount(3).unwrap();
+        let total: f64 = m.matched_pairs().iter().map(|&(i, j)| s.costs[i][j]).sum();
+        prop_assert!((total - m.cost()).abs() < 1e-9);
+    }
+}

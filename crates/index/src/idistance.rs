@@ -1,0 +1,332 @@
+//! iDistance: the reference-point NN index cited by the GEACC paper.
+//!
+//! Following Jagadish et al. (TODS'05): pick a small set of reference
+//! points, assign every data point to its closest reference, and key each
+//! point by its distance to that reference. A query with distance `D_j` to
+//! reference `j` knows — by the triangle inequality — that a point keyed
+//! `k` in partition `j` is at least `|D_j − k|` away. Searching expands
+//! outward from key `D_j` in every partition, interleaving partitions by
+//! their current lower bound.
+//!
+//! The original paper stores keys in a B⁺-tree to unify all partitions in
+//! one disk-friendly structure; in memory, a sorted array per partition
+//! with two cursors (one per direction) is the same access pattern without
+//! the pointer overhead.
+//!
+//! The incremental stream is *exact* and emits the same `(distance, id)`
+//! order as the linear scan: candidate positions enter a frontier with
+//! their lower bound, are materialized into exact distances when popped,
+//! and an exact entry only surfaces once no un-materialized candidate
+//! could beat it.
+
+use crate::{Neighbor, NnIndex, NnStream, PointSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// iDistance index over a borrowed [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct IDistance<'p> {
+    points: &'p PointSet,
+    /// Reference point coordinates, row-major (`refs.len() == r * dim`).
+    refs: Vec<f64>,
+    num_refs: usize,
+    /// Per-partition `(key, id)` pairs sorted by `(key, id)`.
+    partitions: Vec<Vec<(f64, u32)>>,
+}
+
+impl<'p> IDistance<'p> {
+    /// Build with an automatically chosen number of reference points
+    /// (`min(64, ⌈√n⌉)`, the usual rule of thumb).
+    pub fn build(points: &'p PointSet) -> Self {
+        let n = points.len();
+        let r = ((n as f64).sqrt().ceil() as usize).clamp(1, 64);
+        Self::build_with_refs(points, r)
+    }
+
+    /// Build with `num_refs` reference points chosen by farthest-first
+    /// traversal (deterministic: starts from point 0).
+    pub fn build_with_refs(points: &'p PointSet, num_refs: usize) -> Self {
+        let n = points.len();
+        let dim = points.dim();
+        let r = num_refs.max(1).min(n.max(1));
+        if n == 0 {
+            return IDistance { points, refs: Vec::new(), num_refs: 0, partitions: Vec::new() };
+        }
+        // Farthest-first traversal: a cheap, deterministic approximation
+        // of the k-means centres the iDistance paper recommends.
+        let mut ref_ids = Vec::with_capacity(r);
+        let mut min_d2 = vec![f64::INFINITY; n];
+        ref_ids.push(0usize);
+        for (i, d2) in min_d2.iter_mut().enumerate() {
+            *d2 = points.dist2_to(i, points.point(0));
+        }
+        while ref_ids.len() < r {
+            let (far, _) = min_d2
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                .expect("non-empty");
+            if min_d2[far] == 0.0 {
+                break; // all remaining points coincide with a reference
+            }
+            ref_ids.push(far);
+            for (i, best) in min_d2.iter_mut().enumerate() {
+                let d2 = points.dist2_to(i, points.point(far));
+                if d2 < *best {
+                    *best = d2;
+                }
+            }
+        }
+        let num_refs = ref_ids.len();
+        let mut refs = Vec::with_capacity(num_refs * dim);
+        for &rid in &ref_ids {
+            refs.extend_from_slice(points.point(rid));
+        }
+        // Assign each point to its closest reference (ties → lower ref id).
+        let mut partitions = vec![Vec::new(); num_refs];
+        for i in 0..n {
+            let mut best = 0;
+            let mut best_d2 = f64::INFINITY;
+            for j in 0..num_refs {
+                let d2 = crate::squared_distance(points.point(i), &refs[j * dim..(j + 1) * dim]);
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best = j;
+                }
+            }
+            partitions[best].push((best_d2.sqrt(), i as u32));
+        }
+        for p in &mut partitions {
+            p.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        IDistance { points, refs, num_refs, partitions }
+    }
+
+    /// Number of reference points in use.
+    pub fn num_refs(&self) -> usize {
+        self.num_refs
+    }
+
+    fn ref_point(&self, j: usize) -> &[f64] {
+        let dim = self.points.dim();
+        &self.refs[j * dim..(j + 1) * dim]
+    }
+}
+
+impl NnIndex for IDistance<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn nn_stream<'a>(&'a self, query: &[f64]) -> Box<dyn NnStream + 'a> {
+        assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        let mut frontier = BinaryHeap::new();
+        let mut query_key = Vec::with_capacity(self.num_refs);
+        for j in 0..self.num_refs {
+            let dq = crate::distance(query, self.ref_point(j));
+            query_key.push(dq);
+            let part = &self.partitions[j];
+            if part.is_empty() {
+                continue;
+            }
+            // Start both direction cursors at the partition point of the
+            // query's key.
+            let split = part.partition_point(|&(k, _)| k < dq);
+            if split < part.len() {
+                let lb = (part[split].0 - dq).abs();
+                frontier.push(Reverse(Entry::cursor(lb, j as u32, split as u32, Dir::Right)));
+            }
+            if split > 0 {
+                let lb = (dq - part[split - 1].0).abs();
+                frontier
+                    .push(Reverse(Entry::cursor(lb, j as u32, (split - 1) as u32, Dir::Left)));
+            }
+        }
+        Box::new(IdStream { index: self, query: query.to_vec(), query_key, frontier })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Left,
+    Right,
+}
+
+/// Frontier entry: an evaluated point (exact distance) or a partition
+/// cursor (lower bound). Cursors sort before points at equal key so no
+/// exact result is emitted while a cheaper candidate might exist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    d: f64,
+    is_point: bool,
+    id: u32,
+    pos: u32,
+    dir: Dir,
+}
+
+impl Entry {
+    fn cursor(lb: f64, partition: u32, pos: u32, dir: Dir) -> Self {
+        Entry { d: lb, is_point: false, id: partition, pos, dir }
+    }
+    fn point(d: f64, id: u32) -> Self {
+        Entry { d, is_point: true, id, pos: 0, dir: Dir::Right }
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d
+            .total_cmp(&other.d)
+            .then(self.is_point.cmp(&other.is_point))
+            .then(self.id.cmp(&other.id))
+            .then(self.pos.cmp(&other.pos))
+    }
+}
+
+struct IdStream<'a> {
+    index: &'a IDistance<'a>,
+    query: Vec<f64>,
+    /// Distance from the query to each reference point.
+    query_key: Vec<f64>,
+    frontier: BinaryHeap<Reverse<Entry>>,
+}
+
+impl NnStream for IdStream<'_> {
+    fn next_neighbor(&mut self) -> Option<Neighbor> {
+        while let Some(Reverse(entry)) = self.frontier.pop() {
+            if entry.is_point {
+                return Some(Neighbor { id: entry.id, dist: entry.d });
+            }
+            let j = entry.id as usize;
+            let part = &self.index.partitions[j];
+            let (key, pid) = part[entry.pos as usize];
+            // Materialize the candidate's exact distance.
+            let d = crate::distance(self.index.points.point(pid as usize), &self.query);
+            self.frontier.push(Reverse(Entry::point(d, pid)));
+            // Advance the cursor in its direction.
+            match entry.dir {
+                Dir::Right => {
+                    let next = entry.pos as usize + 1;
+                    if next < part.len() {
+                        let lb = (part[next].0 - self.query_key[j]).abs();
+                        self.frontier
+                            .push(Reverse(Entry::cursor(lb, j as u32, next as u32, Dir::Right)));
+                    }
+                }
+                Dir::Left => {
+                    if entry.pos > 0 {
+                        let next = entry.pos - 1;
+                        let lb = (self.query_key[j] - part[next as usize].0).abs();
+                        self.frontier.push(Reverse(Entry::cursor(lb, j as u32, next, Dir::Left)));
+                    }
+                }
+            }
+            let _ = key;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+
+    fn cloud() -> PointSet {
+        // Three well-separated clusters in 2-D.
+        let mut pts = PointSet::new(2);
+        for i in 0..10 {
+            pts.push(&[i as f64 * 0.1, i as f64 * 0.13]);
+        }
+        for i in 0..10 {
+            pts.push(&[50.0 + i as f64 * 0.2, 50.0 - i as f64 * 0.1]);
+        }
+        for i in 0..10 {
+            pts.push(&[-30.0 - i as f64 * 0.05, 10.0 + i as f64 * 0.3]);
+        }
+        pts
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        let pts = cloud();
+        let idx = IDistance::build_with_refs(&pts, 3);
+        let lin = LinearScan::build(&pts);
+        for q in [[0.0, 0.0], [50.0, 50.0], [-30.0, 10.0], [10.0, 20.0]] {
+            let a = idx.knn(&q, 30);
+            let b = lin.knn(&q, 30);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "query {q:?}");
+                assert!((x.dist - y.dist).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_ref_count_is_reasonable() {
+        let pts = cloud();
+        let idx = IDistance::build(&pts);
+        assert!(idx.num_refs() >= 1 && idx.num_refs() <= 30);
+        assert_eq!(idx.len(), 30);
+        assert_eq!(idx.dim(), 2);
+    }
+
+    #[test]
+    fn stream_is_monotone() {
+        let pts = cloud();
+        let idx = IDistance::build_with_refs(&pts, 4);
+        let mut s = idx.nn_stream(&[1.0, 1.0]);
+        let mut last = -1.0;
+        let mut count = 0;
+        while let Some(n) = s.next_neighbor() {
+            assert!(n.dist + 1e-12 >= last);
+            last = n.dist;
+            count += 1;
+        }
+        assert_eq!(count, 30);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = PointSet::new(2);
+        let idx = IDistance::build(&empty);
+        assert!(idx.knn(&[0.0, 0.0], 3).is_empty());
+
+        let single = PointSet::from_rows(2, vec![&[1.0, 2.0][..]]);
+        let idx = IDistance::build(&single);
+        let nn = idx.knn(&[1.0, 2.0], 3);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[0].dist, 0.0);
+    }
+
+    #[test]
+    fn all_identical_points() {
+        let rows: Vec<&[f64]> = vec![&[5.0, 5.0]; 6];
+        let pts = PointSet::from_rows(2, rows);
+        let idx = IDistance::build_with_refs(&pts, 3);
+        let nn = idx.knn(&[5.0, 5.0], 6);
+        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn more_refs_than_points_is_clamped() {
+        let pts = PointSet::from_rows(2, vec![&[0.0, 0.0][..], &[1.0, 1.0][..]]);
+        let idx = IDistance::build_with_refs(&pts, 100);
+        assert!(idx.num_refs() <= 2);
+        assert_eq!(idx.knn(&[0.0, 0.0], 2).len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Heap-backed linear scan: the default index of the core algorithms.
+//!
+//! A query computes every squared distance once (`O(n·d)`, one pass over a
+//! contiguous buffer) and heapifies the results (`O(n)`); each subsequent
+//! neighbour costs one `O(log n)` pop. Greedy-GEACC typically consumes only
+//! a capacity-bounded prefix of each stream, so the pops are cheap and the
+//! setup scan — sequential and branch-free — is the whole cost. At d = 20
+//! no space-partitioning scheme prunes enough to beat it (the classic
+//! curse-of-dimensionality regime; see the `index_ablation` bench).
+
+use crate::{Neighbor, NnIndex, NnStream, PointSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Linear-scan index; holds a reference to the indexed points.
+#[derive(Debug, Clone)]
+pub struct LinearScan<'p> {
+    points: &'p PointSet,
+}
+
+impl<'p> LinearScan<'p> {
+    /// "Build" the index (a no-op borrow; linear scan has no structure).
+    pub fn build(points: &'p PointSet) -> Self {
+        LinearScan { points }
+    }
+}
+
+impl NnIndex for LinearScan<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        // Specialized k-NN: keep a size-k max-heap of candidates instead
+        // of heapifying all n — O(n log k) and no n-sized allocation.
+        assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        let k = k.min(self.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (i, p) in self.points.iter().enumerate() {
+            let d2 = crate::squared_distance(p, query);
+            let entry = HeapEntry { d2, id: i as u32 };
+            if heap.len() < k {
+                heap.push(entry);
+            } else if entry < *heap.peek().expect("non-empty") {
+                heap.pop();
+                heap.push(entry);
+            }
+        }
+        let mut out: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|e| Neighbor { id: e.id, dist: e.d2.sqrt() })
+            .collect();
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    fn nn_stream<'a>(&'a self, query: &[f64]) -> Box<dyn NnStream + 'a> {
+        assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        let entries: Vec<Reverse<HeapEntry>> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Reverse(HeapEntry { d2: crate::squared_distance(p, query), id: i as u32 })
+            })
+            .collect();
+        Box::new(LinearStream { heap: BinaryHeap::from(entries) })
+    }
+}
+
+/// Max-heap entry ordered by `(d2, id)`; wrapped in `Reverse` for min-heap
+/// streaming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    d2: f64,
+    id: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d2.total_cmp(&other.d2).then(self.id.cmp(&other.id))
+    }
+}
+
+struct LinearStream {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl NnStream for LinearStream {
+    fn next_neighbor(&mut self) -> Option<Neighbor> {
+        self.heap.pop().map(|Reverse(e)| Neighbor { id: e.id, dist: e.d2.sqrt() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointSet {
+        let rows: Vec<&[f64]> =
+            vec![&[0.0, 0.0], &[1.0, 0.0], &[0.0, 2.0], &[5.0, 5.0], &[1.0, 0.0]];
+        PointSet::from_rows(2, rows)
+    }
+
+    #[test]
+    fn knn_orders_by_distance_then_id() {
+        let pts = sample();
+        let idx = LinearScan::build(&pts);
+        let nn = idx.knn(&[0.0, 0.0], 5);
+        let ids: Vec<u32> = nn.iter().map(|n| n.id).collect();
+        // Points 1 and 4 are identical; id breaks the tie.
+        assert_eq!(ids, vec![0, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn knn_truncates_k_to_len() {
+        let pts = sample();
+        let idx = LinearScan::build(&pts);
+        assert_eq!(idx.knn(&[0.0, 0.0], 99).len(), 5);
+        assert!(idx.knn(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn stream_matches_knn() {
+        let pts = sample();
+        let idx = LinearScan::build(&pts);
+        let knn = idx.knn(&[0.5, 0.5], 5);
+        let mut stream = idx.nn_stream(&[0.5, 0.5]);
+        for expected in knn {
+            let got = stream.next_neighbor().unwrap();
+            assert_eq!(got.id, expected.id);
+            assert!((got.dist - expected.dist).abs() < 1e-12);
+        }
+        assert!(stream.next_neighbor().is_none());
+    }
+
+    #[test]
+    fn empty_set_yields_nothing() {
+        let pts = PointSet::new(2);
+        let idx = LinearScan::build(&pts);
+        assert!(idx.knn(&[0.0, 0.0], 3).is_empty());
+        assert!(idx.nn_stream(&[0.0, 0.0]).next_neighbor().is_none());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality mismatch")]
+    fn wrong_query_dim_panics() {
+        let pts = sample();
+        let idx = LinearScan::build(&pts);
+        idx.knn(&[0.0], 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! VA-File: the vector-approximation index of Weber, Schek & Blott
+//! (VLDB'98), the second index the GEACC paper cites for its
+//! nearest-neighbour step.
+//!
+//! Each dimension is quantized into `2^bits` uniform cells between the
+//! data's min and max; a point's *approximation* is its vector of cell
+//! indices (one byte per dimension here). A query scans the compact
+//! approximations computing, per point, a lower bound on the true
+//! distance (the distance from the query to the point's cell box), and
+//! only computes exact distances for candidates whose bound survives.
+//! The original system wins by replacing disk reads of full vectors with
+//! a sequential scan of small approximations; in memory the same
+//! structure trades full-vector cache traffic for byte-array traffic.
+//!
+//! The incremental stream is exact and agrees with
+//! [`crate::linear::LinearScan`]'s `(distance, id)` order: candidates
+//! enter a frontier keyed by lower bound and are materialized to exact
+//! distances when popped — an exact entry only surfaces once no
+//! un-materialized bound could beat it.
+
+use crate::{Neighbor, NnIndex, NnStream, PointSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Default quantization: 16 cells per dimension.
+const DEFAULT_BITS: u32 = 4;
+
+/// VA-File index over a borrowed [`PointSet`].
+#[derive(Debug, Clone)]
+pub struct VaFile<'p> {
+    points: &'p PointSet,
+    /// Cells per dimension (`2^bits`).
+    cells: usize,
+    /// Per-dimension grid minimum.
+    lo: Vec<f64>,
+    /// Per-dimension cell width (0 for constant dimensions).
+    width: Vec<f64>,
+    /// Approximations, row-major `n × d`, one byte per dimension.
+    approx: Vec<u8>,
+}
+
+impl<'p> VaFile<'p> {
+    /// Build with the default 4 bits (16 cells) per dimension.
+    pub fn build(points: &'p PointSet) -> Self {
+        Self::build_with_bits(points, DEFAULT_BITS)
+    }
+
+    /// Build with `bits` bits per dimension (1–8).
+    pub fn build_with_bits(points: &'p PointSet, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "bits per dimension must be in 1..=8");
+        let dim = points.dim();
+        let n = points.len();
+        let cells = 1usize << bits;
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for p in points.iter() {
+            for (d, &x) in p.iter().enumerate() {
+                lo[d] = lo[d].min(x);
+                hi[d] = hi[d].max(x);
+            }
+        }
+        let width: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { (h - l) / cells as f64 } else { 0.0 })
+            .collect();
+        let mut approx = Vec::with_capacity(n * dim);
+        for p in points.iter() {
+            for (d, &x) in p.iter().enumerate() {
+                let cell = if width[d] == 0.0 {
+                    0
+                } else {
+                    (((x - lo[d]) / width[d]) as usize).min(cells - 1)
+                };
+                approx.push(cell as u8);
+            }
+        }
+        VaFile { points, cells, lo, width, approx }
+    }
+
+    /// Cells per dimension.
+    pub fn cells_per_dim(&self) -> usize {
+        self.cells
+    }
+
+    /// Squared lower bound on the distance from `query` to any point in
+    /// point `i`'s cell box.
+    fn lower_bound2(&self, i: usize, query: &[f64]) -> f64 {
+        let dim = self.points.dim();
+        let cells = &self.approx[i * dim..(i + 1) * dim];
+        let mut acc = 0.0;
+        for d in 0..dim {
+            if self.width[d] == 0.0 {
+                // Constant dimension: every point sits at lo[d]; use the
+                // exact per-dimension distance.
+                let gap = query[d] - self.lo[d];
+                acc += gap * gap;
+                continue;
+            }
+            let cell_lo = self.lo[d] + cells[d] as f64 * self.width[d];
+            let cell_hi = cell_lo + self.width[d];
+            let gap = if query[d] < cell_lo {
+                cell_lo - query[d]
+            } else if query[d] > cell_hi {
+                query[d] - cell_hi
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc
+    }
+}
+
+impl NnIndex for VaFile<'_> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn nn_stream<'a>(&'a self, query: &[f64]) -> Box<dyn NnStream + 'a> {
+        assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        // Phase 1 of the VA-File search: one pass over the approximations
+        // computing every lower bound.
+        let mut frontier = BinaryHeap::with_capacity(self.len());
+        for i in 0..self.len() {
+            frontier.push(Reverse(Entry {
+                d: self.lower_bound2(i, query),
+                is_exact: false,
+                id: i as u32,
+            }));
+        }
+        Box::new(VaStream { index: self, query: query.to_vec(), frontier })
+    }
+}
+
+/// Frontier entry: squared lower bound (`is_exact = false`) or squared
+/// exact distance. Bounds expand before equal-keyed exact entries so the
+/// stream is exact; ids break remaining ties deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    d: f64,
+    is_exact: bool,
+    id: u32,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d
+            .total_cmp(&other.d)
+            .then(self.is_exact.cmp(&other.is_exact))
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+struct VaStream<'a> {
+    index: &'a VaFile<'a>,
+    query: Vec<f64>,
+    frontier: BinaryHeap<Reverse<Entry>>,
+}
+
+impl NnStream for VaStream<'_> {
+    fn next_neighbor(&mut self) -> Option<Neighbor> {
+        while let Some(Reverse(entry)) = self.frontier.pop() {
+            if entry.is_exact {
+                return Some(Neighbor { id: entry.id, dist: entry.d.sqrt() });
+            }
+            // Phase 2: refine this candidate to its exact distance.
+            let d2 = self.index.points.dist2_to(entry.id as usize, &self.query);
+            self.frontier.push(Reverse(Entry { d: d2, is_exact: true, id: entry.id }));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+
+    fn sample() -> PointSet {
+        let mut pts = PointSet::new(3);
+        let mut x = 0.5f64;
+        for _ in 0..80 {
+            let row: Vec<f64> = (0..3)
+                .map(|_| {
+                    x = (x * 16807.0) % 2147483647.0;
+                    (x % 1000.0) / 10.0
+                })
+                .collect();
+            pts.push(&row);
+        }
+        pts
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        let pts = sample();
+        let va = VaFile::build(&pts);
+        let lin = LinearScan::build(&pts);
+        for q in [[0.0, 0.0, 0.0], [50.0, 50.0, 50.0], [99.0, 1.0, 47.0]] {
+            let a = va.knn(&q, 80);
+            let b = lin.knn(&q, 80);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "query {q:?}");
+                assert!((x.dist - y.dist).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_true_distance() {
+        let pts = sample();
+        let va = VaFile::build(&pts);
+        let q = [33.0, 66.0, 12.0];
+        for i in 0..pts.len() {
+            let lb2 = va.lower_bound2(i, &q);
+            let d2 = pts.dist2_to(i, &q);
+            assert!(lb2 <= d2 + 1e-9, "point {i}: lb² {lb2} > d² {d2}");
+        }
+    }
+
+    #[test]
+    fn bit_width_controls_cells() {
+        let pts = sample();
+        assert_eq!(VaFile::build_with_bits(&pts, 1).cells_per_dim(), 2);
+        assert_eq!(VaFile::build_with_bits(&pts, 8).cells_per_dim(), 256);
+        assert_eq!(VaFile::build(&pts).cells_per_dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per dimension")]
+    fn zero_bits_rejected() {
+        VaFile::build_with_bits(&sample(), 0);
+    }
+
+    #[test]
+    fn constant_dimension_is_handled() {
+        // All points share x = 5; width 0 in that dimension.
+        let rows: Vec<&[f64]> = vec![&[5.0, 1.0], &[5.0, 9.0], &[5.0, 4.0]];
+        let pts = PointSet::from_rows(2, rows);
+        let va = VaFile::build(&pts);
+        let nn = va.knn(&[5.0, 0.0], 3);
+        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn identical_points_stream_in_id_order() {
+        let rows: Vec<&[f64]> = vec![&[2.0, 2.0]; 5];
+        let pts = PointSet::from_rows(2, rows);
+        let va = VaFile::build(&pts);
+        let nn = va.knn(&[2.0, 2.0], 5);
+        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let pts = PointSet::new(2);
+        let va = VaFile::build(&pts);
+        assert!(va.knn(&[0.0, 0.0], 4).is_empty());
+    }
+
+    #[test]
+    fn coarse_quantization_is_still_exact() {
+        // With 1 bit per dimension the bounds are weak but the stream
+        // must remain exact (just slower).
+        let pts = sample();
+        let va = VaFile::build_with_bits(&pts, 1);
+        let lin = LinearScan::build(&pts);
+        let q = [10.0, 90.0, 50.0];
+        let a = va.knn(&q, 20);
+        let b = lin.knn(&q, 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+        }
+    }
+}

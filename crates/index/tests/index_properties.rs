@@ -1,0 +1,136 @@
+//! Cross-implementation property tests: every index must yield exactly the
+//! same `(distance, id)`-ordered neighbour stream as the brute-force
+//! linear scan, on arbitrary point clouds, dimensionalities, and queries —
+//! including pathological inputs (duplicates, collinear points, single
+//! cluster).
+
+use geacc_index::idistance::IDistance;
+use geacc_index::kdtree::KdTree;
+use geacc_index::linear::LinearScan;
+use geacc_index::vafile::VaFile;
+use geacc_index::{NnIndex, PointSet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Cloud {
+    dim: usize,
+    rows: Vec<Vec<f64>>,
+    query: Vec<f64>,
+}
+
+fn cloud() -> impl Strategy<Value = Cloud> {
+    (1usize..=5).prop_flat_map(|dim| {
+        let coord = -100.0f64..100.0;
+        let point = proptest::collection::vec(coord.clone(), dim);
+        let rows = proptest::collection::vec(point.clone(), 0..60);
+        (rows, point).prop_map(move |(rows, query)| Cloud { dim, rows, query })
+    })
+}
+
+fn build_points(c: &Cloud) -> PointSet {
+    let mut pts = PointSet::new(c.dim);
+    for r in &c.rows {
+        pts.push(r);
+    }
+    pts
+}
+
+/// Reference order: full sort by (distance, id).
+fn brute_order(c: &Cloud) -> Vec<(u32, f64)> {
+    let mut v: Vec<(u32, f64)> = c
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i as u32, geacc_index::distance(r, &c.query)))
+        .collect();
+    v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+fn assert_stream_matches(
+    index: &dyn NnIndex,
+    expected: &[(u32, f64)],
+    query: &[f64],
+) -> Result<(), TestCaseError> {
+    let mut stream = index.nn_stream(query);
+    for &(id, dist) in expected {
+        let n = stream.next_neighbor().expect("stream ended early");
+        prop_assert_eq!(n.id, id);
+        prop_assert!((n.dist - dist).abs() < 1e-9);
+    }
+    prop_assert!(stream.next_neighbor().is_none());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_stream_matches_brute_force(c in cloud()) {
+        let pts = build_points(&c);
+        let expected = brute_order(&c);
+        assert_stream_matches(&LinearScan::build(&pts), &expected, &c.query)?;
+    }
+
+    #[test]
+    fn kdtree_stream_matches_brute_force(c in cloud()) {
+        let pts = build_points(&c);
+        let expected = brute_order(&c);
+        assert_stream_matches(&KdTree::build(&pts), &expected, &c.query)?;
+    }
+
+    #[test]
+    fn idistance_stream_matches_brute_force(c in cloud()) {
+        let pts = build_points(&c);
+        let expected = brute_order(&c);
+        assert_stream_matches(&IDistance::build(&pts), &expected, &c.query)?;
+    }
+
+    #[test]
+    fn vafile_stream_matches_brute_force(c in cloud()) {
+        let pts = build_points(&c);
+        let expected = brute_order(&c);
+        assert_stream_matches(&VaFile::build(&pts), &expected, &c.query)?;
+    }
+
+    #[test]
+    fn vafile_is_exact_at_every_bit_width(c in cloud(), bits in 1u32..=8) {
+        let pts = build_points(&c);
+        let expected = brute_order(&c);
+        assert_stream_matches(&VaFile::build_with_bits(&pts, bits), &expected, &c.query)?;
+    }
+
+    #[test]
+    fn knn_is_a_prefix_of_the_stream(c in cloud(), k in 0usize..10) {
+        let pts = build_points(&c);
+        let expected = brute_order(&c);
+        let idx = KdTree::build(&pts);
+        let knn = idx.knn(&c.query, k);
+        prop_assert_eq!(knn.len(), k.min(expected.len()));
+        for (n, &(id, _)) in knn.iter().zip(&expected) {
+            prop_assert_eq!(n.id, id);
+        }
+    }
+
+    /// Duplicated points must stream in id order at their shared distance.
+    #[test]
+    fn duplicates_are_id_ordered(
+        base in proptest::collection::vec(-10.0f64..10.0, 3),
+        copies in 2usize..6,
+    ) {
+        let mut pts = PointSet::new(3);
+        for _ in 0..copies {
+            pts.push(&base);
+        }
+        for index in [
+            Box::new(LinearScan::build(&pts)) as Box<dyn NnIndex>,
+            Box::new(KdTree::build(&pts)),
+            Box::new(IDistance::build(&pts)),
+            Box::new(VaFile::build(&pts)),
+        ] {
+            let ids: Vec<u32> =
+                index.knn(&base, copies).iter().map(|n| n.id).collect();
+            prop_assert_eq!(&ids, &(0..copies as u32).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Closing the approximation gap with local search (library extension).
+//!
+//! On conflict-heavy instances Greedy-GEACC's irrevocable early picks
+//! leave value on the table (its guarantee is `1/(1+max c_u)`). This
+//! example runs the hill-climbing post-optimizer behind each algorithm
+//! and reports the recovered MaxSum against the exact optimum.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example local_search
+//! ```
+
+use geacc::algorithms::localsearch::{improve, LocalSearchConfig};
+use geacc::algorithms::{greedy, mincostflow, prune, random_v};
+use geacc::datagen::{CapDistribution, SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Small enough for the exact optimum, dense conflicts so the
+    // approximations actually leave a gap.
+    let instance = SyntheticConfig {
+        num_events: 6,
+        num_users: 14,
+        cap_v_dist: CapDistribution::Uniform { min: 1, max: 6 },
+        conflict_ratio: 0.75,
+        seed: 21,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+
+    let optimum = prune(&instance).arrangement.max_sum();
+    println!("exact optimum MaxSum: {optimum:.4}\n");
+    println!(
+        "{:<22} {:>10} {:>12} {:>8} {:>8}",
+        "start", "MaxSum", "after LS", "moves", "% of opt"
+    );
+    println!("{}", "-".repeat(64));
+
+    let starts: Vec<(&str, geacc::Arrangement)> = vec![
+        ("Greedy-GEACC", greedy(&instance)),
+        ("MinCostFlow-GEACC", mincostflow(&instance).arrangement),
+        ("Random-V", random_v(&instance, &mut StdRng::seed_from_u64(2))),
+        ("empty", geacc::Arrangement::empty_for(&instance)),
+    ];
+    for (name, start) in starts {
+        let before = start.max_sum();
+        let res = improve(&instance, start, LocalSearchConfig::default());
+        assert!(res.arrangement.validate(&instance).is_empty());
+        println!(
+            "{:<22} {:>10.4} {:>12.4} {:>8} {:>7.1}%",
+            name,
+            before,
+            res.arrangement.max_sum(),
+            res.moves,
+            100.0 * res.arrangement.max_sum() / optimum
+        );
+    }
+
+    println!(
+        "\nlocal search is monotone and feasibility-preserving; it never\n\
+         exceeds the optimum and terminates at a local maximum of the\n\
+         add / upgrade-event / upgrade-user move set."
+    );
+}

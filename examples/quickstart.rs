@@ -1,0 +1,56 @@
+//! Quickstart: the paper's Table I toy instance, solved by every
+//! algorithm.
+//!
+//! Reproduces the paper's running example end-to-end: the optimal
+//! arrangement scores 4.39 (Table I), MinCostFlow-GEACC finds 4.13
+//! (Fig. 1c) and Greedy-GEACC 4.28 (Fig. 2d).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use geacc::algorithms::{self, Algorithm};
+use geacc::toy;
+
+fn main() {
+    let instance = toy::table1_instance();
+    println!("GEACC toy instance (paper Table I)");
+    println!(
+        "  {} events, {} users, {} conflicting pair(s)\n",
+        instance.num_events(),
+        instance.num_users(),
+        instance.conflicts().num_pairs()
+    );
+
+    println!("{:<20} {:>8} {:>7}  arrangement", "algorithm", "MaxSum", "pairs");
+    println!("{}", "-".repeat(72));
+    for algo in [
+        Algorithm::Prune,
+        Algorithm::Greedy,
+        Algorithm::MinCostFlow,
+        Algorithm::RandomV { seed: 7 },
+        Algorithm::RandomU { seed: 7 },
+    ] {
+        let arrangement = algorithms::solve(&instance, algo);
+        assert!(
+            arrangement.validate(&instance).is_empty(),
+            "{} produced an infeasible arrangement",
+            algo.name()
+        );
+        let mut pairs: Vec<String> = arrangement
+            .pairs()
+            .map(|(v, u)| format!("{v}→{u}"))
+            .collect();
+        pairs.sort();
+        println!(
+            "{:<20} {:>8.2} {:>7}  {}",
+            algo.name(),
+            arrangement.max_sum(),
+            arrangement.len(),
+            pairs.join(" ")
+        );
+    }
+
+    println!("\npaper golden values: optimal 4.39, greedy 4.28, min-cost-flow 4.13");
+}

@@ -1,0 +1,149 @@
+//! The paper's theorems, checked against exact optima on generated
+//! workloads (the property suite in `geacc-core` covers random matrices;
+//! here the instances come from the actual evaluation generators).
+
+use geacc::algorithms::{exhaustive, greedy, mincostflow, prune};
+use geacc::datagen::{CapDistribution, SyntheticConfig};
+
+/// Small workloads in the shape of the paper's Fig. 5c/5d effectiveness
+/// study, scaled down so the exact search stays in the milliseconds:
+/// with the paper's d = 20 uniform attributes, similarities concentrate
+/// tightly (curse of dimensionality) and the Lemma 6 bound barely
+/// prunes, so some 5×15, c_v ~ U[1,10] seeds run the exact search for
+/// hours. 4×8 with c_v ~ U[1,4], c_u ~ U[1,2] was measured at ≤ 6 ms
+/// per instance across all seeds/ratios used here.
+fn effectiveness_config(seed: u64, conflict_ratio: f64) -> SyntheticConfig {
+    SyntheticConfig {
+        num_events: 4,
+        num_users: 8,
+        cap_v_dist: CapDistribution::Uniform { min: 1, max: 4 },
+        cap_u_dist: CapDistribution::Uniform { min: 1, max: 2 },
+        conflict_ratio,
+        seed,
+        ..SyntheticConfig::default()
+    }
+}
+
+#[test]
+fn theorem2_mincostflow_ratio_on_generated_workloads() {
+    for seed in 0..8 {
+        for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let inst = effectiveness_config(seed, ratio).generate();
+            let opt = prune(&inst).arrangement.max_sum();
+            let apx = mincostflow(&inst).arrangement.max_sum();
+            let bound = opt / inst.max_user_capacity().max(1) as f64;
+            assert!(
+                apx + 1e-9 >= bound,
+                "seed {seed} ratio {ratio}: mcf {apx} < bound {bound} (opt {opt})"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem3_greedy_ratio_on_generated_workloads() {
+    for seed in 0..8 {
+        for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let inst = effectiveness_config(seed, ratio).generate();
+            let opt = prune(&inst).arrangement.max_sum();
+            let apx = greedy(&inst).max_sum();
+            let bound = opt / (1.0 + inst.max_user_capacity() as f64);
+            assert!(
+                apx + 1e-9 >= bound,
+                "seed {seed} ratio {ratio}: greedy {apx} < bound {bound} (opt {opt})"
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_is_near_optimal_in_practice() {
+    // The paper's Fig. 5c observation: greedy's MaxSum is "quite close"
+    // to optimal, far above its worst-case ratio. Check ≥ 90 % across
+    // seeds.
+    let mut total_ratio = 0.0;
+    let mut n = 0;
+    for seed in 0..10 {
+        let inst = effectiveness_config(seed, 0.25).generate();
+        let opt = prune(&inst).arrangement.max_sum();
+        if opt > 0.0 {
+            total_ratio += greedy(&inst).max_sum() / opt;
+            n += 1;
+        }
+    }
+    let avg = total_ratio / n as f64;
+    assert!(avg > 0.9, "greedy averaged only {avg:.3} of optimal");
+}
+
+#[test]
+fn lemma1_mincostflow_is_exact_without_conflicts() {
+    for seed in 0..8 {
+        let inst = effectiveness_config(seed, 0.0).generate();
+        let opt = prune(&inst).arrangement.max_sum();
+        let mcf = mincostflow(&inst);
+        assert!(
+            (mcf.arrangement.max_sum() - opt).abs() < 1e-9,
+            "seed {seed}: CF=∅ but mcf {} != opt {opt}",
+            mcf.arrangement.max_sum()
+        );
+        // And the relaxation equals the final result (nothing to repair).
+        assert!((mcf.relaxation.max_sum - opt).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn prune_and_exhaustive_agree_on_generated_workloads() {
+    // Exhaustive search visits the whole (structurally feasible) state
+    // tree; its size is roughly Π_u Σ_{k≤c_u} C(|V|, k), so both |U| and
+    // c_u must stay tiny here.
+    for seed in 0..5 {
+        let inst = SyntheticConfig {
+            num_events: 3,
+            num_users: 6,
+            cap_v_dist: CapDistribution::Uniform { min: 1, max: 3 },
+            cap_u_dist: CapDistribution::Uniform { min: 1, max: 2 },
+            seed,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let p = prune(&inst);
+        let e = exhaustive(&inst);
+        assert!(
+            (p.arrangement.max_sum() - e.arrangement.max_sum()).abs() < 1e-9,
+            "seed {seed}: prune {} != exhaustive {}",
+            p.arrangement.max_sum(),
+            e.arrangement.max_sum()
+        );
+        assert!(p.stats.invocations <= e.stats.invocations);
+    }
+}
+
+#[test]
+fn conflict_ratio_monotonically_constrains_the_optimum() {
+    // More conflicts can only reduce the optimal MaxSum — on the *same*
+    // base instance with nested conflict sets.
+    use geacc::{ConflictGraph, EventId};
+    let base = effectiveness_config(3, 0.0).generate();
+    let nv = base.num_events();
+    let all_pairs: Vec<(EventId, EventId)> = (0..nv as u32)
+        .flat_map(|i| ((i + 1)..nv as u32).map(move |j| (EventId(i), EventId(j))))
+        .collect();
+    let mut last = f64::INFINITY;
+    for k in [0, all_pairs.len() / 2, all_pairs.len()] {
+        let conflicts = ConflictGraph::from_pairs(nv, all_pairs[..k].iter().copied());
+        // Rebuild the instance with the new conflict set via serde round
+        // trip of parts.
+        let mut b = geacc::Instance::builder(base.dim(), base.model().clone());
+        for v in base.events() {
+            b.event(base.event_attrs(v), base.event_capacity(v));
+        }
+        for u in base.users() {
+            b.user(base.user_attrs(u), base.user_capacity(u));
+        }
+        b.conflicts(conflicts);
+        let inst = b.build().unwrap();
+        let opt = prune(&inst).arrangement.max_sum();
+        assert!(opt <= last + 1e-9, "optimum rose as conflicts grew");
+        last = opt;
+    }
+}

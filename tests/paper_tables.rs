@@ -1,0 +1,82 @@
+//! Golden tests pinning the paper's concrete numbers: Table I and its
+//! worked examples (Figs. 1–2), Table II shapes, Table III defaults.
+
+use geacc::algorithms::{greedy, mincostflow, prune, SearchStats};
+use geacc::datagen::{AttrDistribution, CapDistribution, City, SyntheticConfig};
+use geacc::toy;
+use geacc::{EventId, UserId};
+
+#[test]
+fn table1_toy_example_matches_paper() {
+    let inst = toy::table1_instance();
+
+    // Example 1: the optimal arrangement sums to 4.39.
+    let optimal = prune(&inst).arrangement;
+    assert!((optimal.max_sum() - toy::OPTIMAL_MAX_SUM).abs() < 1e-9);
+    assert!(optimal.validate(&inst).is_empty());
+
+    // Example 2 / Fig. 1: MinCostFlow-GEACC reaches 4.13 and, per the
+    // figure's narrative, u1 keeps v1 (its more interesting option) after
+    // conflict repair and v3 goes to u5.
+    let mcf = mincostflow(&inst).arrangement;
+    assert!((mcf.max_sum() - toy::MINCOSTFLOW_MAX_SUM).abs() < 1e-9);
+    assert!(mcf.contains(EventId(0), UserId(0)));
+    assert!(!mcf.contains(EventId(2), UserId(0)));
+    assert!(mcf.contains(EventId(2), UserId(4)));
+
+    // Example 3 / Fig. 2: Greedy-GEACC reaches 4.28.
+    let g = greedy(&inst);
+    assert!((g.max_sum() - toy::GREEDY_MAX_SUM).abs() < 1e-9);
+
+    // The paper-stated ordering: OPT > Greedy > MinCostFlow on this toy.
+    assert!(optimal.max_sum() > g.max_sum());
+    assert!(g.max_sum() > mcf.max_sum());
+}
+
+#[test]
+fn table2_city_statistics() {
+    // City cardinalities from Table II.
+    assert_eq!(City::Vancouver.cardinality(), (225, 2012));
+    assert_eq!(City::Auckland.cardinality(), (37, 569));
+    assert_eq!(City::Singapore.cardinality(), (87, 1500));
+}
+
+#[test]
+fn table3_synthetic_defaults() {
+    let c = SyntheticConfig::default();
+    assert_eq!(
+        (c.num_events, c.num_users, c.dim),
+        (100, 1000, 20),
+        "bold defaults of Table III"
+    );
+    assert_eq!(c.t, 10_000.0);
+    assert_eq!(c.attr_dist, AttrDistribution::Uniform);
+    assert_eq!(c.cap_v_dist, CapDistribution::Uniform { min: 1, max: 50 });
+    assert_eq!(c.cap_u_dist, CapDistribution::Uniform { min: 1, max: 4 });
+    assert_eq!(c.conflict_ratio, 0.25);
+}
+
+#[test]
+fn fig6_max_depths_match_paper_dashes() {
+    // Fig. 6a's dashed lines: largest recursion depth 50 for
+    // |V| = 5, |U| = 10 and 75 for |V| = 5, |U| = 15.
+    for (nu, expected) in [(10usize, 50u64), (15, 75)] {
+        // Seed 2000 is a measured-fast instance for the exact search at
+        // these sizes; seed 0 degenerates (see the Fig. 6 deviation note
+        // in EXPERIMENTS.md).
+        let inst = SyntheticConfig {
+            num_events: 5,
+            num_users: nu,
+            cap_v_dist: CapDistribution::Uniform { min: 1, max: 10 },
+            seed: 2000,
+            ..SyntheticConfig::default()
+        }
+        .generate();
+        let stats: SearchStats = prune(&inst).stats;
+        assert_eq!(stats.max_depth, expected);
+        // The paper's observation: prunes fire at shallow depth.
+        if stats.prunes > 0 {
+            assert!(stats.avg_pruned_depth() < expected as f64);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end pipeline tests: datagen → algorithm → validation, across
+//! workload shapes, similarity models, and all algorithms.
+
+use geacc::algorithms::{greedy, mincostflow, random_u, random_v};
+use geacc::datagen::{AttrDistribution, CapDistribution, City, MeetupConfig, SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_all(instance: &geacc::Instance, label: &str) {
+    let g = greedy(instance);
+    assert!(g.validate(instance).is_empty(), "{label}: greedy infeasible");
+    let m = mincostflow(instance);
+    assert!(
+        m.arrangement.validate(instance).is_empty(),
+        "{label}: mincostflow infeasible"
+    );
+    // Corollary 1: the relaxation bounds every feasible arrangement.
+    assert!(
+        m.relaxation.max_sum + 1e-6 >= g.max_sum(),
+        "{label}: greedy {} above relaxation bound {}",
+        g.max_sum(),
+        m.relaxation.max_sum
+    );
+    assert!(
+        m.relaxation.max_sum + 1e-6 >= m.arrangement.max_sum(),
+        "{label}: mcf above its own relaxation"
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let rv = random_v(instance, &mut rng);
+    let ru = random_u(instance, &mut rng);
+    assert!(rv.validate(instance).is_empty(), "{label}: random_v infeasible");
+    assert!(ru.validate(instance).is_empty(), "{label}: random_u infeasible");
+    // The informed algorithms should beat blind chance on any non-trivial
+    // workload.
+    assert!(
+        g.max_sum() >= rv.max_sum() && g.max_sum() >= ru.max_sum(),
+        "{label}: greedy lost to a random baseline"
+    );
+}
+
+#[test]
+fn synthetic_default_workload() {
+    let inst = SyntheticConfig {
+        num_events: 20,
+        num_users: 120,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    check_all(&inst, "default synthetic");
+}
+
+#[test]
+fn synthetic_no_conflicts() {
+    let inst = SyntheticConfig {
+        num_events: 15,
+        num_users: 80,
+        conflict_ratio: 0.0,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    check_all(&inst, "CF=∅");
+    // With no conflicts MCF is exact, so it must be ≥ greedy.
+    let g = greedy(&inst);
+    let m = mincostflow(&inst);
+    assert!(m.arrangement.max_sum() + 1e-9 >= g.max_sum());
+}
+
+#[test]
+fn synthetic_complete_conflicts() {
+    let inst = SyntheticConfig {
+        num_events: 12,
+        num_users: 60,
+        conflict_ratio: 1.0,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    check_all(&inst, "CF complete");
+    // Every pair conflicts: each user attends at most one event.
+    let g = greedy(&inst);
+    for u in inst.users() {
+        assert!(g.events_of(u).len() <= 1);
+    }
+}
+
+#[test]
+fn zipf_attributes_with_normal_capacities() {
+    let inst = SyntheticConfig {
+        num_events: 15,
+        num_users: 90,
+        attr_dist: AttrDistribution::Zipf { exponent: 1.3 },
+        cap_v_dist: CapDistribution::Normal { mean: 25.0, std_dev: 12.5 },
+        cap_u_dist: CapDistribution::Normal { mean: 2.0, std_dev: 1.0 },
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    check_all(&inst, "zipf/normal");
+}
+
+#[test]
+fn low_dimensional_workload() {
+    let inst = SyntheticConfig {
+        num_events: 15,
+        num_users: 90,
+        dim: 2,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    check_all(&inst, "d=2");
+}
+
+#[test]
+fn meetup_auckland_city() {
+    let inst = MeetupConfig::new(City::Auckland).generate();
+    check_all(&inst, "auckland");
+}
+
+#[test]
+fn meetup_all_cities_generate_and_solve() {
+    for city in City::all() {
+        let inst = MeetupConfig::new(city).generate();
+        let g = greedy(&inst);
+        assert!(g.validate(&inst).is_empty(), "{city:?} infeasible");
+        assert!(g.max_sum() > 0.0, "{city:?} produced an empty arrangement");
+    }
+}
+
+#[test]
+fn greedy_scales_to_tens_of_thousands_of_users() {
+    // A slice of the paper's Fig. 5 scalability workload.
+    let inst = SyntheticConfig {
+        num_events: 100,
+        num_users: 10_000,
+        cap_v_dist: CapDistribution::Uniform { min: 1, max: 200 },
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let g = greedy(&inst);
+    assert!(g.validate(&inst).is_empty());
+    assert!(g.len() > 1000, "expected a large matching, got {}", g.len());
+}

@@ -1,0 +1,101 @@
+//! JSON (de)serialization round-trips for instances, arrangements, and
+//! generator configurations — the interchange surface a deployment would
+//! use between its arrangement service and the rest of the platform.
+
+use geacc::algorithms::greedy;
+use geacc::datagen::{City, MeetupConfig, SyntheticConfig};
+use geacc::{Arrangement, ConflictGraph, EventId, Instance, SimMatrix};
+
+#[test]
+fn toy_instance_roundtrips() {
+    let inst = geacc::toy::table1_instance();
+    let json = serde_json::to_string_pretty(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(inst, back);
+    // And the deserialized instance solves identically.
+    assert_eq!(greedy(&inst), greedy(&back));
+}
+
+#[test]
+fn synthetic_instance_roundtrips() {
+    let inst = SyntheticConfig {
+        num_events: 8,
+        num_users: 25,
+        dim: 4,
+        ..SyntheticConfig::default()
+    }
+    .generate();
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(inst, back);
+}
+
+#[test]
+fn meetup_instance_roundtrips() {
+    let inst = MeetupConfig::new(City::Auckland).generate();
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(inst, back);
+}
+
+#[test]
+fn arrangement_roundtrips_and_revalidates() {
+    let inst = geacc::toy::table1_instance();
+    let arr = greedy(&inst);
+    let json = serde_json::to_string(&arr).unwrap();
+    let back: Arrangement = serde_json::from_str(&json).unwrap();
+    assert_eq!(arr, back);
+    assert!(back.validate(&inst).is_empty());
+    assert_eq!(back.max_sum(), arr.max_sum());
+}
+
+#[test]
+fn configs_roundtrip() {
+    let s = SyntheticConfig::default();
+    let back: SyntheticConfig =
+        serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+    assert_eq!(s, back);
+
+    let m = MeetupConfig::new(City::Singapore);
+    let back: MeetupConfig =
+        serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    assert_eq!(m, back);
+}
+
+#[test]
+fn malformed_instances_are_rejected_not_panicked() {
+    // Matrix shape mismatch.
+    let json = serde_json::json!({
+        "dim": 1,
+        "model": {"Matrix": {"num_events": 2, "num_users": 2,
+                              "values": [0.1, 0.2, 0.3, 0.4]}},
+        "event_attrs": [[0.0]],
+        "user_attrs": [[0.0], [0.0]],
+        "event_caps": [1],
+        "user_caps": [1, 1],
+        "conflicts": {"num_events": 1, "pairs": []}
+    });
+    assert!(serde_json::from_value::<Instance>(json).is_err());
+
+    // Conflict pair out of range.
+    let json = serde_json::json!({
+        "num_events": 2,
+        "pairs": [[0, 9]]
+    });
+    assert!(serde_json::from_value::<ConflictGraph>(json).is_err());
+}
+
+#[test]
+fn from_matrix_instances_serialize_with_their_matrix() {
+    let inst = Instance::from_matrix(
+        SimMatrix::from_rows(&[vec![0.5, 0.25]]),
+        vec![2],
+        vec![1, 1],
+        ConflictGraph::empty(1),
+    )
+    .unwrap();
+    let back: Instance =
+        serde_json::from_str(&serde_json::to_string(&inst).unwrap()).unwrap();
+    assert_eq!(back.similarity(EventId(0), geacc::UserId(1)), 0.25);
+    assert_eq!(inst, back);
+}

@@ -1,0 +1,98 @@
+//! Cross-crate test of the two deployment-oriented extensions working
+//! together: schedule-derived conflicts (geacc-datagen::temporal) and
+//! streaming arrivals (geacc-core::algorithms::online), plus overnight
+//! local-search repair.
+
+use geacc::algorithms::localsearch::{improve, LocalSearchConfig};
+use geacc::algorithms::online::{online_greedy, OnlineArranger, OnlineConfig};
+use geacc::algorithms::greedy;
+use geacc::datagen::TemporalConfig;
+use geacc::UserId;
+
+fn weekend() -> geacc::datagen::TemporalInstance {
+    TemporalConfig {
+        num_events: 25,
+        num_users: 120,
+        horizon_hours: 24.0,
+        duration_hours: (1.0, 3.0),
+        city_extent: 1.0,
+        seed: 42,
+        ..TemporalConfig::default()
+    }
+    .generate()
+}
+
+#[test]
+fn streaming_a_temporal_instance_stays_feasible() {
+    let generated = weekend();
+    let inst = &generated.instance;
+    let mut arranger = OnlineArranger::new(inst, OnlineConfig::default());
+    for u in inst.users() {
+        let granted = arranger.arrive(u);
+        // Any events granted to one user must be pairwise schedulable.
+        for (a, &v1) in granted.iter().enumerate() {
+            for &v2 in &granted[a + 1..] {
+                assert!(
+                    !inst.conflicts().conflicts(v1, v2),
+                    "{u} granted conflicting events {v1} and {v2}"
+                );
+            }
+        }
+    }
+    let arrangement = arranger.finish();
+    assert!(arrangement.validate(inst).is_empty());
+    assert!(arrangement.max_sum() > 0.0);
+}
+
+#[test]
+fn online_quality_tracks_offline_on_realistic_conflicts() {
+    let generated = weekend();
+    let inst = &generated.instance;
+    let offline = greedy(inst);
+    let online = online_greedy(inst, inst.users(), OnlineConfig::default());
+    assert!(online.validate(inst).is_empty());
+    // Arrival order costs something, but not the world, on realistic
+    // interval-structured conflicts.
+    assert!(
+        online.max_sum() >= 0.7 * offline.max_sum(),
+        "online {} vs offline {}",
+        online.max_sum(),
+        offline.max_sum()
+    );
+}
+
+#[test]
+fn overnight_repair_recovers_quality() {
+    let generated = weekend();
+    let inst = &generated.instance;
+    let online = online_greedy(inst, inst.users(), OnlineConfig::default());
+    let before = online.max_sum();
+    let repaired = improve(inst, online, LocalSearchConfig::default());
+    assert!(repaired.arrangement.validate(inst).is_empty());
+    assert!(repaired.arrangement.max_sum() + 1e-9 >= before);
+}
+
+#[test]
+fn reversed_arrival_order_changes_but_never_breaks_the_plan() {
+    let generated = weekend();
+    let inst = &generated.instance;
+    let n = inst.num_users() as u32;
+    let forward = online_greedy(inst, inst.users(), OnlineConfig::default());
+    let backward = online_greedy(
+        inst,
+        (0..n).rev().map(UserId),
+        OnlineConfig::default(),
+    );
+    assert!(forward.validate(inst).is_empty());
+    assert!(backward.validate(inst).is_empty());
+    // Orders differ; both remain within a sane band of each other.
+    let ratio = forward.max_sum() / backward.max_sum();
+    assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn temporal_metadata_is_consistent_with_the_instance() {
+    let generated = weekend();
+    assert_eq!(generated.intervals.len(), generated.instance.num_events());
+    assert_eq!(generated.venues.len(), generated.instance.num_events());
+}
