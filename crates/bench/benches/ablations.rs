@@ -42,7 +42,12 @@ fn mcf_from_scratch_sweep(inst: &Instance) -> f64 {
             net.add_arc(nv + nu, v.index(), inst.event_capacity(v) as i64, 0.0);
         }
         for u in inst.users() {
-            net.add_arc(nv + u.index(), nv + nu + 1, inst.user_capacity(u) as i64, 0.0);
+            net.add_arc(
+                nv + u.index(),
+                nv + nu + 1,
+                inst.user_capacity(u) as i64,
+                0.0,
+            );
         }
         let mut row = Vec::new();
         for v in inst.events() {
@@ -77,12 +82,24 @@ fn bench_mcf_sweep(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("incremental_full", |b| {
         b.iter(|| {
-            mincostflow_with(&inst, McfConfig { early_stop: false, ..Default::default() })
+            mincostflow_with(
+                &inst,
+                McfConfig {
+                    early_stop: false,
+                    ..Default::default()
+                },
+            )
         })
     });
     group.bench_function("incremental_early_stop", |b| {
         b.iter(|| {
-            mincostflow_with(&inst, McfConfig { early_stop: true, ..Default::default() })
+            mincostflow_with(
+                &inst,
+                McfConfig {
+                    early_stop: true,
+                    ..Default::default()
+                },
+            )
         })
     });
     group.bench_function("from_scratch_per_delta", |b| {
@@ -103,10 +120,28 @@ fn bench_prune_seed(c: &mut Criterion) {
     let mut group = c.benchmark_group("prune_seed");
     group.sample_size(10);
     group.bench_function("with_greedy_seed", |b| {
-        b.iter(|| prune_with(&inst, PruneConfig { enable_pruning: true, greedy_seed: true }))
+        b.iter(|| {
+            prune_with(
+                &inst,
+                PruneConfig {
+                    enable_pruning: true,
+                    greedy_seed: true,
+                    ..Default::default()
+                },
+            )
+        })
     });
     group.bench_function("without_seed", |b| {
-        b.iter(|| prune_with(&inst, PruneConfig { enable_pruning: true, greedy_seed: false }))
+        b.iter(|| {
+            prune_with(
+                &inst,
+                PruneConfig {
+                    enable_pruning: true,
+                    greedy_seed: false,
+                    ..Default::default()
+                },
+            )
+        })
     });
     group.finish();
 }
@@ -130,7 +165,13 @@ fn bench_mcf_repair(c: &mut Criterion) {
     });
     group.bench_function("exact_repair", |b| {
         b.iter(|| {
-            mincostflow_with(&inst, McfConfig { exact_repair: true, ..Default::default() })
+            mincostflow_with(
+                &inst,
+                McfConfig {
+                    exact_repair: true,
+                    ..Default::default()
+                },
+            )
         })
     });
     group.finish();

@@ -2,8 +2,8 @@
 //! the quality cost of not knowing the future.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use geacc_core::algorithms::online::{online_greedy, OnlineConfig};
 use geacc_core::algorithms::greedy;
+use geacc_core::algorithms::online::{online_greedy, OnlineConfig};
 use geacc_datagen::SyntheticConfig;
 
 fn bench_online_throughput(c: &mut Criterion) {
@@ -20,9 +20,7 @@ fn bench_online_throughput(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{nv}x{nu}")),
             &inst,
-            |b, inst| {
-                b.iter(|| online_greedy(inst, inst.users(), OnlineConfig::default()))
-            },
+            |b, inst| b.iter(|| online_greedy(inst, inst.users(), OnlineConfig::default())),
         );
     }
     group.finish();

@@ -7,15 +7,20 @@
 //! cargo run -p geacc-bench --release --bin fig3                # all four columns
 //! cargo run -p geacc-bench --release --bin fig3 -- --panel v   # one column
 //! cargo run -p geacc-bench --release --bin fig3 -- --quick     # reduced sweep
+//! cargo run -p geacc-bench --release --bin fig3 -- --threads 1 # measurement-grade
 //! ```
 //!
-//! CSVs land in `results/fig3_*.csv`; EXPERIMENTS.md records the shape
-//! comparison against the paper.
+//! Sweep cells (one instance × all algorithms) run concurrently on a
+//! scoped-thread pool sized by `--threads` / `GEACC_THREADS` (see
+//! `cli::threads` for the time/memory-panel caveat — pass `--threads 1`
+//! for publication numbers). CSVs land in `results/fig3_*.csv`;
+//! EXPERIMENTS.md records the shape comparison against the paper.
 
 use geacc_bench::cli;
 use geacc_bench::runner::measure;
 use geacc_bench::table::{write_csv, Series};
 use geacc_core::algorithms::Algorithm;
+use geacc_core::parallel::{par_map_coarse, Threads};
 use geacc_datagen::SyntheticConfig;
 use std::path::Path;
 
@@ -33,91 +38,146 @@ fn main() {
     let panel = cli::flag_value("panel");
     let quick = cli::has_flag("quick");
     let repeats = cli::repeats(1);
+    let threads = cli::threads();
     let run_all = panel.is_none();
     let panel = panel.unwrap_or_default();
 
     if run_all || panel == "v" {
-        let sweep: &[usize] = if quick { &[20, 50, 100] } else { &[20, 50, 100, 200, 500] };
+        let sweep: &[usize] = if quick {
+            &[20, 50, 100]
+        } else {
+            &[20, 50, 100, 200, 500]
+        };
         sweep_panel(
             "fig3_v",
             "|V|",
-            sweep.iter().map(|&nv| {
-                (nv.to_string(), SyntheticConfig { num_events: nv, seed: 100 + nv as u64, ..Default::default() })
-            }),
+            sweep
+                .iter()
+                .map(|&nv| {
+                    (
+                        nv.to_string(),
+                        SyntheticConfig {
+                            num_events: nv,
+                            seed: 100 + nv as u64,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect(),
             repeats,
+            threads,
         );
     }
     if run_all || panel == "u" {
-        let sweep: &[usize] =
-            if quick { &[100, 200, 500] } else { &[100, 200, 500, 1000, 2000, 5000] };
+        let sweep: &[usize] = if quick {
+            &[100, 200, 500]
+        } else {
+            &[100, 200, 500, 1000, 2000, 5000]
+        };
         sweep_panel(
             "fig3_u",
             "|U|",
-            sweep.iter().map(|&nu| {
-                (nu.to_string(), SyntheticConfig { num_users: nu, seed: 200 + nu as u64, ..Default::default() })
-            }),
+            sweep
+                .iter()
+                .map(|&nu| {
+                    (
+                        nu.to_string(),
+                        SyntheticConfig {
+                            num_users: nu,
+                            seed: 200 + nu as u64,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect(),
             repeats,
+            threads,
         );
     }
     if run_all || panel == "d" {
-        let sweep: &[usize] = if quick { &[2, 10, 20] } else { &[2, 5, 10, 15, 20] };
+        let sweep: &[usize] = if quick {
+            &[2, 10, 20]
+        } else {
+            &[2, 5, 10, 15, 20]
+        };
         sweep_panel(
             "fig3_d",
             "d",
-            sweep.iter().map(|&d| {
-                (d.to_string(), SyntheticConfig { dim: d, seed: 300 + d as u64, ..Default::default() })
-            }),
+            sweep
+                .iter()
+                .map(|&d| {
+                    (
+                        d.to_string(),
+                        SyntheticConfig {
+                            dim: d,
+                            seed: 300 + d as u64,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect(),
             repeats,
+            threads,
         );
     }
     if run_all || panel == "cf" {
-        let sweep: &[f64] =
-            if quick { &[0.0, 0.5, 1.0] } else { &[0.0, 0.25, 0.5, 0.75, 1.0] };
+        let sweep: &[f64] = if quick {
+            &[0.0, 0.5, 1.0]
+        } else {
+            &[0.0, 0.25, 0.5, 0.75, 1.0]
+        };
         sweep_panel(
             "fig3_cf",
             "|CF| ratio",
-            sweep.iter().map(|&r| {
-                (
-                    format!("{r}"),
-                    SyntheticConfig {
-                        conflict_ratio: r,
-                        seed: 400 + (r * 4.0) as u64,
-                        ..Default::default()
-                    },
-                )
-            }),
+            sweep
+                .iter()
+                .map(|&r| {
+                    (
+                        format!("{r}"),
+                        SyntheticConfig {
+                            conflict_ratio: r,
+                            seed: 400 + (r * 4.0) as u64,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect(),
             repeats,
+            threads,
         );
     }
 }
 
-/// Run one Fig. 3 column: for each sweep point, measure every algorithm,
-/// and emit the three metric panels.
+/// Run one Fig. 3 column: for each sweep point, generate the instance and
+/// measure every algorithm (cells run concurrently on the worker pool),
+/// then emit the three metric panels in sweep order.
 fn sweep_panel(
     stem: &str,
     x_label: &str,
-    points: impl Iterator<Item = (String, SyntheticConfig)>,
+    points: Vec<(String, SyntheticConfig)>,
     repeats: usize,
+    threads: Threads,
 ) {
     let mut max_sum = Series::new(format!("{stem}: MaxSum vs {x_label}"), x_label);
     let mut time = Series::new(format!("{stem}: time (s) vs {x_label}"), x_label);
     let mut memory = Series::new(format!("{stem}: memory (MB) vs {x_label}"), x_label);
-    for (x, config) in points {
+    let cells = par_map_coarse(threads, points.len(), |i| {
+        let (x, config) = &points[i];
         eprintln!("[{stem}] {x_label} = {x} …");
         let instance = config.generate();
+        ALGOS.map(|algo| measure(&instance, algo, repeats))
+    });
+    for ((x, _), cell) in points.iter().zip(&cells) {
         max_sum.x.push(x.clone());
         time.x.push(x.clone());
-        memory.x.push(x);
-        for algo in ALGOS {
-            let m = measure(&instance, algo, repeats);
+        memory.x.push(x.clone());
+        for (algo, m) in ALGOS.iter().zip(cell) {
             max_sum.push(algo.name(), m.max_sum);
             time.push(algo.name(), m.seconds);
             memory.push(algo.name(), m.peak_bytes as f64 / 1e6);
         }
     }
-    for (suffix, series) in
-        [("maxsum", &max_sum), ("time", &time), ("memory", &memory)]
-    {
+    for (suffix, series) in [("maxsum", &max_sum), ("time", &time), ("memory", &memory)] {
         println!("{}", series.to_text());
         write_csv(Path::new("results"), &format!("{stem}_{suffix}"), series)
             .expect("write results CSV");

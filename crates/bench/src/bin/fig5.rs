@@ -11,12 +11,18 @@
 //! ```sh
 //! cargo run -p geacc-bench --release --bin fig5 -- --panel approx
 //! cargo run -p geacc-bench --release --bin fig5 -- --panel scale --quick
+//! cargo run -p geacc-bench --release --bin fig5 -- --threads 1   # measurement-grade
 //! ```
+//!
+//! Grid cells run concurrently on a scoped-thread pool sized by
+//! `--threads` / `GEACC_THREADS` (see `cli::threads` for the
+//! time/memory-panel caveat).
 
 use geacc_bench::cli;
 use geacc_bench::runner::measure;
 use geacc_bench::table::{write_csv, Series};
 use geacc_core::algorithms::Algorithm;
+use geacc_core::parallel::{par_map_coarse, Threads};
 use geacc_datagen::{CapDistribution, SyntheticConfig};
 use std::path::Path;
 
@@ -26,20 +32,25 @@ static ALLOC: geacc_bench::alloc::TrackingAllocator = geacc_bench::alloc::Tracki
 fn main() {
     let panel = cli::flag_value("panel");
     let quick = cli::has_flag("quick");
+    let threads = cli::threads();
     let run_all = panel.is_none();
     let panel = panel.unwrap_or_default();
 
     if run_all || panel == "scale" {
-        scale_panel(quick);
+        scale_panel(quick, threads);
     }
     if run_all || panel == "approx" {
-        approx_panel(quick);
+        approx_panel(quick, threads);
     }
 }
 
 /// Fig. 5a/5b: Greedy time and memory over |U|, one series per |V|.
-fn scale_panel(quick: bool) {
-    let v_sweep: &[usize] = if quick { &[100, 500] } else { &[100, 200, 500, 1000] };
+fn scale_panel(quick: bool, threads: Threads) {
+    let v_sweep: &[usize] = if quick {
+        &[100, 500]
+    } else {
+        &[100, 200, 500, 1000]
+    };
     let u_sweep: &[usize] = if quick {
         &[10_000, 50_000]
     } else {
@@ -49,22 +60,27 @@ fn scale_panel(quick: bool) {
     let mut memory = Series::new("fig5b: Greedy-GEACC memory (MB) vs |U|", "|U|");
     time.x = u_sweep.iter().map(usize::to_string).collect();
     memory.x = time.x.clone();
-    for &nv in v_sweep {
-        for &nu in u_sweep {
-            eprintln!("[fig5 scale] |V| = {nv}, |U| = {nu} …");
-            let instance = SyntheticConfig {
-                num_events: nv,
-                num_users: nu,
-                cap_v_dist: CapDistribution::Uniform { min: 1, max: 200 },
-                seed: 900 + nv as u64 * 7 + nu as u64,
-                ..Default::default()
-            }
-            .generate();
-            let m = measure(&instance, Algorithm::Greedy, 1);
-            let series_name = format!("|V|={nv}");
-            time.push(&series_name, m.seconds);
-            memory.push(&series_name, m.peak_bytes as f64 / 1e6);
+    let grid: Vec<(usize, usize)> = v_sweep
+        .iter()
+        .flat_map(|&nv| u_sweep.iter().map(move |&nu| (nv, nu)))
+        .collect();
+    let cells = par_map_coarse(threads, grid.len(), |i| {
+        let (nv, nu) = grid[i];
+        eprintln!("[fig5 scale] |V| = {nv}, |U| = {nu} …");
+        let instance = SyntheticConfig {
+            num_events: nv,
+            num_users: nu,
+            cap_v_dist: CapDistribution::Uniform { min: 1, max: 200 },
+            seed: 900 + nv as u64 * 7 + nu as u64,
+            ..Default::default()
         }
+        .generate();
+        measure(&instance, Algorithm::Greedy, 1)
+    });
+    for (&(nv, _), m) in grid.iter().zip(&cells) {
+        let series_name = format!("|V|={nv}");
+        time.push(&series_name, m.seconds);
+        memory.push(&series_name, m.peak_bytes as f64 / 1e6);
     }
     for (stem, series) in [("fig5a_time", &time), ("fig5b_memory", &memory)] {
         println!("{}", series.to_text());
@@ -85,8 +101,12 @@ fn scale_panel(quick: bool) {
 /// identical (both algorithms are exact; the property suite
 /// cross-checks them), so Fig. 5c is reproduced verbatim; Fig. 5d's
 /// "exact" series shows the DP's (much steadier) running time.
-fn approx_panel(quick: bool) {
-    let ratios: &[f64] = if quick { &[0.0, 0.5, 1.0] } else { &[0.0, 0.25, 0.5, 0.75, 1.0] };
+fn approx_panel(quick: bool, threads: Threads) {
+    let ratios: &[f64] = if quick {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
     let seeds: u64 = if quick { 2 } else { 5 };
     let mut max_sum = Series::new(
         "fig5c: MaxSum vs |CF| ratio (|V|=5, |U|=15, c_v~U[1,10], mean over seeds)",
@@ -98,24 +118,32 @@ fn approx_panel(quick: bool) {
         Algorithm::Greedy,
         Algorithm::ExactDp, // = OPT (see deviation note)
     ];
-    for &ratio in ratios {
-        eprintln!("[fig5 approx] |CF| ratio = {ratio} …");
+    // One cell per (ratio, seed); seed means are reduced sequentially.
+    let grid: Vec<(f64, u64)> = ratios
+        .iter()
+        .flat_map(|&ratio| (0..seeds).map(move |seed| (ratio, seed)))
+        .collect();
+    let cells = par_map_coarse(threads, grid.len(), |i| {
+        let (ratio, seed) = grid[i];
+        eprintln!("[fig5 approx] |CF| ratio = {ratio}, seed = {seed} …");
+        let instance = SyntheticConfig {
+            num_events: 5,
+            num_users: 15,
+            cap_v_dist: CapDistribution::Uniform { min: 1, max: 10 },
+            conflict_ratio: ratio,
+            seed: 1000 + seed,
+            ..Default::default()
+        }
+        .generate();
+        algos.map(|algo| measure(&instance, algo, 1))
+    });
+    for (r, &ratio) in ratios.iter().enumerate() {
         max_sum.x.push(format!("{ratio}"));
         time.x.push(format!("{ratio}"));
         let mut sums = [0.0f64; 3];
         let mut times = [0.0f64; 3];
-        for seed in 0..seeds {
-            let instance = SyntheticConfig {
-                num_events: 5,
-                num_users: 15,
-                cap_v_dist: CapDistribution::Uniform { min: 1, max: 10 },
-                conflict_ratio: ratio,
-                seed: 1000 + seed,
-                ..Default::default()
-            }
-            .generate();
-            for (i, algo) in algos.iter().enumerate() {
-                let m = measure(&instance, *algo, 1);
+        for cell in &cells[r * seeds as usize..(r + 1) * seeds as usize] {
+            for (i, m) in cell.iter().enumerate() {
                 sums[i] += m.max_sum;
                 times[i] += m.seconds;
             }

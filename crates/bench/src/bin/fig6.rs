@@ -23,6 +23,12 @@
 //! ```sh
 //! cargo run -p geacc-bench --release --bin fig6 [-- --quick]
 //! ```
+//!
+//! Unlike fig3–fig5, this harness takes no `--threads` flag and runs
+//! everything sequentially on purpose: its *measurements are the search
+//! statistics* (recursion depth, completes, `Search` invocations), and
+//! those are only reproducible on the sequential path — with workers,
+//! stats depend on traversal interleaving (see DESIGN.md §8).
 
 use geacc_bench::cli;
 use geacc_bench::table::{write_csv, Series};

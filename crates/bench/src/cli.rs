@@ -23,3 +23,23 @@ pub fn repeats(default: usize) -> usize {
         .map(|v| v.parse().expect("--repeats takes an integer"))
         .unwrap_or(default)
 }
+
+/// Worker budget for sweep parallelism: `--threads N`, falling back to
+/// `GEACC_THREADS`, falling back to the host's available parallelism.
+///
+/// Running cells concurrently leaves MaxSum untouched (all swept
+/// algorithms are deterministic) but perturbs the *time* and *memory*
+/// panels: wall-clock cells contend for cores, and the tracking
+/// allocator's peak is process-wide. Use `--threads 1` when those panels
+/// are the measurement; use more workers to iterate quickly on sweeps.
+pub fn threads() -> geacc_core::parallel::Threads {
+    use geacc_core::parallel::Threads;
+    match flag_value("threads") {
+        Some(v) => {
+            let n: usize = v.parse().expect("--threads takes a positive integer");
+            assert!(n >= 1, "--threads must be at least 1");
+            Threads::new(n)
+        }
+        None => Threads::from_env(),
+    }
+}

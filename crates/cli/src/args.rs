@@ -36,7 +36,9 @@ impl ParsedArgs {
             .next()
             .ok_or_else(|| ArgError("missing command".into()))?;
         if command.starts_with('-') {
-            return Err(ArgError(format!("expected a command, got flag {command:?}")));
+            return Err(ArgError(format!(
+                "expected a command, got flag {command:?}"
+            )));
         }
         let mut flags = BTreeMap::new();
         while let Some(tok) = tokens.next() {

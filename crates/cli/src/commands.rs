@@ -4,6 +4,7 @@
 use crate::args::ParsedArgs;
 use crate::io::{load_arrangement, load_instance, to_json, write_output, CliError};
 use geacc_core::algorithms::{self, Algorithm};
+use geacc_core::parallel::Threads;
 use geacc_datagen::{AttrDistribution, City, MeetupConfig, SyntheticConfig};
 use std::time::Instant;
 
@@ -16,7 +17,7 @@ USAGE:
                  [--attr-dist uniform|normal|zipf] [--conflict-ratio R]
                  [--city vancouver|auckland|singapore] [--seed S] [--output FILE]
   geacc solve    --input FILE [--algorithm greedy|mincostflow|prune|exhaustive|
-                 exact-dp|random-v|random-u] [--seed S] [--output FILE]
+                 exact-dp|random-v|random-u] [--seed S] [--threads N] [--output FILE]
   geacc validate --input FILE --arrangement FILE
   geacc stats    --input FILE
   geacc inspect  --input FILE --arrangement FILE [--top N] [--certify]
@@ -25,6 +26,9 @@ USAGE:
   geacc help
 
 FILE may be '-' for stdin/stdout. Instances and arrangements are JSON.
+--threads defaults to the GEACC_THREADS environment variable, then to the
+host's available parallelism; it affects wall-clock only (greedy and the
+exact search produce identical results at every thread count).
 ";
 
 /// Dispatch a parsed command line; returns the text to print.
@@ -117,10 +121,28 @@ fn parse_algorithm(name: &str, seed: u64) -> Result<Algorithm, CliError> {
     })
 }
 
+/// Resolve the worker budget for commands that accept `--threads`:
+/// explicit flag first, then `GEACC_THREADS`, then available parallelism.
+fn threads_arg(args: &ParsedArgs) -> Result<Threads, CliError> {
+    Ok(match args.value("threads")? {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|e| CliError(format!("invalid value for --threads: {e}")))?;
+            if n == 0 {
+                return Err(CliError("--threads must be at least 1".into()));
+            }
+            Threads::new(n)
+        }
+        None => Threads::from_env(),
+    })
+}
+
 fn solve(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["input", "algorithm", "seed", "output"])?;
+    args.expect_only(&["input", "algorithm", "seed", "threads", "output"])?;
     let instance = load_instance(args.required("input")?)?;
     let seed: u64 = args.parsed_or("seed", 0)?;
+    let threads = threads_arg(args)?;
     let algorithm = parse_algorithm(args.value("algorithm")?.unwrap_or("greedy"), seed)?;
     if matches!(algorithm, Algorithm::Prune | Algorithm::Exhaustive)
         && instance.num_events() * instance.num_users() > 200
@@ -133,15 +155,45 @@ fn solve(args: &ParsedArgs) -> Result<String, CliError> {
     let start = Instant::now();
     // Exact-DP has its own size guard (state-space, not pair count);
     // surface its error cleanly instead of panicking through `solve`.
-    let arrangement = if algorithm == Algorithm::ExactDp {
-        algorithms::exact_dp(&instance).map_err(|e| CliError(e.to_string()))?
-    } else {
-        algorithms::solve(&instance, algorithm)
+    // Greedy and the exact searches route through their configured entry
+    // points so the worker budget reaches them; results are identical at
+    // every thread count.
+    let arrangement = match algorithm {
+        Algorithm::ExactDp => {
+            algorithms::exact_dp(&instance).map_err(|e| CliError(e.to_string()))?
+        }
+        Algorithm::Greedy => {
+            algorithms::greedy_with(&instance, algorithms::GreedyConfig { threads })
+        }
+        Algorithm::Prune => {
+            algorithms::prune_with(
+                &instance,
+                algorithms::PruneConfig {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .arrangement
+        }
+        Algorithm::Exhaustive => {
+            algorithms::prune_with(
+                &instance,
+                algorithms::PruneConfig {
+                    enable_pruning: false,
+                    greedy_seed: false,
+                    threads,
+                },
+            )
+            .arrangement
+        }
+        other => algorithms::solve(&instance, other),
     };
     let elapsed = start.elapsed();
     let violations = arrangement.validate(&instance);
     if !violations.is_empty() {
-        return Err(CliError(format!("internal error: infeasible output: {violations:?}")));
+        return Err(CliError(format!(
+            "internal error: infeasible output: {violations:?}"
+        )));
     }
     if let Some(output) = args.value("output")? {
         write_output(output, &to_json(&arrangement)?)?;
@@ -354,8 +406,7 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("Greedy-GEACC"));
-        let out =
-            run_str(&format!("validate --input {inst} --arrangement {arr}")).unwrap();
+        let out = run_str(&format!("validate --input {inst} --arrangement {arr}")).unwrap();
         assert!(out.contains("feasible"));
     }
 
@@ -402,18 +453,17 @@ mod tests {
         let inst_a = tmp("va_instance.json");
         let inst_b = tmp("vb_instance.json");
         let arr_b = tmp("vb_arrangement.json");
-        run_str(&format!("generate --events 4 --users 10 --seed 1 --output {inst_a}"))
-            .unwrap();
+        run_str(&format!(
+            "generate --events 4 --users 10 --seed 1 --output {inst_a}"
+        ))
+        .unwrap();
         run_str(&format!(
             "generate --events 9 --users 25 --seed 2 --output {inst_b}"
         ))
         .unwrap();
         run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
         // Arrangement for B validated against A: shape mismatch ⇒ error.
-        assert!(run_str(&format!(
-            "validate --input {inst_a} --arrangement {arr_b}"
-        ))
-        .is_err());
+        assert!(run_str(&format!("validate --input {inst_a} --arrangement {arr_b}")).is_err());
     }
 
     #[test]
@@ -426,8 +476,10 @@ mod tests {
         let inst = tmp("improve_instance.json");
         let arr = tmp("improve_arrangement.json");
         let better = tmp("improve_better.json");
-        run_str(&format!("generate --events 6 --users 20 --seed 4 --output {inst}"))
-            .unwrap();
+        run_str(&format!(
+            "generate --events 6 --users 20 --seed 4 --output {inst}"
+        ))
+        .unwrap();
         run_str(&format!(
             "solve --input {inst} --algorithm random-v --seed 3 --output {arr}"
         ))
@@ -437,9 +489,11 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("local search"));
-        assert!(run_str(&format!("validate --input {inst} --arrangement {better}"))
-            .unwrap()
-            .contains("feasible"));
+        assert!(
+            run_str(&format!("validate --input {inst} --arrangement {better}"))
+                .unwrap()
+                .contains("feasible")
+        );
     }
 
     #[test]
@@ -447,15 +501,16 @@ mod tests {
         let inst_a = tmp("imp_a.json");
         let inst_b = tmp("imp_b.json");
         let arr_b = tmp("imp_b_arr.json");
-        run_str(&format!("generate --events 3 --users 8 --seed 1 --output {inst_a}"))
-            .unwrap();
-        run_str(&format!("generate --events 9 --users 30 --seed 2 --output {inst_b}"))
-            .unwrap();
-        run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
-        assert!(run_str(&format!(
-            "improve --input {inst_a} --arrangement {arr_b}"
+        run_str(&format!(
+            "generate --events 3 --users 8 --seed 1 --output {inst_a}"
         ))
-        .is_err());
+        .unwrap();
+        run_str(&format!(
+            "generate --events 9 --users 30 --seed 2 --output {inst_b}"
+        ))
+        .unwrap();
+        run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
+        assert!(run_str(&format!("improve --input {inst_a} --arrangement {arr_b}")).is_err());
     }
 
     #[test]
@@ -464,9 +519,10 @@ mod tests {
         let arr = tmp("inspect_arrangement.json");
         run_str(&format!("generate --events 6 --users 20 --output {inst}")).unwrap();
         run_str(&format!("solve --input {inst} --output {arr}")).unwrap();
-        let out =
-            run_str(&format!("inspect --input {inst} --arrangement {arr} --top 3"))
-                .unwrap();
+        let out = run_str(&format!(
+            "inspect --input {inst} --arrangement {arr} --top 3"
+        ))
+        .unwrap();
         assert!(out.contains("MaxSum"));
         assert!(out.contains("seats filled"));
         assert!(out.contains("top 3 events"));
@@ -491,15 +547,51 @@ mod tests {
         let inst_a = tmp("inspect_a.json");
         let inst_b = tmp("inspect_b.json");
         let arr_b = tmp("inspect_b_arr.json");
-        run_str(&format!("generate --events 3 --users 9 --seed 5 --output {inst_a}"))
-            .unwrap();
-        run_str(&format!("generate --events 7 --users 30 --seed 6 --output {inst_b}"))
-            .unwrap();
-        run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
-        assert!(run_str(&format!(
-            "inspect --input {inst_a} --arrangement {arr_b}"
+        run_str(&format!(
+            "generate --events 3 --users 9 --seed 5 --output {inst_a}"
         ))
-        .is_err());
+        .unwrap();
+        run_str(&format!(
+            "generate --events 7 --users 30 --seed 6 --output {inst_b}"
+        ))
+        .unwrap();
+        run_str(&format!("solve --input {inst_b} --output {arr_b}")).unwrap();
+        assert!(run_str(&format!("inspect --input {inst_a} --arrangement {arr_b}")).is_err());
+    }
+
+    #[test]
+    fn solve_threads_flag_is_accepted_and_validated() {
+        let inst = tmp("threads_instance.json");
+        run_str(&format!(
+            "generate --events 3 --users 6 --seed 9 --output {inst}"
+        ))
+        .unwrap();
+        let one = run_str(&format!(
+            "solve --input {inst} --algorithm prune --threads 1"
+        ))
+        .unwrap();
+        let four = run_str(&format!(
+            "solve --input {inst} --algorithm prune --threads 4"
+        ))
+        .unwrap();
+        // Same MaxSum printed at every thread count.
+        let max_sum = |s: &str| {
+            s.split("MaxSum ")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(max_sum(&one), max_sum(&four));
+        let greedy_out = run_str(&format!(
+            "solve --input {inst} --algorithm greedy --threads 2"
+        ))
+        .unwrap();
+        assert!(greedy_out.contains("Greedy-GEACC"));
+        assert!(run_str(&format!("solve --input {inst} --threads 0")).is_err());
+        assert!(run_str(&format!("solve --input {inst} --threads two")).is_err());
     }
 
     #[test]
@@ -508,10 +600,15 @@ mod tests {
         // default capacity distributions (c_v up to 50).
         let inst = tmp("algos_instance.json");
         run_str(&format!("generate --events 3 --users 6 --output {inst}")).unwrap();
-        for algo in ["greedy", "mincostflow", "prune", "exhaustive", "random-v", "random-u"]
-        {
-            let out =
-                run_str(&format!("solve --input {inst} --algorithm {algo}")).unwrap();
+        for algo in [
+            "greedy",
+            "mincostflow",
+            "prune",
+            "exhaustive",
+            "random-v",
+            "random-u",
+        ] {
+            let out = run_str(&format!("solve --input {inst} --algorithm {algo}")).unwrap();
             assert!(out.contains("MaxSum"), "{algo}: {out}");
         }
     }

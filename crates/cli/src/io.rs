@@ -32,8 +32,7 @@ pub fn read_input(path: &str) -> Result<String, CliError> {
             .map_err(|e| CliError(format!("reading stdin: {e}")))?;
         Ok(buf)
     } else {
-        std::fs::read_to_string(path)
-            .map_err(|e| CliError(format!("reading {path}: {e}")))
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))
     }
 }
 
@@ -63,8 +62,7 @@ pub fn load_instance(path: &str) -> Result<Instance, CliError> {
 /// Load a JSON arrangement.
 pub fn load_arrangement(path: &str) -> Result<Arrangement, CliError> {
     let text = read_input(path)?;
-    serde_json::from_str(&text)
-        .map_err(|e| CliError(format!("parsing arrangement {path}: {e}")))
+    serde_json::from_str(&text).map_err(|e| CliError(format!("parsing arrangement {path}: {e}")))
 }
 
 /// Serialize any value as pretty JSON.

@@ -39,9 +39,11 @@ fn full_operator_workflow() {
     assert!(out.contains("Greedy-GEACC"));
 
     // 4. Validate + inspect the arrangement.
-    assert!(run(&format!("validate --input {inst} --arrangement {plan}"))
-        .unwrap()
-        .contains("feasible"));
+    assert!(
+        run(&format!("validate --input {inst} --arrangement {plan}"))
+            .unwrap()
+            .contains("feasible")
+    );
     let out = run(&format!(
         "inspect --input {inst} --arrangement {plan} --top 3"
     ))
@@ -70,11 +72,9 @@ fn solve_algorithms_agree_on_quality_ordering() {
             .unwrap()
     };
     let opt = extract(&run(&format!("solve --input {inst} --algorithm prune")).unwrap());
-    let dp =
-        extract(&run(&format!("solve --input {inst} --algorithm exact-dp")).unwrap());
+    let dp = extract(&run(&format!("solve --input {inst} --algorithm exact-dp")).unwrap());
     let grd = extract(&run(&format!("solve --input {inst} --algorithm greedy")).unwrap());
-    let mcf =
-        extract(&run(&format!("solve --input {inst} --algorithm mincostflow")).unwrap());
+    let mcf = extract(&run(&format!("solve --input {inst} --algorithm mincostflow")).unwrap());
     assert!((opt - dp).abs() < 1e-9, "two exact algorithms disagree");
     assert!(opt + 1e-9 >= grd);
     assert!(opt + 1e-9 >= mcf);

@@ -50,9 +50,15 @@ pub fn trivial_upper_bound(inst: &Instance) -> f64 {
 /// min-cost-flow sweep.
 pub fn relaxation_upper_bound(inst: &Instance) -> f64 {
     // Early-stop is exact for the bound (the sweep objective is concave).
-    mincostflow_with(inst, McfConfig { early_stop: true, ..Default::default() })
-        .relaxation
-        .max_sum
+    mincostflow_with(
+        inst,
+        McfConfig {
+            early_stop: true,
+            ..Default::default()
+        },
+    )
+    .relaxation
+    .max_sum
 }
 
 /// An arrangement's certified optimality interval.
@@ -74,7 +80,11 @@ pub fn optimality_gap(inst: &Instance, arrangement: &Arrangement) -> GapReport {
     GapReport {
         achieved,
         upper_bound: upper,
-        certified_ratio: if upper <= 0.0 { 1.0 } else { (achieved / upper).min(1.0) },
+        certified_ratio: if upper <= 0.0 {
+            1.0
+        } else {
+            (achieved / upper).min(1.0)
+        },
     }
 }
 
@@ -141,8 +151,7 @@ mod tests {
     fn trivial_bound_uses_the_smaller_side() {
         // One high-capacity event, one low-capacity user: user side binds.
         let m = SimMatrix::from_rows(&[vec![1.0]]);
-        let inst =
-            Instance::from_matrix(m, vec![50], vec![1], ConflictGraph::empty(1)).unwrap();
+        let inst = Instance::from_matrix(m, vec![50], vec![1], ConflictGraph::empty(1)).unwrap();
         assert!((trivial_upper_bound(&inst) - 1.0).abs() < 1e-12);
     }
 }

@@ -57,13 +57,17 @@ pub fn exact_dp(inst: &Instance) -> Result<Arrangement, DpTooLarge> {
     let nu = inst.num_users();
 
     // Mixed-radix encoding of remaining capacities.
-    let radices: Vec<usize> =
-        inst.events().map(|v| inst.event_capacity(v) as usize + 1).collect();
+    let radices: Vec<usize> = inst
+        .events()
+        .map(|v| inst.event_capacity(v) as usize + 1)
+        .collect();
     let mut states_u128: u128 = 1;
     for &r in &radices {
         states_u128 = states_u128.saturating_mul(r as u128);
         if states_u128 > MAX_DP_STATES as u128 {
-            return Err(DpTooLarge { states: states_u128 });
+            return Err(DpTooLarge {
+                states: states_u128,
+            });
         }
     }
     let num_states = states_u128 as usize;
@@ -77,7 +81,10 @@ pub fn exact_dp(inst: &Instance) -> Result<Arrangement, DpTooLarge> {
     // Per-user feasible subsets: (event bitmask, similarity sum), with
     // the empty subset first. Masks fit in u32 (the state-space guard
     // caps nv well below 32 in practice; assert defensively).
-    assert!(nv <= 30, "DP event masks use u32; Π(c_v+1) should have tripped first");
+    assert!(
+        nv <= 30,
+        "DP event masks use u32; Π(c_v+1) should have tripped first"
+    );
     let mut row = Vec::new();
     let mut user_subsets: Vec<Vec<(u32, f64)>> = Vec::with_capacity(nu);
     for u in inst.users() {
@@ -91,8 +98,8 @@ pub fn exact_dp(inst: &Instance) -> Result<Arrangement, DpTooLarge> {
             if (mask.count_ones() as usize) >= cap {
                 continue;
             }
-            for v in next..nv {
-                if row[v] <= 0.0 {
+            for (v, &sim) in row.iter().enumerate().skip(next) {
+                if sim <= 0.0 {
                     continue;
                 }
                 let ev = EventId(v as u32);
@@ -103,7 +110,7 @@ pub fn exact_dp(inst: &Instance) -> Result<Arrangement, DpTooLarge> {
                     continue;
                 }
                 let m2 = mask | 1 << v;
-                let s2 = sum + row[v];
+                let s2 = sum + sim;
                 subsets.push((m2, s2));
                 frontier.push((m2, s2, v + 1));
             }
@@ -124,13 +131,14 @@ pub fn exact_dp(inst: &Instance) -> Result<Arrangement, DpTooLarge> {
     let mut choice: Vec<Vec<u8>> = Vec::with_capacity(nu);
 
     let mut next_dp = vec![neg; num_states];
-    for u in 0..nu {
+    for subsets in &user_subsets {
         next_dp.fill(neg);
         let mut ch = vec![0u8; num_states];
-        let subsets = &user_subsets[u];
-        assert!(subsets.len() <= u8::MAX as usize + 1, "subset index fits u8");
-        for s in 0..num_states {
-            let base = dp[s];
+        assert!(
+            subsets.len() <= u8::MAX as usize + 1,
+            "subset index fits u8"
+        );
+        for (s, &base) in dp.iter().enumerate() {
             if base == neg {
                 continue;
             }
@@ -210,7 +218,11 @@ mod tests {
     fn matches_the_paper_optimum_on_the_toy() {
         let inst = toy::table1_instance();
         let dp = exact_dp(&inst).unwrap();
-        assert!((dp.max_sum() - toy::OPTIMAL_MAX_SUM).abs() < 1e-9, "got {}", dp.max_sum());
+        assert!(
+            (dp.max_sum() - toy::OPTIMAL_MAX_SUM).abs() < 1e-9,
+            "got {}",
+            dp.max_sum()
+        );
         assert!(dp.validate(&inst).is_empty());
     }
 
@@ -240,13 +252,8 @@ mod tests {
                     }
                 }
             }
-            let inst = Instance::from_matrix(
-                SimMatrix::from_rows(&rows),
-                cap_v,
-                cap_u,
-                conflicts,
-            )
-            .unwrap();
+            let inst = Instance::from_matrix(SimMatrix::from_rows(&rows), cap_v, cap_u, conflicts)
+                .unwrap();
             let dp = exact_dp(&inst).unwrap();
             let p = prune(&inst).arrangement;
             let e = exhaustive(&inst).arrangement;
@@ -290,7 +297,11 @@ mod tests {
         let inst = b.build().unwrap();
         let start = std::time::Instant::now();
         let dp = exact_dp(&inst).unwrap();
-        assert!(start.elapsed().as_secs_f64() < 5.0, "DP took {:?}", start.elapsed());
+        assert!(
+            start.elapsed().as_secs_f64() < 5.0,
+            "DP took {:?}",
+            start.elapsed()
+        );
         assert!(dp.validate(&inst).is_empty());
         // And it dominates greedy, as an optimum must.
         assert!(dp.max_sum() + 1e-9 >= greedy(&inst).max_sum());
@@ -331,8 +342,7 @@ mod tests {
     #[test]
     fn empty_similarity_instance_yields_empty_arrangement() {
         let m = SimMatrix::from_rows(&[vec![0.0, 0.0]]);
-        let inst =
-            Instance::from_matrix(m, vec![3], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let inst = Instance::from_matrix(m, vec![3], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         let dp = exact_dp(&inst).unwrap();
         assert!(dp.is_empty());
     }

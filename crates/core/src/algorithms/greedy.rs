@@ -18,18 +18,79 @@
 //!   shrink and a user's matched-event set only grows;
 //! - a feasible candidate that is already waiting in `H` ends the scan
 //!   without a push (Example 3's `{v₁, u₃}` case).
+//!
+//! The pushed/popped membership sets are flat bitsets keyed
+//! `v·|U| + u` whenever the pair domain fits a fixed memory budget
+//! ([`PairSet`]) — O(1) untyped loads instead of SipHash on the hot scan
+//! path — falling back to a `HashSet` for outsized domains.
 
 use crate::algorithms::oracle::NeighborOracle;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
+use crate::parallel::Threads;
 use crate::Instance;
 use std::collections::{BinaryHeap, HashSet};
 
-/// Configuration for [`greedy`]. Currently a placeholder for symmetry
-/// with the other algorithms (the neighbour-stream ablations live in the
-/// bench crate, which drives the oracle directly).
+/// Configuration for [`greedy`].
 #[derive(Debug, Clone, Copy, Default)]
-pub struct GreedyConfig {}
+pub struct GreedyConfig {
+    /// Worker budget for building the neighbour oracle's first chunks
+    /// (the `O((|V| + |U|)·n·d)` setup scan). The greedy iteration
+    /// itself is inherently sequential; the arrangement is identical at
+    /// every setting.
+    pub threads: Threads,
+}
+
+/// Membership set over pair keys `v·|U| + u`.
+///
+/// Greedy's `pushed`/`popped` sets are hit once per stream-scan step, so
+/// lookup cost is on the algorithm's critical path. When the full pair
+/// domain fits [`PairSet::BUDGET_BITS`] (16 MiB of bits — covers the
+/// paper's largest scalability setting, `|V|·|U| = 10⁸`), membership is
+/// one word index; beyond that, a `HashSet` keeps memory proportional to
+/// pairs actually seen (which scanning discipline keeps near-linear).
+#[derive(Debug)]
+enum PairSet {
+    Bits(Vec<u64>),
+    Hash(HashSet<u64>),
+}
+
+impl PairSet {
+    /// Largest pair domain (in bits) given a dense bitset: `2^27` bits =
+    /// 16 MiB per set.
+    const BUDGET_BITS: u64 = 1 << 27;
+
+    fn with_domain(num_pairs: u64) -> Self {
+        if num_pairs <= Self::BUDGET_BITS {
+            PairSet::Bits(vec![0u64; num_pairs.div_ceil(64) as usize])
+        } else {
+            PairSet::Hash(HashSet::new())
+        }
+    }
+
+    /// Insert `key`; returns `true` if it was not already present.
+    #[inline]
+    fn insert(&mut self, key: u64) -> bool {
+        match self {
+            PairSet::Bits(words) => {
+                let (w, b) = ((key / 64) as usize, key % 64);
+                let mask = 1u64 << b;
+                let fresh = words[w] & mask == 0;
+                words[w] |= mask;
+                fresh
+            }
+            PairSet::Hash(set) => set.insert(key),
+        }
+    }
+
+    #[inline]
+    fn contains(&self, key: u64) -> bool {
+        match self {
+            PairSet::Bits(words) => words[(key / 64) as usize] & (1u64 << (key % 64)) != 0,
+            PairSet::Hash(set) => set.contains(&key),
+        }
+    }
+}
 
 /// Run Greedy-GEACC; returns a feasible arrangement.
 pub fn greedy(inst: &Instance) -> Arrangement {
@@ -37,18 +98,25 @@ pub fn greedy(inst: &Instance) -> Arrangement {
 }
 
 /// Run Greedy-GEACC with explicit configuration.
-pub fn greedy_with(inst: &Instance, _config: GreedyConfig) -> Arrangement {
+pub fn greedy_with(inst: &Instance, config: GreedyConfig) -> Arrangement {
     let nu = inst.num_users() as u64;
     let key = |v: EventId, u: UserId| v.0 as u64 * nu + u.0 as u64;
 
     let mut arrangement = Arrangement::empty_for(inst);
-    let mut oracle = NeighborOracle::new(inst);
+    // Greedy opens every node's stream during initialization, so the
+    // prewarmed (parallel) construction wastes no scans.
+    let mut oracle = if config.threads.get() > 1 {
+        NeighborOracle::prewarmed(inst, config.threads)
+    } else {
+        NeighborOracle::new(inst)
+    };
     // Remaining capacities.
     let mut cap_v: Vec<u32> = inst.events().map(|v| inst.event_capacity(v)).collect();
     let mut cap_u: Vec<u32> = inst.users().map(|u| inst.user_capacity(u)).collect();
     // Pairs ever pushed into H / already popped from it.
-    let mut pushed: HashSet<u64> = HashSet::new();
-    let mut popped: HashSet<u64> = HashSet::new();
+    let num_pairs = inst.num_events() as u64 * nu;
+    let mut pushed = PairSet::with_domain(num_pairs);
+    let mut popped = PairSet::with_domain(num_pairs);
     let mut heap: BinaryHeap<HeapPair> = BinaryHeap::new();
 
     // Scan `v`'s stream for its next feasible unvisited user; push the
@@ -57,16 +125,18 @@ pub fn greedy_with(inst: &Instance, _config: GreedyConfig) -> Arrangement {
                       oracle: &mut NeighborOracle,
                       arrangement: &Arrangement,
                       cap_u: &[u32],
-                      pushed: &mut HashSet<u64>,
-                      popped: &HashSet<u64>,
+                      pushed: &mut PairSet,
+                      popped: &PairSet,
                       heap: &mut BinaryHeap<HeapPair>| {
         while let Some((u, sim)) = oracle.next_user_for_event(v) {
             let k = key(v, u);
-            if popped.contains(&k) {
+            if popped.contains(k) {
                 continue; // visited
             }
             let feasible = cap_u[u.index()] > 0
-                && !inst.conflicts().conflicts_with_any(v, arrangement.events_of(u));
+                && !inst
+                    .conflicts()
+                    .conflicts_with_any(v, arrangement.events_of(u));
             if !feasible {
                 continue; // can never become feasible again
             }
@@ -80,16 +150,18 @@ pub fn greedy_with(inst: &Instance, _config: GreedyConfig) -> Arrangement {
                      oracle: &mut NeighborOracle,
                      arrangement: &Arrangement,
                      cap_v: &[u32],
-                     pushed: &mut HashSet<u64>,
-                     popped: &HashSet<u64>,
+                     pushed: &mut PairSet,
+                     popped: &PairSet,
                      heap: &mut BinaryHeap<HeapPair>| {
         while let Some((v, sim)) = oracle.next_event_for_user(u) {
             let k = key(v, u);
-            if popped.contains(&k) {
+            if popped.contains(k) {
                 continue;
             }
             let feasible = cap_v[v.index()] > 0
-                && !inst.conflicts().conflicts_with_any(v, arrangement.events_of(u));
+                && !inst
+                    .conflicts()
+                    .conflicts_with_any(v, arrangement.events_of(u));
             if !feasible {
                 continue;
             }
@@ -103,12 +175,28 @@ pub fn greedy_with(inst: &Instance, _config: GreedyConfig) -> Arrangement {
     // Initialization (lines 1–9): each side's first NN.
     for v in inst.events() {
         if cap_v[v.index()] > 0 {
-            scan_event(v, &mut oracle, &arrangement, &cap_u, &mut pushed, &popped, &mut heap);
+            scan_event(
+                v,
+                &mut oracle,
+                &arrangement,
+                &cap_u,
+                &mut pushed,
+                &popped,
+                &mut heap,
+            );
         }
     }
     for u in inst.users() {
         if cap_u[u.index()] > 0 {
-            scan_user(u, &mut oracle, &arrangement, &cap_v, &mut pushed, &popped, &mut heap);
+            scan_user(
+                u,
+                &mut oracle,
+                &arrangement,
+                &cap_v,
+                &mut pushed,
+                &popped,
+                &mut heap,
+            );
         }
     }
 
@@ -117,17 +205,35 @@ pub fn greedy_with(inst: &Instance, _config: GreedyConfig) -> Arrangement {
         popped.insert(key(v, u));
         if cap_v[v.index()] > 0
             && cap_u[u.index()] > 0
-            && !inst.conflicts().conflicts_with_any(v, arrangement.events_of(u))
+            && !inst
+                .conflicts()
+                .conflicts_with_any(v, arrangement.events_of(u))
         {
             arrangement.push_unchecked(v, u, sim);
             cap_v[v.index()] -= 1;
             cap_u[u.index()] -= 1;
         }
         if cap_v[v.index()] > 0 {
-            scan_event(v, &mut oracle, &arrangement, &cap_u, &mut pushed, &popped, &mut heap);
+            scan_event(
+                v,
+                &mut oracle,
+                &arrangement,
+                &cap_u,
+                &mut pushed,
+                &popped,
+                &mut heap,
+            );
         }
         if cap_u[u.index()] > 0 {
-            scan_user(u, &mut oracle, &arrangement, &cap_v, &mut pushed, &popped, &mut heap);
+            scan_user(
+                u,
+                &mut oracle,
+                &arrangement,
+                &cap_v,
+                &mut pushed,
+                &popped,
+                &mut heap,
+            );
         }
     }
     arrangement
@@ -194,13 +300,8 @@ mod tests {
     #[test]
     fn complete_conflict_graph_limits_users_to_one_event() {
         let m = SimMatrix::from_rows(&[vec![0.9, 0.8], vec![0.7, 0.6], vec![0.5, 0.4]]);
-        let inst = Instance::from_matrix(
-            m,
-            vec![2, 2, 2],
-            vec![3, 3],
-            ConflictGraph::complete(3),
-        )
-        .unwrap();
+        let inst = Instance::from_matrix(m, vec![2, 2, 2], vec![3, 3], ConflictGraph::complete(3))
+            .unwrap();
         let res = greedy(&inst);
         assert!(res.validate(&inst).is_empty());
         for u in inst.users() {
@@ -213,8 +314,7 @@ mod tests {
     #[test]
     fn zero_similarity_instance_yields_empty_matching() {
         let m = SimMatrix::from_rows(&[vec![0.0, 0.0]]);
-        let inst =
-            Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let inst = Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         let res = greedy(&inst);
         assert!(res.is_empty());
     }
@@ -267,13 +367,64 @@ mod tests {
     }
 
     #[test]
+    fn identical_at_every_thread_count() {
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|v| {
+                (0..24)
+                    .map(|u| ((v * 11 + u * 5) % 17) as f64 / 17.0)
+                    .collect()
+            })
+            .collect();
+        let inst = Instance::from_matrix(
+            SimMatrix::from_rows(&rows),
+            vec![3; 8],
+            vec![2; 24],
+            ConflictGraph::from_pairs(8, [(EventId(0), EventId(3)), (EventId(2), EventId(5))]),
+        )
+        .unwrap();
+        let sequential = greedy(&inst);
+        for t in [2, 4, 8] {
+            let parallel = greedy_with(
+                &inst,
+                GreedyConfig {
+                    threads: Threads::new(t),
+                },
+            );
+            assert_eq!(parallel, sequential, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn pair_set_bits_and_hash_agree() {
+        let mut bits = PairSet::with_domain(1000);
+        let mut hash = PairSet::Hash(HashSet::new());
+        assert!(matches!(bits, PairSet::Bits(_)));
+        for k in [0u64, 1, 63, 64, 65, 999, 64, 0] {
+            assert_eq!(bits.insert(k), hash.insert(k), "insert {k}");
+        }
+        for k in 0..1000u64 {
+            assert_eq!(bits.contains(k), hash.contains(k), "contains {k}");
+        }
+    }
+
+    #[test]
+    fn pair_set_falls_back_to_hash_beyond_budget() {
+        let huge = PairSet::BUDGET_BITS + 1;
+        let mut set = PairSet::with_domain(huge);
+        assert!(matches!(set, PairSet::Hash(_)));
+        assert!(set.insert(huge - 1));
+        assert!(!set.insert(huge - 1));
+        assert!(set.contains(huge - 1));
+        assert!(!set.contains(0));
+    }
+
+    #[test]
     fn heap_tie_breaks_are_deterministic() {
         // All similarities equal: the arrangement is fully determined by
         // the documented (v, u) ascending tie-break.
         let m = SimMatrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
         let inst =
-            Instance::from_matrix(m, vec![1, 1], vec![1, 1], ConflictGraph::empty(2))
-                .unwrap();
+            Instance::from_matrix(m, vec![1, 1], vec![1, 1], ConflictGraph::empty(2)).unwrap();
         let res = greedy(&inst);
         assert!(res.contains(EventId(0), UserId(0)));
         assert!(res.contains(EventId(1), UserId(1)));
@@ -284,13 +435,8 @@ mod tests {
         // A user wanted by every event but able to attend only one; the
         // winner must be the highest-similarity event.
         let m = SimMatrix::from_rows(&[vec![0.3], vec![0.9], vec![0.6]]);
-        let inst = Instance::from_matrix(
-            m,
-            vec![1, 1, 1],
-            vec![3],
-            ConflictGraph::complete(3),
-        )
-        .unwrap();
+        let inst =
+            Instance::from_matrix(m, vec![1, 1, 1], vec![3], ConflictGraph::complete(3)).unwrap();
         let res = greedy(&inst);
         assert_eq!(res.len(), 1);
         assert!(res.contains(EventId(1), UserId(0)));

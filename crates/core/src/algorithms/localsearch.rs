@@ -35,7 +35,10 @@ pub struct LocalSearchConfig {
 
 impl Default for LocalSearchConfig {
     fn default() -> Self {
-        LocalSearchConfig { max_passes: 32, min_gain: 1e-12 }
+        LocalSearchConfig {
+            max_passes: 32,
+            min_gain: 1e-12,
+        }
     }
 }
 
@@ -67,7 +70,11 @@ pub fn improve(
             break;
         }
     }
-    LocalSearchResult { arrangement: current, moves, passes }
+    LocalSearchResult {
+        arrangement: current,
+        moves,
+        passes,
+    }
 }
 
 /// One pass: try every move site once; returns accepted-move count.
@@ -166,13 +173,8 @@ mod tests {
     fn improves_a_deliberately_bad_arrangement() {
         // v0 with u1 (0.3) when u0 (0.9) is free: upgrade-user fires.
         let m = SimMatrix::from_rows(&[vec![0.9, 0.3]]);
-        let inst = crate::Instance::from_matrix(
-            m,
-            vec![1],
-            vec![1, 1],
-            ConflictGraph::empty(1),
-        )
-        .unwrap();
+        let inst =
+            crate::Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         let mut bad = Arrangement::empty_for(&inst);
         bad.try_add(&inst, EventId(0), UserId(1)).unwrap();
         let res = improve(&inst, bad, LocalSearchConfig::default());
@@ -184,8 +186,11 @@ mod tests {
     fn local_optimum_is_a_fixed_point() {
         let inst = toy::table1_instance();
         let first = improve(&inst, greedy(&inst), LocalSearchConfig::default());
-        let second =
-            improve(&inst, first.arrangement.clone(), LocalSearchConfig::default());
+        let second = improve(
+            &inst,
+            first.arrangement.clone(),
+            LocalSearchConfig::default(),
+        );
         assert_eq!(second.moves, 0);
         assert_eq!(second.passes, 1);
         assert_eq!(first.arrangement, second.arrangement);
@@ -206,7 +211,11 @@ mod tests {
     #[test]
     fn empty_arrangement_gets_filled() {
         let inst = toy::table1_instance();
-        let res = improve(&inst, Arrangement::empty_for(&inst), LocalSearchConfig::default());
+        let res = improve(
+            &inst,
+            Arrangement::empty_for(&inst),
+            LocalSearchConfig::default(),
+        );
         assert!(res.arrangement.max_sum() > 0.0);
         assert!(res.arrangement.validate(&inst).is_empty());
         // Fill alone reproduces a maximal arrangement; upgrades then act.
@@ -224,7 +233,10 @@ mod tests {
         let res = improve(
             &inst,
             Arrangement::empty_for(&inst),
-            LocalSearchConfig { max_passes: 1, min_gain: 1e-12 },
+            LocalSearchConfig {
+                max_passes: 1,
+                min_gain: 1e-12,
+            },
         );
         assert_eq!(res.passes, 1);
     }

@@ -145,7 +145,11 @@ pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
 
     McfResult {
         arrangement,
-        relaxation: RelaxationInfo { max_sum: best_ms, best_delta, max_delta },
+        relaxation: RelaxationInfo {
+            max_sum: best_ms,
+            best_delta,
+            max_delta,
+        },
     }
 }
 
@@ -185,7 +189,10 @@ fn exact_independent_set<'l>(
             best_mask = mask;
         }
     }
-    (0..n).filter(|&i| best_mask >> i & 1 == 1).map(|i| &list[i]).collect()
+    (0..n)
+        .filter(|&i| best_mask >> i & 1 == 1)
+        .map(|i| &list[i])
+        .collect()
 }
 
 /// Construct the paper's flow network `G_F` as a bipartite matcher:
@@ -249,8 +256,7 @@ mod tests {
     #[test]
     fn zero_similarity_pairs_are_excluded_from_the_matching() {
         let m = SimMatrix::from_rows(&[vec![0.0, 0.6]]);
-        let inst =
-            Instance::from_matrix(m, vec![2], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let inst = Instance::from_matrix(m, vec![2], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         let res = mincostflow(&inst);
         assert_eq!(res.arrangement.len(), 1);
         assert!(res.arrangement.contains(EventId(0), UserId(1)));
@@ -263,12 +269,13 @@ mod tests {
         let greedy_repair = mincostflow(&inst);
         let exact = mincostflow_with(
             &inst,
-            McfConfig { exact_repair: true, ..McfConfig::default() },
+            McfConfig {
+                exact_repair: true,
+                ..McfConfig::default()
+            },
         );
         assert!(exact.arrangement.validate(&inst).is_empty());
-        assert!(
-            exact.arrangement.max_sum() + 1e-12 >= greedy_repair.arrangement.max_sum()
-        );
+        assert!(exact.arrangement.max_sum() + 1e-12 >= greedy_repair.arrangement.max_sum());
     }
 
     #[test]
@@ -282,17 +289,17 @@ mod tests {
             m,
             vec![1, 1, 1],
             vec![3],
-            ConflictGraph::from_pairs(
-                3,
-                [(EventId(0), EventId(1)), (EventId(1), EventId(2))],
-            ),
+            ConflictGraph::from_pairs(3, [(EventId(0), EventId(1)), (EventId(1), EventId(2))]),
         )
         .unwrap();
         let greedy_repair = mincostflow(&inst);
         assert!((greedy_repair.arrangement.max_sum() - 0.8).abs() < 1e-9);
         let exact = mincostflow_with(
             &inst,
-            McfConfig { exact_repair: true, ..McfConfig::default() },
+            McfConfig {
+                exact_repair: true,
+                ..McfConfig::default()
+            },
         );
         assert!((exact.arrangement.max_sum() - 1.4).abs() < 1e-9);
         assert!(exact.arrangement.validate(&inst).is_empty());
@@ -306,7 +313,10 @@ mod tests {
         let a = mincostflow(&inst).arrangement;
         let b = mincostflow_with(
             &inst,
-            McfConfig { exact_repair: true, ..McfConfig::default() },
+            McfConfig {
+                exact_repair: true,
+                ..McfConfig::default()
+            },
         )
         .arrangement;
         assert_eq!(a, b);
@@ -315,8 +325,20 @@ mod tests {
     #[test]
     fn early_stop_matches_full_sweep() {
         let inst = toy::table1_instance();
-        let full = mincostflow_with(&inst, McfConfig { early_stop: false, ..Default::default() });
-        let fast = mincostflow_with(&inst, McfConfig { early_stop: true, ..Default::default() });
+        let full = mincostflow_with(
+            &inst,
+            McfConfig {
+                early_stop: false,
+                ..Default::default()
+            },
+        );
+        let fast = mincostflow_with(
+            &inst,
+            McfConfig {
+                early_stop: true,
+                ..Default::default()
+            },
+        );
         assert!((full.arrangement.max_sum() - fast.arrangement.max_sum()).abs() < 1e-9);
         assert!((full.relaxation.max_sum - fast.relaxation.max_sum).abs() < 1e-9);
         assert_eq!(full.relaxation.best_delta, fast.relaxation.best_delta);
@@ -326,13 +348,8 @@ mod tests {
     fn conflict_repair_keeps_the_best_event_per_user() {
         // One user, two conflicting events; repair must keep the better.
         let m = SimMatrix::from_rows(&[vec![0.9], vec![0.7]]);
-        let inst = Instance::from_matrix(
-            m,
-            vec![1, 1],
-            vec![2],
-            ConflictGraph::complete(2),
-        )
-        .unwrap();
+        let inst =
+            Instance::from_matrix(m, vec![1, 1], vec![2], ConflictGraph::complete(2)).unwrap();
         let res = mincostflow(&inst);
         assert_eq!(res.arrangement.len(), 1);
         assert!(res.arrangement.contains(EventId(0), UserId(0)));
@@ -343,8 +360,7 @@ mod tests {
     #[test]
     fn all_zero_similarities_yield_empty_arrangement() {
         let m = SimMatrix::from_rows(&[vec![0.0, 0.0]]);
-        let inst =
-            Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let inst = Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         let res = mincostflow(&inst);
         assert!(res.arrangement.is_empty());
         assert_eq!(res.relaxation.best_delta, 0);

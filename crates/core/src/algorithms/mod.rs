@@ -15,16 +15,17 @@ pub mod greedy;
 pub mod localsearch;
 pub mod mincostflow;
 pub mod online;
-mod oracle;
+pub mod oracle;
 pub mod prune;
 pub mod random;
 
 pub use bounds::{optimality_gap, relaxation_upper_bound, trivial_upper_bound, GapReport};
 pub use dp::{exact_dp, DpTooLarge};
-pub use online::{online_greedy, OnlineArranger, OnlineConfig};
 pub use greedy::{greedy, greedy_with, GreedyConfig};
 pub use localsearch::{improve, LocalSearchConfig, LocalSearchResult};
 pub use mincostflow::{mincostflow, mincostflow_with, McfConfig, McfResult, RelaxationInfo};
+pub use online::{online_greedy, OnlineArranger, OnlineConfig};
+pub use oracle::NeighborOracle;
 pub use prune::{exhaustive, prune, prune_with, PruneConfig, PruneResult, SearchStats};
 pub use random::{random_u, random_v};
 
@@ -78,12 +79,8 @@ pub fn solve(instance: &Instance, algorithm: Algorithm) -> Arrangement {
         Algorithm::Exhaustive => exhaustive(instance).arrangement,
         Algorithm::ExactDp => exact_dp(instance)
             .expect("instance too large for the DP; use prune or an approximation"),
-        Algorithm::RandomV { seed } => {
-            random_v(instance, &mut StdRng::seed_from_u64(seed))
-        }
-        Algorithm::RandomU { seed } => {
-            random_u(instance, &mut StdRng::seed_from_u64(seed))
-        }
+        Algorithm::RandomV { seed } => random_v(instance, &mut StdRng::seed_from_u64(seed)),
+        Algorithm::RandomU { seed } => random_u(instance, &mut StdRng::seed_from_u64(seed)),
     }
 }
 

@@ -81,9 +81,7 @@ impl<'a> OnlineArranger<'a> {
             .scratch
             .iter()
             .enumerate()
-            .filter(|&(v, &s)| {
-                s > 0.0 && s >= self.config.threshold && self.cap_v[v] > 0
-            })
+            .filter(|&(v, &s)| s > 0.0 && s >= self.config.threshold && self.cap_v[v] > 0)
             .map(|(v, &s)| (s, v as u32))
             .collect();
         candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -169,19 +167,10 @@ mod tests {
     fn arrival_order_matters() {
         // One seat, two users: whoever arrives first takes it.
         let m = SimMatrix::from_rows(&[vec![0.5, 0.9]]);
-        let inst =
-            Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
-        let first = online_greedy(
-            &inst,
-            [UserId(0), UserId(1)],
-            OnlineConfig::default(),
-        );
+        let inst = Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let first = online_greedy(&inst, [UserId(0), UserId(1)], OnlineConfig::default());
         assert!(first.contains(EventId(0), UserId(0)));
-        let second = online_greedy(
-            &inst,
-            [UserId(1), UserId(0)],
-            OnlineConfig::default(),
-        );
+        let second = online_greedy(&inst, [UserId(1), UserId(0)], OnlineConfig::default());
         assert!(second.contains(EventId(0), UserId(1)));
         assert!(second.max_sum() > first.max_sum());
     }
@@ -191,10 +180,8 @@ mod tests {
         // Without a threshold the early lukewarm user (0.4) takes the
         // seat the later enthusiast (0.9) wanted.
         let m = SimMatrix::from_rows(&[vec![0.4, 0.9]]);
-        let inst =
-            Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
-        let naive =
-            online_greedy(&inst, [UserId(0), UserId(1)], OnlineConfig::default());
+        let inst = Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let naive = online_greedy(&inst, [UserId(0), UserId(1)], OnlineConfig::default());
         assert!((naive.max_sum() - 0.4).abs() < 1e-12);
         let reserved = online_greedy(
             &inst,
@@ -210,7 +197,7 @@ mod tests {
         let arr = online_greedy(&inst, inst.users(), OnlineConfig::default());
         // u0 likes both v0 (0.93) and v2 (0.86) but they conflict.
         let events = arr.events_of(UserId(0));
-        assert!(events.len() >= 1);
+        assert!(!events.is_empty());
         assert!(!(events.contains(&EventId(0)) && events.contains(&EventId(2))));
         assert!(arr.validate(&inst).is_empty());
     }
@@ -248,11 +235,7 @@ mod tests {
     #[test]
     fn extreme_threshold_rejects_everyone() {
         let inst = toy::table1_instance();
-        let arr = online_greedy(
-            &inst,
-            inst.users(),
-            OnlineConfig { threshold: 0.99 },
-        );
+        let arr = online_greedy(&inst, inst.users(), OnlineConfig { threshold: 0.99 });
         assert!(arr.is_empty());
     }
 }

@@ -19,6 +19,7 @@
 //! forbids matching `sim ≤ 0` pairs).
 
 use crate::model::ids::{EventId, UserId};
+use crate::parallel::{par_map, Threads};
 use crate::Instance;
 
 /// Rank key in the descending-similarity order: `a` precedes `b` iff
@@ -61,6 +62,18 @@ impl ChunkedStream {
             chunk: INITIAL_CHUNK,
             exhausted: false,
         }
+    }
+
+    /// A stream with its first chunk already selected from `sims`.
+    ///
+    /// Yields exactly the same sequence as a lazy stream — the first
+    /// refill is a pure function of the similarity row — it just moves
+    /// that refill's `O(n)` scan to construction time so
+    /// [`NeighborOracle::prewarmed`] can run the scans in parallel.
+    fn prefilled(sims: &[f64]) -> Self {
+        let mut stream = ChunkedStream::new();
+        stream.refill(sims);
+        stream
     }
 
     /// Yield the next candidate, refilling from `sims` when the buffer
@@ -161,9 +174,14 @@ impl ChunkedStream {
 }
 
 /// Bidirectional neighbour oracle over an instance: every event streams
-/// users, every user streams events. Streams are created lazily.
+/// users, every user streams events.
+///
+/// Streams are created lazily by default ([`NeighborOracle::new`]); when
+/// a consumer is known to touch most streams, [`NeighborOracle::prewarmed`]
+/// builds every stream's first chunk up front on a scoped-thread pool.
+/// Both constructors yield bit-identical streams.
 #[derive(Debug)]
-pub(crate) struct NeighborOracle<'a> {
+pub struct NeighborOracle<'a> {
     inst: &'a Instance,
     event_streams: Vec<Option<ChunkedStream>>,
     user_streams: Vec<Option<ChunkedStream>>,
@@ -171,7 +189,8 @@ pub(crate) struct NeighborOracle<'a> {
 }
 
 impl<'a> NeighborOracle<'a> {
-    pub(crate) fn new(inst: &'a Instance) -> Self {
+    /// An oracle whose streams materialize on first use.
+    pub fn new(inst: &'a Instance) -> Self {
         NeighborOracle {
             inst,
             event_streams: vec![None; inst.num_events()],
@@ -180,10 +199,40 @@ impl<'a> NeighborOracle<'a> {
         }
     }
 
+    /// An oracle with every stream's first chunk selected eagerly, the
+    /// per-stream `O(n·d)` similarity scans spread over `threads`
+    /// workers.
+    ///
+    /// Each stream's first refill depends only on its own similarity row
+    /// or column, so the construction parallelizes embarrassingly and
+    /// the resulting streams are identical to lazily-built ones at every
+    /// thread count. Worth it when most streams will be consumed (e.g.
+    /// Greedy-GEACC, which opens all `|V| + |U|` of them); for sparse
+    /// access patterns prefer [`NeighborOracle::new`].
+    pub fn prewarmed(inst: &'a Instance, threads: Threads) -> Self {
+        let nv = inst.num_events();
+        let nu = inst.num_users();
+        let mut streams = par_map(threads, nv + nu, |i| {
+            let mut sims = Vec::new();
+            if i < nv {
+                inst.similarity_row(EventId(i as u32), &mut sims);
+            } else {
+                inst.similarity_column(UserId((i - nv) as u32), &mut sims);
+            }
+            Some(ChunkedStream::prefilled(&sims))
+        });
+        let user_streams = streams.split_off(nv);
+        NeighborOracle {
+            inst,
+            event_streams: streams,
+            user_streams,
+            scratch: Vec::new(),
+        }
+    }
+
     /// Next most-similar user for `v` (sim > 0), or `None` when exhausted.
-    pub(crate) fn next_user_for_event(&mut self, v: EventId) -> Option<(UserId, f64)> {
-        let stream =
-            self.event_streams[v.index()].get_or_insert_with(ChunkedStream::new);
+    pub fn next_user_for_event(&mut self, v: EventId) -> Option<(UserId, f64)> {
+        let stream = self.event_streams[v.index()].get_or_insert_with(ChunkedStream::new);
         if stream.buffer.is_empty() && !stream.exhausted {
             self.inst.similarity_row(v, &mut self.scratch);
         }
@@ -192,7 +241,7 @@ impl<'a> NeighborOracle<'a> {
 
     /// Next most-similar event for `u` (sim > 0), or `None` when
     /// exhausted.
-    pub(crate) fn next_event_for_user(&mut self, u: UserId) -> Option<(EventId, f64)> {
+    pub fn next_event_for_user(&mut self, u: UserId) -> Option<(EventId, f64)> {
         let stream = self.user_streams[u.index()].get_or_insert_with(ChunkedStream::new);
         if stream.buffer.is_empty() && !stream.exhausted {
             self.inst.similarity_column(u, &mut self.scratch);
@@ -271,8 +320,11 @@ mod tests {
         }
         assert_eq!(got.len(), 100);
         // Expected: sort by sim desc, id asc.
-        let mut expected: Vec<(f64, u32)> =
-            row.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let mut expected: Vec<(f64, u32)> = row
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         expected.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         assert_eq!(got, expected);
     }
@@ -285,6 +337,44 @@ mod tests {
         assert_eq!(o.next_user_for_event(EventId(1)).unwrap().0, UserId(1));
         assert_eq!(o.next_user_for_event(EventId(0)).unwrap().0, UserId(1));
         assert_eq!(o.next_user_for_event(EventId(1)).unwrap().0, UserId(0));
+    }
+
+    #[test]
+    fn prewarmed_streams_match_lazy_streams() {
+        // Big enough that par_map actually forks (n ≥ 32) and streams
+        // need several refills.
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|v| {
+                (0..40)
+                    .map(|u| ((v * 7 + u * 13) % 19) as f64 / 19.0)
+                    .collect()
+            })
+            .collect();
+        let inst = instance(&rows);
+        for t in [1, 2, 4, 8] {
+            let mut lazy = NeighborOracle::new(&inst);
+            let mut warm = NeighborOracle::prewarmed(&inst, Threads::new(t));
+            for v in inst.events() {
+                loop {
+                    let a = lazy.next_user_for_event(v);
+                    let b = warm.next_user_for_event(v);
+                    assert_eq!(a, b, "event {v:?}, threads {t}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+            for u in inst.users() {
+                loop {
+                    let a = lazy.next_event_for_user(u);
+                    let b = warm.next_event_for_user(u);
+                    assert_eq!(a, b, "user {u:?}, threads {t}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

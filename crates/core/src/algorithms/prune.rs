@@ -1,4 +1,5 @@
-//! Prune-GEACC (Algorithms 3–4 of the paper): exact branch-and-bound.
+//! Prune-GEACC (Algorithms 3–4 of the paper): exact branch-and-bound,
+//! sequential or parallel over scoped threads.
 //!
 //! The search enumerates the matched/unmatched state of every pair,
 //! visiting events in non-increasing `s_v · c_v` order (`s_v` = the
@@ -9,11 +10,41 @@
 //! capacity, cannot be exceeded by any completion. Greedy-GEACC seeds the
 //! incumbent so pruning bites from the first recursion.
 //!
-//! [`SearchStats`] mirrors the four panels of the paper's Fig. 6: average
-//! recursion depth at prune time, running time (measured by the bench
-//! harness), number of complete searches, and number of `Search`
-//! invocations. Disabling `enable_pruning` yields the "exhaustive search
-//! without pruning" comparator of that figure.
+//! ## Parallel execution and determinism
+//!
+//! With `PruneConfig::threads > 1` the top of the DFS is expanded
+//! breadth-first into independent subtree tasks, which workers drain
+//! from a shared queue while publishing the incumbent `MaxSum` through a
+//! [`SharedBest`] (monotone CAS over the value's `f64` bits). The shared
+//! incumbent is used *only* to prune — Lemma 6 pruning against any
+//! feasible arrangement's value is sound, so stale reads cost work, not
+//! correctness.
+//!
+//! The *result* is deterministic at every thread count:
+//!
+//! - **Value.** The descent test inflates the Lemma 6 bound by a
+//!   relative slack covering floating-point accumulation error
+//!   ([`inflate`]), making it a true upper bound on any completion's
+//!   exact threaded sum. A subtree is pruned only when it provably
+//!   contains no strict improvement, so the final `MaxSum` is
+//!   `max(seed, M)` — `M` being the maximum over all complete leaves —
+//!   regardless of exploration order. (The previous sequential-only
+//!   revision pruned with an `EPS` tolerance in the opposite direction,
+//!   which made the result order-dependent within `EPS`.)
+//! - **Arrangement.** After the parallel phase fixes the optimal value,
+//!   a sequential *certificate pass* re-descends only into subtrees
+//!   whose inflated bound reaches that value and returns the first
+//!   complete leaf attaining it in canonical DFS order — exactly the
+//!   leaf the sequential search records. If no leaf beats the seed, the
+//!   seed arrangement itself is returned, again matching the sequential
+//!   path.
+//!
+//! [`SearchStats`] aggregates work counters across the frontier
+//! expansion and all workers. Counters depend on incumbent-publication
+//! timing and are therefore *not* deterministic across thread counts
+//! (or runs, for `threads > 1`); only `MaxSum`, the arrangement, and
+//! `max_depth` are. Fig. 6 uses the sequential path, whose stats are
+//! reproducible.
 //!
 //! Complexity is exponential — the problem is NP-hard — so this is for
 //! small instances (the paper uses `|V| = 5`, `|U| ≤ 15`).
@@ -27,10 +58,32 @@
 use crate::algorithms::greedy::greedy;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
+use crate::parallel::{SharedBest, Threads};
 use crate::Instance;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Slack for the strict `bound > incumbent` descent test.
-const EPS: f64 = 1e-12;
+/// Relative slack by which [`inflate`] raises a Lemma 6 bound so it
+/// upper-bounds any completion's floating-point sum. Partial sums are
+/// threaded through the recursion (at most `|V|·|U|` additions of values
+/// in `[0, 1]`), so the accumulated relative error is bounded by
+/// `n · ε ≈ n · 2.2e-16`; `1e-11` covers every instance size the
+/// exponential search can touch, with orders of magnitude to spare.
+const BOUND_RELATIVE_SLACK: f64 = 1e-11;
+
+/// A strict upper bound on the exact value of any completion below a
+/// node with Lemma 6 bound `bound`, accounting for rounding in both the
+/// bound's own arithmetic and the completion's running sum.
+#[inline]
+fn inflate(bound: f64) -> f64 {
+    bound * (1.0 + BOUND_RELATIVE_SLACK)
+}
+
+/// Upper bound on frontier tasks created before the worker phase.
+const MAX_FRONTIER_TASKS: usize = 512;
+
+/// Upper bound on node expansions spent building the frontier.
+const MAX_FRONTIER_EXPANSIONS: usize = 100_000;
 
 /// Configuration for [`prune`].
 #[derive(Debug, Clone, Copy)]
@@ -42,18 +95,28 @@ pub struct PruneConfig {
     /// line 1). Ignored (treated as `false`) when pruning is disabled —
     /// the incumbent only matters as a bound.
     pub greedy_seed: bool,
+    /// Worker budget. `Threads::single()` (the default) runs the
+    /// classic sequential DFS; more workers split the search as
+    /// described in the module docs. `MaxSum` and the arrangement are
+    /// identical at every setting.
+    pub threads: Threads,
 }
 
 impl Default for PruneConfig {
     fn default() -> Self {
-        PruneConfig { enable_pruning: true, greedy_seed: true }
+        PruneConfig {
+            enable_pruning: true,
+            greedy_seed: true,
+            threads: Threads::single(),
+        }
     }
 }
 
 /// Counters describing one branch-and-bound run (Fig. 6's metrics).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Times the recursive `Search` procedure was entered.
+    /// Times the recursive `Search` procedure was entered (summed over
+    /// frontier expansion and all workers when parallel).
     pub invocations: u64,
     /// Times the recursion reached the final pair and evaluated a
     /// complete matching.
@@ -76,6 +139,13 @@ impl SearchStats {
             self.total_pruned_depth as f64 / self.prunes as f64
         }
     }
+
+    fn absorb(&mut self, other: &SearchStats) {
+        self.invocations += other.invocations;
+        self.complete_searches += other.complete_searches;
+        self.prunes += other.prunes;
+        self.total_pruned_depth += other.total_pruned_depth;
+    }
 }
 
 /// Result of the exact search.
@@ -87,7 +157,8 @@ pub struct PruneResult {
     pub stats: SearchStats,
 }
 
-/// Run Prune-GEACC with default configuration (pruning + greedy seed).
+/// Run Prune-GEACC with default configuration (pruning + greedy seed,
+/// sequential).
 pub fn prune(inst: &Instance) -> PruneResult {
     prune_with(inst, PruneConfig::default())
 }
@@ -95,41 +166,72 @@ pub fn prune(inst: &Instance) -> PruneResult {
 /// The paper's exhaustive-search comparator: identical enumeration with
 /// the bound disabled.
 pub fn exhaustive(inst: &Instance) -> PruneResult {
-    prune_with(inst, PruneConfig { enable_pruning: false, greedy_seed: false })
+    prune_with(
+        inst,
+        PruneConfig {
+            enable_pruning: false,
+            greedy_seed: false,
+            ..PruneConfig::default()
+        },
+    )
+}
+
+/// Precomputed, read-only search state shared by every worker.
+struct SearchContext<'a> {
+    inst: &'a Instance,
+    /// Per-event neighbour lists: users by similarity desc, id asc —
+    /// the "j-NN of v" order of Algorithm 4. Zero-similarity users stay
+    /// in the list (they occupy recursion depth, as in the paper's
+    /// Fig. 6 depth accounting) but can never be matched.
+    neighbors: Vec<Vec<(f64, u32)>>,
+    /// L: events by `s_v · c_v` non-increasing (Algorithm 3 line 5).
+    order: Vec<u32>,
+    /// `suffix[i] = Σ_{k ≥ i} s·c` over L; the "unvisited events" term
+    /// of Lemma 6 at position `i` is `suffix[i + 1]`.
+    suffix: Vec<f64>,
+    pruning: bool,
+}
+
+impl<'a> SearchContext<'a> {
+    fn new(inst: &'a Instance, pruning: bool) -> Self {
+        let nv = inst.num_events();
+        let mut row = Vec::new();
+        let mut neighbors: Vec<Vec<(f64, u32)>> = Vec::with_capacity(nv);
+        for v in inst.events() {
+            inst.similarity_row(v, &mut row);
+            let mut nbrs: Vec<(f64, u32)> = row
+                .iter()
+                .enumerate()
+                .map(|(u, &s)| (s, u as u32))
+                .collect();
+            nbrs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            neighbors.push(nbrs);
+        }
+
+        let mut order: Vec<u32> = (0..nv as u32).collect();
+        let weight = |v: u32| neighbors[v as usize][0].0 * inst.event_capacity(EventId(v)) as f64;
+        order.sort_by(|&a, &b| weight(b).total_cmp(&weight(a)).then(a.cmp(&b)));
+
+        let mut suffix = vec![0.0; nv + 1];
+        for i in (0..nv).rev() {
+            suffix[i] = suffix[i + 1] + weight(order[i]);
+        }
+
+        SearchContext {
+            inst,
+            neighbors,
+            order,
+            suffix,
+            pruning,
+        }
+    }
 }
 
 /// Run the exact search with explicit configuration.
 pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
     let nv = inst.num_events();
     let nu = inst.num_users();
-
-    // Per-event neighbour lists: users by similarity desc, id asc —
-    // the "j-NN of v" order of Algorithm 4. Zero-similarity users stay in
-    // the list (they occupy recursion depth, as in the paper's Fig. 6
-    // depth accounting) but can never be matched.
-    let mut row = Vec::new();
-    let mut neighbors: Vec<Vec<(f64, u32)>> = Vec::with_capacity(nv);
-    for v in inst.events() {
-        inst.similarity_row(v, &mut row);
-        let mut nbrs: Vec<(f64, u32)> =
-            row.iter().enumerate().map(|(u, &s)| (s, u as u32)).collect();
-        nbrs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        neighbors.push(nbrs);
-    }
-
-    // L: events by s_v · c_v non-increasing (Algorithm 3 line 5).
-    let mut order: Vec<u32> = (0..nv as u32).collect();
-    let weight = |v: u32| {
-        neighbors[v as usize][0].0 * inst.event_capacity(EventId(v)) as f64
-    };
-    order.sort_by(|&a, &b| weight(b).total_cmp(&weight(a)).then(a.cmp(&b)));
-
-    // suffix[i] = Σ_{k ≥ i} s·c over L; sum_remain at position i is
-    // suffix[i + 1].
-    let mut suffix = vec![0.0; nv + 1];
-    for i in (0..nv).rev() {
-        suffix[i] = suffix[i + 1] + weight(order[i]);
-    }
+    let ctx = SearchContext::new(inst, config.enable_pruning);
 
     let incumbent = if config.enable_pruning && config.greedy_seed {
         greedy(inst)
@@ -137,54 +239,221 @@ pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
         Arrangement::empty_for(inst)
     };
 
-    let mut search = Search {
-        inst,
-        neighbors: &neighbors,
-        order: &order,
-        suffix: &suffix,
-        pruning: config.enable_pruning,
-        cap_v: inst.events().map(|v| inst.event_capacity(v)).collect(),
-        cap_u: inst.users().map(|u| inst.user_capacity(u)).collect(),
-        current: Arrangement::empty_for(inst),
-        best_sum: incumbent.max_sum(),
-        best: incumbent,
-        stats: SearchStats {
-            max_depth: (nv * nu) as u64,
-            ..SearchStats::default()
-        },
-    };
-    if nv > 0 && nu > 0 {
-        search.run(0, 0, 0.0);
+    let max_depth = (nv * nu) as u64;
+    if nv == 0 || nu == 0 {
+        return PruneResult {
+            arrangement: incumbent,
+            stats: SearchStats {
+                max_depth,
+                ..SearchStats::default()
+            },
+        };
     }
-    PruneResult { arrangement: search.best, stats: search.stats }
+    if config.threads.get() == 1 {
+        let mut search = Search::fresh(&ctx, &incumbent, None);
+        search.run(0, 0, 0.0);
+        let mut stats = search.stats;
+        stats.max_depth = max_depth;
+        return PruneResult {
+            arrangement: search.best,
+            stats,
+        };
+    }
+    prune_parallel(&ctx, config.threads, incumbent, max_depth)
+}
+
+/// The parallel driver: frontier expansion → worker phase → certificate
+/// pass (see module docs).
+fn prune_parallel(
+    ctx: &SearchContext<'_>,
+    threads: Threads,
+    incumbent: Arrangement,
+    max_depth: u64,
+) -> PruneResult {
+    let seed_value = incumbent.max_sum();
+
+    // Phase 0 (sequential, deterministic): expand the top of the DFS
+    // breadth-first into independent subtree tasks. Leaves completed
+    // during expansion feed the incumbent value directly.
+    let target_tasks = (8 * threads.get()).clamp(32, MAX_FRONTIER_TASKS);
+    let mut expansion = Search::fresh(ctx, &incumbent, None);
+    let mut queue: VecDeque<Task> = VecDeque::new();
+    queue.push_back(Task {
+        i: 0,
+        j: 0,
+        cur: 0.0,
+        cap_v: expansion.cap_v.clone(),
+        cap_u: expansion.cap_u.clone(),
+        pairs: Vec::new(),
+    });
+    let mut expansions = 0;
+    while queue.len() < target_tasks && expansions < MAX_FRONTIER_EXPANSIONS {
+        let Some(task) = queue.pop_front() else { break };
+        expansion.expand_one(task, &mut queue);
+        expansions += 1;
+    }
+    let tasks: Vec<Task> = queue.into();
+    let mut stats = expansion.stats;
+    stats.max_depth = max_depth;
+    let mut best_value = expansion.best_sum;
+
+    // Phase A (parallel): drain the task queue; publish incumbents
+    // through the shared cell, prune against it.
+    if !tasks.is_empty() {
+        let shared = SharedBest::new(best_value);
+        let cursor = AtomicUsize::new(0);
+        let workers = threads.get().min(tasks.len());
+        let worker_results: Vec<(f64, SearchStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (shared, cursor, tasks) = (&shared, &cursor, &tasks);
+                    let incumbent = &incumbent;
+                    scope.spawn(move || {
+                        let mut search = Search::fresh(ctx, incumbent, Some(shared));
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(idx) else { break };
+                            search.run_task(task);
+                        }
+                        (search.best_sum, search.stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        for (value, worker_stats) in &worker_results {
+            best_value = best_value.max(*value);
+            stats.absorb(worker_stats);
+        }
+    }
+
+    // Phase B (sequential, deterministic): recover the canonical optimal
+    // arrangement — the first leaf in DFS order attaining `best_value`.
+    // Skipped when nothing beat the seed; its work is not added to the
+    // stats (it re-certifies, it does not search).
+    if best_value > seed_value {
+        let mut certificate = Search::fresh(ctx, &incumbent, None);
+        certificate.target = Some(best_value);
+        certificate.run(0, 0, 0.0);
+        assert!(
+            certificate.done,
+            "certificate pass must rediscover the optimal leaf (value {best_value})"
+        );
+        debug_assert_eq!(certificate.best_sum.to_bits(), best_value.to_bits());
+        PruneResult {
+            arrangement: certificate.best,
+            stats,
+        }
+    } else {
+        PruneResult {
+            arrangement: incumbent,
+            stats,
+        }
+    }
+}
+
+/// A suspended `run(i, j, cur)` call: the pair position about to be
+/// enumerated plus the mutable state accumulated above it.
+#[derive(Debug, Clone)]
+struct Task {
+    i: usize,
+    j: usize,
+    cur: f64,
+    cap_v: Vec<u32>,
+    cap_u: Vec<u32>,
+    pairs: Vec<(EventId, UserId)>,
 }
 
 struct Search<'a> {
-    inst: &'a Instance,
-    neighbors: &'a [Vec<(f64, u32)>],
-    order: &'a [u32],
-    suffix: &'a [f64],
-    pruning: bool,
+    ctx: &'a SearchContext<'a>,
     cap_v: Vec<u32>,
     cap_u: Vec<u32>,
     current: Arrangement,
-    /// Exact `MaxSum` of the incumbent. Kept separately from
-    /// `best.max_sum()` and compared against the recursion's *threaded*
-    /// partial sum: backtracking by `add x; … ; subtract x` is not exact
-    /// in floating point, and over billions of search nodes the cached
-    /// sum in `current` drifts enough to flip bound comparisons (this
-    /// was a real observed bug — prune and exhaustive disagreed on the
-    /// optimum of a d = 2 instance after ~10⁹ nodes).
+    /// Exact `MaxSum` of the best arrangement this search has seen. Kept
+    /// separately from `best.max_sum()` and compared against the
+    /// recursion's *threaded* partial sum: backtracking by
+    /// `add x; … ; subtract x` is not exact in floating point, and over
+    /// billions of search nodes the cached sum in `current` drifts
+    /// enough to flip bound comparisons (this was a real observed bug —
+    /// prune and exhaustive disagreed on the optimum of a d = 2
+    /// instance after ~10⁹ nodes).
     best_sum: f64,
     best: Arrangement,
     stats: SearchStats,
+    /// Globally best incumbent, published by other workers. Read for
+    /// pruning only — see the module docs' safety argument.
+    shared: Option<&'a SharedBest>,
+    /// Certificate mode: descend only where the inflated bound reaches
+    /// this value and stop at the first complete leaf attaining it.
+    target: Option<f64>,
+    /// Set when certificate mode found its leaf; unwinds the recursion.
+    done: bool,
 }
 
-impl Search<'_> {
+impl<'a> Search<'a> {
+    fn fresh(
+        ctx: &'a SearchContext<'a>,
+        incumbent: &Arrangement,
+        shared: Option<&'a SharedBest>,
+    ) -> Self {
+        let inst = ctx.inst;
+        Search {
+            ctx,
+            cap_v: inst.events().map(|v| inst.event_capacity(v)).collect(),
+            cap_u: inst.users().map(|u| inst.user_capacity(u)).collect(),
+            current: Arrangement::empty_for(inst),
+            best_sum: incumbent.max_sum(),
+            best: incumbent.clone(),
+            stats: SearchStats::default(),
+            shared,
+            target: None,
+            done: false,
+        }
+    }
+
+    /// The best incumbent visible to this search's bound test.
+    #[inline]
+    fn visible_best(&self) -> f64 {
+        match self.shared {
+            Some(shared) => self.best_sum.max(shared.get()),
+            None => self.best_sum,
+        }
+    }
+
+    /// Whether the bound test allows descending into a subtree with
+    /// Lemma 6 bound `bound`.
+    #[inline]
+    fn may_descend(&self, bound: f64) -> bool {
+        if !self.ctx.pruning && self.target.is_none() {
+            return true;
+        }
+        match self.target {
+            // Certificate: any subtree that can attain the target.
+            Some(target) => inflate(bound) >= target,
+            // Search: any subtree that can strictly improve.
+            None => inflate(bound) > self.visible_best(),
+        }
+    }
+
     /// 1-based global recursion depth of pair `(i, j)` — the paper's
     /// Fig. 6a unit.
     fn depth(&self, i: usize, j: usize) -> u64 {
-        (i * self.inst.num_users() + j + 1) as u64
+        (i * self.ctx.inst.num_users() + j + 1) as u64
+    }
+
+    /// Resume this search at a suspended frontier task.
+    fn run_task(&mut self, task: &Task) {
+        self.cap_v.copy_from_slice(&task.cap_v);
+        self.cap_u.copy_from_slice(&task.cap_u);
+        self.current = Arrangement::empty_for(self.ctx.inst);
+        for &(v, u) in &task.pairs {
+            self.current
+                .push_unchecked(v, u, self.ctx.inst.similarity(v, u));
+        }
+        self.run(task.i, task.j, task.cur);
     }
 
     /// Algorithm 4: enumerate both states of the pair at position
@@ -192,15 +461,22 @@ impl Search<'_> {
     /// exact partial `MaxSum` of the visited pairs, threaded through the
     /// recursion (never recovered by subtraction — see `best_sum`).
     fn run(&mut self, i: usize, j: usize, cur: f64) {
+        if self.done {
+            return;
+        }
         self.stats.invocations += 1;
-        let v = EventId(self.order[i]);
-        let (sim, uid) = self.neighbors[v.index()][j];
+        let v = EventId(self.ctx.order[i]);
+        let (sim, uid) = self.ctx.neighbors[v.index()][j];
         let u = UserId(uid);
 
         let feasible = sim > 0.0
             && self.cap_v[v.index()] > 0
             && self.cap_u[u.index()] > 0
-            && !self.inst.conflicts().conflicts_with_any(v, self.current.events_of(u));
+            && !self
+                .ctx
+                .inst
+                .conflicts()
+                .conflicts_with_any(v, self.current.events_of(u));
         if feasible {
             // Matched state (lines 4–19).
             self.current.push_unchecked(v, u, sim);
@@ -216,36 +492,156 @@ impl Search<'_> {
     }
 
     /// Lines 6–17: move to the next pair (or finish), applying the
-    /// Lemma 6 bound before each descent.
+    /// bound before each descent.
     fn advance(&mut self, i: usize, j: usize, cur: f64) {
-        let v = EventId(self.order[i]);
-        let last_j = self.inst.num_users() - 1;
-        if j == last_j || self.cap_v[v.index()] == 0 {
+        if self.done {
+            return;
+        }
+        match self.step(i, j, cur) {
+            Step::Complete => self.complete(cur),
+            Step::Descend { i, j } => self.run(i, j, cur),
+            Step::Pruned => {}
+        }
+    }
+
+    /// The position transition shared by recursive descent and frontier
+    /// expansion: where does the search go after finishing pair
+    /// `(i, j)` with partial sum `cur`? Prune accounting happens here.
+    fn step(&mut self, i: usize, j: usize, cur: f64) -> Step {
+        let v = EventId(self.ctx.order[i]);
+        let last_j = self.ctx.inst.num_users() - 1;
+        let (next_i, next_j, bound) = if j == last_j || self.cap_v[v.index()] == 0 {
             // Done with this event; next event or complete.
-            if i == self.order.len() - 1 {
-                self.stats.complete_searches += 1;
-                if cur > self.best_sum {
+            if i == self.ctx.order.len() - 1 {
+                return Step::Complete;
+            }
+            (i + 1, 0, cur + self.ctx.suffix[i + 1])
+        } else {
+            let (next_sim, _) = self.ctx.neighbors[v.index()][j + 1];
+            let bound = cur + self.ctx.suffix[i + 1] + next_sim * self.cap_v[v.index()] as f64;
+            (i, j + 1, bound)
+        };
+        if self.may_descend(bound) {
+            Step::Descend {
+                i: next_i,
+                j: next_j,
+            }
+        } else {
+            self.stats.prunes += 1;
+            self.stats.total_pruned_depth += self.depth(next_i, next_j);
+            Step::Pruned
+        }
+    }
+
+    /// A complete matching with exact value `cur` was reached.
+    fn complete(&mut self, cur: f64) {
+        self.stats.complete_searches += 1;
+        match self.target {
+            Some(target) => {
+                if cur >= target {
+                    self.best_sum = cur;
+                    self.best = self.rebuild_current();
+                    self.done = true;
+                }
+            }
+            None => {
+                if cur > self.visible_best() {
                     self.best_sum = cur;
                     self.best = self.rebuild_current();
                 }
-            } else {
-                let bound = cur + self.suffix[i + 1];
-                if !self.pruning || bound > self.best_sum + EPS {
-                    self.run(i + 1, 0, cur);
-                } else {
-                    self.stats.prunes += 1;
-                    self.stats.total_pruned_depth += self.depth(i + 1, 0);
+                if let Some(shared) = self.shared {
+                    shared.offer(cur);
                 }
             }
-        } else {
-            let (next_sim, _) = self.neighbors[v.index()][j + 1];
-            let bound = cur + self.suffix[i + 1] + next_sim * self.cap_v[v.index()] as f64;
-            if !self.pruning || bound > self.best_sum + EPS {
-                self.run(i, j + 1, cur);
-            } else {
-                self.stats.prunes += 1;
-                self.stats.total_pruned_depth += self.depth(i, j + 1);
+        }
+    }
+
+    /// Frontier expansion: enumerate the node `(task.i, task.j)` exactly
+    /// as [`Search::run`] would, but emit the descents as new tasks
+    /// instead of recursing. Completions and prunes are recorded
+    /// normally (against this search's local, deterministic incumbent).
+    fn expand_one(&mut self, task: Task, out: &mut VecDeque<Task>) {
+        self.stats.invocations += 1;
+        let Task {
+            i,
+            j,
+            cur,
+            mut cap_v,
+            mut cap_u,
+            mut pairs,
+        } = task;
+        let v = EventId(self.ctx.order[i]);
+        let (sim, uid) = self.ctx.neighbors[v.index()][j];
+        let u = UserId(uid);
+
+        // Mirror of the feasibility test in `run`, over task state. The
+        // conflict check scans the task's matched pairs (few at frontier
+        // depth) instead of an `Arrangement`.
+        let events_of_u: Vec<EventId> = pairs
+            .iter()
+            .filter(|&&(_, pu)| pu == u)
+            .map(|&(pv, _)| pv)
+            .collect();
+        let feasible = sim > 0.0
+            && cap_v[v.index()] > 0
+            && cap_u[u.index()] > 0
+            && !self
+                .ctx
+                .inst
+                .conflicts()
+                .conflicts_with_any(v, &events_of_u);
+        if feasible {
+            cap_v[v.index()] -= 1;
+            cap_u[u.index()] -= 1;
+            pairs.push((v, u));
+            self.emit(i, j, cur + sim, &cap_v, &cap_u, &pairs, out);
+            pairs.pop();
+            cap_v[v.index()] += 1;
+            cap_u[u.index()] += 1;
+        }
+        self.emit(i, j, cur, &cap_v, &cap_u, &pairs, out);
+    }
+
+    /// Task-state counterpart of [`Search::advance`].
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        i: usize,
+        j: usize,
+        cur: f64,
+        cap_v: &[u32],
+        cap_u: &[u32],
+        pairs: &[(EventId, UserId)],
+        out: &mut VecDeque<Task>,
+    ) {
+        // `step` reads event capacity from `self.cap_v`; shadow it with
+        // the task's state for the duration of the transition.
+        let saved = std::mem::replace(&mut self.cap_v, cap_v.to_vec());
+        let step = self.step(i, j, cur);
+        self.cap_v = saved;
+        match step {
+            Step::Complete => {
+                // Completions at frontier depth carry their pairs in the
+                // task; rebuild the arrangement from them.
+                self.stats.complete_searches += 1;
+                if cur > self.best_sum {
+                    self.best_sum = cur;
+                    let mut snapshot = Arrangement::empty_for(self.ctx.inst);
+                    for &(v, u) in pairs {
+                        snapshot.push_unchecked(v, u, self.ctx.inst.similarity(v, u));
+                    }
+                    self.best = snapshot;
+                }
             }
+            Step::Descend { i, j } => out.push_back(Task {
+                i,
+                j,
+                cur,
+                cap_v: cap_v.to_vec(),
+                cap_u: cap_u.to_vec(),
+                pairs: pairs.to_vec(),
+            }),
+            Step::Pruned => {}
         }
     }
 
@@ -253,12 +649,19 @@ impl Search<'_> {
     /// sum inside `current` has backtracking drift; rebuilding from the
     /// instance's similarities is exact for the ≤ `Σc_u` pairs involved).
     fn rebuild_current(&self) -> Arrangement {
-        let mut snapshot = Arrangement::empty_for(self.inst);
+        let mut snapshot = Arrangement::empty_for(self.ctx.inst);
         for (v, u) in self.current.pairs() {
-            snapshot.push_unchecked(v, u, self.inst.similarity(v, u));
+            snapshot.push_unchecked(v, u, self.ctx.inst.similarity(v, u));
         }
         snapshot
     }
+}
+
+/// Where the search goes after finishing a pair position.
+enum Step {
+    Complete,
+    Descend { i: usize, j: usize },
+    Pruned,
 }
 
 #[cfg(test)]
@@ -334,13 +737,8 @@ mod tests {
         // Every event conflicts: each user attends ≤ 1 event; the optimum
         // is the best per-user column pick subject to event capacities.
         let m = SimMatrix::from_rows(&[vec![0.9, 0.1], vec![0.8, 0.7]]);
-        let inst = Instance::from_matrix(
-            m,
-            vec![1, 1],
-            vec![2, 2],
-            ConflictGraph::complete(2),
-        )
-        .unwrap();
+        let inst =
+            Instance::from_matrix(m, vec![1, 1], vec![2, 2], ConflictGraph::complete(2)).unwrap();
         let res = prune(&inst);
         // Best: {v0,u0}=0.9 + {v1,u1}=0.7 = 1.6.
         assert!((res.arrangement.max_sum() - 1.6).abs() < 1e-9);
@@ -349,12 +747,23 @@ mod tests {
     #[test]
     fn greedy_seed_never_changes_the_optimum() {
         let inst = toy::table1_instance();
-        let with = prune_with(&inst, PruneConfig { enable_pruning: true, greedy_seed: true });
-        let without =
-            prune_with(&inst, PruneConfig { enable_pruning: true, greedy_seed: false });
-        assert!(
-            (with.arrangement.max_sum() - without.arrangement.max_sum()).abs() < 1e-9
+        let with = prune_with(
+            &inst,
+            PruneConfig {
+                enable_pruning: true,
+                greedy_seed: true,
+                ..PruneConfig::default()
+            },
         );
+        let without = prune_with(
+            &inst,
+            PruneConfig {
+                enable_pruning: true,
+                greedy_seed: false,
+                ..PruneConfig::default()
+            },
+        );
+        assert!((with.arrangement.max_sum() - without.arrangement.max_sum()).abs() < 1e-9);
         // The seed can only help pruning.
         assert!(with.stats.invocations <= without.stats.invocations);
     }
@@ -362,10 +771,80 @@ mod tests {
     #[test]
     fn zero_capacity_event_contributes_nothing() {
         let m = SimMatrix::from_rows(&[vec![0.9], vec![0.8]]);
-        let inst =
-            Instance::from_matrix(m, vec![0, 1], vec![1], ConflictGraph::empty(2)).unwrap();
+        let inst = Instance::from_matrix(m, vec![0, 1], vec![1], ConflictGraph::empty(2)).unwrap();
         let res = prune(&inst);
         assert_eq!(res.arrangement.len(), 1);
         assert!((res.arrangement.max_sum() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit_on_the_toy() {
+        let inst = toy::table1_instance();
+        let sequential = prune(&inst);
+        for threads in [2, 3, 4, 8] {
+            let parallel = prune_with(
+                &inst,
+                PruneConfig {
+                    threads: Threads::new(threads),
+                    ..PruneConfig::default()
+                },
+            );
+            assert_eq!(
+                parallel.arrangement.max_sum().to_bits(),
+                sequential.arrangement.max_sum().to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                parallel.arrangement, sequential.arrangement,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_sequential() {
+        let inst = toy::table1_instance();
+        let sequential = exhaustive(&inst);
+        let parallel = prune_with(
+            &inst,
+            PruneConfig {
+                enable_pruning: false,
+                greedy_seed: false,
+                threads: Threads::new(4),
+            },
+        );
+        assert_eq!(
+            parallel.arrangement.max_sum().to_bits(),
+            sequential.arrangement.max_sum().to_bits()
+        );
+        assert_eq!(parallel.arrangement, sequential.arrangement);
+    }
+
+    #[test]
+    fn parallel_handles_degenerate_instances() {
+        // Single pair: the frontier collapses to (almost) nothing.
+        let m = SimMatrix::from_rows(&[vec![0.4]]);
+        let inst = Instance::from_matrix(m, vec![1], vec![1], ConflictGraph::empty(1)).unwrap();
+        let res = prune_with(
+            &inst,
+            PruneConfig {
+                threads: Threads::new(8),
+                ..PruneConfig::default()
+            },
+        );
+        assert_eq!(res.arrangement.len(), 1);
+        assert!((res.arrangement.max_sum() - 0.4).abs() < 1e-12);
+
+        // All-zero similarities: optimum is the empty arrangement.
+        let m = SimMatrix::from_rows(&[vec![0.0, 0.0]]);
+        let inst = Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let res = prune_with(
+            &inst,
+            PruneConfig {
+                threads: Threads::new(4),
+                ..PruneConfig::default()
+            },
+        );
+        assert!(res.arrangement.is_empty());
     }
 }

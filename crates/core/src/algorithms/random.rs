@@ -96,13 +96,8 @@ mod tests {
         use crate::model::conflict::ConflictGraph;
         use crate::similarity::SimMatrix;
         let m = SimMatrix::from_rows(&[vec![0.5, 0.5]]);
-        let inst = crate::Instance::from_matrix(
-            m,
-            vec![2],
-            vec![1, 1],
-            ConflictGraph::empty(1),
-        )
-        .unwrap();
+        let inst =
+            crate::Instance::from_matrix(m, vec![2], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let arr = random_v(&inst, &mut rng);
         assert_eq!(arr.len(), 2);

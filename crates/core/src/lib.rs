@@ -56,6 +56,7 @@
 
 pub mod algorithms;
 pub mod model;
+pub mod parallel;
 pub mod reduction;
 pub mod similarity;
 pub mod toy;
@@ -64,4 +65,4 @@ pub use model::arrangement::{Arrangement, Violation};
 pub use model::conflict::ConflictGraph;
 pub use model::ids::{EventId, UserId};
 pub use model::instance::{Instance, InstanceBuilder, InstanceError};
-pub use similarity::{SimilarityModel, SimMatrix};
+pub use similarity::{SimMatrix, SimilarityModel};

@@ -17,11 +17,23 @@ pub enum Violation {
     /// `sim(v, u) ≤ 0` for a matched pair.
     NonPositiveSimilarity { event: EventId, user: UserId },
     /// An event hosts more users than its capacity.
-    EventOverCapacity { event: EventId, assigned: usize, capacity: u32 },
+    EventOverCapacity {
+        event: EventId,
+        assigned: usize,
+        capacity: u32,
+    },
     /// A user attends more events than their capacity.
-    UserOverCapacity { user: UserId, assigned: usize, capacity: u32 },
+    UserOverCapacity {
+        user: UserId,
+        assigned: usize,
+        capacity: u32,
+    },
     /// A user attends two conflicting events.
-    ConflictViolated { user: UserId, first: EventId, second: EventId },
+    ConflictViolated {
+        user: UserId,
+        first: EventId,
+        second: EventId,
+    },
     /// The same pair appears twice.
     DuplicatePair { event: EventId, user: UserId },
     /// A pair references an event or user outside the instance.
@@ -36,13 +48,25 @@ impl std::fmt::Display for Violation {
             Violation::NonPositiveSimilarity { event, user } => {
                 write!(f, "pair ({event}, {user}) has non-positive similarity")
             }
-            Violation::EventOverCapacity { event, assigned, capacity } => {
+            Violation::EventOverCapacity {
+                event,
+                assigned,
+                capacity,
+            } => {
                 write!(f, "{event} hosts {assigned} users, capacity {capacity}")
             }
-            Violation::UserOverCapacity { user, assigned, capacity } => {
+            Violation::UserOverCapacity {
+                user,
+                assigned,
+                capacity,
+            } => {
                 write!(f, "{user} attends {assigned} events, capacity {capacity}")
             }
-            Violation::ConflictViolated { user, first, second } => {
+            Violation::ConflictViolated {
+                user,
+                first,
+                second,
+            } => {
                 write!(f, "{user} attends conflicting events {first} and {second}")
             }
             Violation::DuplicatePair { event, user } => {
@@ -138,7 +162,9 @@ impl Arrangement {
             && self.attendees_of(event) < instance.event_capacity(event)
             && (self.events_of(user).len() as u32) < instance.user_capacity(user)
             && !self.contains(event, user)
-            && !instance.conflicts().conflicts_with_any(event, self.events_of(user))
+            && !instance
+                .conflicts()
+                .conflicts_with_any(event, self.events_of(user))
     }
 
     /// Add `(event, user)` after checking every constraint; returns the
@@ -221,10 +247,12 @@ impl Arrangement {
                     out.push(Violation::DuplicatePair { event: v, user });
                 }
                 for &w in &events[..i] {
-                    if w.index() < instance.num_events()
-                        && instance.conflicts().conflicts(v, w)
-                    {
-                        out.push(Violation::ConflictViolated { user, first: w, second: v });
+                    if w.index() < instance.num_events() && instance.conflicts().conflicts(v, w) {
+                        out.push(Violation::ConflictViolated {
+                            user,
+                            first: w,
+                            second: v,
+                        });
                     }
                 }
             }
@@ -248,12 +276,16 @@ impl Arrangement {
         }
         // Recomputing MaxSum dereferences every pair's attributes, which
         // is only meaningful (and safe) when all pairs are in range.
-        let any_out_of_range =
-            out.iter().any(|v| matches!(v, Violation::OutOfRange { .. }));
+        let any_out_of_range = out
+            .iter()
+            .any(|v| matches!(v, Violation::OutOfRange { .. }));
         if !any_out_of_range {
             let actual = self.recompute_max_sum(instance);
             if (actual - self.max_sum).abs() > 1e-6 {
-                out.push(Violation::MaxSumMismatch { cached: self.max_sum, actual });
+                out.push(Violation::MaxSumMismatch {
+                    cached: self.max_sum,
+                    actual,
+                });
             }
         }
         out

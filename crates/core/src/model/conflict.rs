@@ -285,15 +285,23 @@ mod tests {
         let intervals = [(0.0, 1.0), (2.0, 3.0)];
         let near = [(0.0, 0.0), (0.5, 0.0)];
         let far = [(0.0, 0.0), (2.0, 0.0)];
-        assert!(!ConflictGraph::from_intervals_with_travel(&intervals, &near, 1.0)
-            .conflicts(EventId(0), EventId(1)));
-        assert!(ConflictGraph::from_intervals_with_travel(&intervals, &far, 1.0)
-            .conflicts(EventId(0), EventId(1)));
+        assert!(
+            !ConflictGraph::from_intervals_with_travel(&intervals, &near, 1.0)
+                .conflicts(EventId(0), EventId(1))
+        );
+        assert!(
+            ConflictGraph::from_intervals_with_travel(&intervals, &far, 1.0)
+                .conflicts(EventId(0), EventId(1))
+        );
     }
 
     #[test]
     fn pairs_iterator_roundtrips() {
-        let src = [(EventId(0), EventId(1)), (EventId(2), EventId(3)), (EventId(1), EventId(3))];
+        let src = [
+            (EventId(0), EventId(1)),
+            (EventId(2), EventId(3)),
+            (EventId(1), EventId(3)),
+        ];
         let g = ConflictGraph::from_pairs(4, src);
         let collected: Vec<_> = g.pairs().collect();
         assert_eq!(collected.len(), 3);
@@ -356,8 +364,7 @@ mod tests {
     fn fast_travel_reduces_to_pure_overlap() {
         let intervals = [(0.0, 1.0), (1.0, 2.0)];
         let same_place = [(3.0, 3.0), (3.0, 3.0)];
-        let g =
-            ConflictGraph::from_intervals_with_travel(&intervals, &same_place, 100.0);
+        let g = ConflictGraph::from_intervals_with_travel(&intervals, &same_place, 100.0);
         assert_eq!(g.num_pairs(), 0);
     }
 }

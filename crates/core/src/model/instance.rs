@@ -8,7 +8,7 @@
 
 use crate::model::conflict::ConflictGraph;
 use crate::model::ids::{EventId, UserId};
-use crate::similarity::{SimilarityModel, SimMatrix};
+use crate::similarity::{SimMatrix, SimilarityModel};
 use geacc_index::PointSet;
 use serde::{Deserialize, Serialize};
 
@@ -264,6 +264,28 @@ impl Instance {
         }
     }
 
+    /// Materialize the full `|V| × |U|` interestingness matrix, rows
+    /// computed on `threads` scoped workers and assembled in row order
+    /// (so the result is identical at every thread count).
+    ///
+    /// Useful ahead of workloads that probe similarities in random order
+    /// — repeated exact solves, the local-search improver — where the
+    /// `O(|V|·|U|·d)` attribute arithmetic would otherwise be paid per
+    /// probe. For matrix-specified instances this is a plain copy.
+    pub fn dense_similarity(&self, threads: crate::parallel::Threads) -> SimMatrix {
+        let (nv, nu) = (self.num_events(), self.num_users());
+        let rows = crate::parallel::par_map(threads, nv, |v| {
+            let mut row = Vec::new();
+            self.similarity_row(EventId(v as u32), &mut row);
+            row
+        });
+        let mut flat = Vec::with_capacity(nv * nu);
+        for row in &rows {
+            flat.extend_from_slice(row);
+        }
+        SimMatrix::from_flat(nv, nu, flat)
+    }
+
     /// Iterate over all event ids.
     pub fn events(&self) -> impl Iterator<Item = EventId> {
         (0..self.num_events() as u32).map(EventId)
@@ -309,7 +331,9 @@ impl Instance {
                 }
             }
             if !any {
-                return Err(InstanceError::NoPositiveSimilarity { what: format!("event {v}") });
+                return Err(InstanceError::NoPositiveSimilarity {
+                    what: format!("event {v}"),
+                });
             }
         }
         if let Some(u) = user_ok.iter().position(|&ok| !ok) {
@@ -481,6 +505,32 @@ impl<'de> Deserialize<'de> for Instance {
 mod tests {
     use super::*;
 
+    #[test]
+    fn dense_similarity_matches_pointwise_at_every_thread_count() {
+        use crate::parallel::Threads;
+        let mut b = Instance::builder(3, SimilarityModel::Euclidean { t: 10.0 });
+        for v in 0..40 {
+            b.event(&[(v % 7) as f64, (v % 5) as f64, (v % 3) as f64], 2);
+        }
+        for u in 0..25 {
+            b.user(&[(u % 4) as f64, (u % 9) as f64, (u % 6) as f64], 1);
+        }
+        let inst = b.build().unwrap();
+        let reference = inst.dense_similarity(Threads::single());
+        for t in [2, 4, 8] {
+            let dense = inst.dense_similarity(Threads::new(t));
+            assert_eq!(dense, reference, "threads = {t}");
+        }
+        for v in inst.events() {
+            for u in inst.users() {
+                assert_eq!(
+                    reference.get(v.index(), u.index()).to_bits(),
+                    inst.similarity(v, u).to_bits()
+                );
+            }
+        }
+    }
+
     fn small_instance() -> Instance {
         let mut b = Instance::builder(2, SimilarityModel::Euclidean { t: 10.0 });
         b.event(&[0.0, 0.0], 2);
@@ -559,7 +609,10 @@ mod tests {
         b.conflicts(ConflictGraph::empty(5));
         assert!(matches!(
             b.build(),
-            Err(InstanceError::ConflictShapeMismatch { conflicts: 5, events: 1 })
+            Err(InstanceError::ConflictShapeMismatch {
+                conflicts: 5,
+                events: 1
+            })
         ));
     }
 
@@ -567,7 +620,10 @@ mod tests {
     fn from_matrix_checks_shape() {
         let m = SimMatrix::from_rows(&[vec![0.5, 0.6]]);
         let err = Instance::from_matrix(m, vec![1, 1], vec![1, 1], ConflictGraph::empty(2));
-        assert!(matches!(err, Err(InstanceError::MatrixShapeMismatch { .. })));
+        assert!(matches!(
+            err,
+            Err(InstanceError::MatrixShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -582,8 +638,7 @@ mod tests {
     #[test]
     fn paper_assumptions_catch_capacity_violations() {
         let m = SimMatrix::from_rows(&[vec![0.5, 0.5]]);
-        let inst =
-            Instance::from_matrix(m, vec![5], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let inst = Instance::from_matrix(m, vec![5], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         assert!(matches!(
             inst.validate_paper_assumptions(),
             Err(InstanceError::CapacityExceedsCounterpart { .. })
@@ -593,8 +648,7 @@ mod tests {
     #[test]
     fn paper_assumptions_catch_zero_similarity_user() {
         let m = SimMatrix::from_rows(&[vec![0.5, 0.0]]);
-        let inst =
-            Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+        let inst = Instance::from_matrix(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap();
         assert!(matches!(
             inst.validate_paper_assumptions(),
             Err(InstanceError::NoPositiveSimilarity { .. })

@@ -65,8 +65,16 @@ impl ArrangementStats {
                 arrangement.max_sum() / pairs as f64
             },
             min_similarity,
-            seat_utilization: if seats == 0 { 0.0 } else { pairs as f64 / seats as f64 },
-            slot_utilization: if slots == 0 { 0.0 } else { pairs as f64 / slots as f64 },
+            seat_utilization: if seats == 0 {
+                0.0
+            } else {
+                pairs as f64 / seats as f64
+            },
+            slot_utilization: if slots == 0 {
+                0.0
+            } else {
+                pairs as f64 / slots as f64
+            },
             active_events,
             active_users,
             unassigned_users: instance.num_users() - active_users,
@@ -90,8 +98,7 @@ impl ArrangementStats {
             .users()
             .map(|u| {
                 let events = arrangement.events_of(u);
-                let total: f64 =
-                    events.iter().map(|&v| instance.similarity(v, u)).sum();
+                let total: f64 = events.iter().map(|&v| instance.similarity(v, u)).sum();
                 (u, events.len(), instance.user_capacity(u), total)
             })
             .collect()

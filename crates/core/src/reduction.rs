@@ -178,7 +178,11 @@ mod tests {
     use crate::algorithms::prune;
 
     fn path(a: u64, b: u64, c: u64) -> PathCaps {
-        PathCaps { source_to_first: a, first_to_second: b, second_to_sink: c }
+        PathCaps {
+            source_to_first: a,
+            first_to_second: b,
+            second_to_sink: c,
+        }
     }
 
     #[test]
@@ -253,8 +257,9 @@ mod tests {
         };
         for _ in 0..30 {
             let m = (next() % 5 + 1) as usize;
-            let paths: Vec<PathCaps> =
-                (0..m).map(|_| path(next() % 5 + 1, next() % 5 + 1, next() % 5 + 1)).collect();
+            let paths: Vec<PathCaps> = (0..m)
+                .map(|_| path(next() % 5 + 1, next() % 5 + 1, next() % 5 + 1))
+                .collect();
             let n_conf = (next() % (m as u64 * 2)) as usize;
             let conflicts: Vec<_> = (0..n_conf)
                 .map(|_| {
@@ -278,9 +283,15 @@ mod tests {
 
     #[test]
     fn degenerate_instances_are_rejected() {
-        let empty = MfcgsInstance { paths: vec![], conflicts: vec![] };
+        let empty = MfcgsInstance {
+            paths: vec![],
+            conflicts: vec![],
+        };
         assert!(empty.reduce_to_geacc().is_err());
-        let zero = MfcgsInstance { paths: vec![path(0, 5, 5)], conflicts: vec![] };
+        let zero = MfcgsInstance {
+            paths: vec![path(0, 5, 5)],
+            conflicts: vec![],
+        };
         assert!(zero.reduce_to_geacc().is_err());
     }
 

@@ -38,11 +38,13 @@ impl SimilarityModel {
     /// addressed by id, not by attributes — use
     /// [`crate::Instance::similarity`]), or if the slices' lengths differ.
     pub fn from_attrs(&self, event_attrs: &[f64], user_attrs: &[f64]) -> f64 {
-        assert_eq!(event_attrs.len(), user_attrs.len(), "attribute dimensionality mismatch");
+        assert_eq!(
+            event_attrs.len(),
+            user_attrs.len(),
+            "attribute dimensionality mismatch"
+        );
         match self {
-            SimilarityModel::Euclidean { t } => {
-                euclidean_similarity(event_attrs, user_attrs, *t)
-            }
+            SimilarityModel::Euclidean { t } => euclidean_similarity(event_attrs, user_attrs, *t),
             SimilarityModel::Cosine => cosine_similarity(event_attrs, user_attrs),
             SimilarityModel::Matrix(_) => {
                 panic!("matrix similarity is addressed by (event, user) id, not attributes")
@@ -112,7 +114,36 @@ impl SimMatrix {
                 values.push(v);
             }
         }
-        SimMatrix { num_events, num_users, values }
+        SimMatrix {
+            num_events,
+            num_users,
+            values,
+        }
+    }
+
+    /// Build from a flat row-major buffer of `num_events · num_users`
+    /// values in `[0, 1]`. This is the zero-copy assembly point for
+    /// [`crate::Instance::dense_similarity`], whose rows are computed on
+    /// a thread pool and concatenated in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the dimensions or any
+    /// value lies outside `[0, 1]`.
+    pub fn from_flat(num_events: usize, num_users: usize, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            num_events * num_users,
+            "flat similarity buffer length mismatch"
+        );
+        for &v in &values {
+            assert!((0.0..=1.0).contains(&v), "similarity {v} outside [0, 1]");
+        }
+        SimMatrix {
+            num_events,
+            num_users,
+            values,
+        }
     }
 
     /// Number of events (rows).

@@ -34,7 +34,7 @@ pub fn table1_instance() -> Instance {
     let conflicts = ConflictGraph::from_pairs(3, [(EventId(0), EventId(2))]);
     Instance::from_matrix(
         matrix,
-        vec![5, 3, 2],    // c_v
+        vec![5, 3, 2],       // c_v
         vec![3, 1, 1, 2, 3], // c_u
         conflicts,
     )

@@ -46,10 +46,12 @@ fn small_spec(max_v: usize, max_u: usize) -> impl Strategy<Value = SmallSpec> {
         let rows = proptest::collection::vec(proptest::collection::vec(sim, nu), nv);
         let cap_v = proptest::collection::vec(1u32..=3, nv);
         let cap_u = proptest::collection::vec(1u32..=3, nu);
-        let conflicts =
-            proptest::collection::vec((0..nv.max(1), 0..nv.max(1)), 0..=nv * 2);
-        (rows, cap_v, cap_u, conflicts).prop_map(|(rows, cap_v, cap_u, conflict_pairs)| {
-            SmallSpec { rows, cap_v, cap_u, conflict_pairs }
+        let conflicts = proptest::collection::vec((0..nv.max(1), 0..nv.max(1)), 0..=nv * 2);
+        (rows, cap_v, cap_u, conflicts).prop_map(|(rows, cap_v, cap_u, conflict_pairs)| SmallSpec {
+            rows,
+            cap_v,
+            cap_u,
+            conflict_pairs,
         })
     })
 }

@@ -47,7 +47,12 @@ fn spec() -> impl Strategy<Value = Spec> {
             proptest::collection::vec(1u32..=3, nu),
             proptest::collection::vec((0..nv, 0..nv), 0..=nv),
         )
-            .prop_map(|(rows, cap_v, cap_u, conflicts)| Spec { rows, cap_v, cap_u, conflicts })
+            .prop_map(|(rows, cap_v, cap_u, conflicts)| Spec {
+                rows,
+                cap_v,
+                cap_u,
+                conflicts,
+            })
     })
 }
 

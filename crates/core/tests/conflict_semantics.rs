@@ -18,8 +18,14 @@ fn bobs_sunday() -> ConflictGraph {
 fn the_papers_introduction_scenario_derives_all_three_conflicts() {
     let g = bobs_sunday();
     // Hiking overlaps both; badminton→basketball gap (0.5 h) < drive (1 h).
-    assert!(g.conflicts(EventId(0), EventId(1)), "hiking ⟂ badminton (overlap)");
-    assert!(g.conflicts(EventId(0), EventId(2)), "hiking ⟂ basketball (overlap)");
+    assert!(
+        g.conflicts(EventId(0), EventId(1)),
+        "hiking ⟂ badminton (overlap)"
+    );
+    assert!(
+        g.conflicts(EventId(0), EventId(2)),
+        "hiking ⟂ basketball (overlap)"
+    );
     assert!(
         g.conflicts(EventId(1), EventId(2)),
         "badminton ⟂ basketball (travel time exceeds the gap)"
@@ -40,7 +46,10 @@ fn bob_attends_exactly_one_activity() {
     .unwrap();
     let best = prune(&inst).arrangement;
     assert_eq!(best.len(), 1);
-    assert!(best.contains(EventId(1), UserId(0)), "badminton is Bob's top pick");
+    assert!(
+        best.contains(EventId(1), UserId(0)),
+        "badminton is Bob's top pick"
+    );
     let g = greedy(&inst);
     assert_eq!(g.len(), 1);
     assert!(g.contains(EventId(1), UserId(0)));

@@ -22,8 +22,7 @@ fn single_event_single_user() {
 #[test]
 fn all_similarities_exactly_zero() {
     let m = SimMatrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
-    let inst =
-        Instance::from_matrix(m, vec![2, 2], vec![2, 2], ConflictGraph::empty(2)).unwrap();
+    let inst = Instance::from_matrix(m, vec![2, 2], vec![2, 2], ConflictGraph::empty(2)).unwrap();
     assert!(greedy(&inst).is_empty());
     assert!(mincostflow(&inst).arrangement.is_empty());
     assert!(prune(&inst).arrangement.is_empty());
@@ -34,8 +33,7 @@ fn similarity_exactly_one_everywhere() {
     // Saturated similarities: the optimum is just the max matching size.
     let m = SimMatrix::from_rows(&[vec![1.0; 4], vec![1.0; 4]]);
     let inst =
-        Instance::from_matrix(m, vec![2, 2], vec![1, 1, 1, 1], ConflictGraph::empty(2))
-            .unwrap();
+        Instance::from_matrix(m, vec![2, 2], vec![1, 1, 1, 1], ConflictGraph::empty(2)).unwrap();
     let opt = prune(&inst).arrangement;
     assert_eq!(opt.len(), 4);
     assert!((opt.max_sum() - 4.0).abs() < 1e-12);
@@ -48,8 +46,7 @@ fn capacities_larger_than_counterpart_still_work() {
     // Violates the paper's standing assumption (max c_v ≤ |U|) but must
     // degrade gracefully, not panic.
     let m = SimMatrix::from_rows(&[vec![0.5, 0.6]]);
-    let inst =
-        Instance::from_matrix(m, vec![100], vec![50, 50], ConflictGraph::empty(1)).unwrap();
+    let inst = Instance::from_matrix(m, vec![100], vec![50, 50], ConflictGraph::empty(1)).unwrap();
     assert!(inst.validate_paper_assumptions().is_err());
     let g = greedy(&inst);
     assert_eq!(g.len(), 2);
@@ -64,8 +61,7 @@ fn tiny_similarities_survive_the_flow_solver() {
     // not lose these pairs to rounding.
     let eps = 1e-7;
     let m = SimMatrix::from_rows(&[vec![eps, eps * 2.0]]);
-    let inst =
-        Instance::from_matrix(m, vec![2], vec![1, 1], ConflictGraph::empty(1)).unwrap();
+    let inst = Instance::from_matrix(m, vec![2], vec![1, 1], ConflictGraph::empty(1)).unwrap();
     let res = mincostflow(&inst);
     assert_eq!(res.arrangement.len(), 2);
     assert!((res.arrangement.max_sum() - eps * 3.0).abs() < 1e-12);
@@ -110,10 +106,11 @@ fn euclidean_instances_with_degenerate_geometry() {
 
 #[test]
 fn wide_instance_many_events_single_user() {
-    let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![0.2 + (i % 10) as f64 / 20.0]).collect();
+    let rows: Vec<Vec<f64>> = (0..40)
+        .map(|i| vec![0.2 + (i % 10) as f64 / 20.0])
+        .collect();
     let m = SimMatrix::from_rows(&rows);
-    let inst =
-        Instance::from_matrix(m, vec![1; 40], vec![3], ConflictGraph::empty(40)).unwrap();
+    let inst = Instance::from_matrix(m, vec![1; 40], vec![3], ConflictGraph::empty(40)).unwrap();
     let g = greedy(&inst);
     assert_eq!(g.len(), 3);
     // Greedy takes the three highest-similarity events (0.65 each).
@@ -123,8 +120,7 @@ fn wide_instance_many_events_single_user() {
 #[test]
 fn tall_instance_single_event_many_users() {
     let m = SimMatrix::from_rows(&[(0..50).map(|i| 0.1 + (i as f64) / 100.0).collect()]);
-    let inst =
-        Instance::from_matrix(m, vec![5], vec![1; 50], ConflictGraph::empty(1)).unwrap();
+    let inst = Instance::from_matrix(m, vec![5], vec![1; 50], ConflictGraph::empty(1)).unwrap();
     let g = greedy(&inst);
     assert_eq!(g.len(), 5);
     // Top five users: sims 0.59, 0.58, 0.57, 0.56, 0.55.

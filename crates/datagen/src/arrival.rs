@@ -47,9 +47,7 @@ impl ArrivalOrder {
                     inst.similarity_column(u, &mut col);
                     *slot = col.iter().copied().fold(0.0, f64::max);
                 }
-                users.sort_by(|a, b| {
-                    best[b.index()].total_cmp(&best[a.index()]).then(a.cmp(b))
-                });
+                users.sort_by(|a, b| best[b.index()].total_cmp(&best[a.index()]).then(a.cmp(b)));
                 if matches!(self, ArrivalOrder::BestLast) {
                     users.reverse();
                 }
@@ -66,8 +64,13 @@ mod tests {
     use geacc_core::algorithms::online::{online_greedy, OnlineConfig};
 
     fn instance() -> Instance {
-        SyntheticConfig { num_events: 8, num_users: 40, seed: 5, ..Default::default() }
-            .generate()
+        SyntheticConfig {
+            num_events: 8,
+            num_users: 40,
+            seed: 5,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -132,8 +135,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let o = ArrivalOrder::Uniform { seed: 11 };
-        let back: ArrivalOrder =
-            serde_json::from_str(&serde_json::to_string(&o).unwrap()).unwrap();
+        let back: ArrivalOrder = serde_json::from_str(&serde_json::to_string(&o).unwrap()).unwrap();
         assert_eq!(o, back);
     }
 }

@@ -37,7 +37,11 @@ impl AttrDistribution {
         match *self {
             AttrDistribution::Uniform => rng.gen::<f64>() * t,
             AttrDistribution::Normal => {
-                let mu = if rng.gen::<bool>() { t / 4.0 } else { 3.0 * t / 4.0 };
+                let mu = if rng.gen::<bool>() {
+                    t / 4.0
+                } else {
+                    3.0 * t / 4.0
+                };
                 let normal = Normal::new(mu, t / 4.0).expect("sigma > 0");
                 normal.sample(rng).clamp(0.0, t)
             }
@@ -102,8 +106,9 @@ mod tests {
     #[test]
     fn uniform_attrs_stay_in_range_and_spread() {
         let mut r = rng();
-        let samples: Vec<f64> =
-            (0..2000).map(|_| AttrDistribution::Uniform.sample(100.0, &mut r)).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| AttrDistribution::Uniform.sample(100.0, &mut r))
+            .collect();
         assert!(samples.iter().all(|&x| (0.0..=100.0).contains(&x)));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 50.0).abs() < 5.0, "uniform mean {mean}");
@@ -113,8 +118,9 @@ mod tests {
     fn normal_attrs_are_bimodal_and_clamped() {
         let mut r = rng();
         let t = 100.0;
-        let samples: Vec<f64> =
-            (0..4000).map(|_| AttrDistribution::Normal.sample(t, &mut r)).collect();
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| AttrDistribution::Normal.sample(t, &mut r))
+            .collect();
         assert!(samples.iter().all(|&x| (0.0..=t).contains(&x)));
         // Mixture mean = t/2.
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
@@ -151,7 +157,10 @@ mod tests {
     #[test]
     fn normal_caps_are_integers_at_least_one() {
         let mut r = rng();
-        let d = CapDistribution::Normal { mean: 2.0, std_dev: 1.0 };
+        let d = CapDistribution::Normal {
+            mean: 2.0,
+            std_dev: 1.0,
+        };
         let samples: Vec<u32> = (0..1000).map(|_| d.sample(&mut r)).collect();
         assert!(samples.iter().all(|&c| c >= 1));
         let mean = samples.iter().sum::<u32>() as f64 / samples.len() as f64;

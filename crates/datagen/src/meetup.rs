@@ -223,7 +223,10 @@ mod tests {
         for v in inst.events() {
             let attrs = inst.event_attrs(v);
             let sum: f64 = attrs.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "frequencies must sum to 1, got {sum}");
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "frequencies must sum to 1, got {sum}"
+            );
             assert!(attrs.iter().all(|&x| (0.0..=1.0).contains(&x)));
             // Sparse: interests + noise touch well under all 20 tags.
             let nonzero = attrs.iter().filter(|&&x| x > 0.0).count();
@@ -265,8 +268,14 @@ mod tests {
     #[test]
     fn normal_capacity_variant_is_valid() {
         let mut c = MeetupConfig::new(City::Auckland);
-        c.cap_v_dist = CapDistribution::Normal { mean: 25.0, std_dev: 12.5 };
-        c.cap_u_dist = CapDistribution::Normal { mean: 2.0, std_dev: 1.0 };
+        c.cap_v_dist = CapDistribution::Normal {
+            mean: 25.0,
+            std_dev: 12.5,
+        };
+        c.cap_u_dist = CapDistribution::Normal {
+            mean: 2.0,
+            std_dev: 1.0,
+        };
         let inst = c.generate();
         for v in inst.events() {
             assert!(inst.event_capacity(v) >= 1);

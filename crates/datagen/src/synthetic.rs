@@ -56,14 +56,16 @@ impl Default for SyntheticConfig {
 impl SyntheticConfig {
     /// Generate the instance described by this configuration.
     pub fn generate(&self) -> Instance {
-        assert!(self.num_events > 0 && self.num_users > 0, "need events and users");
+        assert!(
+            self.num_events > 0 && self.num_users > 0,
+            "need events and users"
+        );
         assert!(
             (0.0..=1.0).contains(&self.conflict_ratio),
             "conflict ratio must be in [0, 1]"
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut builder =
-            Instance::builder(self.dim, SimilarityModel::Euclidean { t: self.t });
+        let mut builder = Instance::builder(self.dim, SimilarityModel::Euclidean { t: self.t });
         let mut attrs = vec![0.0; self.dim];
         for _ in 0..self.num_events {
             for a in &mut attrs {
@@ -77,8 +79,14 @@ impl SyntheticConfig {
             }
             builder.user(&attrs, self.cap_u_dist.sample(&mut rng));
         }
-        builder.conflicts(random_conflicts(self.num_events, self.conflict_ratio, &mut rng));
-        builder.build().expect("generated attributes lie in [0, T] by construction")
+        builder.conflicts(random_conflicts(
+            self.num_events,
+            self.conflict_ratio,
+            &mut rng,
+        ));
+        builder
+            .build()
+            .expect("generated attributes lie in [0, T] by construction")
     }
 }
 
@@ -88,7 +96,10 @@ pub fn random_conflicts<R: Rng + ?Sized>(
     ratio: f64,
     rng: &mut R,
 ) -> ConflictGraph {
-    assert!((0.0..=1.0).contains(&ratio), "conflict ratio must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&ratio),
+        "conflict ratio must be in [0, 1]"
+    );
     let total = num_events * num_events.saturating_sub(1) / 2;
     let want = (ratio * total as f64).round() as usize;
     if want == 0 {
@@ -151,14 +162,28 @@ mod tests {
 
     #[test]
     fn same_seed_reproduces_same_instance() {
-        let config = SyntheticConfig { num_events: 8, num_users: 20, ..Default::default() };
+        let config = SyntheticConfig {
+            num_events: 8,
+            num_users: 20,
+            ..Default::default()
+        };
         assert_eq!(config.generate(), config.generate());
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = SyntheticConfig { num_events: 8, num_users: 20, seed: 1, ..Default::default() };
-        let b = SyntheticConfig { num_events: 8, num_users: 20, seed: 2, ..Default::default() };
+        let a = SyntheticConfig {
+            num_events: 8,
+            num_users: 20,
+            seed: 1,
+            ..Default::default()
+        };
+        let b = SyntheticConfig {
+            num_events: 8,
+            num_users: 20,
+            seed: 2,
+            ..Default::default()
+        };
         assert_ne!(a.generate(), b.generate());
     }
 
@@ -174,9 +199,13 @@ mod tests {
     #[test]
     fn generated_instances_usually_satisfy_paper_assumptions() {
         // With uniform attributes most similarities are positive, so the
-        // Definition 4 assumption holds.
-        let config =
-            SyntheticConfig { num_events: 10, num_users: 40, ..SyntheticConfig::default() };
+        // Definition 4 assumption holds. `|U| = 60` dominates the default
+        // `c_v ~ U[1, 50]`, so the capacity conditions hold for any seed.
+        let config = SyntheticConfig {
+            num_events: 10,
+            num_users: 60,
+            ..SyntheticConfig::default()
+        };
         assert!(config.generate().validate_paper_assumptions().is_ok());
     }
 
@@ -190,8 +219,14 @@ mod tests {
                 num_events: 6,
                 num_users: 15,
                 attr_dist,
-                cap_v_dist: CapDistribution::Normal { mean: 25.0, std_dev: 12.5 },
-                cap_u_dist: CapDistribution::Normal { mean: 2.0, std_dev: 1.0 },
+                cap_v_dist: CapDistribution::Normal {
+                    mean: 25.0,
+                    std_dev: 12.5,
+                },
+                cap_u_dist: CapDistribution::Normal {
+                    mean: 2.0,
+                    std_dev: 1.0,
+                },
                 ..SyntheticConfig::default()
             };
             let inst = config.generate();
@@ -213,6 +248,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "conflict ratio")]
     fn invalid_ratio_panics() {
-        SyntheticConfig { conflict_ratio: 1.5, ..Default::default() }.generate();
+        SyntheticConfig {
+            conflict_ratio: 1.5,
+            ..Default::default()
+        }
+        .generate();
     }
 }

@@ -87,7 +87,10 @@ pub struct TemporalInstance {
 impl TemporalConfig {
     /// Generate the instance and its schedule.
     pub fn generate(&self) -> TemporalInstance {
-        assert!(self.num_events > 0 && self.num_users > 0, "need events and users");
+        assert!(
+            self.num_events > 0 && self.num_users > 0,
+            "need events and users"
+        );
         assert!(
             self.duration_hours.0 > 0.0 && self.duration_hours.0 <= self.duration_hours.1,
             "need 0 < min duration ≤ max duration"
@@ -101,8 +104,7 @@ impl TemporalConfig {
         let mut intervals = Vec::with_capacity(self.num_events);
         let mut venues = Vec::with_capacity(self.num_events);
         for _ in 0..self.num_events {
-            let duration = rng
-                .gen_range(self.duration_hours.0..=self.duration_hours.1);
+            let duration = rng.gen_range(self.duration_hours.0..=self.duration_hours.1);
             let start = rng.gen_range(0.0..=self.horizon_hours - duration);
             intervals.push((start, start + duration));
             venues.push((
@@ -113,8 +115,7 @@ impl TemporalConfig {
         // Travel at unit speed: distance in city units = hours.
         let conflicts = ConflictGraph::from_intervals_with_travel(&intervals, &venues, 1.0);
 
-        let mut builder =
-            Instance::builder(self.dim, SimilarityModel::Euclidean { t: self.t });
+        let mut builder = Instance::builder(self.dim, SimilarityModel::Euclidean { t: self.t });
         let mut attrs = vec![0.0; self.dim];
         for cap_slot in 0..self.num_events {
             let _ = cap_slot;
@@ -131,7 +132,11 @@ impl TemporalConfig {
         }
         builder.conflicts(conflicts);
         let instance = builder.build().expect("attributes lie in [0, T]");
-        TemporalInstance { instance, intervals, venues }
+        TemporalInstance {
+            instance,
+            intervals,
+            venues,
+        }
     }
 }
 
@@ -164,7 +169,8 @@ mod tests {
                 let gap = if e1 <= s2 { s2 - e1 } else { s1 - e2 };
                 let expected = overlap || gap < travel;
                 assert_eq!(
-                    inst.conflicts().conflicts(EventId(i as u32), EventId(j as u32)),
+                    inst.conflicts()
+                        .conflicts(EventId(i as u32), EventId(j as u32)),
                     expected,
                     "events {i} and {j}"
                 );
@@ -179,10 +185,7 @@ mod tests {
         for &(s, e) in &gen.intervals {
             assert!(s >= 0.0 && e <= config.horizon_hours && s < e);
             let d = e - s;
-            assert!(
-                d >= config.duration_hours.0 - 1e-9
-                    && d <= config.duration_hours.1 + 1e-9
-            );
+            assert!(d >= config.duration_hours.0 - 1e-9 && d <= config.duration_hours.1 + 1e-9);
         }
     }
 
@@ -198,8 +201,16 @@ mod tests {
     fn denser_schedules_conflict_more() {
         // Squeezing the same events into a shorter horizon raises the
         // conflict density.
-        let loose = TemporalConfig { horizon_hours: 96.0, ..small() }.generate();
-        let tight = TemporalConfig { horizon_hours: 12.0, ..small() }.generate();
+        let loose = TemporalConfig {
+            horizon_hours: 96.0,
+            ..small()
+        }
+        .generate();
+        let tight = TemporalConfig {
+            horizon_hours: 12.0,
+            ..small()
+        }
+        .generate();
         assert!(
             tight.instance.conflicts().density() > loose.instance.conflicts().density(),
             "tight {} ≤ loose {}",
@@ -210,12 +221,17 @@ mod tests {
 
     #[test]
     fn bigger_city_conflicts_more_via_travel() {
-        let compact = TemporalConfig { city_extent: 0.01, ..small() }.generate();
-        let sprawling = TemporalConfig { city_extent: 10.0, ..small() }.generate();
-        assert!(
-            sprawling.instance.conflicts().density()
-                >= compact.instance.conflicts().density()
-        );
+        let compact = TemporalConfig {
+            city_extent: 0.01,
+            ..small()
+        }
+        .generate();
+        let sprawling = TemporalConfig {
+            city_extent: 10.0,
+            ..small()
+        }
+        .generate();
+        assert!(sprawling.instance.conflicts().density() >= compact.instance.conflicts().density());
     }
 
     #[test]

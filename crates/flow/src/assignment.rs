@@ -120,8 +120,7 @@ mod tests {
     fn unit_assignment_picks_the_cheap_diagonal() {
         // 2×2, cheap diagonal.
         let costs = [[0.1, 0.9], [0.9, 0.1]];
-        let mut m =
-            BipartiteMatcher::new(&[1, 1], &[1, 1], |i, j| costs[i][j]).unwrap();
+        let mut m = BipartiteMatcher::new(&[1, 1], &[1, 1], |i, j| costs[i][j]).unwrap();
         let pairs = m.match_amount(2).unwrap();
         assert_eq!(pairs, vec![(0, 0), (1, 1)]);
         assert!((m.cost() - 0.2).abs() < 1e-12);
@@ -138,16 +137,15 @@ mod tests {
     #[test]
     fn cross_arc_layout_matches_reality() {
         let costs = [[0.3, 0.7], [0.2, 0.4]];
-        let mut m =
-            BipartiteMatcher::new(&[1, 1], &[1, 1], |i, j| costs[i][j]).unwrap();
+        let mut m = BipartiteMatcher::new(&[1, 1], &[1, 1], |i, j| costs[i][j]).unwrap();
         m.match_amount(2).unwrap();
         let net = m.solver_mut().network();
         let mut total = 0.0;
-        for i in 0..2 {
-            for j in 0..2 {
+        for (i, cost_row) in costs.iter().enumerate() {
+            for (j, &cost) in cost_row.iter().enumerate() {
                 let arc = BipartiteMatcher::cross_arc(2, 2, i, j);
-                assert!((net.arc_cost(arc) - costs[i][j]).abs() < 1e-12);
-                total += net.flow(arc) as f64 * costs[i][j];
+                assert!((net.arc_cost(arc) - cost).abs() < 1e-12);
+                total += net.flow(arc) as f64 * cost;
             }
         }
         assert!((total - m.cost()).abs() < 1e-9);
@@ -155,10 +153,7 @@ mod tests {
 
     #[test]
     fn incremental_sweep_through_solver_mut() {
-        let mut m = BipartiteMatcher::new(&[1, 1], &[1, 1], |i, j| {
-            (i + j) as f64 * 0.25
-        })
-        .unwrap();
+        let mut m = BipartiteMatcher::new(&[1, 1], &[1, 1], |i, j| (i + j) as f64 * 0.25).unwrap();
         let mut amounts = Vec::new();
         while let Some(step) = m.solver_mut().augment_step(1) {
             amounts.push(step.unit_cost);
@@ -171,8 +166,7 @@ mod tests {
     #[test]
     fn negative_costs_are_supported() {
         let mut m =
-            BipartiteMatcher::new(&[1], &[1, 1], |_, j| if j == 0 { -1.0 } else { 0.5 })
-                .unwrap();
+            BipartiteMatcher::new(&[1], &[1, 1], |_, j| if j == 0 { -1.0 } else { 0.5 }).unwrap();
         let pairs = m.match_amount(1).unwrap();
         assert_eq!(pairs, vec![(0, 0)]);
         assert!((m.cost() + 1.0).abs() < 1e-12);

@@ -41,7 +41,10 @@ impl ShortestPaths {
 pub fn shortest_paths(net: &FlowNetwork, source: usize) -> Result<ShortestPaths, FlowError> {
     let n = net.num_nodes();
     if source >= n {
-        return Err(FlowError::InvalidNode { node: source, num_nodes: n });
+        return Err(FlowError::InvalidNode {
+            node: source,
+            num_nodes: n,
+        });
     }
     let mut dist = vec![f64::INFINITY; n];
     let mut parent_arc = vec![u32::MAX; n];
@@ -133,7 +136,10 @@ mod tests {
         let mut net = FlowNetwork::new(2);
         net.add_arc(0, 1, 1, -1.0);
         net.add_arc(1, 0, 1, -1.0);
-        assert!(matches!(shortest_paths(&net, 0), Err(FlowError::NegativeCycle)));
+        assert!(matches!(
+            shortest_paths(&net, 0),
+            Err(FlowError::NegativeCycle)
+        ));
     }
 
     #[test]

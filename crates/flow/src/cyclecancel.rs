@@ -42,10 +42,16 @@ pub fn min_cost_max_flow(
 ) -> Result<CycleCancelOutcome, FlowError> {
     let n = net.num_nodes();
     if source >= n {
-        return Err(FlowError::InvalidNode { node: source, num_nodes: n });
+        return Err(FlowError::InvalidNode {
+            node: source,
+            num_nodes: n,
+        });
     }
     if sink >= n {
-        return Err(FlowError::InvalidNode { node: sink, num_nodes: n });
+        return Err(FlowError::InvalidNode {
+            node: sink,
+            num_nodes: n,
+        });
     }
     if source == sink {
         return Err(FlowError::SourceIsSink { node: source });
@@ -68,7 +74,12 @@ pub fn min_cost_max_flow(
         cycles_canceled += 1;
     }
     let cost = net.total_cost();
-    Ok(CycleCancelOutcome { network: net, flow, cost, cycles_canceled })
+    Ok(CycleCancelOutcome {
+        network: net,
+        flow,
+        cost,
+        cycles_canceled,
+    })
 }
 
 /// Find one negative-cost cycle among positive-capacity residual arcs,
@@ -98,9 +109,7 @@ fn find_negative_cycle(net: &FlowNetwork) -> Option<Vec<u32>> {
                 }
             }
         }
-        if relaxed_node.is_none() {
-            return None;
-        }
+        relaxed_node?;
         let _ = pass;
     }
     // A node relaxed on the final pass reaches a negative cycle through

@@ -115,10 +115,16 @@ impl FlowNetwork {
     ) -> Result<ArcId, FlowError> {
         let n = self.num_nodes();
         if from >= n {
-            return Err(FlowError::InvalidNode { node: from, num_nodes: n });
+            return Err(FlowError::InvalidNode {
+                node: from,
+                num_nodes: n,
+            });
         }
         if to >= n {
-            return Err(FlowError::InvalidNode { node: to, num_nodes: n });
+            return Err(FlowError::InvalidNode {
+                node: to,
+                num_nodes: n,
+            });
         }
         if capacity < 0 {
             return Err(FlowError::NegativeCapacity { capacity });
@@ -279,11 +285,17 @@ mod tests {
         let mut net = FlowNetwork::new(2);
         assert_eq!(
             net.try_add_arc(0, 5, 1, 0.0),
-            Err(FlowError::InvalidNode { node: 5, num_nodes: 2 })
+            Err(FlowError::InvalidNode {
+                node: 5,
+                num_nodes: 2
+            })
         );
         assert_eq!(
             net.try_add_arc(3, 1, 1, 0.0),
-            Err(FlowError::InvalidNode { node: 3, num_nodes: 2 })
+            Err(FlowError::InvalidNode {
+                node: 3,
+                num_nodes: 2
+            })
         );
         assert_eq!(
             net.try_add_arc(0, 1, -1, 0.0),

@@ -80,7 +80,10 @@ impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FlowError::InvalidNode { node, num_nodes } => {
-                write!(f, "node {node} out of range for network of {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for network of {num_nodes} nodes"
+                )
             }
             FlowError::NegativeCapacity { capacity } => {
                 write!(f, "arc capacity must be non-negative, got {capacity}")
@@ -132,13 +135,18 @@ mod tests {
 
     #[test]
     fn flow_error_display_is_informative() {
-        let e = FlowError::InvalidNode { node: 7, num_nodes: 3 };
+        let e = FlowError::InvalidNode {
+            node: 7,
+            num_nodes: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
         assert!(FlowError::NegativeCycle.to_string().contains("negative"));
-        assert!(
-            FlowError::NegativeCapacity { capacity: -2 }.to_string().contains("-2")
-        );
-        assert!(FlowError::SourceIsSink { node: 1 }.to_string().contains("differ"));
+        assert!(FlowError::NegativeCapacity { capacity: -2 }
+            .to_string()
+            .contains("-2"));
+        assert!(FlowError::SourceIsSink { node: 1 }
+            .to_string()
+            .contains("differ"));
     }
 }

@@ -27,10 +27,16 @@ impl Dinic {
     pub fn new(net: FlowNetwork, source: usize, sink: usize) -> Result<Self, FlowError> {
         let n = net.num_nodes();
         if source >= n {
-            return Err(FlowError::InvalidNode { node: source, num_nodes: n });
+            return Err(FlowError::InvalidNode {
+                node: source,
+                num_nodes: n,
+            });
         }
         if sink >= n {
-            return Err(FlowError::InvalidNode { node: sink, num_nodes: n });
+            return Err(FlowError::InvalidNode {
+                node: sink,
+                num_nodes: n,
+            });
         }
         if source == sink {
             return Err(FlowError::SourceIsSink { node: source });

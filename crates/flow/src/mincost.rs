@@ -64,6 +64,7 @@ pub struct MinCostFlow {
     dist: Vec<f64>,
     parent_arc: Vec<u32>,
     settled: Vec<bool>,
+    heap: BinaryHeap<std::cmp::Reverse<(TotalF64, u32)>>,
 }
 
 impl MinCostFlow {
@@ -76,23 +77,31 @@ impl MinCostFlow {
     pub fn new(net: FlowNetwork, source: usize, sink: usize) -> Result<Self, FlowError> {
         let n = net.num_nodes();
         if source >= n {
-            return Err(FlowError::InvalidNode { node: source, num_nodes: n });
+            return Err(FlowError::InvalidNode {
+                node: source,
+                num_nodes: n,
+            });
         }
         if sink >= n {
-            return Err(FlowError::InvalidNode { node: sink, num_nodes: n });
+            return Err(FlowError::InvalidNode {
+                node: sink,
+                num_nodes: n,
+            });
         }
         if source == sink {
             return Err(FlowError::SourceIsSink { node: source });
         }
-        let has_negative =
-            (0..net.num_arcs()).any(|i| net.arc_cost(ArcId((i as u32) << 1)) < -EPS);
+        let has_negative = (0..net.num_arcs()).any(|i| net.arc_cost(ArcId((i as u32) << 1)) < -EPS);
         let potential = if has_negative {
             let sp = bellman::shortest_paths(&net, source)?;
             // Unreachable nodes keep potential 0; they can never lie on an
             // augmenting path (no positive-capacity arc reaches them, and
             // augmentations only create residual capacity along paths of
             // reachable nodes).
-            sp.dist.iter().map(|&d| if d.is_finite() { d } else { 0.0 }).collect()
+            sp.dist
+                .iter()
+                .map(|&d| if d.is_finite() { d } else { 0.0 })
+                .collect()
         } else {
             vec![0.0; n]
         };
@@ -100,6 +109,7 @@ impl MinCostFlow {
             dist: vec![f64::INFINITY; n],
             parent_arc: vec![u32::MAX; n],
             settled: vec![false; n],
+            heap: BinaryHeap::new(),
             net,
             source,
             sink,
@@ -179,7 +189,10 @@ impl MinCostFlow {
         }
         self.flow += bottleneck;
         self.cost += unit_cost * bottleneck as f64;
-        Some(AugmentStep { amount: bottleneck, unit_cost })
+        Some(AugmentStep {
+            amount: bottleneck,
+            unit_cost,
+        })
     }
 
     /// Augment until total flow reaches `target` or the network saturates.
@@ -193,25 +206,40 @@ impl MinCostFlow {
                 });
             }
         }
-        Ok(FlowOutcome { flow: self.flow, cost: self.cost, reached_target: self.flow >= target })
+        Ok(FlowOutcome {
+            flow: self.flow,
+            cost: self.cost,
+            reached_target: self.flow >= target,
+        })
     }
 
     /// Route the maximum flow at minimum cost; returns the final state.
     pub fn max_flow(&mut self) -> FlowOutcome {
         while self.augment_step(i64::MAX).is_some() {}
-        FlowOutcome { flow: self.flow, cost: self.cost, reached_target: true }
+        FlowOutcome {
+            flow: self.flow,
+            cost: self.cost,
+            reached_target: true,
+        }
     }
 
     /// Dijkstra over reduced costs; fills `dist`/`parent_arc`. Returns
     /// whether the sink was reached.
+    ///
+    /// The frontier heap is a reused field: a Δ sweep runs one
+    /// `augment_step` (hence one Dijkstra) per Δ value, and the heap's
+    /// allocation — which grows to O(arcs) — survives across calls like
+    /// the other scratch buffers. Lazy termination can leave stale
+    /// entries behind, so each run starts by clearing it.
     fn dijkstra(&mut self) -> bool {
         let n = self.net.num_nodes();
         self.dist[..n].fill(f64::INFINITY);
         self.settled[..n].fill(false);
         self.dist[self.source] = 0.0;
-        let mut heap: BinaryHeap<std::cmp::Reverse<(TotalF64, u32)>> = BinaryHeap::new();
-        heap.push(std::cmp::Reverse((TotalF64(0.0), self.source as u32)));
-        while let Some(std::cmp::Reverse((TotalF64(d), u))) = heap.pop() {
+        self.heap.clear();
+        self.heap
+            .push(std::cmp::Reverse((TotalF64(0.0), self.source as u32)));
+        while let Some(std::cmp::Reverse((TotalF64(d), u))) = self.heap.pop() {
             let u = u as usize;
             if self.settled[u] {
                 continue;
@@ -238,7 +266,7 @@ impl MinCostFlow {
                 if nd + EPS < self.dist[v] {
                     self.dist[v] = nd;
                     self.parent_arc[v] = a;
-                    heap.push(std::cmp::Reverse((TotalF64(nd), v as u32)));
+                    self.heap.push(std::cmp::Reverse((TotalF64(nd), v as u32)));
                 }
             }
         }
@@ -348,7 +376,10 @@ mod tests {
         net.add_arc(0, 1, 1, -1.0);
         net.add_arc(1, 0, 1, -1.0);
         net.add_arc(1, 2, 1, 0.0);
-        assert!(matches!(MinCostFlow::new(net, 0, 2), Err(FlowError::NegativeCycle)));
+        assert!(matches!(
+            MinCostFlow::new(net, 0, 2),
+            Err(FlowError::NegativeCycle)
+        ));
     }
 
     #[test]

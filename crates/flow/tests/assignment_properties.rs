@@ -19,7 +19,11 @@ fn spec() -> impl Strategy<Value = Spec> {
             proptest::collection::vec(1u32..=2, nr),
             proptest::collection::vec(proptest::collection::vec(cost, nr), nl),
         )
-            .prop_map(|(left_caps, right_caps, costs)| Spec { left_caps, right_caps, costs })
+            .prop_map(|(left_caps, right_caps, costs)| Spec {
+                left_caps,
+                right_caps,
+                costs,
+            })
     })
 }
 
@@ -27,8 +31,7 @@ fn spec() -> impl Strategy<Value = Spec> {
 fn brute(spec: &Spec, target: usize) -> Option<f64> {
     let nl = spec.left_caps.len();
     let nr = spec.right_caps.len();
-    let edges: Vec<(usize, usize)> =
-        (0..nl).flat_map(|i| (0..nr).map(move |j| (i, j))).collect();
+    let edges: Vec<(usize, usize)> = (0..nl).flat_map(|i| (0..nr).map(move |j| (i, j))).collect();
     let mut best: Option<f64> = None;
     for mask in 0u32..(1 << edges.len()) {
         if mask.count_ones() as usize != target {
@@ -49,7 +52,11 @@ fn brute(spec: &Spec, target: usize) -> Option<f64> {
                 cost += spec.costs[i][j];
             }
         }
-        if ok && best.is_none_or(|b| cost < b) {
+        let improves = match best {
+            Some(b) => cost < b,
+            None => true,
+        };
+        if ok && improves {
             best = Some(cost);
         }
     }

@@ -56,9 +56,7 @@ impl BipartiteSpec {
     /// `None` if infeasible. Exponential in the number of cross arcs.
     fn brute_force_min_cost(&self, target: i64) -> Option<f64> {
         let arcs: Vec<(usize, usize, f64)> = (0..self.nv)
-            .flat_map(|v| {
-                (0..self.nu).filter_map(move |u| self.cost[v][u].map(|c| (v, u, c)))
-            })
+            .flat_map(|v| (0..self.nu).filter_map(move |u| self.cost[v][u].map(|c| (v, u, c))))
             .collect();
         let n = arcs.len();
         let mut best: Option<f64> = None;

@@ -50,11 +50,11 @@
 //! println!("arranged {} pairs, total interest {:.2}", plan.len(), plan.max_sum());
 //! ```
 
-pub use geacc_core::{
-    algorithms, model, reduction, similarity, toy, Arrangement, ConflictGraph, EventId,
-    Instance, InstanceBuilder, InstanceError, SimMatrix, SimilarityModel, UserId, Violation,
-};
 pub use geacc_core::model::ArrangementStats;
+pub use geacc_core::{
+    algorithms, model, reduction, similarity, toy, Arrangement, ConflictGraph, EventId, Instance,
+    InstanceBuilder, InstanceError, SimMatrix, SimilarityModel, UserId, Violation,
+};
 
 /// The problem model and algorithms crate.
 pub use geacc_core as core;

@@ -50,7 +50,12 @@ impl<'p> IDistance<'p> {
         let dim = points.dim();
         let r = num_refs.max(1).min(n.max(1));
         if n == 0 {
-            return IDistance { points, refs: Vec::new(), num_refs: 0, partitions: Vec::new() };
+            return IDistance {
+                points,
+                refs: Vec::new(),
+                num_refs: 0,
+                partitions: Vec::new(),
+            };
         }
         // Farthest-first traversal: a cheap, deterministic approximation
         // of the k-means centres the iDistance paper recommends.
@@ -99,7 +104,12 @@ impl<'p> IDistance<'p> {
         for p in &mut partitions {
             p.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         }
-        IDistance { points, refs, num_refs, partitions }
+        IDistance {
+            points,
+            refs,
+            num_refs,
+            partitions,
+        }
     }
 
     /// Number of reference points in use.
@@ -138,15 +148,29 @@ impl NnIndex for IDistance<'_> {
             let split = part.partition_point(|&(k, _)| k < dq);
             if split < part.len() {
                 let lb = (part[split].0 - dq).abs();
-                frontier.push(Reverse(Entry::cursor(lb, j as u32, split as u32, Dir::Right)));
+                frontier.push(Reverse(Entry::cursor(
+                    lb,
+                    j as u32,
+                    split as u32,
+                    Dir::Right,
+                )));
             }
             if split > 0 {
                 let lb = (dq - part[split - 1].0).abs();
-                frontier
-                    .push(Reverse(Entry::cursor(lb, j as u32, (split - 1) as u32, Dir::Left)));
+                frontier.push(Reverse(Entry::cursor(
+                    lb,
+                    j as u32,
+                    (split - 1) as u32,
+                    Dir::Left,
+                )));
             }
         }
-        Box::new(IdStream { index: self, query: query.to_vec(), query_key, frontier })
+        Box::new(IdStream {
+            index: self,
+            query: query.to_vec(),
+            query_key,
+            frontier,
+        })
     }
 }
 
@@ -170,10 +194,22 @@ struct Entry {
 
 impl Entry {
     fn cursor(lb: f64, partition: u32, pos: u32, dir: Dir) -> Self {
-        Entry { d: lb, is_point: false, id: partition, pos, dir }
+        Entry {
+            d: lb,
+            is_point: false,
+            id: partition,
+            pos,
+            dir,
+        }
     }
     fn point(d: f64, id: u32) -> Self {
-        Entry { d, is_point: true, id, pos: 0, dir: Dir::Right }
+        Entry {
+            d,
+            is_point: true,
+            id,
+            pos: 0,
+            dir: Dir::Right,
+        }
     }
 }
 
@@ -207,7 +243,10 @@ impl NnStream for IdStream<'_> {
     fn next_neighbor(&mut self) -> Option<Neighbor> {
         while let Some(Reverse(entry)) = self.frontier.pop() {
             if entry.is_point {
-                return Some(Neighbor { id: entry.id, dist: entry.d });
+                return Some(Neighbor {
+                    id: entry.id,
+                    dist: entry.d,
+                });
             }
             let j = entry.id as usize;
             let part = &self.index.partitions[j];
@@ -221,15 +260,20 @@ impl NnStream for IdStream<'_> {
                     let next = entry.pos as usize + 1;
                     if next < part.len() {
                         let lb = (part[next].0 - self.query_key[j]).abs();
-                        self.frontier
-                            .push(Reverse(Entry::cursor(lb, j as u32, next as u32, Dir::Right)));
+                        self.frontier.push(Reverse(Entry::cursor(
+                            lb,
+                            j as u32,
+                            next as u32,
+                            Dir::Right,
+                        )));
                     }
                 }
                 Dir::Left => {
                     if entry.pos > 0 {
                         let next = entry.pos - 1;
                         let lb = (self.query_key[j] - part[next as usize].0).abs();
-                        self.frontier.push(Reverse(Entry::cursor(lb, j as u32, next, Dir::Left)));
+                        self.frontier
+                            .push(Reverse(Entry::cursor(lb, j as u32, next, Dir::Left)));
                     }
                 }
             }
@@ -319,7 +363,10 @@ mod tests {
         let pts = PointSet::from_rows(2, rows);
         let idx = IDistance::build_with_refs(&pts, 3);
         let nn = idx.knn(&[5.0, 5.0], 6);
-        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            nn.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
     }
 
     #[test]

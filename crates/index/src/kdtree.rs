@@ -56,7 +56,11 @@ impl<'p> KdTree<'p> {
             let n = points.len();
             build_recursive(points, &mut order, 0, n, &mut nodes);
         }
-        KdTree { points, nodes, order }
+        KdTree {
+            points,
+            nodes,
+            order,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ fn build_recursive(
 ) -> u32 {
     let idx = nodes.len() as u32;
     if end - start <= LEAF_SIZE {
-        nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
+        nodes.push(Node::Leaf {
+            start: start as u32,
+            end: end as u32,
+        });
         return idx;
     }
     // Pick the dimension with the widest spread over this cell.
@@ -100,10 +107,18 @@ fn build_recursive(
     });
     let split_value = points.point(order[mid] as usize)[dim];
     // Placeholder; children indices patched after recursion.
-    nodes.push(Node::Split { dim: dim as u16, value: split_value, left: 0, right: 0 });
+    nodes.push(Node::Split {
+        dim: dim as u16,
+        value: split_value,
+        left: 0,
+        right: 0,
+    });
     let left = build_recursive(points, order, start, mid, nodes);
     let right = build_recursive(points, order, mid, end, nodes);
-    if let Node::Split { left: l, right: r, .. } = &mut nodes[idx as usize] {
+    if let Node::Split {
+        left: l, right: r, ..
+    } = &mut nodes[idx as usize]
+    {
         *l = left;
         *r = right;
     }
@@ -125,7 +140,11 @@ impl NnIndex for KdTree<'_> {
         if !self.points.is_empty() {
             frontier.push(Reverse(Entry::node(0.0, 0)));
         }
-        Box::new(KdStream { tree: self, query: query.to_vec(), frontier })
+        Box::new(KdStream {
+            tree: self,
+            query: query.to_vec(),
+            frontier,
+        })
     }
 }
 
@@ -144,10 +163,18 @@ struct Entry {
 
 impl Entry {
     fn node(d2: f64, id: u32) -> Self {
-        Entry { d2, is_point: false, id }
+        Entry {
+            d2,
+            is_point: false,
+            id,
+        }
     }
     fn point(d2: f64, id: u32) -> Self {
-        Entry { d2, is_point: true, id }
+        Entry {
+            d2,
+            is_point: true,
+            id,
+        }
     }
 }
 
@@ -178,7 +205,10 @@ impl NnStream for KdStream<'_> {
     fn next_neighbor(&mut self) -> Option<Neighbor> {
         while let Some(Reverse(entry)) = self.frontier.pop() {
             if entry.is_point {
-                return Some(Neighbor { id: entry.id, dist: entry.d2.sqrt() });
+                return Some(Neighbor {
+                    id: entry.id,
+                    dist: entry.d2.sqrt(),
+                });
             }
             match self.tree.nodes[entry.id as usize] {
                 Node::Leaf { start, end } => {
@@ -187,14 +217,23 @@ impl NnStream for KdStream<'_> {
                         self.frontier.push(Reverse(Entry::point(d2, pid)));
                     }
                 }
-                Node::Split { dim, value, left, right } => {
+                Node::Split {
+                    dim,
+                    value,
+                    left,
+                    right,
+                } => {
                     let q = self.query[dim as usize];
                     let gap = q - value;
                     // The query lies on one side; that child inherits the
                     // parent bound, the other is at least `gap²` away
                     // along this axis (bounds compose as max, and the
                     // parent bound never uses this axis tighter).
-                    let (near, far) = if gap < 0.0 { (left, right) } else { (right, left) };
+                    let (near, far) = if gap < 0.0 {
+                        (left, right)
+                    } else {
+                        (right, left)
+                    };
                     let far_bound = entry.d2.max(gap * gap);
                     self.frontier.push(Reverse(Entry::node(entry.d2, near)));
                     self.frontier.push(Reverse(Entry::node(far_bound, far)));

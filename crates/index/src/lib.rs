@@ -46,6 +46,7 @@
 pub mod idistance;
 pub mod kdtree;
 pub mod linear;
+pub mod parallel;
 pub mod vafile;
 
 /// A neighbour returned by an index: point id plus true Euclidean distance
@@ -78,13 +79,19 @@ impl PointSet {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        PointSet { dim, data: Vec::new() }
+        PointSet {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// An empty set pre-allocated for `n` points.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        PointSet { dim, data: Vec::with_capacity(dim * n) }
+        PointSet {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Build from an iterator of coordinate slices.

@@ -55,7 +55,10 @@ impl NnIndex for LinearScan<'_> {
         }
         let mut out: Vec<Neighbor> = heap
             .into_iter()
-            .map(|e| Neighbor { id: e.id, dist: e.d2.sqrt() })
+            .map(|e| Neighbor {
+                id: e.id,
+                dist: e.d2.sqrt(),
+            })
             .collect();
         out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         out
@@ -68,10 +71,15 @@ impl NnIndex for LinearScan<'_> {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                Reverse(HeapEntry { d2: crate::squared_distance(p, query), id: i as u32 })
+                Reverse(HeapEntry {
+                    d2: crate::squared_distance(p, query),
+                    id: i as u32,
+                })
             })
             .collect();
-        Box::new(LinearStream { heap: BinaryHeap::from(entries) })
+        Box::new(LinearStream {
+            heap: BinaryHeap::from(entries),
+        })
     }
 }
 
@@ -103,7 +111,10 @@ struct LinearStream {
 
 impl NnStream for LinearStream {
     fn next_neighbor(&mut self) -> Option<Neighbor> {
-        self.heap.pop().map(|Reverse(e)| Neighbor { id: e.id, dist: e.d2.sqrt() })
+        self.heap.pop().map(|Reverse(e)| Neighbor {
+            id: e.id,
+            dist: e.d2.sqrt(),
+        })
     }
 }
 
@@ -112,8 +123,13 @@ mod tests {
     use super::*;
 
     fn sample() -> PointSet {
-        let rows: Vec<&[f64]> =
-            vec![&[0.0, 0.0], &[1.0, 0.0], &[0.0, 2.0], &[5.0, 5.0], &[1.0, 0.0]];
+        let rows: Vec<&[f64]> = vec![
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 2.0],
+            &[5.0, 5.0],
+            &[1.0, 0.0],
+        ];
         PointSet::from_rows(2, rows)
     }
 

@@ -1,0 +1,289 @@
+//! Zero-dependency fork-join primitives on [`std::thread::scope`].
+//!
+//! The workspace's dependency policy rules out rayon, so the parallel
+//! runtime is built directly on scoped threads: a [`Threads`] budget
+//! resolved from `GEACC_THREADS` / `std::thread::available_parallelism`,
+//! plus two deterministic fork-join shapes — [`par_map`] (index-range
+//! map with order-preserving concatenation) and [`for_each_chunk`]
+//! (in-place mutation of disjoint slice chunks). Both degrade to plain
+//! sequential loops at `Threads(1)` or for small inputs, so callers pay
+//! no thread overhead in the common single-core case.
+//!
+//! Determinism contract: the *value* produced by these helpers is a pure
+//! function of the input — work is split by index ranges and results are
+//! reassembled in index order, so the output is identical at every
+//! thread count. Only wall-clock timing varies.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "GEACC_THREADS";
+
+/// Below this many items per prospective worker, fork-join overhead
+/// dominates and the helpers run sequentially.
+const MIN_ITEMS_PER_WORKER: usize = 16;
+
+/// A worker-count budget for the fork-join helpers.
+///
+/// `Threads` is a positive count: `1` means "run on the calling thread"
+/// (no spawning at all). Resolve one with [`Threads::new`] (explicit),
+/// [`Threads::available`] (hardware parallelism), or
+/// [`Threads::from_env`] (the `GEACC_THREADS` variable, falling back to
+/// hardware parallelism) — the resolution order the `geacc` CLI and the
+/// bench harness use for their `--threads` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Threads(NonZeroUsize);
+
+impl Threads {
+    /// An explicit worker count; `0` is clamped to `1`.
+    pub fn new(n: usize) -> Self {
+        Threads(NonZeroUsize::new(n.max(1)).expect("max(1) is non-zero"))
+    }
+
+    /// Single-threaded: every helper runs inline on the caller.
+    pub fn single() -> Self {
+        Threads::new(1)
+    }
+
+    /// The host's available parallelism (`1` if it cannot be queried).
+    pub fn available() -> Self {
+        Threads::new(std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// `GEACC_THREADS` if set and parseable as a positive integer,
+    /// otherwise [`Threads::available`].
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Threads::new(n),
+                _ => Threads::available(),
+            },
+            Err(_) => Threads::available(),
+        }
+    }
+
+    /// The worker count.
+    #[inline]
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+}
+
+impl Default for Threads {
+    /// Defaults to single-threaded: library entry points stay sequential
+    /// unless a caller opts in (the CLI/bench layers opt in via
+    /// [`Threads::from_env`]).
+    fn default() -> Self {
+        Threads::single()
+    }
+}
+
+/// Split `n` items over `workers` as contiguous `(start, end)` ranges,
+/// sized within one of each other (first `n % workers` ranges get the
+/// extra item). Empty ranges are omitted.
+pub fn split_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.max(1).min(n.max(1));
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        if len == 0 {
+            break;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Map `f` over `0..n`, producing results in index order.
+///
+/// Ranges are computed by [`split_ranges`]; each worker fills its own
+/// `Vec` and the chunks are concatenated in range order, so the result
+/// equals `(0..n).map(f).collect()` at every thread count.
+pub fn par_map<U, F>(threads: Threads, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if threads.get() == 1 || n < 2 * MIN_ITEMS_PER_WORKER {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.get().min(n / MIN_ITEMS_PER_WORKER).max(1);
+    let ranges = split_ranges(n, workers);
+    let mut parts: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| {
+                let f = &f;
+                scope.spawn(move || (start..end).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in &mut parts {
+        out.append(part);
+    }
+    out
+}
+
+/// Like [`par_map`], but for *few, coarse* items (benchmark sweep cells,
+/// whole-figure panels) whose per-item cost is large and uneven.
+///
+/// Differences from [`par_map`]: no minimum-items threshold (any `n ≥ 2`
+/// forks when `threads > 1`), and items are claimed dynamically from a
+/// shared cursor rather than split into static ranges, so one slow item
+/// does not idle the other workers. Results are still returned in index
+/// order — the output is identical at every thread count.
+pub fn par_map_coarse<U, F>(threads: Threads, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if threads.get() == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.get().min(n);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (cursor, f) = (&cursor, &f);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
+    for part in &mut parts {
+        for (i, value) in part.drain(..) {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Run `f(chunk_start, chunk)` over disjoint contiguous chunks of
+/// `items`, one chunk per worker. `chunk_start` is the chunk's offset in
+/// `items`, so workers can index global side tables.
+pub fn for_each_chunk<T, F>(threads: Threads, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    if threads.get() == 1 || n < 2 * MIN_ITEMS_PER_WORKER {
+        f(0, items);
+        return;
+    }
+    let workers = threads.get().min(n / MIN_ITEMS_PER_WORKER).max(1);
+    let ranges = split_ranges(n, workers);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut consumed = 0;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for &(start, end) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            let f = &f;
+            handles.push(scope.spawn(move || f(start, chunk)));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                let ranges = split_ranges(n, workers);
+                let mut next = 0;
+                for (start, end) in ranges {
+                    assert_eq!(start, next);
+                    assert!(end > start);
+                    next = end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_every_thread_count() {
+        let expected: Vec<u64> = (0..1000).map(|i| (i as u64) * 3 + 1).collect();
+        for t in [1, 2, 3, 8, 33] {
+            let got = par_map(Threads::new(t), 1000, |i| (i as u64) * 3 + 1);
+            assert_eq!(got, expected, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_small_inputs_inline() {
+        assert_eq!(par_map(Threads::new(8), 3, |i| i), vec![0, 1, 2]);
+        assert!(par_map(Threads::new(8), 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_map_coarse_matches_sequential_even_for_tiny_inputs() {
+        for n in [0usize, 1, 2, 5, 40] {
+            let expected: Vec<usize> = (0..n).map(|i| i * i).collect();
+            for t in [1, 2, 3, 8] {
+                let got = par_map_coarse(Threads::new(t), n, |i| i * i);
+                assert_eq!(got, expected, "n = {n}, threads = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mutates_every_item_once() {
+        for t in [1, 2, 5, 16] {
+            let mut items: Vec<usize> = vec![0; 500];
+            for_each_chunk(Threads::new(t), &mut items, |start, chunk| {
+                for (off, item) in chunk.iter_mut().enumerate() {
+                    *item = start + off + 1;
+                }
+            });
+            let expected: Vec<usize> = (1..=500).collect();
+            assert_eq!(items, expected, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads::new(0).get(), 1);
+        assert_eq!(Threads::new(5).get(), 5);
+        assert_eq!(Threads::single().get(), 1);
+        assert_eq!(Threads::default().get(), 1);
+        assert!(Threads::available().get() >= 1);
+        assert!(Threads::from_env().get() >= 1);
+    }
+}

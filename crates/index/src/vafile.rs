@@ -47,7 +47,10 @@ impl<'p> VaFile<'p> {
 
     /// Build with `bits` bits per dimension (1–8).
     pub fn build_with_bits(points: &'p PointSet, bits: u32) -> Self {
-        assert!((1..=8).contains(&bits), "bits per dimension must be in 1..=8");
+        assert!(
+            (1..=8).contains(&bits),
+            "bits per dimension must be in 1..=8"
+        );
         let dim = points.dim();
         let n = points.len();
         let cells = 1usize << bits;
@@ -75,7 +78,13 @@ impl<'p> VaFile<'p> {
                 approx.push(cell as u8);
             }
         }
-        VaFile { points, cells, lo, width, approx }
+        VaFile {
+            points,
+            cells,
+            lo,
+            width,
+            approx,
+        }
     }
 
     /// Cells per dimension.
@@ -133,7 +142,11 @@ impl NnIndex for VaFile<'_> {
                 id: i as u32,
             }));
         }
-        Box::new(VaStream { index: self, query: query.to_vec(), frontier })
+        Box::new(VaStream {
+            index: self,
+            query: query.to_vec(),
+            frontier,
+        })
     }
 }
 
@@ -174,11 +187,18 @@ impl NnStream for VaStream<'_> {
     fn next_neighbor(&mut self) -> Option<Neighbor> {
         while let Some(Reverse(entry)) = self.frontier.pop() {
             if entry.is_exact {
-                return Some(Neighbor { id: entry.id, dist: entry.d.sqrt() });
+                return Some(Neighbor {
+                    id: entry.id,
+                    dist: entry.d.sqrt(),
+                });
             }
             // Phase 2: refine this candidate to its exact distance.
             let d2 = self.index.points.dist2_to(entry.id as usize, &self.query);
-            self.frontier.push(Reverse(Entry { d: d2, is_exact: true, id: entry.id }));
+            self.frontier.push(Reverse(Entry {
+                d: d2,
+                is_exact: true,
+                id: entry.id,
+            }));
         }
         None
     }
@@ -262,7 +282,10 @@ mod tests {
         let pts = PointSet::from_rows(2, rows);
         let va = VaFile::build(&pts);
         let nn = va.knn(&[2.0, 2.0], 5);
-        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            nn.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

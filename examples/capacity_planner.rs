@@ -27,7 +27,10 @@ fn main() {
         let config = SyntheticConfig {
             num_events: 40,
             num_users: 400,
-            cap_v_dist: CapDistribution::Uniform { min: 1, max: max_cv },
+            cap_v_dist: CapDistribution::Uniform {
+                min: 1,
+                max: max_cv,
+            },
             seed: 11,
             ..SyntheticConfig::default()
         };

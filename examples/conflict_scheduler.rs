@@ -63,7 +63,13 @@ fn main() {
         let attendees: Vec<String> = instance
             .users()
             .filter(|&u| plan.contains(v, u))
-            .map(|u| if u.index() == 0 { "Bob".into() } else { format!("{u}") })
+            .map(|u| {
+                if u.index() == 0 {
+                    "Bob".into()
+                } else {
+                    format!("{u}")
+                }
+            })
             .collect();
         println!(
             "  {:<13} {:>2}/{:<2} filled: {}",

@@ -12,8 +12,8 @@
 //! cargo run --release --example live_signups
 //! ```
 
-use geacc::algorithms::online::{online_greedy, OnlineConfig};
 use geacc::algorithms::greedy;
+use geacc::algorithms::online::{online_greedy, OnlineConfig};
 use geacc::core::algorithms::localsearch::{improve, LocalSearchConfig};
 use geacc::datagen::TemporalConfig;
 use geacc::UserId;
@@ -41,7 +41,10 @@ fn main() {
 
     // Offline reference: the whole sign-up list known in advance.
     let offline = greedy(instance);
-    println!("\noffline Greedy-GEACC (knows everyone):   MaxSum {:.2}", offline.max_sum());
+    println!(
+        "\noffline Greedy-GEACC (knows everyone):   MaxSum {:.2}",
+        offline.max_sum()
+    );
 
     // Users arrive in a scrambled order (multiplicative-shuffle).
     let n = instance.num_users() as u64;

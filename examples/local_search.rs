@@ -40,7 +40,10 @@ fn main() {
     let starts: Vec<(&str, geacc::Arrangement)> = vec![
         ("Greedy-GEACC", greedy(&instance)),
         ("MinCostFlow-GEACC", mincostflow(&instance).arrangement),
-        ("Random-V", random_v(&instance, &mut StdRng::seed_from_u64(2))),
+        (
+            "Random-V",
+            random_v(&instance, &mut StdRng::seed_from_u64(2)),
+        ),
         ("empty", geacc::Arrangement::empty_for(&instance)),
     ];
     for (name, start) in starts {

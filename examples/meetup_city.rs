@@ -43,7 +43,10 @@ fn main() {
         instance.total_user_capacity()
     );
 
-    println!("{:<20} {:>10} {:>8} {:>12}", "algorithm", "MaxSum", "pairs", "time");
+    println!(
+        "{:<20} {:>10} {:>8} {:>12}",
+        "algorithm", "MaxSum", "pairs", "time"
+    );
     println!("{}", "-".repeat(54));
 
     let run = |name: &str, arr: geacc::Arrangement, elapsed: std::time::Duration| {

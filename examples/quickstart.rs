@@ -23,7 +23,10 @@ fn main() {
         instance.conflicts().num_pairs()
     );
 
-    println!("{:<20} {:>8} {:>7}  arrangement", "algorithm", "MaxSum", "pairs");
+    println!(
+        "{:<20} {:>8} {:>7}  arrangement",
+        "algorithm", "MaxSum", "pairs"
+    );
     println!("{}", "-".repeat(72));
     for algo in [
         Algorithm::Prune,

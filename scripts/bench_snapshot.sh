@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_parallel.json — the thread-scaling snapshot for the
+# parallel runtime (Prune-GEACC branch-and-bound, prewarmed-oracle
+# Greedy, dense similarity build) at 1/2/4/8 workers.
+#
+# Usage: scripts/bench_snapshot.sh [--quick]
+#   --quick  millisecond-scale instances (smoke test, not a measurement)
+#
+# The snapshot records the host's available parallelism next to every
+# speedup: on a single-core runner the speedups are ≈ 1× by physics, and
+# the binary still asserts that every thread count produces bit-identical
+# results, which is the part a single core *can* verify.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== thread-scaling snapshot (nproc = $(nproc)) =="
+if [ "${1:-}" = "--quick" ]; then
+    cargo run --release -p geacc-bench --bin scaling -- --quick
+else
+    cargo run --release -p geacc-bench --bin scaling
+fi
+
+echo "done — snapshot in BENCH_parallel.json"

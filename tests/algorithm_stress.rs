@@ -98,7 +98,10 @@ fn every_algorithm_on_every_workload() {
 
         // Local search is universally safe.
         let ls = improve(&inst, online, LocalSearchConfig::default());
-        assert!(ls.arrangement.validate(&inst).is_empty(), "{name}: LS broke feasibility");
+        assert!(
+            ls.arrangement.validate(&inst).is_empty(),
+            "{name}: LS broke feasibility"
+        );
     }
 }
 
@@ -121,7 +124,13 @@ fn exact_dp_brackets_every_approximation_on_small_workloads() {
         assert!(opt.max_sum() + 1e-9 >= m, "seed {seed}");
         // Theorem bounds at the paper's literal effectiveness setting.
         let alpha = inst.max_user_capacity() as f64;
-        assert!(g + 1e-9 >= opt.max_sum() / (1.0 + alpha), "seed {seed}: greedy ratio");
-        assert!(m + 1e-9 >= opt.max_sum() / alpha.max(1.0), "seed {seed}: mcf ratio");
+        assert!(
+            g + 1e-9 >= opt.max_sum() / (1.0 + alpha),
+            "seed {seed}: greedy ratio"
+        );
+        assert!(
+            m + 1e-9 >= opt.max_sum() / alpha.max(1.0),
+            "seed {seed}: mcf ratio"
+        );
     }
 }

@@ -9,7 +9,11 @@ use geacc::flow::maxflow::Dinic;
 use geacc::reduction::{ArcPos, MfcgsInstance, PathCaps};
 
 fn path(a: u64, b: u64, c: u64) -> PathCaps {
-    PathCaps { source_to_first: a, first_to_second: b, second_to_sink: c }
+    PathCaps {
+        source_to_first: a,
+        first_to_second: b,
+        second_to_sink: c,
+    }
 }
 
 /// Build the literal flow network of an MFCGS instance (ignoring

@@ -8,7 +8,10 @@ use rand::SeedableRng;
 
 fn check_all(instance: &geacc::Instance, label: &str) {
     let g = greedy(instance);
-    assert!(g.validate(instance).is_empty(), "{label}: greedy infeasible");
+    assert!(
+        g.validate(instance).is_empty(),
+        "{label}: greedy infeasible"
+    );
     let m = mincostflow(instance);
     assert!(
         m.arrangement.validate(instance).is_empty(),
@@ -28,8 +31,14 @@ fn check_all(instance: &geacc::Instance, label: &str) {
     let mut rng = StdRng::seed_from_u64(5);
     let rv = random_v(instance, &mut rng);
     let ru = random_u(instance, &mut rng);
-    assert!(rv.validate(instance).is_empty(), "{label}: random_v infeasible");
-    assert!(ru.validate(instance).is_empty(), "{label}: random_u infeasible");
+    assert!(
+        rv.validate(instance).is_empty(),
+        "{label}: random_v infeasible"
+    );
+    assert!(
+        ru.validate(instance).is_empty(),
+        "{label}: random_u infeasible"
+    );
     // The informed algorithms should beat blind chance on any non-trivial
     // workload.
     assert!(
@@ -88,8 +97,14 @@ fn zipf_attributes_with_normal_capacities() {
         num_events: 15,
         num_users: 90,
         attr_dist: AttrDistribution::Zipf { exponent: 1.3 },
-        cap_v_dist: CapDistribution::Normal { mean: 25.0, std_dev: 12.5 },
-        cap_u_dist: CapDistribution::Normal { mean: 2.0, std_dev: 1.0 },
+        cap_v_dist: CapDistribution::Normal {
+            mean: 25.0,
+            std_dev: 12.5,
+        },
+        cap_u_dist: CapDistribution::Normal {
+            mean: 2.0,
+            std_dev: 1.0,
+        },
         ..SyntheticConfig::default()
     }
     .generate();

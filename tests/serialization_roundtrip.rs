@@ -52,13 +52,11 @@ fn arrangement_roundtrips_and_revalidates() {
 #[test]
 fn configs_roundtrip() {
     let s = SyntheticConfig::default();
-    let back: SyntheticConfig =
-        serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+    let back: SyntheticConfig = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
     assert_eq!(s, back);
 
     let m = MeetupConfig::new(City::Singapore);
-    let back: MeetupConfig =
-        serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    let back: MeetupConfig = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
     assert_eq!(m, back);
 }
 
@@ -94,8 +92,7 @@ fn from_matrix_instances_serialize_with_their_matrix() {
         ConflictGraph::empty(1),
     )
     .unwrap();
-    let back: Instance =
-        serde_json::from_str(&serde_json::to_string(&inst).unwrap()).unwrap();
+    let back: Instance = serde_json::from_str(&serde_json::to_string(&inst).unwrap()).unwrap();
     assert_eq!(back.similarity(EventId(0), geacc::UserId(1)), 0.25);
     assert_eq!(inst, back);
 }

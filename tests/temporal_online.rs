@@ -3,9 +3,9 @@
 //! streaming arrivals (geacc-core::algorithms::online), plus overnight
 //! local-search repair.
 
+use geacc::algorithms::greedy;
 use geacc::algorithms::localsearch::{improve, LocalSearchConfig};
 use geacc::algorithms::online::{online_greedy, OnlineArranger, OnlineConfig};
-use geacc::algorithms::greedy;
 use geacc::datagen::TemporalConfig;
 use geacc::UserId;
 
@@ -78,11 +78,7 @@ fn reversed_arrival_order_changes_but_never_breaks_the_plan() {
     let inst = &generated.instance;
     let n = inst.num_users() as u32;
     let forward = online_greedy(inst, inst.users(), OnlineConfig::default());
-    let backward = online_greedy(
-        inst,
-        (0..n).rev().map(UserId),
-        OnlineConfig::default(),
-    );
+    let backward = online_greedy(inst, (0..n).rev().map(UserId), OnlineConfig::default());
     assert!(forward.validate(inst).is_empty());
     assert!(backward.validate(inst).is_empty());
     // Orders differ; both remain within a sane band of each other.

@@ -1,0 +1,284 @@
+//! Workspace-local stand-in for the subset of the crates.io `criterion`
+//! API used by geacc's benches: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: when the binary is invoked with `--bench` (as
+//! `cargo bench` does), each benchmark runs `sample_size` timed samples
+//! after a calibration pass and reports min/median/mean per-iteration
+//! times. Without `--bench` (e.g. under `cargo test`, which runs
+//! harness-less bench targets directly) each benchmark executes a single
+//! iteration as a smoke test, keeping test runs fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample in full mode.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to harness-less bench binaries;
+        // `cargo test` does not.
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion { full }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let full = self.full;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            full,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = self.full;
+        run_benchmark(None, &id.into_benchmark_id(), 100, full, f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    full: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in full mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            Some(&self.name),
+            &id.into_benchmark_id(),
+            self.sample_size,
+            self.full,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            Some(&self.name),
+            &id.into_benchmark_id(),
+            self.sample_size,
+            self.full,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; reporting is
+    /// per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier, optionally `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into an id.
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Hands the routine to time to the measurement loop.
+pub struct Bencher {
+    mode: BencherMode,
+    samples: Vec<Duration>,
+}
+
+enum BencherMode {
+    /// Single iteration (test/smoke mode).
+    Smoke,
+    /// `samples` timed samples of `iters_per_sample` iterations each.
+    Full { sample_count: usize },
+}
+
+impl Bencher {
+    /// Time the routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BencherMode::Smoke => {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            BencherMode::Full { sample_count } => {
+                // Calibrate how many iterations fill one sample window.
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                let once = start.elapsed().max(Duration::from_nanos(50));
+                let iters =
+                    (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+                for _ in 0..sample_count {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    self.samples.push(start.elapsed() / iters);
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    sample_size: usize,
+    full: bool,
+    mut f: F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mode = if full {
+        BencherMode::Full {
+            sample_count: sample_size,
+        }
+    } else {
+        BencherMode::Smoke
+    };
+    let mut bencher = Bencher {
+        mode,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{label}: no measurement (b.iter was not called)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    if full {
+        let min = samples[0];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{label}: min {} median {} mean {} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    } else {
+        println!("{label}: smoke ok ({})", fmt_duration(median));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

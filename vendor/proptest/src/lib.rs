@@ -1,0 +1,171 @@
+//! Workspace-local stand-in for the subset of the crates.io `proptest`
+//! API used by geacc's property tests: the [`strategy::Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! `collection::vec`, `Just`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - no shrinking — a failing case reports its inputs but is not
+//!   minimized;
+//! - deterministic case generation seeded from the test's name, so
+//!   failures reproduce across runs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..10, v in proptest::collection::vec(0i32..5, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn name(pat in strategy, ...) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&$strategy, &mut __rng),)+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!(
+                        "proptest {} failed on case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts only this case's
+/// closure via `return Err(..)`, which the runner turns into a panic
+/// with case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!(left != right)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` != `{:?}`", __l, __r);
+    }};
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type (each option is boxed).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// Yield `Some(value)` with probability `prob`, `None` otherwise.
+    pub fn weighted<S: Strategy>(prob: f64, inner: S) -> Weighted<S> {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        Weighted { prob, inner }
+    }
+
+    /// See [`weighted`].
+    #[derive(Debug, Clone)]
+    pub struct Weighted<S> {
+        prob: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(self.prob) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}

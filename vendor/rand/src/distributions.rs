@@ -1,0 +1,178 @@
+//! The `Distribution` trait, the [`Standard`] distribution, and uniform
+//! range sampling for `gen_range`.
+
+use crate::Rng;
+
+/// Types that sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: unit-interval floats, uniform
+/// integers, fair bools.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types that support unbiased uniform sampling over a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[low, high]` (both inclusive).
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64_below(span + 1, rng) as $t)
+            }
+        }
+    )*};
+}
+uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (low as i64).wrapping_add(uniform_u64_below(span + 1, rng) as i64) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        debug_assert!(low <= high);
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (low + unit * (high - low)).clamp(low, high)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        f64::sample_inclusive(low as f64, high as f64, rng) as f32
+    }
+}
+
+/// Unbiased uniform draw from `[0, n)` via Lemire's widening-multiply
+/// rejection method. `n` must be non-zero.
+#[inline]
+fn uniform_u64_below<R: Rng + ?Sized>(n: u64, rng: &mut R) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let low = m as u64;
+        if low >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+        // Rejected: retry to remove modulo bias.
+    }
+}
+
+/// Ranges acceptable to `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Sample a single value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + HasPredecessor> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_inclusive(self.start, self.end.predecessor(), rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range called with empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// The largest value strictly below `self` — how a half-open integer
+/// bound becomes inclusive. For floats the "predecessor" is the value
+/// itself: sampling already excludes the upper endpoint (up to rounding).
+pub trait HasPredecessor {
+    /// Predecessor under the type's ordering.
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! int_predecessor {
+    ($($t:ty),*) => {$(
+        impl HasPredecessor for $t {
+            #[inline]
+            fn predecessor(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+int_predecessor!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HasPredecessor for f64 {
+    #[inline]
+    fn predecessor(self) -> Self {
+        self
+    }
+}
+
+impl HasPredecessor for f32 {
+    #[inline]
+    fn predecessor(self) -> Self {
+        self
+    }
+}

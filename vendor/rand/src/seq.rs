@@ -1,0 +1,97 @@
+//! Slice shuffling and choosing.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffle the first `amount` elements into place; returns the
+    /// shuffled prefix and the untouched-order suffix.
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = rng.gen_range(i..self.len());
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn partial_shuffle_returns_disjoint_halves() {
+        let mut v: Vec<u32> = (0..20).collect();
+        let (head, tail) = v.partial_shuffle(&mut StdRng::seed_from_u64(1), 5);
+        assert_eq!(head.len(), 5);
+        assert_eq!(tail.len(), 15);
+        let mut all: Vec<u32> = head.iter().chain(tail.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_stays_in_bounds() {
+        let v = [10, 20, 30];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Workspace-local stand-in for the subset of the crates.io `rand_distr`
+//! 0.4 API used by geacc-datagen: [`Normal`] (Box–Muller) and [`Zipf`]
+//! (rejection-inversion, after the Apache Commons Math sampler). Both
+//! match the real crate's constructor/sample signatures; the sampled
+//! streams differ bit-for-bit but have the same distributions.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Construction error for a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution with given mean and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two unit uniforms -> one standard normal. The
+        // first uniform is kept away from zero so ln() stays finite.
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`. Samples are returned as `f64` ranks, matching the
+/// real crate. Uses rejection-inversion (Hörmann & Derflinger), which
+/// needs no precomputed table and is O(1) per sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    t: f64,
+}
+
+impl Zipf {
+    /// `n >= 1` ranks, exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n < 1 {
+            return Err(Error("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(Error("Zipf requires exponent > 0"));
+        }
+        let n = n as f64;
+        // `h(1.5) - 1` extends the envelope left of 1.5 by exactly the
+        // point mass at rank 1, so inversion covers rank 1 without a
+        // special case.
+        let h_x1 = h(1.5, s) - 1.0;
+        let h_n = h(n + 0.5, s);
+        // Threshold for the unconditional-accept shortcut: any x with
+        // `k - x <= t` is accepted without evaluating the envelope.
+        let t = 2.0 - h_inv(h(2.5, s) - 2f64.powf(-s), s);
+        Ok(Zipf { n, s, h_x1, h_n, t })
+    }
+}
+
+/// Primitive of `x^-s` used by rejection-inversion: integral of the
+/// density envelope.
+fn h(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h`].
+fn h_inv(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.exp()
+    } else {
+        (1.0 + x * (1.0 - s)).powf(1.0 / (1.0 - s))
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            // u uniform in (h_x1, h_n]; h is increasing, so h_inv maps
+            // it onto x in (1 - mass(1), n + 0.5].
+            let unit: f64 = rng.gen();
+            let u = self.h_n + unit * (self.h_x1 - self.h_n);
+            let x = h_inv(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            // Accept k when u falls under the discrete mass at k.
+            if k - x <= self.t || u >= h(k + 0.5, self.s) - k.powf(-self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matches_mean_and_spread() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_rejects_bad_sigma() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let d = Zipf::new(1000, 1.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut low = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&k));
+            assert_eq!(k, k.floor(), "ranks are integral");
+            if k <= 10.0 {
+                low += 1;
+            }
+        }
+        // With s = 1.3, well over half the mass sits on ranks <= 10.
+        assert!(
+            low as f64 / n as f64 > 0.6,
+            "low-rank share {}",
+            low as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn zipf_near_one_exponent_works() {
+        let d = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.3).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+}

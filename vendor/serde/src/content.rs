@@ -1,0 +1,131 @@
+//! The self-describing data model everything (de)serializes through.
+//!
+//! Unlike real serde's visitor architecture, this shim funnels every
+//! value through an owned [`Content`] tree: serializers *collect* a
+//! `Content`, deserializers *produce* one. That is all the formats in
+//! this workspace (JSON only) need, and it keeps the whole stack a few
+//! hundred lines of std-only code.
+
+use crate::{de, ser, Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// An owned, format-independent value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / Rust `None` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0; non-negatives normalize to `U64`).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples).
+    Seq(Vec<Content>),
+    /// Key–value map in insertion order (structs, JSON objects).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Human-readable kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// The error type of the in-memory format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentError(pub String);
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer that materializes a value as [`Content`].
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn collect_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Deserializer that replays an owned [`Content`] tree.
+pub struct ContentDeserializer<'de> {
+    content: Content,
+    marker: std::marker::PhantomData<&'de ()>,
+}
+
+impl<'de> ContentDeserializer<'de> {
+    /// Wrap an owned tree for deserialization.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer<'de> {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.content)
+    }
+}
+
+/// Serialize `value` into a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Deserialize a `T` out of an owned [`Content`] tree.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// Remove the entry named `name` from a struct's field list and
+/// deserialize it. Unknown extra fields are left behind (and ignored),
+/// matching serde's default behavior.
+pub fn take_field<'de, T: Deserialize<'de>>(
+    fields: &mut Vec<(Content, Content)>,
+    name: &str,
+) -> Result<T, ContentError> {
+    let pos = fields
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == name))
+        .ok_or_else(|| ContentError(format!("missing field `{name}`")))?;
+    let (_, value) = fields.swap_remove(pos);
+    from_content(value).map_err(|e| ContentError(format!("field `{name}`: {e}")))
+}

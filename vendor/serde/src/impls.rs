@@ -1,0 +1,362 @@
+//! `Serialize`/`Deserialize` implementations for the std types the
+//! workspace (de)serializes: scalars, strings, `Option`, `Vec`, slices,
+//! tuples, and string-keyed maps.
+
+use crate::content::{from_content, to_content, Content};
+use crate::de::Error as _;
+use crate::ser::Error as _;
+use crate::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.collect_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                // Normalize non-negatives to U64 so integer identity
+                // does not depend on the declared Rust type.
+                if v >= 0 {
+                    s.collect_content(Content::U64(v as u64))
+                } else {
+                    s.collect_content(Content::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_content(Content::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_content(Content::Str(self.clone()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_content(Content::Null)
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_content()? {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| {
+                        D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))
+                    }),
+                    other => Err(D::Error::invalid_type(
+                        other.kind(),
+                        concat!("a ", stringify!($t)),
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let out_of_range = |v: &dyn std::fmt::Display| {
+                    D::Error::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                };
+                match d.deserialize_content()? {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| out_of_range(&v)),
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| out_of_range(&v)),
+                    other => Err(D::Error::invalid_type(
+                        other.kind(),
+                        concat!("a ", stringify!($t)),
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(D::Error::invalid_type(other.kind(), "a float")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(D::Error::invalid_type(other.kind(), "a boolean")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(D::Error::custom("expected a single-character string")),
+                }
+            }
+            other => Err(D::Error::invalid_type(other.kind(), "a character")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::invalid_type(other.kind(), "a string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::invalid_type(other.kind(), "null")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pointers and wrappers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.collect_content(Content::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------
+
+fn collect_seq<S: Serializer, T: Serialize>(
+    items: impl IntoIterator<Item = T>,
+    s: S,
+) -> Result<S::Ok, S::Error> {
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(to_content(&item).map_err(S::Error::custom)?);
+    }
+    s.collect_content(Content::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), s)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), s)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        collect_seq(self.iter(), s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| from_content(c).map_err(D::Error::custom))
+                .collect(),
+            other => Err(D::Error::invalid_type(other.kind(), "a sequence")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples (serialized as fixed-length sequences, as in JSON serde)
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_impls {
+    ($(($len:literal => $($name:ident . $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(to_content(&self.$idx).map_err(S::Error::custom)?,)+
+                ];
+                s.collect_content(Content::Seq(seq))
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.deserialize_content()? {
+                    Content::Seq(items) => {
+                        if items.len() != $len {
+                            return Err(__D::Error::custom(format!(
+                                "expected a tuple of length {}, found sequence of length {}",
+                                $len,
+                                items.len()
+                            )));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok((
+                            $(from_content::<$name>(iter.next().expect("length checked"))
+                                .map_err(__D::Error::custom)?,)+
+                        ))
+                    }
+                    other => Err(__D::Error::invalid_type(other.kind(), "a tuple sequence")),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (1 => A.0)
+    (2 => A.0, B.1)
+    (3 => A.0, B.1, C.2)
+    (4 => A.0, B.1, C.2, D.3)
+    (5 => A.0, B.1, C.2, D.3, E.4)
+    (6 => A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------
+// String-keyed maps
+// ---------------------------------------------------------------------
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            map.push((
+                Content::Str(k.clone()),
+                to_content(v).map_err(S::Error::custom)?,
+            ));
+        }
+        s.collect_content(Content::Map(map))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Map(entries) => {
+                let mut out = BTreeMap::new();
+                for (k, v) in entries {
+                    let key = match k {
+                        Content::Str(s) => s,
+                        other => return Err(D::Error::invalid_type(other.kind(), "a string key")),
+                    };
+                    out.insert(key, from_content(v).map_err(D::Error::custom)?);
+                }
+                Ok(out)
+            }
+            other => Err(D::Error::invalid_type(other.kind(), "a map")),
+        }
+    }
+}

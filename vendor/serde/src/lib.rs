@@ -1,0 +1,90 @@
+//! Workspace-local stand-in for the subset of the crates.io `serde` API
+//! used by geacc. The build environment has no network access to a
+//! crates registry, so the workspace vendors this std-only
+//! implementation (see CONTRIBUTING.md for the dependency policy).
+//!
+//! Architecture: instead of serde's visitor-based zero-copy core, every
+//! value round-trips through the owned [`__private::Content`] tree. The
+//! public trait names and signatures (`Serialize`, `Deserialize<'de>`,
+//! `Serializer`, `Deserializer<'de>`, `ser::Error`, `de::Error`) match
+//! real serde closely enough that the workspace's hand-written impls and
+//! `#[derive(Serialize, Deserialize)]` code compile unchanged.
+
+mod content;
+mod impls;
+
+/// Internal plumbing used by `serde_derive`-generated code and by
+/// `serde_json`. Not a stable API.
+pub mod __private {
+    pub use crate::content::{
+        from_content, take_field, to_content, Content, ContentDeserializer, ContentError,
+        ContentSerializer,
+    };
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that consumes values.
+///
+/// This shim collapses serde's 30-method serializer surface to a single
+/// entry point: the value describes itself as a
+/// [`__private::Content`] tree and the format consumes that.
+pub trait Serializer: Sized {
+    /// Output of successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Consume a fully-built value tree.
+    fn collect_content(self, content: content::Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that produces values, mirrored from [`Serializer`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Parse the input into a value tree.
+    fn deserialize_content(self) -> Result<content::Content, Self::Error>;
+}
+
+/// Serialization-side error plumbing.
+pub mod ser {
+    /// Errors a [`crate::Serializer`] can produce.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error plumbing.
+pub mod de {
+    /// Errors a [`crate::Deserializer`] can produce.
+    pub trait Error: Sized + std::fmt::Display {
+        /// Build an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+
+        /// Conventional "missing field" constructor.
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format!("missing field `{field}`"))
+        }
+
+        /// Conventional type-mismatch constructor.
+        fn invalid_type(unexpected: &str, expected: &str) -> Self {
+            Self::custom(format!("invalid type: {unexpected}, expected {expected}"))
+        }
+    }
+}

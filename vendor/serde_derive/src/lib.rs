@@ -1,0 +1,485 @@
+//! Dependency-free `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde shim. Parses the item's token stream by hand (no syn/quote) and
+//! emits impls that funnel through `serde::__private::Content`.
+//!
+//! Supported shapes — exactly what the geacc workspace uses:
+//! - structs with named fields (maps keyed by field name),
+//! - one-field tuple structs (transparent, like serde's newtype structs),
+//! - unit structs,
+//! - non-generic enums with unit, newtype, and struct variants
+//!   (externally tagged, serde's default; unit variants serialize as a
+//!   bare string and deserialize from a string or `{"Variant": null}`).
+//!
+//! Generic types, multi-field tuple structs/variants, and `#[serde]`
+//! attributes other than `transparent` (a no-op for newtype structs,
+//! which are transparent by default) are rejected at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g.stream()) {
+                    1 => Item::NewtypeStruct { name },
+                    n => panic!(
+                        "vendored serde_derive supports only 1-field tuple structs, \
+                         {name} has {n}"
+                    ),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' then the bracketed attribute body.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advance past a type (everything up to the next top-level comma).
+/// Groups hide their internal commas; only `<`/`>` depth needs tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    *i += 1; // consume the separator
+                    return;
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => Variant::Newtype(name),
+                    n => panic!(
+                        "vendored serde_derive supports only 1-field tuple variants, \
+                         `{name}` has {n}"
+                    ),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Variant::Struct(name, parse_named_fields(g.stream()))
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("expected `,` after enum variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const CONTENT: &str = "::serde::__private::Content";
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// `to_content(&expr)?` with the error routed into `__S::Error`.
+fn ser_field(expr: &str) -> String {
+    format!("::serde::__private::to_content({expr}).map_err({SER_ERR})?")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NewtypeStruct { name } => {
+            return format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<__S: ::serde::Serializer>(&self, __s: __S)\n\
+                         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                         ::serde::Serialize::serialize(&self.0, __s)\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Item::UnitStruct { name } => (name, format!("{CONTENT}::Null")),
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from("{\n");
+            b.push_str("let mut __map: ::std::vec::Vec<(");
+            let _ = writeln!(b, "{CONTENT}, {CONTENT})> = ::std::vec::Vec::new();");
+            for f in fields {
+                let value = ser_field(&format!("&self.{f}"));
+                let _ = writeln!(
+                    b,
+                    "__map.push(({CONTENT}::Str(::std::string::String::from(\"{f}\")), {value}));"
+                );
+            }
+            let _ = write!(b, "{CONTENT}::Map(__map)\n}}");
+            (name, b)
+        }
+        Item::Enum { name, variants } => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        let _ = writeln!(
+                            b,
+                            "{name}::{vn} => \
+                             {CONTENT}::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    Variant::Newtype(vn) => {
+                        let value = ser_field("__f0");
+                        let _ = writeln!(
+                            b,
+                            "{name}::{vn}(__f0) => {{\n\
+                                 let mut __m = ::std::vec::Vec::new();\n\
+                                 __m.push(({CONTENT}::Str(\
+                                     ::std::string::String::from(\"{vn}\")), {value}));\n\
+                                 {CONTENT}::Map(__m)\n\
+                             }}"
+                        );
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                        let _ = writeln!(
+                            b,
+                            "{name}::{vn} {{ {} }} => {{\n\
+                                 let mut __inner = ::std::vec::Vec::new();",
+                            pat.join(", ")
+                        );
+                        for f in fields {
+                            let value = ser_field(f);
+                            let _ = writeln!(
+                                b,
+                                "__inner.push(({CONTENT}::Str(\
+                                     ::std::string::String::from(\"{f}\")), {value}));"
+                            );
+                        }
+                        let _ = writeln!(
+                            b,
+                            "let mut __m = ::std::vec::Vec::new();\n\
+                             __m.push(({CONTENT}::Str(\
+                                 ::std::string::String::from(\"{vn}\")), \
+                                 {CONTENT}::Map(__inner)));\n\
+                             {CONTENT}::Map(__m)\n\
+                             }}"
+                        );
+                    }
+                }
+            }
+            b.push('}');
+            (name, b)
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S)\n\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 let __content = {body};\n\
+                 __s.collect_content(__content)\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Statements binding `__f_<name>` for each field taken out of `__fields`.
+fn take_fields(fields: &[String]) -> String {
+    let mut b = String::new();
+    for f in fields {
+        let _ = writeln!(
+            b,
+            "let __f_{f} = ::serde::__private::take_field(&mut __fields, \"{f}\")\
+                 .map_err({DE_ERR})?;"
+        );
+    }
+    b
+}
+
+/// `Name { field: __f_field, ... }` construction expression.
+fn construct(path: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields.iter().map(|f| format!("{f}: __f_{f}")).collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NewtypeStruct { name } => {
+            return format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+                         -> ::std::result::Result<Self, __D::Error> {{\n\
+                         ::serde::Deserialize::deserialize(__d).map({name})\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!(
+                "match __d.deserialize_content()? {{\n\
+                     {CONTENT}::Null => ::std::result::Result::Ok({name}),\n\
+                     __other => ::std::result::Result::Err({DE_ERR}(::std::format!(\n\
+                         \"invalid type: {{}}, expected unit struct {name}\", \
+                         __other.kind()))),\n\
+                 }}"
+            ),
+        ),
+        Item::NamedStruct { name, fields } => (
+            name,
+            format!(
+                "let mut __fields = match __d.deserialize_content()? {{\n\
+                     {CONTENT}::Map(__m) => __m,\n\
+                     __other => return ::std::result::Result::Err({DE_ERR}(\
+                         ::std::format!(\"invalid type: {{}}, expected struct {name}\", \
+                         __other.kind()))),\n\
+                 }};\n\
+                 {}\n\
+                 ::std::result::Result::Ok({})",
+                take_fields(fields),
+                construct(name, fields)
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            // Bare-string arm: unit variants only.
+            let mut str_arms = String::new();
+            for v in variants {
+                if let Variant::Unit(vn) = v {
+                    let _ = writeln!(
+                        str_arms,
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    );
+                }
+            }
+            // Single-entry-map arm: every variant kind.
+            let mut map_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        let _ = writeln!(
+                            map_arms,
+                            "\"{vn}\" => match __value {{\n\
+                                 {CONTENT}::Null => ::std::result::Result::Ok({name}::{vn}),\n\
+                                 __other => ::std::result::Result::Err({DE_ERR}(\
+                                     ::std::format!(\"invalid type: {{}}, expected null for \
+                                     unit variant {name}::{vn}\", __other.kind()))),\n\
+                             }},"
+                        );
+                    }
+                    Variant::Newtype(vn) => {
+                        let _ = writeln!(
+                            map_arms,
+                            "\"{vn}\" => ::serde::__private::from_content(__value)\
+                                 .map({name}::{vn}).map_err({DE_ERR}),"
+                        );
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let _ = writeln!(
+                            map_arms,
+                            "\"{vn}\" => {{\n\
+                                 let mut __fields = match __value {{\n\
+                                     {CONTENT}::Map(__m) => __m,\n\
+                                     __other => return ::std::result::Result::Err({DE_ERR}(\
+                                         ::std::format!(\"invalid type: {{}}, expected map \
+                                         for variant {name}::{vn}\", __other.kind()))),\n\
+                                 }};\n\
+                                 {}\n\
+                                 ::std::result::Result::Ok({})\n\
+                             }},",
+                            take_fields(fields),
+                            construct(&format!("{name}::{vn}"), fields)
+                        );
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match __d.deserialize_content()? {{\n\
+                         {CONTENT}::Str(__tag) => match __tag.as_str() {{\n\
+                             {str_arms}\
+                             __other => ::std::result::Result::Err({DE_ERR}(\
+                                 ::std::format!(\"unknown variant `{{}}` of {name}\", \
+                                 __other))),\n\
+                         }},\n\
+                         {CONTENT}::Map(mut __m) => {{\n\
+                             if __m.len() != 1 {{\n\
+                                 return ::std::result::Result::Err({DE_ERR}(\
+                                     \"expected a map with exactly one variant key\"));\n\
+                             }}\n\
+                             let (__key, __value) = __m.pop().expect(\"length checked\");\n\
+                             let __tag = match __key {{\n\
+                                 {CONTENT}::Str(__s0) => __s0,\n\
+                                 __other => return ::std::result::Result::Err({DE_ERR}(\
+                                     ::std::format!(\"invalid type: {{}}, expected variant \
+                                     name string\", __other.kind()))),\n\
+                             }};\n\
+                             match __tag.as_str() {{\n\
+                                 {map_arms}\
+                                 __other => ::std::result::Result::Err({DE_ERR}(\
+                                     ::std::format!(\"unknown variant `{{}}` of {name}\", \
+                                     __other))),\n\
+                             }}\n\
+                         }},\n\
+                         __other => ::std::result::Result::Err({DE_ERR}(\
+                             ::std::format!(\"invalid type: {{}}, expected enum {name}\", \
+                             __other.kind()))),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,284 @@
+//! Workspace-local stand-in for the subset of the crates.io `serde_json`
+//! API used by geacc: `to_string`, `to_string_pretty`, `from_str`,
+//! `from_value`, `to_value`, [`Value`], and the [`json!`] macro. Values
+//! travel through `serde::__private::Content`, the vendored serde shim's
+//! self-describing tree.
+//!
+//! Numbers print with Rust's `Display`, which is shortest-roundtrip for
+//! `f64` (so `float_roundtrip` semantics hold by construction); integral
+//! floats print with a trailing `.0` like real serde_json.
+
+mod parse;
+mod print;
+
+use serde::__private::{from_content, to_content, Content};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+/// (De)serialization error: a message, optionally with a position from
+/// the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// A JSON number: integer (signed or unsigned) or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(pub(crate) N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(v) => write!(f, "{v}"),
+            N::I(v) => write!(f, "{v}"),
+            N::F(v) => write!(f, "{}", print::format_f64(v)),
+        }
+    }
+}
+
+/// An arbitrary JSON value (the `json!` macro's output type).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+fn value_to_content(value: Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(b),
+        Value::Number(Number(N::U(v))) => Content::U64(v),
+        Value::Number(Number(N::I(v))) => Content::I64(v),
+        Value::Number(Number(N::F(v))) => Content::F64(v),
+        Value::String(s) => Content::Str(s),
+        Value::Array(items) => Content::Seq(items.into_iter().map(value_to_content).collect()),
+        Value::Object(entries) => Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (Content::Str(k), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(content: Content) -> Result<Value, Error> {
+    Ok(match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::U64(v) => Value::Number(Number(N::U(v))),
+        Content::I64(v) => Value::Number(Number(N::I(v))),
+        Content::F64(v) => Value::Number(Number(N::F(v))),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(
+            items
+                .into_iter()
+                .map(content_to_value)
+                .collect::<Result<_, _>>()?,
+        ),
+        Content::Map(entries) => {
+            let mut object = Vec::with_capacity(entries.len());
+            for (k, v) in entries {
+                let key = match k {
+                    Content::Str(s) => s,
+                    other => {
+                        return Err(Error::new(format!(
+                            "JSON object keys must be strings, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                object.push((key, content_to_value(v)?));
+            }
+            Value::Object(object)
+        }
+    })
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_content(value_to_content(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        content_to_value(deserializer.deserialize_content()?).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = to_content(value).map_err(|e| Error::new(e.to_string()))?;
+    print::write_compact(&content)
+}
+
+/// Serialize `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = to_content(value).map_err(|e| Error::new(e.to_string()))?;
+    print::write_pretty(&content)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &'de str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    from_content(content).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Deserialize a `T` from an in-memory [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    from_content(value_to_content(value)).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    let content = to_content(value).map_err(|e| Error::new(e.to_string()))?;
+    content_to_value(content)
+}
+
+/// Build a [`Value`] from a JSON literal.
+///
+/// Unlike real serde_json's `json!`, this accepts only pure JSON
+/// literals (no interpolated Rust expressions): the token stream is
+/// stringified and parsed, which is all the workspace uses.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::from_str::<$crate::Value>(stringify!($($tt)+))
+            .expect("json! literal must be valid JSON")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<String>(r#""a\"b\n""#).unwrap(), "a\"b\n");
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for &x in &[
+            0.1,
+            0.25,
+            1.0 / 3.0,
+            4.0,
+            1e-300,
+            12345.6789,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "via {s}");
+        }
+        assert_eq!(to_string(&4.0f64).unwrap(), "4.0");
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![vec![0.5, 0.25], vec![1.0]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[0.5,0.25],[1.0]]");
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&s).unwrap(), v);
+
+        let pairs: Vec<(u32, u32)> = vec![(0, 9)];
+        let s = to_string(&pairs).unwrap();
+        assert_eq!(s, "[[0,9]]");
+        assert_eq!(from_str::<Vec<(u32, u32)>>(&s).unwrap(), pairs);
+    }
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let v = json!({
+            "dim": 1,
+            "model": {"Cosine": null},
+            "rows": [[0, 9], [1, 2]],
+            "ratio": 0.25,
+            "flag": true
+        });
+        match &v {
+            Value::Object(entries) => {
+                assert_eq!(entries.len(), 5);
+                assert_eq!(entries[0].0, "dim");
+                assert_eq!(entries[3].1, Value::Number(Number(N::F(0.25))));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        // And it feeds from_value.
+        let ratio: f64 = from_value(match &v {
+            Value::Object(entries) => entries[3].1.clone(),
+            _ => unreachable!(),
+        })
+        .unwrap();
+        assert_eq!(ratio, 0.25);
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let v = vec![(1u32, 2u32)];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<(u32, u32)>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_panicked() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<u32>("\"hi\"").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

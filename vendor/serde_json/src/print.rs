@@ -1,0 +1,164 @@
+//! JSON writers: compact and 2-space pretty, from `Content` trees.
+
+use crate::Error;
+use serde::__private::Content;
+use std::fmt::Write;
+
+pub(crate) fn write_compact(content: &Content) -> Result<String, Error> {
+    let mut out = String::new();
+    compact(content, &mut out)?;
+    Ok(out)
+}
+
+pub(crate) fn write_pretty(content: &Content) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty(content, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Shortest-roundtrip rendering of a finite `f64`, with a `.0` suffix on
+/// integral values so they read back as floats (matching serde_json).
+pub(crate) fn format_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    if v == v.trunc() && v.abs() < 1e16 {
+        // Integral doubles below 2^53 are exact, so fixed one-decimal
+        // formatting cannot lose information.
+        format!("{v:.1}")
+    } else {
+        // Rust's Display for f64 is shortest-roundtrip.
+        format!("{v}")
+    }
+}
+
+fn scalar(content: &Content, out: &mut String) -> Result<bool, Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error::new("JSON cannot represent NaN or infinity"));
+            }
+            out.push_str(&format_f64(*v));
+        }
+        Content::Str(s) => escape_string(s, out),
+        Content::Seq(_) | Content::Map(_) => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn key_string(key: &Content) -> Result<&str, Error> {
+    match key {
+        Content::Str(s) => Ok(s),
+        other => Err(Error::new(format!(
+            "JSON object keys must be strings, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn compact(content: &Content, out: &mut String) -> Result<(), Error> {
+    if scalar(content, out)? {
+        return Ok(());
+    }
+    match content {
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_string(key_string(k)?, out);
+                out.push(':');
+                compact(v, out)?;
+            }
+            out.push('}');
+        }
+        _ => unreachable!("scalar() handled the rest"),
+    }
+    Ok(())
+}
+
+fn pretty(content: &Content, indent: usize, out: &mut String) -> Result<(), Error> {
+    if scalar(content, out)? {
+        return Ok(());
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match content {
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                pretty(item, indent + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                escape_string(key_string(k)?, out);
+                out.push_str(": ");
+                pretty(v, indent + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        _ => unreachable!("scalar() handled the rest"),
+    }
+    Ok(())
+}
+
+fn escape_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
