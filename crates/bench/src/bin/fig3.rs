@@ -8,16 +8,20 @@
 //! cargo run -p geacc-bench --release --bin fig3 -- --panel v   # one column
 //! cargo run -p geacc-bench --release --bin fig3 -- --quick     # reduced sweep
 //! cargo run -p geacc-bench --release --bin fig3 -- --threads 1 # measurement-grade
+//! cargo run -p geacc-bench --release --bin fig3 -- --timeout-ms 500 # anytime curves
 //! ```
 //!
 //! Sweep cells (one instance × all algorithms) run concurrently on a
 //! scoped-thread pool sized by `--threads` / `GEACC_THREADS` (see
 //! `cli::threads` for the time/memory-panel caveat — pass `--threads 1`
-//! for publication numbers). CSVs land in `results/fig3_*.csv`;
-//! EXPERIMENTS.md records the shape comparison against the paper.
+//! for publication numbers). With `--timeout-ms` every cell runs under a
+//! wall-clock budget and a budget-stopped cell reports its feasible
+//! incumbent (flagged `[stopped]` on stderr) instead of hanging the
+//! sweep. CSVs land in `results/fig3_*.csv`; EXPERIMENTS.md records the
+//! shape comparison against the paper.
 
 use geacc_bench::cli;
-use geacc_bench::runner::measure;
+use geacc_bench::runner::measure_with;
 use geacc_bench::table::{write_csv, Series};
 use geacc_core::algorithms::Algorithm;
 use geacc_core::parallel::{par_map_coarse, Threads};
@@ -39,6 +43,7 @@ fn main() {
     let quick = cli::has_flag("quick");
     let repeats = cli::repeats(1);
     let threads = cli::threads();
+    let timeout_ms = cli::timeout_ms();
     let run_all = panel.is_none();
     let panel = panel.unwrap_or_default();
 
@@ -66,6 +71,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
     if run_all || panel == "u" {
@@ -92,6 +98,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
     if run_all || panel == "d" {
@@ -118,6 +125,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
     if run_all || panel == "cf" {
@@ -144,6 +152,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
 }
@@ -157,6 +166,7 @@ fn sweep_panel(
     points: Vec<(String, SyntheticConfig)>,
     repeats: usize,
     threads: Threads,
+    timeout_ms: Option<u64>,
 ) {
     let mut max_sum = Series::new(format!("{stem}: MaxSum vs {x_label}"), x_label);
     let mut time = Series::new(format!("{stem}: time (s) vs {x_label}"), x_label);
@@ -165,13 +175,19 @@ fn sweep_panel(
         let (x, config) = &points[i];
         eprintln!("[{stem}] {x_label} = {x} …");
         let instance = config.generate();
-        ALGOS.map(|algo| measure(&instance, algo, repeats))
+        ALGOS.map(|algo| measure_with(&instance, algo, repeats, timeout_ms))
     });
     for ((x, _), cell) in points.iter().zip(&cells) {
         max_sum.x.push(x.clone());
         time.x.push(x.clone());
         memory.x.push(x.clone());
         for (algo, m) in ALGOS.iter().zip(cell) {
+            if !m.complete {
+                eprintln!(
+                    "[{stem}] {x_label} = {x}: {} budget-stopped; values are its incumbent",
+                    algo.name()
+                );
+            }
             max_sum.push(algo.name(), m.max_sum);
             time.push(algo.name(), m.seconds);
             memory.push(algo.name(), m.peak_bytes as f64 / 1e6);

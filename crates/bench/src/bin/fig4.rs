@@ -7,14 +7,17 @@
 //! cargo run -p geacc-bench --release --bin fig4 -- --panel cv    # one column
 //! cargo run -p geacc-bench --release --bin fig4 -- --quick
 //! cargo run -p geacc-bench --release --bin fig4 -- --threads 1   # measurement-grade
+//! cargo run -p geacc-bench --release --bin fig4 -- --timeout-ms 500 # anytime curves
 //! ```
 //!
 //! Sweep cells run concurrently on a scoped-thread pool sized by
 //! `--threads` / `GEACC_THREADS` (see `cli::threads` for the
-//! time/memory-panel caveat).
+//! time/memory-panel caveat). With `--timeout-ms` each cell runs under a
+//! wall-clock budget; budget-stopped cells report their feasible
+//! incumbent and are flagged on stderr.
 
 use geacc_bench::cli;
-use geacc_bench::runner::measure;
+use geacc_bench::runner::measure_with;
 use geacc_bench::table::{write_csv, Series};
 use geacc_core::algorithms::Algorithm;
 use geacc_core::parallel::{par_map_coarse, Threads};
@@ -37,6 +40,7 @@ fn main() {
     let quick = cli::has_flag("quick");
     let repeats = cli::repeats(1);
     let threads = cli::threads();
+    let timeout_ms = cli::timeout_ms();
     let run_all = panel.is_none();
     let panel = panel.unwrap_or_default();
 
@@ -63,6 +67,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
     if run_all || panel == "cu" {
@@ -87,6 +92,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
     if run_all || panel == "dist" {
@@ -122,6 +128,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
     if run_all || panel == "real" {
@@ -146,6 +153,7 @@ fn main() {
                 .collect(),
             repeats,
             threads,
+            timeout_ms,
         );
     }
 }
@@ -156,6 +164,7 @@ fn sweep_panel(
     points: Vec<(String, Instance)>,
     repeats: usize,
     threads: Threads,
+    timeout_ms: Option<u64>,
 ) {
     let mut max_sum = Series::new(format!("{stem}: MaxSum vs {x_label}"), x_label);
     let mut time = Series::new(format!("{stem}: time (s) vs {x_label}"), x_label);
@@ -163,13 +172,19 @@ fn sweep_panel(
     let cells = par_map_coarse(threads, points.len(), |i| {
         let (x, instance) = &points[i];
         eprintln!("[{stem}] {x_label} = {x} …");
-        ALGOS.map(|algo| measure(instance, algo, repeats))
+        ALGOS.map(|algo| measure_with(instance, algo, repeats, timeout_ms))
     });
     for ((x, _), cell) in points.iter().zip(&cells) {
         max_sum.x.push(x.clone());
         time.x.push(x.clone());
         memory.x.push(x.clone());
         for (algo, m) in ALGOS.iter().zip(cell) {
+            if !m.complete {
+                eprintln!(
+                    "[{stem}] {x_label} = {x}: {} budget-stopped; values are its incumbent",
+                    algo.name()
+                );
+            }
             max_sum.push(algo.name(), m.max_sum);
             time.push(algo.name(), m.seconds);
             memory.push(algo.name(), m.peak_bytes as f64 / 1e6);

@@ -12,14 +12,17 @@
 //! cargo run -p geacc-bench --release --bin fig5 -- --panel approx
 //! cargo run -p geacc-bench --release --bin fig5 -- --panel scale --quick
 //! cargo run -p geacc-bench --release --bin fig5 -- --threads 1   # measurement-grade
+//! cargo run -p geacc-bench --release --bin fig5 -- --timeout-ms 500 # anytime curves
 //! ```
 //!
 //! Grid cells run concurrently on a scoped-thread pool sized by
 //! `--threads` / `GEACC_THREADS` (see `cli::threads` for the
-//! time/memory-panel caveat).
+//! time/memory-panel caveat). With `--timeout-ms` each cell runs under a
+//! wall-clock budget; budget-stopped cells report their feasible
+//! incumbent and are flagged on stderr.
 
 use geacc_bench::cli;
-use geacc_bench::runner::measure;
+use geacc_bench::runner::measure_with;
 use geacc_bench::table::{write_csv, Series};
 use geacc_core::algorithms::Algorithm;
 use geacc_core::parallel::{par_map_coarse, Threads};
@@ -33,19 +36,20 @@ fn main() {
     let panel = cli::flag_value("panel");
     let quick = cli::has_flag("quick");
     let threads = cli::threads();
+    let timeout_ms = cli::timeout_ms();
     let run_all = panel.is_none();
     let panel = panel.unwrap_or_default();
 
     if run_all || panel == "scale" {
-        scale_panel(quick, threads);
+        scale_panel(quick, threads, timeout_ms);
     }
     if run_all || panel == "approx" {
-        approx_panel(quick, threads);
+        approx_panel(quick, threads, timeout_ms);
     }
 }
 
 /// Fig. 5a/5b: Greedy time and memory over |U|, one series per |V|.
-fn scale_panel(quick: bool, threads: Threads) {
+fn scale_panel(quick: bool, threads: Threads, timeout_ms: Option<u64>) {
     let v_sweep: &[usize] = if quick {
         &[100, 500]
     } else {
@@ -75,9 +79,12 @@ fn scale_panel(quick: bool, threads: Threads) {
             ..Default::default()
         }
         .generate();
-        measure(&instance, Algorithm::Greedy, 1)
+        measure_with(&instance, Algorithm::Greedy, 1, timeout_ms)
     });
-    for (&(nv, _), m) in grid.iter().zip(&cells) {
+    for (&(nv, nu), m) in grid.iter().zip(&cells) {
+        if !m.complete {
+            eprintln!("[fig5 scale] |V| = {nv}, |U| = {nu}: Greedy budget-stopped; values are its incumbent");
+        }
         let series_name = format!("|V|={nv}");
         time.push(&series_name, m.seconds);
         memory.push(&series_name, m.peak_bytes as f64 / 1e6);
@@ -101,7 +108,7 @@ fn scale_panel(quick: bool, threads: Threads) {
 /// identical (both algorithms are exact; the property suite
 /// cross-checks them), so Fig. 5c is reproduced verbatim; Fig. 5d's
 /// "exact" series shows the DP's (much steadier) running time.
-fn approx_panel(quick: bool, threads: Threads) {
+fn approx_panel(quick: bool, threads: Threads, timeout_ms: Option<u64>) {
     let ratios: &[f64] = if quick {
         &[0.0, 0.5, 1.0]
     } else {
@@ -135,7 +142,17 @@ fn approx_panel(quick: bool, threads: Threads) {
             ..Default::default()
         }
         .generate();
-        algos.map(|algo| measure(&instance, algo, 1))
+        algos.map(|algo| {
+            let m = measure_with(&instance, algo, 1, timeout_ms);
+            if !m.complete {
+                eprintln!(
+                    "[fig5 approx] |CF| ratio = {ratio}, seed = {seed}: {} budget-stopped; \
+                     values are its incumbent",
+                    algo.name()
+                );
+            }
+            m
+        })
     });
     for (r, &ratio) in ratios.iter().enumerate() {
         max_sum.x.push(format!("{ratio}"));

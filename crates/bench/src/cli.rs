@@ -17,6 +17,20 @@ pub fn has_flag(name: &str) -> bool {
     std::env::args().any(|a| a == format!("--{name}"))
 }
 
+/// Parsed `--timeout-ms N`: an optional per-measurement wall-clock
+/// budget. When set, sweep cells run under a [`geacc_core::runtime::
+/// SolveBudget`] deadline and report the incumbent at the stop instead
+/// of running to completion — the panels become anytime curves. Cells
+/// that were budget-stopped are flagged on stderr and in the
+/// `Measurement::complete` field.
+pub fn timeout_ms() -> Option<u64> {
+    flag_value("timeout-ms").map(|v| {
+        let ms: u64 = v.parse().expect("--timeout-ms takes milliseconds");
+        assert!(ms >= 1, "--timeout-ms must be at least 1");
+        ms
+    })
+}
+
 /// Parsed `--repeats N` (default `default`).
 pub fn repeats(default: usize) -> usize {
     flag_value("repeats")

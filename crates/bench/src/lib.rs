@@ -9,6 +9,8 @@
 //! | `fig4` | Fig. 4 — capacity sweeps, distribution variants, real (Meetup-sim) data |
 //! | `fig5` | Fig. 5 — Greedy scalability, approximate-vs-exact effectiveness |
 //! | `fig6` | Fig. 6 — pruning effectiveness of Prune-GEACC |
+//! | `scaling` | thread-scaling snapshot (`BENCH_parallel.json`) |
+//! | `resilience` | budget-meter overhead + deadline demo (`BENCH_resilience.json`) |
 //!
 //! Each binary prints aligned text tables (one per panel: MaxSum, running
 //! time, memory) and writes CSV into `results/`. Criterion micro-benches
@@ -25,5 +27,5 @@ pub mod cli;
 pub mod runner;
 pub mod table;
 
-pub use runner::{measure, Measurement};
+pub use runner::{measure, measure_with, Measurement};
 pub use table::{write_csv, Series};

@@ -2,6 +2,8 @@
 
 use crate::alloc;
 use geacc_core::algorithms::{self, Algorithm};
+use geacc_core::parallel::Threads;
+use geacc_core::runtime::{solve_budgeted, BudgetMeter, SolveBudget};
 use geacc_core::Instance;
 use std::time::Instant;
 
@@ -17,6 +19,10 @@ pub struct Measurement {
     /// Peak working-set bytes (allocations beyond the input instance)
     /// observed during the first run.
     pub peak_bytes: usize,
+    /// `false` when a budget stopped the first run early, in which case
+    /// `max_sum`/`pairs` describe the incumbent at the stop rather than
+    /// the algorithm's completed answer.
+    pub complete: bool,
 }
 
 /// Run `algorithm` on `instance` `repeats` times; report the median time,
@@ -27,18 +33,43 @@ pub struct Measurement {
 /// measures an infeasible arrangement would be meaningless, so this
 /// panics on violations.
 pub fn measure(instance: &Instance, algorithm: Algorithm, repeats: usize) -> Measurement {
+    measure_with(instance, algorithm, repeats, None)
+}
+
+/// [`measure`] with an optional wall-clock budget: with `timeout_ms` set,
+/// each repeat runs under a fresh deadline meter and a budget-stopped run
+/// contributes its (feasibility-audited) incumbent. `Measurement::complete`
+/// records whether the first run finished inside the budget.
+pub fn measure_with(
+    instance: &Instance,
+    algorithm: Algorithm,
+    repeats: usize,
+    timeout_ms: Option<u64>,
+) -> Measurement {
     assert!(repeats >= 1, "need at least one repeat");
     let mut times = Vec::with_capacity(repeats);
     let mut result = None;
     let mut peak = 0;
+    let mut complete = true;
     for i in 0..repeats {
         let live_before = alloc::live_bytes();
         alloc::reset_peak();
         let start = Instant::now();
-        let arrangement = algorithms::solve(instance, algorithm);
+        // The deadline is wall-clock-relative, so each repeat needs its
+        // own meter; an unbudgeted run takes the meterless entry point,
+        // which is bit-identical to the pre-resilience code path.
+        let (arrangement, stopped) = match timeout_ms {
+            None => (algorithms::solve(instance, algorithm), None),
+            Some(ms) => {
+                let meter = BudgetMeter::new(&SolveBudget::from_timeout_ms(ms));
+                let solved = solve_budgeted(instance, algorithm, &meter, Threads::single());
+                (solved.arrangement, solved.stopped)
+            }
+        };
         times.push(start.elapsed().as_secs_f64());
         if i == 0 {
             peak = alloc::peak_bytes().saturating_sub(live_before);
+            complete = stopped.is_none();
             let violations = arrangement.validate(instance);
             assert!(
                 violations.is_empty(),
@@ -55,6 +86,7 @@ pub fn measure(instance: &Instance, algorithm: Algorithm, repeats: usize) -> Mea
         pairs: arrangement.len(),
         seconds: times[times.len() / 2],
         peak_bytes: peak,
+        complete,
     }
 }
 
@@ -70,6 +102,19 @@ mod tests {
         assert!((m.max_sum - toy::GREEDY_MAX_SUM).abs() < 1e-9);
         assert_eq!(m.pairs, 7);
         assert!(m.seconds >= 0.0);
+        assert!(m.complete);
+    }
+
+    #[test]
+    fn budgeted_measure_matches_unbudgeted_on_a_completing_run() {
+        // A generous deadline on a toy instance never trips, so the
+        // budgeted path must agree bit-for-bit with the meterless one.
+        let inst = toy::table1_instance();
+        let plain = measure(&inst, Algorithm::Greedy, 1);
+        let budgeted = measure_with(&inst, Algorithm::Greedy, 1, Some(60_000));
+        assert_eq!(plain.max_sum.to_bits(), budgeted.max_sum.to_bits());
+        assert_eq!(plain.pairs, budgeted.pairs);
+        assert!(budgeted.complete);
     }
 
     #[test]

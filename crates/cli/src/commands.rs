@@ -5,8 +5,43 @@ use crate::args::ParsedArgs;
 use crate::io::{load_arrangement, load_instance, to_json, write_output, CliError};
 use geacc_core::algorithms::{self, Algorithm};
 use geacc_core::parallel::Threads;
+use geacc_core::runtime::{SolveBudget, SolverPipeline};
 use geacc_datagen::{AttrDistribution, City, MeetupConfig, SyntheticConfig};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A command's result: the text to print plus the process exit code.
+///
+/// Most commands exit `0` on success; budgeted `solve` maps its
+/// [`SolveStatus`][geacc_core::SolveStatus] to the documented codes
+/// (0 complete, 3 incumbent, 4 degraded, 5 timed out) so scripts can
+/// branch on *how* an answer was produced without parsing text.
+/// `CmdOutput` derefs to `str`, so test assertions read naturally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// The text `main` prints to stdout.
+    pub text: String,
+    /// The process exit code (`0` = fully successful).
+    pub code: i32,
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> Self {
+        CmdOutput { text, code: 0 }
+    }
+}
+
+impl std::ops::Deref for CmdOutput {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::fmt::Display for CmdOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
 
 /// Usage text for `geacc help` and argument errors.
 pub const USAGE: &str = "\
@@ -18,6 +53,8 @@ USAGE:
                  [--city vancouver|auckland|singapore] [--seed S] [--output FILE]
   geacc solve    --input FILE [--algorithm greedy|mincostflow|prune|exhaustive|
                  exact-dp|random-v|random-u] [--seed S] [--threads N] [--output FILE]
+                 [--timeout-ms MS] [--max-nodes N]
+                 [--on-timeout incumbent|greedy|error]
   geacc validate --input FILE --arrangement FILE
   geacc stats    --input FILE
   geacc inspect  --input FILE --arrangement FILE [--top N] [--certify]
@@ -29,19 +66,27 @@ FILE may be '-' for stdin/stdout. Instances and arrangements are JSON.
 --threads defaults to the GEACC_THREADS environment variable, then to the
 host's available parallelism; it affects wall-clock only (greedy and the
 exact search produce identical results at every thread count).
+
+--timeout-ms / --max-nodes bound the solve (wall clock / search-tree
+nodes); either makes `solve` anytime: it always returns a feasible
+arrangement and reports how it was produced. --on-timeout picks what a
+budget stop yields: the solver's best incumbent (default), a greedy
+fallback, or an error. Exit codes: 0 complete, 3 incumbent, 4 degraded
+to a fallback algorithm, 5 timed out without an arrangement.
 ";
 
-/// Dispatch a parsed command line; returns the text to print.
-pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+/// Dispatch a parsed command line; returns the text to print plus the
+/// exit code (only budgeted `solve` uses non-zero success codes).
+pub fn run(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
     match args.command.as_str() {
-        "generate" => generate(args),
+        "generate" => generate(args).map(Into::into),
         "solve" => solve(args),
-        "validate" => validate(args),
-        "stats" => stats(args),
-        "inspect" => inspect(args),
-        "improve" => improve_cmd(args),
-        "toy" => toy(args),
-        "help" | "--help" => Ok(USAGE.to_string()),
+        "validate" => validate(args).map(Into::into),
+        "stats" => stats(args).map(Into::into),
+        "inspect" => inspect(args).map(Into::into),
+        "improve" => improve_cmd(args).map(Into::into),
+        "toy" => toy(args).map(Into::into),
+        "help" | "--help" => Ok(USAGE.to_string().into()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
@@ -138,17 +183,69 @@ fn threads_arg(args: &ParsedArgs) -> Result<Threads, CliError> {
     })
 }
 
-fn solve(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["input", "algorithm", "seed", "threads", "output"])?;
+fn solve(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
+    args.expect_only(&[
+        "input",
+        "algorithm",
+        "seed",
+        "threads",
+        "output",
+        "timeout-ms",
+        "max-nodes",
+        "on-timeout",
+    ])?;
     let instance = load_instance(args.required("input")?)?;
     let seed: u64 = args.parsed_or("seed", 0)?;
     let threads = threads_arg(args)?;
     let algorithm = parse_algorithm(args.value("algorithm")?.unwrap_or("greedy"), seed)?;
+    let timeout_ms: Option<u64> = args
+        .value("timeout-ms")?
+        .map(|v| {
+            v.parse()
+                .map_err(|e| CliError(format!("invalid value for --timeout-ms: {e}")))
+        })
+        .transpose()?;
+    let max_nodes: Option<u64> = args
+        .value("max-nodes")?
+        .map(|v| {
+            v.parse()
+                .map_err(|e| CliError(format!("invalid value for --max-nodes: {e}")))
+        })
+        .transpose()?;
+    let on_timeout = args.value("on-timeout")?;
+    if let Some(policy) = on_timeout {
+        if !matches!(policy, "incumbent" | "greedy" | "error") {
+            return Err(CliError(format!(
+                "unknown on-timeout policy {policy:?} (incumbent, greedy, error)"
+            )));
+        }
+        if timeout_ms.is_none() && max_nodes.is_none() {
+            return Err(CliError(
+                "--on-timeout needs a budget: pass --timeout-ms and/or --max-nodes".into(),
+            ));
+        }
+    }
+    if timeout_ms.is_some() || max_nodes.is_some() {
+        return solve_budgeted_cmd(
+            args,
+            &instance,
+            algorithm,
+            threads,
+            seed,
+            SolveBudget {
+                deadline: timeout_ms.map(Duration::from_millis),
+                max_nodes,
+                max_memory_bytes: None,
+            },
+            on_timeout.unwrap_or("incumbent"),
+        );
+    }
     if matches!(algorithm, Algorithm::Prune | Algorithm::Exhaustive)
         && instance.num_events() * instance.num_users() > 200
     {
         return Err(CliError(format!(
-            "refusing to run the exact search on {} pairs (exponential); use greedy or mincostflow",
+            "refusing to run the exact search on {} pairs (exponential) without a budget; \
+             use greedy or mincostflow, or bound it with --timeout-ms/--max-nodes",
             instance.num_events() * instance.num_users()
         )));
     }
@@ -204,7 +301,57 @@ fn solve(args: &ParsedArgs) -> Result<String, CliError> {
         arrangement.max_sum(),
         arrangement.len(),
         elapsed
-    ))
+    )
+    .into())
+}
+
+/// The budgeted `solve` path: run the anytime pipeline, map its status
+/// to an exit code, and honour the `--on-timeout` policy.
+#[allow(clippy::too_many_arguments)]
+fn solve_budgeted_cmd(
+    args: &ParsedArgs,
+    instance: &geacc_core::Instance,
+    algorithm: Algorithm,
+    threads: Threads,
+    seed: u64,
+    budget: SolveBudget,
+    on_timeout: &str,
+) -> Result<CmdOutput, CliError> {
+    let pipeline = SolverPipeline::new(algorithm, budget)
+        .with_threads(threads)
+        .with_seed(seed)
+        .degrade_on_stop(on_timeout == "greedy");
+    let outcome = pipeline.run(instance);
+    if on_timeout == "error" && !outcome.status.is_complete() {
+        // The operator asked for all-or-nothing: report the stop
+        // without writing a partial arrangement anywhere.
+        return Ok(CmdOutput {
+            text: format!(
+                "{}: {} after {} nodes, {:.3?} — no arrangement written (--on-timeout error)",
+                algorithm.name(),
+                outcome.status.label(),
+                outcome.nodes,
+                outcome.elapsed
+            ),
+            code: 5,
+        });
+    }
+    debug_assert!(outcome.arrangement.validate(instance).is_empty());
+    if let Some(output) = args.value("output")? {
+        write_output(output, &to_json(&outcome.arrangement)?)?;
+    }
+    Ok(CmdOutput {
+        text: format!(
+            "{}: MaxSum {:.4}, {} pairs, {:.3?}, {} nodes, {}",
+            algorithm.name(),
+            outcome.arrangement.max_sum(),
+            outcome.arrangement.len(),
+            outcome.elapsed,
+            outcome.nodes,
+            outcome.status.label()
+        ),
+        code: outcome.status.exit_code(),
+    })
 }
 
 fn validate(args: &ParsedArgs) -> Result<String, CliError> {
@@ -363,7 +510,7 @@ fn toy(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// Helper for tests and `main`: run from raw tokens.
-pub fn run_tokens(tokens: impl IntoIterator<Item = String>) -> Result<String, CliError> {
+pub fn run_tokens(tokens: impl IntoIterator<Item = String>) -> Result<CmdOutput, CliError> {
     let args = ParsedArgs::parse(tokens)?;
     run(&args)
 }
@@ -372,7 +519,7 @@ pub fn run_tokens(tokens: impl IntoIterator<Item = String>) -> Result<String, Cl
 mod tests {
     use super::*;
 
-    fn run_str(s: &str) -> Result<String, CliError> {
+    fn run_str(s: &str) -> Result<CmdOutput, CliError> {
         run_tokens(s.split_whitespace().map(String::from))
     }
 
@@ -592,6 +739,106 @@ mod tests {
         assert!(greedy_out.contains("Greedy-GEACC"));
         assert!(run_str(&format!("solve --input {inst} --threads 0")).is_err());
         assert!(run_str(&format!("solve --input {inst} --threads two")).is_err());
+    }
+
+    #[test]
+    fn budgeted_solve_returns_incumbent_with_exit_code_3() {
+        let inst = tmp("budget_incumbent.json");
+        run_str(&format!(
+            "generate --events 3 --users 6 --seed 9 --output {inst}"
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "solve --input {inst} --algorithm prune --max-nodes 0"
+        ))
+        .unwrap();
+        assert_eq!(out.code, 3, "{}", out.text);
+        assert!(out.contains("incumbent"), "{}", out.text);
+        assert!(out.contains("node budget"), "{}", out.text);
+    }
+
+    #[test]
+    fn budgeted_solve_on_timeout_greedy_degrades_with_exit_code_4() {
+        let inst = tmp("budget_greedy.json");
+        run_str(&format!(
+            "generate --events 3 --users 6 --seed 9 --output {inst}"
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "solve --input {inst} --algorithm prune --max-nodes 0 --on-timeout greedy"
+        ))
+        .unwrap();
+        assert_eq!(out.code, 4, "{}", out.text);
+        assert!(out.contains("degraded to Greedy-GEACC"), "{}", out.text);
+    }
+
+    #[test]
+    fn budgeted_solve_on_timeout_error_exits_5_without_writing() {
+        let inst = tmp("budget_error.json");
+        let arr = tmp("budget_error_arr.json");
+        let _ = std::fs::remove_file(&arr);
+        run_str(&format!(
+            "generate --events 3 --users 6 --seed 9 --output {inst}"
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "solve --input {inst} --algorithm prune --max-nodes 0 --on-timeout error --output {arr}"
+        ))
+        .unwrap();
+        assert_eq!(out.code, 5, "{}", out.text);
+        assert!(out.contains("no arrangement written"), "{}", out.text);
+        assert!(!std::path::Path::new(&arr).exists());
+    }
+
+    #[test]
+    fn budgeted_solve_completing_within_budget_exits_0() {
+        let inst = tmp("budget_complete.json");
+        run_str(&format!(
+            "generate --events 3 --users 6 --seed 9 --output {inst}"
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "solve --input {inst} --algorithm greedy --timeout-ms 60000"
+        ))
+        .unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.contains("feasible (complete)"), "{}", out.text);
+    }
+
+    #[test]
+    fn on_timeout_needs_a_budget_and_a_known_policy() {
+        let inst = tmp("budget_flags.json");
+        run_str(&format!(
+            "generate --events 3 --users 6 --seed 9 --output {inst}"
+        ))
+        .unwrap();
+        let err = run_str(&format!(
+            "solve --input {inst} --on-timeout greedy"
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("needs a budget"), "{}", err.0);
+        let err = run_str(&format!(
+            "solve --input {inst} --max-nodes 5 --on-timeout shrug"
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("on-timeout policy"), "{}", err.0);
+        assert!(run_str(&format!("solve --input {inst} --timeout-ms abc")).is_err());
+        assert!(run_str(&format!("solve --input {inst} --max-nodes -1")).is_err());
+    }
+
+    #[test]
+    fn budget_lifts_the_exact_search_size_guard() {
+        // 50×100 pairs is refused unbudgeted (see
+        // `exact_search_is_size_guarded`) but fine under a node budget:
+        // the solve becomes anytime instead of exponential.
+        let inst = tmp("budget_guard.json");
+        run_str(&format!("generate --events 50 --users 100 --output {inst}")).unwrap();
+        let out = run_str(&format!(
+            "solve --input {inst} --algorithm prune --max-nodes 1000"
+        ))
+        .unwrap();
+        assert_eq!(out.code, 3, "{}", out.text);
+        assert!(out.contains("incumbent"), "{}", out.text);
     }
 
     #[test]

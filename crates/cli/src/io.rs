@@ -1,5 +1,12 @@
 //! File I/O helpers: JSON instances and arrangements on disk, `-` for
 //! stdin/stdout.
+//!
+//! Loading is fallible in three distinct ways — the file is unreadable,
+//! the bytes are not JSON, or the JSON describes an invalid value (bad
+//! shape, out-of-range capacity or similarity, conflict pair referencing
+//! an unknown event). [`LoadError`] keeps the three apart and carries
+//! the file path plus the line/column serde_json reported, so an
+//! operator staring at a 50 MB instance file knows where to look.
 
 use geacc_core::{Arrangement, Instance};
 use std::io::{Read, Write};
@@ -23,16 +30,129 @@ impl From<crate::args::ArgError> for CliError {
     }
 }
 
+impl From<LoadError> for CliError {
+    fn from(e: LoadError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Why loading an input file failed.
+///
+/// The variants separate the repair the user has to make: `Io` means
+/// fix the path or permissions, `Syntax` means the file is not JSON at
+/// all (truncated download, stray bytes), `Invalid` means the JSON is
+/// well-formed but describes an impossible value. The `Syntax` and
+/// `Invalid` variants carry the 1-based line/column serde_json blamed.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file (or stdin) could not be read.
+    Io {
+        /// The path as the user gave it (`-` for stdin).
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The bytes are not valid JSON (includes truncated input).
+    Syntax {
+        /// The path as the user gave it.
+        path: String,
+        /// 1-based line of the first offending byte.
+        line: usize,
+        /// 1-based column of the first offending byte.
+        column: usize,
+        /// The underlying parse error.
+        source: serde_json::Error,
+    },
+    /// Valid JSON that does not describe a valid value: wrong shape,
+    /// negative or overflowing capacity, similarity outside `[0, 1]`,
+    /// conflict pair referencing an unknown event, …
+    Invalid {
+        /// The path as the user gave it.
+        path: String,
+        /// 1-based line where deserialization failed.
+        line: usize,
+        /// 1-based column where deserialization failed.
+        column: usize,
+        /// The underlying semantic error.
+        source: serde_json::Error,
+    },
+}
+
+impl LoadError {
+    /// Classify a serde_json failure for `path`: data errors (the JSON
+    /// was fine, the value was not) become [`LoadError::Invalid`];
+    /// syntax and unexpected-EOF errors become [`LoadError::Syntax`].
+    fn from_json(path: &str, source: serde_json::Error) -> Self {
+        let (line, column) = (source.line(), source.column());
+        let path = path.to_string();
+        match source.classify() {
+            serde_json::error::Category::Data => LoadError::Invalid {
+                path,
+                line,
+                column,
+                source,
+            },
+            _ => LoadError::Syntax {
+                path,
+                line,
+                column,
+                source,
+            },
+        }
+    }
+
+    /// The path the error is about, as the user gave it.
+    pub fn path(&self) -> &str {
+        match self {
+            LoadError::Io { path, .. }
+            | LoadError::Syntax { path, .. }
+            | LoadError::Invalid { path, .. } => path,
+        }
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Parser errors already end with `at line L column C`; data
+            // errors carry no position (line/column are 0), so neither
+            // arm prints the fields — they exist for programmatic use.
+            LoadError::Io { path, source } => write!(f, "reading {path}: {source}"),
+            LoadError::Syntax { path, source, .. } => {
+                write!(f, "{path}: invalid JSON: {source}")
+            }
+            LoadError::Invalid { path, source, .. } => {
+                write!(f, "{path}: invalid value: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io { source, .. } => Some(source),
+            LoadError::Syntax { source, .. } | LoadError::Invalid { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Read an entire file, or stdin when `path` is `-`.
-pub fn read_input(path: &str) -> Result<String, CliError> {
+pub fn read_input(path: &str) -> Result<String, LoadError> {
     if path == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
-            .map_err(|e| CliError(format!("reading stdin: {e}")))?;
+            .map_err(|source| LoadError::Io {
+                path: path.to_string(),
+                source,
+            })?;
         Ok(buf)
     } else {
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))
+        std::fs::read_to_string(path).map_err(|source| LoadError::Io {
+            path: path.to_string(),
+            source,
+        })
     }
 }
 
@@ -53,16 +173,16 @@ pub fn write_output(path: &str, content: &str) -> Result<(), CliError> {
     }
 }
 
-/// Load a JSON instance.
-pub fn load_instance(path: &str) -> Result<Instance, CliError> {
+/// Load a JSON instance, classifying failures per [`LoadError`].
+pub fn load_instance(path: &str) -> Result<Instance, LoadError> {
     let text = read_input(path)?;
-    serde_json::from_str(&text).map_err(|e| CliError(format!("parsing instance {path}: {e}")))
+    serde_json::from_str(&text).map_err(|e| LoadError::from_json(path, e))
 }
 
-/// Load a JSON arrangement.
-pub fn load_arrangement(path: &str) -> Result<Arrangement, CliError> {
+/// Load a JSON arrangement, classifying failures per [`LoadError`].
+pub fn load_arrangement(path: &str) -> Result<Arrangement, LoadError> {
     let text = read_input(path)?;
-    serde_json::from_str(&text).map_err(|e| CliError(format!("parsing arrangement {path}: {e}")))
+    serde_json::from_str(&text).map_err(|e| LoadError::from_json(path, e))
 }
 
 /// Serialize any value as pretty JSON.
@@ -74,6 +194,20 @@ pub fn to_json<T: serde::Serialize>(value: &T) -> Result<String, CliError> {
 mod tests {
     use super::*;
 
+    fn write_tmp(dir: &str, name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(dir).join(name);
+        let path = path.to_string_lossy().into_owned();
+        write_output(&path, content).unwrap();
+        path
+    }
+
+    /// A valid 2-event, 1-user matrix instance as a JSON template the
+    /// negative-path tests below mutate one field at a time.
+    fn valid_instance_json() -> String {
+        let inst = geacc_core::toy::table1_instance();
+        to_json(&inst).unwrap()
+    }
+
     #[test]
     fn file_roundtrip() {
         let dir = std::env::temp_dir().join("geacc_cli_io_test");
@@ -84,9 +218,11 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_reports_path() {
+    fn missing_file_is_an_io_error_reporting_the_path() {
         let err = read_input("/nonexistent/geacc/file.json").unwrap_err();
-        assert!(err.0.contains("/nonexistent/geacc/file.json"));
+        assert!(matches!(err, LoadError::Io { .. }), "{err:?}");
+        assert_eq!(err.path(), "/nonexistent/geacc/file.json");
+        assert!(err.to_string().contains("/nonexistent/geacc/file.json"));
     }
 
     #[test]
@@ -101,12 +237,77 @@ mod tests {
     }
 
     #[test]
-    fn malformed_instance_is_a_clean_error() {
-        let dir = std::env::temp_dir().join("geacc_cli_io_bad");
-        let path = dir.join("bad.json").to_string_lossy().into_owned();
-        write_output(&path, "{not json").unwrap();
-        assert!(load_instance(&path).is_err());
-        assert!(load_arrangement(&path).is_err());
-        let _ = std::fs::remove_dir_all(&dir);
+    fn truncated_json_is_a_syntax_error_with_position() {
+        // Chop a valid instance file mid-token: an interrupted download.
+        let full = valid_instance_json();
+        let truncated = &full[..full.len() / 2];
+        let path = write_tmp("geacc_cli_io_trunc", "cut.json", truncated);
+        let err = load_instance(&path).unwrap_err();
+        match &err {
+            LoadError::Syntax { line, column, .. } => {
+                assert!(*line >= 1 && *column >= 1, "{err}");
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains(&path), "{msg}");
+        assert!(msg.contains("invalid JSON"), "{msg}");
+    }
+
+    #[test]
+    fn non_json_bytes_are_a_syntax_error() {
+        let path = write_tmp("geacc_cli_io_bad", "bad.json", "{not json");
+        assert!(matches!(
+            load_instance(&path).unwrap_err(),
+            LoadError::Syntax { .. }
+        ));
+        assert!(matches!(
+            load_arrangement(&path).unwrap_err(),
+            LoadError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn negative_capacity_is_an_invalid_value_error() {
+        // Capacities are u32; a negative one is well-formed JSON that
+        // cannot describe an instance.
+        // Deserialization fails at the -3 itself, before any length
+        // check, so the extra element doesn't matter.
+        let json = valid_instance_json().replacen("\"user_caps\": [", "\"user_caps\": [-3,", 1);
+        let path = write_tmp("geacc_cli_io_negcap", "neg.json", &json);
+        let err = load_instance(&path).unwrap_err();
+        assert!(matches!(err, LoadError::Invalid { .. }), "{err:?}");
+        assert!(err.to_string().contains("invalid value"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_similarity_is_an_invalid_value_error() {
+        // The toy instance uses an explicit matrix; push one entry past 1.
+        let json = valid_instance_json().replacen("0.9", "1.9", 1);
+        assert_ne!(json, valid_instance_json(), "template lost its 0.9 probe");
+        let path = write_tmp("geacc_cli_io_sim", "sim.json", &json);
+        let err = load_instance(&path).unwrap_err();
+        assert!(matches!(err, LoadError::Invalid { .. }), "{err:?}");
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn unknown_conflict_event_is_an_invalid_value_error() {
+        // Point a conflict pair at an event id the instance doesn't have.
+        let json = valid_instance_json();
+        let mutated = json.replacen("\"pairs\": [", "\"pairs\": [[0, 99],", 1);
+        assert_ne!(json, mutated, "template lost its conflict pair list");
+        let path = write_tmp("geacc_cli_io_conf", "conf.json", &mutated);
+        let err = load_instance(&path).unwrap_err();
+        assert!(matches!(err, LoadError::Invalid { .. }), "{err:?}");
+        assert!(err.to_string().contains("unknown event"), "{err}");
+    }
+
+    #[test]
+    fn load_errors_convert_to_cli_errors_with_the_same_message() {
+        let err = read_input("/nonexistent/geacc/file.json").unwrap_err();
+        let msg = err.to_string();
+        let cli: CliError = err.into();
+        assert_eq!(cli.0, msg);
     }
 }

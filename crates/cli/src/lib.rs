@@ -20,5 +20,5 @@ pub mod commands;
 pub mod io;
 
 pub use args::{ArgError, ParsedArgs};
-pub use commands::{run, run_tokens, USAGE};
-pub use io::CliError;
+pub use commands::{run, run_tokens, CmdOutput, USAGE};
+pub use io::{CliError, LoadError};

@@ -1,6 +1,7 @@
 //! Binary entry point for the `geacc` CLI. See [`geacc_cli`] for the
-//! command surface; this shim only maps errors to exit codes
-//! (2 = bad arguments, 1 = runtime failure).
+//! command surface; this shim only maps results to exit codes
+//! (2 = bad arguments, 1 = runtime failure, and for budgeted solves
+//! 3 = incumbent, 4 = degraded, 5 = timed out).
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -17,7 +18,12 @@ fn main() {
         }
     };
     match geacc_cli::run(&parsed) {
-        Ok(output) => println!("{output}"),
+        Ok(output) => {
+            println!("{output}");
+            if output.code != 0 {
+                std::process::exit(output.code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

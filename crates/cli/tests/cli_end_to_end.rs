@@ -4,7 +4,7 @@
 
 use geacc_cli::run_tokens;
 
-fn run(s: &str) -> Result<String, geacc_cli::CliError> {
+fn run(s: &str) -> Result<geacc_cli::CmdOutput, geacc_cli::CliError> {
     run_tokens(s.split_whitespace().map(String::from))
 }
 
@@ -98,6 +98,66 @@ fn stdout_output_works() {
     // the command must still succeed and report.
     let out = run("toy").unwrap();
     assert!(out.contains("Table I"));
+}
+
+#[test]
+fn pathological_exact_search_respects_a_small_deadline() {
+    // Branch-and-bound's worst case: similarities concentrated in a
+    // narrow band (the Lemma 6 bound stays tight, so almost nothing
+    // prunes), a dense conflict graph, and large user capacities (deep
+    // search tree). Unbudgeted this runs for geological time; with
+    // --timeout-ms 100 the CLI must hand back a feasible incumbent
+    // well inside a second.
+    use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
+    let (nv, nu) = (8usize, 24usize);
+    let values: Vec<f64> = (0..nv * nu)
+        .map(|i| 0.55 + 0.01 * ((i * 37 % 97) as f64 / 97.0))
+        .collect();
+    let matrix = SimMatrix::from_flat(nv, nu, values);
+    let conflicts = ConflictGraph::from_pairs(
+        nv,
+        (0..nv as u32).flat_map(|i| {
+            (i + 1..nv as u32)
+                .filter(move |j| (i * 7 + j * 13) % 3 != 0)
+                .map(move |j| (EventId(i), EventId(j)))
+        }),
+    );
+    let instance =
+        Instance::from_matrix(matrix, vec![6; nv], vec![8; nu], conflicts).unwrap();
+    let path = tmp("pathological.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&instance).unwrap()).unwrap();
+
+    let started = std::time::Instant::now();
+    let out = run(&format!(
+        "solve --input {path} --algorithm prune --timeout-ms 100"
+    ))
+    .unwrap();
+    let wall = started.elapsed();
+    assert!(
+        wall < std::time::Duration::from_secs(1),
+        "deadline overrun: {wall:?}"
+    );
+    assert_eq!(out.code, 3, "{}", out.text);
+    assert!(out.contains("incumbent"), "{}", out.text);
+
+    // The same stop under --on-timeout greedy degrades instead.
+    let out = run(&format!(
+        "solve --input {path} --algorithm prune --timeout-ms 100 --on-timeout greedy"
+    ))
+    .unwrap();
+    assert_eq!(out.code, 4, "{}", out.text);
+
+    // Whatever came back must validate against the instance.
+    let plan = tmp("pathological_plan.json");
+    run(&format!(
+        "solve --input {path} --algorithm prune --timeout-ms 100 --output {plan}"
+    ))
+    .unwrap();
+    assert!(
+        run(&format!("validate --input {path} --arrangement {plan}"))
+            .unwrap()
+            .contains("feasible")
+    );
 }
 
 #[test]

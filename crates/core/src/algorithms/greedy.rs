@@ -28,6 +28,7 @@ use crate::algorithms::oracle::NeighborOracle;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
 use crate::parallel::Threads;
+use crate::runtime::{BudgetMeter, StopReason};
 use crate::Instance;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -99,6 +100,28 @@ pub fn greedy(inst: &Instance) -> Arrangement {
 
 /// Run Greedy-GEACC with explicit configuration.
 pub fn greedy_with(inst: &Instance, config: GreedyConfig) -> Arrangement {
+    greedy_impl(inst, config, None).0
+}
+
+/// Run Greedy-GEACC under a budget: the heap loop (and the
+/// initialization scans) tick `meter` and, when a limit trips, return
+/// the pairs matched so far — a feasible prefix of the greedy
+/// arrangement (greedy never unmatches, so any prefix is feasible) —
+/// together with the [`StopReason`]. An unlimited meter leaves the
+/// result bit-identical to [`greedy_with`].
+pub fn greedy_budgeted(
+    inst: &Instance,
+    config: GreedyConfig,
+    meter: &BudgetMeter,
+) -> (Arrangement, Option<StopReason>) {
+    greedy_impl(inst, config, Some(meter))
+}
+
+fn greedy_impl(
+    inst: &Instance,
+    config: GreedyConfig,
+    meter: Option<&BudgetMeter>,
+) -> (Arrangement, Option<StopReason>) {
     let nu = inst.num_users() as u64;
     let key = |v: EventId, u: UserId| v.0 as u64 * nu + u.0 as u64;
 
@@ -172,8 +195,20 @@ pub fn greedy_with(inst: &Instance, config: GreedyConfig) -> Arrangement {
         }
     };
 
+    // One unit of budgeted work: a heap pop or an initialization scan.
+    macro_rules! tick {
+        () => {
+            if let Some(m) = meter {
+                if let Some(reason) = m.tick() {
+                    return (arrangement, Some(reason));
+                }
+            }
+        };
+    }
+
     // Initialization (lines 1–9): each side's first NN.
     for v in inst.events() {
+        tick!();
         if cap_v[v.index()] > 0 {
             scan_event(
                 v,
@@ -187,6 +222,7 @@ pub fn greedy_with(inst: &Instance, config: GreedyConfig) -> Arrangement {
         }
     }
     for u in inst.users() {
+        tick!();
         if cap_u[u.index()] > 0 {
             scan_user(
                 u,
@@ -202,6 +238,7 @@ pub fn greedy_with(inst: &Instance, config: GreedyConfig) -> Arrangement {
 
     // Iteration (lines 11–23).
     while let Some(HeapPair { sim, v, u }) = heap.pop() {
+        tick!();
         popped.insert(key(v, u));
         if cap_v[v.index()] > 0
             && cap_u[u.index()] > 0
@@ -236,7 +273,7 @@ pub fn greedy_with(inst: &Instance, config: GreedyConfig) -> Arrangement {
             );
         }
     }
-    arrangement
+    (arrangement, None)
 }
 
 /// Heap entry ordered by similarity (max first), ties by `(v, u)`

@@ -22,6 +22,7 @@
 
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
+use crate::runtime::{BudgetMeter, StopReason};
 use crate::Instance;
 use geacc_flow::assignment::BipartiteMatcher;
 
@@ -81,7 +82,31 @@ pub fn mincostflow(inst: &Instance) -> McfResult {
 
 /// Run MinCostFlow-GEACC.
 pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
+    mincostflow_impl(inst, config, None).0
+}
+
+/// Run MinCostFlow-GEACC under a budget: the Δ sweep ticks `meter` once
+/// per augmentation and, when a limit trips, stops sweeping and carries
+/// the best `Δ*` seen so far through the (polynomial, fast) re-solve and
+/// conflict-repair phases — so the returned arrangement is always
+/// feasible, built from a truncated relaxation instead of the full one.
+/// An unlimited meter leaves the result bit-identical to
+/// [`mincostflow_with`].
+pub fn mincostflow_budgeted(
+    inst: &Instance,
+    config: McfConfig,
+    meter: &BudgetMeter,
+) -> (McfResult, Option<StopReason>) {
+    mincostflow_impl(inst, config, Some(meter))
+}
+
+fn mincostflow_impl(
+    inst: &Instance,
+    config: McfConfig,
+    meter: Option<&BudgetMeter>,
+) -> (McfResult, Option<StopReason>) {
     let nu = inst.num_users();
+    let mut stopped: Option<StopReason> = None;
 
     // Phase 1a: sweep Δ on an incremental SSP solver, recording where
     // MaxSum(M_∅^Δ) = Δ − cost(F^Δ) peaks. Unit costs are non-decreasing
@@ -96,6 +121,15 @@ pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
         if ms > best_ms + EPS {
             best_ms = ms;
             best_delta = solver.flow();
+        }
+        // One augmentation is a whole shortest-path computation —
+        // macroscopic work — so use the every-tick slow checks; the
+        // amortized variant could overrun a deadline by seconds here.
+        if let Some(m) = meter {
+            if let Some(reason) = m.tick_coarse() {
+                stopped = Some(reason);
+                break;
+            }
         }
         if config.early_stop && step.unit_cost >= 1.0 - EPS {
             break;
@@ -143,14 +177,17 @@ pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
         }
     }
 
-    McfResult {
-        arrangement,
-        relaxation: RelaxationInfo {
-            max_sum: best_ms,
-            best_delta,
-            max_delta,
+    (
+        McfResult {
+            arrangement,
+            relaxation: RelaxationInfo {
+                max_sum: best_ms,
+                best_delta,
+                max_delta,
+            },
         },
-    }
+        stopped,
+    )
 }
 
 /// Exact maximum-weight independent set over one user's assigned events

@@ -21,12 +21,17 @@ pub mod random;
 
 pub use bounds::{optimality_gap, relaxation_upper_bound, trivial_upper_bound, GapReport};
 pub use dp::{exact_dp, DpTooLarge};
-pub use greedy::{greedy, greedy_with, GreedyConfig};
+pub use greedy::{greedy, greedy_budgeted, greedy_with, GreedyConfig};
 pub use localsearch::{improve, LocalSearchConfig, LocalSearchResult};
-pub use mincostflow::{mincostflow, mincostflow_with, McfConfig, McfResult, RelaxationInfo};
+pub use mincostflow::{
+    mincostflow, mincostflow_budgeted, mincostflow_with, McfConfig, McfResult, RelaxationInfo,
+};
 pub use online::{online_greedy, OnlineArranger, OnlineConfig};
 pub use oracle::NeighborOracle;
-pub use prune::{exhaustive, prune, prune_with, PruneConfig, PruneResult, SearchStats};
+pub use prune::{
+    exhaustive, prune, prune_budgeted, prune_with, BudgetedPrune, PruneConfig, PruneResult,
+    SearchStats,
+};
 pub use random::{random_u, random_v};
 
 use crate::model::arrangement::Arrangement;

@@ -59,6 +59,7 @@ use crate::algorithms::greedy::greedy;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
 use crate::parallel::{SharedBest, Threads};
+use crate::runtime::{BudgetMeter, StopReason};
 use crate::Instance;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -157,6 +158,17 @@ pub struct PruneResult {
     pub stats: SearchStats,
 }
 
+/// Result of a budget-bounded exact search ([`prune_budgeted`]).
+#[derive(Debug, Clone)]
+pub struct BudgetedPrune {
+    /// The arrangement: the proven optimum when `stopped` is `None`, the
+    /// best feasible incumbent found before the budget tripped otherwise
+    /// (at worst the greedy seed, never worse than it).
+    pub result: PruneResult,
+    /// Why the search stopped early, if it did.
+    pub stopped: Option<StopReason>,
+}
+
 /// Run Prune-GEACC with default configuration (pruning + greedy seed,
 /// sequential).
 pub fn prune(inst: &Instance) -> PruneResult {
@@ -229,6 +241,29 @@ impl<'a> SearchContext<'a> {
 
 /// Run the exact search with explicit configuration.
 pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
+    run_prune(inst, config, None).result
+}
+
+/// Run the exact search under a budget: the search ticks `meter` once
+/// per `Search` invocation and, when a limit trips, unwinds and returns
+/// the best feasible incumbent found so far (the greedy seed at worst)
+/// together with the [`StopReason`].
+///
+/// Determinism: when `meter` carries a *node* budget the search is
+/// forced onto the sequential path regardless of `config.threads`, so a
+/// fixed node budget stops at the same tree node — and returns the same
+/// incumbent — on every run. Wall-clock/memory/cancellation budgets keep
+/// the configured parallelism and make no such promise. An unlimited
+/// meter leaves the result bit-identical to [`prune_with`].
+pub fn prune_budgeted(
+    inst: &Instance,
+    config: PruneConfig,
+    meter: &BudgetMeter,
+) -> BudgetedPrune {
+    run_prune(inst, config, Some(meter))
+}
+
+fn run_prune(inst: &Instance, config: PruneConfig, meter: Option<&BudgetMeter>) -> BudgetedPrune {
     let nv = inst.num_events();
     let nu = inst.num_users();
     let ctx = SearchContext::new(inst, config.enable_pruning);
@@ -241,42 +276,66 @@ pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
 
     let max_depth = (nv * nu) as u64;
     if nv == 0 || nu == 0 {
-        return PruneResult {
-            arrangement: incumbent,
-            stats: SearchStats {
-                max_depth,
-                ..SearchStats::default()
+        return BudgetedPrune {
+            result: PruneResult {
+                arrangement: incumbent,
+                stats: SearchStats {
+                    max_depth,
+                    ..SearchStats::default()
+                },
             },
+            stopped: None,
         };
     }
-    if config.threads.get() == 1 {
-        let mut search = Search::fresh(&ctx, &incumbent, None);
+    // Node budgets promise a deterministic stopping node; worker
+    // interleaving would break that, so they force the sequential path.
+    let threads = if meter.is_some_and(BudgetMeter::has_node_budget) {
+        Threads::single()
+    } else {
+        config.threads
+    };
+    if threads.get() == 1 {
+        let mut search = Search::fresh(&ctx, &incumbent, None, meter);
         search.run(0, 0, 0.0);
         let mut stats = search.stats;
         stats.max_depth = max_depth;
-        return PruneResult {
-            arrangement: search.best,
-            stats,
+        return BudgetedPrune {
+            result: PruneResult {
+                arrangement: search.best,
+                stats,
+            },
+            stopped: search.stopped,
         };
     }
-    prune_parallel(&ctx, config.threads, incumbent, max_depth)
+    prune_parallel(&ctx, threads, incumbent, max_depth, meter)
 }
 
 /// The parallel driver: frontier expansion → worker phase → certificate
 /// pass (see module docs).
+///
+/// Budget/panic handling: every phase polls `meter`. Each worker returns
+/// its best *arrangement together with its value* — never the value
+/// alone — so a budget-stopped (or surviving) worker can only raise the
+/// final incumbent if its certificate arrangement comes with it; the
+/// [`SharedBest`] cell remains a pruning hint and is never read back
+/// into the result. A worker panic is re-raised verbatim on the
+/// unbudgeted path; under a meter it is absorbed as
+/// [`StopReason::WorkerPanicked`] and the surviving workers' best
+/// incumbent is returned.
 fn prune_parallel(
     ctx: &SearchContext<'_>,
     threads: Threads,
     incumbent: Arrangement,
     max_depth: u64,
-) -> PruneResult {
+    meter: Option<&BudgetMeter>,
+) -> BudgetedPrune {
     let seed_value = incumbent.max_sum();
 
     // Phase 0 (sequential, deterministic): expand the top of the DFS
     // breadth-first into independent subtree tasks. Leaves completed
     // during expansion feed the incumbent value directly.
     let target_tasks = (8 * threads.get()).clamp(32, MAX_FRONTIER_TASKS);
-    let mut expansion = Search::fresh(ctx, &incumbent, None);
+    let mut expansion = Search::fresh(ctx, &incumbent, None, meter);
     let mut queue: VecDeque<Task> = VecDeque::new();
     queue.push_back(Task {
         i: 0,
@@ -287,15 +346,32 @@ fn prune_parallel(
         pairs: Vec::new(),
     });
     let mut expansions = 0;
-    while queue.len() < target_tasks && expansions < MAX_FRONTIER_EXPANSIONS {
+    while queue.len() < target_tasks
+        && expansions < MAX_FRONTIER_EXPANSIONS
+        && expansion.stopped.is_none()
+    {
         let Some(task) = queue.pop_front() else { break };
         expansion.expand_one(task, &mut queue);
         expansions += 1;
     }
-    let tasks: Vec<Task> = queue.into();
     let mut stats = expansion.stats;
     stats.max_depth = max_depth;
+    if expansion.stopped.is_some() {
+        // The budget tripped before any worker started; the expansion's
+        // local best (seeded with the incumbent) is the answer.
+        return BudgetedPrune {
+            result: PruneResult {
+                arrangement: expansion.best,
+                stats,
+            },
+            stopped: expansion.stopped,
+        };
+    }
+    let tasks: Vec<Task> = queue.into();
     let mut best_value = expansion.best_sum;
+    let mut best_arrangement = expansion.best;
+    let mut stopped: Option<StopReason> = None;
+    let mut worker_panicked = false;
 
     // Phase A (parallel): drain the task queue; publish incumbents
     // through the shared cell, prune against it.
@@ -303,31 +379,68 @@ fn prune_parallel(
         let shared = SharedBest::new(best_value);
         let cursor = AtomicUsize::new(0);
         let workers = threads.get().min(tasks.len());
-        let worker_results: Vec<(f64, SearchStats)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (shared, cursor, tasks) = (&shared, &cursor, &tasks);
-                    let incumbent = &incumbent;
-                    scope.spawn(move || {
-                        let mut search = Search::fresh(ctx, incumbent, Some(shared));
-                        loop {
-                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(task) = tasks.get(idx) else { break };
-                            search.run_task(task);
-                        }
-                        (search.best_sum, search.stats)
+        type WorkerReturn = (f64, Arrangement, SearchStats, Option<StopReason>);
+        let worker_results: Vec<std::thread::Result<WorkerReturn>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (shared, cursor, tasks) = (&shared, &cursor, &tasks);
+                        let incumbent = &incumbent;
+                        scope.spawn(move || {
+                            let mut search = Search::fresh(ctx, incumbent, Some(shared), meter);
+                            loop {
+                                if search.stopped.is_some() {
+                                    break;
+                                }
+                                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(task) = tasks.get(idx) else { break };
+                                search.run_task(task);
+                            }
+                            (search.best_sum, search.best, search.stats, search.stopped)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
-                .collect()
-        });
-        for (value, worker_stats) in &worker_results {
-            best_value = best_value.max(*value);
-            stats.absorb(worker_stats);
+                    .collect();
+                // Join every handle (panics included) so no payload is
+                // left to poison the scope itself.
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        for result in worker_results {
+            match result {
+                Ok((value, arrangement, worker_stats, worker_stopped)) => {
+                    stats.absorb(&worker_stats);
+                    if value > best_value {
+                        best_value = value;
+                        best_arrangement = arrangement;
+                    }
+                    stopped = stopped.or(worker_stopped);
+                }
+                Err(payload) => {
+                    if meter.is_none() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    worker_panicked = true;
+                }
+            }
         }
+    }
+
+    // The meter's latched reason is canonical (it is the limit that
+    // actually tripped first); a panic without a tripped limit reports
+    // as WorkerPanicked.
+    let stopped = meter
+        .and_then(|m| m.stop_reason())
+        .or(stopped)
+        .or(worker_panicked.then_some(StopReason::WorkerPanicked));
+    if stopped.is_some() {
+        // Incomplete search: no certificate pass (the optimum is not
+        // fixed). Return the best incumbent whose arrangement we hold.
+        return BudgetedPrune {
+            result: PruneResult {
+                arrangement: best_arrangement,
+                stats,
+            },
+            stopped,
+        };
     }
 
     // Phase B (sequential, deterministic): recover the canonical optimal
@@ -335,22 +448,40 @@ fn prune_parallel(
     // Skipped when nothing beat the seed; its work is not added to the
     // stats (it re-certifies, it does not search).
     if best_value > seed_value {
-        let mut certificate = Search::fresh(ctx, &incumbent, None);
+        let mut certificate = Search::fresh(ctx, &incumbent, None, meter);
         certificate.target = Some(best_value);
         certificate.run(0, 0, 0.0);
+        if certificate.stopped.is_some() {
+            // A wall-clock budget expired mid-certificate: the workers'
+            // arrangement has the same value, just a non-canonical
+            // tie-break. Report the stop honestly.
+            return BudgetedPrune {
+                result: PruneResult {
+                    arrangement: best_arrangement,
+                    stats,
+                },
+                stopped: certificate.stopped,
+            };
+        }
         assert!(
             certificate.done,
             "certificate pass must rediscover the optimal leaf (value {best_value})"
         );
         debug_assert_eq!(certificate.best_sum.to_bits(), best_value.to_bits());
-        PruneResult {
-            arrangement: certificate.best,
-            stats,
+        BudgetedPrune {
+            result: PruneResult {
+                arrangement: certificate.best,
+                stats,
+            },
+            stopped: None,
         }
     } else {
-        PruneResult {
-            arrangement: incumbent,
-            stats,
+        BudgetedPrune {
+            result: PruneResult {
+                arrangement: incumbent,
+                stats,
+            },
+            stopped: None,
         }
     }
 }
@@ -391,6 +522,12 @@ struct Search<'a> {
     target: Option<f64>,
     /// Set when certificate mode found its leaf; unwinds the recursion.
     done: bool,
+    /// Budget ledger, ticked once per `Search` invocation. `None` (the
+    /// unbudgeted entry points) costs nothing on the hot path.
+    meter: Option<&'a BudgetMeter>,
+    /// Set when the meter tripped; unwinds the recursion like `done`,
+    /// leaving `best`/`best_sum` as the incumbent to return.
+    stopped: Option<StopReason>,
 }
 
 impl<'a> Search<'a> {
@@ -398,6 +535,7 @@ impl<'a> Search<'a> {
         ctx: &'a SearchContext<'a>,
         incumbent: &Arrangement,
         shared: Option<&'a SharedBest>,
+        meter: Option<&'a BudgetMeter>,
     ) -> Self {
         let inst = ctx.inst;
         Search {
@@ -411,6 +549,8 @@ impl<'a> Search<'a> {
             shared,
             target: None,
             done: false,
+            meter,
+            stopped: None,
         }
     }
 
@@ -461,8 +601,14 @@ impl<'a> Search<'a> {
     /// exact partial `MaxSum` of the visited pairs, threaded through the
     /// recursion (never recovered by subtraction — see `best_sum`).
     fn run(&mut self, i: usize, j: usize, cur: f64) {
-        if self.done {
+        if self.done || self.stopped.is_some() {
             return;
+        }
+        if let Some(meter) = self.meter {
+            if let Some(reason) = meter.tick() {
+                self.stopped = Some(reason);
+                return;
+            }
         }
         self.stats.invocations += 1;
         let v = EventId(self.ctx.order[i]);
@@ -494,7 +640,7 @@ impl<'a> Search<'a> {
     /// Lines 6–17: move to the next pair (or finish), applying the
     /// bound before each descent.
     fn advance(&mut self, i: usize, j: usize, cur: f64) {
-        if self.done {
+        if self.done || self.stopped.is_some() {
             return;
         }
         match self.step(i, j, cur) {
@@ -561,6 +707,12 @@ impl<'a> Search<'a> {
     /// instead of recursing. Completions and prunes are recorded
     /// normally (against this search's local, deterministic incumbent).
     fn expand_one(&mut self, task: Task, out: &mut VecDeque<Task>) {
+        if let Some(meter) = self.meter {
+            if let Some(reason) = meter.tick() {
+                self.stopped = Some(reason);
+                return;
+            }
+        }
         self.stats.invocations += 1;
         let Task {
             i,

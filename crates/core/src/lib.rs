@@ -58,11 +58,16 @@ pub mod algorithms;
 pub mod model;
 pub mod parallel;
 pub mod reduction;
+pub mod runtime;
 pub mod similarity;
 pub mod toy;
 
 pub use model::arrangement::{Arrangement, Violation};
-pub use model::conflict::ConflictGraph;
+pub use model::conflict::{ConflictGraph, ConflictPairOutOfRange};
 pub use model::ids::{EventId, UserId};
-pub use model::instance::{Instance, InstanceBuilder, InstanceError};
+pub use model::instance::{Instance, InstanceBuilder, InstanceError, ValidationError};
+pub use runtime::{
+    BudgetMeter, CancelToken, FaultPlan, Outcome, SolveBudget, SolveStatus, SolverPipeline,
+    StopReason,
+};
 pub use similarity::{SimMatrix, SimilarityModel};

@@ -15,6 +15,30 @@
 use crate::model::ids::EventId;
 use serde::{Deserialize, Serialize};
 
+/// A conflict pair references an event id outside the graph — the typed
+/// error of [`ConflictGraph::try_from_pairs`], for callers (instance
+/// loaders, network input) that must reject bad data instead of
+/// panicking like [`ConflictGraph::add_pair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictPairOutOfRange {
+    /// The offending pair as raw ids.
+    pub pair: (u32, u32),
+    /// The number of events the graph covers.
+    pub num_events: usize,
+}
+
+impl std::fmt::Display for ConflictPairOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conflict pair (v{}, v{}) references an unknown event (instance has {} events)",
+            self.pair.0, self.pair.1, self.num_events
+        )
+    }
+}
+
+impl std::error::Error for ConflictPairOutOfRange {}
+
 /// Symmetric, irreflexive conflict relation over `n` events.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConflictGraph {
@@ -60,6 +84,27 @@ impl ConflictGraph {
             g.add_pair(a, b);
         }
         g
+    }
+
+    /// Non-panicking [`ConflictGraph::from_pairs`]: a pair referencing
+    /// an event id `≥ num_events` returns a typed
+    /// [`ConflictPairOutOfRange`] instead of asserting. Duplicate and
+    /// reflexive pairs are still ignored.
+    pub fn try_from_pairs(
+        num_events: usize,
+        pairs: impl IntoIterator<Item = (EventId, EventId)>,
+    ) -> Result<Self, ConflictPairOutOfRange> {
+        let mut g = ConflictGraph::empty(num_events);
+        for (a, b) in pairs {
+            if a.index() >= num_events || b.index() >= num_events {
+                return Err(ConflictPairOutOfRange {
+                    pair: (a.0, b.0),
+                    num_events,
+                });
+            }
+            g.add_pair(a, b);
+        }
+        Ok(g)
     }
 
     /// Derive conflicts from half-open time intervals `[start, end)`:
@@ -210,18 +255,11 @@ impl<'de> Deserialize<'de> for ConflictGraph {
             pairs: Vec<(u32, u32)>,
         }
         let dto = Dto::deserialize(deserializer)?;
-        for &(a, b) in &dto.pairs {
-            if a as usize >= dto.num_events || b as usize >= dto.num_events {
-                return Err(serde::de::Error::custom(format!(
-                    "conflict pair ({a}, {b}) out of range for {} events",
-                    dto.num_events
-                )));
-            }
-        }
-        Ok(ConflictGraph::from_pairs(
+        ConflictGraph::try_from_pairs(
             dto.num_events,
             dto.pairs.into_iter().map(|(a, b)| (EventId(a), EventId(b))),
-        ))
+        )
+        .map_err(serde::de::Error::custom)
     }
 }
 
@@ -325,6 +363,22 @@ mod tests {
     fn out_of_range_pair_panics() {
         let mut g = ConflictGraph::empty(2);
         g.add_pair(EventId(0), EventId(5));
+    }
+
+    #[test]
+    fn try_from_pairs_rejects_unknown_events_with_a_typed_error() {
+        let err =
+            ConflictGraph::try_from_pairs(2, [(EventId(0), EventId(5))]).unwrap_err();
+        assert_eq!(err.pair, (0, 5));
+        assert_eq!(err.num_events, 2);
+        assert!(err.to_string().contains("unknown event"));
+    }
+
+    #[test]
+    fn try_from_pairs_matches_from_pairs_on_valid_input() {
+        let pairs = [(EventId(0), EventId(4)), (EventId(1), EventId(2))];
+        let checked = ConflictGraph::try_from_pairs(5, pairs).unwrap();
+        assert_eq!(checked, ConflictGraph::from_pairs(5, pairs));
     }
 
     #[test]

@@ -34,7 +34,14 @@ pub enum InstanceError {
     NoPositiveSimilarity { what: String },
     /// The paper assumes `max c_v ≤ |U|` and `max c_u ≤ |V|`.
     CapacityExceedsCounterpart { what: String },
+    /// A similarity matrix entry lies outside `[0, 1]` (or is NaN) —
+    /// Definition 3 requires `sim ∈ [0, 1]`.
+    SimilarityOutOfRange { event: u32, user: u32, value: f64 },
 }
+
+/// The validation error raised by [`Instance::new`] and friends — an
+/// alias naming [`InstanceError`] for what it is at construction time.
+pub type ValidationError = InstanceError;
 
 impl std::fmt::Display for InstanceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -61,8 +68,29 @@ impl std::fmt::Display for InstanceError {
             InstanceError::CapacityExceedsCounterpart { what } => {
                 write!(f, "{what}")
             }
+            InstanceError::SimilarityOutOfRange { event, user, value } => {
+                write!(f, "sim(v{event}, u{user}) = {value} outside [0, 1]")
+            }
         }
     }
+}
+
+/// Definition 3 requires `sim ∈ [0, 1]`; reject matrices violating it
+/// (NaN fails the range test too).
+fn validate_matrix_range(matrix: &SimMatrix) -> Result<(), InstanceError> {
+    for v in 0..matrix.num_events() {
+        for u in 0..matrix.num_users() {
+            let value = matrix.get(v, u);
+            if !(0.0..=1.0).contains(&value) {
+                return Err(InstanceError::SimilarityOutOfRange {
+                    event: v as u32,
+                    user: u as u32,
+                    value,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 impl std::error::Error for InstanceError {}
@@ -92,6 +120,20 @@ impl Instance {
         }
     }
 
+    /// Construct a validated instance — the canonical entry point for
+    /// matrix-specified instances. Alias of [`Instance::from_matrix`],
+    /// named for its role: every shape and range invariant (including
+    /// `sim ∈ [0, 1]`) is checked and violations surface as a typed
+    /// [`ValidationError`].
+    pub fn new(
+        matrix: SimMatrix,
+        event_caps: Vec<u32>,
+        user_caps: Vec<u32>,
+        conflicts: ConflictGraph,
+    ) -> Result<Self, ValidationError> {
+        Instance::from_matrix(matrix, event_caps, user_caps, conflicts)
+    }
+
     /// Build an instance from an explicit similarity matrix (rows =
     /// events), capacities, and conflicts — the form of the paper's
     /// Table I toy example. Attribute vectors are absent; a 1-D zero
@@ -118,6 +160,7 @@ impl Instance {
                 events: nv,
             });
         }
+        validate_matrix_range(&matrix)?;
         let mut event_attrs = PointSet::with_capacity(1, nv);
         for _ in 0..nv {
             event_attrs.push(&[0.0]);
@@ -405,6 +448,7 @@ impl InstanceBuilder {
                     instance: (nv, nu),
                 });
             }
+            validate_matrix_range(m)?;
         }
         let conflicts = self.conflicts.unwrap_or_else(|| ConflictGraph::empty(nv));
         if conflicts.num_events() != nv {
@@ -489,6 +533,7 @@ impl<'de> Deserialize<'de> for Instance {
             if m.num_events() != dto.event_caps.len() || m.num_users() != dto.user_caps.len() {
                 return Err(D::Error::custom("similarity matrix shape mismatch"));
             }
+            validate_matrix_range(m).map_err(D::Error::custom)?;
         }
         Ok(Instance {
             event_attrs,
@@ -658,6 +703,59 @@ mod tests {
     #[test]
     fn paper_assumptions_pass_on_good_instance() {
         assert!(small_instance().validate_paper_assumptions().is_ok());
+    }
+
+    /// `SimMatrix`'s own constructors assert the range, so the only way
+    /// an out-of-range value reaches `Instance` is deserialization —
+    /// which is exactly where validation must hold the line.
+    fn bad_matrix(values: &str, nu: usize) -> SimMatrix {
+        serde_json::from_str(&format!(
+            r#"{{"num_events": 1, "num_users": {nu}, "values": {values}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn out_of_range_similarity_is_rejected_at_construction() {
+        for bad in ["1.5", "-0.1"] {
+            let m = bad_matrix(&format!("[0.5, {bad}]"), 2);
+            let err = Instance::new(m, vec![1], vec![1, 1], ConflictGraph::empty(1)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    InstanceError::SimilarityOutOfRange {
+                        event: 0,
+                        user: 1,
+                        ..
+                    }
+                ),
+                "value {bad}: got {err:?}"
+            );
+            assert!(err.to_string().contains("outside [0, 1]"));
+        }
+    }
+
+    #[test]
+    fn out_of_range_similarity_is_rejected_by_builder_and_serde() {
+        let mut b = Instance::builder(1, SimilarityModel::Matrix(bad_matrix("[2.0]", 1)));
+        b.event(&[0.0], 1);
+        b.user(&[0.0], 1);
+        assert!(matches!(
+            b.build(),
+            Err(InstanceError::SimilarityOutOfRange { .. })
+        ));
+
+        let json = r#"{
+            "dim": 1,
+            "model": {"Matrix": {"num_events": 1, "num_users": 1, "values": [2.0]}},
+            "event_attrs": [[0.0]],
+            "user_attrs": [[0.0]],
+            "event_caps": [1],
+            "user_caps": [1],
+            "conflicts": {"num_events": 1, "pairs": []}
+        }"#;
+        let err = serde_json::from_str::<Instance>(json).unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
     }
 
     #[test]

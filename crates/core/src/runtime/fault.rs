@@ -1,0 +1,178 @@
+//! Deterministic fault injection for the resilience test harness.
+//!
+//! A [`FaultPlan`] scripts failures at *logical* points of a budgeted
+//! solve — tick counts (one tick = one [`BudgetMeter::tick`][crate::
+//! runtime::BudgetMeter::tick], i.e. one unit of solver work) and
+//! pipeline stage boundaries — rather than wall-clock times, so the
+//! injected panic or delay lands at the same tree node on every run.
+//! The plan is attached to a meter via
+//! [`BudgetMeter::with_fault`][crate::runtime::BudgetMeter::with_fault]
+//! and to a pipeline via
+//! [`SolverPipeline::with_fault`][crate::runtime::SolverPipeline::with_fault];
+//! production code paths carry `None` and pay nothing.
+
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+enum Injection {
+    /// Panic when the meter records exactly this tick.
+    PanicAtTick(u64),
+    /// Sleep when the meter records exactly this tick.
+    DelayAtTick { tick: u64, delay: Duration },
+    /// From this tick on, report this working-set size to memory
+    /// watermarks (overrides the global probe).
+    MemorySpikeFromTick { tick: u64, bytes: usize },
+    /// Panic when the pipeline enters the named stage ("prune",
+    /// "greedy", "random-v", …).
+    PanicAtStage(String),
+    /// Sleep when the pipeline enters the named stage.
+    DelayAtStage { stage: String, delay: Duration },
+}
+
+/// A scripted set of failures, built fluently:
+///
+/// ```
+/// use geacc_core::runtime::FaultPlan;
+/// use std::time::Duration;
+/// let plan = FaultPlan::new()
+///     .panic_at_tick(5_000)
+///     .delay_at_stage("greedy", Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    injections: Vec<Injection>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Panic at the given meter tick — lands inside whatever loop (or
+    /// worker thread) happens to record that tick.
+    pub fn panic_at_tick(mut self, tick: u64) -> Self {
+        self.injections.push(Injection::PanicAtTick(tick));
+        self
+    }
+
+    /// Sleep `delay` at the given meter tick (models a stall).
+    pub fn delay_at_tick(mut self, tick: u64, delay: Duration) -> Self {
+        self.injections.push(Injection::DelayAtTick { tick, delay });
+        self
+    }
+
+    /// From `tick` on, memory watermarks read `bytes` as the current
+    /// working-set size (models an allocation spike).
+    pub fn memory_spike_from_tick(mut self, tick: u64, bytes: usize) -> Self {
+        self.injections
+            .push(Injection::MemorySpikeFromTick { tick, bytes });
+        self
+    }
+
+    /// Panic as the pipeline enters the named stage.
+    pub fn panic_at_stage(mut self, stage: impl Into<String>) -> Self {
+        self.injections.push(Injection::PanicAtStage(stage.into()));
+        self
+    }
+
+    /// Sleep `delay` as the pipeline enters the named stage.
+    pub fn delay_at_stage(mut self, stage: impl Into<String>, delay: Duration) -> Self {
+        self.injections.push(Injection::DelayAtStage {
+            stage: stage.into(),
+            delay,
+        });
+        self
+    }
+
+    /// Runtime hook: fire tick-indexed injections. Called by
+    /// `BudgetMeter::tick`; may panic or sleep by design.
+    pub fn on_tick(&self, tick: u64) {
+        for injection in &self.injections {
+            match injection {
+                Injection::PanicAtTick(t) if *t == tick => {
+                    panic!("fault injection: panic at tick {tick}")
+                }
+                Injection::DelayAtTick { tick: t, delay } if *t == tick => {
+                    std::thread::sleep(*delay)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Runtime hook: fire stage-boundary injections. Called by
+    /// `SolverPipeline` as each stage starts; may panic or sleep.
+    pub fn on_stage_start(&self, stage: &str) {
+        for injection in &self.injections {
+            match injection {
+                Injection::PanicAtStage(s) if s == stage => {
+                    panic!("fault injection: panic entering stage {stage:?}")
+                }
+                Injection::DelayAtStage { stage: s, delay } if s == stage => {
+                    std::thread::sleep(*delay)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Runtime hook: the injected working-set reading at `tick`, if a
+    /// memory spike is active (the largest active spike wins).
+    pub fn memory_at(&self, tick: u64) -> Option<usize> {
+        self.injections
+            .iter()
+            .filter_map(|injection| match injection {
+                Injection::MemorySpikeFromTick { tick: t, bytes } if tick >= *t => Some(*bytes),
+                _ => None,
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new();
+        plan.on_tick(1);
+        plan.on_stage_start("prune");
+        assert_eq!(plan.memory_at(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "panic at tick 3")]
+    fn panic_fires_at_exact_tick() {
+        let plan = FaultPlan::new().panic_at_tick(3);
+        plan.on_tick(2);
+        plan.on_tick(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "entering stage \"greedy\"")]
+    fn stage_panic_fires_on_name_match() {
+        let plan = FaultPlan::new().panic_at_stage("greedy");
+        plan.on_stage_start("prune");
+        plan.on_stage_start("greedy");
+    }
+
+    #[test]
+    fn memory_spike_activates_from_its_tick() {
+        let plan = FaultPlan::new()
+            .memory_spike_from_tick(10, 1 << 20)
+            .memory_spike_from_tick(20, 1 << 30);
+        assert_eq!(plan.memory_at(9), None);
+        assert_eq!(plan.memory_at(10), Some(1 << 20));
+        assert_eq!(plan.memory_at(25), Some(1 << 30));
+    }
+
+    #[test]
+    fn delay_injection_sleeps() {
+        let plan = FaultPlan::new().delay_at_tick(1, Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        plan.on_tick(1);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+}

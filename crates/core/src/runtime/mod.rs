@@ -1,0 +1,33 @@
+//! The resilience layer: budgets, cancellation, anytime outcomes, and
+//! graceful degradation (extension beyond the paper).
+//!
+//! Prune-GEACC is exact but worst-case exponential — the paper's Fig. 6
+//! shows running time exploding even with the Lemma 6 bound — so a
+//! production arrangement service cannot simply *call* it. This module
+//! makes every solver *anytime*:
+//!
+//! - [`SolveBudget`] / [`BudgetMeter`] — wall-clock deadlines, exact
+//!   node budgets, and memory watermarks, polled cooperatively from the
+//!   solvers' hot loops ([`budget`] module docs describe cost and
+//!   determinism);
+//! - [`CancelToken`] — cooperative cancellation from another thread;
+//! - [`Outcome`] / [`SolveStatus`] — an honest report of how much trust
+//!   the returned arrangement deserves, mapped onto process exit codes;
+//! - [`SolverPipeline`] — the Prune → Greedy → Random-V degradation
+//!   chain with per-stage budgets and panic isolation;
+//! - [`FaultPlan`] — deterministic fault injection (panics, stalls,
+//!   allocation spikes) for the resilience test suite.
+//!
+//! Budget enforcement is strictly opt-in: the classic entry points
+//! (`greedy`, `mincostflow`, `prune`, …) carry no meter and remain
+//! bit-identical to their pre-resilience behavior at every thread count.
+
+pub mod budget;
+pub mod fault;
+pub mod outcome;
+pub mod pipeline;
+
+pub use budget::{set_memory_probe, BudgetMeter, CancelToken, SolveBudget, StopReason};
+pub use fault::FaultPlan;
+pub use outcome::{FallbackAlgo, Outcome, Provenance, SolveStatus};
+pub use pipeline::{solve_budgeted, stage_name, BudgetedSolve, SolverPipeline};

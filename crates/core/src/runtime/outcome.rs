@@ -1,0 +1,159 @@
+//! The result of a budgeted solve: an arrangement plus an honest status.
+//!
+//! Every path through the resilience layer ends in an [`Outcome`] whose
+//! [`SolveStatus`] says exactly how much trust the arrangement deserves:
+//! proven optimal, complete heuristic run, budget-stopped incumbent,
+//! degraded fallback, or nothing at all. The status maps onto process
+//! exit codes (see [`SolveStatus::exit_code`]) so shell pipelines can
+//! branch on solve quality. The arrangement itself is *always* feasible
+//! except in the [`SolveStatus::TimedOut`] case, where it is empty (the
+//! empty arrangement is trivially feasible too).
+
+use crate::model::arrangement::Arrangement;
+use crate::runtime::budget::StopReason;
+use std::time::Duration;
+
+/// Which fallback algorithm produced a degraded arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackAlgo {
+    /// Greedy-GEACC (the `1/(1 + max c_u)`-approximation).
+    Greedy,
+    /// Random-V (the unconditional last resort).
+    RandomV,
+}
+
+impl std::fmt::Display for FallbackAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FallbackAlgo::Greedy => "Greedy-GEACC",
+            FallbackAlgo::RandomV => "Random-V",
+        })
+    }
+}
+
+/// How a feasible, non-optimal arrangement came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// The solver ran to completion (a heuristic without an optimality
+    /// certificate, e.g. Greedy or MinCostFlow).
+    Completed,
+    /// A budget stopped the solver; this is its best incumbent.
+    Incumbent(StopReason),
+}
+
+/// The trust level of an [`Outcome`]'s arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An exact solver ran to completion: the arrangement is optimal.
+    Optimal,
+    /// Feasible but without an optimality proof — either a completed
+    /// heuristic or a budget-stopped incumbent.
+    Feasible(Provenance),
+    /// The requested solver failed (budget or panic) and the pipeline
+    /// fell back to the named algorithm, which completed.
+    DegradedTo(FallbackAlgo),
+    /// Every stage failed; the arrangement is empty.
+    TimedOut,
+}
+
+impl SolveStatus {
+    /// The process exit code the CLI maps this status to:
+    ///
+    /// | code | meaning |
+    /// |---|---|
+    /// | 0 | solver completed ([`Optimal`][SolveStatus::Optimal] or a completed heuristic) |
+    /// | 3 | budget-stopped incumbent returned |
+    /// | 4 | degraded to a fallback algorithm |
+    /// | 5 | every stage failed (timed out) |
+    ///
+    /// (1 and 2 are reserved for runtime and usage errors.)
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SolveStatus::Optimal | SolveStatus::Feasible(Provenance::Completed) => 0,
+            SolveStatus::Feasible(Provenance::Incumbent(_)) => 3,
+            SolveStatus::DegradedTo(_) => 4,
+            SolveStatus::TimedOut => 5,
+        }
+    }
+
+    /// Whether the requested solver ran to completion (no budget stop,
+    /// no degradation).
+    pub fn is_complete(&self) -> bool {
+        matches!(
+            self,
+            SolveStatus::Optimal | SolveStatus::Feasible(Provenance::Completed)
+        )
+    }
+
+    /// Human-readable status line for CLI output and logs.
+    pub fn label(&self) -> String {
+        match self {
+            SolveStatus::Optimal => "optimal".to_string(),
+            SolveStatus::Feasible(Provenance::Completed) => "feasible (complete)".to_string(),
+            SolveStatus::Feasible(Provenance::Incumbent(reason)) => {
+                format!("feasible incumbent (stopped: {reason})")
+            }
+            SolveStatus::DegradedTo(algo) => format!("degraded to {algo}"),
+            SolveStatus::TimedOut => "timed out (no arrangement)".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A budgeted solve's full result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The arrangement — feasible for the instance in every status
+    /// except [`SolveStatus::TimedOut`], where it is empty.
+    pub arrangement: Arrangement,
+    /// How much to trust it.
+    pub status: SolveStatus,
+    /// Total meter ticks spent across all pipeline stages.
+    pub nodes: u64,
+    /// Wall-clock time of the whole solve (all stages).
+    pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_match_the_taxonomy() {
+        assert_eq!(SolveStatus::Optimal.exit_code(), 0);
+        assert_eq!(SolveStatus::Feasible(Provenance::Completed).exit_code(), 0);
+        assert_eq!(
+            SolveStatus::Feasible(Provenance::Incumbent(StopReason::Deadline)).exit_code(),
+            3
+        );
+        assert_eq!(SolveStatus::DegradedTo(FallbackAlgo::Greedy).exit_code(), 4);
+        assert_eq!(
+            SolveStatus::DegradedTo(FallbackAlgo::RandomV).exit_code(),
+            4
+        );
+        assert_eq!(SolveStatus::TimedOut.exit_code(), 5);
+    }
+
+    #[test]
+    fn completeness_matches_exit_code_zero() {
+        for (status, complete) in [
+            (SolveStatus::Optimal, true),
+            (SolveStatus::Feasible(Provenance::Completed), true),
+            (
+                SolveStatus::Feasible(Provenance::Incumbent(StopReason::NodeBudget)),
+                false,
+            ),
+            (SolveStatus::DegradedTo(FallbackAlgo::Greedy), false),
+            (SolveStatus::TimedOut, false),
+        ] {
+            assert_eq!(status.is_complete(), complete, "{status:?}");
+            assert_eq!(status.is_complete(), status.exit_code() == 0);
+            assert!(!status.label().is_empty());
+        }
+    }
+}

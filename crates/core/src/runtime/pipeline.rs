@@ -1,0 +1,335 @@
+//! The anytime orchestrator: budgeted dispatch plus graceful fallback.
+//!
+//! [`solve_budgeted`] is the budget-aware sibling of
+//! [`algorithms::solve`][crate::algorithms::solve] — it runs one
+//! algorithm under a [`BudgetMeter`] and reports how far it got.
+//! [`SolverPipeline`] wraps it in the degradation chain the ROADMAP's
+//! production-service north-star needs:
+//!
+//! 1. the **primary** algorithm under the main budget;
+//! 2. **Greedy-GEACC** under the (separate) fallback budget, if the
+//!    primary panicked, produced an infeasible arrangement, or was
+//!    budget-stopped with degradation requested;
+//! 3. **Random-V** as the unconditional last resort;
+//! 4. the empty arrangement with [`SolveStatus::TimedOut`] if even that
+//!    failed.
+//!
+//! Each stage runs inside `catch_unwind`, so a panic — a worker thread
+//! dying, a fault injection, `exact_dp` refusing an oversized instance —
+//! degrades that stage instead of poisoning the process. Every
+//! arrangement is feasibility-checked before it is accepted; a stage
+//! returning an infeasible arrangement is treated exactly like a stage
+//! that panicked. The reported [`SolveStatus`] is therefore *honest*:
+//! `Optimal` only ever comes from a completed exact search, and anything
+//! the caller receives outside `TimedOut` passed
+//! [`Arrangement::validate`][crate::Arrangement::validate].
+
+use crate::algorithms::{
+    exact_dp, greedy_budgeted, mincostflow_budgeted, prune_budgeted, random_u, random_v, Algorithm,
+    GreedyConfig, McfConfig, PruneConfig,
+};
+use crate::model::arrangement::Arrangement;
+use crate::parallel::Threads;
+use crate::runtime::budget::{BudgetMeter, CancelToken, SolveBudget, StopReason};
+use crate::runtime::fault::FaultPlan;
+use crate::runtime::outcome::{FallbackAlgo, Outcome, Provenance, SolveStatus};
+use crate::Instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One algorithm's budgeted run: the arrangement it produced, whether a
+/// budget stopped it early, and whether a *completed* run would carry an
+/// optimality certificate.
+#[derive(Debug, Clone)]
+pub struct BudgetedSolve {
+    /// The (feasible) arrangement — the final answer if `stopped` is
+    /// `None`, the best incumbent otherwise.
+    pub arrangement: Arrangement,
+    /// Why the solver stopped early, if it did.
+    pub stopped: Option<StopReason>,
+    /// Whether the algorithm is exact (a completed run proves
+    /// optimality).
+    pub exact: bool,
+}
+
+/// The stage name `algorithm` runs under (used by fault plans'
+/// [`FaultPlan::panic_at_stage`] and the pipeline's progress reporting).
+pub fn stage_name(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Greedy => "greedy",
+        Algorithm::MinCostFlow => "mincostflow",
+        Algorithm::Prune => "prune",
+        Algorithm::Exhaustive => "exhaustive",
+        Algorithm::ExactDp => "exact-dp",
+        Algorithm::RandomV { .. } => "random-v",
+        Algorithm::RandomU { .. } => "random-u",
+    }
+}
+
+/// Run one algorithm under `meter`, the budget-aware counterpart of
+/// [`algorithms::solve`][crate::algorithms::solve].
+///
+/// The baselines (`RandomV`/`RandomU`) and `ExactDp` complete in one
+/// shot or not at all, so they ignore the meter except for its latched
+/// stop state; the three paper algorithms poll it cooperatively.
+pub fn solve_budgeted(
+    inst: &Instance,
+    algorithm: Algorithm,
+    meter: &BudgetMeter,
+    threads: Threads,
+) -> BudgetedSolve {
+    match algorithm {
+        Algorithm::Greedy => {
+            let (arrangement, stopped) = greedy_budgeted(inst, GreedyConfig { threads }, meter);
+            BudgetedSolve {
+                arrangement,
+                stopped,
+                exact: false,
+            }
+        }
+        Algorithm::MinCostFlow => {
+            let (result, stopped) = mincostflow_budgeted(inst, McfConfig::default(), meter);
+            BudgetedSolve {
+                arrangement: result.arrangement,
+                stopped,
+                exact: false,
+            }
+        }
+        Algorithm::Prune => {
+            let budgeted = prune_budgeted(
+                inst,
+                PruneConfig {
+                    threads,
+                    ..PruneConfig::default()
+                },
+                meter,
+            );
+            BudgetedSolve {
+                arrangement: budgeted.result.arrangement,
+                stopped: budgeted.stopped,
+                exact: true,
+            }
+        }
+        Algorithm::Exhaustive => {
+            let budgeted = prune_budgeted(
+                inst,
+                PruneConfig {
+                    enable_pruning: false,
+                    greedy_seed: false,
+                    threads,
+                },
+                meter,
+            );
+            BudgetedSolve {
+                arrangement: budgeted.result.arrangement,
+                stopped: budgeted.stopped,
+                exact: true,
+            }
+        }
+        Algorithm::ExactDp => BudgetedSolve {
+            // All-or-nothing: `DpTooLarge` surfaces as a panic, which
+            // the pipeline's catch_unwind turns into a degradation.
+            arrangement: exact_dp(inst)
+                .expect("instance too large for the DP; use prune or an approximation"),
+            stopped: meter.stop_reason(),
+            exact: true,
+        },
+        Algorithm::RandomV { seed } => BudgetedSolve {
+            arrangement: random_v(inst, &mut StdRng::seed_from_u64(seed)),
+            stopped: meter.stop_reason(),
+            exact: false,
+        },
+        Algorithm::RandomU { seed } => BudgetedSolve {
+            arrangement: random_u(inst, &mut StdRng::seed_from_u64(seed)),
+            stopped: meter.stop_reason(),
+            exact: false,
+        },
+    }
+}
+
+/// Anytime solve orchestrator: primary algorithm under a budget,
+/// degradation chain behind it. See the module docs for the chain.
+#[derive(Debug, Clone)]
+pub struct SolverPipeline {
+    primary: Algorithm,
+    budget: SolveBudget,
+    fallback_budget: SolveBudget,
+    threads: Threads,
+    degrade_on_stop: bool,
+    cancel: Option<Arc<CancelToken>>,
+    fault: Option<Arc<FaultPlan>>,
+    seed: u64,
+}
+
+impl SolverPipeline {
+    /// A pipeline running `primary` under `budget`, single-threaded,
+    /// returning the budget-stopped incumbent as-is (no degradation on
+    /// stop), with an unlimited fallback budget.
+    pub fn new(primary: Algorithm, budget: SolveBudget) -> Self {
+        SolverPipeline {
+            primary,
+            budget,
+            fallback_budget: SolveBudget::UNLIMITED,
+            threads: Threads::single(),
+            degrade_on_stop: false,
+            cancel: None,
+            fault: None,
+            seed: 0,
+        }
+    }
+
+    /// Worker budget for the primary and Greedy stages.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Budget for the Greedy fallback stage (default: unlimited).
+    pub fn with_fallback_budget(mut self, budget: SolveBudget) -> Self {
+        self.fallback_budget = budget;
+        self
+    }
+
+    /// When the primary is budget-stopped, discard its incumbent and
+    /// fall back to Greedy instead (the CLI's `--on-timeout greedy`).
+    /// Without this, a budget stop returns the incumbent as
+    /// `Feasible(Incumbent(_))`.
+    pub fn degrade_on_stop(mut self, degrade: bool) -> Self {
+        self.degrade_on_stop = degrade;
+        self
+    }
+
+    /// Attach a cooperative cancellation token (observed by every
+    /// stage's meter).
+    pub fn with_cancel(mut self, cancel: Arc<CancelToken>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attach a fault-injection plan (test harness).
+    pub fn with_fault(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Seed for the Random-V last-resort stage.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn meter_for(&self, budget: &SolveBudget) -> BudgetMeter {
+        let mut meter = BudgetMeter::new(budget);
+        if let Some(cancel) = &self.cancel {
+            meter = meter.with_cancel(Arc::clone(cancel));
+        }
+        if let Some(fault) = &self.fault {
+            meter = meter.with_fault(Arc::clone(fault));
+        }
+        meter
+    }
+
+    /// Run a stage under panic isolation and feasibility audit: `Some`
+    /// only if the stage neither panicked nor produced an infeasible
+    /// arrangement.
+    fn run_stage<F>(&self, inst: &Instance, stage: &str, f: F) -> Option<BudgetedSolve>
+    where
+        F: FnOnce() -> BudgetedSolve,
+    {
+        let fault = self.fault.clone();
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fault) = &fault {
+                fault.on_stage_start(stage);
+            }
+            f()
+        }))
+        .ok()?;
+        solved
+            .arrangement
+            .validate(inst)
+            .is_empty()
+            .then_some(solved)
+    }
+
+    /// Run the chain to its first acceptable arrangement.
+    pub fn run(&self, inst: &Instance) -> Outcome {
+        let start = Instant::now();
+        let mut nodes = 0u64;
+
+        // Stage 1: the primary algorithm under the main budget.
+        let meter = self.meter_for(&self.budget);
+        let solved = self.run_stage(inst, stage_name(self.primary), || {
+            solve_budgeted(inst, self.primary, &meter, self.threads)
+        });
+        nodes += meter.nodes();
+        if let Some(solved) = solved {
+            match solved.stopped {
+                None => {
+                    let status = if solved.exact {
+                        SolveStatus::Optimal
+                    } else {
+                        SolveStatus::Feasible(Provenance::Completed)
+                    };
+                    return self.outcome(solved.arrangement, status, nodes, start);
+                }
+                // A budget-stopped Greedy *is* the Greedy fallback;
+                // degrading would just re-run a weaker version of it.
+                Some(reason)
+                    if !self.degrade_on_stop || matches!(self.primary, Algorithm::Greedy) =>
+                {
+                    let status = SolveStatus::Feasible(Provenance::Incumbent(reason));
+                    return self.outcome(solved.arrangement, status, nodes, start);
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Stage 2: Greedy under the fallback budget.
+        if !matches!(self.primary, Algorithm::Greedy) {
+            let meter = self.meter_for(&self.fallback_budget);
+            let solved = self.run_stage(inst, "greedy", || {
+                solve_budgeted(inst, Algorithm::Greedy, &meter, self.threads)
+            });
+            nodes += meter.nodes();
+            if let Some(solved) = solved {
+                let status = SolveStatus::DegradedTo(FallbackAlgo::Greedy);
+                return self.outcome(solved.arrangement, status, nodes, start);
+            }
+        }
+
+        // Stage 3: Random-V, the unconditional last resort (unbudgeted:
+        // it is a single linear pass).
+        let seed = self.seed;
+        let solved = self.run_stage(inst, "random-v", || BudgetedSolve {
+            arrangement: random_v(inst, &mut StdRng::seed_from_u64(seed)),
+            stopped: None,
+            exact: false,
+        });
+        if let Some(solved) = solved {
+            let status = SolveStatus::DegradedTo(FallbackAlgo::RandomV);
+            return self.outcome(solved.arrangement, status, nodes, start);
+        }
+
+        // Everything failed: report honestly with the empty (and
+        // trivially feasible) arrangement.
+        self.outcome(Arrangement::empty_for(inst), SolveStatus::TimedOut, nodes, start)
+    }
+
+    fn outcome(
+        &self,
+        arrangement: Arrangement,
+        status: SolveStatus,
+        nodes: u64,
+        start: Instant,
+    ) -> Outcome {
+        Outcome {
+            arrangement,
+            status,
+            nodes,
+            elapsed: start.elapsed(),
+        }
+    }
+}

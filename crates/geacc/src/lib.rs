@@ -52,8 +52,13 @@
 
 pub use geacc_core::model::ArrangementStats;
 pub use geacc_core::{
-    algorithms, model, reduction, similarity, toy, Arrangement, ConflictGraph, EventId, Instance,
-    InstanceBuilder, InstanceError, SimMatrix, SimilarityModel, UserId, Violation,
+    algorithms, model, reduction, runtime, similarity, toy, Arrangement, ConflictGraph,
+    ConflictPairOutOfRange, EventId, Instance, InstanceBuilder, InstanceError, SimMatrix,
+    SimilarityModel, UserId, ValidationError, Violation,
+};
+pub use geacc_core::{
+    BudgetMeter, CancelToken, FaultPlan, Outcome, SolveBudget, SolveStatus, SolverPipeline,
+    StopReason,
 };
 
 /// The problem model and algorithms crate.

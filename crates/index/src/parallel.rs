@@ -16,6 +16,21 @@
 
 use std::num::NonZeroUsize;
 
+/// Join a worker handle, re-raising its panic payload verbatim.
+///
+/// `JoinHandle::join` boxes a worker panic; unwrapping with `expect`
+/// would replace the original payload (and its message) with a generic
+/// one. Resuming the original keeps worker panics transparent to
+/// callers — in particular to the budgeted solver pipeline, whose
+/// `catch_unwind` turns them into graceful degradation and honest
+/// status reporting.
+fn join_propagating<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "GEACC_THREADS";
 
@@ -121,10 +136,7 @@ where
                 scope.spawn(move || (start..end).map(f).collect::<Vec<U>>())
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        handles.into_iter().map(join_propagating).collect()
     });
     let mut out = Vec::with_capacity(n);
     for part in &mut parts {
@@ -168,10 +180,7 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+        handles.into_iter().map(join_propagating).collect()
     });
     let mut slots: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
     for part in &mut parts {
@@ -212,7 +221,7 @@ where
             handles.push(scope.spawn(move || f(start, chunk)));
         }
         for h in handles {
-            h.join().expect("worker panicked");
+            join_propagating(h);
         }
     });
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full local gate: release build, lints, and the workspace test
+# suite at two worker-pool sizes — GEACC_THREADS=1 exercises every
+# sequential code path, GEACC_THREADS=4 the scoped-thread parallel
+# paths (including the resilience suite's worker-panic and
+# mid-flight-cancellation scenarios, which behave differently under
+# contention).
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (GEACC_THREADS=1) =="
+GEACC_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (GEACC_THREADS=4) =="
+GEACC_THREADS=4 cargo test --workspace -q
+
+echo "ci.sh: all green"

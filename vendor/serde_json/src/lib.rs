@@ -15,17 +15,84 @@ use serde::__private::{from_content, to_content, Content};
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 
-/// (De)serialization error: a message, optionally with a position from
-/// the parser.
+/// Coarse classification of an [`Error`], mirroring
+/// `serde_json::error::Category` from the real crate (minus `Io`,
+/// which cannot arise from string-based parsing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// The bytes are not well-formed JSON.
+    Syntax,
+    /// The input ended mid-value (truncated file).
+    Eof,
+    /// The JSON was fine but did not match the target type (wrong
+    /// shape, out-of-range value, failed custom validation).
+    Data,
+}
+
+/// (De)serialization error: a message, a [`Category`], and — for parser
+/// errors — the 1-based line/column of the offending byte. Parser
+/// messages end with `at line L column C`, like the real serde_json;
+/// data errors surface after parsing, so they carry no position
+/// ([`Error::line`] / [`Error::column`] return `0`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     msg: String,
+    category: Category,
+    position: Option<(usize, usize)>,
 }
 
 impl Error {
     fn new(msg: impl Into<String>) -> Self {
-        Error { msg: msg.into() }
+        Error {
+            msg: msg.into(),
+            category: Category::Data,
+            position: None,
+        }
     }
+
+    pub(crate) fn parse(msg: impl Into<String>, category: Category, line: usize, column: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            category,
+            position: Some((line, column)),
+        }
+    }
+
+    /// Which broad failure class this is.
+    pub fn classify(&self) -> Category {
+        self.category
+    }
+
+    /// 1-based line of the error, or `0` when no position is known
+    /// (data errors surface after parsing, once positions are gone).
+    pub fn line(&self) -> usize {
+        self.position.map_or(0, |(line, _)| line)
+    }
+
+    /// 1-based column of the error, or `0` when no position is known.
+    pub fn column(&self) -> usize {
+        self.position.map_or(0, |(_, column)| column)
+    }
+
+    /// Whether this is a [`Category::Syntax`] error.
+    pub fn is_syntax(&self) -> bool {
+        self.category == Category::Syntax
+    }
+
+    /// Whether this is a [`Category::Eof`] error.
+    pub fn is_eof(&self) -> bool {
+        self.category == Category::Eof
+    }
+
+    /// Whether this is a [`Category::Data`] error.
+    pub fn is_data(&self) -> bool {
+        self.category == Category::Data
+    }
+}
+
+/// Namespace alias matching the real crate's `serde_json::error` module.
+pub mod error {
+    pub use crate::{Category, Error};
 }
 
 impl fmt::Display for Error {

@@ -4,7 +4,7 @@
 //! the digits of a number, because the `json!` macro round-trips token
 //! streams through `stringify!`, which may separate them.
 
-use crate::Error;
+use crate::{Category, Error};
 use serde::__private::Content;
 
 /// Maximum nesting depth (arrays + objects) before bailing out, so
@@ -32,7 +32,25 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl std::fmt::Display) -> Error {
-        Error::new(format!("{msg} at byte {}", self.pos))
+        let pos = self.pos.min(self.bytes.len());
+        let consumed = &self.bytes[..pos];
+        let line = 1 + consumed.iter().filter(|&&b| b == b'\n').count();
+        let line_start = consumed
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
+        let column = pos - line_start + 1;
+        let category = if self.pos >= self.bytes.len() {
+            Category::Eof
+        } else {
+            Category::Syntax
+        };
+        Error::parse(
+            format!("{msg} at line {line} column {column}"),
+            category,
+            line,
+            column,
+        )
     }
 
     fn peek(&self) -> Option<u8> {
