@@ -1,0 +1,416 @@
+//! Load generator for `geacc-server`: throughput, tail latency, and
+//! admission control under overload, measured over real TCP sockets.
+//!
+//! Two phases, each against an in-process server on an ephemeral port:
+//!
+//! 1. **Steady state** — a worker pool sized to the host serves a seeded
+//!    request mix (70% `query_user`, 10% `query_event`, 15% `mutate`,
+//!    5% `stats`) from several concurrent clients. Records throughput
+//!    and client-observed p50/p95/p99 latency.
+//! 2. **Overload** — one worker and a depth-2 queue, wedged by
+//!    budget-bounded exact solves on the pathological narrow-band
+//!    instance, then hit with a pipelined burst. Records how many
+//!    requests were admitted vs. rejected with the structured
+//!    `overloaded` error — the backpressure contract: reject loudly,
+//!    never queue unbounded.
+//!
+//! Results land in `BENCH_server.json` (or `--out <path>`).
+//!
+//! ```sh
+//! cargo run -p geacc-bench --release --bin loadgen
+//! cargo run -p geacc-bench --release --bin loadgen -- --quick --out /tmp/s.json
+//! ```
+
+use geacc_bench::cli;
+use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
+use geacc_datagen::{ArrivalOrder, SyntheticConfig};
+use geacc_server::{protocol, MetricsSnapshot, Server, ServerConfig};
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct Snapshot {
+    host_parallelism: usize,
+    command: String,
+    note: String,
+    steady: SteadyPhase,
+    overload: OverloadPhase,
+}
+
+#[derive(Serialize)]
+struct SteadyPhase {
+    instance: String,
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    mix: BTreeMap<String, String>,
+    requests_total: usize,
+    client_errors: u64,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    latency_us: LatencyQuantiles,
+    server_metrics: MetricsSnapshot,
+}
+
+#[derive(Serialize)]
+struct LatencyQuantiles {
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max: u64,
+}
+
+#[derive(Serialize)]
+struct OverloadPhase {
+    instance: String,
+    workers: usize,
+    queue_depth: usize,
+    wedge_solves: usize,
+    solve_timeout_ms: u64,
+    burst_clients: usize,
+    burst_requests: usize,
+    admitted: u64,
+    overloaded: u64,
+    other_errors: u64,
+    server_rejected: u64,
+}
+
+/// A blocking newline-delimited-JSON client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loadgen server");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        serde_json::from_str(line.trim()).expect("response is JSON")
+    }
+
+    fn call(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn is_ok(response: &Value) -> bool {
+    protocol::get(response, "ok") == Some(&Value::Bool(true))
+}
+
+fn error_code(response: &Value) -> Option<&str> {
+    protocol::get_str(protocol::get(response, "error")?, "code")
+}
+
+fn spawn_server(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<MetricsSnapshot>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// Small xorshift so every client's request stream is seeded and
+/// replayable without threading a rand RNG through the workers.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Steady phase: a seeded op mix from `clients` concurrent connections.
+fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhase {
+    let config = SyntheticConfig {
+        num_events: 20,
+        num_users: 200,
+        seed: 42,
+        ..Default::default()
+    };
+    let inst = config.generate();
+    let (nv, nu) = (inst.num_events(), inst.num_users());
+    let arrivals = ArrivalOrder::Uniform { seed: 7 }.sequence(&inst);
+
+    let (addr, handle) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth: 64,
+        default_timeout_ms: 30_000,
+        ..ServerConfig::default()
+    });
+    let mut setup = Client::connect(addr);
+    let loaded = setup.call(&format!(
+        r#"{{"op": "load", "instance": {}}}"#,
+        serde_json::to_string(&inst).unwrap()
+    ));
+    assert!(is_ok(&loaded), "load failed: {loaded:?}");
+
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let arrivals = &arrivals;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut rng = Stream(0x9e37_79b9_7f4a_7c15 ^ (c as u64 + 1));
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut errors = 0u64;
+                    for i in 0..per_client {
+                        let roll = rng.next() % 100;
+                        let line = if roll < 70 {
+                            let u = arrivals[(c * per_client + i) % arrivals.len()];
+                            format!(r#"{{"op": "query_user", "user": {}}}"#, u.0)
+                        } else if roll < 80 {
+                            format!(r#"{{"op": "query_event", "event": {}}}"#, rng.next() as usize % nv)
+                        } else if roll < 95 {
+                            if roll % 2 == 0 {
+                                format!(
+                                    r#"{{"op": "mutate", "mutation": {{"AddConflict": {{"a": {}, "b": {}}}}}}}"#,
+                                    rng.next() as usize % nv,
+                                    rng.next() as usize % nv
+                                )
+                            } else {
+                                format!(
+                                    r#"{{"op": "mutate", "mutation": {{"SetCapacity": {{"side": "User", "id": {}, "capacity": {}}}}}}}"#,
+                                    rng.next() as usize % nu,
+                                    1 + rng.next() % 8
+                                )
+                            }
+                        } else {
+                            r#"{"op": "stats"}"#.to_string()
+                        };
+                        let sent = Instant::now();
+                        let response = client.call(&line);
+                        latencies.push(sent.elapsed().as_micros() as u64);
+                        if !is_ok(&response) {
+                            errors += 1;
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    setup.call(r#"{"op": "shutdown"}"#);
+    let server_metrics = handle.join().expect("server thread");
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut client_errors = 0;
+    for (mut l, e) in results {
+        latencies.append(&mut l);
+        client_errors += e;
+    }
+    latencies.sort_unstable();
+    let q = |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
+    let requests_total = latencies.len();
+
+    let mut mix = BTreeMap::new();
+    mix.insert("query_user".to_string(), "70%".to_string());
+    mix.insert("query_event".to_string(), "10%".to_string());
+    mix.insert("mutate".to_string(), "15%".to_string());
+    mix.insert("stats".to_string(), "5%".to_string());
+
+    SteadyPhase {
+        instance: format!("synthetic {nv}x{nu} (seed 42)"),
+        workers,
+        clients,
+        requests_per_client: per_client,
+        mix,
+        requests_total,
+        client_errors,
+        wall_seconds: wall,
+        throughput_rps: requests_total as f64 / wall,
+        latency_us: LatencyQuantiles {
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: *latencies.last().unwrap(),
+        },
+        server_metrics,
+    }
+}
+
+/// The resilience suite's pathological narrow-band instance: unbudgeted
+/// Prune-GEACC effectively never finishes, so a budgeted solve reliably
+/// occupies a worker for its whole timeout.
+fn pathological_instance() -> Instance {
+    let (nv, nu) = (8usize, 24usize);
+    let values: Vec<f64> = (0..nv * nu)
+        .map(|i| 0.55 + 0.01 * ((i * 37 % 97) as f64 / 97.0))
+        .collect();
+    let conflicts = ConflictGraph::from_pairs(
+        nv,
+        (0..nv as u32).flat_map(|i| {
+            (i + 1..nv as u32)
+                .filter(move |j| (i * 7 + j * 13) % 3 != 0)
+                .map(move |j| (EventId(i), EventId(j)))
+        }),
+    );
+    Instance::from_matrix(
+        SimMatrix::from_flat(nv, nu, values),
+        vec![6; nv],
+        vec![8; nu],
+        conflicts,
+    )
+    .unwrap()
+}
+
+/// Overload phase: wedge a single worker with slow solves, then burst.
+fn overload_phase(burst_clients: usize, per_client: usize) -> OverloadPhase {
+    let solve_timeout_ms = 500u64;
+    let wedge_solves = 3usize;
+    let (addr, handle) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 2,
+        default_timeout_ms: 30_000,
+        ..ServerConfig::default()
+    });
+    let mut setup = Client::connect(addr);
+    let loaded = setup.call(&format!(
+        r#"{{"op": "load", "instance": {}}}"#,
+        serde_json::to_string(&pathological_instance()).unwrap()
+    ));
+    assert!(is_ok(&loaded), "load failed: {loaded:?}");
+
+    // Pipeline budgeted exact solves: the first occupies the worker for
+    // its full deadline, the rest sit in the queue.
+    for i in 0..wedge_solves {
+        setup.send(&format!(
+            r#"{{"op": "solve", "id": {i}, "algorithm": "prune", "timeout_ms": {solve_timeout_ms}}}"#
+        ));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let totals: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..burst_clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    for i in 0..per_client {
+                        client.send(&format!(
+                            r#"{{"op": "stats", "id": {}}}"#,
+                            c * per_client + i
+                        ));
+                    }
+                    let (mut admitted, mut overloaded, mut other) = (0u64, 0u64, 0u64);
+                    for _ in 0..per_client {
+                        let response = client.recv();
+                        if is_ok(&response) {
+                            admitted += 1;
+                        } else if error_code(&response) == Some("overloaded") {
+                            overloaded += 1;
+                        } else {
+                            other += 1;
+                        }
+                    }
+                    (admitted, overloaded, other)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Drain the wedge solves, then shut down cleanly.
+    for _ in 0..wedge_solves {
+        setup.recv();
+    }
+    setup.call(r#"{"op": "shutdown"}"#);
+    let metrics = handle.join().expect("server thread");
+
+    let (admitted, overloaded, other_errors) =
+        totals.iter().fold((0, 0, 0), |(a, o, e), &(ca, co, ce)| {
+            (a + ca, o + co, e + ce)
+        });
+    assert!(
+        overloaded > 0,
+        "burst must provoke structured overload rejections (admitted {admitted})"
+    );
+
+    OverloadPhase {
+        instance: "pathological 8x24 narrow-band".to_string(),
+        workers: 1,
+        queue_depth: 2,
+        wedge_solves,
+        solve_timeout_ms,
+        burst_clients,
+        burst_requests: burst_clients * per_client,
+        admitted,
+        overloaded,
+        other_errors,
+        server_rejected: metrics.rejected,
+    }
+}
+
+fn main() {
+    let quick = cli::has_flag("quick");
+    let out = cli::flag_value("out").unwrap_or_else(|| "BENCH_server.json".to_string());
+    let workers = cli::threads().get().min(8);
+
+    let (clients, per_client) = if quick { (2, 100) } else { (4, 500) };
+    eprintln!(
+        "loadgen: steady phase ({clients} clients x {per_client} requests, {workers} workers)"
+    );
+    let steady = steady_phase(clients, per_client, workers);
+    eprintln!(
+        "loadgen: {:.0} req/s, p50 {} us, p99 {} us",
+        steady.throughput_rps, steady.latency_us.p50, steady.latency_us.p99
+    );
+
+    let (burst_clients, burst_per_client) = if quick { (4, 25) } else { (8, 50) };
+    eprintln!("loadgen: overload phase ({burst_clients} clients x {burst_per_client} requests, 1 worker, queue depth 2)");
+    let overload = overload_phase(burst_clients, burst_per_client);
+    eprintln!(
+        "loadgen: {} admitted, {} rejected as overloaded",
+        overload.admitted, overload.overloaded
+    );
+
+    let snapshot = Snapshot {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        command: if quick {
+            "cargo run -p geacc-bench --release --bin loadgen -- --quick".to_string()
+        } else {
+            "cargo run -p geacc-bench --release --bin loadgen".to_string()
+        },
+        note: "Client-observed latency over loopback TCP, newline-delimited JSON protocol."
+            .to_string(),
+        steady,
+        overload,
+    };
+    let mut json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    json.push('\n');
+    std::fs::write(&out, json).expect("write snapshot");
+    eprintln!("loadgen: wrote {out}");
+}

@@ -60,6 +60,8 @@ USAGE:
   geacc inspect  --input FILE --arrangement FILE [--top N] [--certify]
   geacc improve  --input FILE --arrangement FILE [--output FILE] [--max-passes N]
   geacc toy      [--output FILE]
+  geacc serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                 [--default-timeout-ms MS] [--threads N] [--drift-ratio R]
   geacc help
 
 FILE may be '-' for stdin/stdout. Instances and arrangements are JSON.
@@ -73,6 +75,13 @@ arrangement and reports how it was produced. --on-timeout picks what a
 budget stop yields: the solver's best incumbent (default), a greedy
 fallback, or an error. Exit codes: 0 complete, 3 incumbent, 4 degraded
 to a fallback algorithm, 5 timed out without an arrangement.
+
+`serve` runs the long-lived arrangement daemon: newline-delimited JSON
+over TCP (load/mutate/query_user/query_event/solve/snapshot/restore/
+stats/shutdown — see DESIGN.md §10). It prints `listening on ADDR` once
+bound, serves until a shutdown request, then prints final metrics.
+--queue-depth bounds admitted-but-unserved requests; beyond it the
+server answers structured `overloaded` errors instead of queueing.
 ";
 
 /// Dispatch a parsed command line; returns the text to print plus the
@@ -86,6 +95,7 @@ pub fn run(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
         "inspect" => inspect(args).map(Into::into),
         "improve" => improve_cmd(args).map(Into::into),
         "toy" => toy(args).map(Into::into),
+        "serve" => serve(args).map(Into::into),
         "help" | "--help" => Ok(USAGE.to_string().into()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -509,6 +519,46 @@ fn toy(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&[
+        "addr",
+        "workers",
+        "queue-depth",
+        "default-timeout-ms",
+        "threads",
+        "drift-ratio",
+    ])?;
+    let defaults = geacc_server::ServerConfig::default();
+    let config = geacc_server::ServerConfig {
+        addr: args.value("addr")?.unwrap_or(&defaults.addr).to_string(),
+        workers: args.parsed_or("workers", defaults.workers)?,
+        queue_depth: args.parsed_or("queue-depth", defaults.queue_depth)?,
+        default_timeout_ms: args.parsed_or("default-timeout-ms", defaults.default_timeout_ms)?,
+        solve_threads: match args.value("threads")? {
+            Some(n) => Threads::new(
+                n.parse()
+                    .map_err(|e| CliError(format!("invalid value for --threads: {e}")))?,
+            ),
+            None => Threads::from_env(),
+        },
+        drift_ratio: args.parsed_or("drift-ratio", defaults.drift_ratio)?,
+    };
+    let server = geacc_server::Server::bind(config)
+        .map_err(|e| CliError(format!("binding listener: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError(format!("resolving bound address: {e}")))?;
+    // Printed (and flushed) immediately, not via CmdOutput: clients and
+    // the CI smoke stage wait on this line to learn the ephemeral port.
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let metrics = server
+        .run()
+        .map_err(|e| CliError(format!("serving: {e}")))?;
+    Ok(format!("server drained\n{}\n", to_json(&metrics)?))
+}
+
 /// Helper for tests and `main`: run from raw tokens.
 pub fn run_tokens(tokens: impl IntoIterator<Item = String>) -> Result<CmdOutput, CliError> {
     let args = ParsedArgs::parse(tokens)?;
@@ -812,10 +862,7 @@ mod tests {
             "generate --events 3 --users 6 --seed 9 --output {inst}"
         ))
         .unwrap();
-        let err = run_str(&format!(
-            "solve --input {inst} --on-timeout greedy"
-        ))
-        .unwrap_err();
+        let err = run_str(&format!("solve --input {inst} --on-timeout greedy")).unwrap_err();
         assert!(err.0.contains("needs a budget"), "{}", err.0);
         let err = run_str(&format!(
             "solve --input {inst} --max-nodes 5 --on-timeout shrug"

@@ -122,8 +122,7 @@ fn pathological_exact_search_respects_a_small_deadline() {
                 .map(move |j| (EventId(i), EventId(j)))
         }),
     );
-    let instance =
-        Instance::from_matrix(matrix, vec![6; nv], vec![8; nu], conflicts).unwrap();
+    let instance = Instance::from_matrix(matrix, vec![6; nv], vec![8; nu], conflicts).unwrap();
     let path = tmp("pathological.json");
     std::fs::write(&path, serde_json::to_string_pretty(&instance).unwrap()).unwrap();
 

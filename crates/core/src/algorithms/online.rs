@@ -17,6 +17,7 @@
 //! but the `online` bench shows thresholds recovering much of the
 //! offline gap on capacity-tight workloads.
 
+use crate::algorithms::NeighborOracle;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
 use crate::Instance;
@@ -46,7 +47,7 @@ pub struct OnlineArranger<'a> {
     arrangement: Arrangement,
     cap_v: Vec<u32>,
     served: Vec<bool>,
-    scratch: Vec<f64>,
+    oracle: NeighborOracle<'a>,
 }
 
 impl<'a> OnlineArranger<'a> {
@@ -58,7 +59,7 @@ impl<'a> OnlineArranger<'a> {
             arrangement: Arrangement::empty_for(inst),
             cap_v: inst.events().map(|v| inst.event_capacity(v)).collect(),
             served: vec![false; inst.num_users()],
-            scratch: Vec::new(),
+            oracle: NeighborOracle::new(inst),
         }
     }
 
@@ -76,23 +77,26 @@ impl<'a> OnlineArranger<'a> {
             !std::mem::replace(&mut self.served[u.index()], true),
             "{u} arrived twice"
         );
-        self.inst.similarity_column(u, &mut self.scratch);
-        let mut candidates: Vec<(f64, u32)> = self
-            .scratch
-            .iter()
-            .enumerate()
-            .filter(|&(v, &s)| s > 0.0 && s >= self.config.threshold && self.cap_v[v] > 0)
-            .map(|(v, &s)| (s, v as u32))
-            .collect();
-        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-
+        // The oracle streams this user's events in exactly the order the
+        // greedy scan wants — similarity descending, ties toward lower
+        // event id, positive similarities only — so serving an arrival is
+        // a walk down the stream instead of an O(|V|) scan + sort. The
+        // stream is consumed lazily: a user granted their top events
+        // never pays for ranking the tail, and once similarity falls
+        // below the threshold the walk stops early (the stream is
+        // non-increasing).
         let mut granted = Vec::new();
         let cap_u = self.inst.user_capacity(u) as usize;
-        for (sim, vid) in candidates {
-            if granted.len() >= cap_u {
+        while granted.len() < cap_u {
+            let Some((v, sim)) = self.oracle.next_event_for_user(u) else {
+                break;
+            };
+            if sim < self.config.threshold {
                 break;
             }
-            let v = EventId(vid);
+            if self.cap_v[v.index()] == 0 {
+                continue;
+            }
             if self
                 .inst
                 .conflicts()
@@ -101,7 +105,7 @@ impl<'a> OnlineArranger<'a> {
                 continue;
             }
             self.arrangement.push_unchecked(v, u, sim);
-            self.cap_v[vid as usize] -= 1;
+            self.cap_v[v.index()] -= 1;
             granted.push(v);
         }
         granted

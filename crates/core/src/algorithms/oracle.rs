@@ -180,7 +180,7 @@ impl ChunkedStream {
 /// a consumer is known to touch most streams, [`NeighborOracle::prewarmed`]
 /// builds every stream's first chunk up front on a scoped-thread pool.
 /// Both constructors yield bit-identical streams.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NeighborOracle<'a> {
     inst: &'a Instance,
     event_streams: Vec<Option<ChunkedStream>>,

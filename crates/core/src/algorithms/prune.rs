@@ -255,11 +255,7 @@ pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
 /// incumbent — on every run. Wall-clock/memory/cancellation budgets keep
 /// the configured parallelism and make no such promise. An unlimited
 /// meter leaves the result bit-identical to [`prune_with`].
-pub fn prune_budgeted(
-    inst: &Instance,
-    config: PruneConfig,
-    meter: &BudgetMeter,
-) -> BudgetedPrune {
+pub fn prune_budgeted(inst: &Instance, config: PruneConfig, meter: &BudgetMeter) -> BudgetedPrune {
     run_prune(inst, config, Some(meter))
 }
 
@@ -380,30 +376,29 @@ fn prune_parallel(
         let cursor = AtomicUsize::new(0);
         let workers = threads.get().min(tasks.len());
         type WorkerReturn = (f64, Arrangement, SearchStats, Option<StopReason>);
-        let worker_results: Vec<std::thread::Result<WorkerReturn>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let (shared, cursor, tasks) = (&shared, &cursor, &tasks);
-                        let incumbent = &incumbent;
-                        scope.spawn(move || {
-                            let mut search = Search::fresh(ctx, incumbent, Some(shared), meter);
-                            loop {
-                                if search.stopped.is_some() {
-                                    break;
-                                }
-                                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(task) = tasks.get(idx) else { break };
-                                search.run_task(task);
+        let worker_results: Vec<std::thread::Result<WorkerReturn>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (shared, cursor, tasks) = (&shared, &cursor, &tasks);
+                    let incumbent = &incumbent;
+                    scope.spawn(move || {
+                        let mut search = Search::fresh(ctx, incumbent, Some(shared), meter);
+                        loop {
+                            if search.stopped.is_some() {
+                                break;
                             }
-                            (search.best_sum, search.best, search.stats, search.stopped)
-                        })
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(idx) else { break };
+                            search.run_task(task);
+                        }
+                        (search.best_sum, search.best, search.stats, search.stopped)
                     })
-                    .collect();
-                // Join every handle (panics included) so no payload is
-                // left to poison the scope itself.
-                handles.into_iter().map(|h| h.join()).collect()
-            });
+                })
+                .collect();
+            // Join every handle (panics included) so no payload is
+            // left to poison the scope itself.
+            handles.into_iter().map(|h| h.join()).collect()
+        });
         for result in worker_results {
             match result {
                 Ok((value, arrangement, worker_stats, worker_stopped)) => {

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod dynamic;
 pub mod model;
 pub mod parallel;
 pub mod reduction;
@@ -62,6 +63,9 @@ pub mod runtime;
 pub mod similarity;
 pub mod toy;
 
+pub use dynamic::{
+    DynamicConfig, IncrementalArranger, Mutation, MutationError, RepairReport, Side,
+};
 pub use model::arrangement::{Arrangement, Violation};
 pub use model::conflict::{ConflictGraph, ConflictPairOutOfRange};
 pub use model::ids::{EventId, UserId};

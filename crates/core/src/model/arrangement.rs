@@ -110,6 +110,19 @@ impl Arrangement {
         Arrangement::empty(instance.num_events(), instance.num_users())
     }
 
+    /// Extend the arrangement's shape (never shrinks): new events and
+    /// users join with no pairs. The dynamic layer calls this right
+    /// after [`Instance::push_event`]/[`Instance::push_user`] so the
+    /// standing arrangement keeps matching its instance's shape.
+    pub fn grow_to(&mut self, num_events: usize, num_users: usize) {
+        if num_users > self.per_user.len() {
+            self.per_user.resize(num_users, Vec::new());
+        }
+        if num_events > self.per_event_count.len() {
+            self.per_event_count.resize(num_events, 0);
+        }
+    }
+
     /// `MaxSum(M)`: the sum of similarities over matched pairs.
     #[inline]
     pub fn max_sum(&self) -> f64 {
@@ -221,6 +234,13 @@ impl Arrangement {
     /// the incremental value is kept exact by construction).
     pub fn recompute_max_sum(&self, instance: &Instance) -> f64 {
         self.pairs().map(|(v, u)| instance.similarity(v, u)).sum()
+    }
+
+    /// Recompute and store `MaxSum` from the standing pairs, clearing
+    /// floating-point residue that long add/remove sequences accumulate
+    /// in the incremental value.
+    pub fn resync_max_sum(&mut self, instance: &Instance) {
+        self.max_sum = self.recompute_max_sum(instance);
     }
 
     /// Full feasibility audit against `instance`. Returns every violation

@@ -164,6 +164,25 @@ impl ConflictGraph {
         g
     }
 
+    /// Grow the graph to cover `new_num_events` events: existing
+    /// conflicts are preserved word-for-word, new events start
+    /// conflict-free. No-op when the graph already covers that many.
+    /// This is the `AddEvent` path of the dynamic mutation layer.
+    pub fn grow_to(&mut self, new_num_events: usize) {
+        if new_num_events <= self.num_events {
+            return;
+        }
+        let words = new_num_events.div_ceil(64);
+        let mut bits = vec![0u64; words * new_num_events];
+        for row in 0..self.num_events {
+            let src = &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row];
+            bits[row * words..row * words + self.words_per_row].copy_from_slice(src);
+        }
+        self.num_events = new_num_events;
+        self.words_per_row = words;
+        self.bits = bits;
+    }
+
     /// Add one conflicting pair; no-op if `a == b` or already present.
     pub fn add_pair(&mut self, a: EventId, b: EventId) {
         assert!(a.index() < self.num_events, "event {a} out of range");
@@ -367,8 +386,7 @@ mod tests {
 
     #[test]
     fn try_from_pairs_rejects_unknown_events_with_a_typed_error() {
-        let err =
-            ConflictGraph::try_from_pairs(2, [(EventId(0), EventId(5))]).unwrap_err();
+        let err = ConflictGraph::try_from_pairs(2, [(EventId(0), EventId(5))]).unwrap_err();
         assert_eq!(err.pair, (0, 5));
         assert_eq!(err.num_events, 2);
         assert!(err.to_string().contains("unknown event"));

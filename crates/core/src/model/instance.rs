@@ -339,6 +339,155 @@ impl Instance {
         (0..self.num_users() as u32).map(UserId)
     }
 
+    // -----------------------------------------------------------------
+    // Dynamic mutation surface (used by [`crate::dynamic`]).
+    //
+    // Instances are immutable for the batch algorithms; the methods
+    // below are the controlled growth/update points the incremental
+    // arranger builds on. They keep every construction-time invariant
+    // (shape consistency, `sim ∈ [0, 1]`, attribute ranges) and return
+    // the same typed errors as the constructors.
+    // -----------------------------------------------------------------
+
+    /// Append a user and return its id.
+    ///
+    /// For attribute-based models `attrs` is the user's attribute vector
+    /// (length [`Instance::dim`]); for matrix instances it is the user's
+    /// similarity column over the existing events (length `|V|`, values
+    /// in `[0, 1]`).
+    pub fn push_user(&mut self, attrs: &[f64], capacity: u32) -> Result<UserId, InstanceError> {
+        let id = UserId(self.user_caps.len() as u32);
+        match &mut self.model {
+            SimilarityModel::Matrix(m) => {
+                if attrs.len() != self.event_caps.len() {
+                    return Err(InstanceError::DimensionMismatch {
+                        expected: self.event_caps.len(),
+                        got: attrs.len(),
+                    });
+                }
+                for (v, &s) in attrs.iter().enumerate() {
+                    if !(0.0..=1.0).contains(&s) {
+                        return Err(InstanceError::SimilarityOutOfRange {
+                            event: v as u32,
+                            user: id.0,
+                            value: s,
+                        });
+                    }
+                }
+                m.push_column(attrs);
+                self.user_attrs.push(&[0.0]);
+            }
+            model => {
+                if attrs.len() != self.user_attrs.dim() {
+                    return Err(InstanceError::DimensionMismatch {
+                        expected: self.user_attrs.dim(),
+                        got: attrs.len(),
+                    });
+                }
+                if let SimilarityModel::Euclidean { t } = model {
+                    for &x in attrs {
+                        if !(0.0..=*t).contains(&x) {
+                            return Err(InstanceError::AttributeOutOfRange { value: x, t: *t });
+                        }
+                    }
+                }
+                self.user_attrs.push(attrs);
+            }
+        }
+        self.user_caps.push(capacity);
+        Ok(id)
+    }
+
+    /// Append an event and return its id. The conflict graph grows with
+    /// it; the new event starts conflict-free (add pairs afterwards via
+    /// [`Instance::add_conflict`]).
+    ///
+    /// For attribute-based models `attrs` is the event's attribute
+    /// vector (length [`Instance::dim`]); for matrix instances it is the
+    /// event's similarity row over the existing users (length `|U|`,
+    /// values in `[0, 1]`).
+    pub fn push_event(&mut self, attrs: &[f64], capacity: u32) -> Result<EventId, InstanceError> {
+        let id = EventId(self.event_caps.len() as u32);
+        match &mut self.model {
+            SimilarityModel::Matrix(m) => {
+                if attrs.len() != self.user_caps.len() {
+                    return Err(InstanceError::DimensionMismatch {
+                        expected: self.user_caps.len(),
+                        got: attrs.len(),
+                    });
+                }
+                for (u, &s) in attrs.iter().enumerate() {
+                    if !(0.0..=1.0).contains(&s) {
+                        return Err(InstanceError::SimilarityOutOfRange {
+                            event: id.0,
+                            user: u as u32,
+                            value: s,
+                        });
+                    }
+                }
+                m.push_row(attrs);
+                self.event_attrs.push(&[0.0]);
+            }
+            model => {
+                if attrs.len() != self.event_attrs.dim() {
+                    return Err(InstanceError::DimensionMismatch {
+                        expected: self.event_attrs.dim(),
+                        got: attrs.len(),
+                    });
+                }
+                if let SimilarityModel::Euclidean { t } = model {
+                    for &x in attrs {
+                        if !(0.0..=*t).contains(&x) {
+                            return Err(InstanceError::AttributeOutOfRange { value: x, t: *t });
+                        }
+                    }
+                }
+                self.event_attrs.push(attrs);
+            }
+        }
+        self.event_caps.push(capacity);
+        self.conflicts.grow_to(self.event_caps.len());
+        Ok(id)
+    }
+
+    /// Set `c_v` of an existing event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range (like every indexed accessor here);
+    /// the dynamic layer range-checks untrusted ids first.
+    pub fn set_event_capacity(&mut self, v: EventId, capacity: u32) {
+        self.event_caps[v.index()] = capacity;
+    }
+
+    /// Set `c_u` of an existing user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn set_user_capacity(&mut self, u: UserId, capacity: u32) {
+        self.user_caps[u.index()] = capacity;
+    }
+
+    /// Add a conflicting pair to `CF`; out-of-range ids return the same
+    /// typed error as [`ConflictGraph::try_from_pairs`]. `a == b` is a
+    /// no-op, matching [`ConflictGraph::add_pair`].
+    pub fn add_conflict(
+        &mut self,
+        a: EventId,
+        b: EventId,
+    ) -> Result<(), crate::model::conflict::ConflictPairOutOfRange> {
+        let n = self.event_caps.len();
+        if a.index() >= n || b.index() >= n {
+            return Err(crate::model::conflict::ConflictPairOutOfRange {
+                pair: (a.0, b.0),
+                num_events: n,
+            });
+        }
+        self.conflicts.add_pair(a, b);
+        Ok(())
+    }
+
     /// Check the standing assumptions of Definition 4/5: every event has a
     /// positive-similarity user and vice versa, `max c_v ≤ |U|`, and
     /// `max c_u ≤ |V|`. The approximation guarantees are stated under

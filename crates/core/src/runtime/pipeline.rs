@@ -315,7 +315,12 @@ impl SolverPipeline {
 
         // Everything failed: report honestly with the empty (and
         // trivially feasible) arrangement.
-        self.outcome(Arrangement::empty_for(inst), SolveStatus::TimedOut, nodes, start)
+        self.outcome(
+            Arrangement::empty_for(inst),
+            SolveStatus::TimedOut,
+            nodes,
+            start,
+        )
     }
 
     fn outcome(

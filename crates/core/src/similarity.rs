@@ -161,6 +161,46 @@ impl SimMatrix {
     pub fn get(&self, event: usize, user: usize) -> f64 {
         self.values[event * self.num_users + user]
     }
+
+    /// Append one event row of `num_users` values in `[0, 1]` — the
+    /// dynamic layer's `AddEvent` path for matrix instances. Appending a
+    /// row is a plain extend of the row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch or out-of-range values; callers that
+    /// accept untrusted input (the mutation API) validate first.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.num_users, "row length mismatch");
+        for &v in row {
+            assert!((0.0..=1.0).contains(&v), "similarity {v} outside [0, 1]");
+        }
+        self.values.extend_from_slice(row);
+        self.num_events += 1;
+    }
+
+    /// Append one user column of `num_events` values in `[0, 1]` — the
+    /// dynamic layer's `AddUser` path for matrix instances. Costs one
+    /// `O(|V|·|U|)` rebuild of the row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch or out-of-range values; callers that
+    /// accept untrusted input (the mutation API) validate first.
+    pub fn push_column(&mut self, column: &[f64]) {
+        assert_eq!(column.len(), self.num_events, "column length mismatch");
+        for &v in column {
+            assert!((0.0..=1.0).contains(&v), "similarity {v} outside [0, 1]");
+        }
+        let old = self.num_users;
+        let mut values = Vec::with_capacity(self.num_events * (old + 1));
+        for (v, &s) in column.iter().enumerate() {
+            values.extend_from_slice(&self.values[v * old..(v + 1) * old]);
+            values.push(s);
+        }
+        self.values = values;
+        self.num_users += 1;
+    }
 }
 
 #[cfg(test)]

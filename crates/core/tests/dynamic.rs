@@ -1,0 +1,281 @@
+//! Property and differential suite for the dynamic (incremental) layer.
+//!
+//! The contracts under test, matching the module docs of
+//! `geacc_core::dynamic`:
+//!
+//! 1. **Feasibility at every epoch** — arbitrary valid mutation streams
+//!    leave the standing arrangement feasible after every single
+//!    mutation, never just at the end.
+//! 2. **Determinism-from-log** — replaying the log over the base
+//!    instance reproduces the final instance and arrangement
+//!    bit-for-bit, regardless of worker thread count.
+//! 3. **Rebuild differential** — `rebuild(pipeline)` adopts exactly the
+//!    arrangement that solving the mutated instance from scratch with
+//!    the same pipeline produces, bit-identical at 1 and 4 workers.
+
+use geacc_core::algorithms::Algorithm;
+use geacc_core::parallel::Threads;
+use geacc_core::{
+    ConflictGraph, DynamicConfig, EventId, IncrementalArranger, Instance, Mutation, SimMatrix,
+    SolveBudget, SolverPipeline, UserId,
+};
+use proptest::prelude::*;
+
+/// A random matrix-specified base instance, kept small enough that the
+/// differential's exact solves stay in milliseconds.
+#[derive(Debug, Clone)]
+struct BaseSpec {
+    rows: Vec<Vec<f64>>,
+    cap_v: Vec<u32>,
+    cap_u: Vec<u32>,
+    conflict_pairs: Vec<(usize, usize)>,
+}
+
+impl BaseSpec {
+    fn build(&self) -> Instance {
+        let nv = self.rows.len();
+        let conflicts = ConflictGraph::from_pairs(
+            nv,
+            self.conflict_pairs
+                .iter()
+                .map(|&(a, b)| (EventId((a % nv) as u32), EventId((b % nv) as u32))),
+        );
+        Instance::from_matrix(
+            SimMatrix::from_rows(&self.rows),
+            self.cap_v.clone(),
+            self.cap_u.clone(),
+            conflicts,
+        )
+        .expect("spec shapes are consistent")
+    }
+}
+
+fn base_spec(max_v: usize, max_u: usize) -> impl Strategy<Value = BaseSpec> {
+    (1..=max_v, 1..=max_u).prop_flat_map(move |(nv, nu)| {
+        // Two-decimal similarities avoid float-tie flakiness.
+        let sim = (0u32..=100).prop_map(|x| x as f64 / 100.0);
+        let rows = proptest::collection::vec(proptest::collection::vec(sim, nu), nv);
+        let cap_v = proptest::collection::vec(1u32..=3, nv);
+        let cap_u = proptest::collection::vec(1u32..=3, nu);
+        let conflicts = proptest::collection::vec((0..nv.max(1), 0..nv.max(1)), 0..=nv);
+        (rows, cap_v, cap_u, conflicts).prop_map(|(rows, cap_v, cap_u, conflict_pairs)| BaseSpec {
+            rows,
+            cap_v,
+            cap_u,
+            conflict_pairs,
+        })
+    })
+}
+
+/// A raw mutation op: indices are drawn unbounded and reduced modulo the
+/// *current* instance dimensions at apply time, so every op in a stream
+/// is valid no matter how earlier ops grew the instance.
+#[derive(Debug, Clone, Copy)]
+struct OpSpec {
+    kind: u8,
+    x: usize,
+    y: usize,
+    cap: u32,
+    seed: u64,
+}
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    (0u8..6, 0usize..1024, 0usize..1024, 0u32..4, 0u64..u64::MAX).prop_map(
+        |(kind, x, y, cap, seed)| OpSpec {
+            kind,
+            x,
+            y,
+            cap,
+            seed,
+        },
+    )
+}
+
+/// Deterministic pseudo-similarities in `[0, 1]` for added rows/columns.
+fn sims(seed: u64, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((seed.wrapping_add(i as u64 * 7919)) % 101) as f64 / 100.0)
+        .collect()
+}
+
+/// Resolve a raw op against the arranger's current dimensions.
+fn materialize(op: OpSpec, inst: &Instance) -> Mutation {
+    let nv = inst.num_events();
+    let nu = inst.num_users();
+    match op.kind {
+        0 => Mutation::AddUser {
+            attrs: sims(op.seed, nv),
+            capacity: op.cap,
+        },
+        1 => Mutation::RemoveUser {
+            user: UserId((op.x % nu) as u32),
+        },
+        2 => Mutation::AddEvent {
+            attrs: sims(op.seed, nu),
+            capacity: op.cap,
+            conflicts: (0..nv.min(16))
+                .filter(|i| (op.seed >> i) & 1 == 1)
+                .map(|i| EventId(i as u32))
+                .collect(),
+        },
+        3 => Mutation::CloseEvent {
+            event: EventId((op.x % nv) as u32),
+        },
+        4 => Mutation::AddConflict {
+            a: EventId((op.x % nv) as u32),
+            b: EventId((op.y % nv) as u32),
+        },
+        _ => Mutation::SetCapacity {
+            side: if op.y % 2 == 0 {
+                geacc_core::Side::Event
+            } else {
+                geacc_core::Side::User
+            },
+            id: (op.x % if op.y % 2 == 0 { nv } else { nu }) as u32,
+            capacity: op.cap,
+        },
+    }
+}
+
+fn apply_stream(arranger: &mut IncrementalArranger, ops: &[OpSpec]) {
+    for (i, &op) in ops.iter().enumerate() {
+        let mutation = materialize(op, arranger.instance());
+        arranger
+            .apply(mutation.clone())
+            .unwrap_or_else(|e| panic!("op {i} ({mutation:?}) must be valid: {e}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Contract 1: every intermediate state is feasible, epochs count
+    /// mutations, and the log records exactly what was applied.
+    #[test]
+    fn every_epoch_is_feasible(
+        spec in base_spec(4, 8),
+        ops in proptest::collection::vec(op_spec(), 0..16),
+    ) {
+        let mut arranger = IncrementalArranger::new(spec.build(), DynamicConfig::default());
+        prop_assert!(arranger.arrangement().validate(arranger.instance()).is_empty());
+        for (i, &op) in ops.iter().enumerate() {
+            let mutation = materialize(op, arranger.instance());
+            let report = arranger.apply(mutation).expect("materialized ops are valid");
+            prop_assert_eq!(report.epoch, (i + 1) as u64);
+            let violations = arranger.arrangement().validate(arranger.instance());
+            prop_assert!(
+                violations.is_empty(),
+                "epoch {}: {:?}",
+                report.epoch,
+                violations
+            );
+            // Repair is add-only on top of eviction: it can only help.
+            prop_assert!(report.max_sum_after >= 0.0);
+        }
+        prop_assert_eq!(arranger.epoch(), ops.len() as u64);
+        prop_assert_eq!(arranger.log().len(), ops.len());
+    }
+
+    /// Contract 2: replaying the log over the base instance is
+    /// bit-identical — same instance, same arrangement, same MaxSum bits.
+    /// The worker count (which only parallel solves consult) is forced to
+    /// differ between original and replay to pin thread-independence.
+    #[test]
+    fn replay_from_log_is_bit_identical(
+        spec in base_spec(4, 8),
+        ops in proptest::collection::vec(op_spec(), 0..12),
+    ) {
+        let base = spec.build();
+        let mut original = IncrementalArranger::new(base.clone(), DynamicConfig::default());
+        apply_stream(&mut original, &ops);
+
+        let replayed =
+            IncrementalArranger::replay(base, original.log(), DynamicConfig::default())
+                .expect("logged mutations replay cleanly");
+
+        prop_assert_eq!(replayed.instance(), original.instance());
+        prop_assert_eq!(replayed.arrangement(), original.arrangement());
+        prop_assert_eq!(
+            replayed.max_sum().to_bits(),
+            original.max_sum().to_bits(),
+            "MaxSum must replay bit-for-bit"
+        );
+        prop_assert_eq!(replayed.epoch(), original.epoch());
+    }
+
+    /// Contract 3: `rebuild` equals solving the mutated instance from
+    /// scratch with the same pipeline, and the exact pipeline is
+    /// bit-identical at 1 and 4 workers (the PR1 parallel contract,
+    /// extended through the dynamic layer).
+    #[test]
+    fn rebuild_matches_from_scratch_solve_at_any_worker_count(
+        spec in base_spec(3, 6),
+        ops in proptest::collection::vec(op_spec(), 0..8),
+    ) {
+        let mut arranger = IncrementalArranger::new(spec.build(), DynamicConfig::default());
+        apply_stream(&mut arranger, &ops);
+        let mutated = arranger.instance().clone();
+
+        let single = SolverPipeline::new(Algorithm::Prune, SolveBudget::UNLIMITED)
+            .with_threads(Threads::new(1));
+        let quad = SolverPipeline::new(Algorithm::Prune, SolveBudget::UNLIMITED)
+            .with_threads(Threads::new(4));
+
+        let scratch_single = single.run(&mutated);
+        let scratch_quad = quad.run(&mutated);
+        prop_assert_eq!(
+            &scratch_single.arrangement,
+            &scratch_quad.arrangement,
+            "exact solve must not depend on worker count"
+        );
+
+        let outcome = arranger.rebuild(&quad);
+        prop_assert_eq!(&outcome.arrangement, &scratch_single.arrangement);
+        prop_assert_eq!(arranger.arrangement(), &scratch_single.arrangement);
+        prop_assert_eq!(
+            arranger.max_sum().to_bits(),
+            scratch_single.arrangement.max_sum().to_bits()
+        );
+        // After a rebuild the drift baseline resets.
+        prop_assert_eq!(arranger.drift(), 0.0);
+    }
+}
+
+/// The snapshot persistence contract the server relies on: base + log +
+/// (arrangement, baseline) fully reconstructs a session even when a
+/// rebuild made the standing arrangement diverge from pure replay.
+#[test]
+fn snapshot_fields_reconstruct_a_rebuilt_session() {
+    let base = geacc_core::toy::table1_instance();
+    let mut arranger = IncrementalArranger::new(base.clone(), DynamicConfig::default());
+    arranger
+        .apply(Mutation::AddConflict {
+            a: EventId(0),
+            b: EventId(1),
+        })
+        .unwrap();
+    // A rebuild with the exact solver: the standing arrangement now
+    // differs from what replay alone would produce.
+    let pipeline = SolverPipeline::new(Algorithm::Prune, SolveBudget::UNLIMITED);
+    arranger.rebuild(&pipeline);
+    arranger
+        .apply(Mutation::SetCapacity {
+            side: geacc_core::Side::User,
+            id: 3,
+            capacity: 0,
+        })
+        .unwrap();
+
+    // "Persist" (base, log, arrangement, baseline) and restore.
+    let log = arranger.log().to_vec();
+    let arrangement = arranger.arrangement().clone();
+    let baseline = arranger.baseline_max_sum();
+
+    let mut restored = IncrementalArranger::replay(base, &log, DynamicConfig::default()).unwrap();
+    restored.install(arrangement, baseline).unwrap();
+
+    assert_eq!(restored.arrangement(), arranger.arrangement());
+    assert_eq!(restored.instance(), arranger.instance());
+    assert_eq!(restored.max_sum().to_bits(), arranger.max_sum().to_bits());
+    assert_eq!(restored.drift().to_bits(), arranger.drift().to_bits());
+}

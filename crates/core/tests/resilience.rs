@@ -21,8 +21,8 @@ use geacc_core::algorithms::{
 };
 use geacc_core::parallel::Threads;
 use geacc_core::runtime::{
-    set_memory_probe, BudgetMeter, CancelToken, FallbackAlgo, FaultPlan, SolveBudget, SolveStatus,
-    SolverPipeline, StopReason,
+    set_memory_probe, BudgetMeter, CancelToken, FallbackAlgo, FaultPlan, Provenance, SolveBudget,
+    SolveStatus, SolverPipeline, StopReason,
 };
 use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
 use proptest::prelude::*;
@@ -76,7 +76,10 @@ fn unlimited_meter_is_bit_identical_to_unbudgeted_prune() {
         let meter = BudgetMeter::unlimited();
         let budgeted = prune_budgeted(&inst, config, &meter);
         assert_eq!(budgeted.stopped, None, "threads = {t}");
-        assert_eq!(plain.arrangement, budgeted.result.arrangement, "threads = {t}");
+        assert_eq!(
+            plain.arrangement, budgeted.result.arrangement,
+            "threads = {t}"
+        );
         assert_eq!(
             plain.arrangement.max_sum().to_bits(),
             budgeted.result.arrangement.max_sum().to_bits(),
@@ -125,7 +128,11 @@ fn deadline_stops_the_pathological_exact_search_within_a_second() {
         );
         let wall = started.elapsed();
         assert!(wall < Duration::from_secs(1), "threads = {t}: {wall:?}");
-        assert_eq!(budgeted.stopped, Some(StopReason::Deadline), "threads = {t}");
+        assert_eq!(
+            budgeted.stopped,
+            Some(StopReason::Deadline),
+            "threads = {t}"
+        );
         assert!(
             budgeted.result.arrangement.validate(&inst).is_empty(),
             "threads = {t}"
@@ -147,7 +154,11 @@ fn tiny_node_budgets_leave_greedy_and_mcf_feasible() {
         let (arr, stopped) = greedy_budgeted(&inst, GreedyConfig::default(), &meter);
         assert!(arr.validate(&inst).is_empty(), "greedy, {nodes} nodes");
         if nodes <= 1 {
-            assert_eq!(stopped, Some(StopReason::NodeBudget), "greedy, {nodes} nodes");
+            assert_eq!(
+                stopped,
+                Some(StopReason::NodeBudget),
+                "greedy, {nodes} nodes"
+            );
         }
 
         let meter = BudgetMeter::new(&SolveBudget::from_max_nodes(nodes));
@@ -211,7 +222,10 @@ fn zero_node_budget_returns_the_greedy_seed_incumbent() {
     let outcome = SolverPipeline::new(Algorithm::Prune, SolveBudget::from_max_nodes(0))
         .degrade_on_stop(true)
         .run(&inst);
-    assert_eq!(outcome.status, SolveStatus::DegradedTo(FallbackAlgo::Greedy));
+    assert_eq!(
+        outcome.status,
+        SolveStatus::DegradedTo(FallbackAlgo::Greedy)
+    );
     assert_eq!(outcome.arrangement, geacc_core::algorithms::greedy(&inst));
 }
 
@@ -264,6 +278,47 @@ fn mid_flight_cancellation_stops_a_parallel_exact_search() {
     assert!(budgeted.result.arrangement.validate(&inst).is_empty());
 }
 
+#[test]
+fn cross_thread_cancellation_stops_a_full_pipeline_promptly() {
+    // The serving path: a controller thread fires the token while the
+    // pipeline is deep in an otherwise-unbounded exact search on another
+    // thread. The pipeline must return promptly with a feasible
+    // incumbent whose status says *cancelled* — not optimal, not a
+    // silent success.
+    let inst = pathological_instance();
+    let cancel = Arc::new(CancelToken::new());
+    let pipeline = SolverPipeline::new(Algorithm::Prune, SolveBudget::UNLIMITED)
+        .with_threads(Threads::new(4))
+        .with_cancel(Arc::clone(&cancel));
+
+    let canceller = {
+        let cancel = Arc::clone(&cancel);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            cancel.cancel();
+        })
+    };
+    let start = Instant::now();
+    let outcome = pipeline.run(&inst);
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+
+    // Unbudgeted, this search never finishes; cancellation must bring it
+    // back within check-interval latency, far under this generous bound.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancellation took {elapsed:?}"
+    );
+    assert_eq!(
+        outcome.status,
+        SolveStatus::Feasible(Provenance::Incumbent(StopReason::Cancelled))
+    );
+    assert!(outcome.arrangement.validate(&inst).is_empty());
+    // The incumbent is never worse than the greedy seed the search
+    // started from.
+    assert!(outcome.arrangement.max_sum() >= geacc_core::algorithms::greedy(&inst).max_sum());
+}
+
 // ---------------------------------------------------------------------
 // 5. Fault injection: panics, delays, memory spikes.
 // ---------------------------------------------------------------------
@@ -304,14 +359,19 @@ fn stage_panics_degrade_the_pipeline_in_order() {
     let outcome = SolverPipeline::new(Algorithm::Prune, SolveBudget::UNLIMITED)
         .with_fault(Arc::new(FaultPlan::new().panic_at_stage("prune")))
         .run(&inst);
-    assert_eq!(outcome.status, SolveStatus::DegradedTo(FallbackAlgo::Greedy));
+    assert_eq!(
+        outcome.status,
+        SolveStatus::DegradedTo(FallbackAlgo::Greedy)
+    );
     assert!(outcome.arrangement.validate(&inst).is_empty());
     assert_eq!(outcome.status.exit_code(), 4);
 
     // Prune and Greedy die → Random-V last resort.
     let outcome = SolverPipeline::new(Algorithm::Prune, SolveBudget::UNLIMITED)
         .with_fault(Arc::new(
-            FaultPlan::new().panic_at_stage("prune").panic_at_stage("greedy"),
+            FaultPlan::new()
+                .panic_at_stage("prune")
+                .panic_at_stage("greedy"),
         ))
         .run(&inst);
     assert_eq!(

@@ -1,0 +1,31 @@
+//! geacc-server: a long-running arrangement service.
+//!
+//! The batch tools answer "solve this file"; this crate keeps a live
+//! [`geacc_core::IncrementalArranger`] resident behind a TCP socket and
+//! applies registrations, cancellations, and newly discovered conflicts
+//! as localized repairs — the serving half of the conflict-aware
+//! event-participant arrangement problem. Std-only by design: the
+//! listener is `std::net`, the protocol is newline-delimited JSON via
+//! the workspace's vendored serde, and the worker pool is plain scoped
+//! ownership over `std::sync::mpsc`.
+//!
+//! - [`server`] — accept loop, bounded queue, worker pool, shutdown
+//!   drain (see its docs for the threading and backpressure model).
+//! - [`service`] — op handlers over the arranger (`load`, `mutate`,
+//!   `query_*`, `solve`, `snapshot`/`restore`, `stats`, `shutdown`).
+//! - [`protocol`] — request/response envelopes.
+//! - [`metrics`] — atomic counters and the log₂ latency histogram.
+//!
+//! Start one from the CLI (`geacc serve --addr 127.0.0.1:7411`) and
+//! drive it with `nc`; DESIGN.md §10 documents the wire protocol and
+//! the mutation/repair semantics.
+
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use metrics::{LatencyHistogram, MetricsSnapshot, Op, ServerMetrics};
+pub use protocol::{Request, ServiceError};
+pub use server::{Server, ServerConfig};
+pub use service::Service;

@@ -1,0 +1,295 @@
+//! Live service metrics: lock-free counters and a log₂ latency
+//! histogram, updated by worker threads on every request and read out as
+//! a [`MetricsSnapshot`] by the `stats` op and the shutdown dump.
+//!
+//! Everything is `AtomicU64` with relaxed ordering: metrics are
+//! monotone tallies, never used for synchronization, so torn cross-
+//! counter reads (a snapshot taken mid-request) are acceptable and the
+//! hot path costs one uncontended atomic add per counter.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// The wire operations the service understands, plus a bucket for
+/// everything else (counted, then rejected with `unknown_op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Load,
+    Mutate,
+    QueryUser,
+    QueryEvent,
+    Stats,
+    Solve,
+    Snapshot,
+    Restore,
+    Shutdown,
+    Unknown,
+}
+
+/// All ops, in wire-name order; `Op as usize` indexes per-op counters.
+pub const OPS: [Op; 10] = [
+    Op::Load,
+    Op::Mutate,
+    Op::QueryUser,
+    Op::QueryEvent,
+    Op::Stats,
+    Op::Solve,
+    Op::Snapshot,
+    Op::Restore,
+    Op::Shutdown,
+    Op::Unknown,
+];
+
+impl Op {
+    /// Parse a wire op name; anything unrecognized is [`Op::Unknown`].
+    pub fn from_name(name: &str) -> Op {
+        match name {
+            "load" => Op::Load,
+            "mutate" => Op::Mutate,
+            "query_user" => Op::QueryUser,
+            "query_event" => Op::QueryEvent,
+            "stats" => Op::Stats,
+            "solve" => Op::Solve,
+            "snapshot" => Op::Snapshot,
+            "restore" => Op::Restore,
+            "shutdown" => Op::Shutdown,
+            _ => Op::Unknown,
+        }
+    }
+
+    /// The wire name (snapshot map key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Load => "load",
+            Op::Mutate => "mutate",
+            Op::QueryUser => "query_user",
+            Op::QueryEvent => "query_event",
+            Op::Stats => "stats",
+            Op::Solve => "solve",
+            Op::Snapshot => "snapshot",
+            Op::Restore => "restore",
+            Op::Shutdown => "shutdown",
+            Op::Unknown => "unknown",
+        }
+    }
+}
+
+/// Number of log₂ latency buckets: bucket 0 is sub-microsecond, bucket
+/// `i ≥ 1` holds `[2^(i-1), 2^i)` µs, and the last bucket absorbs
+/// everything from ~9 minutes up.
+const BUCKETS: usize = 30;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Quantiles come back as the upper bound of the bucket holding the
+/// target rank — at most 2× the true value, which is plenty for "is p99
+/// milliseconds or seconds" service questions and keeps recording to
+/// one atomic increment.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn bucket(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Upper bound (µs) of `bucket`, the value quantiles report.
+    fn upper_bound_us(bucket: usize) -> u64 {
+        1u64 << bucket
+    }
+
+    /// Record one request's latency.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket(us)].fetch_add(1, Relaxed);
+    }
+
+    /// Total recorded requests.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as a bucket upper bound in µs;
+    /// 0 when nothing has been recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::upper_bound_us(i);
+            }
+        }
+        Self::upper_bound_us(BUCKETS - 1)
+    }
+}
+
+/// The service's live counters. One instance per server, shared by every
+/// reader and worker thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    requests: [AtomicU64; OPS.len()],
+    /// Requests answered with a structured error (any code).
+    errors: AtomicU64,
+    /// Requests refused at admission because the queue was full.
+    rejected: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    connections: AtomicU64,
+    /// Mutations applied successfully.
+    mutations_applied: AtomicU64,
+    /// Total pairs evicted across all repairs.
+    repair_evicted: AtomicU64,
+    /// Total pairs reassigned across all repairs.
+    repair_reassigned: AtomicU64,
+    /// Largest single repair (evicted + reassigned).
+    repair_max: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    pub fn record_request(&self, op: Op, latency: Duration) {
+        self.requests[op as usize].fetch_add(1, Relaxed);
+        self.latency.record(latency);
+    }
+
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_repair(&self, evicted: usize, reassigned: usize) {
+        self.mutations_applied.fetch_add(1, Relaxed);
+        self.repair_evicted.fetch_add(evicted as u64, Relaxed);
+        self.repair_reassigned.fetch_add(reassigned as u64, Relaxed);
+        self.repair_max
+            .fetch_max((evicted + reassigned) as u64, Relaxed);
+    }
+
+    /// A coherent-enough point-in-time copy (see the module docs for the
+    /// consistency caveat).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut requests = BTreeMap::new();
+        for op in OPS {
+            let n = self.requests[op as usize].load(Relaxed);
+            if n > 0 {
+                requests.insert(op.name().to_string(), n);
+            }
+        }
+        MetricsSnapshot {
+            requests,
+            errors: self.errors.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            connections: self.connections.load(Relaxed),
+            mutations_applied: self.mutations_applied.load(Relaxed),
+            repair_evicted: self.repair_evicted.load(Relaxed),
+            repair_reassigned: self.repair_reassigned.load(Relaxed),
+            repair_max: self.repair_max.load(Relaxed),
+            latency_count: self.latency.count(),
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p95_us: self.latency.quantile_us(0.95),
+            latency_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// Serializable point-in-time metrics, returned by the `stats` op and
+/// dumped when the server drains. Latency quantiles are log₂-bucket
+/// upper bounds in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests handled, by op (ops never seen are omitted).
+    pub requests: BTreeMap<String, u64>,
+    pub errors: u64,
+    pub rejected: u64,
+    pub connections: u64,
+    pub mutations_applied: u64,
+    pub repair_evicted: u64,
+    pub repair_reassigned: u64,
+    pub repair_max: u64,
+    pub latency_count: u64,
+    pub latency_p50_us: u64,
+    pub latency_p95_us: u64,
+    pub latency_p99_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_microseconds() {
+        let h = LatencyHistogram::default();
+        for us in [0u64, 1, 3, 1000, 1_000_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        // Median of {0, 1, 3, 1000, 1e6} lands in the bucket of 3 µs
+        // → upper bound 4 µs.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // The max lands in the bucket of 1e6 µs: [2^19, 2^20) µs.
+        assert_eq!(h.quantile_us(1.0), 1 << 20);
+        assert_eq!(LatencyHistogram::default().quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn quantiles_are_within_2x_of_exact() {
+        let h = LatencyHistogram::default();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile_us(0.50);
+        assert!((500..=1024).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((990..=2048).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_omits_unused_ops() {
+        let m = ServerMetrics::default();
+        m.record_request(Op::Mutate, Duration::from_micros(300));
+        m.record_request(Op::Stats, Duration::from_micros(20));
+        m.record_repair(3, 2);
+        m.record_repair(1, 0);
+        m.record_error();
+        m.record_connection();
+        let snap = m.snapshot();
+        assert_eq!(snap.requests.get("mutate"), Some(&1));
+        assert_eq!(snap.requests.get("load"), None);
+        assert_eq!(snap.mutations_applied, 2);
+        assert_eq!(snap.repair_max, 5);
+        assert_eq!(snap.latency_count, 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in OPS {
+            if op != Op::Unknown {
+                assert_eq!(Op::from_name(op.name()), op);
+            }
+        }
+        assert_eq!(Op::from_name("frobnicate"), Op::Unknown);
+    }
+}

@@ -1,0 +1,187 @@
+//! The wire protocol: newline-delimited JSON request/response envelopes.
+//!
+//! One request per line, one response per line, over a plain TCP stream —
+//! debuggable with `nc`. Requests are objects with an `op` string, an
+//! optional numeric `id` (echoed back for pipelining clients), and
+//! op-specific fields alongside:
+//!
+//! ```json
+//! {"op": "mutate", "id": 7, "mutation": {"AddConflict": {"a": 0, "b": 2}}}
+//! ```
+//!
+//! Responses are `{"ok": true, "id": …, "data": …}` or
+//! `{"ok": false, "id": …, "error": {"code": …, "message": …}}`.
+//!
+//! Envelopes are built and picked apart as [`Value`] trees by hand
+//! rather than derived structs: the vendored serde derive treats missing
+//! fields as hard errors, and the envelope is exactly where optional
+//! fields (`id`, per-op parameters) live. Closed payload types
+//! ([`geacc_core::Mutation`], instances, arrangements) still go through
+//! derived serde via `from_value`.
+
+use serde_json::{json, Value};
+use std::io::Write;
+
+/// A parsed request line: the op name, the client's echo id, and the
+/// whole object (ops fish their parameters out of it).
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub op: String,
+    pub id: Option<u64>,
+    pub body: Value,
+}
+
+/// A structured service error: a stable machine code plus a human
+/// message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceError {
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl ServiceError {
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ServiceError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Look up `key` in an object `Value`.
+pub fn get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// `key` as a string, if present and a string.
+pub fn get_str<'a>(value: &'a Value, key: &str) -> Option<&'a str> {
+    match get(value, key) {
+        Some(Value::String(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// `key` as a u64, if present and a non-negative integer.
+pub fn get_u64(value: &Value, key: &str) -> Option<u64> {
+    match get(value, key) {
+        Some(v) => as_u64(v),
+        None => None,
+    }
+}
+
+/// A `Value` as a u64, if it is a non-negative integer.
+pub fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::Number(n) => serde_json::from_value(Value::Number(*n)).ok(),
+        _ => None,
+    }
+}
+
+/// Parse one request line. Errors carry the code the response should
+/// use (`bad_json` for malformed lines, `bad_request` for well-formed
+/// JSON that is not a request envelope).
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let body: Value = serde_json::from_str(line)
+        .map_err(|e| ServiceError::new("bad_json", format!("malformed request: {e}")))?;
+    let op = get_str(&body, "op")
+        .ok_or_else(|| ServiceError::new("bad_request", "request must have a string \"op\""))?
+        .to_string();
+    let id = get_u64(&body, "id");
+    Ok(Request { op, id, body })
+}
+
+fn id_value(id: Option<u64>) -> Value {
+    match id {
+        Some(id) => serde_json::to_value(&id).expect("u64 is serializable"),
+        None => Value::Null,
+    }
+}
+
+/// A success envelope.
+pub fn ok_envelope(id: Option<u64>, data: Value) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), json!(true)),
+        ("id".to_string(), id_value(id)),
+        ("data".to_string(), data),
+    ])
+}
+
+/// An error envelope.
+pub fn err_envelope(id: Option<u64>, error: &ServiceError) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), json!(false)),
+        ("id".to_string(), id_value(id)),
+        (
+            "error".to_string(),
+            Value::Object(vec![
+                ("code".to_string(), Value::String(error.code.to_string())),
+                ("message".to_string(), Value::String(error.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+/// Stream one response line: the envelope, a newline, a flush (the
+/// protocol is line-oriented, so the peer must see the line now, not at
+/// buffer pressure). The line is staged in one buffer and written with a
+/// single call — trickling an envelope through many small writes on an
+/// unbuffered socket invites Nagle/delayed-ACK stalls of ~40 ms per
+/// response.
+pub fn write_response<W: Write>(mut writer: W, envelope: &Value) -> std::io::Result<()> {
+    let mut line = Vec::with_capacity(256);
+    serde_json::to_writer(&mut line, envelope).map_err(|e| std::io::Error::other(e.to_string()))?;
+    line.push(b'\n');
+    writer.write_all(&line)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_op_id_and_body() {
+        let r = parse_request(r#"{"op": "mutate", "id": 7, "mutation": {"x": 1}}"#).unwrap();
+        assert_eq!(r.op, "mutate");
+        assert_eq!(r.id, Some(7));
+        assert!(get(&r.body, "mutation").is_some());
+
+        let r = parse_request(r#"{"op": "stats"}"#).unwrap();
+        assert_eq!(r.id, None);
+    }
+
+    #[test]
+    fn rejects_malformed_and_envelope_less_lines() {
+        assert_eq!(parse_request("{oops").unwrap_err().code, "bad_json");
+        assert_eq!(
+            parse_request(r#"{"id": 3}"#).unwrap_err().code,
+            "bad_request"
+        );
+        assert_eq!(parse_request(r#"[1, 2]"#).unwrap_err().code, "bad_request");
+    }
+
+    #[test]
+    fn envelopes_serialize_as_expected() {
+        let ok = ok_envelope(Some(3), json!({"epoch": 1}));
+        assert_eq!(
+            serde_json::to_string(&ok).unwrap(),
+            r#"{"ok":true,"id":3,"data":{"epoch":1}}"#
+        );
+        let err = err_envelope(None, &ServiceError::new("overloaded", "queue full"));
+        let text = serde_json::to_string(&err).unwrap();
+        assert!(text.contains(r#""ok":false"#));
+        assert!(text.contains(r#""code":"overloaded""#));
+    }
+
+    #[test]
+    fn write_response_emits_one_line_and_flushes() {
+        let mut sink = Vec::new();
+        write_response(&mut sink, &ok_envelope(None, json!(null))).unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.ends_with('\n'));
+        assert_eq!(text.matches('\n').count(), 1);
+    }
+}

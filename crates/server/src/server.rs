@@ -1,0 +1,303 @@
+//! The TCP daemon: accept loop, per-connection readers, a bounded job
+//! queue, and a fixed worker pool.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! accept loop ──spawns──▶ reader (1 per connection)
+//!                           │  parse line → Job
+//!                           ▼  try_send
+//!                    bounded sync_channel(queue_depth)
+//!                           │  recv
+//!                           ▼
+//!                    worker pool (N threads) ──▶ Service::handle
+//!                           │
+//!                           ▼  response line → the connection's writer
+//! ```
+//!
+//! ## Backpressure and admission control
+//!
+//! The queue is a `sync_channel` of fixed depth. Readers **never block**
+//! on it: a full queue fails `try_send` immediately and the reader
+//! answers `{"error": {"code": "overloaded"}}` itself, so an overloaded
+//! server keeps its memory bounded and its rejections structured instead
+//! of stalling accepts or buffering without limit. Each admitted request
+//! carries a deadline (`default_timeout_ms`, or the request's own
+//! `timeout_ms`); a worker that dequeues an already-expired job answers
+//! `deadline_exceeded` without doing the work.
+//!
+//! ## Shutdown
+//!
+//! The `shutdown` op raises a shared stop flag. The accept loop polls it
+//! between non-blocking accepts; readers poll it on their socket read
+//! timeout; workers drain the queue until every reader (and the accept
+//! loop's own sender) has hung up. `run` then joins everything and
+//! returns the final [`MetricsSnapshot`], which the CLI prints — no
+//! request is abandoned mid-flight.
+
+use crate::metrics::{MetricsSnapshot, Op, ServerMetrics};
+use crate::protocol::{self, ServiceError};
+use crate::service::Service;
+use geacc_core::parallel::Threads;
+use std::io::{BufRead, BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration (the CLI's `serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests, CI smoke).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded queue depth between readers and workers; the admission
+    /// limit.
+    pub queue_depth: usize,
+    /// Deadline for requests that do not set their own `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Thread budget for budgeted `solve` pipelines.
+    pub solve_threads: Threads,
+    /// `rebuild_drift_ratio` for the managed arranger.
+    pub drift_ratio: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            default_timeout_ms: 5000,
+            solve_threads: Threads::from_env(),
+            drift_ratio: 0.2,
+        }
+    }
+}
+
+/// One admitted request travelling from a reader to a worker.
+struct Job {
+    request: protocol::Request,
+    /// Admission time; latency is measured from here, and the deadline
+    /// is anchored to it so queue time counts against the budget.
+    received: Instant,
+    deadline: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// A bound listener ready to serve. Created with [`Server::bind`], run
+/// to completion with [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+}
+
+/// How often blocked loops (accept, reader) wake to poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+/// Socket read timeout for readers; bounds how long shutdown waits on an
+/// idle connection.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+impl Server {
+    /// Bind the listener and assemble the service. No thread starts
+    /// until [`Server::run`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::default());
+        let service = Arc::new(Service::new(
+            Arc::clone(&metrics),
+            Arc::clone(&stop),
+            config.solve_threads,
+            config.drift_ratio,
+        ));
+        Ok(Server {
+            listener,
+            config,
+            service,
+            stop,
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle to the stop flag, for embedding callers (tests, the
+    /// load generator) that stop the server without a `shutdown` op.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serve until the stop flag rises, drain every in-flight request,
+    /// join all threads, and return the final metrics.
+    pub fn run(self) -> std::io::Result<MetricsSnapshot> {
+        let workers = self.config.workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&self.service);
+            worker_handles.push(std::thread::spawn(move || worker_loop(&rx, &service)));
+        }
+
+        self.listener.set_nonblocking(true)?;
+        let mut reader_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Responses are single short writes; leaving Nagle on
+                    // costs a delayed-ACK round trip (~40 ms) per line.
+                    let _ = stream.set_nodelay(true);
+                    self.service.metrics.record_connection();
+                    let tx = tx.clone();
+                    let service = Arc::clone(&self.service);
+                    let stop = Arc::clone(&self.stop);
+                    let default_timeout = Duration::from_millis(self.config.default_timeout_ms);
+                    reader_handles.push(std::thread::spawn(move || {
+                        reader_loop(stream, &tx, &service, &stop, default_timeout);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            reader_handles.retain(|h| !h.is_finished());
+        }
+
+        // Readers notice the stop flag within READ_TIMEOUT and hang up
+        // their queue senders; once the last sender (ours included) is
+        // gone, workers see the channel close and drain out.
+        for handle in reader_handles {
+            let _ = handle.join();
+        }
+        drop(tx);
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+        Ok(self.service.metrics.snapshot())
+    }
+}
+
+/// Read newline-delimited requests off one connection until EOF or
+/// server stop, admitting each to the queue (or rejecting it inline).
+fn reader_loop(
+    stream: TcpStream,
+    tx: &SyncSender<Job>,
+    service: &Service,
+    stop: &AtomicBool,
+    default_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A timeout can fire mid-line; `read_line` keeps what it read in
+        // `line`, so looping just resumes the same line.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF: client hung up.
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            line.clear();
+            continue;
+        }
+        let received = Instant::now();
+        match protocol::parse_request(text) {
+            Ok(request) => {
+                let timeout = protocol::get_u64(&request.body, "timeout_ms")
+                    .map_or(default_timeout, Duration::from_millis);
+                let job = Job {
+                    received,
+                    deadline: received + timeout,
+                    request,
+                    writer: Arc::clone(&writer),
+                };
+                match tx.try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(job)) => {
+                        service.metrics.record_rejected();
+                        service.metrics.record_error();
+                        let err = ServiceError::new(
+                            "overloaded",
+                            "request queue is full; retry with backoff",
+                        );
+                        respond(&job.writer, &protocol::err_envelope(job.request.id, &err));
+                    }
+                    Err(TrySendError::Disconnected(job)) => {
+                        let err = ServiceError::new(
+                            "shutting_down",
+                            "server is draining; reconnect later",
+                        );
+                        respond(&job.writer, &protocol::err_envelope(job.request.id, &err));
+                        return;
+                    }
+                }
+            }
+            Err(err) => {
+                service.metrics.record_error();
+                respond(&writer, &protocol::err_envelope(None, &err));
+            }
+        }
+        line.clear();
+    }
+}
+
+/// Execute admitted jobs until every sender hangs up.
+fn worker_loop(rx: &Mutex<Receiver<Job>>, service: &Service) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the work.
+        let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: server draining.
+        };
+        let op = Op::from_name(&job.request.op);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            service.handle(&job.request, job.deadline)
+        }))
+        .unwrap_or_else(|_| {
+            Err(ServiceError::new(
+                "internal",
+                "request handler panicked; see server log",
+            ))
+        });
+        let envelope = match result {
+            Ok(data) => protocol::ok_envelope(job.request.id, data),
+            Err(err) => {
+                service.metrics.record_error();
+                protocol::err_envelope(job.request.id, &err)
+            }
+        };
+        respond(&job.writer, &envelope);
+        service.metrics.record_request(op, job.received.elapsed());
+    }
+}
+
+/// Write one response line, ignoring a dead peer (their loss).
+fn respond(writer: &Mutex<TcpStream>, envelope: &serde_json::Value) {
+    let mut guard = writer.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = protocol::write_response(&mut *guard, envelope);
+}

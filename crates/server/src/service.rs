@@ -1,0 +1,526 @@
+//! Op handlers: the bridge from wire requests to the
+//! [`IncrementalArranger`].
+//!
+//! One [`Service`] is shared by every worker. All arranger state sits
+//! behind a single mutex — mutations are localized repairs (microseconds
+//! on serving-size instances), so the lock is held briefly and the
+//! worker pool's parallelism goes to the serialization, socket, and
+//! (budgeted) solve work around it. `solve` is the exception: it holds
+//! the lock for the whole budgeted pipeline run, which is why its budget
+//! is clamped to the request deadline.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, Request, ServiceError};
+use geacc_core::algorithms::Algorithm;
+use geacc_core::parallel::Threads;
+use geacc_core::{
+    Arrangement, DynamicConfig, EventId, IncrementalArranger, Instance, Mutation, SolveBudget,
+    SolverPipeline, UserId,
+};
+use serde::Serialize;
+use serde_json::{json, Value};
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+fn field<T: Serialize>(key: &str, value: &T) -> (String, Value) {
+    (
+        key.to_string(),
+        serde_json::to_value(value).expect("response fields are serializable"),
+    )
+}
+
+fn bad_request(message: impl Into<String>) -> ServiceError {
+    ServiceError::new("bad_request", message)
+}
+
+/// The shared request handler: arranger state, metrics, and the stop
+/// flag the `shutdown` op raises.
+pub struct Service {
+    state: Mutex<Option<Session>>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) stop: Arc<AtomicBool>,
+    threads: Threads,
+    drift_ratio: f64,
+}
+
+/// A loaded instance under management: the arranger plus the pristine
+/// base instance that snapshots embed.
+struct Session {
+    arranger: IncrementalArranger,
+    base: Instance,
+}
+
+impl Service {
+    pub fn new(
+        metrics: Arc<ServerMetrics>,
+        stop: Arc<AtomicBool>,
+        threads: Threads,
+        drift_ratio: f64,
+    ) -> Self {
+        Service {
+            state: Mutex::new(None),
+            metrics,
+            stop,
+            threads,
+            drift_ratio,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Option<Session>> {
+        // A worker that panicked inside a handler poisons the lock; the
+        // panic was already caught and reported as an `internal` error,
+        // so keep serving rather than wedging every later request.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Dispatch one request. `deadline` is the request's admission time
+    /// plus its timeout; ops check it on entry and `solve` additionally
+    /// clamps its budget to the time left.
+    pub fn handle(&self, request: &Request, deadline: Instant) -> Result<Value, ServiceError> {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(ServiceError::new(
+                "deadline_exceeded",
+                "request timed out in queue before a worker picked it up",
+            ));
+        }
+        match request.op.as_str() {
+            "load" => self.load(&request.body),
+            "mutate" => self.mutate(&request.body),
+            "query_user" => self.query_user(&request.body),
+            "query_event" => self.query_event(&request.body),
+            "stats" => self.stats(),
+            "solve" => self.solve(&request.body, deadline),
+            "snapshot" => self.snapshot(&request.body),
+            "restore" => self.restore(&request.body),
+            "shutdown" => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(json!({"stopping": true}))
+            }
+            other => Err(ServiceError::new(
+                "unknown_op",
+                format!("unknown op {other:?}"),
+            )),
+        }
+    }
+
+    fn with_session<T>(
+        &self,
+        f: impl FnOnce(&mut Session) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let mut guard = self.lock();
+        match guard.as_mut() {
+            Some(session) => f(session),
+            None => Err(ServiceError::new(
+                "no_instance",
+                "no instance loaded; send a \"load\" first",
+            )),
+        }
+    }
+
+    fn summary(arranger: &IncrementalArranger) -> Value {
+        Value::Object(vec![
+            field("epoch", &arranger.epoch()),
+            field("num_events", &arranger.instance().num_events()),
+            field("num_users", &arranger.instance().num_users()),
+            field("pairs", &arranger.arrangement().len()),
+            field("max_sum", &arranger.max_sum()),
+            field("drift", &arranger.drift()),
+            field("needs_rebuild", &arranger.needs_rebuild()),
+        ])
+    }
+
+    /// `load`: adopt an instance, inline (`"instance": {…}`) or from a
+    /// JSON file (`"path": "…"`). Replaces any previous session.
+    fn load(&self, body: &Value) -> Result<Value, ServiceError> {
+        let instance: Instance = match (
+            protocol::get(body, "instance"),
+            protocol::get_str(body, "path"),
+        ) {
+            (Some(value), None) => serde_json::from_value(value.clone())
+                .map_err(|e| bad_request(format!("bad instance: {e}")))?,
+            (None, Some(path)) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| ServiceError::new("io", format!("reading {path}: {e}")))?;
+                serde_json::from_str(&text)
+                    .map_err(|e| bad_request(format!("bad instance in {path}: {e}")))?
+            }
+            _ => {
+                return Err(bad_request(
+                    "load takes exactly one of \"instance\" (inline) or \"path\" (file)",
+                ))
+            }
+        };
+        let arranger = IncrementalArranger::new(
+            instance.clone(),
+            DynamicConfig {
+                rebuild_drift_ratio: self.drift_ratio,
+            },
+        );
+        let summary = Self::summary(&arranger);
+        *self.lock() = Some(Session {
+            arranger,
+            base: instance,
+        });
+        Ok(summary)
+    }
+
+    /// `mutate`: apply one [`Mutation`] with localized repair.
+    fn mutate(&self, body: &Value) -> Result<Value, ServiceError> {
+        let mutation: Mutation = match protocol::get(body, "mutation") {
+            Some(value) => serde_json::from_value(value.clone())
+                .map_err(|e| bad_request(format!("bad mutation: {e}")))?,
+            None => return Err(bad_request("mutate needs a \"mutation\" object")),
+        };
+        self.with_session(|session| {
+            let report = session
+                .arranger
+                .apply(mutation)
+                .map_err(|e| ServiceError::new("mutation_failed", e.to_string()))?;
+            self.metrics
+                .record_repair(report.evicted, report.reassigned);
+            Ok(Value::Object(vec![
+                field("epoch", &report.epoch),
+                field("evicted", &report.evicted),
+                field("reassigned", &report.reassigned),
+                field("max_sum", &report.max_sum_after),
+                field("delta", &report.max_sum_delta()),
+                field("drift", &session.arranger.drift()),
+                field("needs_rebuild", &session.arranger.needs_rebuild()),
+            ]))
+        })
+    }
+
+    /// `query_user`: a user's current assignments with similarities.
+    fn query_user(&self, body: &Value) -> Result<Value, ServiceError> {
+        let id = protocol::get_u64(body, "user")
+            .ok_or_else(|| bad_request("query_user needs a numeric \"user\""))?;
+        self.with_session(|session| {
+            let inst = session.arranger.instance();
+            if id >= inst.num_users() as u64 {
+                return Err(bad_request(format!(
+                    "user u{id} out of range (instance has {})",
+                    inst.num_users()
+                )));
+            }
+            let u = UserId(id as u32);
+            let events: Vec<Value> = session
+                .arranger
+                .arrangement()
+                .events_of(u)
+                .iter()
+                .map(|&v| {
+                    Value::Object(vec![
+                        field("event", &v),
+                        field("similarity", &inst.similarity(v, u)),
+                    ])
+                })
+                .collect();
+            Ok(Value::Object(vec![
+                field("user", &u),
+                field("capacity", &inst.user_capacity(u)),
+                ("events".to_string(), Value::Array(events)),
+            ]))
+        })
+    }
+
+    /// `query_event`: an event's current attendees with similarities.
+    fn query_event(&self, body: &Value) -> Result<Value, ServiceError> {
+        let id = protocol::get_u64(body, "event")
+            .ok_or_else(|| bad_request("query_event needs a numeric \"event\""))?;
+        self.with_session(|session| {
+            let inst = session.arranger.instance();
+            if id >= inst.num_events() as u64 {
+                return Err(bad_request(format!(
+                    "event v{id} out of range (instance has {})",
+                    inst.num_events()
+                )));
+            }
+            let v = EventId(id as u32);
+            let attendees: Vec<Value> = inst
+                .users()
+                .filter(|&u| session.arranger.arrangement().contains(v, u))
+                .map(|u| {
+                    Value::Object(vec![
+                        field("user", &u),
+                        field("similarity", &inst.similarity(v, u)),
+                    ])
+                })
+                .collect();
+            Ok(Value::Object(vec![
+                field("event", &v),
+                field("capacity", &inst.event_capacity(v)),
+                field("count", &session.arranger.arrangement().attendees_of(v)),
+                ("attendees".to_string(), Value::Array(attendees)),
+            ]))
+        })
+    }
+
+    /// `stats`: live metrics plus the arranger summary (null before
+    /// `load`).
+    fn stats(&self) -> Result<Value, ServiceError> {
+        let arranger = match self.lock().as_ref() {
+            Some(session) => Self::summary(&session.arranger),
+            None => Value::Null,
+        };
+        Ok(Value::Object(vec![
+            field("server", &self.metrics.snapshot()),
+            ("arranger".to_string(), arranger),
+        ]))
+    }
+
+    /// `solve`: re-solve the live instance under a budget and adopt the
+    /// result ([`IncrementalArranger::rebuild`]). The budget is the
+    /// requested `timeout_ms`/`max_nodes` clamped to the request's
+    /// remaining deadline, so a queued solve can never overstay its
+    /// admission contract.
+    fn solve(&self, body: &Value, deadline: Instant) -> Result<Value, ServiceError> {
+        let algorithm = match protocol::get_str(body, "algorithm").unwrap_or("greedy") {
+            "greedy" => Algorithm::Greedy,
+            "mincostflow" => Algorithm::MinCostFlow,
+            "prune" => Algorithm::Prune,
+            "exactdp" => Algorithm::ExactDp,
+            "random_v" => Algorithm::RandomV {
+                seed: protocol::get_u64(body, "seed").unwrap_or(0),
+            },
+            "random_u" => Algorithm::RandomU {
+                seed: protocol::get_u64(body, "seed").unwrap_or(0),
+            },
+            other => {
+                return Err(bad_request(format!(
+                    "unknown algorithm {other:?} (greedy, mincostflow, prune, exactdp, random_v, random_u)"
+                )))
+            }
+        };
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let mut budget = SolveBudget {
+            deadline: Some(match protocol::get_u64(body, "timeout_ms") {
+                Some(ms) => std::time::Duration::from_millis(ms).min(remaining),
+                None => remaining,
+            }),
+            ..SolveBudget::UNLIMITED
+        };
+        if let Some(nodes) = protocol::get_u64(body, "max_nodes") {
+            budget.max_nodes = Some(nodes);
+        }
+        let pipeline = SolverPipeline::new(algorithm, budget).with_threads(self.threads);
+        self.with_session(|session| {
+            let outcome = session.arranger.rebuild(&pipeline);
+            Ok(Value::Object(vec![
+                field("status", &outcome.status.to_string()),
+                field("exit_code", &outcome.status.exit_code()),
+                field("max_sum", &session.arranger.max_sum()),
+                field("pairs", &session.arranger.arrangement().len()),
+                field("nodes", &outcome.nodes),
+                field("elapsed_ms", &(outcome.elapsed.as_millis() as u64)),
+                field("epoch", &session.arranger.epoch()),
+            ]))
+        })
+    }
+
+    /// `snapshot`: persist the session to a file — base instance,
+    /// mutation log, the standing arrangement, and its drift baseline.
+    /// Streamed with `to_writer`, never materialized as one string.
+    fn snapshot(&self, body: &Value) -> Result<Value, ServiceError> {
+        let path = protocol::get_str(body, "path")
+            .ok_or_else(|| bad_request("snapshot needs a \"path\""))?;
+        self.with_session(|session| {
+            let file = std::fs::File::create(path)
+                .map_err(|e| ServiceError::new("io", format!("creating {path}: {e}")))?;
+            let mut writer = BufWriter::new(file);
+            let doc = Value::Object(vec![
+                field("instance", &session.base),
+                field("log", &session.arranger.log().to_vec()),
+                field("arrangement", session.arranger.arrangement()),
+                field("baseline", &session.arranger.baseline_max_sum()),
+                field("epoch", &session.arranger.epoch()),
+            ]);
+            serde_json::to_writer(&mut writer, &doc)
+                .map_err(|e| ServiceError::new("io", format!("writing {path}: {e}")))?;
+            writer
+                .write_all(b"\n")
+                .and_then(|()| writer.flush())
+                .map_err(|e| ServiceError::new("io", format!("writing {path}: {e}")))?;
+            Ok(Value::Object(vec![
+                field("path", &path),
+                field("epoch", &session.arranger.epoch()),
+                field("mutations", &session.arranger.log().len()),
+            ]))
+        })
+    }
+
+    /// `restore`: rebuild a session from a snapshot file. The mutation
+    /// log is replayed over the base instance (deterministically
+    /// reproducing every intermediate state), then the snapshot's own
+    /// arrangement is installed on top — it may differ from the replay
+    /// when a `solve` ran before the snapshot — after a feasibility
+    /// check.
+    fn restore(&self, body: &Value) -> Result<Value, ServiceError> {
+        let path = protocol::get_str(body, "path")
+            .ok_or_else(|| bad_request("restore needs a \"path\""))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServiceError::new("io", format!("reading {path}: {e}")))?;
+        let doc: Value = serde_json::from_str(&text)
+            .map_err(|e| bad_request(format!("bad snapshot in {path}: {e}")))?;
+        let pick = |key: &str| {
+            protocol::get(&doc, key)
+                .cloned()
+                .ok_or_else(|| bad_request(format!("snapshot {path} missing {key:?}")))
+        };
+        let base: Instance = serde_json::from_value(pick("instance")?)
+            .map_err(|e| bad_request(format!("bad snapshot instance: {e}")))?;
+        let log: Vec<Mutation> = serde_json::from_value(pick("log")?)
+            .map_err(|e| bad_request(format!("bad snapshot log: {e}")))?;
+        let arrangement: Arrangement = serde_json::from_value(pick("arrangement")?)
+            .map_err(|e| bad_request(format!("bad snapshot arrangement: {e}")))?;
+        let baseline: f64 = serde_json::from_value(pick("baseline")?)
+            .map_err(|e| bad_request(format!("bad snapshot baseline: {e}")))?;
+
+        let mut arranger = IncrementalArranger::replay(
+            base.clone(),
+            &log,
+            DynamicConfig {
+                rebuild_drift_ratio: self.drift_ratio,
+            },
+        )
+        .map_err(|e| ServiceError::new("mutation_failed", format!("replaying {path}: {e}")))?;
+        arranger.install(arrangement, baseline).map_err(|violations| {
+            ServiceError::new(
+                "infeasible_snapshot",
+                format!(
+                    "snapshot arrangement is infeasible for its instance ({} violations, first: {:?})",
+                    violations.len(),
+                    violations.first()
+                ),
+            )
+        })?;
+        let summary = Self::summary(&arranger);
+        *self.lock() = Some(Session { arranger, base });
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn service() -> Service {
+        Service::new(
+            Arc::new(ServerMetrics::default()),
+            Arc::new(AtomicBool::new(false)),
+            Threads::single(),
+            0.2,
+        )
+    }
+
+    fn call(svc: &Service, line: &str) -> Result<Value, ServiceError> {
+        let req = protocol::parse_request(line).unwrap();
+        svc.handle(&req, Instant::now() + Duration::from_secs(5))
+    }
+
+    fn toy_line() -> String {
+        let inst = geacc_core::toy::table1_instance();
+        format!(
+            r#"{{"op": "load", "instance": {}}}"#,
+            serde_json::to_string(&inst).unwrap()
+        )
+    }
+
+    #[test]
+    fn full_session_load_mutate_query_solve() {
+        let svc = service();
+        assert_eq!(
+            call(&svc, r#"{"op": "stats"}"#).unwrap(),
+            call(&svc, r#"{"op": "stats"}"#).unwrap()
+        );
+        assert_eq!(
+            call(
+                &svc,
+                r#"{"op": "mutate", "mutation": {"CloseEvent": {"event": 0}}}"#
+            )
+            .unwrap_err()
+            .code,
+            "no_instance"
+        );
+
+        let loaded = call(&svc, &toy_line()).unwrap();
+        assert_eq!(protocol::get_u64(&loaded, "epoch"), Some(0));
+        assert_eq!(protocol::get_u64(&loaded, "num_events"), Some(3));
+
+        let mutated = call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"AddConflict": {"a": 1, "b": 2}}}"#,
+        )
+        .unwrap();
+        assert_eq!(protocol::get_u64(&mutated, "epoch"), Some(1));
+
+        let user = call(&svc, r#"{"op": "query_user", "user": 0}"#).unwrap();
+        assert!(protocol::get(&user, "events").is_some());
+        let event = call(&svc, r#"{"op": "query_event", "event": 0}"#).unwrap();
+        assert!(protocol::get_u64(&event, "count").is_some());
+
+        let solved = call(&svc, r#"{"op": "solve", "algorithm": "prune"}"#).unwrap();
+        assert_eq!(protocol::get_str(&solved, "status"), Some("optimal"));
+
+        let err = call(&svc, r#"{"op": "query_user", "user": 99}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let err = call(&svc, r#"{"op": "warp"}"#).unwrap_err();
+        assert_eq!(err.code, "unknown_op");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_state() {
+        let svc = service();
+        call(&svc, &toy_line()).unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+        )
+        .unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 2, "capacity": 0}}}"#,
+        )
+        .unwrap();
+        let before = call(&svc, r#"{"op": "stats"}"#).unwrap();
+
+        let dir = std::env::temp_dir().join("geacc-server-test-snapshot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let path = path.to_str().unwrap();
+        call(&svc, &format!(r#"{{"op": "snapshot", "path": "{path}"}}"#)).unwrap();
+
+        // Restore into a fresh service and compare the arranger summary.
+        let svc2 = service();
+        let restored = call(&svc2, &format!(r#"{{"op": "restore", "path": "{path}"}}"#)).unwrap();
+        assert_eq!(
+            protocol::get(&before, "arranger").map(|a| protocol::get_u64(a, "epoch")),
+            Some(protocol::get_u64(&restored, "epoch"))
+        );
+        let a = call(&svc, r#"{"op": "query_user", "user": 0}"#).unwrap();
+        let b = call(&svc2, r#"{"op": "query_user", "user": 0}"#).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_before_work() {
+        let svc = service();
+        let req = protocol::parse_request(r#"{"op": "stats"}"#).unwrap();
+        let err = svc
+            .handle(&req, Instant::now() - Duration::from_millis(1))
+            .unwrap_err();
+        assert_eq!(err.code, "deadline_exceeded");
+    }
+
+    #[test]
+    fn shutdown_raises_the_stop_flag() {
+        let svc = service();
+        assert!(!svc.stop.load(Ordering::SeqCst));
+        call(&svc, r#"{"op": "shutdown"}"#).unwrap();
+        assert!(svc.stop.load(Ordering::SeqCst));
+    }
+}

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# The full local gate: release build, lints, and the workspace test
-# suite at two worker-pool sizes — GEACC_THREADS=1 exercises every
+# The full local gate: formatting, release build, lints, the workspace
+# test suite at two worker-pool sizes — GEACC_THREADS=1 exercises every
 # sequential code path, GEACC_THREADS=4 the scoped-thread parallel
 # paths (including the resilience suite's worker-panic and
 # mid-flight-cancellation scenarios, which behave differently under
-# contention).
+# contention) — and an end-to-end smoke of the `geacc serve` daemon
+# over a real socket.
 #
 # Usage: scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
 
 echo "== cargo build --release =="
 cargo build --release --workspace
@@ -22,5 +26,56 @@ GEACC_THREADS=1 cargo test --workspace -q
 
 echo "== cargo test (GEACC_THREADS=4) =="
 GEACC_THREADS=4 cargo test --workspace -q
+
+echo "== server smoke =="
+# Boot the daemon on an ephemeral port, drive one session with bash's
+# /dev/tcp, and require a clean exit: load the toy instance from a
+# file, apply one mutation, confirm `stats` reports the advanced epoch,
+# shut down, and check the daemon exits 0 after draining.
+SMOKE_DIR=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+./target/release/geacc toy --output "$SMOKE_DIR/toy.json" > /dev/null
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SMOKE_DIR/serve.log")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "smoke: server never reported its port"; exit 1; }
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+request() {
+    printf '%s\n' "$1" >&3
+    IFS= read -r REPLY <&3
+    printf '%s\n' "$REPLY"
+    case "$REPLY" in
+        '{"ok":true'*) ;;
+        *) echo "smoke: request failed: $1"; exit 1 ;;
+    esac
+}
+
+request "{\"op\": \"load\", \"path\": \"$SMOKE_DIR/toy.json\"}" > /dev/null
+request '{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}' > /dev/null
+STATS=$(request '{"op": "stats"}')
+case "$STATS" in
+    *'"epoch":1'*) ;;
+    *) echo "smoke: stats did not report epoch 1: $STATS"; exit 1 ;;
+esac
+request '{"op": "shutdown"}' > /dev/null
+exec 3<&- 3>&-
+
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "server smoke: ok"
 
 echo "ci.sh: all green"

@@ -16,8 +16,7 @@ use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 
 /// Coarse classification of an [`Error`], mirroring
-/// `serde_json::error::Category` from the real crate (minus `Io`,
-/// which cannot arise from string-based parsing).
+/// `serde_json::error::Category` from the real crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Category {
     /// The bytes are not well-formed JSON.
@@ -27,6 +26,8 @@ pub enum Category {
     /// The JSON was fine but did not match the target type (wrong
     /// shape, out-of-range value, failed custom validation).
     Data,
+    /// The underlying sink failed while streaming ([`to_writer`]).
+    Io,
 }
 
 /// (De)serialization error: a message, a [`Category`], and — for parser
@@ -50,7 +51,20 @@ impl Error {
         }
     }
 
-    pub(crate) fn parse(msg: impl Into<String>, category: Category, line: usize, column: usize) -> Self {
+    pub(crate) fn io(err: std::io::Error) -> Self {
+        Error {
+            msg: err.to_string(),
+            category: Category::Io,
+            position: None,
+        }
+    }
+
+    pub(crate) fn parse(
+        msg: impl Into<String>,
+        category: Category,
+        line: usize,
+        column: usize,
+    ) -> Self {
         Error {
             msg: msg.into(),
             category,
@@ -87,6 +101,11 @@ impl Error {
     /// Whether this is a [`Category::Data`] error.
     pub fn is_data(&self) -> bool {
         self.category == Category::Data
+    }
+
+    /// Whether this is a [`Category::Io`] error.
+    pub fn is_io(&self) -> bool {
+        self.category == Category::Io
     }
 }
 
@@ -228,6 +247,31 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     print::write_pretty(&content)
 }
 
+/// Serialize `value` as compact JSON streamed into an `io::Write` sink
+/// (a `BufWriter<File>`, a `TcpStream`, a `Vec<u8>`), without
+/// materializing the full document as a `String` first.
+///
+/// Like real serde_json, no trailing newline is written and the writer
+/// is not flushed — callers that hand over buffered or line-oriented
+/// sinks do both themselves. Sink failures surface as
+/// [`Category::Io`] errors carrying the `io::Error`'s message.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let content = to_content(value).map_err(|e| Error::new(e.to_string()))?;
+    print::write_compact_io(&content, writer)
+}
+
+/// [`to_writer`], but 2-space-indented like [`to_string_pretty`].
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let content = to_content(value).map_err(|e| Error::new(e.to_string()))?;
+    print::write_pretty_io(&content, writer)
+}
+
 /// Deserialize a `T` from JSON text.
 pub fn from_str<'de, T: Deserialize<'de>>(s: &'de str) -> Result<T, Error> {
     let content = parse::parse(s)?;
@@ -338,6 +382,38 @@ mod tests {
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains('\n'));
         assert_eq!(from_str::<Vec<(u32, u32)>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn to_writer_streams_compact_json() {
+        let v = vec![vec![0.5, 0.25], vec![1.0]];
+        let mut sink = Vec::new();
+        to_writer(&mut sink, &v).unwrap();
+        assert_eq!(sink, to_string(&v).unwrap().as_bytes());
+
+        let mut pretty_sink = Vec::new();
+        to_writer_pretty(&mut pretty_sink, &v).unwrap();
+        assert_eq!(pretty_sink, to_string_pretty(&v).unwrap().as_bytes());
+    }
+
+    #[test]
+    fn to_writer_surfaces_sink_failures_as_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = to_writer(Broken, &json!({"a": 1})).unwrap_err();
+        assert!(err.is_io());
+        assert_eq!(err.classify(), Category::Io);
+        assert!(err.to_string().contains("sink closed"));
+        // Value errors (non-finite floats) are still Data, not Io.
+        let err = to_writer(Vec::new(), &f64::NAN).unwrap_err();
+        assert!(err.is_data());
     }
 
     #[test]

@@ -1,8 +1,42 @@
 //! JSON writers: compact and 2-space pretty, from `Content` trees.
+//!
+//! All writers are generic over [`fmt::Write`] so the same recursion
+//! serves both in-memory strings (`to_string`, infallible sink) and
+//! streaming byte sinks (`to_writer`, via the [`IoFmt`] adapter that
+//! carries the underlying `io::Error` across the `fmt::Error` boundary).
 
-use crate::Error;
+use crate::{Category, Error};
 use serde::__private::Content;
-use std::fmt::Write;
+use std::fmt::{self, Write};
+use std::io;
+
+/// A sink write failed. For `String` sinks this never happens; for io
+/// sinks [`IoFmt`] holds the real `io::Error` and the caller swaps it in.
+impl From<fmt::Error> for Error {
+    fn from(_: fmt::Error) -> Self {
+        Error {
+            msg: "error writing JSON to sink".to_string(),
+            category: Category::Io,
+            position: None,
+        }
+    }
+}
+
+/// Adapts an `io::Write` into a `fmt::Write`, parking the first
+/// `io::Error` so it survives `fmt::Error`'s zero-sized round trip.
+struct IoFmt<W: io::Write> {
+    inner: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> fmt::Write for IoFmt<W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
 
 pub(crate) fn write_compact(content: &Content) -> Result<String, Error> {
     let mut out = String::new();
@@ -14,6 +48,28 @@ pub(crate) fn write_pretty(content: &Content) -> Result<String, Error> {
     let mut out = String::new();
     pretty(content, 0, &mut out)?;
     Ok(out)
+}
+
+pub(crate) fn write_compact_io<W: io::Write>(content: &Content, writer: W) -> Result<(), Error> {
+    let mut sink = IoFmt {
+        inner: writer,
+        error: None,
+    };
+    compact(content, &mut sink).map_err(|e| match sink.error.take() {
+        Some(io_err) => Error::io(io_err),
+        None => e,
+    })
+}
+
+pub(crate) fn write_pretty_io<W: io::Write>(content: &Content, writer: W) -> Result<(), Error> {
+    let mut sink = IoFmt {
+        inner: writer,
+        error: None,
+    };
+    pretty(content, 0, &mut sink).map_err(|e| match sink.error.take() {
+        Some(io_err) => Error::io(io_err),
+        None => e,
+    })
 }
 
 /// Shortest-roundtrip rendering of a finite `f64`, with a `.0` suffix on
@@ -30,24 +86,20 @@ pub(crate) fn format_f64(v: f64) -> String {
     }
 }
 
-fn scalar(content: &Content, out: &mut String) -> Result<bool, Error> {
+fn scalar<W: Write>(content: &Content, out: &mut W) -> Result<bool, Error> {
     match content {
-        Content::Null => out.push_str("null"),
-        Content::Bool(true) => out.push_str("true"),
-        Content::Bool(false) => out.push_str("false"),
-        Content::U64(v) => {
-            let _ = write!(out, "{v}");
-        }
-        Content::I64(v) => {
-            let _ = write!(out, "{v}");
-        }
+        Content::Null => out.write_str("null")?,
+        Content::Bool(true) => out.write_str("true")?,
+        Content::Bool(false) => out.write_str("false")?,
+        Content::U64(v) => write!(out, "{v}")?,
+        Content::I64(v) => write!(out, "{v}")?,
         Content::F64(v) => {
             if !v.is_finite() {
                 return Err(Error::new("JSON cannot represent NaN or infinity"));
             }
-            out.push_str(&format_f64(*v));
+            out.write_str(&format_f64(*v))?;
         }
-        Content::Str(s) => escape_string(s, out),
+        Content::Str(s) => escape_string(s, out)?,
         Content::Seq(_) | Content::Map(_) => return Ok(false),
     }
     Ok(true)
@@ -63,39 +115,39 @@ fn key_string(key: &Content) -> Result<&str, Error> {
     }
 }
 
-fn compact(content: &Content, out: &mut String) -> Result<(), Error> {
+fn compact<W: Write>(content: &Content, out: &mut W) -> Result<(), Error> {
     if scalar(content, out)? {
         return Ok(());
     }
     match content {
         Content::Seq(items) => {
-            out.push('[');
+            out.write_char('[')?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
                 compact(item, out)?;
             }
-            out.push(']');
+            out.write_char(']')?;
         }
         Content::Map(entries) => {
-            out.push('{');
+            out.write_char('{')?;
             for (i, (k, v)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                escape_string(key_string(k)?, out);
-                out.push(':');
+                escape_string(key_string(k)?, out)?;
+                out.write_char(':')?;
                 compact(v, out)?;
             }
-            out.push('}');
+            out.write_char('}')?;
         }
         _ => unreachable!("scalar() handled the rest"),
     }
     Ok(())
 }
 
-fn pretty(content: &Content, indent: usize, out: &mut String) -> Result<(), Error> {
+fn pretty<W: Write>(content: &Content, indent: usize, out: &mut W) -> Result<(), Error> {
     if scalar(content, out)? {
         return Ok(());
     }
@@ -104,61 +156,60 @@ fn pretty(content: &Content, indent: usize, out: &mut String) -> Result<(), Erro
     match content {
         Content::Seq(items) => {
             if items.is_empty() {
-                out.push_str("[]");
+                out.write_str("[]")?;
                 return Ok(());
             }
-            out.push_str("[\n");
+            out.write_str("[\n")?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push_str(",\n");
+                    out.write_str(",\n")?;
                 }
-                out.push_str(&pad);
+                out.write_str(&pad)?;
                 pretty(item, indent + 1, out)?;
             }
-            out.push('\n');
-            out.push_str(&close_pad);
-            out.push(']');
+            out.write_char('\n')?;
+            out.write_str(&close_pad)?;
+            out.write_char(']')?;
         }
         Content::Map(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
+                out.write_str("{}")?;
                 return Ok(());
             }
-            out.push_str("{\n");
+            out.write_str("{\n")?;
             for (i, (k, v)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push_str(",\n");
+                    out.write_str(",\n")?;
                 }
-                out.push_str(&pad);
-                escape_string(key_string(k)?, out);
-                out.push_str(": ");
+                out.write_str(&pad)?;
+                escape_string(key_string(k)?, out)?;
+                out.write_str(": ")?;
                 pretty(v, indent + 1, out)?;
             }
-            out.push('\n');
-            out.push_str(&close_pad);
-            out.push('}');
+            out.write_char('\n')?;
+            out.write_str(&close_pad)?;
+            out.write_char('}')?;
         }
         _ => unreachable!("scalar() handled the rest"),
     }
     Ok(())
 }
 
-fn escape_string(s: &str, out: &mut String) {
-    out.push('"');
+fn escape_string<W: Write>(s: &str, out: &mut W) -> Result<(), Error> {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{8}' => out.push_str("\\b"),
-            '\u{c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{8}' => out.write_str("\\b")?,
+            '\u{c}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')?;
+    Ok(())
 }
