@@ -62,6 +62,8 @@ USAGE:
   geacc toy      [--output FILE]
   geacc serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                  [--default-timeout-ms MS] [--threads N] [--drift-ratio R]
+                 [--wal-dir DIR] [--fsync always|never|interval:MS]
+                 [--snapshot-every N]
   geacc help
 
 FILE may be '-' for stdin/stdout. Instances and arrangements are JSON.
@@ -82,6 +84,15 @@ stats/shutdown — see DESIGN.md §10). It prints `listening on ADDR` once
 bound, serves until a shutdown request, then prints final metrics.
 --queue-depth bounds admitted-but-unserved requests; beyond it the
 server answers structured `overloaded` errors instead of queueing.
+
+--wal-dir makes the daemon durable: every load/mutate/solve is appended
+to a checksummed write-ahead log before it is acknowledged, and restarts
+recover the exact acked state (torn tails from a crash are truncated;
+mid-log corruption refuses to boot, naming the byte offset). --fsync
+picks the durability/throughput trade: `always` survives power loss,
+`interval:MS` bounds loss to MS, `never` survives a process kill only.
+--snapshot-every N rotates an atomic snapshot every N mutations so
+recovery replays a short tail instead of the whole log.
 ";
 
 /// Dispatch a parsed command line; returns the text to print plus the
@@ -527,6 +538,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "default-timeout-ms",
         "threads",
         "drift-ratio",
+        "wal-dir",
+        "fsync",
+        "snapshot-every",
     ])?;
     let defaults = geacc_server::ServerConfig::default();
     let config = geacc_server::ServerConfig {
@@ -542,12 +556,28 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
             None => Threads::from_env(),
         },
         drift_ratio: args.parsed_or("drift-ratio", defaults.drift_ratio)?,
+        wal_dir: args.value("wal-dir")?.map(std::path::PathBuf::from),
+        fsync: match args.value("fsync")? {
+            Some(text) => geacc_server::FsyncPolicy::parse(text)
+                .map_err(|e| CliError(format!("invalid value for --fsync: {e}")))?,
+            None => defaults.fsync,
+        },
+        snapshot_every: match args.value("snapshot-every")? {
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|e| CliError(format!("invalid value for --snapshot-every: {e}")))?,
+            ),
+            None => defaults.snapshot_every,
+        },
     };
     let server = geacc_server::Server::bind(config)
         .map_err(|e| CliError(format!("binding listener: {e}")))?;
     let addr = server
         .local_addr()
         .map_err(|e| CliError(format!("resolving bound address: {e}")))?;
+    if let Some(summary) = server.recovery_summary() {
+        println!("{summary}");
+    }
     // Printed (and flushed) immediately, not via CmdOutput: clients and
     // the CI smoke stage wait on this line to learn the ephemeral port.
     println!("listening on {addr}");

@@ -1,0 +1,341 @@
+//! Kill-injection test: boot the real `geacc serve` binary with a WAL,
+//! stream mutations over TCP, `kill -9` it mid-stream, restart on the
+//! same directory, and check the durability contract:
+//!
+//! - the restart never crashes, whatever the kill left on disk (torn
+//!   tails are truncated, the valid prefix replays);
+//! - the recovered epoch `E` satisfies `acked ≤ E ≤ sent` — under
+//!   `--fsync always` every acked mutation is durable, and nothing the
+//!   client never sent can appear;
+//! - the recovered state is bit-identical to replaying the first `E`
+//!   mutations through a local [`IncrementalArranger`] — the recovered
+//!   log is exactly a prefix of the sent stream.
+
+use geacc_core::{toy, DynamicConfig, IncrementalArranger, Mutation, Side, UserId};
+use geacc_server::protocol;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A running `geacc serve` child, killed on drop so a failing assert
+/// never leaks a daemon.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn start_server(wal_dir: &Path, fsync: &str, extra: &[&str]) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_geacc"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--wal-dir",
+            wal_dir.to_str().unwrap(),
+            "--fsync",
+            fsync,
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning geacc serve");
+    // The server prints (optionally) a recovery line, then
+    // `listening on ADDR`; wait for the latter to learn the port.
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) if line.starts_with("listening on ") => {
+                break line["listening on ".len()..].to_string();
+            }
+            Some(Ok(_)) => continue,
+            other => panic!("server exited before listening: {other:?}"),
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    ServerProc { child, addr }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connecting to server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Send one request line; `None` if the connection died mid-write.
+    fn send(&mut self, line: &str) -> Option<()> {
+        self.writer.write_all(line.as_bytes()).ok()?;
+        self.writer.write_all(b"\n").ok()?;
+        self.writer.flush().ok()
+    }
+
+    /// Read one response; `None` on EOF/error (the server was killed).
+    fn recv(&mut self) -> Option<Value> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => serde_json::from_str(&line).ok(),
+        }
+    }
+
+    fn call(&mut self, line: &str) -> Option<Value> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+fn is_ok(response: &Value) -> bool {
+    protocol::get(response, "ok") == Some(&Value::Bool(true))
+}
+
+fn data<'a>(response: &'a Value, key: &str) -> &'a Value {
+    protocol::get(response, "data")
+        .and_then(|d| protocol::get(d, key))
+        .unwrap_or_else(|| panic!("response missing data.{key}"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("geacc-crash-recovery").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The deterministic mutation stream: capacity churn that always
+/// applies, so `epoch == mutations applied == WAL mutation records`.
+fn mutation_stream(num_users: u64) -> impl Iterator<Item = Mutation> {
+    (0u64..).map(move |i| Mutation::SetCapacity {
+        side: Side::User,
+        id: (i % num_users) as u32,
+        capacity: 1 + (i % 3) as u32,
+    })
+}
+
+#[test]
+fn kill_nine_mid_stream_recovers_the_acked_prefix() {
+    let dir = tmp_dir("kill-mid-stream");
+    let server = start_server(&dir, "always", &[]);
+    let mut client = Client::connect(&server.addr);
+
+    let instance = toy::table1_instance();
+    let loaded = client
+        .call(&format!(
+            r#"{{"op": "load", "instance": {}}}"#,
+            serde_json::to_string(&instance).unwrap()
+        ))
+        .expect("load must be acked");
+    assert!(is_ok(&loaded), "load failed: {loaded:?}");
+    let num_users = protocol::as_u64(data(&loaded, "num_users")).unwrap();
+
+    // Kill the server ~80 ms into the stream — mid-append under
+    // `--fsync always` pacing. `/bin/kill -9` delivers SIGKILL: no
+    // drain, no destructors, whatever the WAL holds is what recovery
+    // gets.
+    let pid = server.child.id().to_string();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(80));
+        let _ = Command::new("kill").args(["-9", &pid]).status();
+    });
+
+    let mutations: Vec<Mutation> = mutation_stream(num_users).take(200_000).collect();
+    let (mut sent, mut acked) = (0u64, 0u64);
+    for mutation in &mutations {
+        let line = format!(
+            r#"{{"op": "mutate", "mutation": {}}}"#,
+            serde_json::to_string(mutation).unwrap()
+        );
+        if client.send(&line).is_none() {
+            break;
+        }
+        sent += 1;
+        match client.recv() {
+            Some(r) if is_ok(&r) => acked += 1,
+            Some(r) => panic!("SetCapacity must never fail: {r:?}"),
+            None => break, // killed between our write and its ack
+        }
+    }
+    killer.join().unwrap();
+    drop(client);
+    assert!(
+        acked < mutations.len() as u64,
+        "the kill must land mid-stream; all {acked} mutations were acked first"
+    );
+
+    // Restart on the same directory: boot must succeed whatever the
+    // kill tore, and the recovered epoch must cover every acked record.
+    let server2 = start_server(&dir, "always", &[]);
+    let mut client2 = Client::connect(&server2.addr);
+    let stats = client2
+        .call(r#"{"op": "stats"}"#)
+        .expect("stats after recovery");
+    assert!(is_ok(&stats), "stats failed: {stats:?}");
+    let epoch =
+        protocol::get_u64(data(&stats, "arranger"), "epoch").expect("recovered arranger epoch");
+    assert!(
+        epoch >= acked,
+        "acked mutations lost: acked {acked}, recovered epoch {epoch}"
+    );
+    assert!(
+        epoch <= sent,
+        "recovered epoch {epoch} exceeds the {sent} mutations ever sent"
+    );
+
+    // The recovered state must be bit-identical to replaying the first
+    // `epoch` mutations locally: same MaxSum bits, same assignments.
+    let mut local = IncrementalArranger::new(
+        instance.clone(),
+        DynamicConfig {
+            rebuild_drift_ratio: 0.2,
+        },
+    );
+    for mutation in &mutations[..epoch as usize] {
+        local
+            .apply(mutation.clone())
+            .expect("SetCapacity replays cleanly");
+    }
+    let recovered_max_sum: f64 = serde_json::from_value(
+        protocol::get(data(&stats, "arranger"), "max_sum")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    assert_eq!(
+        recovered_max_sum.to_bits(),
+        local.max_sum().to_bits(),
+        "recovered MaxSum {} != local replay {}",
+        recovered_max_sum,
+        local.max_sum()
+    );
+    for user in 0..num_users {
+        let response = client2
+            .call(&format!(r#"{{"op": "query_user", "user": {user}}}"#))
+            .expect("query_user after recovery");
+        assert!(is_ok(&response), "query_user failed: {response:?}");
+        let events = match data(&response, "events") {
+            Value::Array(events) => events,
+            other => panic!("events must be an array, got {other:?}"),
+        };
+        let served: Vec<u64> = events
+            .iter()
+            .map(|e| protocol::get_u64(e, "event").unwrap())
+            .collect();
+        let expected: Vec<u64> = local
+            .arrangement()
+            .events_of(UserId(user as u32))
+            .iter()
+            .map(|v| v.0 as u64)
+            .collect();
+        assert_eq!(served, expected, "user {user} assignments diverged");
+    }
+
+    // Recovery surfaced its own counters.
+    let recovered = protocol::get_u64(data(&stats, "server"), "recovered_records").unwrap();
+    assert_eq!(
+        recovered,
+        epoch + 1,
+        "replayed records = load + {epoch} mutations"
+    );
+
+    // Clean shutdown of the recovered server still works.
+    let bye = client2.call(r#"{"op": "shutdown"}"#).unwrap();
+    assert!(is_ok(&bye));
+    drop(server2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_nine_with_snapshots_recovers_via_the_fast_path() {
+    let dir = tmp_dir("kill-with-snapshots");
+    let server = start_server(&dir, "always", &["--snapshot-every", "16"]);
+    let mut client = Client::connect(&server.addr);
+
+    let instance = toy::table1_instance();
+    let loaded = client
+        .call(&format!(
+            r#"{{"op": "load", "instance": {}}}"#,
+            serde_json::to_string(&instance).unwrap()
+        ))
+        .unwrap();
+    assert!(is_ok(&loaded));
+    let num_users = protocol::as_u64(data(&loaded, "num_users")).unwrap();
+
+    // Enough acked mutations to rotate several snapshots, then kill.
+    let mutations: Vec<Mutation> = mutation_stream(num_users).take(100).collect();
+    for mutation in &mutations {
+        let r = client
+            .call(&format!(
+                r#"{{"op": "mutate", "mutation": {}}}"#,
+                serde_json::to_string(mutation).unwrap()
+            ))
+            .unwrap();
+        assert!(is_ok(&r), "mutate failed: {r:?}");
+    }
+    let pid = server.child.id().to_string();
+    let _ = Command::new("kill").args(["-9", &pid]).status();
+    drop(client);
+    drop(server);
+
+    let snapshot = dir.join("snapshot.json");
+    assert!(snapshot.exists(), "a snapshot must have rotated");
+
+    let server2 = start_server(&dir, "always", &["--snapshot-every", "16"]);
+    let mut client2 = Client::connect(&server2.addr);
+    let stats = client2.call(r#"{"op": "stats"}"#).unwrap();
+    assert!(is_ok(&stats));
+    let epoch = protocol::get_u64(data(&stats, "arranger"), "epoch").unwrap();
+    assert_eq!(epoch, 100, "every acked mutation recovered");
+    // The fast path replays only the tail past the last snapshot, not
+    // the whole history.
+    let replayed = protocol::get_u64(data(&stats, "server"), "recovered_records").unwrap();
+    assert!(
+        replayed < 101,
+        "snapshot fast path must not replay the full log ({replayed} records)"
+    );
+
+    let mut local = IncrementalArranger::new(
+        instance,
+        DynamicConfig {
+            rebuild_drift_ratio: 0.2,
+        },
+    );
+    for mutation in &mutations {
+        local.apply(mutation.clone()).unwrap();
+    }
+    let recovered_max_sum: f64 = serde_json::from_value(
+        protocol::get(data(&stats, "arranger"), "max_sum")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    assert_eq!(recovered_max_sum.to_bits(), local.max_sum().to_bits());
+
+    let bye = client2.call(r#"{"op": "shutdown"}"#).unwrap();
+    assert!(is_ok(&bye));
+    drop(server2);
+    std::fs::remove_dir_all(&dir).ok();
+}

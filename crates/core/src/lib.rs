@@ -64,7 +64,8 @@ pub mod similarity;
 pub mod toy;
 
 pub use dynamic::{
-    DynamicConfig, IncrementalArranger, Mutation, MutationError, RepairReport, Side,
+    DynamicConfig, IncrementalArranger, Mutation, MutationError, RepairReport, ReplayStats, Side,
+    WireError,
 };
 pub use model::arrangement::{Arrangement, Violation};
 pub use model::conflict::{ConflictGraph, ConflictPairOutOfRange};

@@ -20,12 +20,22 @@
 //! drive it with `nc`; DESIGN.md §10 documents the wire protocol and
 //! the mutation/repair semantics.
 
+// The request path must never panic: a poisoned worker turns into a
+// wedged connection, not a structured error. Non-test server code is
+// held to that with the lint below (the whole crate compiles with
+// `cfg(test)` for unit tests, which keeps test asserts free to unwrap).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod metrics;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod service;
+pub mod wal;
 
 pub use metrics::{LatencyHistogram, MetricsSnapshot, Op, ServerMetrics};
 pub use protocol::{Request, ServiceError};
+pub use recovery::{recover, Recovery, RecoveryError};
 pub use server::{Server, ServerConfig};
 pub use service::Service;
+pub use wal::{FsyncPolicy, WalRecord, WalWriter};

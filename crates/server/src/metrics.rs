@@ -156,6 +156,24 @@ pub struct ServerMetrics {
     repair_reassigned: AtomicU64,
     /// Largest single repair (evicted + reassigned).
     repair_max: AtomicU64,
+    /// Durability gauges, mirrored from the WAL writer after every
+    /// append/snapshot (zero when the server runs without `--wal-dir`).
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    /// Auto-snapshots rotated (manual `snapshot` ops excluded).
+    snapshots_written: AtomicU64,
+    /// Failed auto-snapshot attempts (the WAL stays authoritative).
+    snapshot_errors: AtomicU64,
+    /// Arranger epoch at the last rotated snapshot, +1 (0 = none yet).
+    last_snapshot_epoch_plus_one: AtomicU64,
+    /// WAL records replayed by startup recovery.
+    recovered_records: AtomicU64,
+    /// Replayed records skipped because they failed identically at
+    /// runtime (plus any torn-tail truncation, counted in bytes below).
+    recovered_skipped: AtomicU64,
+    /// Torn-tail bytes truncated at boot.
+    recovered_truncated_bytes: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -185,6 +203,31 @@ impl ServerMetrics {
             .fetch_max((evicted + reassigned) as u64, Relaxed);
     }
 
+    /// Mirror the WAL writer's running totals (they advance under the
+    /// service's durability lock; the store here is just publication).
+    pub fn record_wal(&self, records: u64, bytes: u64, fsyncs: u64) {
+        self.wal_records.store(records, Relaxed);
+        self.wal_bytes.store(bytes, Relaxed);
+        self.fsyncs.store(fsyncs, Relaxed);
+    }
+
+    pub fn record_snapshot(&self, epoch: u64) {
+        self.snapshots_written.fetch_add(1, Relaxed);
+        self.last_snapshot_epoch_plus_one.store(epoch + 1, Relaxed);
+    }
+
+    pub fn record_snapshot_error(&self) {
+        self.snapshot_errors.fetch_add(1, Relaxed);
+    }
+
+    /// Set once at boot from the recovery report.
+    pub fn record_recovery(&self, replayed: u64, skipped: u64, truncated_bytes: u64) {
+        self.recovered_records.store(replayed, Relaxed);
+        self.recovered_skipped.store(skipped, Relaxed);
+        self.recovered_truncated_bytes
+            .store(truncated_bytes, Relaxed);
+    }
+
     /// A coherent-enough point-in-time copy (see the module docs for the
     /// consistency caveat).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -204,6 +247,18 @@ impl ServerMetrics {
             repair_evicted: self.repair_evicted.load(Relaxed),
             repair_reassigned: self.repair_reassigned.load(Relaxed),
             repair_max: self.repair_max.load(Relaxed),
+            wal_records: self.wal_records.load(Relaxed),
+            wal_bytes: self.wal_bytes.load(Relaxed),
+            fsyncs: self.fsyncs.load(Relaxed),
+            snapshots_written: self.snapshots_written.load(Relaxed),
+            snapshot_errors: self.snapshot_errors.load(Relaxed),
+            last_snapshot_epoch: match self.last_snapshot_epoch_plus_one.load(Relaxed) {
+                0 => None,
+                epoch_plus_one => Some(epoch_plus_one - 1),
+            },
+            recovered_records: self.recovered_records.load(Relaxed),
+            recovered_skipped: self.recovered_skipped.load(Relaxed),
+            recovered_truncated_bytes: self.recovered_truncated_bytes.load(Relaxed),
             latency_count: self.latency.count(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p95_us: self.latency.quantile_us(0.95),
@@ -226,6 +281,24 @@ pub struct MetricsSnapshot {
     pub repair_evicted: u64,
     pub repair_reassigned: u64,
     pub repair_max: u64,
+    /// WAL records appended over the log's lifetime (0 without a WAL).
+    pub wal_records: u64,
+    /// WAL bytes appended (the log's valid length).
+    pub wal_bytes: u64,
+    /// Explicit fsyncs issued by this process's writer.
+    pub fsyncs: u64,
+    /// Auto-snapshots rotated this run.
+    pub snapshots_written: u64,
+    /// Auto-snapshot attempts that failed (WAL stays authoritative).
+    pub snapshot_errors: u64,
+    /// Arranger epoch of the last rotated snapshot.
+    pub last_snapshot_epoch: Option<u64>,
+    /// WAL records replayed at boot.
+    pub recovered_records: u64,
+    /// Replayed records skipped (failed identically at runtime).
+    pub recovered_skipped: u64,
+    /// Torn-tail bytes truncated at boot.
+    pub recovered_truncated_bytes: u64,
     pub latency_count: u64,
     pub latency_p50_us: u64,
     pub latency_p95_us: u64,
@@ -278,6 +351,35 @@ mod tests {
         assert_eq!(snap.mutations_applied, 2);
         assert_eq!(snap.repair_max, 5);
         assert_eq!(snap.latency_count, 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn durability_counters_roundtrip() {
+        let m = ServerMetrics::default();
+        let snap = m.snapshot();
+        assert_eq!(snap.wal_records, 0);
+        assert_eq!(snap.last_snapshot_epoch, None);
+
+        m.record_wal(12, 4096, 7);
+        m.record_wal(13, 4160, 8); // gauges: later stores win
+        m.record_snapshot(0); // epoch 0 is a real snapshot, not "none"
+        m.record_snapshot(9);
+        m.record_snapshot_error();
+        m.record_recovery(5, 1, 17);
+        let snap = m.snapshot();
+        assert_eq!(snap.wal_records, 13);
+        assert_eq!(snap.wal_bytes, 4160);
+        assert_eq!(snap.fsyncs, 8);
+        assert_eq!(snap.snapshots_written, 2);
+        assert_eq!(snap.snapshot_errors, 1);
+        assert_eq!(snap.last_snapshot_epoch, Some(9));
+        assert_eq!(snap.recovered_records, 5);
+        assert_eq!(snap.recovered_skipped, 1);
+        assert_eq!(snap.recovered_truncated_bytes, 17);
+
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);

@@ -95,7 +95,9 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
 
 fn id_value(id: Option<u64>) -> Value {
     match id {
-        Some(id) => serde_json::to_value(&id).expect("u64 is serializable"),
+        // A u64 always serializes; if the shim ever disagrees, a null
+        // echo id beats panicking a worker mid-response.
+        Some(id) => serde_json::to_value(&id).unwrap_or(Value::Null),
         None => Value::Null,
     }
 }

@@ -1,0 +1,480 @@
+//! Startup recovery: rebuild the live session from a `--wal-dir`.
+//!
+//! The recovery algorithm:
+//!
+//! 1. **Load the newest valid snapshot** (`snapshot.json`). A missing or
+//!    invalid snapshot (torn copy, bit rot, infeasible state) falls back
+//!    to replaying the whole WAL — a bad snapshot never blocks a boot
+//!    the log alone can serve, and never panics.
+//! 2. **Scan the WAL tail** from the snapshot's embedded byte offset
+//!    (or 0 without one). [`crate::wal::scan_from`] classifies the first
+//!    undecodable frame: a *torn tail* (crash mid-append) is truncated
+//!    off the file so the writer can resume at a clean offset;
+//!    *mid-log corruption* refuses the boot with a structured
+//!    [`RecoveryError::Corrupt`] naming the byte offset — truncating
+//!    there would silently drop acked history.
+//! 3. **Replay the tail** through the deterministic
+//!    [`IncrementalArranger`] machinery: `Load` records open a fresh
+//!    session, `Mutation` records re-apply (records that failed at
+//!    runtime fail identically and are skipped — see
+//!    [`IncrementalArranger::replay_tail`]), `Install` records re-adopt
+//!    a solve/restore arrangement.
+//!
+//! The result is bit-identical to the pre-crash state for every acked
+//! request: an ack only follows a durable append, so the recovered log
+//! is always a prefix of the sent stream containing at least every
+//! acked record.
+
+use crate::wal::{
+    self, read_snapshot, scan_from, FsyncPolicy, SnapshotReadError, WalRecord, WalWriter,
+};
+use geacc_core::{DynamicConfig, IncrementalArranger, Instance};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A recovered session: the arranger plus the pristine base instance
+/// snapshots embed.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    pub arranger: IncrementalArranger,
+    pub base: Instance,
+}
+
+/// What recovery found and did — surfaced in the boot log line and the
+/// `stats` op's durability counters.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The live session, if the log (or snapshot) contained one.
+    pub session: Option<RecoveredSession>,
+    /// Byte length of the valid WAL prefix; the writer resumes here.
+    pub wal_offset: u64,
+    /// Records in the valid prefix (snapshot's count + tail records).
+    pub wal_records: u64,
+    /// Tail records replayed (applied or skipped) after the snapshot.
+    pub replayed: u64,
+    /// Tail mutations that failed to apply — they failed identically at
+    /// runtime, so skipping reproduces the served state.
+    pub skipped: u64,
+    /// Torn-tail bytes truncated off the WAL.
+    pub truncated_bytes: u64,
+    /// Whether the snapshot fast path was taken.
+    pub snapshot_used: bool,
+    /// The snapshot's epoch, when one was used.
+    pub snapshot_epoch: Option<u64>,
+}
+
+/// Recovery refused to reconstruct state it cannot vouch for.
+#[derive(Debug)]
+pub enum RecoveryError {
+    Io(io::Error),
+    /// Mid-log corruption: `path` fails its checksum at `offset` with
+    /// more records after it.
+    Corrupt {
+        path: PathBuf,
+        offset: u64,
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "recovery i/o: {e}"),
+            RecoveryError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "refusing to boot: {} is corrupt at byte {offset}: {detail} \
+                 (truncating mid-log would drop acknowledged history; restore \
+                 from a snapshot or move the damaged log aside)",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+impl RecoveryError {
+    /// Flatten into an `io::Error` for callers (the daemon's bind path)
+    /// that only speak io — the structured message survives.
+    pub fn into_io(self) -> io::Error {
+        match self {
+            RecoveryError::Io(e) => e,
+            corrupt => io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string()),
+        }
+    }
+}
+
+/// WAL file path inside `dir`.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(wal::WAL_FILE)
+}
+
+/// Snapshot file path inside `dir`.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(wal::SNAPSHOT_FILE)
+}
+
+/// Recover a session from `dir`, truncating any torn WAL tail, and
+/// return the state plus the offsets a fresh [`WalWriter`] should
+/// resume from. Creates `dir` (empty recovery) on first boot.
+pub fn recover(dir: &Path, config: DynamicConfig) -> Result<Recovery, RecoveryError> {
+    std::fs::create_dir_all(dir)?;
+    let wal_file = wal_path(dir);
+    let bytes = match std::fs::read(&wal_file) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(RecoveryError::Io(e)),
+    };
+
+    // Snapshot fast path: resume the session and scan only the tail.
+    let snapshot = match read_snapshot(&snapshot_path(dir)) {
+        Ok(doc) => Some(doc),
+        Err(SnapshotReadError::Missing | SnapshotReadError::Invalid { .. }) => None,
+        Err(SnapshotReadError::Io(e)) => return Err(RecoveryError::Io(e)),
+    };
+    if let Some(doc) = snapshot {
+        match try_snapshot_recovery(&wal_file, &bytes, doc, config) {
+            Ok(Some(recovery)) => return Ok(recovery),
+            Ok(None) => {} // inconsistent snapshot: fall through to full replay
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Full replay from the beginning of the log.
+    let scan = scan_from(&bytes, 0).map_err(|c| RecoveryError::Corrupt {
+        path: wal_file.clone(),
+        offset: c.offset,
+        detail: c.detail,
+    })?;
+    truncate_torn_tail(&wal_file, &scan)?;
+    let mut state: Option<RecoveredSession> = None;
+    let (mut replayed, mut skipped) = (0u64, 0u64);
+    for scanned in &scan.records {
+        replayed += 1;
+        if !apply_record(&mut state, &scanned.record, config) {
+            skipped += 1;
+        }
+    }
+    Ok(Recovery {
+        session: state,
+        wal_offset: scan.valid_len,
+        wal_records: scan.records.len() as u64,
+        replayed,
+        skipped,
+        truncated_bytes: scan.truncated_bytes,
+        snapshot_used: false,
+        snapshot_epoch: None,
+    })
+}
+
+/// Attempt the snapshot fast path. `Ok(None)` means the snapshot is
+/// internally inconsistent (infeasible arrangement, offset past a
+/// replaced log) and the caller should fall back to full replay.
+fn try_snapshot_recovery(
+    wal_file: &Path,
+    bytes: &[u8],
+    doc: wal::SnapshotDoc,
+    config: DynamicConfig,
+) -> Result<Option<Recovery>, RecoveryError> {
+    let snapshot_offset = doc.wal_offset;
+    let snapshot_records = doc.wal_records;
+    let snapshot_epoch = doc.epoch;
+    let scan = match scan_from(bytes, snapshot_offset) {
+        Ok(scan) => scan,
+        // An offset past EOF means the WAL was replaced under the
+        // snapshot; the log is still self-consistent, so fall back.
+        Err(_) if snapshot_offset > bytes.len() as u64 => return Ok(None),
+        Err(c) => {
+            return Err(RecoveryError::Corrupt {
+                path: wal_file.to_path_buf(),
+                offset: c.offset,
+                detail: c.detail,
+            })
+        }
+    };
+    let arranger =
+        match IncrementalArranger::resume(doc.live, doc.log, doc.arrangement, doc.baseline, config)
+        {
+            Ok(arranger) => arranger,
+            Err(_) => return Ok(None), // infeasible snapshot: fall back
+        };
+    truncate_torn_tail(wal_file, &scan)?;
+    let mut state = Some(RecoveredSession {
+        arranger,
+        base: doc.base,
+    });
+    let (mut replayed, mut skipped) = (0u64, 0u64);
+    for scanned in &scan.records {
+        replayed += 1;
+        if !apply_record(&mut state, &scanned.record, config) {
+            skipped += 1;
+        }
+    }
+    Ok(Some(Recovery {
+        session: state,
+        wal_offset: scan.valid_len,
+        wal_records: snapshot_records + scan.records.len() as u64,
+        replayed,
+        skipped,
+        truncated_bytes: scan.truncated_bytes,
+        snapshot_used: true,
+        snapshot_epoch: Some(snapshot_epoch),
+    }))
+}
+
+/// Apply one replayed record to the session under construction; `false`
+/// means the record was skipped (it failed identically at runtime).
+fn apply_record(
+    state: &mut Option<RecoveredSession>,
+    record: &WalRecord,
+    config: DynamicConfig,
+) -> bool {
+    match record {
+        WalRecord::Load { instance } => {
+            *state = Some(RecoveredSession {
+                arranger: IncrementalArranger::new(instance.clone(), config),
+                base: instance.clone(),
+            });
+            true
+        }
+        WalRecord::Mutation { mutation } => match state {
+            Some(session) => session.arranger.apply(mutation.clone()).is_ok(),
+            None => false, // mutation before any load: skipped at runtime too
+        },
+        WalRecord::Install {
+            arrangement,
+            baseline,
+        } => match state {
+            Some(session) => session
+                .arranger
+                .install(arrangement.clone(), *baseline)
+                .is_ok(),
+            None => false,
+        },
+    }
+}
+
+/// Truncate the WAL file to its valid prefix so the writer resumes at a
+/// clean offset.
+fn truncate_torn_tail(wal_file: &Path, scan: &wal::WalScan) -> Result<(), RecoveryError> {
+    if scan.truncated_bytes == 0 {
+        return Ok(());
+    }
+    let file = std::fs::OpenOptions::new().write(true).open(wal_file)?;
+    file.set_len(scan.valid_len)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Open the WAL writer at the offset recovery validated.
+pub fn open_writer(dir: &Path, policy: FsyncPolicy, recovery: &Recovery) -> io::Result<WalWriter> {
+    WalWriter::open(
+        &wal_path(dir),
+        policy,
+        recovery.wal_offset,
+        recovery.wal_records,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{write_snapshot, SnapshotDoc};
+    use geacc_core::{toy, EventId, Mutation};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("geacc-recovery-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_records(dir: &Path, records: &[WalRecord], policy: FsyncPolicy) {
+        let mut w = WalWriter::open(&wal_path(dir), policy, 0, 0).unwrap();
+        for r in records {
+            w.append(r).unwrap();
+        }
+        w.sync_now().unwrap();
+    }
+
+    fn session_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Load {
+                instance: toy::table1_instance(),
+            },
+            WalRecord::Mutation {
+                mutation: Mutation::AddConflict {
+                    a: EventId(0),
+                    b: EventId(1),
+                },
+            },
+            WalRecord::Mutation {
+                mutation: Mutation::CloseEvent { event: EventId(2) },
+            },
+        ]
+    }
+
+    #[test]
+    fn empty_dir_recovers_to_no_session() {
+        let dir = tmp_dir("empty");
+        let r = recover(&dir, DynamicConfig::default()).unwrap();
+        assert!(r.session.is_none());
+        assert_eq!((r.wal_offset, r.wal_records), (0, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_replay_matches_a_live_session() {
+        let dir = tmp_dir("replay");
+        write_records(&dir, &session_records(), FsyncPolicy::Always);
+        let r = recover(&dir, DynamicConfig::default()).unwrap();
+        let session = r.session.unwrap();
+        assert_eq!(r.replayed, 3);
+        assert_eq!(r.skipped, 0);
+        assert!(!r.snapshot_used);
+
+        let mut live = IncrementalArranger::new(toy::table1_instance(), DynamicConfig::default());
+        live.apply(Mutation::AddConflict {
+            a: EventId(0),
+            b: EventId(1),
+        })
+        .unwrap();
+        live.apply(Mutation::CloseEvent { event: EventId(2) })
+            .unwrap();
+        assert_eq!(session.arranger.arrangement(), live.arrangement());
+        assert_eq!(
+            session.arranger.max_sum().to_bits(),
+            live.max_sum().to_bits()
+        );
+        assert_eq!(session.base, toy::table1_instance());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_the_writer_resumes() {
+        let dir = tmp_dir("torn");
+        write_records(&dir, &session_records(), FsyncPolicy::Never);
+        // Tear the last record.
+        let path = wal_path(&dir);
+        let full = std::fs::read(&path).unwrap();
+        let scan = crate::wal::scan(&full).unwrap();
+        let cut = scan.records[2].offset + 3;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let r = recover(&dir, DynamicConfig::default()).unwrap();
+        assert_eq!(r.replayed, 2);
+        assert_eq!(r.truncated_bytes, 3);
+        assert_eq!(r.wal_offset, scan.records[2].offset);
+        // The file itself was truncated to the valid prefix.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            scan.records[2].offset
+        );
+        // And appending resumes cleanly.
+        let mut w = open_writer(&dir, FsyncPolicy::Always, &r).unwrap();
+        w.append(&session_records()[2]).unwrap();
+        let r2 = recover(&dir, DynamicConfig::default()).unwrap();
+        assert_eq!(r2.wal_records, 3);
+        assert_eq!(r2.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_refuses_to_boot() {
+        let dir = tmp_dir("corrupt");
+        write_records(&dir, &session_records(), FsyncPolicy::Always);
+        let path = wal_path(&dir);
+        let full = std::fs::read(&path).unwrap();
+        let scan = crate::wal::scan(&full).unwrap();
+        let mut bad = full.clone();
+        let idx = (scan.records[1].offset + crate::wal::HEADER_LEN) as usize + 1;
+        bad[idx] ^= 0x20;
+        std::fs::write(&path, &bad).unwrap();
+
+        let err = recover(&dir, DynamicConfig::default()).unwrap_err();
+        match err {
+            RecoveryError::Corrupt { offset, .. } => {
+                assert_eq!(offset, scan.records[1].offset);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_fast_path_plus_tail_equals_full_replay() {
+        let dir_full = tmp_dir("snap-full");
+        let dir_snap = tmp_dir("snap-fast");
+        let records = session_records();
+        write_records(&dir_full, &records, FsyncPolicy::Always);
+        write_records(&dir_snap, &records, FsyncPolicy::Always);
+
+        // Cut a snapshot at record 2 (offset of the third record).
+        let bytes = std::fs::read(wal_path(&dir_snap)).unwrap();
+        let scan = crate::wal::scan(&bytes).unwrap();
+        let mut arranger =
+            IncrementalArranger::new(toy::table1_instance(), DynamicConfig::default());
+        arranger
+            .apply(Mutation::AddConflict {
+                a: EventId(0),
+                b: EventId(1),
+            })
+            .unwrap();
+        let doc = SnapshotDoc {
+            version: 1,
+            wal_offset: scan.records[2].offset,
+            wal_records: 2,
+            epoch: arranger.epoch(),
+            base: toy::table1_instance(),
+            live: arranger.instance().clone(),
+            log: arranger.log().to_vec(),
+            arrangement: arranger.arrangement().clone(),
+            baseline: arranger.baseline_max_sum(),
+        };
+        write_snapshot(&snapshot_path(&dir_snap), &doc).unwrap();
+
+        let full = recover(&dir_full, DynamicConfig::default()).unwrap();
+        let fast = recover(&dir_snap, DynamicConfig::default()).unwrap();
+        assert!(fast.snapshot_used);
+        assert_eq!(fast.snapshot_epoch, Some(1));
+        assert_eq!(fast.replayed, 1, "only the tail replays");
+        assert_eq!(fast.wal_records, full.wal_records);
+        let (a, b) = (full.session.unwrap(), fast.session.unwrap());
+        assert_eq!(a.arranger.arrangement(), b.arranger.arrangement());
+        assert_eq!(a.arranger.epoch(), b.arranger.epoch());
+        assert_eq!(
+            a.arranger.max_sum().to_bits(),
+            b.arranger.max_sum().to_bits()
+        );
+        assert_eq!(a.base, b.base);
+        std::fs::remove_dir_all(&dir_full).ok();
+        std::fs::remove_dir_all(&dir_snap).ok();
+    }
+
+    #[test]
+    fn invalid_snapshot_falls_back_to_full_replay() {
+        let dir = tmp_dir("snap-bad");
+        write_records(&dir, &session_records(), FsyncPolicy::Always);
+        std::fs::write(snapshot_path(&dir), b"{\"torn\": tru").unwrap();
+        let r = recover(&dir, DynamicConfig::default()).unwrap();
+        assert!(!r.snapshot_used);
+        assert_eq!(r.replayed, 3);
+        assert!(r.session.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -37,11 +37,15 @@
 
 use crate::metrics::{MetricsSnapshot, Op, ServerMetrics};
 use crate::protocol::{self, ServiceError};
+use crate::recovery;
 use crate::service::Service;
+use crate::wal::FsyncPolicy;
 use geacc_core::parallel::Threads;
+use geacc_core::DynamicConfig;
 use std::io::{BufRead, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -63,6 +67,14 @@ pub struct ServerConfig {
     pub solve_threads: Threads,
     /// `rebuild_drift_ratio` for the managed arranger.
     pub drift_ratio: f64,
+    /// Durability directory (WAL + rotated snapshot); `None` serves
+    /// purely in memory.
+    pub wal_dir: Option<PathBuf>,
+    /// When appended WAL records reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Auto-snapshot cadence in mutations; `None` never rotates (the
+    /// WAL alone carries recovery).
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +86,9 @@ impl Default for ServerConfig {
             default_timeout_ms: 5000,
             solve_threads: Threads::from_env(),
             drift_ratio: 0.2,
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: None,
         }
     }
 }
@@ -95,6 +110,9 @@ pub struct Server {
     config: ServerConfig,
     service: Arc<Service>,
     stop: Arc<AtomicBool>,
+    /// One human-readable line describing what startup recovery found
+    /// (`None` without a `--wal-dir`); the CLI prints it at boot.
+    recovery_summary: Option<String>,
 }
 
 /// How often blocked loops (accept, reader) wake to poll the stop flag.
@@ -104,7 +122,11 @@ const POLL_INTERVAL: Duration = Duration::from_millis(5);
 const READ_TIMEOUT: Duration = Duration::from_millis(200);
 
 impl Server {
-    /// Bind the listener and assemble the service. No thread starts
+    /// Bind the listener and assemble the service. With a `wal_dir`,
+    /// this is where crash recovery happens: the WAL (and snapshot) are
+    /// replayed into the service and the writer is armed at the
+    /// validated offset — a corrupt log refuses the bind with a
+    /// structured error naming the bad byte offset. No thread starts
     /// until [`Server::run`].
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
@@ -116,12 +138,49 @@ impl Server {
             config.solve_threads,
             config.drift_ratio,
         ));
+        let mut recovery_summary = None;
+        if let Some(dir) = &config.wal_dir {
+            let rec = recovery::recover(
+                dir,
+                DynamicConfig {
+                    rebuild_drift_ratio: config.drift_ratio,
+                },
+            )
+            .map_err(recovery::RecoveryError::into_io)?;
+            let writer = recovery::open_writer(dir, config.fsync, &rec)?;
+            recovery_summary = Some(format!(
+                "recovered {} WAL record(s) ({} replayed, {} skipped, {} torn byte(s) truncated){} from {}",
+                rec.wal_records,
+                rec.replayed,
+                rec.skipped,
+                rec.truncated_bytes,
+                match rec.snapshot_epoch {
+                    Some(epoch) => format!(" via snapshot at epoch {epoch}"),
+                    None => String::new(),
+                },
+                dir.display(),
+            ));
+            service.install_recovered(
+                rec,
+                writer,
+                dir.clone(),
+                config.fsync,
+                config.snapshot_every,
+            );
+        }
         Ok(Server {
             listener,
             config,
             service,
             stop,
+            recovery_summary,
         })
+    }
+
+    /// What startup recovery found, for the boot log line (`None`
+    /// without a `wal_dir`).
+    pub fn recovery_summary(&self) -> Option<&str> {
+        self.recovery_summary.as_deref()
     }
 
     /// The actually-bound address (resolves port 0).
@@ -185,6 +244,10 @@ impl Server {
         for handle in worker_handles {
             let _ = handle.join();
         }
+        // Final durability barrier: under `interval`/`never` fsync, any
+        // buffered WAL bytes reach disk before the process exits. Best
+        // effort — a sync failure must not eat the metrics dump.
+        let _ = self.service.sync_wal();
         Ok(self.service.metrics.snapshot())
     }
 }

@@ -8,9 +8,30 @@
 //! (budgeted) solve work around it. `solve` is the exception: it holds
 //! the lock for the whole budgeted pipeline run, which is why its budget
 //! is clamped to the request deadline.
+//!
+//! ## Durability
+//!
+//! With a `--wal-dir`, every state change is logged to the WAL **before
+//! the client is acked** (see [`crate::wal`]): `load` logs the base
+//! instance, `mutate` logs the mutation *before* applying it (a
+//! mutation that then fails to apply fails identically on replay and is
+//! skipped), and `solve` logs the adopted arrangement. `restore` swaps
+//! in a whole new history, so instead of logging it record-by-record it
+//! forces an atomic snapshot at the current WAL offset — recovery
+//! resumes from the snapshot and the old log tail is superseded.
+//!
+//! The WAL lock is only ever taken while the session lock is held (or
+//! for read-only stats), so append order always matches apply order. If
+//! an append or sync fails, the durability layer is **poisoned**: the
+//! in-memory state and the log can no longer be proven consistent, so
+//! every later state-changing op answers a structured `wal_failed`
+//! error instead of quietly diverging. Read ops keep working; a restart
+//! recovers the last durable state.
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, ServiceError};
+use crate::recovery::{self, Recovery};
+use crate::wal::{self, FsyncPolicy, SnapshotDoc, WalRecord, WalWriter};
 use geacc_core::algorithms::Algorithm;
 use geacc_core::parallel::Threads;
 use geacc_core::{
@@ -19,26 +40,45 @@ use geacc_core::{
 };
 use serde::Serialize;
 use serde_json::{json, Value};
-use std::io::{BufWriter, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
-fn field<T: Serialize>(key: &str, value: &T) -> (String, Value) {
-    (
-        key.to_string(),
-        serde_json::to_value(value).expect("response fields are serializable"),
-    )
+/// Serialize one response field. Failures (a NaN drift, say) become a
+/// structured `internal` error — the request path never panics.
+fn field<T: Serialize>(key: &str, value: &T) -> Result<(String, Value), ServiceError> {
+    match serde_json::to_value(value) {
+        Ok(v) => Ok((key.to_string(), v)),
+        Err(e) => Err(ServiceError::new(
+            "internal",
+            format!("serializing response field {key:?}: {e}"),
+        )),
+    }
 }
 
 fn bad_request(message: impl Into<String>) -> ServiceError {
     ServiceError::new("bad_request", message)
 }
 
+fn wal_failed(detail: impl std::fmt::Display) -> ServiceError {
+    ServiceError::new(
+        "wal_failed",
+        format!(
+            "WAL write failed: {detail}; durability is poisoned and \
+             state-changing ops are disabled until restart (reads still work)"
+        ),
+    )
+}
+
 /// The shared request handler: arranger state, metrics, and the stop
 /// flag the `shutdown` op raises.
 pub struct Service {
     state: Mutex<Option<Session>>,
+    /// The WAL half. `None` without `--wal-dir`. Locked only while the
+    /// session lock is held (mutating ops) or alone for read-only stats
+    /// — never the other way round.
+    durability: Mutex<Option<Durability>>,
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) stop: Arc<AtomicBool>,
     threads: Threads,
@@ -52,6 +92,20 @@ struct Session {
     base: Instance,
 }
 
+/// The live durability state behind a `--wal-dir`.
+struct Durability {
+    dir: PathBuf,
+    writer: WalWriter,
+    policy: FsyncPolicy,
+    /// Auto-snapshot cadence in mutations; `None` disables rotation.
+    snapshot_every: Option<u64>,
+    /// Epoch at the last rotated (or recovered) snapshot.
+    last_snapshot_epoch: Option<u64>,
+    /// Set when an append/sync failed: memory and log may disagree, so
+    /// state-changing ops are refused until a restart re-syncs them.
+    poisoned: Option<String>,
+}
+
 impl Service {
     pub fn new(
         metrics: Arc<ServerMetrics>,
@@ -61,6 +115,7 @@ impl Service {
     ) -> Self {
         Service {
             state: Mutex::new(None),
+            durability: Mutex::new(None),
             metrics,
             stop,
             threads,
@@ -73,6 +128,145 @@ impl Service {
         // panic was already caught and reported as an `internal` error,
         // so keep serving rather than wedging every later request.
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn dlock(&self) -> MutexGuard<'_, Option<Durability>> {
+        self.durability.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adopt the state recovery reconstructed from a `--wal-dir` and
+    /// arm the WAL writer at the offset recovery validated. Called once
+    /// at bind time, before any request thread exists.
+    pub fn install_recovered(
+        &self,
+        recovery: Recovery,
+        writer: WalWriter,
+        dir: PathBuf,
+        policy: FsyncPolicy,
+        snapshot_every: Option<u64>,
+    ) {
+        self.metrics.record_recovery(
+            recovery.replayed,
+            recovery.skipped,
+            recovery.truncated_bytes,
+        );
+        self.metrics
+            .record_wal(writer.records(), writer.offset(), writer.fsyncs());
+        if let Some(found) = recovery.session {
+            *self.lock() = Some(Session {
+                arranger: found.arranger,
+                base: found.base,
+            });
+        }
+        *self.dlock() = Some(Durability {
+            dir,
+            writer,
+            policy,
+            snapshot_every,
+            last_snapshot_epoch: recovery.snapshot_epoch,
+            poisoned: None,
+        });
+    }
+
+    /// Force any buffered WAL bytes to disk (the drain barrier). A
+    /// no-op without a WAL or with a poisoned one.
+    pub fn sync_wal(&self) -> std::io::Result<()> {
+        let mut guard = self.dlock();
+        if let Some(d) = guard.as_mut() {
+            if d.poisoned.is_none() {
+                d.writer.sync_now()?;
+                self.metrics
+                    .record_wal(d.writer.records(), d.writer.offset(), d.writer.fsyncs());
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one record to the WAL (no-op without one), mirroring the
+    /// writer's counters into the metrics. Must be called with the
+    /// session lock held so append order matches apply order. An error
+    /// poisons durability: the caller must not ack the request.
+    fn log_record(&self, record: &WalRecord) -> Result<(), ServiceError> {
+        let mut guard = self.dlock();
+        let Some(d) = guard.as_mut() else {
+            return Ok(());
+        };
+        if let Some(why) = &d.poisoned {
+            return Err(wal_failed(why));
+        }
+        match d.writer.append(record) {
+            Ok(_) => {
+                if matches!(record, WalRecord::Load { .. }) {
+                    // A fresh session restarts the epoch clock; the
+                    // auto-snapshot cadence restarts with it.
+                    d.last_snapshot_epoch = None;
+                }
+                self.metrics
+                    .record_wal(d.writer.records(), d.writer.offset(), d.writer.fsyncs());
+                Ok(())
+            }
+            Err(e) => {
+                let detail = e.to_string();
+                d.poisoned = Some(detail.clone());
+                Err(wal_failed(detail))
+            }
+        }
+    }
+
+    /// Rotate an auto-snapshot if the cadence is due. Failures are
+    /// counted but never fail the request — the WAL already holds the
+    /// acked history, so a missed rotation only costs recovery time.
+    fn maybe_auto_snapshot(&self, session: &Session) {
+        let mut guard = self.dlock();
+        let Some(d) = guard.as_mut() else {
+            return;
+        };
+        let Some(every) = d.snapshot_every else {
+            return;
+        };
+        if every == 0 || d.poisoned.is_some() {
+            return;
+        }
+        let epoch = session.arranger.epoch();
+        let since = match d.last_snapshot_epoch {
+            Some(at) => epoch.saturating_sub(at),
+            None => epoch,
+        };
+        if since < every {
+            return;
+        }
+        match Self::cut_snapshot(d, session.arranger(), &session.base) {
+            Ok(()) => {
+                d.last_snapshot_epoch = Some(epoch);
+                self.metrics.record_snapshot(epoch);
+                self.metrics
+                    .record_wal(d.writer.records(), d.writer.offset(), d.writer.fsyncs());
+            }
+            Err(_) => self.metrics.record_snapshot_error(),
+        }
+    }
+
+    /// Write the durability snapshot for `arranger` at the writer's
+    /// current offset: sync the WAL first (the snapshot must not claim
+    /// bytes that are not yet on disk), then atomically rotate the file.
+    fn cut_snapshot(
+        d: &mut Durability,
+        arranger: &IncrementalArranger,
+        base: &Instance,
+    ) -> std::io::Result<()> {
+        d.writer.sync_now()?;
+        let doc = SnapshotDoc {
+            version: 1,
+            wal_offset: d.writer.offset(),
+            wal_records: d.writer.records(),
+            epoch: arranger.epoch(),
+            base: base.clone(),
+            live: arranger.instance().clone(),
+            log: arranger.log().to_vec(),
+            arrangement: arranger.arrangement().clone(),
+            baseline: arranger.baseline_max_sum(),
+        };
+        wal::write_snapshot(&recovery::snapshot_path(&d.dir), &doc)
     }
 
     /// Dispatch one request. `deadline` is the request's admission time
@@ -120,20 +314,22 @@ impl Service {
         }
     }
 
-    fn summary(arranger: &IncrementalArranger) -> Value {
-        Value::Object(vec![
-            field("epoch", &arranger.epoch()),
-            field("num_events", &arranger.instance().num_events()),
-            field("num_users", &arranger.instance().num_users()),
-            field("pairs", &arranger.arrangement().len()),
-            field("max_sum", &arranger.max_sum()),
-            field("drift", &arranger.drift()),
-            field("needs_rebuild", &arranger.needs_rebuild()),
-        ])
+    fn summary(arranger: &IncrementalArranger) -> Result<Value, ServiceError> {
+        Ok(Value::Object(vec![
+            field("epoch", &arranger.epoch())?,
+            field("num_events", &arranger.instance().num_events())?,
+            field("num_users", &arranger.instance().num_users())?,
+            field("pairs", &arranger.arrangement().len())?,
+            field("max_sum", &arranger.max_sum())?,
+            field("drift", &arranger.drift())?,
+            field("needs_rebuild", &arranger.needs_rebuild())?,
+        ]))
     }
 
     /// `load`: adopt an instance, inline (`"instance": {…}`) or from a
-    /// JSON file (`"path": "…"`). Replaces any previous session.
+    /// JSON file (`"path": "…"`). Replaces any previous session. The
+    /// session lock is held across the WAL append and the swap so a
+    /// concurrent mutate cannot interleave between them.
     fn load(&self, body: &Value) -> Result<Value, ServiceError> {
         let instance: Instance = match (
             protocol::get(body, "instance"),
@@ -153,21 +349,29 @@ impl Service {
                 ))
             }
         };
+        let mut guard = self.lock();
+        self.log_record(&WalRecord::Load {
+            instance: instance.clone(),
+        })?;
         let arranger = IncrementalArranger::new(
             instance.clone(),
             DynamicConfig {
                 rebuild_drift_ratio: self.drift_ratio,
             },
         );
-        let summary = Self::summary(&arranger);
-        *self.lock() = Some(Session {
+        let summary = Self::summary(&arranger)?;
+        *guard = Some(Session {
             arranger,
             base: instance,
         });
         Ok(summary)
     }
 
-    /// `mutate`: apply one [`Mutation`] with localized repair.
+    /// `mutate`: apply one [`Mutation`] with localized repair. The
+    /// mutation is WAL-logged **before** it is applied: an acked mutate
+    /// is durable, and a logged mutation that fails to apply fails
+    /// identically on replay (the arranger is deterministic), so the
+    /// record is harmless.
     fn mutate(&self, body: &Value) -> Result<Value, ServiceError> {
         let mutation: Mutation = match protocol::get(body, "mutation") {
             Some(value) => serde_json::from_value(value.clone())
@@ -175,21 +379,26 @@ impl Service {
             None => return Err(bad_request("mutate needs a \"mutation\" object")),
         };
         self.with_session(|session| {
+            self.log_record(&WalRecord::Mutation {
+                mutation: mutation.clone(),
+            })?;
             let report = session
                 .arranger
                 .apply(mutation)
                 .map_err(|e| ServiceError::new("mutation_failed", e.to_string()))?;
             self.metrics
                 .record_repair(report.evicted, report.reassigned);
-            Ok(Value::Object(vec![
-                field("epoch", &report.epoch),
-                field("evicted", &report.evicted),
-                field("reassigned", &report.reassigned),
-                field("max_sum", &report.max_sum_after),
-                field("delta", &report.max_sum_delta()),
-                field("drift", &session.arranger.drift()),
-                field("needs_rebuild", &session.arranger.needs_rebuild()),
-            ]))
+            let response = Value::Object(vec![
+                field("epoch", &report.epoch)?,
+                field("evicted", &report.evicted)?,
+                field("reassigned", &report.reassigned)?,
+                field("max_sum", &report.max_sum_after)?,
+                field("delta", &report.max_sum_delta())?,
+                field("drift", &session.arranger.drift())?,
+                field("needs_rebuild", &session.arranger.needs_rebuild())?,
+            ]);
+            self.maybe_auto_snapshot(session);
+            Ok(response)
         })
     }
 
@@ -206,21 +415,21 @@ impl Service {
                 )));
             }
             let u = UserId(id as u32);
-            let events: Vec<Value> = session
+            let events = session
                 .arranger
                 .arrangement()
                 .events_of(u)
                 .iter()
                 .map(|&v| {
-                    Value::Object(vec![
-                        field("event", &v),
-                        field("similarity", &inst.similarity(v, u)),
-                    ])
+                    Ok(Value::Object(vec![
+                        field("event", &v)?,
+                        field("similarity", &inst.similarity(v, u))?,
+                    ]))
                 })
-                .collect();
+                .collect::<Result<Vec<Value>, ServiceError>>()?;
             Ok(Value::Object(vec![
-                field("user", &u),
-                field("capacity", &inst.user_capacity(u)),
+                field("user", &u)?,
+                field("capacity", &inst.user_capacity(u))?,
                 ("events".to_string(), Value::Array(events)),
             ]))
         })
@@ -239,35 +448,48 @@ impl Service {
                 )));
             }
             let v = EventId(id as u32);
-            let attendees: Vec<Value> = inst
+            let attendees = inst
                 .users()
                 .filter(|&u| session.arranger.arrangement().contains(v, u))
                 .map(|u| {
-                    Value::Object(vec![
-                        field("user", &u),
-                        field("similarity", &inst.similarity(v, u)),
-                    ])
+                    Ok(Value::Object(vec![
+                        field("user", &u)?,
+                        field("similarity", &inst.similarity(v, u))?,
+                    ]))
                 })
-                .collect();
+                .collect::<Result<Vec<Value>, ServiceError>>()?;
             Ok(Value::Object(vec![
-                field("event", &v),
-                field("capacity", &inst.event_capacity(v)),
-                field("count", &session.arranger.arrangement().attendees_of(v)),
+                field("event", &v)?,
+                field("capacity", &inst.event_capacity(v))?,
+                field("count", &session.arranger.arrangement().attendees_of(v))?,
                 ("attendees".to_string(), Value::Array(attendees)),
             ]))
         })
     }
 
     /// `stats`: live metrics plus the arranger summary (null before
-    /// `load`).
+    /// `load`) and the durability state (null without `--wal-dir`).
     fn stats(&self) -> Result<Value, ServiceError> {
         let arranger = match self.lock().as_ref() {
-            Some(session) => Self::summary(&session.arranger),
+            Some(session) => Self::summary(&session.arranger)?,
+            None => Value::Null,
+        };
+        let durability = match self.dlock().as_ref() {
+            Some(d) => Value::Object(vec![
+                field("wal_dir", &d.dir.display().to_string())?,
+                field("fsync", &d.policy.to_string())?,
+                field("wal_offset", &d.writer.offset())?,
+                field("wal_records", &d.writer.records())?,
+                field("snapshot_every", &d.snapshot_every)?,
+                field("last_snapshot_epoch", &d.last_snapshot_epoch)?,
+                field("poisoned", &d.poisoned)?,
+            ]),
             None => Value::Null,
         };
         Ok(Value::Object(vec![
-            field("server", &self.metrics.snapshot()),
+            field("server", &self.metrics.snapshot())?,
             ("arranger".to_string(), arranger),
+            ("durability".to_string(), durability),
         ]))
     }
 
@@ -275,7 +497,10 @@ impl Service {
     /// result ([`IncrementalArranger::rebuild`]). The budget is the
     /// requested `timeout_ms`/`max_nodes` clamped to the request's
     /// remaining deadline, so a queued solve can never overstay its
-    /// admission contract.
+    /// admission contract. The adopted arrangement is WAL-logged as an
+    /// `Install` record; if that append fails the op errors (un-acked)
+    /// and durability is poisoned, so the in-memory/log divergence
+    /// cannot compound — a restart recovers the pre-solve state.
     fn solve(&self, body: &Value, deadline: Instant) -> Result<Value, ServiceError> {
         let algorithm = match protocol::get_str(body, "algorithm").unwrap_or("greedy") {
             "greedy" => Algorithm::Greedy,
@@ -308,45 +533,47 @@ impl Service {
         let pipeline = SolverPipeline::new(algorithm, budget).with_threads(self.threads);
         self.with_session(|session| {
             let outcome = session.arranger.rebuild(&pipeline);
+            self.log_record(&WalRecord::Install {
+                arrangement: session.arranger.arrangement().clone(),
+                baseline: session.arranger.baseline_max_sum(),
+            })?;
             Ok(Value::Object(vec![
-                field("status", &outcome.status.to_string()),
-                field("exit_code", &outcome.status.exit_code()),
-                field("max_sum", &session.arranger.max_sum()),
-                field("pairs", &session.arranger.arrangement().len()),
-                field("nodes", &outcome.nodes),
-                field("elapsed_ms", &(outcome.elapsed.as_millis() as u64)),
-                field("epoch", &session.arranger.epoch()),
+                field("status", &outcome.status.to_string())?,
+                field("exit_code", &outcome.status.exit_code())?,
+                field("max_sum", &session.arranger.max_sum())?,
+                field("pairs", &session.arranger.arrangement().len())?,
+                field("nodes", &outcome.nodes)?,
+                field("elapsed_ms", &(outcome.elapsed.as_millis() as u64))?,
+                field("epoch", &session.arranger.epoch())?,
             ]))
         })
     }
 
     /// `snapshot`: persist the session to a file — base instance,
     /// mutation log, the standing arrangement, and its drift baseline.
-    /// Streamed with `to_writer`, never materialized as one string.
+    /// The write is atomic (temp file + fsync + rename): a crash
+    /// mid-snapshot leaves the previous file intact, never a torn one.
     fn snapshot(&self, body: &Value) -> Result<Value, ServiceError> {
         let path = protocol::get_str(body, "path")
             .ok_or_else(|| bad_request("snapshot needs a \"path\""))?;
         self.with_session(|session| {
-            let file = std::fs::File::create(path)
-                .map_err(|e| ServiceError::new("io", format!("creating {path}: {e}")))?;
-            let mut writer = BufWriter::new(file);
             let doc = Value::Object(vec![
-                field("instance", &session.base),
-                field("log", &session.arranger.log().to_vec()),
-                field("arrangement", session.arranger.arrangement()),
-                field("baseline", &session.arranger.baseline_max_sum()),
-                field("epoch", &session.arranger.epoch()),
+                field("instance", &session.base)?,
+                field("log", &session.arranger.log().to_vec())?,
+                field("arrangement", session.arranger.arrangement())?,
+                field("baseline", &session.arranger.baseline_max_sum())?,
+                field("epoch", &session.arranger.epoch())?,
             ]);
-            serde_json::to_writer(&mut writer, &doc)
-                .map_err(|e| ServiceError::new("io", format!("writing {path}: {e}")))?;
-            writer
-                .write_all(b"\n")
-                .and_then(|()| writer.flush())
+            let mut bytes = Vec::with_capacity(64 * 1024);
+            serde_json::to_writer(&mut bytes, &doc)
+                .map_err(|e| ServiceError::new("io", format!("encoding snapshot: {e}")))?;
+            bytes.push(b'\n');
+            wal::atomic_write(std::path::Path::new(path), &bytes)
                 .map_err(|e| ServiceError::new("io", format!("writing {path}: {e}")))?;
             Ok(Value::Object(vec![
-                field("path", &path),
-                field("epoch", &session.arranger.epoch()),
-                field("mutations", &session.arranger.log().len()),
+                field("path", &path)?,
+                field("epoch", &session.arranger.epoch())?,
+                field("mutations", &session.arranger.log().len())?,
             ]))
         })
     }
@@ -356,7 +583,9 @@ impl Service {
     /// reproducing every intermediate state), then the snapshot's own
     /// arrangement is installed on top — it may differ from the replay
     /// when a `solve` ran before the snapshot — after a feasibility
-    /// check.
+    /// check. With a WAL, the restored state is made durable by forcing
+    /// an atomic durability snapshot *before* the swap is acked; if
+    /// that fails, the op errors and the running session is unchanged.
     fn restore(&self, body: &Value) -> Result<Value, ServiceError> {
         let path = protocol::get_str(body, "path")
             .ok_or_else(|| bad_request("restore needs a \"path\""))?;
@@ -396,15 +625,58 @@ impl Service {
                 ),
             )
         })?;
-        let summary = Self::summary(&arranger);
-        *self.lock() = Some(Session { arranger, base });
+        let summary = Self::summary(&arranger)?;
+        let mut guard = self.lock();
+        self.persist_restored(&arranger, &base)?;
+        *guard = Some(Session { arranger, base });
         Ok(summary)
+    }
+
+    /// Make a restored session durable: force a durability snapshot at
+    /// the current WAL offset (superseding the logged history). A no-op
+    /// without a WAL. Called with the session lock held.
+    fn persist_restored(
+        &self,
+        arranger: &IncrementalArranger,
+        base: &Instance,
+    ) -> Result<(), ServiceError> {
+        let mut guard = self.dlock();
+        let Some(d) = guard.as_mut() else {
+            return Ok(());
+        };
+        if let Some(why) = &d.poisoned {
+            return Err(wal_failed(why));
+        }
+        let epoch = arranger.epoch();
+        match Self::cut_snapshot(d, arranger, base) {
+            Ok(()) => {
+                d.last_snapshot_epoch = Some(epoch);
+                self.metrics.record_snapshot(epoch);
+                self.metrics
+                    .record_wal(d.writer.records(), d.writer.offset(), d.writer.fsyncs());
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.record_snapshot_error();
+                Err(ServiceError::new(
+                    "io",
+                    format!("persisting restored session: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+impl Session {
+    fn arranger(&self) -> &IncrementalArranger {
+        &self.arranger
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
     use std::time::Duration;
 
     fn service() -> Service {
@@ -414,6 +686,29 @@ mod tests {
             Threads::single(),
             0.2,
         )
+    }
+
+    /// A service armed with a WAL in `dir`, as `Server::bind` would
+    /// build it.
+    fn durable_service(dir: &Path, snapshot_every: Option<u64>) -> Service {
+        let svc = service();
+        let rec = recovery::recover(dir, DynamicConfig::default()).unwrap();
+        let writer = recovery::open_writer(dir, FsyncPolicy::Never, &rec).unwrap();
+        svc.install_recovered(
+            rec,
+            writer,
+            dir.to_path_buf(),
+            FsyncPolicy::Never,
+            snapshot_every,
+        );
+        svc
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("geacc-service-tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     fn call(svc: &Service, line: &str) -> Result<Value, ServiceError> {
@@ -487,11 +782,12 @@ mod tests {
         .unwrap();
         let before = call(&svc, r#"{"op": "stats"}"#).unwrap();
 
-        let dir = std::env::temp_dir().join("geacc-server-test-snapshot");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmp_dir("snapshot-roundtrip");
         let path = dir.join("snap.json");
         let path = path.to_str().unwrap();
         call(&svc, &format!(r#"{{"op": "snapshot", "path": "{path}"}}"#)).unwrap();
+        // Atomic write: the staging file must be gone.
+        assert!(!wal::tmp_path(Path::new(path)).exists());
 
         // Restore into a fresh service and compare the arranger summary.
         let svc2 = service();
@@ -503,7 +799,204 @@ mod tests {
         let a = call(&svc, r#"{"op": "query_user", "user": 0}"#).unwrap();
         let b = call(&svc2, r#"{"op": "query_user", "user": 0}"#).unwrap();
         assert_eq!(a, b);
-        std::fs::remove_file(path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_of_truncated_snapshot_is_a_structured_error() {
+        let svc = service();
+        call(&svc, &toy_line()).unwrap();
+        let dir = tmp_dir("restore-truncated");
+        let path = dir.join("snap.json");
+        call(
+            &svc,
+            &format!(r#"{{"op": "snapshot", "path": "{}"}}"#, path.display()),
+        )
+        .unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let before = call(&svc, r#"{"op": "stats"}"#).unwrap();
+
+        // Every truncation point must fail structurally, never panic,
+        // and leave the running session untouched.
+        for cut in [0, 1, full.len() / 2, full.len() - 2] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = call(
+                &svc,
+                &format!(r#"{{"op": "restore", "path": "{}"}}"#, path.display()),
+            )
+            .unwrap_err();
+            assert_eq!(err.code, "bad_request", "cut at {cut}: {}", err.message);
+            assert!(
+                err.message.contains("snap.json"),
+                "error must name the file: {}",
+                err.message
+            );
+        }
+        assert_eq!(call(&svc, r#"{"op": "stats"}"#).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_of_bitflipped_snapshot_never_panics() {
+        let svc = service();
+        call(&svc, &toy_line()).unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+        )
+        .unwrap();
+        let dir = tmp_dir("restore-bitflip");
+        let path = dir.join("snap.json");
+        call(
+            &svc,
+            &format!(r#"{{"op": "snapshot", "path": "{}"}}"#, path.display()),
+        )
+        .unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let before = call(&svc, r#"{"op": "stats"}"#).unwrap();
+
+        // Flip one bit at a spread of positions; each either still
+        // restores (the flip hit insignificant whitespace/digits) or
+        // fails with a structured error — session state only changes on
+        // success, and a panic fails the test harness outright.
+        let step = (full.len() / 23).max(1);
+        for at in (0..full.len()).step_by(step) {
+            let mut bad = full.clone();
+            bad[at] ^= 0x10;
+            std::fs::write(&path, &bad).unwrap();
+            let fresh = service();
+            match call(
+                &fresh,
+                &format!(r#"{{"op": "restore", "path": "{}"}}"#, path.display()),
+            ) {
+                Ok(_) => {}
+                Err(e) => assert!(
+                    matches!(
+                        e.code,
+                        "bad_request" | "mutation_failed" | "infeasible_snapshot"
+                    ),
+                    "unexpected error code {} at byte {at}: {}",
+                    e.code,
+                    e.message
+                ),
+            }
+        }
+        // The original service never restored a corrupt file.
+        assert_eq!(call(&svc, r#"{"op": "stats"}"#).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_session_survives_a_new_service() {
+        let dir = tmp_dir("durable-roundtrip");
+        let svc = durable_service(&dir, None);
+        call(&svc, &toy_line()).unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+        )
+        .unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"CloseEvent": {"event": 2}}}"#,
+        )
+        .unwrap();
+        let user_before = call(&svc, r#"{"op": "query_user", "user": 0}"#).unwrap();
+        let stats = call(&svc, r#"{"op": "stats"}"#).unwrap();
+        let server = protocol::get(&stats, "server").unwrap();
+        assert_eq!(protocol::get_u64(server, "wal_records"), Some(3));
+        let durability = protocol::get(&stats, "durability").unwrap();
+        assert_eq!(protocol::get_u64(durability, "wal_records"), Some(3));
+        drop(svc); // simulate the process dying (WAL file is already written)
+
+        let svc2 = durable_service(&dir, None);
+        let stats = call(&svc2, r#"{"op": "stats"}"#).unwrap();
+        let server = protocol::get(&stats, "server").unwrap();
+        assert_eq!(protocol::get_u64(server, "recovered_records"), Some(3));
+        let user_after = call(&svc2, r#"{"op": "query_user", "user": 0}"#).unwrap();
+        assert_eq!(user_before, user_after);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_snapshot_rotates_at_the_cadence() {
+        let dir = tmp_dir("auto-snapshot");
+        let svc = durable_service(&dir, Some(2));
+        call(&svc, &toy_line()).unwrap();
+        let snap = recovery::snapshot_path(&dir);
+        assert!(!snap.exists());
+        for (a, b) in [(0u32, 1u32), (0, 2)] {
+            call(
+                &svc,
+                &format!(
+                    r#"{{"op": "mutate", "mutation": {{"AddConflict": {{"a": {a}, "b": {b}}}}}}}"#
+                ),
+            )
+            .unwrap();
+        }
+        assert!(snap.exists(), "snapshot must rotate at epoch 2");
+        let doc = wal::read_snapshot(&snap).unwrap();
+        assert_eq!(doc.epoch, 2);
+        let stats = call(&svc, r#"{"op": "stats"}"#).unwrap();
+        let server = protocol::get(&stats, "server").unwrap();
+        assert_eq!(protocol::get_u64(server, "snapshots_written"), Some(1));
+        assert_eq!(protocol::get_u64(server, "last_snapshot_epoch"), Some(2));
+
+        // Recovery takes the fast path and matches the live state.
+        let live_user = call(&svc, r#"{"op": "query_user", "user": 1}"#).unwrap();
+        drop(svc);
+        let rec = recovery::recover(&dir, DynamicConfig::default()).unwrap();
+        assert!(rec.snapshot_used);
+        let svc2 = durable_service(&dir, Some(2));
+        assert_eq!(
+            call(&svc2, r#"{"op": "query_user", "user": 1}"#).unwrap(),
+            live_user
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_under_wal_forces_a_durability_snapshot() {
+        let dir = tmp_dir("restore-durable");
+        let svc = durable_service(&dir, None);
+        call(&svc, &toy_line()).unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+        )
+        .unwrap();
+        let manual = dir.join("manual.json");
+        call(
+            &svc,
+            &format!(r#"{{"op": "snapshot", "path": "{}"}}"#, manual.display()),
+        )
+        .unwrap();
+        // Diverge, then restore the earlier state.
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"CloseEvent": {"event": 2}}}"#,
+        )
+        .unwrap();
+        call(
+            &svc,
+            &format!(r#"{{"op": "restore", "path": "{}"}}"#, manual.display()),
+        )
+        .unwrap();
+        let user_before = call(&svc, r#"{"op": "query_user", "user": 0}"#).unwrap();
+        drop(svc);
+
+        // A restart recovers the *restored* state, not the diverged log.
+        let rec = recovery::recover(&dir, DynamicConfig::default()).unwrap();
+        assert!(rec.snapshot_used, "restore must have cut a snapshot");
+        let svc2 = durable_service(&dir, None);
+        assert_eq!(
+            call(&svc2, r#"{"op": "query_user", "user": 0}"#).unwrap(),
+            user_before
+        );
+        let stats = call(&svc2, r#"{"op": "stats"}"#).unwrap();
+        let arranger = protocol::get(&stats, "arranger").unwrap();
+        assert_eq!(protocol::get_u64(arranger, "epoch"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

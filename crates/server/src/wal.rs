@@ -1,0 +1,818 @@
+//! The write-ahead log: per-mutation durability for the arrangement
+//! service.
+//!
+//! ## Record framing
+//!
+//! The WAL is a single append-only file of length-prefixed, checksummed
+//! records:
+//!
+//! ```text
+//! ┌──────────────┬──────────────┬───────────────────┐
+//! │ len: u32 LE  │ crc: u32 LE  │ payload (len B)   │
+//! └──────────────┴──────────────┴───────────────────┘
+//! ```
+//!
+//! The payload is a JSON-encoded [`WalRecord`] (mutations use exactly
+//! the `mutate` op's wire format via [`geacc_core::Mutation`] serde), so
+//! a log is inspectable with `xxd` + `jq` despite the binary framing.
+//! The CRC is IEEE CRC-32 over the payload bytes; the length prefix
+//! bounds the read and the checksum catches torn or bit-rotted payloads.
+//!
+//! ## Append and fsync discipline
+//!
+//! [`WalWriter::append`] frames, writes, and (per [`FsyncPolicy`])
+//! syncs **before** the service acknowledges the request — an acked
+//! mutation under `FsyncPolicy::Always` is durable. `interval(ms)`
+//! bounds data loss to the interval; `never` leaves syncing to the OS
+//! (the record still survives a process kill, just not a host crash).
+//!
+//! ## Torn tails vs. corruption
+//!
+//! [`scan`] decodes a WAL prefix and classifies the first failure by
+//! position: a record that runs past end-of-file, or whose checksum /
+//! payload fails **at the very end** of the file, is a *torn tail* — the
+//! expected residue of a crash mid-append — and recovery truncates it.
+//! A bad checksum or undecodable payload with more data *after* it is
+//! *mid-log corruption*: silently dropping acked records would be a lie,
+//! so recovery refuses to boot with a [`WalCorruption`] naming the
+//! offset.
+//!
+//! The writer is generic over [`WalSink`] so tests can inject
+//! deterministic faults ([`FaultSink`] fails after a byte budget,
+//! mid-frame) and property-test that every crash point yields either a
+//! clean prefix or a truncatable tail — never a boot failure.
+
+use geacc_core::{Arrangement, Instance, Mutation};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// WAL file name inside a `--wal-dir`.
+pub const WAL_FILE: &str = "wal.log";
+/// Current-snapshot file name inside a `--wal-dir`.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+/// Frame header: 4 bytes length + 4 bytes CRC.
+pub const HEADER_LEN: u64 = 8;
+/// Upper bound on a single record payload; a length prefix beyond this
+/// is treated as corruption, not an allocation request.
+pub const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// When appended records reach the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record, before the ack: an acked mutation
+    /// survives a host crash.
+    Always,
+    /// `fsync` at most once per interval (checked on append, forced on
+    /// snapshot and drain): bounded data loss, near-`never` throughput.
+    Interval(Duration),
+    /// Never `fsync` explicitly: the OS flushes at its leisure. Records
+    /// still survive a process kill (the page cache is intact), just not
+    /// a host power loss.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse a CLI spelling: `always`, `never`, or `interval:MS`.
+    pub fn parse(text: &str) -> Result<FsyncPolicy, String> {
+        match text {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms)))
+                    .map_err(|e| format!("bad interval in fsync policy {other:?}: {e}")),
+                None => Err(format!(
+                    "unknown fsync policy {other:?} (always, never, interval:MS)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Interval(d) => write!(f, "interval:{}", d.as_millis()),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// One durable event in a session's history. Replaying the records in
+/// order reproduces the service state bit-for-bit (the arranger's
+/// repair machinery is deterministic and failed mutations fail
+/// identically on replay).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A `load` op: a fresh session on this base instance.
+    Load { instance: Instance },
+    /// A `mutate` op, logged before it is applied.
+    Mutation { mutation: Mutation },
+    /// A wholesale arrangement swap (a `solve`/rebuild, or the install
+    /// step of a `restore`) with its new drift baseline.
+    Install {
+        arrangement: Arrangement,
+        baseline: f64,
+    },
+}
+
+// IEEE CRC-32 (polynomial 0xEDB88320), table-driven.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `bytes` (the checksum in every record header).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = (c >> 8) ^ CRC_TABLE[((c ^ b as u32) & 0xff) as usize];
+    }
+    !c
+}
+
+/// Frame one payload: length + CRC header, then the bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN as usize + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Where WAL frames go. Production uses [`File`]; tests inject
+/// [`FaultSink`] to model crashes mid-write.
+pub trait WalSink {
+    /// Append exactly `frame`, or fail — possibly after a partial write,
+    /// which is the torn-tail crash model recovery must absorb.
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Force everything appended so far to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl WalSink for File {
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.write_all(frame)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// A deterministic fault-injecting sink: accepts bytes into memory until
+/// a total byte budget is exhausted, then short-writes the final frame
+/// and fails — every later operation fails too. `FaultSink::new(n)`
+/// crashes the "disk" after exactly `n` bytes, so a property test can
+/// sweep every crash point of a record stream.
+#[derive(Debug)]
+pub struct FaultSink {
+    written: Vec<u8>,
+    fail_after: usize,
+    failed: bool,
+}
+
+impl FaultSink {
+    pub fn new(fail_after: usize) -> FaultSink {
+        FaultSink {
+            written: Vec::new(),
+            fail_after,
+            failed: false,
+        }
+    }
+
+    /// Everything the "disk" holds, including any short-written tail.
+    pub fn bytes(&self) -> &[u8] {
+        &self.written
+    }
+}
+
+impl WalSink for FaultSink {
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.failed {
+            return Err(io::Error::other("injected fault: sink already failed"));
+        }
+        let budget = self.fail_after.saturating_sub(self.written.len());
+        if frame.len() <= budget {
+            self.written.extend_from_slice(frame);
+            Ok(())
+        } else {
+            self.written.extend_from_slice(&frame[..budget]);
+            self.failed = true;
+            Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected fault: crash mid-append",
+            ))
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.failed {
+            Err(io::Error::other("injected fault: sink already failed"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The append half: frames records, enforces the fsync policy, and
+/// keeps the running counters the `stats` op surfaces.
+#[derive(Debug)]
+pub struct WalWriter<S: WalSink = File> {
+    sink: S,
+    policy: FsyncPolicy,
+    offset: u64,
+    records: u64,
+    fsyncs: u64,
+    last_sync: Instant,
+}
+
+impl WalWriter<File> {
+    /// Open (creating if needed) the WAL at `path` for appending.
+    /// `offset`/`records` resume the counters from recovery's scan of
+    /// the valid prefix — recovery has already truncated any torn tail,
+    /// so appends land exactly at `offset`.
+    pub fn open(
+        path: &Path,
+        policy: FsyncPolicy,
+        offset: u64,
+        records: u64,
+    ) -> io::Result<WalWriter<File>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        // Make the file's existence itself durable (a crash right after
+        // the first append must find the file in the directory).
+        sync_parent_dir(path)?;
+        Ok(WalWriter {
+            sink: file,
+            policy,
+            offset,
+            records,
+            fsyncs: 0,
+            last_sync: Instant::now(),
+        })
+    }
+}
+
+impl<S: WalSink> WalWriter<S> {
+    /// A writer over an arbitrary sink (fault-injection tests).
+    pub fn with_sink(sink: S, policy: FsyncPolicy) -> WalWriter<S> {
+        WalWriter {
+            sink,
+            policy,
+            offset: 0,
+            records: 0,
+            fsyncs: 0,
+            last_sync: Instant::now(),
+        }
+    }
+
+    /// Serialize, frame, append, and sync (per policy) one record.
+    /// Returns the record's start offset. The caller acks its client
+    /// only after this returns `Ok` — that is the durability contract.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        let payload = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            .into_bytes();
+        let frame = encode_frame(&payload);
+        let start = self.offset;
+        self.sink.write_frame(&frame)?;
+        self.offset += frame.len() as u64;
+        self.records += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync_now()?,
+            FsyncPolicy::Interval(every) => {
+                if self.last_sync.elapsed() >= every {
+                    self.sync_now()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(start)
+    }
+
+    /// Force a sync regardless of policy (snapshot barrier, drain).
+    pub fn sync_now(&mut self) -> io::Result<()> {
+        self.sink.sync()?;
+        self.fsyncs += 1;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Bytes appended so far (the offset the next record starts at).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Records appended over the WAL's lifetime (valid prefix included).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Explicit syncs issued by this writer.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// The sink back (tests inspect the bytes a [`FaultSink`] absorbed).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+/// One decoded record and the offset its frame starts at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScannedRecord {
+    pub offset: u64,
+    pub record: WalRecord,
+}
+
+/// A successful scan: the decodable records, the length of the valid
+/// prefix, and how many torn-tail bytes follow it (0 for a clean log).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    pub records: Vec<ScannedRecord>,
+    /// Byte length of the valid prefix; recovery truncates the file to
+    /// this before reopening it for append.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` — a torn tail from a crash mid-append.
+    pub truncated_bytes: u64,
+}
+
+/// Mid-log corruption: a record before the tail fails its checksum or
+/// decode. Recovery refuses to boot on this — truncating here would
+/// silently drop acked history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalCorruption {
+    /// Offset of the frame that failed.
+    pub offset: u64,
+    pub detail: String,
+}
+
+impl std::fmt::Display for WalCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WAL corrupt at byte {}: {}", self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for WalCorruption {}
+
+/// Decode `bytes` starting at `start` (a snapshot's embedded offset; 0
+/// scans the whole log). See the module docs for the torn-tail vs.
+/// corruption classification.
+pub fn scan_from(bytes: &[u8], start: u64) -> Result<WalScan, WalCorruption> {
+    let len = bytes.len() as u64;
+    if start > len {
+        // The snapshot claims more WAL than exists: the log was replaced
+        // or truncated out from under it — unrecoverable ambiguity.
+        return Err(WalCorruption {
+            offset: start,
+            detail: format!("snapshot expects {start} bytes of WAL, file has {len}"),
+        });
+    }
+    let mut pos = start;
+    let mut records = Vec::new();
+    loop {
+        let remaining = len - pos;
+        if remaining == 0 {
+            // Clean end.
+            return Ok(WalScan {
+                records,
+                valid_len: pos,
+                truncated_bytes: 0,
+            });
+        }
+        if remaining < HEADER_LEN {
+            // A header fragment: torn tail.
+            return Ok(WalScan {
+                records,
+                valid_len: pos,
+                truncated_bytes: remaining,
+            });
+        }
+        let at = pos as usize;
+        let record_len =
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        let stored_crc =
+            u32::from_le_bytes([bytes[at + 4], bytes[at + 5], bytes[at + 6], bytes[at + 7]]);
+        if record_len > MAX_RECORD_LEN {
+            // An absurd length is corruption wherever it sits — if it
+            // were a torn header it would also run past EOF below, so
+            // only in-bounds absurdities reach this check.
+            if HEADER_LEN + record_len as u64 > remaining {
+                return Ok(WalScan {
+                    records,
+                    valid_len: pos,
+                    truncated_bytes: remaining,
+                });
+            }
+            return Err(WalCorruption {
+                offset: pos,
+                detail: format!("record length {record_len} exceeds the {MAX_RECORD_LEN} cap"),
+            });
+        }
+        let frame_len = HEADER_LEN + record_len as u64;
+        if frame_len > remaining {
+            // Payload runs past EOF: torn tail.
+            return Ok(WalScan {
+                records,
+                valid_len: pos,
+                truncated_bytes: remaining,
+            });
+        }
+        let payload = &bytes[at + HEADER_LEN as usize..at + frame_len as usize];
+        let ends_at_eof = pos + frame_len == len;
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            if ends_at_eof {
+                // The final record's checksum fails: indistinguishable
+                // from a crash that wrote garbage-then-header — torn.
+                return Ok(WalScan {
+                    records,
+                    valid_len: pos,
+                    truncated_bytes: remaining,
+                });
+            }
+            return Err(WalCorruption {
+                offset: pos,
+                detail: format!(
+                    "checksum mismatch (stored {stored_crc:#010x}, computed {computed:#010x})"
+                ),
+            });
+        }
+        let record: WalRecord = match std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| serde_json::from_str(text).ok())
+        {
+            Some(record) => record,
+            None => {
+                if ends_at_eof {
+                    return Ok(WalScan {
+                        records,
+                        valid_len: pos,
+                        truncated_bytes: remaining,
+                    });
+                }
+                return Err(WalCorruption {
+                    offset: pos,
+                    detail: "checksummed payload is not a JSON WAL record".to_string(),
+                });
+            }
+        };
+        records.push(ScannedRecord {
+            offset: pos,
+            record,
+        });
+        pos += frame_len;
+    }
+}
+
+/// [`scan_from`] the beginning.
+pub fn scan(bytes: &[u8]) -> Result<WalScan, WalCorruption> {
+    scan_from(bytes, 0)
+}
+
+/// The durable snapshot document a `--wal-dir` rotates: the full session
+/// plus the WAL offset it was taken at, so recovery resumes from the
+/// snapshot and replays only the WAL tail past `wal_offset`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDoc {
+    /// Format version (this is version 1).
+    pub version: u32,
+    /// WAL byte length when the snapshot was cut; recovery replays
+    /// records from here.
+    pub wal_offset: u64,
+    /// WAL record count at the cut (counters resume from it).
+    pub wal_records: u64,
+    /// Arranger epoch at the cut (= `log.len()`).
+    pub epoch: u64,
+    /// The pristine base instance the session was loaded with.
+    pub base: Instance,
+    /// The live (mutated) instance — the resume fast path, no replay.
+    pub live: Instance,
+    /// Mutations applied so far (provenance + the manual snapshot op's
+    /// replay contract).
+    pub log: Vec<Mutation>,
+    /// The standing arrangement.
+    pub arrangement: Arrangement,
+    /// Its drift baseline.
+    pub baseline: f64,
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// flush + fsync, rename over the target, fsync the directory. A crash
+/// at any point leaves either the old file or the new one — never a torn
+/// hybrid.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_parent_dir(path)
+}
+
+/// The temp-file name `atomic_write` stages under.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Serialize and atomically persist a snapshot document.
+pub fn write_snapshot(path: &Path, doc: &SnapshotDoc) -> io::Result<()> {
+    let mut json = serde_json::to_string(doc)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    json.push('\n');
+    atomic_write(path, json.as_bytes())
+}
+
+/// Why a snapshot file could not be used. Recovery treats every variant
+/// except `Missing` as "fall back to a full WAL replay" — a bad snapshot
+/// must never block a boot the WAL alone can serve.
+#[derive(Debug)]
+pub enum SnapshotReadError {
+    /// No snapshot file: first boot, or none rotated yet.
+    Missing,
+    Io(io::Error),
+    /// Unparseable or wrong version (torn by an unclean copy, bit rot).
+    Invalid {
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotReadError::Missing => write!(f, "no snapshot file"),
+            SnapshotReadError::Io(e) => write!(f, "reading snapshot: {e}"),
+            SnapshotReadError::Invalid { detail } => write!(f, "invalid snapshot: {detail}"),
+        }
+    }
+}
+
+/// Load and validate a snapshot document.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotDoc, SnapshotReadError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(SnapshotReadError::Missing),
+        Err(e) => return Err(SnapshotReadError::Io(e)),
+    };
+    let doc: SnapshotDoc = serde_json::from_str(&text).map_err(|e| SnapshotReadError::Invalid {
+        detail: e.to_string(),
+    })?;
+    if doc.version != 1 {
+        return Err(SnapshotReadError::Invalid {
+            detail: format!("unsupported snapshot version {}", doc.version),
+        });
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geacc_core::Side;
+
+    fn mutation(i: u32) -> Mutation {
+        Mutation::SetCapacity {
+            side: Side::User,
+            id: i,
+            capacity: 2,
+        }
+    }
+
+    fn records(n: u32) -> Vec<WalRecord> {
+        (0..n)
+            .map(|i| WalRecord::Mutation {
+                mutation: mutation(i),
+            })
+            .collect()
+    }
+
+    fn write_all(records: &[WalRecord]) -> Vec<u8> {
+        let mut w = WalWriter::with_sink(FaultSink::new(usize::MAX), FsyncPolicy::Never);
+        for r in records {
+            w.append(r).unwrap();
+        }
+        w.into_sink().written
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!(FsyncPolicy::parse("interval:abc").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        for p in ["always", "never", "interval:250"] {
+            assert_eq!(FsyncPolicy::parse(p).unwrap().to_string(), p);
+        }
+    }
+
+    #[test]
+    fn append_then_scan_roundtrips() {
+        let rs = records(5);
+        let bytes = write_all(&rs);
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        let decoded: Vec<WalRecord> = scan.records.into_iter().map(|s| s.record).collect();
+        assert_eq!(decoded, rs);
+    }
+
+    #[test]
+    fn scan_from_offset_skips_the_prefix() {
+        let rs = records(4);
+        let bytes = write_all(&rs);
+        let full = scan(&bytes).unwrap();
+        let third = full.records[2].offset;
+        let tail = scan_from(&bytes, third).unwrap();
+        assert_eq!(tail.records.len(), 2);
+        assert_eq!(tail.records[0].record, rs[2]);
+        // An offset past EOF is ambiguity, not a tail.
+        assert!(scan_from(&bytes, bytes.len() as u64 + 1).is_err());
+    }
+
+    #[test]
+    fn torn_tails_truncate_at_every_cut_point() {
+        let rs = records(3);
+        let bytes = write_all(&rs);
+        let full = scan(&bytes).unwrap();
+        let second_start = full.records[1].offset;
+        // Every truncation inside the second record must recover exactly
+        // the first record and report the rest as a torn tail.
+        for cut in second_start + 1..bytes.len() as u64 {
+            let scan = scan(&bytes[..cut as usize]).unwrap_or_else(|e| {
+                panic!("cut at {cut} must be a torn tail, got corruption: {e}")
+            });
+            let expect_records = full
+                .records
+                .iter()
+                .filter(|s| s.offset + frame_len(&bytes, s.offset) <= cut)
+                .count();
+            assert_eq!(scan.records.len(), expect_records, "cut at {cut}");
+            assert_eq!(scan.valid_len + scan.truncated_bytes, cut);
+        }
+    }
+
+    fn frame_len(bytes: &[u8], offset: u64) -> u64 {
+        let at = offset as usize;
+        let len = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        HEADER_LEN + len as u64
+    }
+
+    #[test]
+    fn bit_flip_mid_log_is_corruption_with_the_offset() {
+        let rs = records(3);
+        let bytes = write_all(&rs);
+        let full = scan(&bytes).unwrap();
+        let second_start = full.records[1].offset;
+        // Flip a payload byte of the *middle* record: corruption.
+        let mut bad = bytes.clone();
+        let idx = (second_start + HEADER_LEN) as usize + 2;
+        bad[idx] ^= 0x40;
+        let err = scan(&bad).unwrap_err();
+        assert_eq!(err.offset, second_start);
+        assert!(err.detail.contains("checksum"), "{}", err.detail);
+    }
+
+    #[test]
+    fn bit_flip_in_the_last_record_is_a_torn_tail() {
+        let rs = records(3);
+        let bytes = write_all(&rs);
+        let full = scan(&bytes).unwrap();
+        let last_start = full.records[2].offset;
+        let mut bad = bytes.clone();
+        let idx = (last_start + HEADER_LEN) as usize + 1;
+        bad[idx] ^= 0x01;
+        let scan = scan(&bad).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, last_start);
+    }
+
+    #[test]
+    fn valid_json_but_wrong_shape_mid_log_is_corruption() {
+        // A record whose payload checksums fine but is not a WalRecord.
+        let bogus = encode_frame(b"{\"not\":\"a record\"}");
+        let mut bytes = bogus.clone();
+        bytes.extend_from_slice(&write_all(&records(1)));
+        let err = scan(&bytes).unwrap_err();
+        assert_eq!(err.offset, 0);
+        // The same payload as the final record is a truncatable tail.
+        let scan = scan(&bogus).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn fault_sink_crashes_exactly_on_budget() {
+        let rs = records(4);
+        let clean = write_all(&rs);
+        // Crash after 1.5 records' worth of bytes.
+        let frame0 = frame_len(&clean, 0);
+        let budget = frame0 + frame_len(&clean, frame0) / 2;
+        let mut w = WalWriter::with_sink(FaultSink::new(budget as usize), FsyncPolicy::Always);
+        let mut acked = 0;
+        for r in &rs {
+            match w.append(r) {
+                Ok(_) => acked += 1,
+                Err(_) => break,
+            }
+        }
+        assert_eq!(acked, 1);
+        let bytes = w.into_sink().written;
+        assert_eq!(
+            bytes.len() as u64,
+            budget,
+            "short write stops at the budget"
+        );
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.records.len(), acked);
+        assert_eq!(scan.records[0].record, rs[0]);
+    }
+
+    #[test]
+    fn fsync_policy_counts_syncs() {
+        let mut always = WalWriter::with_sink(FaultSink::new(usize::MAX), FsyncPolicy::Always);
+        let mut never = WalWriter::with_sink(FaultSink::new(usize::MAX), FsyncPolicy::Never);
+        for r in records(5) {
+            always.append(&r).unwrap();
+            never.append(&r).unwrap();
+        }
+        assert_eq!(always.fsyncs(), 5);
+        assert_eq!(never.fsyncs(), 0);
+        never.sync_now().unwrap();
+        assert_eq!(never.fsyncs(), 1);
+        assert_eq!(always.records(), 5);
+        assert_eq!(always.offset(), always.into_sink().written.len() as u64);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("geacc-wal-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!tmp_path(&path).exists(), "no stray temp file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

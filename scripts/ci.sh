@@ -78,4 +78,72 @@ wait "$SERVE_PID"
 SERVE_PID=""
 echo "server smoke: ok"
 
+echo "== crash-recovery smoke =="
+# Durability end to end: boot with a WAL, stream a few mutations,
+# SIGKILL the daemon (no drain, no destructors), restart on the same
+# directory, and require the acked session back — epoch and a sane
+# max_sum — plus a clean shutdown of the recovered server.
+WAL_DIR="$SMOKE_DIR/wal"
+mkdir -p "$WAL_DIR"
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    --wal-dir "$WAL_DIR" --fsync always \
+    > "$SMOKE_DIR/serve-crash.log" &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SMOKE_DIR/serve-crash.log")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "crash smoke: server never reported its port"; exit 1; }
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+request "{\"op\": \"load\", \"path\": \"$SMOKE_DIR/toy.json\"}" > /dev/null
+request '{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 2}}}' > /dev/null
+request '{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 1, "capacity": 3}}}' > /dev/null
+request '{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}' > /dev/null
+EXPECTED=$(request '{"op": "stats"}')
+exec 3<&- 3>&-
+
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+[ -s "$WAL_DIR/wal.log" ] || { echo "crash smoke: no WAL was written"; exit 1; }
+
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    --wal-dir "$WAL_DIR" --fsync always \
+    > "$SMOKE_DIR/serve-recover.log" &
+SERVE_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$SMOKE_DIR/serve-recover.log")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "crash smoke: restart never reported its port"; exit 1; }
+grep -q '^recovered ' "$SMOKE_DIR/serve-recover.log" \
+    || { echo "crash smoke: restart printed no recovery summary"; exit 1; }
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+RECOVERED=$(request '{"op": "stats"}')
+case "$RECOVERED" in
+    *'"epoch":3'*) ;;
+    *) echo "crash smoke: recovered stats lost the epoch: $RECOVERED"; exit 1 ;;
+esac
+# The recovered arranger must report the same max_sum the live session
+# acked before the kill.
+EXPECTED_SUM=$(printf '%s' "$EXPECTED" | sed -n 's/.*"max_sum":\([^,}]*\).*/\1/p')
+case "$RECOVERED" in
+    *"\"max_sum\":$EXPECTED_SUM"*) ;;
+    *) echo "crash smoke: max_sum diverged (wanted $EXPECTED_SUM): $RECOVERED"; exit 1 ;;
+esac
+request '{"op": "shutdown"}' > /dev/null
+exec 3<&- 3>&-
+
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "crash-recovery smoke: ok"
+
 echo "ci.sh: all green"

@@ -417,6 +417,40 @@ mod tests {
     }
 
     #[test]
+    fn string_runs_escapes_and_unicode_parse() {
+        // The parser copies unescaped content in runs; make sure runs
+        // interleave correctly with escapes and multi-byte UTF-8.
+        assert_eq!(
+            from_str::<String>(r#""plain run \"quoted\" café naïve\ttail""#).unwrap(),
+            "plain run \"quoted\" café naïve\ttail"
+        );
+        assert_eq!(
+            from_str::<String>(r#""😀 pair""#).unwrap(),
+            "\u{1F600} pair"
+        );
+        // Raw control characters are rejected, wherever they fall.
+        assert!(from_str::<String>("\"run then \u{1}\"").is_err());
+        assert!(from_str::<String>("\"\u{1} leading\"").is_err());
+    }
+
+    #[test]
+    fn large_document_parse_is_linear_enough() {
+        // Regression guard for the O(n^2) string scan: a ~700 KiB
+        // document of many short strings must parse in well under a
+        // second even in debug builds.
+        let doc = to_string(&vec![("some_key", "some value with text"); 12_000]).unwrap();
+        assert!(doc.len() > 400_000);
+        let started = std::time::Instant::now();
+        let parsed: Vec<(String, String)> = from_str(&doc).unwrap();
+        assert_eq!(parsed.len(), 12_000);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "parse took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
     fn parse_errors_are_reported_not_panicked() {
         assert!(from_str::<Value>("{").is_err());
         assert!(from_str::<Value>("[1,]").is_err());

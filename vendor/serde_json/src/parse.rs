@@ -203,16 +203,24 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Copy a full UTF-8 scalar (input is a &str, so the
-                    // byte offsets of char boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
-                    if (c as u32) < 0x20 {
-                        return Err(self.err("raw control character in string"));
+                    // Copy the longest run of plain content in one go.
+                    // The stop bytes (`"`, `\`, controls) are all ASCII,
+                    // so cutting at them lands on char boundaries of the
+                    // (already valid UTF-8) input, and validating only
+                    // the run keeps the whole parse linear.
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        match b {
+                            b'"' | b'\\' => break,
+                            0x00..=0x1F => return Err(self.err("raw control character in string")),
+                            _ => self.pos += 1,
+                        }
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(run) => run,
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
+                    out.push_str(run);
                 }
             }
         }
