@@ -1,0 +1,227 @@
+//! Engine snapshot: shared candidate-graph build cost vs the dense
+//! matrix, and per-solver dispatch time through the [`SolverRegistry`].
+//!
+//! The engine refactor's perf claims, pinned on the recording host:
+//!
+//! 1. **Build** — the CSR [`CandidateGraph`] (the structure every
+//!    solver now borrows) costs about the same to build as the dense
+//!    `|V|×|U|` similarity matrix it replaced on the solver hot paths,
+//!    serial and parallel — building it once per request is never the
+//!    bottleneck.
+//! 2. **Dispatch** — every registered solver, run through
+//!    [`engine::solve_on`] over one shared graph on the fig3 default
+//!    workload (paper-default synthetic; the exact solvers run on a
+//!    small low-dimensional instance where exact search is tractable).
+//!    Timings are cross-checked against the engine's own
+//!    [`EngineStats`] accumulation.
+//!
+//! Writes `BENCH_engine.json` (or `--out <path>`). Compare the greedy
+//! row against `BENCH_parallel.json`'s `greedy_shared_graph` benchmark
+//! for the no-regression check.
+//!
+//! ```sh
+//! cargo run -p geacc-bench --release --bin engine
+//! cargo run -p geacc-bench --release --bin engine -- --quick --out /tmp/e.json
+//! ```
+
+use geacc_bench::cli;
+use geacc_core::algorithms::Algorithm;
+use geacc_core::engine::{self, CandidateGraph, EngineStats, SolveParams, SolverRegistry};
+use geacc_core::parallel::Threads;
+use geacc_core::runtime::BudgetMeter;
+use geacc_core::Instance;
+use geacc_datagen::{CapDistribution, SyntheticConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Snapshot {
+    host_parallelism: usize,
+    command: String,
+    note: String,
+    graph_build: Vec<BuildCell>,
+    solvers: Vec<SolverCell>,
+}
+
+#[derive(Serialize)]
+struct BuildCell {
+    structure: String,
+    threads: usize,
+    seconds: f64,
+    candidates: usize,
+}
+
+#[derive(Serialize)]
+struct SolverCell {
+    solver: String,
+    stage: String,
+    instance: String,
+    exact: bool,
+    budget_aware: bool,
+    seconds: f64,
+    max_sum: f64,
+    pairs: usize,
+    engine_stat_calls: u64,
+}
+
+/// Median wall-clock seconds of `f` over `repeats` runs.
+fn median_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// One solver through the registry over a prebuilt graph.
+fn dispatch_cell(
+    graph: &CandidateGraph,
+    algo: Algorithm,
+    instance_desc: &str,
+    repeats: usize,
+) -> SolverCell {
+    let solver = SolverRegistry::global().solver(algo);
+    let stage = solver.stage();
+    let caps = solver.capabilities();
+    let params = SolveParams::default();
+    let out = engine::solve_on(graph, algo, &params, &BudgetMeter::unlimited());
+    assert!(
+        out.arrangement.validate(graph.instance()).is_empty(),
+        "{} produced an infeasible arrangement",
+        solver.name()
+    );
+    let seconds = median_secs(repeats, || {
+        engine::solve_on(graph, algo, &params, &BudgetMeter::unlimited());
+    });
+    let calls = EngineStats::snapshot()
+        .iter()
+        .find(|t| t.stage == stage)
+        .map_or(0, |t| t.calls);
+    assert!(
+        calls as usize > repeats,
+        "{}: engine stats missed dispatches",
+        solver.name()
+    );
+    eprintln!("[{}] {seconds:.4}s on {instance_desc}", solver.name());
+    SolverCell {
+        solver: solver.name().to_string(),
+        stage: stage.to_string(),
+        instance: instance_desc.to_string(),
+        exact: caps.exact,
+        budget_aware: caps.budget_aware,
+        seconds,
+        max_sum: out.arrangement.max_sum(),
+        pairs: out.arrangement.len(),
+        engine_stat_calls: calls,
+    }
+}
+
+fn build_cells(instance: &Instance, repeats: usize) -> Vec<BuildCell> {
+    let mut cells = Vec::new();
+    for t in [1usize, 4] {
+        let threads = Threads::new(t);
+        let csr = median_secs(repeats, || {
+            CandidateGraph::build(instance, threads);
+        });
+        let dense = median_secs(repeats, || {
+            instance.dense_similarity(threads);
+        });
+        let candidates = CandidateGraph::build(instance, threads).num_candidates();
+        eprintln!("[build] threads = {t}: csr {csr:.4}s, dense {dense:.4}s");
+        cells.push(BuildCell {
+            structure: "candidate_graph_csr".to_string(),
+            threads: t,
+            seconds: csr,
+            candidates,
+        });
+        cells.push(BuildCell {
+            structure: "dense_similarity".to_string(),
+            threads: t,
+            seconds: dense,
+            candidates: instance.num_events() * instance.num_users(),
+        });
+    }
+    cells
+}
+
+fn main() {
+    let quick = cli::has_flag("quick");
+    let repeats = cli::repeats(if quick { 1 } else { 3 });
+    let out = cli::flag_value("out").unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    // The fig3 default workload: paper-default synthetic settings.
+    let fig3_config = SyntheticConfig {
+        num_events: if quick { 50 } else { 100 },
+        num_users: if quick { 500 } else { 1000 },
+        seed: 2015,
+        ..Default::default()
+    };
+    let fig3_instance = fig3_config.generate();
+    let fig3_desc = format!(
+        "synthetic |V|={} |U|={} (fig3 defaults) seed=2015",
+        fig3_config.num_events, fig3_config.num_users
+    );
+
+    // The exact solvers (including the exhaustive comparator, which
+    // explores everything) need a small low-dimensional instance to
+    // terminate — the fig6 shape.
+    let exact_config = SyntheticConfig {
+        num_events: 5,
+        num_users: 8,
+        dim: 2,
+        cap_v_dist: CapDistribution::Uniform { min: 1, max: 3 },
+        cap_u_dist: CapDistribution::Uniform { min: 1, max: 2 },
+        conflict_ratio: 0.5,
+        seed: 2015,
+        ..Default::default()
+    };
+    let exact_instance = exact_config.generate();
+    let exact_desc = format!(
+        "synthetic |V|={} |U|={} d=2 c_v~U[1,3] c_u~U[1,2] cf=0.5 seed=2015",
+        exact_config.num_events, exact_config.num_users
+    );
+
+    let graph_build = build_cells(&fig3_instance, repeats);
+
+    EngineStats::reset();
+    let fig3_graph = CandidateGraph::build(&fig3_instance, Threads::new(4));
+    let exact_graph = CandidateGraph::build(&exact_instance, Threads::single());
+    let mut solvers = Vec::new();
+    for algo in [
+        Algorithm::Greedy,
+        Algorithm::MinCostFlow,
+        Algorithm::RandomV { seed: 42 },
+        Algorithm::RandomU { seed: 42 },
+    ] {
+        solvers.push(dispatch_cell(&fig3_graph, algo, &fig3_desc, repeats));
+    }
+    for algo in [Algorithm::Prune, Algorithm::Exhaustive, Algorithm::ExactDp] {
+        solvers.push(dispatch_cell(&exact_graph, algo, &exact_desc, repeats));
+    }
+
+    let snapshot = Snapshot {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        command: format!(
+            "cargo run -p geacc-bench --release --bin engine{}",
+            if quick { " -- --quick" } else { "" }
+        ),
+        note: "seconds are medians over the repeats. graph_build compares the engine's \
+               shared CSR candidate graph against the dense |V|x|U| similarity matrix it \
+               replaced on the solver hot paths, at 1 and 4 build workers. solvers runs \
+               every registered algorithm through engine::solve_on over one prebuilt \
+               graph (exact solvers on the small low-dimensional instance); \
+               engine_stat_calls cross-checks the EngineStats accumulation. Compare the \
+               Greedy-GEACC row against BENCH_parallel.json's greedy_shared_graph for \
+               the no-regression check."
+            .to_string(),
+        graph_build,
+        solvers,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    std::fs::write(&out, json + "\n").expect("write snapshot");
+    eprintln!("wrote {out}");
+}

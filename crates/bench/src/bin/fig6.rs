@@ -39,7 +39,9 @@
 
 use geacc_bench::cli;
 use geacc_bench::table::{write_csv, Series};
-use geacc_core::algorithms::{prune_budgeted, PruneConfig, PruneResult};
+use geacc_core::algorithms::{prune_on, PruneConfig, PruneResult};
+use geacc_core::engine::CandidateGraph;
+use geacc_core::parallel::Threads;
 use geacc_core::runtime::{BudgetMeter, SolveBudget};
 use geacc_datagen::{CapDistribution, SyntheticConfig};
 use std::path::Path;
@@ -65,7 +67,8 @@ fn exact_search(
         None => (geacc_core::algorithms::prune_with(instance, config), true),
         Some(ms) => {
             let meter = BudgetMeter::new(&SolveBudget::from_timeout_ms(ms));
-            let budgeted = prune_budgeted(instance, config, &meter);
+            let graph = CandidateGraph::build(instance, Threads::single());
+            let budgeted = prune_on(&graph, config, Some(&meter));
             (budgeted.result, budgeted.stopped.is_none())
         }
     }

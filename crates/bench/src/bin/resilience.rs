@@ -23,10 +23,10 @@
 //! ```
 
 use geacc_bench::cli;
-use geacc_core::algorithms::{solve, Algorithm};
-use geacc_core::parallel::Threads;
-use geacc_core::runtime::{solve_budgeted, BudgetMeter, SolveBudget, SolverPipeline};
-use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
+use geacc_core::algorithms::{self, Algorithm};
+use geacc_core::engine::{self, SolveParams};
+use geacc_core::runtime::{BudgetMeter, SolveBudget, SolverPipeline};
+use geacc_core::{Arrangement, ConflictGraph, EventId, Instance, SimMatrix};
 use geacc_datagen::{CapDistribution, SyntheticConfig};
 use serde::Serialize;
 use std::time::Instant;
@@ -77,6 +77,17 @@ fn median_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+/// The classic meterless paper entry point for `algorithm` (the baseline
+/// the overhead ratio compares against).
+fn solve_meterless(instance: &Instance, algorithm: Algorithm) -> Arrangement {
+    match algorithm {
+        Algorithm::Greedy => algorithms::greedy(instance),
+        Algorithm::MinCostFlow => algorithms::mincostflow(instance).arrangement,
+        Algorithm::Prune => algorithms::prune(instance).arrangement,
+        other => unreachable!("overhead snapshot does not measure {}", other.name()),
+    }
+}
+
 /// One overhead cell: `algorithm` on `instance`, meterless vs unlimited
 /// meter, single-threaded so the comparison is free of scheduling noise.
 fn overhead(
@@ -85,11 +96,11 @@ fn overhead(
     instance_desc: &str,
     repeats: usize,
 ) -> OverheadCell {
-    let plain = solve(instance, algorithm);
+    let plain = solve_meterless(instance, algorithm);
     let meter = BudgetMeter::unlimited();
-    let metered = solve_budgeted(instance, algorithm, &meter, Threads::single());
+    let metered = engine::solve_instance(instance, algorithm, &SolveParams::default(), &meter);
     assert!(
-        metered.stopped.is_none(),
+        metered.status.stop_reason().is_none(),
         "{}: an unlimited meter tripped",
         algorithm.name()
     );
@@ -102,11 +113,11 @@ fn overhead(
     );
 
     let seconds_meterless = median_secs(repeats, || {
-        solve(instance, algorithm);
+        solve_meterless(instance, algorithm);
     });
     let seconds_unlimited_meter = median_secs(repeats, || {
         let meter = BudgetMeter::unlimited();
-        solve_budgeted(instance, algorithm, &meter, Threads::single());
+        engine::solve_instance(instance, algorithm, &SolveParams::default(), &meter);
     });
     let ratio = seconds_unlimited_meter / seconds_meterless;
     eprintln!(

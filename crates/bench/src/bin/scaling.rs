@@ -1,8 +1,9 @@
 //! Thread-scaling snapshot for the parallel runtime.
 //!
-//! Runs the three parallel code paths — the Prune-GEACC branch-and-bound,
-//! Greedy-GEACC with the prewarmed neighbor oracle, and the dense
-//! similarity-matrix build — at worker counts {1, 2, 4, 8}, asserting
+//! Runs the parallel code paths — the Prune-GEACC branch-and-bound,
+//! Greedy-GEACC over the shared candidate graph, the dense
+//! similarity-matrix build, and the engine's CSR candidate-graph
+//! build — at worker counts {1, 2, 4, 8}, asserting
 //! that every result is bit-identical to the single-threaded run before
 //! recording its wall-clock time. Writes `BENCH_parallel.json` (or
 //! `--out <path>`) with the raw seconds, the speedups relative to one
@@ -17,7 +18,8 @@
 //! ```
 
 use geacc_bench::cli;
-use geacc_core::algorithms::{greedy_with, prune_with, GreedyConfig, NeighborOracle, PruneConfig};
+use geacc_core::algorithms::{greedy_with, prune_with, GreedyConfig, PruneConfig};
+use geacc_core::engine::CandidateGraph;
 use geacc_core::parallel::Threads;
 use geacc_datagen::{CapDistribution, SyntheticConfig};
 use serde::Serialize;
@@ -155,7 +157,7 @@ fn main() {
             );
             (result.arrangement.max_sum(), result.arrangement)
         }),
-        scale("greedy_prewarmed_oracle", &big_desc, repeats, |threads| {
+        scale("greedy_shared_graph", &big_desc, repeats, |threads| {
             let arrangement = greedy_with(&big_instance, GreedyConfig { threads });
             (arrangement.max_sum(), arrangement)
         }),
@@ -169,18 +171,18 @@ fn main() {
             }
             (checksum, ())
         }),
-        scale("oracle_prewarm", &big_desc, repeats, |threads| {
-            // Touch the first candidate of each event stream so the
-            // build cannot be optimized away; the streams themselves are
-            // the product being timed.
-            let mut oracle = NeighborOracle::prewarmed(&big_instance, threads);
+        scale("candidate_graph_build", &big_desc, repeats, |threads| {
+            // The engine's shared CSR build — the setup cost every
+            // solver dispatch amortizes. Checksum the sorted rows so
+            // the build (and its ordering) cannot be optimized away.
+            let graph = CandidateGraph::build(&big_instance, threads);
             let mut checksum = 0.0;
-            for v in 0..big_instance.num_events() {
-                if let Some((_, sim)) = oracle.next_user_for_event(geacc_core::EventId(v as u32)) {
+            for v in big_instance.events() {
+                if let (_, &[sim, ..]) = graph.sorted_row(v) {
                     checksum += sim;
                 }
             }
-            (checksum, ())
+            (checksum, graph.num_candidates())
         }),
     ];
 

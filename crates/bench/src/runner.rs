@@ -1,9 +1,9 @@
 //! Timed, memory-tracked algorithm runs.
 
 use crate::alloc;
-use geacc_core::algorithms::{self, Algorithm};
-use geacc_core::parallel::Threads;
-use geacc_core::runtime::{solve_budgeted, BudgetMeter, SolveBudget};
+use geacc_core::algorithms::Algorithm;
+use geacc_core::engine::{self, SolveParams};
+use geacc_core::runtime::{BudgetMeter, SolveBudget};
 use geacc_core::Instance;
 use std::time::Instant;
 
@@ -56,16 +56,14 @@ pub fn measure_with(
         alloc::reset_peak();
         let start = Instant::now();
         // The deadline is wall-clock-relative, so each repeat needs its
-        // own meter; an unbudgeted run takes the meterless entry point,
-        // which is bit-identical to the pre-resilience code path.
-        let (arrangement, stopped) = match timeout_ms {
-            None => (algorithms::solve(instance, algorithm), None),
-            Some(ms) => {
-                let meter = BudgetMeter::new(&SolveBudget::from_timeout_ms(ms));
-                let solved = solve_budgeted(instance, algorithm, &meter, Threads::single());
-                (solved.arrangement, solved.stopped)
-            }
+        // own meter; an unlimited meter is bit-identical to the
+        // historical meterless entry points.
+        let meter = match timeout_ms {
+            None => BudgetMeter::unlimited(),
+            Some(ms) => BudgetMeter::new(&SolveBudget::from_timeout_ms(ms)),
         };
+        let solved = engine::solve_instance(instance, algorithm, &SolveParams::default(), &meter);
+        let (arrangement, stopped) = (solved.arrangement, solved.status.stop_reason());
         times.push(start.elapsed().as_secs_f64());
         if i == 0 {
             peak = alloc::peak_bytes().saturating_sub(live_before);

@@ -4,8 +4,9 @@
 use crate::args::ParsedArgs;
 use crate::io::{load_arrangement, load_instance, to_json, write_output, CliError};
 use geacc_core::algorithms::{self, Algorithm};
+use geacc_core::engine::{self, SolveParams, SolverRegistry};
 use geacc_core::parallel::Threads;
-use geacc_core::runtime::{SolveBudget, SolverPipeline};
+use geacc_core::runtime::{BudgetMeter, SolveBudget, SolverPipeline};
 use geacc_datagen::{AttrDistribution, City, MeetupConfig, SyntheticConfig};
 use std::time::{Duration, Instant};
 
@@ -171,20 +172,9 @@ fn generate(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn parse_algorithm(name: &str, seed: u64) -> Result<Algorithm, CliError> {
-    Ok(match name {
-        "greedy" => Algorithm::Greedy,
-        "mincostflow" => Algorithm::MinCostFlow,
-        "prune" => Algorithm::Prune,
-        "exhaustive" => Algorithm::Exhaustive,
-        "exact-dp" => Algorithm::ExactDp,
-        "random-v" => Algorithm::RandomV { seed },
-        "random-u" => Algorithm::RandomU { seed },
-        other => {
-            return Err(CliError(format!(
-                "unknown algorithm {other:?} (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u)"
-            )))
-        }
-    })
+    SolverRegistry::global()
+        .parse(name, seed)
+        .map_err(|e| CliError(e.to_string()))
 }
 
 /// Resolve the worker budget for commands that accept `--threads`:
@@ -270,42 +260,24 @@ fn solve(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
             instance.num_events() * instance.num_users()
         )));
     }
-    let start = Instant::now();
     // Exact-DP has its own size guard (state-space, not pair count);
-    // surface its error cleanly instead of panicking through `solve`.
-    // Greedy and the exact searches route through their configured entry
-    // points so the worker budget reaches them; results are identical at
-    // every thread count.
-    let arrangement = match algorithm {
-        Algorithm::ExactDp => {
-            algorithms::exact_dp(&instance).map_err(|e| CliError(e.to_string()))?
-        }
-        Algorithm::Greedy => {
-            algorithms::greedy_with(&instance, algorithms::GreedyConfig { threads })
-        }
-        Algorithm::Prune => {
-            algorithms::prune_with(
-                &instance,
-                algorithms::PruneConfig {
-                    threads,
-                    ..Default::default()
-                },
-            )
-            .arrangement
-        }
-        Algorithm::Exhaustive => {
-            algorithms::prune_with(
-                &instance,
-                algorithms::PruneConfig {
-                    enable_pruning: false,
-                    greedy_seed: false,
-                    threads,
-                },
-            )
-            .arrangement
-        }
-        other => algorithms::solve(&instance, other),
-    };
+    // surface its error cleanly instead of panicking inside the solver.
+    if matches!(algorithm, Algorithm::ExactDp) {
+        algorithms::dp_state_space(&instance).map_err(|e| CliError(e.to_string()))?;
+    }
+    let start = Instant::now();
+    // One dispatch path for every algorithm: the engine registry over a
+    // shared candidate graph, with an unlimited meter (bit-identical to
+    // the classic meterless entry points). The worker budget reaches
+    // graph construction and the parallel solvers; results are
+    // identical at every thread count.
+    let arrangement = engine::solve_instance(
+        &instance,
+        algorithm,
+        &SolveParams { threads, seed },
+        &BudgetMeter::unlimited(),
+    )
+    .arrangement;
     let elapsed = start.elapsed();
     let violations = arrangement.validate(&instance);
     if !violations.is_empty() {
@@ -519,7 +491,13 @@ fn toy(args: &ParsedArgs) -> Result<String, CliError> {
     }
     let mut out = String::from("paper Table I toy instance\n");
     for algo in [Algorithm::Prune, Algorithm::Greedy, Algorithm::MinCostFlow] {
-        let arrangement = algorithms::solve(&instance, algo);
+        let arrangement = engine::solve_instance(
+            &instance,
+            algo,
+            &SolveParams::default(),
+            &BudgetMeter::unlimited(),
+        )
+        .arrangement;
         out.push_str(&format!(
             "  {:<20} MaxSum {:.2}\n",
             algo.name(),

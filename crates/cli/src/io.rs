@@ -1,16 +1,16 @@
 //! File I/O helpers: JSON instances and arrangements on disk, `-` for
 //! stdin/stdout.
 //!
-//! Loading is fallible in three distinct ways — the file is unreadable,
-//! the bytes are not JSON, or the JSON describes an invalid value (bad
-//! shape, out-of-range capacity or similarity, conflict pair referencing
-//! an unknown event). [`LoadError`] keeps the three apart and carries
-//! the file path plus the line/column serde_json reported, so an
-//! operator staring at a 50 MB instance file knows where to look.
+//! Loading — including the [`LoadError`] classification carrying the
+//! file path and the line/column serde_json blamed — lives in
+//! [`geacc_core::loader`] and is shared with the server, so both
+//! surfaces report malformed input identically. This module re-exports
+//! it and adds the CLI-only pieces: [`CliError`] and output writing.
 
-use geacc_core::{Arrangement, Instance};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
+
+pub use geacc_core::loader::{load_arrangement, load_instance, read_input, LoadError};
 
 /// A CLI-level error with a user-facing message (exit code 1).
 #[derive(Debug)]
@@ -36,126 +36,6 @@ impl From<LoadError> for CliError {
     }
 }
 
-/// Why loading an input file failed.
-///
-/// The variants separate the repair the user has to make: `Io` means
-/// fix the path or permissions, `Syntax` means the file is not JSON at
-/// all (truncated download, stray bytes), `Invalid` means the JSON is
-/// well-formed but describes an impossible value. The `Syntax` and
-/// `Invalid` variants carry the 1-based line/column serde_json blamed.
-#[derive(Debug)]
-pub enum LoadError {
-    /// The file (or stdin) could not be read.
-    Io {
-        /// The path as the user gave it (`-` for stdin).
-        path: String,
-        /// The underlying OS error.
-        source: std::io::Error,
-    },
-    /// The bytes are not valid JSON (includes truncated input).
-    Syntax {
-        /// The path as the user gave it.
-        path: String,
-        /// 1-based line of the first offending byte.
-        line: usize,
-        /// 1-based column of the first offending byte.
-        column: usize,
-        /// The underlying parse error.
-        source: serde_json::Error,
-    },
-    /// Valid JSON that does not describe a valid value: wrong shape,
-    /// negative or overflowing capacity, similarity outside `[0, 1]`,
-    /// conflict pair referencing an unknown event, …
-    Invalid {
-        /// The path as the user gave it.
-        path: String,
-        /// 1-based line where deserialization failed.
-        line: usize,
-        /// 1-based column where deserialization failed.
-        column: usize,
-        /// The underlying semantic error.
-        source: serde_json::Error,
-    },
-}
-
-impl LoadError {
-    /// Classify a serde_json failure for `path`: data errors (the JSON
-    /// was fine, the value was not) become [`LoadError::Invalid`];
-    /// syntax and unexpected-EOF errors become [`LoadError::Syntax`].
-    fn from_json(path: &str, source: serde_json::Error) -> Self {
-        let (line, column) = (source.line(), source.column());
-        let path = path.to_string();
-        match source.classify() {
-            serde_json::error::Category::Data => LoadError::Invalid {
-                path,
-                line,
-                column,
-                source,
-            },
-            _ => LoadError::Syntax {
-                path,
-                line,
-                column,
-                source,
-            },
-        }
-    }
-
-    /// The path the error is about, as the user gave it.
-    pub fn path(&self) -> &str {
-        match self {
-            LoadError::Io { path, .. }
-            | LoadError::Syntax { path, .. }
-            | LoadError::Invalid { path, .. } => path,
-        }
-    }
-}
-
-impl std::fmt::Display for LoadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            // Parser errors already end with `at line L column C`; data
-            // errors carry no position (line/column are 0), so neither
-            // arm prints the fields — they exist for programmatic use.
-            LoadError::Io { path, source } => write!(f, "reading {path}: {source}"),
-            LoadError::Syntax { path, source, .. } => {
-                write!(f, "{path}: invalid JSON: {source}")
-            }
-            LoadError::Invalid { path, source, .. } => {
-                write!(f, "{path}: invalid value: {source}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for LoadError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            LoadError::Io { source, .. } => Some(source),
-            LoadError::Syntax { source, .. } | LoadError::Invalid { source, .. } => Some(source),
-        }
-    }
-}
-
-/// Read an entire file, or stdin when `path` is `-`.
-pub fn read_input(path: &str) -> Result<String, LoadError> {
-    if path == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|source| LoadError::Io {
-                path: path.to_string(),
-                source,
-            })?;
-        Ok(buf)
-    } else {
-        std::fs::read_to_string(path).map_err(|source| LoadError::Io {
-            path: path.to_string(),
-            source,
-        })
-    }
-}
-
 /// Write `content` to a file, or stdout when `path` is `-`.
 pub fn write_output(path: &str, content: &str) -> Result<(), CliError> {
     if path == "-" {
@@ -171,18 +51,6 @@ pub fn write_output(path: &str, content: &str) -> Result<(), CliError> {
         }
         std::fs::write(path, content).map_err(|e| CliError(format!("writing {path}: {e}")))
     }
-}
-
-/// Load a JSON instance, classifying failures per [`LoadError`].
-pub fn load_instance(path: &str) -> Result<Instance, LoadError> {
-    let text = read_input(path)?;
-    serde_json::from_str(&text).map_err(|e| LoadError::from_json(path, e))
-}
-
-/// Load a JSON arrangement, classifying failures per [`LoadError`].
-pub fn load_arrangement(path: &str) -> Result<Arrangement, LoadError> {
-    let text = read_input(path)?;
-    serde_json::from_str(&text).map_err(|e| LoadError::from_json(path, e))
 }
 
 /// Serialize any value as pretty JSON.

@@ -50,6 +50,23 @@ impl std::fmt::Display for DpTooLarge {
 
 impl std::error::Error for DpTooLarge {}
 
+/// The DP's state-space size `Π (c_v + 1)`, or [`DpTooLarge`] when it
+/// exceeds [`MAX_DP_STATES`]. Dispatchers call this to pre-validate an
+/// instance before committing to [`exact_dp`] (whose engine wrapper
+/// panics on oversize, relying on the pipeline's panic isolation).
+pub fn dp_state_space(inst: &Instance) -> Result<usize, DpTooLarge> {
+    let mut states_u128: u128 = 1;
+    for v in inst.events() {
+        states_u128 = states_u128.saturating_mul(inst.event_capacity(v) as u128 + 1);
+        if states_u128 > MAX_DP_STATES as u128 {
+            return Err(DpTooLarge {
+                states: states_u128,
+            });
+        }
+    }
+    Ok(states_u128 as usize)
+}
+
 /// Solve the instance exactly by capacity-vector DP; returns an optimal
 /// arrangement, or an error if `Π (c_v + 1)` exceeds [`MAX_DP_STATES`].
 pub fn exact_dp(inst: &Instance) -> Result<Arrangement, DpTooLarge> {
@@ -61,16 +78,7 @@ pub fn exact_dp(inst: &Instance) -> Result<Arrangement, DpTooLarge> {
         .events()
         .map(|v| inst.event_capacity(v) as usize + 1)
         .collect();
-    let mut states_u128: u128 = 1;
-    for &r in &radices {
-        states_u128 = states_u128.saturating_mul(r as u128);
-        if states_u128 > MAX_DP_STATES as u128 {
-            return Err(DpTooLarge {
-                states: states_u128,
-            });
-        }
-    }
-    let num_states = states_u128 as usize;
+    let num_states = dp_state_space(inst)?;
     // stride[v] = Π_{w < v} radices[w]; digit v of state s is
     // (s / stride[v]) % radices[v].
     let mut stride = vec![1usize; nv];

@@ -21,10 +21,16 @@
 //!
 //! The pushed/popped membership sets are flat bitsets keyed
 //! `v·|U| + u` whenever the pair domain fits a fixed memory budget
-//! ([`PairSet`]) — O(1) untyped loads instead of SipHash on the hot scan
+//! (`PairSet`) — O(1) untyped loads instead of SipHash on the hot scan
 //! path — falling back to a `HashSet` for outsized domains.
+//!
+//! Neighbour streams are cursors over the shared
+//! [`CandidateGraph`]'s similarity-sorted rows and columns — the same
+//! (sim desc, id asc) yield order the chunked `NeighborOracle` streams
+//! produced, so the arrangement is unchanged, but the candidate index is
+//! built once per instance and shared with every other solver.
 
-use crate::algorithms::oracle::NeighborOracle;
+use crate::engine::CandidateGraph;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
 use crate::parallel::Threads;
@@ -35,10 +41,10 @@ use std::collections::{BinaryHeap, HashSet};
 /// Configuration for [`greedy`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GreedyConfig {
-    /// Worker budget for building the neighbour oracle's first chunks
-    /// (the `O((|V| + |U|)·n·d)` setup scan). The greedy iteration
-    /// itself is inherently sequential; the arrangement is identical at
-    /// every setting.
+    /// Worker budget for building the shared candidate graph (the
+    /// `O((|V| + |U|)·n·d)` setup scan). The greedy iteration itself is
+    /// inherently sequential; the arrangement is identical at every
+    /// setting.
     pub threads: Threads,
 }
 
@@ -100,39 +106,32 @@ pub fn greedy(inst: &Instance) -> Arrangement {
 
 /// Run Greedy-GEACC with explicit configuration.
 pub fn greedy_with(inst: &Instance, config: GreedyConfig) -> Arrangement {
-    greedy_impl(inst, config, None).0
+    let graph = CandidateGraph::build(inst, config.threads);
+    greedy_on(&graph, None).0
 }
 
-/// Run Greedy-GEACC under a budget: the heap loop (and the
-/// initialization scans) tick `meter` and, when a limit trips, return
-/// the pairs matched so far — a feasible prefix of the greedy
-/// arrangement (greedy never unmatches, so any prefix is feasible) —
-/// together with the [`StopReason`]. An unlimited meter leaves the
-/// result bit-identical to [`greedy_with`].
-pub fn greedy_budgeted(
-    inst: &Instance,
-    config: GreedyConfig,
-    meter: &BudgetMeter,
-) -> (Arrangement, Option<StopReason>) {
-    greedy_impl(inst, config, Some(meter))
-}
-
-fn greedy_impl(
-    inst: &Instance,
-    config: GreedyConfig,
+/// The engine entry point: Greedy-GEACC over a prebuilt candidate
+/// graph. The graph's sorted rows/columns *are* the neighbour streams,
+/// so no per-solve index work remains.
+///
+/// With `meter: Some(_)`, the heap loop (and the initialization scans)
+/// tick it and, when a limit trips, return the pairs matched so far —
+/// a feasible prefix of the greedy arrangement (greedy never
+/// unmatches, so any prefix is feasible) — together with the
+/// [`StopReason`]. `None` (or an unlimited meter) is bit-identical to
+/// [`greedy_with`].
+pub fn greedy_on(
+    graph: &CandidateGraph,
     meter: Option<&BudgetMeter>,
 ) -> (Arrangement, Option<StopReason>) {
+    let inst = graph.instance();
     let nu = inst.num_users() as u64;
     let key = |v: EventId, u: UserId| v.0 as u64 * nu + u.0 as u64;
 
     let mut arrangement = Arrangement::empty_for(inst);
-    // Greedy opens every node's stream during initialization, so the
-    // prewarmed (parallel) construction wastes no scans.
-    let mut oracle = if config.threads.get() > 1 {
-        NeighborOracle::prewarmed(inst, config.threads)
-    } else {
-        NeighborOracle::new(inst)
-    };
+    // Per-node stream cursors into the graph's sorted rows/columns.
+    let mut event_pos = vec![0usize; inst.num_events()];
+    let mut user_pos = vec![0usize; inst.num_users()];
     // Remaining capacities.
     let mut cap_v: Vec<u32> = inst.events().map(|v| inst.event_capacity(v)).collect();
     let mut cap_u: Vec<u32> = inst.users().map(|u| inst.user_capacity(u)).collect();
@@ -143,15 +142,21 @@ fn greedy_impl(
     let mut heap: BinaryHeap<HeapPair> = BinaryHeap::new();
 
     // Scan `v`'s stream for its next feasible unvisited user; push the
-    // pair unless it is already waiting in H.
+    // pair unless it is already waiting in H. The cursor consumes
+    // skipped entries exactly like the chunked streams did: a pair
+    // infeasible at scan time can never become feasible again.
     let scan_event = |v: EventId,
-                      oracle: &mut NeighborOracle,
+                      event_pos: &mut [usize],
                       arrangement: &Arrangement,
                       cap_u: &[u32],
                       pushed: &mut PairSet,
                       popped: &PairSet,
                       heap: &mut BinaryHeap<HeapPair>| {
-        while let Some((u, sim)) = oracle.next_user_for_event(v) {
+        let (users, sims) = graph.sorted_row(v);
+        let pos = &mut event_pos[v.index()];
+        while *pos < users.len() {
+            let (u, sim) = (UserId(users[*pos]), sims[*pos]);
+            *pos += 1;
             let k = key(v, u);
             if popped.contains(k) {
                 continue; // visited
@@ -170,13 +175,17 @@ fn greedy_impl(
         }
     };
     let scan_user = |u: UserId,
-                     oracle: &mut NeighborOracle,
+                     user_pos: &mut [usize],
                      arrangement: &Arrangement,
                      cap_v: &[u32],
                      pushed: &mut PairSet,
                      popped: &PairSet,
                      heap: &mut BinaryHeap<HeapPair>| {
-        while let Some((v, sim)) = oracle.next_event_for_user(u) {
+        let (events, sims) = graph.sorted_col(u);
+        let pos = &mut user_pos[u.index()];
+        while *pos < events.len() {
+            let (v, sim) = (EventId(events[*pos]), sims[*pos]);
+            *pos += 1;
             let k = key(v, u);
             if popped.contains(k) {
                 continue;
@@ -212,7 +221,7 @@ fn greedy_impl(
         if cap_v[v.index()] > 0 {
             scan_event(
                 v,
-                &mut oracle,
+                &mut event_pos,
                 &arrangement,
                 &cap_u,
                 &mut pushed,
@@ -226,7 +235,7 @@ fn greedy_impl(
         if cap_u[u.index()] > 0 {
             scan_user(
                 u,
-                &mut oracle,
+                &mut user_pos,
                 &arrangement,
                 &cap_v,
                 &mut pushed,
@@ -253,7 +262,7 @@ fn greedy_impl(
         if cap_v[v.index()] > 0 {
             scan_event(
                 v,
-                &mut oracle,
+                &mut event_pos,
                 &arrangement,
                 &cap_u,
                 &mut pushed,
@@ -264,7 +273,7 @@ fn greedy_impl(
         if cap_u[u.index()] > 0 {
             scan_user(
                 u,
-                &mut oracle,
+                &mut user_pos,
                 &arrangement,
                 &cap_v,
                 &mut pushed,

@@ -20,8 +20,10 @@
 //!
 //! Guarantee: `1 / max c_u` of the optimum (Theorem 2).
 
+use crate::engine::CandidateGraph;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
+use crate::parallel::Threads;
 use crate::runtime::{BudgetMeter, StopReason};
 use crate::Instance;
 use geacc_flow::assignment::BipartiteMatcher;
@@ -82,29 +84,27 @@ pub fn mincostflow(inst: &Instance) -> McfResult {
 
 /// Run MinCostFlow-GEACC.
 pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
-    mincostflow_impl(inst, config, None).0
+    let graph = CandidateGraph::build(inst, Threads::single());
+    mincostflow_on(&graph, config, None).0
 }
 
-/// Run MinCostFlow-GEACC under a budget: the Δ sweep ticks `meter` once
-/// per augmentation and, when a limit trips, stops sweeping and carries
-/// the best `Δ*` seen so far through the (polynomial, fast) re-solve and
+/// The engine entry point: MinCostFlow-GEACC over a prebuilt candidate
+/// graph. The flow network's cost rows are scattered straight from the
+/// graph's CSR rows instead of recomputing attribute similarities.
+///
+/// With `meter: Some(_)`, the Δ sweep ticks it once per augmentation
+/// and, when a limit trips, stops sweeping and carries the best `Δ*`
+/// seen so far through the (polynomial, fast) re-solve and
 /// conflict-repair phases — so the returned arrangement is always
 /// feasible, built from a truncated relaxation instead of the full one.
-/// An unlimited meter leaves the result bit-identical to
+/// `None` (or an unlimited meter) is bit-identical to
 /// [`mincostflow_with`].
-pub fn mincostflow_budgeted(
-    inst: &Instance,
-    config: McfConfig,
-    meter: &BudgetMeter,
-) -> (McfResult, Option<StopReason>) {
-    mincostflow_impl(inst, config, Some(meter))
-}
-
-fn mincostflow_impl(
-    inst: &Instance,
+pub fn mincostflow_on(
+    graph: &CandidateGraph,
     config: McfConfig,
     meter: Option<&BudgetMeter>,
 ) -> (McfResult, Option<StopReason>) {
+    let inst = graph.instance();
     let nu = inst.num_users();
     let mut stopped: Option<StopReason> = None;
 
@@ -112,7 +112,7 @@ fn mincostflow_impl(
     // MaxSum(M_∅^Δ) = Δ − cost(F^Δ) peaks. Unit costs are non-decreasing
     // so the objective is concave in Δ; tracking step endpoints finds the
     // exact peak.
-    let mut matcher = build_matcher(inst);
+    let mut matcher = build_matcher(graph);
     let solver = matcher.solver_mut();
     let mut best_ms = 0.0;
     let mut best_delta = 0i64;
@@ -143,7 +143,7 @@ fn mincostflow_impl(
     let mut arrangement = Arrangement::empty_for(inst);
     let mut per_user: Vec<Vec<(f64, EventId)>> = vec![Vec::new(); nu];
     if best_delta > 0 {
-        let mut exact = build_matcher(inst);
+        let mut exact = build_matcher(graph);
         let pairs = exact.match_amount(best_delta).expect("costs are finite");
         debug_assert_eq!(exact.flow(), best_delta);
         debug_assert!((exact.flow() as f64 - exact.cost() - best_ms).abs() < 1e-6);
@@ -236,16 +236,18 @@ fn exact_independent_set<'l>(
 /// events on the left (capacity `c_v`), users on the right (capacity
 /// `c_u`), unit cross arcs of cost `1 − sim` — including the paper's
 /// `sim = 0` arcs (cost 1), which never help `MaxSum` but are part of
-/// the construction.
-fn build_matcher(inst: &Instance) -> BipartiteMatcher {
+/// the construction. Rows are scattered from the shared candidate
+/// graph, so the cost closure is a cheap lookup and the attribute
+/// similarities are computed exactly once per instance.
+fn build_matcher(graph: &CandidateGraph) -> BipartiteMatcher {
+    let inst = graph.instance();
     let event_caps: Vec<u32> = inst.events().map(|v| inst.event_capacity(v)).collect();
     let user_caps: Vec<u32> = inst.users().map(|u| inst.user_capacity(u)).collect();
-    // Pre-compute rows so the cost closure is a cheap lookup.
     let mut sims = Vec::with_capacity(inst.num_events());
-    let mut row = Vec::new();
     for v in inst.events() {
-        inst.similarity_row(v, &mut row);
-        sims.push(row.clone());
+        let mut row = Vec::new();
+        graph.scatter_row(v, &mut row);
+        sims.push(row);
     }
     BipartiteMatcher::new(&event_caps, &user_caps, |v, u| 1.0 - sims[v][u])
         .expect("GEACC network is well-formed")

@@ -1,13 +1,21 @@
-//! The five arrangement algorithms of the paper, plus a uniform
-//! dispatcher.
+//! The five arrangement algorithms of the paper.
 //!
 //! | Algorithm | Function | Guarantee |
 //! |---|---|---|
-//! | Greedy-GEACC | [`greedy`] | `1/(1 + max c_u)` |
-//! | MinCostFlow-GEACC | [`mincostflow`] | `1/max c_u` |
-//! | Prune-GEACC | [`prune`] | exact |
+//! | Greedy-GEACC | [`greedy()`] | `1/(1 + max c_u)` |
+//! | MinCostFlow-GEACC | [`mincostflow()`] | `1/max c_u` |
+//! | Prune-GEACC | [`prune()`] | exact |
 //! | Exhaustive | [`exhaustive`] | exact, no pruning |
 //! | Random-V / Random-U | [`random_v`] / [`random_u`] | none (baselines) |
+//!
+//! The free functions above are the classic paper-facing entry points;
+//! each one builds a [`CandidateGraph`][crate::engine::CandidateGraph]
+//! and runs the corresponding `*_on` engine function
+//! ([`greedy_on`], [`mincostflow_on`], [`prune_on`]) to completion.
+//! Dynamic dispatch — picking an algorithm at runtime, budgets,
+//! fallbacks, per-solver timing — lives in [`crate::engine`]
+//! ([`solve_on`][crate::engine::solve_on] /
+//! [`solve_instance`][crate::engine::solve_instance]).
 
 pub mod bounds;
 pub mod dp;
@@ -20,24 +28,18 @@ pub mod prune;
 pub mod random;
 
 pub use bounds::{optimality_gap, relaxation_upper_bound, trivial_upper_bound, GapReport};
-pub use dp::{exact_dp, DpTooLarge};
-pub use greedy::{greedy, greedy_budgeted, greedy_with, GreedyConfig};
+pub use dp::{dp_state_space, exact_dp, DpTooLarge};
+pub use greedy::{greedy, greedy_on, greedy_with, GreedyConfig};
 pub use localsearch::{improve, LocalSearchConfig, LocalSearchResult};
 pub use mincostflow::{
-    mincostflow, mincostflow_budgeted, mincostflow_with, McfConfig, McfResult, RelaxationInfo,
+    mincostflow, mincostflow_on, mincostflow_with, McfConfig, McfResult, RelaxationInfo,
 };
 pub use online::{online_greedy, OnlineArranger, OnlineConfig};
 pub use oracle::NeighborOracle;
 pub use prune::{
-    exhaustive, prune, prune_budgeted, prune_with, BudgetedPrune, PruneConfig, PruneResult,
-    SearchStats,
+    exhaustive, prune, prune_on, prune_with, BudgetedPrune, PruneConfig, PruneResult, SearchStats,
 };
 pub use random::{random_u, random_v};
-
-use crate::model::arrangement::Arrangement;
-use crate::Instance;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which algorithm to run, for callers that dispatch dynamically
 /// (benchmark harness, CLI examples).
@@ -75,45 +77,9 @@ impl Algorithm {
     }
 }
 
-/// Run `algorithm` on `instance` and return its arrangement.
-pub fn solve(instance: &Instance, algorithm: Algorithm) -> Arrangement {
-    match algorithm {
-        Algorithm::Greedy => greedy(instance),
-        Algorithm::MinCostFlow => mincostflow(instance).arrangement,
-        Algorithm::Prune => prune(instance).arrangement,
-        Algorithm::Exhaustive => exhaustive(instance).arrangement,
-        Algorithm::ExactDp => exact_dp(instance)
-            .expect("instance too large for the DP; use prune or an approximation"),
-        Algorithm::RandomV { seed } => random_v(instance, &mut StdRng::seed_from_u64(seed)),
-        Algorithm::RandomU { seed } => random_u(instance, &mut StdRng::seed_from_u64(seed)),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::toy;
-
-    #[test]
-    fn solve_dispatches_every_algorithm_feasibly() {
-        let inst = toy::table1_instance();
-        for algo in [
-            Algorithm::Greedy,
-            Algorithm::MinCostFlow,
-            Algorithm::Prune,
-            Algorithm::Exhaustive,
-            Algorithm::ExactDp,
-            Algorithm::RandomV { seed: 1 },
-            Algorithm::RandomU { seed: 1 },
-        ] {
-            let arr = solve(&inst, algo);
-            assert!(
-                arr.validate(&inst).is_empty(),
-                "{} produced an infeasible arrangement",
-                algo.name()
-            );
-        }
-    }
 
     #[test]
     fn names_are_paper_names() {

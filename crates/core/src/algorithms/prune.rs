@@ -24,7 +24,7 @@
 //!
 //! - **Value.** The descent test inflates the Lemma 6 bound by a
 //!   relative slack covering floating-point accumulation error
-//!   ([`inflate`]), making it a true upper bound on any completion's
+//!   (`inflate`), making it a true upper bound on any completion's
 //!   exact threaded sum. A subtree is pruned only when it provably
 //!   contains no strict improvement, so the final `MaxSum` is
 //!   `max(seed, M)` — `M` being the maximum over all complete leaves —
@@ -55,7 +55,8 @@
 //! nothing to `MaxSum`, so the optimal *value* is unchanged — only
 //! technically-infeasible optima are excluded.
 
-use crate::algorithms::greedy::greedy;
+use crate::algorithms::greedy::greedy_on;
+use crate::engine::CandidateGraph;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
 use crate::parallel::{SharedBest, Threads};
@@ -158,7 +159,7 @@ pub struct PruneResult {
     pub stats: SearchStats,
 }
 
-/// Result of a budget-bounded exact search ([`prune_budgeted`]).
+/// Result of a budget-bounded exact search ([`prune_on`]).
 #[derive(Debug, Clone)]
 pub struct BudgetedPrune {
     /// The arrangement: the proven optimum when `stopped` is `None`, the
@@ -205,18 +206,31 @@ struct SearchContext<'a> {
 }
 
 impl<'a> SearchContext<'a> {
-    fn new(inst: &'a Instance, pruning: bool) -> Self {
+    fn new(graph: &CandidateGraph<'a>, pruning: bool) -> Self {
+        let inst = graph.instance();
         let nv = inst.num_events();
-        let mut row = Vec::new();
+        let nu = inst.num_users();
+        // Per-event list = the graph's sorted row (sim desc, id asc over
+        // the positive pairs) followed by the zero-similarity users in
+        // id-ascending order — exactly the fully-sorted dense row: every
+        // zero ties at 0.0 and loses to every positive similarity.
         let mut neighbors: Vec<Vec<(f64, u32)>> = Vec::with_capacity(nv);
+        let mut positive = vec![false; nu];
         for v in inst.events() {
-            inst.similarity_row(v, &mut row);
-            let mut nbrs: Vec<(f64, u32)> = row
-                .iter()
-                .enumerate()
-                .map(|(u, &s)| (s, u as u32))
-                .collect();
-            nbrs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            let (users, sims) = graph.sorted_row(v);
+            let mut nbrs: Vec<(f64, u32)> = Vec::with_capacity(nu);
+            nbrs.extend(sims.iter().zip(users.iter()).map(|(&s, &u)| (s, u)));
+            for &u in users {
+                positive[u as usize] = true;
+            }
+            for u in 0..nu as u32 {
+                if !positive[u as usize] {
+                    nbrs.push((0.0, u));
+                }
+            }
+            for &u in users {
+                positive[u as usize] = false;
+            }
             neighbors.push(nbrs);
         }
 
@@ -241,13 +255,15 @@ impl<'a> SearchContext<'a> {
 
 /// Run the exact search with explicit configuration.
 pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
-    run_prune(inst, config, None).result
+    let graph = CandidateGraph::build(inst, config.threads);
+    prune_on(&graph, config, None).result
 }
 
-/// Run the exact search under a budget: the search ticks `meter` once
-/// per `Search` invocation and, when a limit trips, unwinds and returns
-/// the best feasible incumbent found so far (the greedy seed at worst)
-/// together with the [`StopReason`].
+/// The engine entry point: the exact search over a prebuilt candidate
+/// graph. `meter: None` is the classic meterless path; with `Some`, the
+/// search ticks the meter once per `Search` invocation and, when a
+/// limit trips, unwinds and returns the best feasible incumbent found
+/// so far (the greedy seed at worst) together with the [`StopReason`].
 ///
 /// Determinism: when `meter` carries a *node* budget the search is
 /// forced onto the sequential path regardless of `config.threads`, so a
@@ -255,17 +271,18 @@ pub fn prune_with(inst: &Instance, config: PruneConfig) -> PruneResult {
 /// incumbent — on every run. Wall-clock/memory/cancellation budgets keep
 /// the configured parallelism and make no such promise. An unlimited
 /// meter leaves the result bit-identical to [`prune_with`].
-pub fn prune_budgeted(inst: &Instance, config: PruneConfig, meter: &BudgetMeter) -> BudgetedPrune {
-    run_prune(inst, config, Some(meter))
-}
-
-fn run_prune(inst: &Instance, config: PruneConfig, meter: Option<&BudgetMeter>) -> BudgetedPrune {
+pub fn prune_on(
+    graph: &CandidateGraph,
+    config: PruneConfig,
+    meter: Option<&BudgetMeter>,
+) -> BudgetedPrune {
+    let inst = graph.instance();
     let nv = inst.num_events();
     let nu = inst.num_users();
-    let ctx = SearchContext::new(inst, config.enable_pruning);
+    let ctx = SearchContext::new(graph, config.enable_pruning);
 
     let incumbent = if config.enable_pruning && config.greedy_seed {
-        greedy(inst)
+        greedy_on(graph, None).0
     } else {
         Arrangement::empty_for(inst)
     };

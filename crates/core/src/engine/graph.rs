@@ -1,0 +1,358 @@
+//! The shared sparse candidate graph every solver borrows.
+//!
+//! A matched pair needs `sim > 0`, so the only pairs any algorithm ever
+//! considers are the edges of the bipartite *candidate graph* over
+//! events and users. [`CandidateGraph`] materializes that graph once per
+//! instance as CSR adjacency — three flat arrays per direction, no
+//! per-node allocation on the solve path — in two views:
+//!
+//! - **id-ascending** rows (`row`), the natural order for dense
+//!   scatters ([`CandidateGraph::scatter_row`]) and binary-search
+//!   similarity lookup;
+//! - **similarity-sorted** rows and columns (`sorted_row` /
+//!   `sorted_col`): neighbours by similarity descending, ties by id
+//!   ascending — exactly the stream order of the paper's "j-th NN"
+//!   oracle, so greedy's frontier scans and prune's Algorithm 4
+//!   enumeration read straight off a slice.
+//!
+//! Rows are computed on `threads` scoped workers and assembled in row
+//! order, so the arrays are bit-identical at every thread count (the
+//! same discipline as [`Instance::dense_similarity`], which this
+//! replaces on the solver hot paths: the graph costs `O(P)` memory for
+//! `P` positive pairs instead of `O(|V|·|U|)`).
+
+use crate::model::ids::{EventId, UserId};
+use crate::parallel::{par_map, Threads};
+use crate::Instance;
+
+/// CSR adjacency of all `sim > 0` (event, user) pairs, borrowed
+/// immutably by every solver dispatched through the engine.
+#[derive(Debug, Clone)]
+pub struct CandidateGraph<'a> {
+    inst: &'a Instance,
+    /// `row_off[v]..row_off[v+1]` indexes event `v`'s entries in both
+    /// the id-ascending and the sorted row arrays.
+    row_off: Vec<usize>,
+    row_user: Vec<u32>,
+    row_sim: Vec<f64>,
+    sorted_row_user: Vec<u32>,
+    sorted_row_sim: Vec<f64>,
+    /// `col_off[u]..col_off[u+1]` indexes user `u`'s entries in the
+    /// sorted column arrays.
+    col_off: Vec<usize>,
+    sorted_col_event: Vec<u32>,
+    sorted_col_sim: Vec<f64>,
+}
+
+impl<'a> CandidateGraph<'a> {
+    /// Build the graph from `inst`, rows computed on `threads` scoped
+    /// workers. The result is bit-identical at every thread count.
+    pub fn build(inst: &'a Instance, threads: Threads) -> Self {
+        let nv = inst.num_events();
+        let nu = inst.num_users();
+
+        // Sparse id-ascending rows, one similarity_row scan per event.
+        let rows: Vec<(Vec<u32>, Vec<f64>)> = par_map(threads, nv, |v| {
+            let mut dense = Vec::new();
+            inst.similarity_row(EventId(v as u32), &mut dense);
+            let mut users = Vec::new();
+            let mut sims = Vec::new();
+            for (u, &s) in dense.iter().enumerate() {
+                if s > 0.0 {
+                    users.push(u as u32);
+                    sims.push(s);
+                }
+            }
+            (users, sims)
+        });
+
+        let mut row_off = Vec::with_capacity(nv + 1);
+        row_off.push(0usize);
+        let mut pairs = 0usize;
+        for (users, _) in &rows {
+            pairs += users.len();
+            row_off.push(pairs);
+        }
+        let mut row_user = Vec::with_capacity(pairs);
+        let mut row_sim = Vec::with_capacity(pairs);
+        for (users, sims) in &rows {
+            row_user.extend_from_slice(users);
+            row_sim.extend_from_slice(sims);
+        }
+
+        // Sorted row view: similarity desc, ties id asc (the oracle's
+        // stream order).
+        let sorted_rows: Vec<(Vec<u32>, Vec<f64>)> = par_map(threads, nv, |v| {
+            let (users, sims) = &rows[v];
+            let mut perm: Vec<usize> = (0..users.len()).collect();
+            perm.sort_by(|&a, &b| sims[b].total_cmp(&sims[a]).then(users[a].cmp(&users[b])));
+            (
+                perm.iter().map(|&i| users[i]).collect(),
+                perm.iter().map(|&i| sims[i]).collect(),
+            )
+        });
+        let mut sorted_row_user = Vec::with_capacity(pairs);
+        let mut sorted_row_sim = Vec::with_capacity(pairs);
+        for (users, sims) in &sorted_rows {
+            sorted_row_user.extend_from_slice(users);
+            sorted_row_sim.extend_from_slice(sims);
+        }
+
+        // Columns: bucket from the id-ascending rows (so each column
+        // collects events in id-ascending order), then sort per column.
+        let mut unsorted_cols: Vec<Vec<(f64, u32)>> = vec![Vec::new(); nu];
+        for (v, (users, sims)) in rows.iter().enumerate() {
+            for (&u, &s) in users.iter().zip(sims.iter()) {
+                unsorted_cols[u as usize].push((s, v as u32));
+            }
+        }
+        let sorted_cols: Vec<Vec<(f64, u32)>> = par_map(threads, nu, |u| {
+            let mut col = unsorted_cols[u].clone();
+            col.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            col
+        });
+        let mut col_off = Vec::with_capacity(nu + 1);
+        col_off.push(0usize);
+        let mut acc = 0usize;
+        for col in &sorted_cols {
+            acc += col.len();
+            col_off.push(acc);
+        }
+        let mut sorted_col_event = Vec::with_capacity(pairs);
+        let mut sorted_col_sim = Vec::with_capacity(pairs);
+        for col in &sorted_cols {
+            for &(s, v) in col {
+                sorted_col_event.push(v);
+                sorted_col_sim.push(s);
+            }
+        }
+
+        CandidateGraph {
+            inst,
+            row_off,
+            row_user,
+            row_sim,
+            sorted_row_user,
+            sorted_row_sim,
+            col_off,
+            sorted_col_event,
+            sorted_col_sim,
+        }
+    }
+
+    /// The instance this graph was built from.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// Number of events (rows).
+    pub fn num_events(&self) -> usize {
+        self.row_off.len() - 1
+    }
+
+    /// Number of users (columns).
+    pub fn num_users(&self) -> usize {
+        self.col_off.len() - 1
+    }
+
+    /// Number of `sim > 0` candidate pairs (edges).
+    pub fn num_candidates(&self) -> usize {
+        self.row_user.len()
+    }
+
+    /// Event `v`'s candidates, user ids ascending: `(users, sims)`.
+    pub fn row(&self, v: EventId) -> (&[u32], &[f64]) {
+        let (a, b) = (self.row_off[v.index()], self.row_off[v.index() + 1]);
+        (&self.row_user[a..b], &self.row_sim[a..b])
+    }
+
+    /// Event `v`'s candidates by similarity desc, ties id asc.
+    pub fn sorted_row(&self, v: EventId) -> (&[u32], &[f64]) {
+        let (a, b) = (self.row_off[v.index()], self.row_off[v.index() + 1]);
+        (&self.sorted_row_user[a..b], &self.sorted_row_sim[a..b])
+    }
+
+    /// User `u`'s candidates by similarity desc, ties id asc.
+    pub fn sorted_col(&self, u: UserId) -> (&[u32], &[f64]) {
+        let (a, b) = (self.col_off[u.index()], self.col_off[u.index() + 1]);
+        (&self.sorted_col_event[a..b], &self.sorted_col_sim[a..b])
+    }
+
+    /// Number of positive-similarity candidates of event `v`.
+    pub fn event_degree(&self, v: EventId) -> usize {
+        self.row_off[v.index() + 1] - self.row_off[v.index()]
+    }
+
+    /// Number of positive-similarity candidates of user `u`.
+    pub fn user_degree(&self, u: UserId) -> usize {
+        self.col_off[u.index() + 1] - self.col_off[u.index()]
+    }
+
+    /// `sim(v, u)` as stored in the graph: the `similarity_row` value
+    /// for positive pairs, `0.0` for absent ones (binary search over the
+    /// id-ascending row).
+    pub fn similarity(&self, v: EventId, u: UserId) -> f64 {
+        let (users, sims) = self.row(v);
+        match users.binary_search(&u.0) {
+            Ok(i) => sims[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Fill `out` with event `v`'s dense similarity row (`|U|` entries,
+    /// zeros scattered with the CSR values) — the bridge for solvers
+    /// that need random access by user id without the `O(|V|·|U|)`
+    /// dense-matrix build.
+    pub fn scatter_row(&self, v: EventId, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.num_users(), 0.0);
+        let (users, sims) = self.row(v);
+        for (&u, &s) in users.iter().zip(sims.iter()) {
+            out[u as usize] = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::conflict::ConflictGraph;
+    use crate::similarity::SimMatrix;
+    use crate::toy;
+
+    fn graph_arrays(g: &CandidateGraph) -> (Vec<usize>, Vec<u32>, Vec<u64>, Vec<u32>, Vec<u64>) {
+        (
+            g.row_off.clone(),
+            g.row_user.clone(),
+            g.row_sim.iter().map(|s| s.to_bits()).collect(),
+            g.sorted_row_user.clone(),
+            g.sorted_row_sim.iter().map(|s| s.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn rows_match_similarity_row_filtered() {
+        let inst = toy::table1_instance();
+        let g = CandidateGraph::build(&inst, Threads::single());
+        let mut dense = Vec::new();
+        for v in inst.events() {
+            inst.similarity_row(v, &mut dense);
+            let (users, sims) = g.row(v);
+            let expected: Vec<(u32, f64)> = dense
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s > 0.0)
+                .map(|(u, &s)| (u as u32, s))
+                .collect();
+            let actual: Vec<(u32, f64)> = users.iter().zip(sims).map(|(&u, &s)| (u, s)).collect();
+            assert_eq!(actual, expected, "row {v}");
+        }
+    }
+
+    #[test]
+    fn sorted_rows_are_similarity_desc_id_asc_permutations() {
+        let inst = toy::table1_instance();
+        let g = CandidateGraph::build(&inst, Threads::single());
+        for v in inst.events() {
+            let (users, sims) = g.sorted_row(v);
+            for i in 1..users.len() {
+                let ordered =
+                    sims[i - 1] > sims[i] || (sims[i - 1] == sims[i] && users[i - 1] < users[i]);
+                assert!(ordered, "row {v} out of order at {i}");
+            }
+            let mut ids: Vec<u32> = users.to_vec();
+            ids.sort_unstable();
+            assert_eq!(ids, g.row(v).0, "row {v} is not a permutation");
+        }
+    }
+
+    #[test]
+    fn sorted_cols_mirror_sorted_rows() {
+        let inst = toy::table1_instance();
+        let g = CandidateGraph::build(&inst, Threads::single());
+        let mut pairs_from_cols: Vec<(u32, u32, u64)> = Vec::new();
+        for u in inst.users() {
+            let (events, sims) = g.sorted_col(u);
+            for i in 1..events.len() {
+                let ordered =
+                    sims[i - 1] > sims[i] || (sims[i - 1] == sims[i] && events[i - 1] < events[i]);
+                assert!(ordered, "col {u} out of order at {i}");
+            }
+            for (&v, &s) in events.iter().zip(sims.iter()) {
+                pairs_from_cols.push((v, u.0, s.to_bits()));
+            }
+        }
+        let mut pairs_from_rows: Vec<(u32, u32, u64)> = Vec::new();
+        for v in inst.events() {
+            let (users, sims) = g.row(v);
+            for (&u, &s) in users.iter().zip(sims.iter()) {
+                pairs_from_rows.push((v.0, u, s.to_bits()));
+            }
+        }
+        pairs_from_cols.sort_unstable();
+        pairs_from_rows.sort_unstable();
+        assert_eq!(pairs_from_cols, pairs_from_rows);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|v| {
+                (0..120)
+                    .map(|u| ((v * 13 + u * 7) % 23) as f64 / 23.0)
+                    .collect()
+            })
+            .collect();
+        let inst = Instance::from_matrix(
+            SimMatrix::from_rows(&rows),
+            vec![2; 40],
+            vec![3; 120],
+            ConflictGraph::empty(40),
+        )
+        .unwrap();
+        let serial = CandidateGraph::build(&inst, Threads::single());
+        for t in [2, 4, 8] {
+            let parallel = CandidateGraph::build(&inst, Threads::new(t));
+            assert_eq!(
+                graph_arrays(&serial),
+                graph_arrays(&parallel),
+                "threads = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn similarity_lookup_and_scatter_match_instance() {
+        let inst = toy::table1_instance();
+        let g = CandidateGraph::build(&inst, Threads::single());
+        let mut dense = Vec::new();
+        let mut scattered = Vec::new();
+        for v in inst.events() {
+            inst.similarity_row(v, &mut dense);
+            g.scatter_row(v, &mut scattered);
+            for u in inst.users() {
+                let expected = if dense[u.index()] > 0.0 {
+                    dense[u.index()]
+                } else {
+                    0.0
+                };
+                assert_eq!(g.similarity(v, u).to_bits(), expected.to_bits());
+                assert_eq!(scattered[u.index()].to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_count_positive_pairs() {
+        let m = SimMatrix::from_rows(&[vec![0.5, 0.0, 0.2], vec![0.0, 0.0, 0.9]]);
+        let inst =
+            Instance::from_matrix(m, vec![1, 1], vec![1, 1, 1], ConflictGraph::empty(2)).unwrap();
+        let g = CandidateGraph::build(&inst, Threads::single());
+        assert_eq!(g.num_candidates(), 3);
+        assert_eq!(g.event_degree(EventId(0)), 2);
+        assert_eq!(g.event_degree(EventId(1)), 1);
+        assert_eq!(g.user_degree(UserId(0)), 1);
+        assert_eq!(g.user_degree(UserId(1)), 0);
+        assert_eq!(g.user_degree(UserId(2)), 2);
+    }
+}

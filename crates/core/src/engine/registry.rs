@@ -1,0 +1,269 @@
+//! The [`SolverRegistry`]: every solver behind one lookup and one
+//! dispatch function.
+//!
+//! The registry is a static table of the seven [`Solver`]s, addressable
+//! by [`Algorithm`] (for typed callers) or by name (for the CLI and the
+//! server wire protocol — both spelling families are accepted:
+//! `exact-dp`/`random-v`/`random-u` and `exactdp`/`random_v`/`random_u`).
+//! [`solve_on`] is the single entry point every surface routes through;
+//! it resolves the solver, injects the algorithm-carried seed, runs the
+//! solve, and records the cost in [`EngineStats`].
+
+use crate::algorithms::Algorithm;
+use crate::engine::solver::{
+    ExactDpSolver, ExhaustiveSolver, GreedySolver, MinCostFlowSolver, PruneSolver, RandomUSolver,
+    RandomVSolver, SolveParams, Solver,
+};
+use crate::engine::stats::EngineStats;
+use crate::engine::CandidateGraph;
+use crate::runtime::budget::BudgetMeter;
+use crate::runtime::outcome::Outcome;
+use crate::Instance;
+use std::time::Instant;
+
+static GREEDY: GreedySolver = GreedySolver;
+static MINCOSTFLOW: MinCostFlowSolver = MinCostFlowSolver;
+static PRUNE: PruneSolver = PruneSolver;
+static EXHAUSTIVE: ExhaustiveSolver = ExhaustiveSolver;
+static EXACT_DP: ExactDpSolver = ExactDpSolver;
+static RANDOM_V: RandomVSolver = RandomVSolver;
+static RANDOM_U: RandomUSolver = RandomUSolver;
+
+/// Registry order (the order `entries` iterates and `EngineStats`
+/// snapshots report).
+static ENTRIES: [&dyn Solver; 7] = [
+    &GREEDY,
+    &MINCOSTFLOW,
+    &PRUNE,
+    &EXHAUSTIVE,
+    &EXACT_DP,
+    &RANDOM_V,
+    &RANDOM_U,
+];
+
+/// A solver name the registry does not know. Displays the same message
+/// the CLI has always printed for `--algorithm` typos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgorithm {
+    /// The name as the caller gave it.
+    pub requested: String,
+}
+
+impl std::fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?} (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u)",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+/// The static table of registered solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverRegistry(());
+
+static REGISTRY: SolverRegistry = SolverRegistry(());
+
+impl SolverRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static SolverRegistry {
+        &REGISTRY
+    }
+
+    /// Every registered solver, in registry order.
+    pub fn entries(&self) -> &'static [&'static dyn Solver] {
+        &ENTRIES
+    }
+
+    /// The solver implementing `algorithm`.
+    pub fn solver(&self, algorithm: Algorithm) -> &'static dyn Solver {
+        ENTRIES[crate::engine::stats::slot(algorithm)]
+    }
+
+    /// Resolve a solver by its stage key (`"greedy"`, `"exact-dp"`, …).
+    pub fn by_stage(&self, stage: &str) -> Option<&'static dyn Solver> {
+        ENTRIES.iter().copied().find(|s| s.stage() == stage)
+    }
+
+    /// Parse an algorithm name into a typed [`Algorithm`], threading
+    /// `seed` into the randomized baselines. Accepts both the CLI
+    /// spellings (`exact-dp`, `random-v`, `random-u`) and the server
+    /// wire spellings (`exactdp`, `random_v`, `random_u`).
+    pub fn parse(&self, name: &str, seed: u64) -> Result<Algorithm, UnknownAlgorithm> {
+        Ok(match name {
+            "greedy" => Algorithm::Greedy,
+            "mincostflow" => Algorithm::MinCostFlow,
+            "prune" => Algorithm::Prune,
+            "exhaustive" => Algorithm::Exhaustive,
+            "exact-dp" | "exactdp" => Algorithm::ExactDp,
+            "random-v" | "random_v" => Algorithm::RandomV { seed },
+            "random-u" | "random_u" => Algorithm::RandomU { seed },
+            other => {
+                return Err(UnknownAlgorithm {
+                    requested: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
+/// The engine's single dispatch point: run `algorithm` over a prebuilt
+/// graph under `meter`, recording the cost in [`EngineStats`]. A seed
+/// carried inside the algorithm ([`Algorithm::RandomV`] / [`RandomU`][Algorithm::RandomU])
+/// overrides `params.seed`.
+pub fn solve_on(
+    graph: &CandidateGraph,
+    algorithm: Algorithm,
+    params: &SolveParams,
+    meter: &BudgetMeter,
+) -> Outcome {
+    let effective = SolveParams {
+        threads: params.threads,
+        seed: match algorithm {
+            Algorithm::RandomV { seed } | Algorithm::RandomU { seed } => seed,
+            _ => params.seed,
+        },
+    };
+    let start = Instant::now();
+    let outcome = SolverRegistry::global()
+        .solver(algorithm)
+        .solve(graph, &effective, meter);
+    EngineStats::record(algorithm, start.elapsed());
+    outcome
+}
+
+/// Convenience for callers without a prebuilt graph: build the
+/// candidate graph (with `params.threads` workers) and dispatch.
+pub fn solve_instance(
+    inst: &Instance,
+    algorithm: Algorithm,
+    params: &SolveParams,
+    meter: &BudgetMeter,
+) -> Outcome {
+    let graph = CandidateGraph::build(inst, params.threads);
+    solve_on(&graph, algorithm, params, meter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::Threads;
+    use crate::runtime::outcome::SolveStatus;
+    use crate::toy;
+
+    #[test]
+    fn registry_maps_every_algorithm_to_its_named_solver() {
+        let reg = SolverRegistry::global();
+        for (algo, name, stage) in [
+            (Algorithm::Greedy, "Greedy-GEACC", "greedy"),
+            (Algorithm::MinCostFlow, "MinCostFlow-GEACC", "mincostflow"),
+            (Algorithm::Prune, "Prune-GEACC", "prune"),
+            (Algorithm::Exhaustive, "Exhaustive", "exhaustive"),
+            (Algorithm::ExactDp, "Exact-DP", "exact-dp"),
+            (Algorithm::RandomV { seed: 3 }, "Random-V", "random-v"),
+            (Algorithm::RandomU { seed: 3 }, "Random-U", "random-u"),
+        ] {
+            let solver = reg.solver(algo);
+            assert_eq!(solver.name(), name);
+            assert_eq!(solver.stage(), stage);
+            assert_eq!(solver.name(), algo.name(), "registry/enum name drift");
+            assert!(reg.by_stage(stage).is_some());
+        }
+        assert_eq!(reg.entries().len(), 7);
+        assert!(reg.by_stage("annealing").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_both_spelling_families() {
+        let reg = SolverRegistry::global();
+        assert_eq!(reg.parse("greedy", 0), Ok(Algorithm::Greedy));
+        assert_eq!(reg.parse("exact-dp", 0), Ok(Algorithm::ExactDp));
+        assert_eq!(reg.parse("exactdp", 0), Ok(Algorithm::ExactDp));
+        assert_eq!(reg.parse("random-v", 5), Ok(Algorithm::RandomV { seed: 5 }));
+        assert_eq!(reg.parse("random_v", 5), Ok(Algorithm::RandomV { seed: 5 }));
+        assert_eq!(reg.parse("random_u", 9), Ok(Algorithm::RandomU { seed: 9 }));
+        let err = reg.parse("magic", 0).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown algorithm \"magic\" (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u)"
+        );
+    }
+
+    #[test]
+    fn solve_instance_dispatches_every_algorithm_feasibly() {
+        let inst = toy::table1_instance();
+        for algo in [
+            Algorithm::Greedy,
+            Algorithm::MinCostFlow,
+            Algorithm::Prune,
+            Algorithm::Exhaustive,
+            Algorithm::ExactDp,
+            Algorithm::RandomV { seed: 1 },
+            Algorithm::RandomU { seed: 1 },
+        ] {
+            let out = solve_instance(
+                &inst,
+                algo,
+                &SolveParams::default(),
+                &BudgetMeter::unlimited(),
+            );
+            assert!(
+                out.arrangement.validate(&inst).is_empty(),
+                "{} produced an infeasible arrangement",
+                algo.name()
+            );
+            assert!(out.status.is_complete(), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn dispatch_records_engine_stats() {
+        let inst = toy::table1_instance();
+        let graph = CandidateGraph::build(&inst, Threads::single());
+        let calls_before = EngineStats::snapshot()
+            .iter()
+            .find(|t| t.stage == "mincostflow")
+            .unwrap()
+            .calls;
+        let out = solve_on(
+            &graph,
+            Algorithm::MinCostFlow,
+            &SolveParams::default(),
+            &BudgetMeter::unlimited(),
+        );
+        assert_eq!(
+            out.status,
+            SolveStatus::Feasible(crate::runtime::outcome::Provenance::Completed)
+        );
+        let calls_after = EngineStats::snapshot()
+            .iter()
+            .find(|t| t.stage == "mincostflow")
+            .unwrap()
+            .calls;
+        assert!(calls_after > calls_before);
+    }
+
+    #[test]
+    fn algorithm_seed_overrides_params_seed() {
+        let inst = toy::table1_instance();
+        let graph = CandidateGraph::build(&inst, Threads::single());
+        let params = SolveParams {
+            seed: 1234,
+            ..SolveParams::default()
+        };
+        let via_algo = solve_on(
+            &graph,
+            Algorithm::RandomV { seed: 7 },
+            &params,
+            &BudgetMeter::unlimited(),
+        );
+        let direct = crate::algorithms::random_v(
+            &inst,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
+        );
+        assert_eq!(via_algo.arrangement, direct);
+    }
+}

@@ -1,0 +1,177 @@
+//! Process-wide per-solver timing, recorded by the engine dispatcher.
+//!
+//! Every [`solve_on`][crate::engine::solve_on] call records its solver
+//! and wall-clock cost into a fixed set of atomic counters — one slot
+//! per registered algorithm — so any surface (the server's `stats` op,
+//! the bench bins, tests) can ask "how many solves ran through each
+//! solver, and how long did they take?" without threading a collector
+//! through every call site. Recording is two relaxed atomic adds; the
+//! snapshot is a racy-but-consistent-enough read (counts and nanos are
+//! read independently, which is fine for monitoring).
+
+use crate::algorithms::Algorithm;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of registry slots (one per [`Algorithm`] variant).
+pub const NUM_SOLVER_SLOTS: usize = 7;
+
+/// Stage keys, indexed by slot — the same strings
+/// [`Solver::stage`][crate::engine::Solver::stage] returns.
+const STAGES: [&str; NUM_SOLVER_SLOTS] = [
+    "greedy",
+    "mincostflow",
+    "prune",
+    "exhaustive",
+    "exact-dp",
+    "random-v",
+    "random-u",
+];
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static CALLS: [AtomicU64; NUM_SOLVER_SLOTS] = [ZERO; NUM_SOLVER_SLOTS];
+static NANOS: [AtomicU64; NUM_SOLVER_SLOTS] = [ZERO; NUM_SOLVER_SLOTS];
+
+/// The registry slot an algorithm records under (random seeds collapse
+/// into one slot per baseline).
+pub(crate) fn slot(algorithm: Algorithm) -> usize {
+    match algorithm {
+        Algorithm::Greedy => 0,
+        Algorithm::MinCostFlow => 1,
+        Algorithm::Prune => 2,
+        Algorithm::Exhaustive => 3,
+        Algorithm::ExactDp => 4,
+        Algorithm::RandomV { .. } => 5,
+        Algorithm::RandomU { .. } => 6,
+    }
+}
+
+/// One solver's accumulated dispatch statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverTiming {
+    /// The solver's stage key (`"greedy"`, `"prune"`, …).
+    pub stage: &'static str,
+    /// Engine dispatches recorded for this solver.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those dispatches.
+    pub total_nanos: u64,
+}
+
+impl SolverTiming {
+    /// Total wall-clock time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_nanos)
+    }
+
+    /// Mean time per dispatch (zero when never called).
+    pub fn mean(&self) -> Duration {
+        match self.total_nanos.checked_div(self.calls) {
+            Some(mean) => Duration::from_nanos(mean),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// Handle over the process-wide engine counters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineStats;
+
+impl EngineStats {
+    /// Record one dispatch of `algorithm` that took `elapsed`.
+    pub fn record(algorithm: Algorithm, elapsed: Duration) {
+        let i = slot(algorithm);
+        CALLS[i].fetch_add(1, Ordering::Relaxed);
+        NANOS[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A snapshot of every slot, in registry order.
+    pub fn snapshot() -> Vec<SolverTiming> {
+        (0..NUM_SOLVER_SLOTS)
+            .map(|i| SolverTiming {
+                stage: STAGES[i],
+                calls: CALLS[i].load(Ordering::Relaxed),
+                total_nanos: NANOS[i].load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Reset every counter to zero (bench bins isolate their phases
+    /// with this; tests should read deltas instead, since the counters
+    /// are process-wide and tests run concurrently).
+    pub fn reset() {
+        for i in 0..NUM_SOLVER_SLOTS {
+            CALLS[i].store(0, Ordering::Relaxed);
+            NANOS[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_accumulates_into_the_right_slot() {
+        let before = EngineStats::snapshot();
+        EngineStats::record(Algorithm::Prune, Duration::from_nanos(500));
+        EngineStats::record(Algorithm::Prune, Duration::from_nanos(300));
+        EngineStats::record(Algorithm::RandomV { seed: 9 }, Duration::from_nanos(10));
+        let after = EngineStats::snapshot();
+        let delta = |stage: &str| {
+            let pick = |snap: &[SolverTiming]| {
+                snap.iter()
+                    .find(|t| t.stage == stage)
+                    .copied()
+                    .expect("stage present")
+            };
+            let (b, a) = (pick(&before), pick(&after));
+            (a.calls - b.calls, a.total_nanos - b.total_nanos)
+        };
+        assert!(delta("prune").0 >= 2);
+        assert!(delta("prune").1 >= 800);
+        assert!(delta("random-v").0 >= 1);
+    }
+
+    #[test]
+    fn timings_expose_durations() {
+        let t = SolverTiming {
+            stage: "greedy",
+            calls: 4,
+            total_nanos: 4000,
+        };
+        assert_eq!(t.total(), Duration::from_nanos(4000));
+        assert_eq!(t.mean(), Duration::from_nanos(1000));
+        let never = SolverTiming {
+            stage: "prune",
+            calls: 0,
+            total_nanos: 0,
+        };
+        assert_eq!(never.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn every_algorithm_has_a_distinct_slot() {
+        let algos = [
+            Algorithm::Greedy,
+            Algorithm::MinCostFlow,
+            Algorithm::Prune,
+            Algorithm::Exhaustive,
+            Algorithm::ExactDp,
+            Algorithm::RandomV { seed: 1 },
+            Algorithm::RandomU { seed: 2 },
+        ];
+        let mut seen = [false; NUM_SOLVER_SLOTS];
+        for algo in algos {
+            let i = slot(algo);
+            assert!(!seen[i], "slot {i} reused");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Seeds collapse into the same slot.
+        assert_eq!(
+            slot(Algorithm::RandomV { seed: 1 }),
+            slot(Algorithm::RandomV { seed: 99 })
+        );
+    }
+}

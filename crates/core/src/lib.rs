@@ -16,11 +16,11 @@
 //! graph), so the paper — and this crate — ships two approximation
 //! algorithms with guarantees and an exact branch-and-bound:
 //!
-//! - [`algorithms::greedy`] — Greedy-GEACC, `1/(1 + max c_u)`-approx,
+//! - [`algorithms::greedy()`] — Greedy-GEACC, `1/(1 + max c_u)`-approx,
 //!   near-linear in practice, the algorithm of choice at scale;
-//! - [`algorithms::mincostflow`] — MinCostFlow-GEACC, `1/max c_u`-approx
+//! - [`algorithms::mincostflow()`] — MinCostFlow-GEACC, `1/max c_u`-approx
 //!   via a min-cost-flow relaxation plus conflict repair;
-//! - [`algorithms::prune`] — Prune-GEACC, exact, with the Lemma 6 bound;
+//! - [`algorithms::prune()`] — Prune-GEACC, exact, with the Lemma 6 bound;
 //! - [`algorithms::exhaustive`], [`algorithms::random_v`],
 //!   [`algorithms::random_u`] — the paper's evaluation comparators.
 //!
@@ -56,6 +56,8 @@
 
 pub mod algorithms;
 pub mod dynamic;
+pub mod engine;
+pub mod loader;
 pub mod model;
 pub mod parallel;
 pub mod reduction;
@@ -67,6 +69,8 @@ pub use dynamic::{
     DynamicConfig, IncrementalArranger, Mutation, MutationError, RepairReport, ReplayStats, Side,
     WireError,
 };
+pub use engine::{CandidateGraph, EngineStats, SolveParams, Solver, SolverCaps, SolverRegistry};
+pub use loader::LoadError;
 pub use model::arrangement::{Arrangement, Violation};
 pub use model::conflict::{ConflictGraph, ConflictPairOutOfRange};
 pub use model::ids::{EventId, UserId};

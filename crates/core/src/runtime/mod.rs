@@ -13,8 +13,10 @@
 //! - [`CancelToken`] — cooperative cancellation from another thread;
 //! - [`Outcome`] / [`SolveStatus`] — an honest report of how much trust
 //!   the returned arrangement deserves, mapped onto process exit codes;
-//! - [`SolverPipeline`] — the Prune → Greedy → Random-V degradation
-//!   chain with per-stage budgets and panic isolation;
+//! - [`SolverPipeline`] — the primary → Greedy → Random-V degradation
+//!   chain with per-stage budgets and panic isolation, dispatching
+//!   every stage through [`crate::engine`] over one shared
+//!   [`CandidateGraph`][crate::engine::CandidateGraph];
 //! - [`FaultPlan`] — deterministic fault injection (panics, stalls,
 //!   allocation spikes) for the resilience test suite.
 //!
@@ -30,4 +32,4 @@ pub mod pipeline;
 pub use budget::{set_memory_probe, BudgetMeter, CancelToken, SolveBudget, StopReason};
 pub use fault::FaultPlan;
 pub use outcome::{FallbackAlgo, Outcome, Provenance, SolveStatus};
-pub use pipeline::{solve_budgeted, stage_name, BudgetedSolve, SolverPipeline};
+pub use pipeline::SolverPipeline;

@@ -9,6 +9,7 @@
 //! except in the [`SolveStatus::TimedOut`] case, where it is empty (the
 //! empty arrangement is trivially feasible too).
 
+use crate::algorithms::SearchStats;
 use crate::model::arrangement::Arrangement;
 use crate::runtime::budget::StopReason;
 use std::time::Duration;
@@ -85,6 +86,16 @@ impl SolveStatus {
         )
     }
 
+    /// The budget stop that interrupted the solver, if any. `Some` only
+    /// for [`SolveStatus::Feasible`] with an
+    /// [`Incumbent`][Provenance::Incumbent] provenance.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            SolveStatus::Feasible(Provenance::Incumbent(reason)) => Some(*reason),
+            _ => None,
+        }
+    }
+
     /// Human-readable status line for CLI output and logs.
     pub fn label(&self) -> String {
         match self {
@@ -117,6 +128,10 @@ pub struct Outcome {
     pub nodes: u64,
     /// Wall-clock time of the whole solve (all stages).
     pub elapsed: Duration,
+    /// Branch-and-bound counters, populated only by the exact tree
+    /// searches (Prune-GEACC and Exhaustive). `None` for every other
+    /// solver.
+    pub search: Option<SearchStats>,
 }
 
 #[cfg(test)]

@@ -1,10 +1,8 @@
-//! The anytime orchestrator: budgeted dispatch plus graceful fallback.
+//! The anytime orchestrator: engine dispatch plus graceful fallback.
 //!
-//! [`solve_budgeted`] is the budget-aware sibling of
-//! [`algorithms::solve`][crate::algorithms::solve] — it runs one
-//! algorithm under a [`BudgetMeter`] and reports how far it got.
-//! [`SolverPipeline`] wraps it in the degradation chain the ROADMAP's
-//! production-service north-star needs:
+//! [`SolverPipeline`] wraps the engine's single dispatch point
+//! ([`engine::solve_on`](crate::engine::solve_on())) in the degradation
+//! chain the ROADMAP's production-service north-star needs:
 //!
 //! 1. the **primary** algorithm under the main budget;
 //! 2. **Greedy-GEACC** under the (separate) fallback budget, if the
@@ -13,6 +11,10 @@
 //! 3. **Random-V** as the unconditional last resort;
 //! 4. the empty arrangement with [`SolveStatus::TimedOut`] if even that
 //!    failed.
+//!
+//! The candidate graph is built **once** per `run` and shared by every
+//! stage — the primary, the greedy fallback, and the random last
+//! resort all solve over the same CSR.
 //!
 //! Each stage runs inside `catch_unwind`, so a panic — a worker thread
 //! dying, a fault injection, `exact_dp` refusing an oversized instance —
@@ -24,131 +26,16 @@
 //! the caller receives outside `TimedOut` passed
 //! [`Arrangement::validate`][crate::Arrangement::validate].
 
-use crate::algorithms::{
-    exact_dp, greedy_budgeted, mincostflow_budgeted, prune_budgeted, random_u, random_v, Algorithm,
-    GreedyConfig, McfConfig, PruneConfig,
-};
+use crate::algorithms::Algorithm;
+use crate::engine::{self, CandidateGraph, SolveParams, SolverRegistry};
 use crate::model::arrangement::Arrangement;
 use crate::parallel::Threads;
-use crate::runtime::budget::{BudgetMeter, CancelToken, SolveBudget, StopReason};
+use crate::runtime::budget::{BudgetMeter, CancelToken, SolveBudget};
 use crate::runtime::fault::FaultPlan;
-use crate::runtime::outcome::{FallbackAlgo, Outcome, Provenance, SolveStatus};
-use crate::Instance;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::runtime::outcome::{FallbackAlgo, Outcome, SolveStatus};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// One algorithm's budgeted run: the arrangement it produced, whether a
-/// budget stopped it early, and whether a *completed* run would carry an
-/// optimality certificate.
-#[derive(Debug, Clone)]
-pub struct BudgetedSolve {
-    /// The (feasible) arrangement — the final answer if `stopped` is
-    /// `None`, the best incumbent otherwise.
-    pub arrangement: Arrangement,
-    /// Why the solver stopped early, if it did.
-    pub stopped: Option<StopReason>,
-    /// Whether the algorithm is exact (a completed run proves
-    /// optimality).
-    pub exact: bool,
-}
-
-/// The stage name `algorithm` runs under (used by fault plans'
-/// [`FaultPlan::panic_at_stage`] and the pipeline's progress reporting).
-pub fn stage_name(algorithm: Algorithm) -> &'static str {
-    match algorithm {
-        Algorithm::Greedy => "greedy",
-        Algorithm::MinCostFlow => "mincostflow",
-        Algorithm::Prune => "prune",
-        Algorithm::Exhaustive => "exhaustive",
-        Algorithm::ExactDp => "exact-dp",
-        Algorithm::RandomV { .. } => "random-v",
-        Algorithm::RandomU { .. } => "random-u",
-    }
-}
-
-/// Run one algorithm under `meter`, the budget-aware counterpart of
-/// [`algorithms::solve`][crate::algorithms::solve].
-///
-/// The baselines (`RandomV`/`RandomU`) and `ExactDp` complete in one
-/// shot or not at all, so they ignore the meter except for its latched
-/// stop state; the three paper algorithms poll it cooperatively.
-pub fn solve_budgeted(
-    inst: &Instance,
-    algorithm: Algorithm,
-    meter: &BudgetMeter,
-    threads: Threads,
-) -> BudgetedSolve {
-    match algorithm {
-        Algorithm::Greedy => {
-            let (arrangement, stopped) = greedy_budgeted(inst, GreedyConfig { threads }, meter);
-            BudgetedSolve {
-                arrangement,
-                stopped,
-                exact: false,
-            }
-        }
-        Algorithm::MinCostFlow => {
-            let (result, stopped) = mincostflow_budgeted(inst, McfConfig::default(), meter);
-            BudgetedSolve {
-                arrangement: result.arrangement,
-                stopped,
-                exact: false,
-            }
-        }
-        Algorithm::Prune => {
-            let budgeted = prune_budgeted(
-                inst,
-                PruneConfig {
-                    threads,
-                    ..PruneConfig::default()
-                },
-                meter,
-            );
-            BudgetedSolve {
-                arrangement: budgeted.result.arrangement,
-                stopped: budgeted.stopped,
-                exact: true,
-            }
-        }
-        Algorithm::Exhaustive => {
-            let budgeted = prune_budgeted(
-                inst,
-                PruneConfig {
-                    enable_pruning: false,
-                    greedy_seed: false,
-                    threads,
-                },
-                meter,
-            );
-            BudgetedSolve {
-                arrangement: budgeted.result.arrangement,
-                stopped: budgeted.stopped,
-                exact: true,
-            }
-        }
-        Algorithm::ExactDp => BudgetedSolve {
-            // All-or-nothing: `DpTooLarge` surfaces as a panic, which
-            // the pipeline's catch_unwind turns into a degradation.
-            arrangement: exact_dp(inst)
-                .expect("instance too large for the DP; use prune or an approximation"),
-            stopped: meter.stop_reason(),
-            exact: true,
-        },
-        Algorithm::RandomV { seed } => BudgetedSolve {
-            arrangement: random_v(inst, &mut StdRng::seed_from_u64(seed)),
-            stopped: meter.stop_reason(),
-            exact: false,
-        },
-        Algorithm::RandomU { seed } => BudgetedSolve {
-            arrangement: random_u(inst, &mut StdRng::seed_from_u64(seed)),
-            stopped: meter.stop_reason(),
-            exact: false,
-        },
-    }
-}
 
 /// Anytime solve orchestrator: primary algorithm under a budget,
 /// degradation chain behind it. See the module docs for the chain.
@@ -235,9 +122,9 @@ impl SolverPipeline {
     /// Run a stage under panic isolation and feasibility audit: `Some`
     /// only if the stage neither panicked nor produced an infeasible
     /// arrangement.
-    fn run_stage<F>(&self, inst: &Instance, stage: &str, f: F) -> Option<BudgetedSolve>
+    fn run_stage<F>(&self, graph: &CandidateGraph, stage: &str, f: F) -> Option<Outcome>
     where
-        F: FnOnce() -> BudgetedSolve,
+        F: FnOnce() -> Outcome,
     {
         let fault = self.fault.clone();
         let solved = catch_unwind(AssertUnwindSafe(|| {
@@ -249,92 +136,93 @@ impl SolverPipeline {
         .ok()?;
         solved
             .arrangement
-            .validate(inst)
+            .validate(graph.instance())
             .is_empty()
             .then_some(solved)
     }
 
     /// Run the chain to its first acceptable arrangement.
-    pub fn run(&self, inst: &Instance) -> Outcome {
+    pub fn run(&self, inst: &crate::Instance) -> Outcome {
         let start = Instant::now();
         let mut nodes = 0u64;
+        let registry = SolverRegistry::global();
+        let params = SolveParams {
+            threads: self.threads,
+            seed: self.seed,
+        };
+        // One graph for every stage.
+        let graph = CandidateGraph::build(inst, self.threads);
 
         // Stage 1: the primary algorithm under the main budget.
         let meter = self.meter_for(&self.budget);
-        let solved = self.run_stage(inst, stage_name(self.primary), || {
-            solve_budgeted(inst, self.primary, &meter, self.threads)
+        let solved = self.run_stage(&graph, registry.solver(self.primary).stage(), || {
+            engine::solve_on(&graph, self.primary, &params, &meter)
         });
         nodes += meter.nodes();
         if let Some(solved) = solved {
-            match solved.stopped {
-                None => {
-                    let status = if solved.exact {
-                        SolveStatus::Optimal
-                    } else {
-                        SolveStatus::Feasible(Provenance::Completed)
-                    };
-                    return self.outcome(solved.arrangement, status, nodes, start);
-                }
+            match solved.status.stop_reason() {
+                // Completed: the solver's own status (Optimal or
+                // Feasible(Completed)) is already honest.
+                None => return self.outcome(solved, nodes, start),
                 // A budget-stopped Greedy *is* the Greedy fallback;
                 // degrading would just re-run a weaker version of it.
-                Some(reason)
-                    if !self.degrade_on_stop || matches!(self.primary, Algorithm::Greedy) =>
-                {
-                    let status = SolveStatus::Feasible(Provenance::Incumbent(reason));
-                    return self.outcome(solved.arrangement, status, nodes, start);
+                Some(_) if !self.degrade_on_stop || matches!(self.primary, Algorithm::Greedy) => {
+                    return self.outcome(solved, nodes, start)
                 }
                 Some(_) => {}
             }
         }
 
-        // Stage 2: Greedy under the fallback budget.
+        // Stage 2: Greedy under the fallback budget, over the same graph.
         if !matches!(self.primary, Algorithm::Greedy) {
             let meter = self.meter_for(&self.fallback_budget);
-            let solved = self.run_stage(inst, "greedy", || {
-                solve_budgeted(inst, Algorithm::Greedy, &meter, self.threads)
+            let solved = self.run_stage(&graph, "greedy", || {
+                engine::solve_on(&graph, Algorithm::Greedy, &params, &meter)
             });
             nodes += meter.nodes();
-            if let Some(solved) = solved {
-                let status = SolveStatus::DegradedTo(FallbackAlgo::Greedy);
-                return self.outcome(solved.arrangement, status, nodes, start);
+            if let Some(mut solved) = solved {
+                solved.status = SolveStatus::DegradedTo(FallbackAlgo::Greedy);
+                return self.outcome(solved, nodes, start);
             }
         }
 
         // Stage 3: Random-V, the unconditional last resort (unbudgeted:
         // it is a single linear pass).
-        let seed = self.seed;
-        let solved = self.run_stage(inst, "random-v", || BudgetedSolve {
-            arrangement: random_v(inst, &mut StdRng::seed_from_u64(seed)),
-            stopped: None,
-            exact: false,
+        let solved = self.run_stage(&graph, "random-v", || {
+            engine::solve_on(
+                &graph,
+                Algorithm::RandomV { seed: self.seed },
+                &params,
+                &BudgetMeter::unlimited(),
+            )
         });
-        if let Some(solved) = solved {
-            let status = SolveStatus::DegradedTo(FallbackAlgo::RandomV);
-            return self.outcome(solved.arrangement, status, nodes, start);
+        if let Some(mut solved) = solved {
+            solved.status = SolveStatus::DegradedTo(FallbackAlgo::RandomV);
+            return self.outcome(solved, nodes, start);
         }
 
         // Everything failed: report honestly with the empty (and
         // trivially feasible) arrangement.
         self.outcome(
-            Arrangement::empty_for(inst),
-            SolveStatus::TimedOut,
+            Outcome {
+                arrangement: Arrangement::empty_for(inst),
+                status: SolveStatus::TimedOut,
+                nodes: 0,
+                elapsed: start.elapsed(),
+                search: None,
+            },
             nodes,
             start,
         )
     }
 
-    fn outcome(
-        &self,
-        arrangement: Arrangement,
-        status: SolveStatus,
-        nodes: u64,
-        start: Instant,
-    ) -> Outcome {
+    /// Normalize a stage's outcome into the pipeline's ledger: total
+    /// nodes across all stages, wall clock from `run`'s entry.
+    fn outcome(&self, solved: Outcome, nodes: u64, start: Instant) -> Outcome {
         Outcome {
-            arrangement,
-            status,
             nodes,
             elapsed: start.elapsed(),
+            ..solved
         }
     }
 }

@@ -16,18 +16,46 @@
 //!    reported status is honest about what happened.
 
 use geacc_core::algorithms::{
-    greedy_budgeted, greedy_with, mincostflow_budgeted, mincostflow_with, prune_budgeted,
-    prune_with, Algorithm, GreedyConfig, McfConfig, PruneConfig,
+    greedy_on, greedy_with, mincostflow_on, mincostflow_with, prune_on, prune_with, Algorithm,
+    BudgetedPrune, GreedyConfig, McfConfig, McfResult, PruneConfig,
 };
+use geacc_core::engine::CandidateGraph;
 use geacc_core::parallel::Threads;
 use geacc_core::runtime::{
     set_memory_probe, BudgetMeter, CancelToken, FallbackAlgo, FaultPlan, Provenance, SolveBudget,
     SolveStatus, SolverPipeline, StopReason,
 };
-use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
+use geacc_core::{Arrangement, ConflictGraph, EventId, Instance, SimMatrix};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// The budgeted entry points under test are the engine ones (`*_on` over
+// a prebuilt candidate graph); these helpers pair the graph build with
+// the dispatch the way `engine::solve_instance` does.
+
+fn greedy_budgeted(
+    inst: &Instance,
+    config: GreedyConfig,
+    meter: &BudgetMeter,
+) -> (Arrangement, Option<StopReason>) {
+    let graph = CandidateGraph::build(inst, config.threads);
+    greedy_on(&graph, Some(meter))
+}
+
+fn mincostflow_budgeted(
+    inst: &Instance,
+    config: McfConfig,
+    meter: &BudgetMeter,
+) -> (McfResult, Option<StopReason>) {
+    let graph = CandidateGraph::build(inst, Threads::single());
+    mincostflow_on(&graph, config, Some(meter))
+}
+
+fn prune_budgeted(inst: &Instance, config: PruneConfig, meter: &BudgetMeter) -> BudgetedPrune {
+    let graph = CandidateGraph::build(inst, config.threads);
+    prune_on(&graph, config, Some(meter))
+}
 
 /// Branch-and-bound's worst case: similarities concentrated in a narrow
 /// band (the Lemma 6 bound stays tight, so almost nothing prunes), a

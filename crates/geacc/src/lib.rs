@@ -25,9 +25,9 @@
 //!
 //! | You have | Use |
 //! |---|---|
-//! | thousands of events/users, want speed *and* quality | [`algorithms::greedy`] (`1/(1+max c_u)` guarantee; in practice the best of all, per the paper's and our experiments) |
-//! | a moderate instance, want the stronger bound | [`algorithms::mincostflow`] (`1/max c_u` guarantee) |
-//! | ≤ a few dozen pairs, need the true optimum | [`algorithms::prune`] (exact branch-and-bound) |
+//! | thousands of events/users, want speed *and* quality | [`algorithms::greedy()`] (`1/(1+max c_u)` guarantee; in practice the best of all, per the paper's and our experiments) |
+//! | a moderate instance, want the stronger bound | [`algorithms::mincostflow()`] (`1/max c_u` guarantee) |
+//! | ≤ a few dozen pairs, need the true optimum | [`algorithms::prune()`] (exact branch-and-bound) |
 //!
 //! ## Example
 //!
@@ -52,9 +52,9 @@
 
 pub use geacc_core::model::ArrangementStats;
 pub use geacc_core::{
-    algorithms, model, reduction, runtime, similarity, toy, Arrangement, ConflictGraph,
-    ConflictPairOutOfRange, EventId, Instance, InstanceBuilder, InstanceError, SimMatrix,
-    SimilarityModel, UserId, ValidationError, Violation,
+    algorithms, engine, model, parallel, reduction, runtime, similarity, toy, Arrangement,
+    ConflictGraph, ConflictPairOutOfRange, EventId, Instance, InstanceBuilder, InstanceError,
+    SimMatrix, SimilarityModel, UserId, ValidationError, Violation,
 };
 pub use geacc_core::{
     BudgetMeter, CancelToken, FaultPlan, Outcome, SolveBudget, SolveStatus, SolverPipeline,

@@ -32,11 +32,11 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, ServiceError};
 use crate::recovery::{self, Recovery};
 use crate::wal::{self, FsyncPolicy, SnapshotDoc, WalRecord, WalWriter};
-use geacc_core::algorithms::Algorithm;
+use geacc_core::loader::{self, LoadError};
 use geacc_core::parallel::Threads;
 use geacc_core::{
-    Arrangement, DynamicConfig, EventId, IncrementalArranger, Instance, Mutation, SolveBudget,
-    SolverPipeline, UserId,
+    Arrangement, DynamicConfig, EngineStats, EventId, IncrementalArranger, Instance, Mutation,
+    SolveBudget, SolverPipeline, SolverRegistry, UserId,
 };
 use serde::Serialize;
 use serde_json::{json, Value};
@@ -337,12 +337,12 @@ impl Service {
         ) {
             (Some(value), None) => serde_json::from_value(value.clone())
                 .map_err(|e| bad_request(format!("bad instance: {e}")))?,
-            (None, Some(path)) => {
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| ServiceError::new("io", format!("reading {path}: {e}")))?;
-                serde_json::from_str(&text)
-                    .map_err(|e| bad_request(format!("bad instance in {path}: {e}")))?
-            }
+            // The shared core loader: the same LoadError classification
+            // (and the same line/column context) the CLI prints.
+            (None, Some(path)) => loader::load_instance(path).map_err(|e| match e {
+                LoadError::Io { .. } => ServiceError::new("io", e.to_string()),
+                LoadError::Syntax { .. } | LoadError::Invalid { .. } => bad_request(e.to_string()),
+            })?,
             _ => {
                 return Err(bad_request(
                     "load takes exactly one of \"instance\" (inline) or \"path\" (file)",
@@ -468,12 +468,24 @@ impl Service {
     }
 
     /// `stats`: live metrics plus the arranger summary (null before
-    /// `load`) and the durability state (null without `--wal-dir`).
+    /// `load`), per-solver engine timings, and the durability state
+    /// (null without `--wal-dir`).
     fn stats(&self) -> Result<Value, ServiceError> {
         let arranger = match self.lock().as_ref() {
             Some(session) => Self::summary(&session.arranger)?,
             None => Value::Null,
         };
+        let engine = EngineStats::snapshot()
+            .iter()
+            .map(|t| {
+                Ok(Value::Object(vec![
+                    field("solver", &t.stage)?,
+                    field("calls", &t.calls)?,
+                    field("total_ms", &(t.total().as_secs_f64() * 1e3))?,
+                    field("mean_ms", &(t.mean().as_secs_f64() * 1e3))?,
+                ]))
+            })
+            .collect::<Result<Vec<Value>, ServiceError>>()?;
         let durability = match self.dlock().as_ref() {
             Some(d) => Value::Object(vec![
                 field("wal_dir", &d.dir.display().to_string())?,
@@ -489,6 +501,7 @@ impl Service {
         Ok(Value::Object(vec![
             field("server", &self.metrics.snapshot())?,
             ("arranger".to_string(), arranger),
+            ("engine".to_string(), Value::Array(engine)),
             ("durability".to_string(), durability),
         ]))
     }
@@ -502,23 +515,12 @@ impl Service {
     /// and durability is poisoned, so the in-memory/log divergence
     /// cannot compound — a restart recovers the pre-solve state.
     fn solve(&self, body: &Value, deadline: Instant) -> Result<Value, ServiceError> {
-        let algorithm = match protocol::get_str(body, "algorithm").unwrap_or("greedy") {
-            "greedy" => Algorithm::Greedy,
-            "mincostflow" => Algorithm::MinCostFlow,
-            "prune" => Algorithm::Prune,
-            "exactdp" => Algorithm::ExactDp,
-            "random_v" => Algorithm::RandomV {
-                seed: protocol::get_u64(body, "seed").unwrap_or(0),
-            },
-            "random_u" => Algorithm::RandomU {
-                seed: protocol::get_u64(body, "seed").unwrap_or(0),
-            },
-            other => {
-                return Err(bad_request(format!(
-                    "unknown algorithm {other:?} (greedy, mincostflow, prune, exactdp, random_v, random_u)"
-                )))
-            }
-        };
+        let algorithm = SolverRegistry::global()
+            .parse(
+                protocol::get_str(body, "algorithm").unwrap_or("greedy"),
+                protocol::get_u64(body, "seed").unwrap_or(0),
+            )
+            .map_err(|e| bad_request(e.to_string()))?;
         let remaining = deadline.saturating_duration_since(Instant::now());
         let mut budget = SolveBudget {
             deadline: Some(match protocol::get_u64(body, "timeout_ms") {
@@ -764,6 +766,96 @@ mod tests {
         assert_eq!(err.code, "bad_request");
         let err = call(&svc, r#"{"op": "warp"}"#).unwrap_err();
         assert_eq!(err.code, "unknown_op");
+    }
+
+    #[test]
+    fn file_load_errors_carry_the_cli_loaders_context_verbatim() {
+        // Regression: the server's `load` op parses through the shared
+        // core loader, so a malformed file produces byte-for-byte the
+        // message (path + line/column) the CLI would print.
+        let svc = service();
+        let dir = tmp_dir("load-error-context");
+
+        // Truncated JSON: a syntax error with a position.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"events\": [").unwrap();
+        let path = bad.to_str().unwrap();
+        let err = call(&svc, &format!(r#"{{"op": "load", "path": "{path}"}}"#)).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        let expected = loader::load_instance(path).unwrap_err().to_string();
+        assert_eq!(err.message, expected);
+        assert!(err.message.contains(path), "{}", err.message);
+        assert!(err.message.contains("invalid JSON"), "{}", err.message);
+        assert!(err.message.contains("line 1 column"), "{}", err.message);
+
+        // Well-formed JSON describing an impossible value.
+        let inst = geacc_core::toy::table1_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        let mutated = json.replacen("\"user_caps\":[", "\"user_caps\":[-3,", 1);
+        assert_ne!(json, mutated, "template lost its user_caps probe");
+        let invalid = dir.join("invalid.json");
+        std::fs::write(&invalid, &mutated).unwrap();
+        let path = invalid.to_str().unwrap();
+        let err = call(&svc, &format!(r#"{{"op": "load", "path": "{path}"}}"#)).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert_eq!(
+            err.message,
+            loader::load_instance(path).unwrap_err().to_string()
+        );
+        assert!(err.message.contains("invalid value"), "{}", err.message);
+
+        // Missing file: an io error naming the path.
+        let missing = dir.join("missing.json");
+        let path = missing.to_str().unwrap();
+        let err = call(&svc, &format!(r#"{{"op": "load", "path": "{path}"}}"#)).unwrap_err();
+        assert_eq!(err.code, "io");
+        assert_eq!(
+            err.message,
+            loader::load_instance(path).unwrap_err().to_string()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_parses_algorithms_through_the_registry() {
+        let svc = service();
+        call(&svc, &toy_line()).unwrap();
+        // The registry accepts both the wire and the CLI spellings.
+        for algo in ["exactdp", "exact-dp", "random_v", "random-v", "exhaustive"] {
+            let solved = call(
+                &svc,
+                &format!(r#"{{"op": "solve", "algorithm": "{algo}", "timeout_ms": 2000}}"#),
+            )
+            .unwrap();
+            assert!(protocol::get_str(&solved, "status").is_some(), "{algo}");
+        }
+        let err = call(&svc, r#"{"op": "solve", "algorithm": "annealing"}"#).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert_eq!(
+            err.message,
+            "unknown algorithm \"annealing\" (greedy, mincostflow, prune, exhaustive, \
+             exact-dp, random-v, random-u)"
+        );
+    }
+
+    #[test]
+    fn stats_expose_per_solver_engine_timings() {
+        let svc = service();
+        call(&svc, &toy_line()).unwrap();
+        call(&svc, r#"{"op": "solve", "algorithm": "greedy"}"#).unwrap();
+        let stats = call(&svc, r#"{"op": "stats"}"#).unwrap();
+        let engine = match protocol::get(&stats, "engine") {
+            Some(Value::Array(rows)) => rows,
+            other => panic!("stats must carry an engine array, got {other:?}"),
+        };
+        assert_eq!(engine.len(), 7, "one row per registered solver");
+        let greedy = engine
+            .iter()
+            .find(|row| protocol::get_str(row, "solver") == Some("greedy"))
+            .expect("greedy row");
+        // Counters are process-wide, so only monotonicity is safe to
+        // assert — the solve above guarantees at least one call.
+        assert!(protocol::get_u64(greedy, "calls").unwrap() >= 1);
     }
 
     #[test]

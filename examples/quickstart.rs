@@ -10,7 +10,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use geacc::algorithms::{self, Algorithm};
+use geacc::algorithms::Algorithm;
+use geacc::engine::{self, CandidateGraph, SolveParams};
+use geacc::parallel::Threads;
+use geacc::runtime::BudgetMeter;
 use geacc::toy;
 
 fn main() {
@@ -28,6 +31,8 @@ fn main() {
         "algorithm", "MaxSum", "pairs"
     );
     println!("{}", "-".repeat(72));
+    // One candidate graph, shared by every solver dispatch.
+    let graph = CandidateGraph::build(&instance, Threads::single());
     for algo in [
         Algorithm::Prune,
         Algorithm::Greedy,
@@ -35,7 +40,13 @@ fn main() {
         Algorithm::RandomV { seed: 7 },
         Algorithm::RandomU { seed: 7 },
     ] {
-        let arrangement = algorithms::solve(&instance, algo);
+        let arrangement = engine::solve_on(
+            &graph,
+            algo,
+            &SolveParams::default(),
+            &BudgetMeter::unlimited(),
+        )
+        .arrangement;
         assert!(
             arrangement.validate(&instance).is_empty(),
             "{} produced an infeasible arrangement",

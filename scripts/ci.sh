@@ -21,6 +21,19 @@ cargo build --release --workspace
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (warnings are errors) =="
+# First-party crates only: the vendored API shims under vendor/ are
+# auto-members (path deps) and are not held to the doc standard.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+    -p geacc-core -p geacc-flow -p geacc-index -p geacc-datagen \
+    -p geacc-server -p geacc-bench -p geacc-cli -p geacc
+
+echo "== engine differential-equivalence gate =="
+# The refactor contract: every solver through the Solver trait is
+# bit-identical to the paper entry points, at 1 and 4 threads.
+GEACC_THREADS=1 cargo test -p geacc-core --test engine_equiv -q
+GEACC_THREADS=4 cargo test -p geacc-core --test engine_equiv -q
+
 echo "== cargo test (GEACC_THREADS=1) =="
 GEACC_THREADS=1 cargo test --workspace -q
 
