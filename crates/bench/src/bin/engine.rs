@@ -15,17 +15,28 @@
 //!    Timings are cross-checked against the engine's own
 //!    [`EngineStats`] accumulation.
 //!
-//! Writes `BENCH_engine.json` (or `--out <path>`). Compare the greedy
+//! Writes `BENCH_engine.json` (or `--out <path>`). When the output path
+//! already holds a snapshot, its numbers are carried forward in a
+//! `baseline` field (the oldest recorded baseline wins), so the
+//! before/after trajectory survives regeneration. Compare the greedy
 //! row against `BENCH_parallel.json`'s `greedy_shared_graph` benchmark
 //! for the no-regression check.
+//!
+//! `--smoke` turns the run into a CI gate: after measuring, the
+//! MinCostFlow-GEACC fig3 median must come in under
+//! [`MCF_SMOKE_CEILING_SECS`] or the process exits non-zero. The
+//! ceiling is generous (~12× the recording-host median) so timing
+//! noise passes, but a return of the pre-radix-heap kernel (3.4 s on
+//! the same host) fails loudly instead of drifting in the JSON.
 //!
 //! ```sh
 //! cargo run -p geacc-bench --release --bin engine
 //! cargo run -p geacc-bench --release --bin engine -- --quick --out /tmp/e.json
+//! cargo run -p geacc-bench --release --bin engine -- --repeats 1 --smoke
 //! ```
 
 use geacc_bench::cli;
-use geacc_core::algorithms::Algorithm;
+use geacc_core::algorithms::{Algorithm, McfConfig, SspHeap};
 use geacc_core::engine::{self, CandidateGraph, EngineStats, SolveParams, SolverRegistry};
 use geacc_core::parallel::Threads;
 use geacc_core::runtime::BudgetMeter;
@@ -34,6 +45,13 @@ use geacc_datagen::{CapDistribution, SyntheticConfig};
 use serde::Serialize;
 use std::time::Instant;
 
+/// Wall-clock ceiling for the `--smoke` gate on the fig3
+/// MinCostFlow-GEACC dispatch. The radix-heap kernel records ~0.16 s on
+/// the pinned host; the pre-optimization binary-heap full-re-solve
+/// kernel recorded 3.39 s, so 2 s catches a kernel regression with wide
+/// headroom for CI timing noise.
+const MCF_SMOKE_CEILING_SECS: f64 = 2.0;
+
 #[derive(Serialize)]
 struct Snapshot {
     host_parallelism: usize,
@@ -41,6 +59,8 @@ struct Snapshot {
     note: String,
     graph_build: Vec<BuildCell>,
     solvers: Vec<SolverCell>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    baseline: Option<serde_json::Value>,
 }
 
 #[derive(Serialize)]
@@ -77,25 +97,31 @@ fn median_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
-/// One solver through the registry over a prebuilt graph.
+/// One solver through the registry over a prebuilt graph. `variant`
+/// tags a non-default [`SolveParams`] configuration in the output row
+/// (e.g. the binary-heap SSP fallback).
 fn dispatch_cell(
     graph: &CandidateGraph,
     algo: Algorithm,
     instance_desc: &str,
     repeats: usize,
+    params: &SolveParams,
+    variant: Option<&str>,
 ) -> SolverCell {
     let solver = SolverRegistry::global().solver(algo);
     let stage = solver.stage();
     let caps = solver.capabilities();
-    let params = SolveParams::default();
-    let out = engine::solve_on(graph, algo, &params, &BudgetMeter::unlimited());
+    let name = match variant {
+        Some(v) => format!("{} [{v}]", solver.name()),
+        None => solver.name().to_string(),
+    };
+    let out = engine::solve_on(graph, algo, params, &BudgetMeter::unlimited());
     assert!(
         out.arrangement.validate(graph.instance()).is_empty(),
-        "{} produced an infeasible arrangement",
-        solver.name()
+        "{name} produced an infeasible arrangement"
     );
     let seconds = median_secs(repeats, || {
-        engine::solve_on(graph, algo, &params, &BudgetMeter::unlimited());
+        engine::solve_on(graph, algo, params, &BudgetMeter::unlimited());
     });
     let calls = EngineStats::snapshot()
         .iter()
@@ -103,12 +129,11 @@ fn dispatch_cell(
         .map_or(0, |t| t.calls);
     assert!(
         calls as usize > repeats,
-        "{}: engine stats missed dispatches",
-        solver.name()
+        "{name}: engine stats missed dispatches"
     );
-    eprintln!("[{}] {seconds:.4}s on {instance_desc}", solver.name());
+    eprintln!("[{name}] {seconds:.4}s on {instance_desc}");
     SolverCell {
-        solver: solver.name().to_string(),
+        solver: name,
         stage: stage.to_string(),
         instance: instance_desc.to_string(),
         exact: caps.exact,
@@ -148,8 +173,41 @@ fn build_cells(instance: &Instance, repeats: usize) -> Vec<BuildCell> {
     cells
 }
 
+/// The numbers to carry forward in the new snapshot's `baseline` field:
+/// the previous snapshot's own `baseline` if it recorded one (the
+/// oldest trajectory point wins), otherwise its `graph_build` and
+/// `solvers` tables. `None` when no prior snapshot exists at `path` or
+/// it does not parse.
+fn baseline_from(path: &str) -> Option<serde_json::Value> {
+    use serde_json::Value;
+    let old: Value = serde_json::from_str(&std::fs::read_to_string(path).ok()?).ok()?;
+    let Value::Object(fields) = old else {
+        return None;
+    };
+    let field = |name: &str| {
+        fields
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value.clone())
+    };
+    if let Some(baseline) = field("baseline") {
+        return Some(baseline);
+    }
+    Some(Value::Object(vec![
+        (
+            "note".to_string(),
+            Value::String(
+                "numbers from the snapshot this file held before its last regeneration".to_string(),
+            ),
+        ),
+        ("graph_build".to_string(), field("graph_build")?),
+        ("solvers".to_string(), field("solvers")?),
+    ]))
+}
+
 fn main() {
     let quick = cli::has_flag("quick");
+    let smoke = cli::has_flag("smoke");
     let repeats = cli::repeats(if quick { 1 } else { 3 });
     let out = cli::flag_value("out").unwrap_or_else(|| "BENCH_engine.json".to_string());
 
@@ -190,6 +248,7 @@ fn main() {
     EngineStats::reset();
     let fig3_graph = CandidateGraph::build(&fig3_instance, Threads::new(4));
     let exact_graph = CandidateGraph::build(&exact_instance, Threads::single());
+    let defaults = SolveParams::default();
     let mut solvers = Vec::new();
     for algo in [
         Algorithm::Greedy,
@@ -197,12 +256,46 @@ fn main() {
         Algorithm::RandomV { seed: 42 },
         Algorithm::RandomU { seed: 42 },
     ] {
-        solvers.push(dispatch_cell(&fig3_graph, algo, &fig3_desc, repeats));
+        solvers.push(dispatch_cell(
+            &fig3_graph,
+            algo,
+            &fig3_desc,
+            repeats,
+            &defaults,
+            None,
+        ));
     }
+    // The comparison-heap SSP fallback, through the same `SolveParams`
+    // surface the registry exposes: isolates the radix-heap frontier's
+    // share of the MinCostFlow speedup (every other kernel optimization
+    // is heap-agnostic, and the arrangements are bit-identical).
+    let binary_heap = SolveParams {
+        mcf: McfConfig {
+            heap: SspHeap::Binary,
+            ..McfConfig::default()
+        },
+        ..SolveParams::default()
+    };
+    solvers.push(dispatch_cell(
+        &fig3_graph,
+        Algorithm::MinCostFlow,
+        &fig3_desc,
+        repeats,
+        &binary_heap,
+        Some("binary-heap"),
+    ));
     for algo in [Algorithm::Prune, Algorithm::Exhaustive, Algorithm::ExactDp] {
-        solvers.push(dispatch_cell(&exact_graph, algo, &exact_desc, repeats));
+        solvers.push(dispatch_cell(
+            &exact_graph,
+            algo,
+            &exact_desc,
+            repeats,
+            &defaults,
+            None,
+        ));
     }
 
+    let baseline = baseline_from(&out);
     let snapshot = Snapshot {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         command: format!(
@@ -214,14 +307,36 @@ fn main() {
                replaced on the solver hot paths, at 1 and 4 build workers. solvers runs \
                every registered algorithm through engine::solve_on over one prebuilt \
                graph (exact solvers on the small low-dimensional instance); \
-               engine_stat_calls cross-checks the EngineStats accumulation. Compare the \
-               Greedy-GEACC row against BENCH_parallel.json's greedy_shared_graph for \
-               the no-regression check."
+               engine_stat_calls cross-checks the EngineStats accumulation. The \
+               [binary-heap] row reruns MinCostFlow-GEACC with the comparison-heap SSP \
+               fallback (bit-identical result) to isolate the radix frontier's share of \
+               the speedup. baseline carries the oldest recorded snapshot forward across \
+               regenerations. Compare the Greedy-GEACC row against BENCH_parallel.json's \
+               greedy_shared_graph for the no-regression check."
             .to_string(),
         graph_build,
         solvers,
+        baseline,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     std::fs::write(&out, json + "\n").expect("write snapshot");
     eprintln!("wrote {out}");
+
+    if smoke {
+        let mcf = snapshot
+            .solvers
+            .iter()
+            .find(|c| c.solver == "MinCostFlow-GEACC")
+            .expect("smoke gate: MinCostFlow-GEACC row missing");
+        assert!(
+            mcf.seconds <= MCF_SMOKE_CEILING_SECS,
+            "smoke gate: MinCostFlow-GEACC took {:.3}s on the fig3 instance \
+             (ceiling {MCF_SMOKE_CEILING_SECS}s) — the SSP kernel regressed",
+            mcf.seconds
+        );
+        eprintln!(
+            "smoke gate: MinCostFlow-GEACC {:.3}s <= {MCF_SMOKE_CEILING_SECS}s ceiling: ok",
+            mcf.seconds
+        );
+    }
 }

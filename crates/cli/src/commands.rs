@@ -274,7 +274,11 @@ fn solve(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
     let arrangement = engine::solve_instance(
         &instance,
         algorithm,
-        &SolveParams { threads, seed },
+        &SolveParams {
+            threads,
+            seed,
+            ..SolveParams::default()
+        },
         &BudgetMeter::unlimited(),
     )
     .arrangement;

@@ -24,15 +24,17 @@ use crate::engine::CandidateGraph;
 use crate::model::arrangement::Arrangement;
 use crate::model::ids::{EventId, UserId};
 use crate::parallel::Threads;
-use crate::runtime::{BudgetMeter, StopReason};
+use crate::runtime::{BudgetMeter, SolveError, StopReason};
 use crate::Instance;
 use geacc_flow::assignment::BipartiteMatcher;
+
+pub use geacc_flow::mincost::HeapKind as SspHeap;
 
 /// Tolerance for cost comparisons during the Δ sweep.
 const EPS: f64 = 1e-9;
 
 /// Configuration for [`mincostflow`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct McfConfig {
     /// Stop the Δ sweep as soon as an augmenting path of unit cost ≥ 1
     /// appears. Successive shortest paths have non-decreasing unit cost,
@@ -50,6 +52,11 @@ pub struct McfConfig {
     /// Off by default (the paper's Algorithm 1); users with more
     /// assigned events than the limit fall back to the greedy scan.
     pub exact_repair: bool,
+    /// Which frontier structure the SSP Dijkstra uses. The default
+    /// radix heap and the classic binary heap are bit-identical in
+    /// every observable (see [`SspHeap`] and DESIGN.md §13); the knob
+    /// exists for differential testing and benchmarking.
+    pub heap: SspHeap,
 }
 
 /// Largest per-user assigned-event count repaired exactly under
@@ -85,7 +92,9 @@ pub fn mincostflow(inst: &Instance) -> McfResult {
 /// Run MinCostFlow-GEACC.
 pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
     let graph = CandidateGraph::build(inst, Threads::single());
-    mincostflow_on(&graph, config, None).0
+    mincostflow_on(&graph, config, None)
+        .expect("paper-facing instances are validated at construction")
+        .0
 }
 
 /// The engine entry point: MinCostFlow-GEACC over a prebuilt candidate
@@ -93,17 +102,23 @@ pub fn mincostflow_with(inst: &Instance, config: McfConfig) -> McfResult {
 /// graph's CSR rows instead of recomputing attribute similarities.
 ///
 /// With `meter: Some(_)`, the Δ sweep ticks it once per augmentation
-/// and, when a limit trips, stops sweeping and carries the best `Δ*`
-/// seen so far through the (polynomial, fast) re-solve and
-/// conflict-repair phases — so the returned arrangement is always
-/// feasible, built from a truncated relaxation instead of the full one.
-/// `None` (or an unlimited meter) is bit-identical to
-/// [`mincostflow_with`].
+/// and, when a limit trips, stops sweeping and materializes the best
+/// `Δ*` seen so far for the (polynomial, fast) conflict-repair phase —
+/// so the returned arrangement is always feasible, built from a
+/// truncated relaxation instead of the full one. `None` (or an
+/// unlimited meter) is bit-identical to [`mincostflow_with`].
+///
+/// # Errors
+///
+/// [`SolveError`] on pathological inputs — a non-finite similarity
+/// (NaN/∞ arc cost would make shortest paths undefined) or a rejected
+/// network shape — so the pipeline degrades gracefully instead of
+/// panicking inside `catch_unwind`.
 pub fn mincostflow_on(
     graph: &CandidateGraph,
     config: McfConfig,
     meter: Option<&BudgetMeter>,
-) -> (McfResult, Option<StopReason>) {
+) -> Result<(McfResult, Option<StopReason>), SolveError> {
     let inst = graph.instance();
     let nu = inst.num_users();
     let mut stopped: Option<StopReason> = None;
@@ -111,16 +126,22 @@ pub fn mincostflow_on(
     // Phase 1a: sweep Δ on an incremental SSP solver, recording where
     // MaxSum(M_∅^Δ) = Δ − cost(F^Δ) peaks. Unit costs are non-decreasing
     // so the objective is concave in Δ; tracking step endpoints finds the
-    // exact peak.
-    let mut matcher = build_matcher(graph);
+    // exact peak. A checkpoint taken at each new peak lets Phase 1b
+    // rewind to `Δ*` instead of re-solving from scratch (the sweep flies
+    // past the peak; SSP prefix optimality makes the rewound flow
+    // identical to a fresh run stopped there).
+    let mut matcher = build_matcher(graph)?;
     let solver = matcher.solver_mut();
+    solver.set_heap(config.heap);
     let mut best_ms = 0.0;
     let mut best_delta = 0i64;
+    let mut best_mark = solver.checkpoint();
     while let Some(step) = solver.augment_step(i64::MAX) {
         let ms = solver.flow() as f64 - solver.cost();
         if ms > best_ms + EPS {
             best_ms = ms;
             best_delta = solver.flow();
+            best_mark = solver.checkpoint();
         }
         // One augmentation is a whole shortest-path computation —
         // macroscopic work — so use the every-tick slow checks; the
@@ -137,17 +158,17 @@ pub fn mincostflow_on(
     }
     let max_delta = solver.flow();
 
-    // Phase 1b: re-solve to exactly Δ* to materialize M_∅. (The sweep
-    // solver has flown past the peak; SSP prefixes are optimal, so a
-    // fresh run to best_delta reproduces an optimal F^{Δ*}.)
+    // Phase 1b: materialize M_∅ = F^{Δ*} by rewinding the sweep solver
+    // to the peak checkpoint — O(pushes undone) instead of redoing the
+    // whole sweep's Dijkstra work.
     let mut arrangement = Arrangement::empty_for(inst);
     let mut per_user: Vec<Vec<(f64, EventId)>> = vec![Vec::new(); nu];
     if best_delta > 0 {
-        let mut exact = build_matcher(graph);
-        let pairs = exact.match_amount(best_delta).expect("costs are finite");
-        debug_assert_eq!(exact.flow(), best_delta);
-        debug_assert!((exact.flow() as f64 - exact.cost() - best_ms).abs() < 1e-6);
-        for (v, u) in pairs {
+        let solver = matcher.solver_mut();
+        solver.rewind(&best_mark);
+        debug_assert_eq!(solver.flow(), best_delta);
+        debug_assert!((solver.flow() as f64 - solver.cost() - best_ms).abs() < 1e-6);
+        for (v, u) in matcher.matched_pairs() {
             let (ev, us) = (EventId(v as u32), UserId(u as u32));
             let sim = inst.similarity(ev, us);
             if sim > 0.0 {
@@ -177,7 +198,7 @@ pub fn mincostflow_on(
         }
     }
 
-    (
+    Ok((
         McfResult {
             arrangement,
             relaxation: RelaxationInfo {
@@ -187,7 +208,7 @@ pub fn mincostflow_on(
             },
         },
         stopped,
-    )
+    ))
 }
 
 /// Exact maximum-weight independent set over one user's assigned events
@@ -239,7 +260,11 @@ fn exact_independent_set<'l>(
 /// the construction. Rows are scattered from the shared candidate
 /// graph, so the cost closure is a cheap lookup and the attribute
 /// similarities are computed exactly once per instance.
-fn build_matcher(graph: &CandidateGraph) -> BipartiteMatcher {
+///
+/// Rejects non-finite similarities up front (NaN/∞ arc costs make SSP
+/// distances undefined) and maps a network-construction failure to a
+/// structured [`SolveError`] instead of panicking.
+fn build_matcher(graph: &CandidateGraph) -> Result<BipartiteMatcher, SolveError> {
     let inst = graph.instance();
     let event_caps: Vec<u32> = inst.events().map(|v| inst.event_capacity(v)).collect();
     let user_caps: Vec<u32> = inst.users().map(|u| inst.user_capacity(u)).collect();
@@ -247,10 +272,13 @@ fn build_matcher(graph: &CandidateGraph) -> BipartiteMatcher {
     for v in inst.events() {
         let mut row = Vec::new();
         graph.scatter_row(v, &mut row);
+        if !row.iter().all(|s| s.is_finite()) {
+            return Err(SolveError::NonFiniteCost);
+        }
         sims.push(row);
     }
     BipartiteMatcher::new(&event_caps, &user_caps, |v, u| 1.0 - sims[v][u])
-        .expect("GEACC network is well-formed")
+        .map_err(|_| SolveError::MalformedNetwork)
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ pub use dp::{dp_state_space, exact_dp, DpTooLarge};
 pub use greedy::{greedy, greedy_on, greedy_with, GreedyConfig};
 pub use localsearch::{improve, LocalSearchConfig, LocalSearchResult};
 pub use mincostflow::{
-    mincostflow, mincostflow_on, mincostflow_with, McfConfig, McfResult, RelaxationInfo,
+    mincostflow, mincostflow_on, mincostflow_with, McfConfig, McfResult, RelaxationInfo, SspHeap,
 };
 pub use online::{online_greedy, OnlineArranger, OnlineConfig};
 pub use oracle::NeighborOracle;

@@ -15,15 +15,43 @@
 //!   oracle, so greedy's frontier scans and prune's Algorithm 4
 //!   enumeration read straight off a slice.
 //!
-//! Rows are computed on `threads` scoped workers and assembled in row
-//! order, so the arrays are bit-identical at every thread count (the
-//! same discipline as [`Instance::dense_similarity`], which this
-//! replaces on the solver hot paths: the graph costs `O(P)` memory for
-//! `P` positive pairs instead of `O(|V|·|U|)`).
+//! ## Count-then-place build
+//!
+//! The build is a flat-arena, two-pass pipeline — no per-row `Vec`s, no
+//! intermediate column buckets:
+//!
+//! 1. **Count**: workers scan disjoint event ranges, producing each
+//!    row's positive-pair count plus a per-worker column-count array.
+//!    Prefix sums turn these into `row_off` / `col_off`.
+//! 2. **Place**: the six flat arrays are allocated at their exact final
+//!    sizes; workers re-scan their event ranges and write the row views
+//!    directly into offset-aligned sub-slices (each row sorted on a
+//!    reused `(sim, id)` scratch). Columns are scattered sequentially in
+//!    event-id order through a cursor array — which leaves every column
+//!    id-ascending — then sorted in place by workers over column-aligned
+//!    `split_at_mut` partitions.
+//!
+//! Work is split by index ranges and written to disjoint slices, so the
+//! arrays are bit-identical at every thread count (the same discipline
+//! as [`Instance::dense_similarity`], which this replaces on the solver
+//! hot paths: the graph costs `O(P)` memory for `P` positive pairs
+//! instead of `O(|V|·|U|)`). The worker budget is floored by
+//! [`Threads::cost_capped`] on the dense cell count, so small instances
+//! build inline instead of paying fork-join overhead per array.
 
 use crate::model::ids::{EventId, UserId};
-use crate::parallel::{par_map, Threads};
+use crate::parallel::{split_ranges, Threads, SIM_CELLS_PER_WORKER};
 use crate::Instance;
+
+/// Join a scoped worker, re-raising its panic payload verbatim (so a
+/// worker panic reaches the budgeted pipeline's `catch_unwind` with its
+/// original message).
+fn join_propagating<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
 
 /// CSR adjacency of all `sim > 0` (event, user) pairs, borrowed
 /// immutably by every solver dispatched through the engine.
@@ -44,87 +72,241 @@ pub struct CandidateGraph<'a> {
     sorted_col_sim: Vec<f64>,
 }
 
+/// Pass 1 worker: count positives per row over `start..end`, plus this
+/// worker's contribution to every column's count.
+fn count_range(inst: &Instance, start: usize, end: usize, nu: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut row_counts = Vec::with_capacity(end - start);
+    let mut col_counts = vec![0usize; nu];
+    let mut dense = Vec::new();
+    for v in start..end {
+        inst.similarity_row(EventId(v as u32), &mut dense);
+        let mut count = 0;
+        for (u, &s) in dense.iter().enumerate() {
+            if s > 0.0 {
+                count += 1;
+                col_counts[u] += 1;
+            }
+        }
+        row_counts.push(count);
+    }
+    (row_counts, col_counts)
+}
+
+/// A pass-2 worker's four disjoint output sub-slices, all beginning at
+/// flat offset `row_off[start]` of its event range.
+struct RowSlices<'s> {
+    row_user: &'s mut [u32],
+    row_sim: &'s mut [f64],
+    sorted_row_user: &'s mut [u32],
+    sorted_row_sim: &'s mut [f64],
+}
+
+/// Pass 2 worker: fill the four row-view sub-slices for `start..end`.
+fn place_rows(inst: &Instance, start: usize, end: usize, row_off: &[usize], out: RowSlices<'_>) {
+    let RowSlices {
+        row_user,
+        row_sim,
+        sorted_row_user,
+        sorted_row_sim,
+    } = out;
+    let base = row_off[start];
+    let mut dense = Vec::new();
+    let mut scratch: Vec<(f64, u32)> = Vec::new();
+    for v in start..end {
+        let (a, b) = (row_off[v] - base, row_off[v + 1] - base);
+        inst.similarity_row(EventId(v as u32), &mut dense);
+        let mut i = a;
+        for (u, &s) in dense.iter().enumerate() {
+            if s > 0.0 {
+                row_user[i] = u as u32;
+                row_sim[i] = s;
+                i += 1;
+            }
+        }
+        debug_assert_eq!(i, b, "count pass disagrees with place pass");
+        // Sorted view: similarity desc, ties id asc (the oracle's
+        // stream order).
+        scratch.clear();
+        scratch.extend(
+            row_sim[a..b]
+                .iter()
+                .copied()
+                .zip(row_user[a..b].iter().copied()),
+        );
+        scratch.sort_unstable_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+        for (j, &(s, u)) in scratch.iter().enumerate() {
+            sorted_row_user[a + j] = u;
+            sorted_row_sim[a + j] = s;
+        }
+    }
+}
+
+/// Pass 3 worker: sort each column slice of `start..end` (flat arrays
+/// begin at offset `col_off[start]`) by similarity desc, ties id asc.
+fn sort_cols(
+    start: usize,
+    end: usize,
+    col_off: &[usize],
+    sorted_col_event: &mut [u32],
+    sorted_col_sim: &mut [f64],
+    scratch: &mut Vec<(f64, u32)>,
+) {
+    let base = col_off[start];
+    for u in start..end {
+        let (a, b) = (col_off[u] - base, col_off[u + 1] - base);
+        scratch.clear();
+        scratch.extend(
+            sorted_col_sim[a..b]
+                .iter()
+                .copied()
+                .zip(sorted_col_event[a..b].iter().copied()),
+        );
+        scratch.sort_unstable_by(|x, y| y.0.total_cmp(&x.0).then(x.1.cmp(&y.1)));
+        for (j, &(s, v)) in scratch.iter().enumerate() {
+            sorted_col_event[a + j] = v;
+            sorted_col_sim[a + j] = s;
+        }
+    }
+}
+
 impl<'a> CandidateGraph<'a> {
-    /// Build the graph from `inst`, rows computed on `threads` scoped
-    /// workers. The result is bit-identical at every thread count.
+    /// Build the graph from `inst` with the count-then-place pipeline
+    /// (see the module docs), on at most `threads` scoped workers. The
+    /// result is bit-identical at every thread count.
     pub fn build(inst: &'a Instance, threads: Threads) -> Self {
         let nv = inst.num_events();
         let nu = inst.num_users();
+        let threads = threads.cost_capped(nv.saturating_mul(nu), SIM_CELLS_PER_WORKER);
+        let ranges = split_ranges(nv, threads.get());
 
-        // Sparse id-ascending rows, one similarity_row scan per event.
-        let rows: Vec<(Vec<u32>, Vec<f64>)> = par_map(threads, nv, |v| {
-            let mut dense = Vec::new();
-            inst.similarity_row(EventId(v as u32), &mut dense);
-            let mut users = Vec::new();
-            let mut sims = Vec::new();
-            for (u, &s) in dense.iter().enumerate() {
-                if s > 0.0 {
-                    users.push(u as u32);
-                    sims.push(s);
-                }
-            }
-            (users, sims)
-        });
-
+        // Pass 1 — count rows and columns over disjoint event ranges.
+        let counts: Vec<(Vec<usize>, Vec<usize>)> = if ranges.len() <= 1 {
+            vec![count_range(inst, 0, nv, nu)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(s, e)| scope.spawn(move || count_range(inst, s, e, nu)))
+                    .collect();
+                handles.into_iter().map(join_propagating).collect()
+            })
+        };
         let mut row_off = Vec::with_capacity(nv + 1);
         row_off.push(0usize);
         let mut pairs = 0usize;
-        for (users, _) in &rows {
-            pairs += users.len();
-            row_off.push(pairs);
-        }
-        let mut row_user = Vec::with_capacity(pairs);
-        let mut row_sim = Vec::with_capacity(pairs);
-        for (users, sims) in &rows {
-            row_user.extend_from_slice(users);
-            row_sim.extend_from_slice(sims);
-        }
-
-        // Sorted row view: similarity desc, ties id asc (the oracle's
-        // stream order).
-        let sorted_rows: Vec<(Vec<u32>, Vec<f64>)> = par_map(threads, nv, |v| {
-            let (users, sims) = &rows[v];
-            let mut perm: Vec<usize> = (0..users.len()).collect();
-            perm.sort_by(|&a, &b| sims[b].total_cmp(&sims[a]).then(users[a].cmp(&users[b])));
-            (
-                perm.iter().map(|&i| users[i]).collect(),
-                perm.iter().map(|&i| sims[i]).collect(),
-            )
-        });
-        let mut sorted_row_user = Vec::with_capacity(pairs);
-        let mut sorted_row_sim = Vec::with_capacity(pairs);
-        for (users, sims) in &sorted_rows {
-            sorted_row_user.extend_from_slice(users);
-            sorted_row_sim.extend_from_slice(sims);
-        }
-
-        // Columns: bucket from the id-ascending rows (so each column
-        // collects events in id-ascending order), then sort per column.
-        let mut unsorted_cols: Vec<Vec<(f64, u32)>> = vec![Vec::new(); nu];
-        for (v, (users, sims)) in rows.iter().enumerate() {
-            for (&u, &s) in users.iter().zip(sims.iter()) {
-                unsorted_cols[u as usize].push((s, v as u32));
+        for (row_counts, _) in &counts {
+            for &c in row_counts {
+                pairs += c;
+                row_off.push(pairs);
             }
         }
-        let sorted_cols: Vec<Vec<(f64, u32)>> = par_map(threads, nu, |u| {
-            let mut col = unsorted_cols[u].clone();
-            col.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-            col
-        });
-        let mut col_off = Vec::with_capacity(nu + 1);
-        col_off.push(0usize);
-        let mut acc = 0usize;
-        for col in &sorted_cols {
-            acc += col.len();
-            col_off.push(acc);
-        }
-        let mut sorted_col_event = Vec::with_capacity(pairs);
-        let mut sorted_col_sim = Vec::with_capacity(pairs);
-        for col in &sorted_cols {
-            for &(s, v) in col {
-                sorted_col_event.push(v);
-                sorted_col_sim.push(s);
+        let mut col_off = vec![0usize; nu + 1];
+        for (_, col_counts) in &counts {
+            for (u, &c) in col_counts.iter().enumerate() {
+                col_off[u + 1] += c;
             }
+        }
+        for u in 0..nu {
+            col_off[u + 1] += col_off[u];
+        }
+
+        // Pass 2 — place the row views into preallocated flats, each
+        // worker writing the offset-aligned sub-slices of its ranges.
+        let mut row_user = vec![0u32; pairs];
+        let mut row_sim = vec![0.0f64; pairs];
+        let mut sorted_row_user = vec![0u32; pairs];
+        let mut sorted_row_sim = vec![0.0f64; pairs];
+        if ranges.len() <= 1 {
+            place_rows(
+                inst,
+                0,
+                nv,
+                &row_off,
+                RowSlices {
+                    row_user: &mut row_user,
+                    row_sim: &mut row_sim,
+                    sorted_row_user: &mut sorted_row_user,
+                    sorted_row_sim: &mut sorted_row_sim,
+                },
+            );
+        } else {
+            std::thread::scope(|scope| {
+                let (mut ru, mut rs) = (&mut row_user[..], &mut row_sim[..]);
+                let (mut su, mut ss) = (&mut sorted_row_user[..], &mut sorted_row_sim[..]);
+                let mut consumed = 0usize;
+                let row_off = &row_off;
+                for &(s, e) in &ranges {
+                    let len = row_off[e] - consumed;
+                    consumed = row_off[e];
+                    let (c_ru, rest) = ru.split_at_mut(len);
+                    ru = rest;
+                    let (c_rs, rest) = rs.split_at_mut(len);
+                    rs = rest;
+                    let (c_su, rest) = su.split_at_mut(len);
+                    su = rest;
+                    let (c_ss, rest) = ss.split_at_mut(len);
+                    ss = rest;
+                    scope.spawn(move || {
+                        place_rows(
+                            inst,
+                            s,
+                            e,
+                            row_off,
+                            RowSlices {
+                                row_user: c_ru,
+                                row_sim: c_rs,
+                                sorted_row_user: c_su,
+                                sorted_row_sim: c_ss,
+                            },
+                        )
+                    });
+                }
+            });
+        }
+
+        // Pass 3 — columns: sequential cursor scatter in event-id order
+        // (columns come out id-ascending), then per-column sorts over
+        // column-aligned partitions.
+        let mut sorted_col_event = vec![0u32; pairs];
+        let mut sorted_col_sim = vec![0.0f64; pairs];
+        let mut cursor = col_off[..nu].to_vec();
+        for v in 0..nv {
+            for i in row_off[v]..row_off[v + 1] {
+                let u = row_user[i] as usize;
+                sorted_col_event[cursor[u]] = v as u32;
+                sorted_col_sim[cursor[u]] = row_sim[i];
+                cursor[u] += 1;
+            }
+        }
+        let col_ranges = split_ranges(nu, threads.get());
+        if col_ranges.len() <= 1 {
+            let mut scratch = Vec::new();
+            sort_cols(
+                0,
+                nu,
+                &col_off,
+                &mut sorted_col_event,
+                &mut sorted_col_sim,
+                &mut scratch,
+            );
+        } else {
+            std::thread::scope(|scope| {
+                let (mut ce, mut cs) = (&mut sorted_col_event[..], &mut sorted_col_sim[..]);
+                let mut consumed = 0usize;
+                let col_off = &col_off;
+                for &(s, e) in &col_ranges {
+                    let len = col_off[e] - consumed;
+                    consumed = col_off[e];
+                    let (c_ce, rest) = ce.split_at_mut(len);
+                    ce = rest;
+                    let (c_cs, rest) = cs.split_at_mut(len);
+                    cs = rest;
+                    scope.spawn(move || {
+                        let mut scratch = Vec::new();
+                        sort_cols(s, e, col_off, c_ce, c_cs, &mut scratch);
+                    });
+                }
+            });
         }
 
         CandidateGraph {
@@ -220,13 +402,24 @@ mod tests {
     use crate::similarity::SimMatrix;
     use crate::toy;
 
-    fn graph_arrays(g: &CandidateGraph) -> (Vec<usize>, Vec<u32>, Vec<u64>, Vec<u32>, Vec<u64>) {
+    /// `(row_off, row_user, row_sim bits, sorted_row_user, sorted_row_sim bits)`.
+    type RowArrays = (Vec<usize>, Vec<u32>, Vec<u64>, Vec<u32>, Vec<u64>);
+
+    fn graph_arrays(g: &CandidateGraph) -> RowArrays {
         (
             g.row_off.clone(),
             g.row_user.clone(),
             g.row_sim.iter().map(|s| s.to_bits()).collect(),
             g.sorted_row_user.clone(),
             g.sorted_row_sim.iter().map(|s| s.to_bits()).collect(),
+        )
+    }
+
+    fn col_arrays(g: &CandidateGraph) -> (Vec<usize>, Vec<u32>, Vec<u64>) {
+        (
+            g.col_off.clone(),
+            g.sorted_col_event.clone(),
+            g.sorted_col_sim.iter().map(|s| s.to_bits()).collect(),
         )
     }
 
@@ -294,22 +487,29 @@ mod tests {
         assert_eq!(pairs_from_cols, pairs_from_rows);
     }
 
-    #[test]
-    fn parallel_build_is_bit_identical() {
-        let rows: Vec<Vec<f64>> = (0..40)
+    /// A 40×120 instance is far below the [`SIM_CELLS_PER_WORKER`]
+    /// grain, so exercise the worker paths through a synthetic instance
+    /// big enough that `cost_capped` leaves multiple workers standing.
+    fn banded_instance(nv: usize, nu: usize) -> Instance {
+        let rows: Vec<Vec<f64>> = (0..nv)
             .map(|v| {
-                (0..120)
+                (0..nu)
                     .map(|u| ((v * 13 + u * 7) % 23) as f64 / 23.0)
                     .collect()
             })
             .collect();
-        let inst = Instance::from_matrix(
+        Instance::from_matrix(
             SimMatrix::from_rows(&rows),
-            vec![2; 40],
-            vec![3; 120],
-            ConflictGraph::empty(40),
+            vec![2; nv],
+            vec![3; nu],
+            ConflictGraph::empty(nv),
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let inst = banded_instance(40, 120);
         let serial = CandidateGraph::build(&inst, Threads::single());
         for t in [2, 4, 8] {
             let parallel = CandidateGraph::build(&inst, Threads::new(t));
@@ -318,6 +518,39 @@ mod tests {
                 graph_arrays(&parallel),
                 "threads = {t}"
             );
+            assert_eq!(col_arrays(&serial), col_arrays(&parallel), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_above_the_grain_floor() {
+        // 64 × 8192 = 512k cells: 4 workers survive the cost cap, so the
+        // spawned count/place/sort paths really run.
+        let inst = banded_instance(64, 8192);
+        const _: () = assert!(64 * 8192 >= 4 * SIM_CELLS_PER_WORKER);
+        let serial = CandidateGraph::build(&inst, Threads::single());
+        for t in [2, 4] {
+            let parallel = CandidateGraph::build(&inst, Threads::new(t));
+            assert_eq!(
+                graph_arrays(&serial),
+                graph_arrays(&parallel),
+                "threads = {t}"
+            );
+            assert_eq!(col_arrays(&serial), col_arrays(&parallel), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_instances_build() {
+        // All-zero similarities: zero candidates, every offset flat.
+        let m = SimMatrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        let inst =
+            Instance::from_matrix(m, vec![1, 1], vec![1, 1], ConflictGraph::empty(2)).unwrap();
+        for t in [1, 4] {
+            let g = CandidateGraph::build(&inst, Threads::new(t));
+            assert_eq!(g.num_candidates(), 0);
+            assert_eq!(g.event_degree(EventId(0)), 0);
+            assert_eq!(g.user_degree(UserId(1)), 0);
         }
     }
 

@@ -126,6 +126,7 @@ pub fn solve_on(
             Algorithm::RandomV { seed } | Algorithm::RandomU { seed } => seed,
             _ => params.seed,
         },
+        mcf: params.mcf,
     };
     let start = Instant::now();
     let outcome = SolverRegistry::global()

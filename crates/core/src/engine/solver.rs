@@ -29,6 +29,7 @@ use crate::model::arrangement::Arrangement;
 use crate::parallel::Threads;
 use crate::runtime::budget::{BudgetMeter, StopReason};
 use crate::runtime::outcome::{Outcome, Provenance, SolveStatus};
+use crate::runtime::SolveError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,6 +60,10 @@ pub struct SolveParams {
     /// [`Algorithm::RandomV`][crate::algorithms::Algorithm::RandomV] /
     /// [`RandomU`][crate::algorithms::Algorithm::RandomU] when present.
     pub seed: u64,
+    /// MinCostFlow-GEACC knobs (Δ-sweep early stop, exact repair, SSP
+    /// heap choice); ignored by every other solver. The default is the
+    /// paper's Algorithm 1 with the fast radix-heap frontier.
+    pub mcf: McfConfig,
 }
 
 impl Default for SolveParams {
@@ -66,6 +71,7 @@ impl Default for SolveParams {
         SolveParams {
             threads: Threads::single(),
             seed: 0,
+            mcf: McfConfig::default(),
         }
     }
 }
@@ -109,6 +115,20 @@ fn outcome(
         nodes: meter.nodes(),
         elapsed: meter.elapsed(),
         search,
+    }
+}
+
+/// An [`Outcome`] for a solver that rejected the instance outright: an
+/// empty (trivially feasible) arrangement with
+/// [`SolveStatus::Failed`]. The pipeline treats this stage as failed
+/// and degrades to its fallback chain.
+fn failed(graph: &CandidateGraph, err: SolveError, meter: &BudgetMeter) -> Outcome {
+    Outcome {
+        arrangement: Arrangement::empty_for(graph.instance()),
+        status: SolveStatus::Failed(err),
+        nodes: meter.nodes(),
+        elapsed: meter.elapsed(),
+        search: None,
     }
 }
 
@@ -156,9 +176,11 @@ impl Solver for MinCostFlowSolver {
             incremental_seed: false,
         }
     }
-    fn solve(&self, graph: &CandidateGraph, _params: &SolveParams, meter: &BudgetMeter) -> Outcome {
-        let (result, stopped) = mincostflow_on(graph, McfConfig::default(), Some(meter));
-        outcome(result.arrangement, stopped, false, meter, None)
+    fn solve(&self, graph: &CandidateGraph, params: &SolveParams, meter: &BudgetMeter) -> Outcome {
+        match mincostflow_on(graph, params.mcf, Some(meter)) {
+            Ok((result, stopped)) => outcome(result.arrangement, stopped, false, meter, None),
+            Err(err) => failed(graph, err, meter),
+        }
     }
 }
 

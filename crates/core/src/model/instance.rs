@@ -317,6 +317,11 @@ impl Instance {
     /// probe. For matrix-specified instances this is a plain copy.
     pub fn dense_similarity(&self, threads: crate::parallel::Threads) -> SimMatrix {
         let (nv, nu) = (self.num_events(), self.num_users());
+        // Floor the grain on dense cells: row counts alone overstate the
+        // work of short rows, and forking for a sub-millisecond fill is
+        // a net loss (the regression CSR builds showed at 4 threads).
+        let threads =
+            threads.cost_capped(nv.saturating_mul(nu), crate::parallel::SIM_CELLS_PER_WORKER);
         let rows = crate::parallel::par_map(threads, nv, |v| {
             let mut row = Vec::new();
             self.similarity_row(EventId(v as u32), &mut row);

@@ -22,6 +22,14 @@ pub use geacc_index::parallel::{
     for_each_chunk, par_map, par_map_coarse, split_ranges, Threads, THREADS_ENV,
 };
 
+/// A worker must have at least this many dense similarity cells
+/// (`|V|·|U|` units) to be worth spawning; below it, fork-join overhead
+/// exceeds the scan itself. The candidate-graph build and
+/// [`Instance::dense_similarity`][crate::Instance::dense_similarity]
+/// both floor their worker budget with
+/// [`Threads::cost_capped`]`(|V|·|U|, SIM_CELLS_PER_WORKER)`.
+pub(crate) const SIM_CELLS_PER_WORKER: usize = 1 << 17;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotone non-negative `f64` maximum, shared across worker threads.

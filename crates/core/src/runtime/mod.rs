@@ -31,5 +31,5 @@ pub mod pipeline;
 
 pub use budget::{set_memory_probe, BudgetMeter, CancelToken, SolveBudget, StopReason};
 pub use fault::FaultPlan;
-pub use outcome::{FallbackAlgo, Outcome, Provenance, SolveStatus};
+pub use outcome::{FallbackAlgo, Outcome, Provenance, SolveError, SolveStatus};
 pub use pipeline::SolverPipeline;

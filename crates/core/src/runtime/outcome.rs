@@ -32,6 +32,32 @@ impl std::fmt::Display for FallbackAlgo {
     }
 }
 
+/// Why a solver rejected an instance outright, producing no arrangement.
+///
+/// Distinct from a budget stop (the solver was healthy but interrupted)
+/// and from a panic (a bug): these are *input* pathologies detected up
+/// front, reported structurally so the pipeline can degrade to a
+/// fallback instead of unwinding through `catch_unwind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// An arc cost derived from the instance is not finite (a NaN or
+    /// infinite similarity), so shortest-path distances are undefined.
+    NonFiniteCost,
+    /// The flow-network construction rejected the instance shape.
+    MalformedNetwork,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolveError::NonFiniteCost => "non-finite arc cost (NaN or infinite similarity)",
+            SolveError::MalformedNetwork => "flow network construction rejected the instance",
+        })
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 /// How a feasible, non-optimal arrangement came to be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Provenance {
@@ -55,6 +81,10 @@ pub enum SolveStatus {
     DegradedTo(FallbackAlgo),
     /// Every stage failed; the arrangement is empty.
     TimedOut,
+    /// The solver rejected the instance outright (see [`SolveError`]);
+    /// the arrangement is empty. Inside the pipeline this degrades to a
+    /// fallback stage; it surfaces only from a direct single-solver run.
+    Failed(SolveError),
 }
 
 impl SolveStatus {
@@ -65,7 +95,7 @@ impl SolveStatus {
     /// | 0 | solver completed ([`Optimal`][SolveStatus::Optimal] or a completed heuristic) |
     /// | 3 | budget-stopped incumbent returned |
     /// | 4 | degraded to a fallback algorithm |
-    /// | 5 | every stage failed (timed out) |
+    /// | 5 | no arrangement (timed out or the solver rejected the instance) |
     ///
     /// (1 and 2 are reserved for runtime and usage errors.)
     pub fn exit_code(&self) -> i32 {
@@ -73,7 +103,7 @@ impl SolveStatus {
             SolveStatus::Optimal | SolveStatus::Feasible(Provenance::Completed) => 0,
             SolveStatus::Feasible(Provenance::Incumbent(_)) => 3,
             SolveStatus::DegradedTo(_) => 4,
-            SolveStatus::TimedOut => 5,
+            SolveStatus::TimedOut | SolveStatus::Failed(_) => 5,
         }
     }
 
@@ -106,6 +136,7 @@ impl SolveStatus {
             }
             SolveStatus::DegradedTo(algo) => format!("degraded to {algo}"),
             SolveStatus::TimedOut => "timed out (no arrangement)".to_string(),
+            SolveStatus::Failed(err) => format!("failed: {err}"),
         }
     }
 }
@@ -152,6 +183,14 @@ mod tests {
             4
         );
         assert_eq!(SolveStatus::TimedOut.exit_code(), 5);
+        assert_eq!(
+            SolveStatus::Failed(SolveError::NonFiniteCost).exit_code(),
+            5
+        );
+        assert_eq!(
+            SolveStatus::Failed(SolveError::MalformedNetwork).exit_code(),
+            5
+        );
     }
 
     #[test]
@@ -165,6 +204,7 @@ mod tests {
             ),
             (SolveStatus::DegradedTo(FallbackAlgo::Greedy), false),
             (SolveStatus::TimedOut, false),
+            (SolveStatus::Failed(SolveError::NonFiniteCost), false),
         ] {
             assert_eq!(status.is_complete(), complete, "{status:?}");
             assert_eq!(status.is_complete(), status.exit_code() == 0);

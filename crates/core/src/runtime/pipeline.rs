@@ -134,6 +134,12 @@ impl SolverPipeline {
             f()
         }))
         .ok()?;
+        // A structured rejection (SolveStatus::Failed) is treated like a
+        // panic: the stage produced no arrangement, so the chain falls
+        // through to the next fallback.
+        if matches!(solved.status, SolveStatus::Failed(_)) {
+            return None;
+        }
         solved
             .arrangement
             .validate(graph.instance())
@@ -149,6 +155,7 @@ impl SolverPipeline {
         let params = SolveParams {
             threads: self.threads,
             seed: self.seed,
+            ..SolveParams::default()
         };
         // One graph for every stage.
         let graph = CandidateGraph::build(inst, self.threads);

@@ -117,7 +117,7 @@ proptest! {
         for t in [1usize, 4] {
             let threads = Threads::new(t);
             let graph = CandidateGraph::build(&inst, threads);
-            let params = SolveParams { threads, seed: 0 };
+            let params = SolveParams { threads, seed: 0, ..SolveParams::default() };
             for algo in ALL {
                 let out = engine::solve_on(&graph, algo, &params, &BudgetMeter::unlimited());
                 let legacy = legacy_solve(&inst, algo, threads);
@@ -160,6 +160,49 @@ proptest! {
                     t
                 );
             }
+        }
+    }
+
+    /// The radix-heap SSP frontier is bit-identical to the binary-heap
+    /// reference: same `best_delta`, same `max_delta`, same relaxation
+    /// `MaxSum` bits, and the same arrangement bit-for-bit (the two
+    /// frontiers pop in the same order, so even tie-breaks agree) — at
+    /// 1 and 4 graph-build threads.
+    #[test]
+    fn mcf_equiv(spec in small_spec(4, 8)) {
+        use geacc_core::algorithms::{mincostflow_on, McfConfig, SspHeap};
+        let inst = spec.build();
+        for t in [1usize, 4] {
+            let graph = CandidateGraph::build(&inst, Threads::new(t));
+            let solve = |heap| {
+                let config = McfConfig { heap, ..McfConfig::default() };
+                let (result, stopped) = mincostflow_on(&graph, config, None)
+                    .expect("spec instances are well-formed");
+                prop_assert!(stopped.is_none());
+                Ok(result)
+            };
+            let radix = solve(SspHeap::Radix)?;
+            let binary = solve(SspHeap::Binary)?;
+            prop_assert_eq!(
+                radix.relaxation.best_delta,
+                binary.relaxation.best_delta,
+                "best_delta diverged at {} thread(s)", t
+            );
+            prop_assert_eq!(
+                radix.relaxation.max_delta,
+                binary.relaxation.max_delta,
+                "max_delta diverged at {} thread(s)", t
+            );
+            prop_assert_eq!(
+                radix.relaxation.max_sum.to_bits(),
+                binary.relaxation.max_sum.to_bits(),
+                "relaxation MaxSum bits diverged at {} thread(s)", t
+            );
+            assert_bit_identical(
+                &radix.arrangement,
+                &binary.arrangement,
+                &format!("radix vs binary SSP at {t} thread(s)"),
+            );
         }
     }
 

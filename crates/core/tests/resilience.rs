@@ -49,7 +49,7 @@ fn mincostflow_budgeted(
     meter: &BudgetMeter,
 ) -> (McfResult, Option<StopReason>) {
     let graph = CandidateGraph::build(inst, Threads::single());
-    mincostflow_on(&graph, config, Some(meter))
+    mincostflow_on(&graph, config, Some(meter)).expect("generated instances are well-formed")
 }
 
 fn prune_budgeted(inst: &Instance, config: PruneConfig, meter: &BudgetMeter) -> BudgetedPrune {

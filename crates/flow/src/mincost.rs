@@ -15,7 +15,24 @@
 //! non-decreasing unit cost, the per-`Δ` objective the paper scans,
 //! `MaxSum(M_∅^Δ) = Δ − cost(F^Δ)`, is concave in `Δ` and its maximum is
 //! visible during the sweep.
+//!
+//! Two raw-speed mechanisms (see DESIGN.md §13):
+//!
+//! - **Rewind.** Every push is journaled, and [`MinCostFlow::checkpoint`]
+//!   / [`MinCostFlow::rewind`] roll the residual network back to any
+//!   earlier augmentation boundary in `O(pushes undone)` — so a sweep
+//!   that flies past its objective's peak can materialize the peak flow
+//!   without a from-scratch re-solve. Because the solver is
+//!   deterministic, the rewound state is bit-identical to what a fresh
+//!   run stopped at that boundary would produce (SSP prefix optimality).
+//! - **Radix-heap Dijkstra.** The default frontier is a monotone radix
+//!   heap over quantized distance keys with an exact comparison
+//!   fallback inside the minimum-key bucket, reproducing the binary
+//!   heap's pop order bit-for-bit at a fraction of its cost (see
+//!   [`HeapKind`]). The classic comparison heap remains available for
+//!   differential testing.
 
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::bellman;
@@ -44,6 +61,187 @@ pub struct AugmentStep {
     pub unit_cost: f64,
 }
 
+/// Which frontier structure Dijkstra uses.
+///
+/// Both produce **bit-identical** solver behaviour: the radix heap's
+/// quantized keys are only a coarse filter (monotone quantization, so a
+/// strictly smaller key always means a strictly smaller distance), and
+/// the final pop within the minimum-key bucket falls back to the exact
+/// `(distance, node)` comparison the binary heap orders by. The binary
+/// heap is kept as the differential-testing reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeapKind {
+    /// Monotone radix heap on quantized keys (the fast default).
+    #[default]
+    Radix,
+    /// The classic lazy-deletion binary heap.
+    Binary,
+}
+
+/// A rollback point captured by [`MinCostFlow::checkpoint`].
+///
+/// Opaque: it records the push-journal watermark plus the flow/cost
+/// counters at an augmentation boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowCheckpoint {
+    journal_len: usize,
+    flow: i64,
+    cost: f64,
+    exhausted: bool,
+}
+
+/// Quantization scale for radix-heap keys: `key = ⌊dist · 2³⁰⌋`.
+///
+/// The quantum (≈ 0.93 ns-of-cost at GEACC's `[0, 1]` cost scale) is
+/// just below [`EPS`], so labels that differ by more than the comparison
+/// tolerance land in different buckets and the exact within-bucket scan
+/// stays short. Correctness does not depend on the value: quantization
+/// is monotone at any scale, and the in-bucket comparison is exact.
+const KEY_SCALE: f64 = (1u64 << 30) as f64;
+
+/// Monotone radix heap over `(quantized key, exact distance, node)`.
+///
+/// Invariants (the classic Ahuja–Mehlhorn–Orlin structure): `last` only
+/// grows, every live entry's key is `≥ last`, bucket 0 holds exactly the
+/// entries with `key == last`, and bucket `b ≥ 1` holds entries whose
+/// key first differs from `last` at bit `b − 1`. Redistribution moves
+/// entries to strictly lower buckets, so each entry is touched
+/// `O(log C)` times overall.
+///
+/// `pop` returns the minimum by **exact** `(distance, node id)` order:
+/// monotone quantization guarantees the global minimum lives in the
+/// minimum-key bucket, and the linear scan inside that bucket is the
+/// comparison fallback that makes the pop order identical to
+/// [`HeapKind::Binary`]'s.
+#[derive(Debug, Clone, Default)]
+struct RadixHeap {
+    /// Entries whose key equals `last` — the currently-minimum key
+    /// quantum. Kept as a comparison heap on the exact `(dist, node)`
+    /// order: distance plateaus funnel thousands of same-key entries
+    /// here, and a linear min-scan per pop would go quadratic.
+    bucket0: BinaryHeap<Reverse<(TotalF64, u32)>>,
+    /// Buckets 1..=64, indexed by the position of the highest bit in
+    /// which an entry's key differs from `last`.
+    buckets: Vec<Vec<(u64, f64, u32)>>,
+    last: u64,
+    len: usize,
+}
+
+impl RadixHeap {
+    fn clear(&mut self) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![Vec::new(); 65];
+        }
+        self.bucket0.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.last = 0;
+        self.len = 0;
+    }
+
+    /// `⌊dist · KEY_SCALE⌋`, saturating. Monotone in `dist`, so
+    /// `key(a) < key(b)` implies `a < b`.
+    #[inline]
+    fn key(dist: f64) -> u64 {
+        debug_assert!(dist >= 0.0);
+        (dist * KEY_SCALE) as u64
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        if key == self.last {
+            0
+        } else {
+            64 - (key ^ self.last).leading_zeros() as usize
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, dist: f64, node: u32) {
+        let key = Self::key(dist);
+        debug_assert!(key >= self.last, "radix heap requires monotone keys");
+        let b = self.bucket_of(key);
+        if b == 0 {
+            self.bucket0.push(Reverse((TotalF64(dist), node)));
+        } else {
+            self.buckets[b].push((key, dist, node));
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.bucket0.is_empty() {
+            // Advance `last` to the smallest live key and redistribute
+            // its bucket; the minimum-key entries land in bucket 0.
+            let b = (1..self.buckets.len())
+                .find(|&b| !self.buckets[b].is_empty())
+                .expect("len > 0 means some bucket is non-empty");
+            let min_key = self.buckets[b]
+                .iter()
+                .map(|e| e.0)
+                .min()
+                .expect("bucket is non-empty");
+            self.last = min_key;
+            let entries = std::mem::take(&mut self.buckets[b]);
+            for (key, dist, node) in entries {
+                let nb = self.bucket_of(key);
+                debug_assert!(nb < b, "redistribution must strictly descend");
+                if nb == 0 {
+                    self.bucket0.push(Reverse((TotalF64(dist), node)));
+                } else {
+                    self.buckets[nb].push((key, dist, node));
+                }
+            }
+        }
+        // Exact selection within the minimum-key quantum: the global
+        // `(dist, node)` minimum is here, because a strictly smaller
+        // key would mean a strictly smaller distance.
+        let Reverse((TotalF64(d), n)) = self.bucket0.pop().expect("bucket 0 refilled above");
+        self.len -= 1;
+        Some((d, n))
+    }
+}
+
+/// The frontier abstraction `dijkstra_with` is generic over, so the
+/// relaxation loop exists once and monomorphizes per heap kind.
+trait Frontier {
+    fn reset(&mut self);
+    fn push(&mut self, dist: f64, node: u32);
+    fn pop(&mut self) -> Option<(f64, u32)>;
+}
+
+impl Frontier for RadixHeap {
+    fn reset(&mut self) {
+        self.clear();
+    }
+    #[inline]
+    fn push(&mut self, dist: f64, node: u32) {
+        RadixHeap::push(self, dist, node);
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        RadixHeap::pop(self)
+    }
+}
+
+impl Frontier for BinaryHeap<std::cmp::Reverse<(TotalF64, u32)>> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+    #[inline]
+    fn push(&mut self, dist: f64, node: u32) {
+        BinaryHeap::push(self, std::cmp::Reverse((TotalF64(dist), node)));
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        BinaryHeap::pop(self).map(|std::cmp::Reverse((TotalF64(d), n))| (d, n))
+    }
+}
+
 /// Incremental Successive-Shortest-Path min-cost-flow solver.
 ///
 /// Owns the [`FlowNetwork`]; inspect arc flows through
@@ -60,11 +258,57 @@ pub struct MinCostFlow {
     flow: i64,
     cost: f64,
     exhausted: bool,
+    heap_kind: HeapKind,
+    /// Every `raw_push` applied by `augment_step`, in order, so
+    /// [`MinCostFlow::rewind`] can undo a suffix of them exactly.
+    journal: Vec<(u32, i64)>,
+    /// Set by [`MinCostFlow::rewind`]: the potentials then belong to a
+    /// *later* flow than the network holds, so further augmentation is
+    /// disabled (the state is read-only except for another rewind).
+    rewound: bool,
+    /// Flat CSR adjacency (`adj_off[v]..adj_off[v+1]` slices `adj_arc`
+    /// and `adj_cost`), snapshotted from the network at construction:
+    /// one contiguous arena instead of a `Vec` per node on the Dijkstra
+    /// hot path. Each node's arcs are sorted by cost ascending, with the
+    /// cost mirrored into `adj_cost`, so the relaxation loop can *break*
+    /// (not just skip) as soon as the cost-derived lower bound on the
+    /// tentative label crosses the sink bound — on dense GEACC networks
+    /// this prunes the large majority of arc scans.
+    adj_off: Vec<u32>,
+    adj_arc: Vec<u32>,
+    adj_cost: Vec<f64>,
+    /// Static copy of each arena arc's head, aligned with `adj_arc` —
+    /// a sequential load on the scan path instead of a random one.
+    adj_to: Vec<u32>,
+    /// Per node, the *residual* (odd, non-sink-headed) arcs currently
+    /// carrying positive capacity. Residual twins are born saturated and
+    /// only a handful per node ever open (one per unit of flow through
+    /// it), yet a static adjacency would scan — and capacity-reject —
+    /// every one of them on every settle; on dense GEACC networks that
+    /// rejection was ~90% of all scan work. Maintained incrementally by
+    /// [`MinCostFlow::apply_push`].
+    res_adj: Vec<Vec<u32>>,
+    /// Per node, max potential over the heads of its non-sink arcs as of
+    /// the last epoch; `pot_drift` bounds how far any potential can have
+    /// risen since (potentials only grow, by at most `dist_sink` per
+    /// fold), so `head_pot[u] + pot_drift` is a sound per-node break
+    /// bound far tighter than a global max.
+    head_pot: Vec<f64>,
+    pot_drift: f64,
+    folds_since_epoch: u32,
+    /// Per node, the arena index where its non-sink-headed arcs begin.
+    /// Arcs into the sink sit in `adj_off[v]..adj_split[v]` so the scan
+    /// can always relax them (they are exempt from the sorted break, and
+    /// they are re-relaxed eagerly whenever `v`'s label improves — that
+    /// labels the sink after the very first scan of a run, arming the
+    /// sink bound while the frontier is still near the source).
+    adj_split: Vec<u32>,
     // Scratch buffers reused across Dijkstra runs.
     dist: Vec<f64>,
     parent_arc: Vec<u32>,
     settled: Vec<bool>,
     heap: BinaryHeap<std::cmp::Reverse<(TotalF64, u32)>>,
+    radix: RadixHeap,
 }
 
 impl MinCostFlow {
@@ -105,11 +349,63 @@ impl MinCostFlow {
         } else {
             vec![0.0; n]
         };
+        // Flatten the per-node adjacency lists into one arena: arcs into
+        // the sink first, then the rest sorted by cost ascending (ties by
+        // arc id, so the order is deterministic). The arc set is fixed
+        // once a solver wraps the network, so the snapshot never goes
+        // stale; capacities are read live through the arc ids.
+        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj_split = Vec::with_capacity(n);
+        let mut adj_arc = Vec::with_capacity(2 * net.num_arcs());
+        let mut adj_cost = Vec::with_capacity(2 * net.num_arcs());
+        let mut adj_to = Vec::with_capacity(2 * net.num_arcs());
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut res_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (v, res_v) in res_adj.iter_mut().enumerate() {
+            adj_off.push(adj_arc.len() as u32);
+            scratch.clear();
+            for &a in net.raw_adj(v) {
+                // Odd non-sink-headed arcs are residual twins: tracked
+                // dynamically in `res_adj`, not in the static arena.
+                if a & 1 == 1 && net.raw_to(a) != sink {
+                    if net.raw_cap(a) > 0 {
+                        res_v.push(a);
+                    }
+                } else {
+                    scratch.push(a);
+                }
+            }
+            scratch.sort_unstable_by(|&a, &b| {
+                let (sa, sb) = (net.raw_to(a) != sink, net.raw_to(b) != sink);
+                sa.cmp(&sb)
+                    .then(net.raw_cost(a).total_cmp(&net.raw_cost(b)))
+                    .then(a.cmp(&b))
+            });
+            let sink_headed = scratch.iter().filter(|&&a| net.raw_to(a) == sink).count();
+            adj_split.push((adj_arc.len() + sink_headed) as u32);
+            for &a in &scratch {
+                adj_arc.push(a);
+                adj_cost.push(net.raw_cost(a));
+                adj_to.push(net.raw_to(a) as u32);
+            }
+        }
+        adj_off.push(adj_arc.len() as u32);
+        let head_pot = Self::head_pot_epoch(n, &adj_off, &adj_split, &adj_to, &potential);
         Ok(MinCostFlow {
             dist: vec![f64::INFINITY; n],
             parent_arc: vec![u32::MAX; n],
             settled: vec![false; n],
             heap: BinaryHeap::new(),
+            radix: RadixHeap::default(),
+            adj_off,
+            adj_arc,
+            adj_cost,
+            adj_to,
+            res_adj,
+            head_pot,
+            pot_drift: 0.0,
+            folds_since_epoch: 0,
+            adj_split,
             net,
             source,
             sink,
@@ -117,6 +413,9 @@ impl MinCostFlow {
             flow: 0,
             cost: 0.0,
             exhausted: false,
+            heap_kind: HeapKind::default(),
+            journal: Vec::new(),
+            rewound: false,
         })
     }
 
@@ -143,15 +442,96 @@ impl MinCostFlow {
         self.cost
     }
 
+    /// Select the Dijkstra frontier structure (see [`HeapKind`]). The
+    /// frontier is per-run scratch, so the kind may be changed between
+    /// augmentations without affecting results.
+    pub fn set_heap(&mut self, kind: HeapKind) {
+        self.heap_kind = kind;
+    }
+
+    /// The frontier structure in use.
+    #[inline]
+    pub fn heap_kind(&self) -> HeapKind {
+        self.heap_kind
+    }
+
+    /// Push `amount` along `arc`, keeping the dynamic residual lists in
+    /// sync: a residual twin opening (capacity 0 → positive) joins its
+    /// tail's `res_adj`, one closing (→ 0) leaves it. The lists are a
+    /// couple of entries long, so the linear remove is cheap.
+    fn apply_push(&mut self, arc: u32, amount: i64) {
+        let twin = arc ^ 1;
+        let twin_was_closed = self.net.raw_cap(twin) <= 0;
+        self.net.raw_push(arc, amount);
+        if twin & 1 == 1 && twin_was_closed && self.net.raw_cap(twin) > 0 {
+            let tail = self.net.raw_to(arc);
+            if self.net.raw_to(twin) != self.sink {
+                self.res_adj[tail].push(twin);
+            }
+        }
+        if arc & 1 == 1 && self.net.raw_cap(arc) <= 0 && self.net.raw_to(arc) != self.sink {
+            // `arc` is a residual twin that just closed; its tail is the
+            // head of its even partner.
+            let tail = self.net.raw_to(twin);
+            if let Some(pos) = self.res_adj[tail].iter().position(|&x| x == arc) {
+                self.res_adj[tail].remove(pos);
+            }
+        }
+        debug_assert!(self.net.raw_cap(arc) >= 0 && self.net.raw_cap(twin) >= 0);
+    }
+
+    /// Capture the current augmentation boundary for a later
+    /// [`MinCostFlow::rewind`]. `O(1)`.
+    pub fn checkpoint(&self) -> FlowCheckpoint {
+        FlowCheckpoint {
+            journal_len: self.journal.len(),
+            flow: self.flow,
+            cost: self.cost,
+            exhausted: self.exhausted,
+        }
+    }
+
+    /// Roll the residual network back to `checkpoint` by undoing the
+    /// journaled pushes after it, restoring the flow and cost counters
+    /// recorded at the boundary. `O(pushes undone)`.
+    ///
+    /// Because augmentation is deterministic, the rewound arc flows are
+    /// bit-identical to a fresh solver run stopped at the same boundary
+    /// (SSP prefix optimality: every prefix of the augmentation sequence
+    /// is an optimal flow of its amount). The folded potentials keep
+    /// their end-of-run values — valid for the *later* flow, not
+    /// necessarily the rewound one — so further augmentation is disabled
+    /// after a rewind: [`MinCostFlow::augment_step`] returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint` is ahead of the current journal (it came
+    /// from a state this solver has already been rewound past).
+    pub fn rewind(&mut self, checkpoint: &FlowCheckpoint) {
+        assert!(
+            checkpoint.journal_len <= self.journal.len(),
+            "checkpoint is ahead of the solver's journal"
+        );
+        while self.journal.len() > checkpoint.journal_len {
+            let (arc, amount) = self.journal.pop().expect("length checked above");
+            self.apply_push(arc ^ 1, amount);
+        }
+        self.flow = checkpoint.flow;
+        self.cost = checkpoint.cost;
+        self.exhausted = checkpoint.exhausted;
+        self.rewound = true;
+    }
+
     /// Push at most `limit` more units along the *single* cheapest
     /// augmenting path. Returns `None` when the sink is unreachable (the
-    /// flow is maximum) or `limit == 0`.
+    /// flow is maximum), `limit == 0`, or the solver has been
+    /// [rewound][MinCostFlow::rewind].
     ///
     /// Successive calls return paths of non-decreasing `unit_cost` — the
     /// classic SSP invariant — which callers (and our property tests)
     /// rely on.
     pub fn augment_step(&mut self, limit: i64) -> Option<AugmentStep> {
-        if limit <= 0 || self.exhausted {
+        if limit <= 0 || self.exhausted || self.rewound {
             return None;
         }
         if !self.dijkstra() {
@@ -169,11 +549,12 @@ impl MinCostFlow {
             node = self.net.raw_to(a ^ 1);
         }
         debug_assert!(bottleneck > 0);
-        // Apply the push.
+        // Apply (and journal) the push.
         let mut node = self.sink;
         while node != self.source {
             let a = self.parent_arc[node];
-            self.net.raw_push(a, bottleneck);
+            self.apply_push(a, bottleneck);
+            self.journal.push((a, bottleneck));
             node = self.net.raw_to(a ^ 1);
         }
         // Fold distances into the potentials to keep reduced costs
@@ -187,6 +568,8 @@ impl MinCostFlow {
         for v in 0..self.net.num_nodes() {
             self.potential[v] += self.dist[v].min(dist_sink);
         }
+        self.pot_drift += dist_sink;
+        self.folds_since_epoch += 1;
         self.flow += bottleneck;
         self.cost += unit_cost * bottleneck as f64;
         Some(AugmentStep {
@@ -226,51 +609,192 @@ impl MinCostFlow {
     /// Dijkstra over reduced costs; fills `dist`/`parent_arc`. Returns
     /// whether the sink was reached.
     ///
-    /// The frontier heap is a reused field: a Δ sweep runs one
-    /// `augment_step` (hence one Dijkstra) per Δ value, and the heap's
-    /// allocation — which grows to O(arcs) — survives across calls like
-    /// the other scratch buffers. Lazy termination can leave stale
-    /// entries behind, so each run starts by clearing it.
+    /// The frontier is a reused field (one of two, by [`HeapKind`]): a Δ
+    /// sweep runs one `augment_step` (hence one Dijkstra) per Δ value,
+    /// and the frontier's allocation survives across calls like the
+    /// other scratch buffers. The field is moved out for the run so the
+    /// generic loop can borrow `self` and the frontier disjointly.
     fn dijkstra(&mut self) -> bool {
+        match self.heap_kind {
+            HeapKind::Binary => {
+                let mut frontier = std::mem::take(&mut self.heap);
+                let reached = self.dijkstra_with(&mut frontier);
+                self.heap = frontier;
+                reached
+            }
+            HeapKind::Radix => {
+                let mut frontier = std::mem::take(&mut self.radix);
+                let reached = self.dijkstra_with(&mut frontier);
+                self.radix = frontier;
+                reached
+            }
+        }
+    }
+
+    /// The relaxation loop, generic over the frontier (monomorphized per
+    /// heap kind). Lazy termination at the sink settle; lazy deletion
+    /// (stale frontier entries are skipped via `settled`).
+    ///
+    /// **Sink-bound pruning:** a label `nd ≥ dist[sink]` (the sink's
+    /// current tentative distance) is never pushed. Such an entry could
+    /// only pop after the sink settles — Dijkstra pops in non-decreasing
+    /// order, and for the sink itself the EPS relaxation test is
+    /// stricter than the bound — so dropping it changes nothing the
+    /// augmentation observes: the potential fold clamps every unsettled
+    /// distance at `dist[sink]` anyway, and `parent_arc` is only read
+    /// along the sink's own chain.
+    /// Recompute the per-node head-potential maxima (one epoch).
+    fn head_pot_epoch(
+        n: usize,
+        adj_off: &[u32],
+        adj_split: &[u32],
+        adj_to: &[u32],
+        potential: &[f64],
+    ) -> Vec<f64> {
+        (0..n)
+            .map(|u| {
+                adj_to[adj_split[u] as usize..adj_off[u + 1] as usize]
+                    .iter()
+                    .fold(f64::NEG_INFINITY, |m, &v| m.max(potential[v as usize]))
+            })
+            .collect()
+    }
+
+    fn dijkstra_with<F: Frontier>(&mut self, frontier: &mut F) -> bool {
         let n = self.net.num_nodes();
         self.dist[..n].fill(f64::INFINITY);
         self.settled[..n].fill(false);
         self.dist[self.source] = 0.0;
-        self.heap.clear();
-        self.heap
-            .push(std::cmp::Reverse((TotalF64(0.0), self.source as u32)));
-        while let Some(std::cmp::Reverse((TotalF64(d), u))) = self.heap.pop() {
+        frontier.reset();
+        frontier.push(0.0, self.source as u32);
+        let sink = self.sink;
+        let tos = self.net.raw_tos();
+        let caps = self.net.raw_caps();
+        let pot_sink = self.potential[sink];
+        // Refresh the per-node head-potential bound once it has drifted
+        // for an epoch's worth of folds. The amortized cost is a few
+        // arcs per augmentation; the payoff is a break bound per node
+        // instead of one global (sink-dominated) maximum.
+        if self.folds_since_epoch >= 64 {
+            self.head_pot = Self::head_pot_epoch(
+                n,
+                &self.adj_off,
+                &self.adj_split,
+                &self.adj_to,
+                &self.potential,
+            );
+            self.pot_drift = 0.0;
+            self.folds_since_epoch = 0;
+        }
+        let pot_drift = self.pot_drift;
+        while let Some((d, u)) = frontier.pop() {
             let u = u as usize;
             if self.settled[u] {
                 continue;
             }
             self.settled[u] = true;
-            if u == self.sink {
-                // Lazy termination: remaining heap entries can't improve
-                // the sink once it settles.
+            if u == sink {
+                // Lazy termination: remaining frontier entries can't
+                // improve the sink once it settles.
                 return true;
             }
-            for &a in self.net.raw_adj(u) {
-                if self.net.raw_cap(a) <= 0 {
+            let pot_u = self.potential[u];
+            // Sink-headed arcs first, exempt from the break.
+            for i in self.adj_off[u] as usize..self.adj_split[u] as usize {
+                let a = self.adj_arc[i];
+                if caps[a as usize] <= 0 {
                     continue;
                 }
-                let v = self.net.raw_to(a);
-                if self.settled[v] {
+                let nd = d + (self.adj_cost[i] + pot_u - pot_sink).max(0.0);
+                if nd + EPS < self.dist[sink] {
+                    self.dist[sink] = nd;
+                    self.parent_arc[sink] = a;
+                    frontier.push(nd, sink as u32);
+                }
+            }
+            // Open residual twins, tracked dynamically — a handful per
+            // node at most, relaxed without the sorted break.
+            for k in 0..self.res_adj[u].len() {
+                let a = self.res_adj[u][k];
+                debug_assert!(caps[a as usize] > 0);
+                let v = tos[a as usize] as usize;
+                let reduced = (self.net.raw_cost(a) + pot_u - self.potential[v]).max(0.0);
+                let nd = d + reduced;
+                if nd >= self.dist[sink] {
                     continue;
                 }
-                let reduced = self.net.raw_cost(a) + self.potential[u] - self.potential[v];
+                if nd + EPS < self.dist[v] {
+                    self.dist[v] = nd;
+                    self.parent_arc[v] = a;
+                    frontier.push(nd, v as u32);
+                    for j in self.adj_off[v] as usize..self.adj_split[v] as usize {
+                        let sa = self.adj_arc[j];
+                        if caps[sa as usize] <= 0 {
+                            continue;
+                        }
+                        let sd = nd + (self.adj_cost[j] + self.potential[v] - pot_sink).max(0.0);
+                        if sd + EPS < self.dist[sink] {
+                            self.dist[sink] = sd;
+                            self.parent_arc[sink] = sa;
+                            frontier.push(sd, sink as u32);
+                        }
+                    }
+                }
+            }
+            let bound = self.dist[sink];
+            // Sorted break: the rest of the arcs are cost-ascending, and
+            // for any non-sink head v `nd = d + cost + pot_u − pot_v ≥
+            // d + cost + pot_u − (head_pot[u] + pot_drift)`, so once that
+            // lower bound reaches the sink bound every remaining arc is
+            // prunable — stop scanning. (`bound` may shrink as eager
+            // relaxations label the sink; the entry value is
+            // conservative. Settled heads need no explicit skip: pops are
+            // monotone, so `nd ≥ d ≥ dist[v]` and the relaxation test
+            // rejects them.)
+            let cost_break = bound - d - pot_u + self.head_pot[u] + pot_drift;
+            let (a0, a1) = (self.adj_split[u] as usize, self.adj_off[u + 1] as usize);
+            for i in a0..a1 {
+                let cost = self.adj_cost[i];
+                if cost >= cost_break {
+                    break;
+                }
+                let a = self.adj_arc[i];
+                if caps[a as usize] <= 0 {
+                    continue;
+                }
+                let v = self.adj_to[i] as usize;
+                let reduced = cost + pot_u - self.potential[v];
                 // The invariant guarantees reduced ≥ 0 up to rounding;
                 // clamp tiny negatives so Dijkstra stays sound.
                 let reduced = reduced.max(0.0);
                 let nd = d + reduced;
+                if nd >= bound {
+                    continue;
+                }
                 if nd + EPS < self.dist[v] {
                     self.dist[v] = nd;
                     self.parent_arc[v] = a;
-                    self.heap.push(std::cmp::Reverse((TotalF64(nd), v as u32)));
+                    frontier.push(nd, v as u32);
+                    // Eager sink relaxation: v's label improved, so any
+                    // arc v→sink yields a fresh (valid) sink label now,
+                    // long before v itself settles. This arms `bound`
+                    // for every later node in the run.
+                    for j in self.adj_off[v] as usize..self.adj_split[v] as usize {
+                        let sa = self.adj_arc[j];
+                        if caps[sa as usize] <= 0 {
+                            continue;
+                        }
+                        let sd = nd + (self.adj_cost[j] + self.potential[v] - pot_sink).max(0.0);
+                        if sd + EPS < self.dist[sink] {
+                            self.dist[sink] = sd;
+                            self.parent_arc[sink] = sa;
+                            frontier.push(sd, sink as u32);
+                        }
+                    }
                 }
             }
         }
-        self.dist[self.sink].is_finite()
+        self.dist[sink].is_finite()
     }
 }
 
@@ -425,5 +949,137 @@ mod tests {
         let mut mcf = MinCostFlow::new(diamond(), 0, 3).unwrap();
         assert!(mcf.augment_step(0).is_none());
         assert_eq!(mcf.flow(), 0);
+    }
+
+    /// A denser network where the two heap kinds have real work to do.
+    fn lattice(cost_seed: u64) -> FlowNetwork {
+        let mut net = FlowNetwork::new(12);
+        let mut state = cost_seed;
+        let mut next_cost = || {
+            // xorshift; costs on a coarse grid so exact ties occur.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 16) as f64 / 16.0
+        };
+        for a in 1..=5 {
+            net.add_arc(0, a, 2, next_cost());
+            for b in 6..=10 {
+                net.add_arc(a, b, 1, next_cost());
+            }
+        }
+        for b in 6..=10 {
+            net.add_arc(b, 11, 2, next_cost());
+        }
+        net
+    }
+
+    #[test]
+    fn radix_heap_is_bit_identical_to_binary_heap() {
+        for seed in 1..=8u64 {
+            let mut radix = MinCostFlow::new(lattice(seed), 0, 11).unwrap();
+            assert_eq!(radix.heap_kind(), HeapKind::Radix);
+            let mut binary = MinCostFlow::new(lattice(seed), 0, 11).unwrap();
+            binary.set_heap(HeapKind::Binary);
+            loop {
+                let r = radix.augment_step(i64::MAX);
+                let b = binary.augment_step(i64::MAX);
+                match (r, b) {
+                    (None, None) => break,
+                    (Some(r), Some(b)) => {
+                        assert_eq!(r.amount, b.amount, "seed {seed}");
+                        assert_eq!(
+                            r.unit_cost.to_bits(),
+                            b.unit_cost.to_bits(),
+                            "seed {seed}: unit costs diverged"
+                        );
+                    }
+                    (r, b) => panic!("seed {seed}: step mismatch {r:?} vs {b:?}"),
+                }
+            }
+            assert_eq!(radix.flow(), binary.flow(), "seed {seed}");
+            assert_eq!(
+                radix.cost().to_bits(),
+                binary.cost().to_bits(),
+                "seed {seed}"
+            );
+            // Same per-arc flows, bit for bit.
+            for i in 0..radix.network().num_arcs() {
+                let arc = ArcId::from_index(i);
+                assert_eq!(
+                    radix.network().flow(arc),
+                    binary.network().flow(arc),
+                    "seed {seed}, arc {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rewind_reproduces_a_fresh_run_stopped_at_the_boundary() {
+        for stop_after in 0..=4i64 {
+            // Reference: a fresh solver augmented exactly `stop_after`.
+            let mut reference = MinCostFlow::new(lattice(3), 0, 11).unwrap();
+            for _ in 0..stop_after {
+                reference.augment_step(i64::MAX);
+            }
+            // Sweep past, checkpointing at the boundary, then rewind.
+            let mut swept = MinCostFlow::new(lattice(3), 0, 11).unwrap();
+            for _ in 0..stop_after {
+                swept.augment_step(i64::MAX);
+            }
+            let mark = swept.checkpoint();
+            while swept.augment_step(i64::MAX).is_some() {}
+            assert!(swept.flow() >= reference.flow());
+            swept.rewind(&mark);
+            assert_eq!(swept.flow(), reference.flow(), "stop {stop_after}");
+            assert_eq!(
+                swept.cost().to_bits(),
+                reference.cost().to_bits(),
+                "stop {stop_after}"
+            );
+            for i in 0..swept.network().num_arcs() {
+                let arc = ArcId::from_index(i);
+                assert_eq!(
+                    swept.network().flow(arc),
+                    reference.network().flow(arc),
+                    "stop {stop_after}, arc {i}"
+                );
+            }
+            // A rewound solver is read-only.
+            assert!(swept.augment_step(i64::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn rewind_to_the_current_boundary_is_a_noop_state_wise() {
+        let mut mcf = MinCostFlow::new(diamond(), 0, 3).unwrap();
+        mcf.augment_step(i64::MAX).unwrap();
+        let mark = mcf.checkpoint();
+        mcf.rewind(&mark);
+        assert_eq!(mcf.flow(), 1);
+        assert!((mcf.cost() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ahead of the solver's journal")]
+    fn rewind_past_a_rewind_panics() {
+        let mut mcf = MinCostFlow::new(diamond(), 0, 3).unwrap();
+        mcf.augment_step(i64::MAX).unwrap();
+        let early = mcf.checkpoint();
+        mcf.augment_step(i64::MAX).unwrap();
+        let late = mcf.checkpoint();
+        mcf.rewind(&early);
+        mcf.rewind(&late); // late's journal suffix is gone
+    }
+
+    #[test]
+    fn radix_key_quantization_is_monotone() {
+        let samples = [0.0, 1e-12, 1e-9, 0.25, 0.5, 0.500000001, 1.0, 1e6];
+        for w in samples.windows(2) {
+            assert!(RadixHeap::key(w[0]) <= RadixHeap::key(w[1]));
+        }
+        // Differences above EPS always separate keys at this scale.
+        assert!(RadixHeap::key(0.5 + 2e-9) > RadixHeap::key(0.5));
     }
 }

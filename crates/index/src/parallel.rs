@@ -82,6 +82,23 @@ impl Threads {
     pub fn get(self) -> usize {
         self.0.get()
     }
+
+    /// Cap this budget so every prospective worker receives at least
+    /// `min_cost_per_worker` units of `total_cost` (both in any
+    /// caller-chosen unit: items, dense cells, bytes).
+    ///
+    /// The per-*item* floor baked into [`par_map`] /
+    /// [`for_each_chunk`] assumes items are cheap and uniform; callers
+    /// whose items are whole rows or panels know the real work better.
+    /// Forking 4 workers over a job worth a fraction of a millisecond
+    /// is a net loss — each spawn/join costs tens of microseconds and,
+    /// on hosts with less parallelism than the budget, the workers just
+    /// time-slice one core — so a coarse-grain floor keeps small jobs
+    /// inline and lets big ones fan out unchanged.
+    pub fn cost_capped(self, total_cost: usize, min_cost_per_worker: usize) -> Threads {
+        let max_workers = total_cost / min_cost_per_worker.max(1);
+        Threads::new(self.get().min(max_workers.max(1)))
+    }
 }
 
 impl Default for Threads {
@@ -294,5 +311,17 @@ mod tests {
         assert_eq!(Threads::default().get(), 1);
         assert!(Threads::available().get() >= 1);
         assert!(Threads::from_env().get() >= 1);
+    }
+
+    #[test]
+    fn cost_capped_floors_the_grain() {
+        // Small jobs collapse to fewer workers; big ones keep the budget.
+        assert_eq!(Threads::new(4).cost_capped(100, 1000).get(), 1);
+        assert_eq!(Threads::new(4).cost_capped(2000, 1000).get(), 2);
+        assert_eq!(Threads::new(4).cost_capped(1_000_000, 1000).get(), 4);
+        // Degenerate inputs stay positive.
+        assert_eq!(Threads::new(4).cost_capped(0, 1000).get(), 1);
+        assert_eq!(Threads::new(4).cost_capped(100, 0).get(), 4);
+        assert_eq!(Threads::new(1).cost_capped(1 << 30, 1).get(), 1);
     }
 }

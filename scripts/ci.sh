@@ -4,7 +4,8 @@
 # sequential code path, GEACC_THREADS=4 the scoped-thread parallel
 # paths (including the resilience suite's worker-panic and
 # mid-flight-cancellation scenarios, which behave differently under
-# contention) — and an end-to-end smoke of the `geacc serve` daemon
+# contention) — a one-repeat engine-bench run under its `--smoke`
+# wall-clock gate, and an end-to-end smoke of the `geacc serve` daemon
 # over a real socket.
 #
 # Usage: scripts/ci.sh
@@ -39,6 +40,17 @@ GEACC_THREADS=1 cargo test --workspace -q
 
 echo "== cargo test (GEACC_THREADS=4) =="
 GEACC_THREADS=4 cargo test --workspace -q
+
+echo "== engine bench smoke =="
+# One-repeat engine bench run under the --smoke wall-clock gate: a
+# MinCostFlow SSP kernel regression (beyond the generous ceiling baked
+# into the bench bin) fails CI here instead of only drifting in the
+# committed BENCH_engine.json. Writes to a throwaway path so the
+# pinned-host snapshot in the repo is never clobbered by CI timings.
+BENCH_SMOKE_DIR=$(mktemp -d)
+./target/release/engine --repeats 1 --smoke \
+    --out "$BENCH_SMOKE_DIR/BENCH_engine.json"
+rm -rf "$BENCH_SMOKE_DIR"
 
 echo "== server smoke =="
 # Boot the daemon on an ephemeral port, drive one session with bash's
