@@ -24,7 +24,7 @@
 use geacc_bench::cli;
 use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
 use geacc_datagen::{ArrivalOrder, SyntheticConfig};
-use geacc_server::{protocol, MetricsSnapshot, Server, ServerConfig};
+use geacc_server::{protocol, ClientConfig, MetricsSnapshot, RetryClient, Server, ServerConfig};
 use serde::Serialize;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -50,6 +50,12 @@ struct SteadyPhase {
     mix: BTreeMap<String, String>,
     requests_total: usize,
     client_errors: u64,
+    /// Mutations go through the retrying client with idempotency keys:
+    /// logical calls made, transparent retries spent, calls that still
+    /// failed after the retry budget.
+    mutate_calls: u64,
+    mutate_retries: u64,
+    mutate_failed: u64,
     wall_seconds: f64,
     throughput_rps: f64,
     latency_us: LatencyQuantiles,
@@ -77,6 +83,13 @@ struct OverloadPhase {
     overloaded: u64,
     other_errors: u64,
     server_rejected: u64,
+    /// Retrying mutators running through the same overload window:
+    /// they honor the server's `retry_after_ms` hint and must land
+    /// every mutation once the wedge clears.
+    retry_mutators: usize,
+    retry_calls: u64,
+    retry_retries: u64,
+    retry_failed: u64,
 }
 
 /// A blocking newline-delimited-JSON client.
@@ -175,36 +188,56 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
     assert!(is_ok(&loaded), "load failed: {loaded:?}");
 
     let started = Instant::now();
-    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<u64>, u64, geacc_server::ClientStats)> = std::thread::scope(|scope| {
         let arrivals = &arrivals;
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
                     let mut client = Client::connect(addr);
+                    // Mutations ride the retrying client with a stable
+                    // per-client identity, so a lost ack is retried
+                    // under the same (client_id, seq) key and the
+                    // server's dedup absorbs the replay.
+                    let mut mutator = RetryClient::new(
+                        addr.to_string(),
+                        ClientConfig {
+                            client_id: format!("load-{c}"),
+                            seed: 0xBEEF ^ (c as u64 + 1),
+                            ..ClientConfig::default()
+                        },
+                    );
                     let mut rng = Stream(0x9e37_79b9_7f4a_7c15 ^ (c as u64 + 1));
                     let mut latencies = Vec::with_capacity(per_client);
                     let mut errors = 0u64;
                     for i in 0..per_client {
                         let roll = rng.next() % 100;
-                        let line = if roll < 70 {
-                            let u = arrivals[(c * per_client + i) % arrivals.len()];
-                            format!(r#"{{"op": "query_user", "user": {}}}"#, u.0)
-                        } else if roll < 80 {
-                            format!(r#"{{"op": "query_event", "event": {}}}"#, rng.next() as usize % nv)
-                        } else if roll < 95 {
-                            if roll % 2 == 0 {
+                        if (80..95).contains(&roll) {
+                            let mutation = if roll % 2 == 0 {
                                 format!(
-                                    r#"{{"op": "mutate", "mutation": {{"AddConflict": {{"a": {}, "b": {}}}}}}}"#,
+                                    r#"{{"AddConflict": {{"a": {}, "b": {}}}}}"#,
                                     rng.next() as usize % nv,
                                     rng.next() as usize % nv
                                 )
                             } else {
                                 format!(
-                                    r#"{{"op": "mutate", "mutation": {{"SetCapacity": {{"side": "User", "id": {}, "capacity": {}}}}}}}"#,
+                                    r#"{{"SetCapacity": {{"side": "User", "id": {}, "capacity": {}}}}}"#,
                                     rng.next() as usize % nu,
                                     1 + rng.next() % 8
                                 )
+                            };
+                            let mutation: Value = serde_json::from_str(&mutation).unwrap();
+                            let sent = Instant::now();
+                            if mutator.mutate(mutation).is_err() {
+                                errors += 1;
                             }
+                            latencies.push(sent.elapsed().as_micros() as u64);
+                            continue;
+                        }
+                        let line = if roll < 70 {
+                            let u = arrivals[(c * per_client + i) % arrivals.len()];
+                            format!(r#"{{"op": "query_user", "user": {}}}"#, u.0)
+                        } else if roll < 80 {
+                            format!(r#"{{"op": "query_event", "event": {}}}"#, rng.next() as usize % nv)
                         } else {
                             r#"{"op": "stats"}"#.to_string()
                         };
@@ -215,7 +248,7 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
                             errors += 1;
                         }
                     }
-                    (latencies, errors)
+                    (latencies, errors, mutator.stats())
                 })
             })
             .collect();
@@ -228,9 +261,13 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut client_errors = 0;
-    for (mut l, e) in results {
+    let (mut mutate_calls, mut mutate_retries, mut mutate_failed) = (0u64, 0u64, 0u64);
+    for (mut l, e, stats) in results {
         latencies.append(&mut l);
         client_errors += e;
+        mutate_calls += stats.requests;
+        mutate_retries += stats.retries;
+        mutate_failed += stats.failed;
     }
     latencies.sort_unstable();
     let q = |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
@@ -250,6 +287,9 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
         mix,
         requests_total,
         client_errors,
+        mutate_calls,
+        mutate_retries,
+        mutate_failed,
         wall_seconds: wall,
         throughput_rps: requests_total as f64 / wall,
         latency_us: LatencyQuantiles {
@@ -314,34 +354,74 @@ fn overload_phase(burst_clients: usize, per_client: usize) -> OverloadPhase {
     }
     std::thread::sleep(Duration::from_millis(100));
 
-    let totals: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..burst_clients)
-            .map(|c| {
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr);
-                    for i in 0..per_client {
-                        client.send(&format!(
-                            r#"{{"op": "stats", "id": {}}}"#,
-                            c * per_client + i
-                        ));
-                    }
-                    let (mut admitted, mut overloaded, mut other) = (0u64, 0u64, 0u64);
-                    for _ in 0..per_client {
-                        let response = client.recv();
-                        if is_ok(&response) {
-                            admitted += 1;
-                        } else if error_code(&response) == Some("overloaded") {
-                            overloaded += 1;
-                        } else {
-                            other += 1;
+    let retry_mutators = 2usize;
+    let (totals, retry_stats): (Vec<(u64, u64, u64)>, Vec<geacc_server::ClientStats>) =
+        std::thread::scope(|scope| {
+            let burst_handles: Vec<_> = (0..burst_clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr);
+                        for i in 0..per_client {
+                            client.send(&format!(
+                                r#"{{"op": "stats", "id": {}}}"#,
+                                c * per_client + i
+                            ));
                         }
-                    }
-                    (admitted, overloaded, other)
+                        let (mut admitted, mut overloaded, mut other) = (0u64, 0u64, 0u64);
+                        for _ in 0..per_client {
+                            let response = client.recv();
+                            if is_ok(&response) {
+                                admitted += 1;
+                            } else if error_code(&response) == Some("overloaded") {
+                                overloaded += 1;
+                            } else {
+                                other += 1;
+                            }
+                        }
+                        (admitted, overloaded, other)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+                .collect();
+            // Retrying mutators fire through the same window: their
+            // first attempts bounce off the wedged queue, the
+            // `retry_after_ms` hint paces the backoff, and every
+            // mutation lands once a worker frees up.
+            let retry_handles: Vec<_> = (0..retry_mutators)
+                .map(|m| {
+                    scope.spawn(move || {
+                        let mut client = RetryClient::new(
+                            addr.to_string(),
+                            ClientConfig {
+                                client_id: format!("wedge-{m}"),
+                                seed: 0xD00D ^ (m as u64 + 1),
+                                request_timeout: Duration::from_secs(30),
+                                ..ClientConfig::default()
+                            },
+                        );
+                        for i in 0..3u64 {
+                            let mutation: Value = serde_json::from_str(&format!(
+                                r#"{{"SetCapacity": {{"side": "User", "id": {}, "capacity": {}}}}}"#,
+                                (m as u64 * 3 + i) % 24,
+                                2 + i
+                            ))
+                            .unwrap();
+                            client.mutate(mutation).expect("retries ride out the wedge");
+                        }
+                        client.stats()
+                    })
+                })
+                .collect();
+            (
+                burst_handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect(),
+                retry_handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect(),
+            )
+        });
 
     // Drain the wedge solves, then shut down cleanly.
     for _ in 0..wedge_solves {
@@ -359,6 +439,11 @@ fn overload_phase(burst_clients: usize, per_client: usize) -> OverloadPhase {
         "burst must provoke structured overload rejections (admitted {admitted})"
     );
 
+    let (retry_calls, retry_retries, retry_failed) =
+        retry_stats.iter().fold((0, 0, 0), |(c, r, f), s| {
+            (c + s.requests, r + s.retries, f + s.failed)
+        });
+
     OverloadPhase {
         instance: "pathological 8x24 narrow-band".to_string(),
         workers: 1,
@@ -371,6 +456,10 @@ fn overload_phase(burst_clients: usize, per_client: usize) -> OverloadPhase {
         overloaded,
         other_errors,
         server_rejected: metrics.rejected,
+        retry_mutators,
+        retry_calls,
+        retry_retries,
+        retry_failed,
     }
 }
 

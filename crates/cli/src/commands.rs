@@ -64,7 +64,9 @@ USAGE:
   geacc serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
                  [--default-timeout-ms MS] [--threads N] [--drift-ratio R]
                  [--wal-dir DIR] [--fsync always|never|interval:MS]
-                 [--snapshot-every N]
+                 [--snapshot-every N] [--accept-replicas]
+                 [--replica-of HOST:PORT] [--retry-after-ms MS]
+  geacc promote  --addr HOST:PORT [--timeout-ms MS]
   geacc help
 
 FILE may be '-' for stdin/stdout. Instances and arrangements are JSON.
@@ -94,6 +96,14 @@ picks the durability/throughput trade: `always` survives power loss,
 `interval:MS` bounds loss to MS, `never` survives a process kill only.
 --snapshot-every N rotates an atomic snapshot every N mutations so
 recovery replays a short tail instead of the whole log.
+
+--accept-replicas lets other daemons stream this one's WAL (requires
+--wal-dir); --replica-of starts the daemon as a read-only follower of
+that primary: it applies shipped records through the recovery path,
+serves queries, and answers mutations with a `read_only` error.
+`geacc promote` turns a follower into a primary (bumping its generation
+so the old primary is fenced if it comes back). --retry-after-ms sets
+the backoff hint attached to `overloaded` rejections.
 ";
 
 /// Dispatch a parsed command line; returns the text to print plus the
@@ -108,6 +118,7 @@ pub fn run(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
         "improve" => improve_cmd(args).map(Into::into),
         "toy" => toy(args).map(Into::into),
         "serve" => serve(args).map(Into::into),
+        "promote" => promote(args).map(Into::into),
         "help" | "--help" => Ok(USAGE.to_string().into()),
         other => Err(CliError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -523,6 +534,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "wal-dir",
         "fsync",
         "snapshot-every",
+        "accept-replicas",
+        "replica-of",
+        "retry-after-ms",
     ])?;
     let defaults = geacc_server::ServerConfig::default();
     let config = geacc_server::ServerConfig {
@@ -551,6 +565,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
             ),
             None => defaults.snapshot_every,
         },
+        accept_replicas: args.has("accept-replicas"),
+        replica_of: args.value("replica-of")?.map(String::from),
+        retry_after_ms: args.parsed_or("retry-after-ms", defaults.retry_after_ms)?,
     };
     let server = geacc_server::Server::bind(config)
         .map_err(|e| CliError(format!("binding listener: {e}")))?;
@@ -558,6 +575,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         .local_addr()
         .map_err(|e| CliError(format!("resolving bound address: {e}")))?;
     if let Some(summary) = server.recovery_summary() {
+        println!("{summary}");
+    }
+    if let Some(summary) = server.replication_summary() {
         println!("{summary}");
     }
     // Printed (and flushed) immediately, not via CmdOutput: clients and
@@ -569,6 +589,35 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         .run()
         .map_err(|e| CliError(format!("serving: {e}")))?;
     Ok(format!("server drained\n{}\n", to_json(&metrics)?))
+}
+
+fn promote(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["addr", "timeout-ms"])?;
+    let addr = args.required("addr")?;
+    let config = geacc_server::ClientConfig {
+        request_timeout: std::time::Duration::from_millis(args.parsed_or("timeout-ms", 5_000u64)?),
+        ..geacc_server::ClientConfig::default()
+    };
+    let mut client = geacc_server::RetryClient::new(addr.to_string(), config);
+    let response = client
+        .call(&serde_json::json!({"op": "promote"}))
+        .map_err(|e| CliError(format!("promote against {addr}: {e}")))?;
+    use geacc_server::protocol::{get, get_str, get_u64};
+    let promoted = matches!(
+        get(&response, "promoted"),
+        Some(serde_json::Value::Bool(true))
+    );
+    let generation = get_u64(&response, "generation").unwrap_or(0);
+    let role = get_str(&response, "role").unwrap_or("unknown");
+    if promoted {
+        Ok(format!(
+            "promoted {addr} to primary (generation {generation})\n"
+        ))
+    } else {
+        Ok(format!(
+            "{addr} is already {role} (generation {generation}); nothing to do\n"
+        ))
+    }
 }
 
 /// Helper for tests and `main`: run from raw tokens.

@@ -1,0 +1,383 @@
+//! A reusable retrying client for the line protocol.
+//!
+//! Backs both the CLI (`geacc promote`, ad-hoc ops) and the bench
+//! loadgen. Handles per-request deadlines, reconnects on transport
+//! errors, jittered exponential backoff on `overloaded` (honoring the
+//! server's `retry_after_ms` hint) and connect failures, and stamps
+//! every mutation with a `(client_id, seq)` idempotency key so a retry
+//! after an ambiguous failure cannot double-apply server-side.
+
+use crate::protocol::{get, get_str, get_u64};
+use serde_json::Value;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    pub connect_timeout: Duration,
+    /// Overall per-logical-request deadline, across all retries.
+    pub request_timeout: Duration,
+    /// Maximum retry attempts after the first try.
+    pub max_retries: u32,
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    /// Seed for deterministic jitter.
+    pub seed: u64,
+    /// Idempotency namespace; `(client_id, seq)` keys mutations.
+    pub client_id: String,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(5),
+            max_retries: 8,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+            seed: 0x2545_f491_4f6c_dd1d,
+            client_id: format!("client-{}", std::process::id()),
+        }
+    }
+}
+
+/// Counters a caller can surface (loadgen reports these).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Logical requests issued.
+    pub requests: u64,
+    /// Individual resend attempts beyond each request's first try.
+    pub retries: u64,
+    /// Connections (re)established.
+    pub reconnects: u64,
+    /// Logical requests that exhausted retries or their deadline.
+    pub failed: u64,
+}
+
+/// Why a logical request failed for good.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport gave out and retries were exhausted.
+    Io(io::Error),
+    /// The overall request deadline passed.
+    Timeout,
+    /// The server rejected the request with a non-retryable code.
+    Rejected { code: String, message: String },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Timeout => write!(f, "request deadline exceeded"),
+            ClientError::Rejected { code, message } => write!(f, "{code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A line-protocol client with retries, reconnects, and idempotent
+/// mutations. Not thread-safe; one per worker thread.
+pub struct RetryClient {
+    addr: String,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    rng: u64,
+    next_seq: u64,
+    next_id: u64,
+    stats: ClientStats,
+}
+
+enum Attempt {
+    Ok(Value),
+    /// Retry after at least this hint (server-provided), if any.
+    Backoff(Option<u64>),
+    Fatal(ClientError),
+    Transport,
+}
+
+impl RetryClient {
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> Self {
+        RetryClient {
+            addr: addr.into(),
+            rng: config.seed | 1,
+            config,
+            conn: None,
+            next_seq: 1,
+            next_id: 1,
+            stats: ClientStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    pub fn client_id(&self) -> &str {
+        &self.config.client_id
+    }
+
+    /// Issue a read-style request (safe to resend blindly). `body` must
+    /// be an object with an `op`; an `id` is stamped in.
+    pub fn call(&mut self, body: &Value) -> Result<Value, ClientError> {
+        let line = self.stamp(body, None);
+        self.dispatch(&line)
+    }
+
+    /// Issue a `mutate` carrying an idempotency key: retries resend the
+    /// same `(client_id, seq)`, so the server applies at most once.
+    pub fn mutate(&mut self, mutation: Value) -> Result<Value, ClientError> {
+        let body = Value::Object(vec![
+            ("op".to_string(), Value::String("mutate".to_string())),
+            ("mutation".to_string(), mutation),
+        ]);
+        self.mutate_body(&body)
+    }
+
+    /// Like [`Self::mutate`] but the caller supplies the full body
+    /// (must have `op: "mutate"`); the idempotency key is stamped in.
+    pub fn mutate_body(&mut self, body: &Value) -> Result<Value, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = self.stamp(body, Some(seq));
+        self.dispatch(&line)
+    }
+
+    /// Serialize with an `id` (and optionally the idempotency key).
+    fn stamp(&mut self, body: &Value, seq: Option<u64>) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut fields: Vec<(String, Value)> = match body {
+            Value::Object(entries) => entries.clone(),
+            other => vec![("op".to_string(), other.clone())],
+        };
+        fields.retain(|(k, _)| k != "id" && k != "client_id" && k != "seq");
+        fields.push((
+            "id".to_string(),
+            serde_json::to_value(&id).unwrap_or(Value::Null),
+        ));
+        if let Some(seq) = seq {
+            fields.push((
+                "client_id".to_string(),
+                Value::String(self.config.client_id.clone()),
+            ));
+            fields.push((
+                "seq".to_string(),
+                serde_json::to_value(&seq).unwrap_or(Value::Null),
+            ));
+        }
+        let mut line = serde_json::to_string(&Value::Object(fields)).unwrap_or_default();
+        line.push('\n');
+        line
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<Value, ClientError> {
+        self.stats.requests += 1;
+        let deadline = Instant::now() + self.config.request_timeout;
+        let mut attempts: u32 = 0;
+        loop {
+            if Instant::now() >= deadline {
+                self.stats.failed += 1;
+                return Err(ClientError::Timeout);
+            }
+            match self.try_once(line, deadline) {
+                Attempt::Ok(data) => return Ok(data),
+                Attempt::Fatal(e) => {
+                    self.stats.failed += 1;
+                    return Err(e);
+                }
+                Attempt::Backoff(hint) => {
+                    if attempts >= self.config.max_retries {
+                        self.stats.failed += 1;
+                        return Err(ClientError::Timeout);
+                    }
+                    attempts += 1;
+                    self.stats.retries += 1;
+                    self.sleep_backoff(attempts, hint, deadline);
+                }
+                Attempt::Transport => {
+                    self.conn = None;
+                    if attempts >= self.config.max_retries {
+                        self.stats.failed += 1;
+                        return Err(ClientError::Io(io::Error::new(
+                            ErrorKind::BrokenPipe,
+                            "retries exhausted",
+                        )));
+                    }
+                    attempts += 1;
+                    self.stats.retries += 1;
+                    self.sleep_backoff(attempts, None, deadline);
+                }
+            }
+        }
+    }
+
+    fn try_once(&mut self, line: &str, deadline: Instant) -> Attempt {
+        if self.conn.is_none() {
+            match self.open() {
+                Ok(conn) => {
+                    self.conn = Some(conn);
+                    self.stats.reconnects += 1;
+                }
+                Err(_) => return Attempt::Transport,
+            }
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            return Attempt::Transport;
+        };
+        if conn
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|_| conn.writer.flush())
+            .is_err()
+        {
+            return Attempt::Transport;
+        }
+        let mut response = String::new();
+        loop {
+            if Instant::now() >= deadline {
+                // Abandon the connection: a late response on it would
+                // desynchronize request/response pairing.
+                self.conn = None;
+                return Attempt::Fatal(ClientError::Timeout);
+            }
+            response.clear();
+            match conn.reader.read_line(&mut response) {
+                Ok(0) => return Attempt::Transport,
+                Ok(_) => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue
+                }
+                Err(_) => return Attempt::Transport,
+            }
+        }
+        let envelope: Value = match serde_json::from_str(&response) {
+            Ok(v) => v,
+            Err(_) => return Attempt::Transport,
+        };
+        match get(&envelope, "ok") {
+            Some(Value::Bool(true)) => {
+                let data = get(&envelope, "data").cloned().unwrap_or(Value::Null);
+                Attempt::Ok(data)
+            }
+            Some(Value::Bool(false)) => {
+                let error = get(&envelope, "error");
+                let code = error.and_then(|e| get_str(e, "code")).unwrap_or("internal");
+                match code {
+                    "overloaded" => {
+                        let hint = error.and_then(|e| get_u64(e, "retry_after_ms"));
+                        Attempt::Backoff(hint)
+                    }
+                    "shutting_down" => Attempt::Backoff(None),
+                    _ => Attempt::Fatal(ClientError::Rejected {
+                        code: code.to_string(),
+                        message: error
+                            .and_then(|e| get_str(e, "message"))
+                            .unwrap_or("")
+                            .to_string(),
+                    }),
+                }
+            }
+            _ => Attempt::Transport,
+        }
+    }
+
+    fn open(&self) -> io::Result<Conn> {
+        let addrs: Vec<SocketAddr> = self.addr.to_socket_addrs()?.collect();
+        let addr = addrs
+            .first()
+            .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn sleep_backoff(&mut self, attempt: u32, hint: Option<u64>, deadline: Instant) {
+        let base = self.config.backoff_base.as_millis() as u64;
+        let cap = self.config.backoff_cap.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(5)).min(cap).max(1);
+        let jittered = exp / 2 + self.roll() % (exp / 2 + 1);
+        // An explicit server hint is a floor: wait at least that long
+        // (plus a little jitter so a retry herd spreads out).
+        let ms = match hint {
+            Some(h) => jittered.max(h + self.roll() % (h / 2 + 1)),
+            None => jittered,
+        };
+        let wait = Duration::from_millis(ms);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(wait.min(remaining));
+    }
+
+    fn roll(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn stamp_injects_id_and_idempotency_key() {
+        let mut client = RetryClient::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                client_id: "c-test".to_string(),
+                ..ClientConfig::default()
+            },
+        );
+        let body = json!({"op": "mutate", "mutation": {"x": 1}});
+        let line = client.stamp(&body, Some(7));
+        let v: Value = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(get_str(&v, "op"), Some("mutate"));
+        assert_eq!(get_str(&v, "client_id"), Some("c-test"));
+        assert_eq!(get_u64(&v, "seq"), Some(7));
+        assert!(get_u64(&v, "id").is_some());
+
+        let read = client.stamp(&json!({"op": "stats"}), None);
+        let v: Value = serde_json::from_str(read.trim()).unwrap();
+        assert!(get(&v, "client_id").is_none());
+    }
+
+    #[test]
+    fn mutate_increments_seq_once_per_logical_call() {
+        let mut client = RetryClient::new("127.0.0.1:1", ClientConfig::default());
+        assert_eq!(client.next_seq, 1);
+        // The call fails (nothing listening) but must consume one seq.
+        let config_retries = client.config.max_retries;
+        client.config.max_retries = 0;
+        client.config.request_timeout = Duration::from_millis(50);
+        let _ = client.mutate(json!({"AddConflict": {"a": 0, "b": 1}}));
+        assert_eq!(client.next_seq, 2);
+        assert_eq!(client.stats().failed, 1);
+        client.config.max_retries = config_retries;
+    }
+
+    #[test]
+    fn backoff_respects_hint_floor() {
+        let mut client = RetryClient::new("127.0.0.1:1", ClientConfig::default());
+        let start = Instant::now();
+        client.sleep_backoff(1, Some(30), start + Duration::from_secs(2));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+}

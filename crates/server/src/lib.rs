@@ -15,6 +15,11 @@
 //!   `query_*`, `solve`, `snapshot`/`restore`, `stats`, `shutdown`).
 //! - [`protocol`] — request/response envelopes.
 //! - [`metrics`] — atomic counters and the log₂ latency histogram.
+//! - [`repl`] — WAL-shipping replication: primary→replica streaming,
+//!   generation fencing, snapshot catch-up, promote-based failover.
+//! - [`client`] — a retrying client with idempotency keys (CLI and
+//!   loadgen share it).
+//! - [`chaos`] — a deterministic network-chaos proxy for tests.
 //!
 //! Start one from the CLI (`geacc serve --addr 127.0.0.1:7411`) and
 //! drive it with `nc`; DESIGN.md §10 documents the wire protocol and
@@ -26,16 +31,22 @@
 // `cfg(test)` for unit tests, which keeps test asserts free to unwrap).
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
+pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod recovery;
+pub mod repl;
 pub mod server;
 pub mod service;
 pub mod wal;
 
+pub use chaos::{ChaosPlan, ChaosProxy, LinePolicy};
+pub use client::{ClientConfig, ClientError, ClientStats, RetryClient};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, Op, ServerMetrics};
 pub use protocol::{Request, ServiceError};
 pub use recovery::{recover, Recovery, RecoveryError};
+pub use repl::{ReplMeta, ReplState};
 pub use server::{Server, ServerConfig};
 pub use service::Service;
 pub use wal::{FsyncPolicy, WalRecord, WalWriter};

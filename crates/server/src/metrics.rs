@@ -24,12 +24,14 @@ pub enum Op {
     Solve,
     Snapshot,
     Restore,
+    Health,
+    Promote,
     Shutdown,
     Unknown,
 }
 
 /// All ops, in wire-name order; `Op as usize` indexes per-op counters.
-pub const OPS: [Op; 10] = [
+pub const OPS: [Op; 12] = [
     Op::Load,
     Op::Mutate,
     Op::QueryUser,
@@ -38,6 +40,8 @@ pub const OPS: [Op; 10] = [
     Op::Solve,
     Op::Snapshot,
     Op::Restore,
+    Op::Health,
+    Op::Promote,
     Op::Shutdown,
     Op::Unknown,
 ];
@@ -54,6 +58,8 @@ impl Op {
             "solve" => Op::Solve,
             "snapshot" => Op::Snapshot,
             "restore" => Op::Restore,
+            "health" => Op::Health,
+            "promote" => Op::Promote,
             "shutdown" => Op::Shutdown,
             _ => Op::Unknown,
         }
@@ -70,6 +76,8 @@ impl Op {
             Op::Solve => "solve",
             Op::Snapshot => "snapshot",
             Op::Restore => "restore",
+            Op::Health => "health",
+            Op::Promote => "promote",
             Op::Shutdown => "shutdown",
             Op::Unknown => "unknown",
         }
@@ -174,6 +182,23 @@ pub struct ServerMetrics {
     recovered_skipped: AtomicU64,
     /// Torn-tail bytes truncated at boot.
     recovered_truncated_bytes: AtomicU64,
+    /// Mutations answered from the idempotency-dedup table (a client
+    /// retry of an already-applied `(client_id, seq)`).
+    dedup_hits: AtomicU64,
+    /// WAL records shipped to replicas (primary side; one per record per
+    /// subscribed replica).
+    repl_records_shipped: AtomicU64,
+    /// Snapshot documents shipped to catching-up replicas.
+    repl_snapshots_shipped: AtomicU64,
+    /// Records received from the primary and applied (replica side).
+    repl_records_applied: AtomicU64,
+    /// Full resyncs this replica performed (snapshot transfer or
+    /// stream-from-zero after its local log diverged).
+    repl_resyncs: AtomicU64,
+    /// Successful (re)connects to the primary.
+    repl_connects: AtomicU64,
+    /// Handshakes refused because the peer's generation was stale.
+    repl_fenced: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -220,6 +245,34 @@ impl ServerMetrics {
         self.snapshot_errors.fetch_add(1, Relaxed);
     }
 
+    pub fn record_dedup_hit(&self) {
+        self.dedup_hits.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_repl_shipped(&self, records: u64) {
+        self.repl_records_shipped.fetch_add(records, Relaxed);
+    }
+
+    pub fn record_repl_snapshot_shipped(&self) {
+        self.repl_snapshots_shipped.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_repl_applied(&self) {
+        self.repl_records_applied.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_repl_resync(&self) {
+        self.repl_resyncs.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_repl_connect(&self) {
+        self.repl_connects.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_repl_fenced(&self) {
+        self.repl_fenced.fetch_add(1, Relaxed);
+    }
+
     /// Set once at boot from the recovery report.
     pub fn record_recovery(&self, replayed: u64, skipped: u64, truncated_bytes: u64) {
         self.recovered_records.store(replayed, Relaxed);
@@ -259,6 +312,13 @@ impl ServerMetrics {
             recovered_records: self.recovered_records.load(Relaxed),
             recovered_skipped: self.recovered_skipped.load(Relaxed),
             recovered_truncated_bytes: self.recovered_truncated_bytes.load(Relaxed),
+            dedup_hits: self.dedup_hits.load(Relaxed),
+            repl_records_shipped: self.repl_records_shipped.load(Relaxed),
+            repl_snapshots_shipped: self.repl_snapshots_shipped.load(Relaxed),
+            repl_records_applied: self.repl_records_applied.load(Relaxed),
+            repl_resyncs: self.repl_resyncs.load(Relaxed),
+            repl_connects: self.repl_connects.load(Relaxed),
+            repl_fenced: self.repl_fenced.load(Relaxed),
             latency_count: self.latency.count(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p95_us: self.latency.quantile_us(0.95),
@@ -299,6 +359,20 @@ pub struct MetricsSnapshot {
     pub recovered_skipped: u64,
     /// Torn-tail bytes truncated at boot.
     pub recovered_truncated_bytes: u64,
+    /// Mutations answered from the idempotency-dedup table.
+    pub dedup_hits: u64,
+    /// WAL records shipped to replicas (primary side).
+    pub repl_records_shipped: u64,
+    /// Snapshot documents shipped to catching-up replicas.
+    pub repl_snapshots_shipped: u64,
+    /// Records received from the primary and applied (replica side).
+    pub repl_records_applied: u64,
+    /// Full resyncs performed by this replica.
+    pub repl_resyncs: u64,
+    /// Successful (re)connects to the primary.
+    pub repl_connects: u64,
+    /// Handshakes refused for a stale generation.
+    pub repl_fenced: u64,
     pub latency_count: u64,
     pub latency_p50_us: u64,
     pub latency_p95_us: u64,
@@ -380,6 +454,30 @@ mod tests {
         assert_eq!(snap.recovered_skipped, 1);
         assert_eq!(snap.recovered_truncated_bytes, 17);
 
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn replication_counters_roundtrip() {
+        let m = ServerMetrics::default();
+        m.record_dedup_hit();
+        m.record_repl_shipped(4);
+        m.record_repl_snapshot_shipped();
+        m.record_repl_applied();
+        m.record_repl_applied();
+        m.record_repl_resync();
+        m.record_repl_connect();
+        m.record_repl_fenced();
+        let snap = m.snapshot();
+        assert_eq!(snap.dedup_hits, 1);
+        assert_eq!(snap.repl_records_shipped, 4);
+        assert_eq!(snap.repl_snapshots_shipped, 1);
+        assert_eq!(snap.repl_records_applied, 2);
+        assert_eq!(snap.repl_resyncs, 1);
+        assert_eq!(snap.repl_connects, 1);
+        assert_eq!(snap.repl_fenced, 1);
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);

@@ -32,11 +32,13 @@ pub struct Request {
 }
 
 /// A structured service error: a stable machine code plus a human
-/// message.
+/// message, optionally carrying a `retry_after_ms` hint for rejections
+/// the client should retry later (`overloaded`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceError {
     pub code: &'static str,
     pub message: String,
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServiceError {
@@ -44,7 +46,15 @@ impl ServiceError {
         ServiceError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attach a retry hint: the client should back off at least this
+    /// long before resending.
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -111,18 +121,23 @@ pub fn ok_envelope(id: Option<u64>, data: Value) -> Value {
     ])
 }
 
-/// An error envelope.
+/// An error envelope. `retry_after_ms` is emitted only when the error
+/// carries the hint, so existing clients keep parsing the same shape.
 pub fn err_envelope(id: Option<u64>, error: &ServiceError) -> Value {
+    let mut fields = vec![
+        ("code".to_string(), Value::String(error.code.to_string())),
+        ("message".to_string(), Value::String(error.message.clone())),
+    ];
+    if let Some(ms) = error.retry_after_ms {
+        // The vendored `json!` parses stringified tokens (literals
+        // only), so the number Value is built via to_value.
+        let ms = serde_json::to_value(&ms).unwrap_or(Value::Null);
+        fields.push(("retry_after_ms".to_string(), ms));
+    }
     Value::Object(vec![
         ("ok".to_string(), json!(false)),
         ("id".to_string(), id_value(id)),
-        (
-            "error".to_string(),
-            Value::Object(vec![
-                ("code".to_string(), Value::String(error.code.to_string())),
-                ("message".to_string(), Value::String(error.message.clone())),
-            ]),
-        ),
+        ("error".to_string(), Value::Object(fields)),
     ])
 }
 
@@ -176,6 +191,14 @@ mod tests {
         let text = serde_json::to_string(&err).unwrap();
         assert!(text.contains(r#""ok":false"#));
         assert!(text.contains(r#""code":"overloaded""#));
+        assert!(!text.contains("retry_after_ms"));
+    }
+
+    #[test]
+    fn retry_after_hint_is_emitted_when_present() {
+        let err = ServiceError::new("overloaded", "queue full").with_retry_after(25);
+        let text = serde_json::to_string(&err_envelope(Some(1), &err)).unwrap();
+        assert!(text.contains(r#""retry_after_ms":25"#));
     }
 
     #[test]

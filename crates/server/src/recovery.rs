@@ -61,6 +61,13 @@ pub struct Recovery {
     pub snapshot_used: bool,
     /// The snapshot's epoch, when one was used.
     pub snapshot_epoch: Option<u64>,
+    /// Idempotency keys seen in the replayed records: client → highest
+    /// seq. Re-arms the service's dedup table so a client retry across
+    /// a restart still cannot double-apply. (With the snapshot fast
+    /// path only the tail is scanned; that is sufficient — a retry only
+    /// happens for an ambiguous in-flight request, which by definition
+    /// is recent enough to sit in the tail.)
+    pub dedup_keys: Vec<(String, u64)>,
 }
 
 /// Recovery refused to reconstruct state it cannot vouch for.
@@ -158,9 +165,11 @@ pub fn recover(dir: &Path, config: DynamicConfig) -> Result<Recovery, RecoveryEr
     })?;
     truncate_torn_tail(&wal_file, &scan)?;
     let mut state: Option<RecoveredSession> = None;
+    let mut dedup = std::collections::BTreeMap::new();
     let (mut replayed, mut skipped) = (0u64, 0u64);
     for scanned in &scan.records {
         replayed += 1;
+        collect_dedup_key(&mut dedup, &scanned.record);
         if !apply_record(&mut state, &scanned.record, config) {
             skipped += 1;
         }
@@ -174,6 +183,7 @@ pub fn recover(dir: &Path, config: DynamicConfig) -> Result<Recovery, RecoveryEr
         truncated_bytes: scan.truncated_bytes,
         snapshot_used: false,
         snapshot_epoch: None,
+        dedup_keys: dedup.into_iter().collect(),
     })
 }
 
@@ -213,9 +223,11 @@ fn try_snapshot_recovery(
         arranger,
         base: doc.base,
     });
+    let mut dedup = std::collections::BTreeMap::new();
     let (mut replayed, mut skipped) = (0u64, 0u64);
     for scanned in &scan.records {
         replayed += 1;
+        collect_dedup_key(&mut dedup, &scanned.record);
         if !apply_record(&mut state, &scanned.record, config) {
             skipped += 1;
         }
@@ -229,12 +241,25 @@ fn try_snapshot_recovery(
         truncated_bytes: scan.truncated_bytes,
         snapshot_used: true,
         snapshot_epoch: Some(snapshot_epoch),
+        dedup_keys: dedup.into_iter().collect(),
     }))
+}
+
+/// Note a replayed record's idempotency key, keeping the highest seq
+/// per client.
+fn collect_dedup_key(dedup: &mut std::collections::BTreeMap<String, u64>, record: &WalRecord) {
+    if let WalRecord::KeyedMutation { client, seq, .. } = record {
+        let entry = dedup.entry(client.clone()).or_insert(*seq);
+        *entry = (*entry).max(*seq);
+    }
 }
 
 /// Apply one replayed record to the session under construction; `false`
 /// means the record was skipped (it failed identically at runtime).
-fn apply_record(
+/// Public because replication shares it: a replica applies shipped
+/// records through exactly this path, and failover tests use it to
+/// compute what an acked WAL prefix must serve.
+pub fn apply_record(
     state: &mut Option<RecoveredSession>,
     record: &WalRecord,
     config: DynamicConfig,
@@ -247,7 +272,8 @@ fn apply_record(
             });
             true
         }
-        WalRecord::Mutation { mutation } => match state {
+        WalRecord::Mutation { mutation } | WalRecord::KeyedMutation { mutation, .. } => match state
+        {
             Some(session) => session.arranger.apply(mutation.clone()).is_ok(),
             None => false, // mutation before any load: skipped at runtime too
         },
@@ -262,6 +288,18 @@ fn apply_record(
             None => false,
         },
     }
+}
+
+/// Replay a record prefix into a fresh session — the same deterministic
+/// path boot recovery takes, exposed so replication tests and the
+/// failover smoke can compute what an acked WAL prefix must serve
+/// without booting a server.
+pub fn replay_prefix(records: &[WalRecord], config: DynamicConfig) -> Option<RecoveredSession> {
+    let mut state = None;
+    for record in records {
+        apply_record(&mut state, record, config);
+    }
+    state
 }
 
 /// Truncate the WAL file to its valid prefix so the writer resumes at a
@@ -284,6 +322,28 @@ pub fn open_writer(dir: &Path, policy: FsyncPolicy, recovery: &Recovery) -> io::
         recovery.wal_offset,
         recovery.wal_records,
     )
+}
+
+/// Wipe the durable state in `dir` and open a fresh writer at offset 0:
+/// a replica starting a full resync discards its local log (it is about
+/// to receive an authoritative snapshot + tail from the primary) along
+/// with any now-stale local snapshot.
+pub fn reset_wal(dir: &Path, policy: FsyncPolicy) -> io::Result<WalWriter> {
+    let wal_file = wal_path(dir);
+    match std::fs::OpenOptions::new().write(true).open(&wal_file) {
+        Ok(file) => {
+            file.set_len(0)?;
+            file.sync_all()?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    match std::fs::remove_file(snapshot_path(dir)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    WalWriter::open(&wal_file, policy, 0, 0)
 }
 
 #[cfg(test)]
@@ -464,6 +524,69 @@ mod tests {
         assert_eq!(a.base, b.base);
         std::fs::remove_dir_all(&dir_full).ok();
         std::fs::remove_dir_all(&dir_snap).ok();
+    }
+
+    #[test]
+    fn keyed_mutations_replay_and_rearm_the_dedup_table() {
+        let dir = tmp_dir("keyed");
+        let records = vec![
+            WalRecord::Load {
+                instance: toy::table1_instance(),
+            },
+            WalRecord::KeyedMutation {
+                client: "c-1".to_string(),
+                seq: 4,
+                mutation: Mutation::AddConflict {
+                    a: EventId(0),
+                    b: EventId(1),
+                },
+            },
+            WalRecord::KeyedMutation {
+                client: "c-1".to_string(),
+                seq: 5,
+                mutation: Mutation::CloseEvent { event: EventId(2) },
+            },
+            WalRecord::KeyedMutation {
+                client: "c-2".to_string(),
+                seq: 1,
+                mutation: Mutation::AddConflict {
+                    a: EventId(0),
+                    b: EventId(2),
+                },
+            },
+        ];
+        write_records(&dir, &records, FsyncPolicy::Always);
+        let r = recover(&dir, DynamicConfig::default()).unwrap();
+        assert_eq!(r.replayed, 4);
+        assert_eq!(
+            r.dedup_keys,
+            vec![("c-1".to_string(), 5), ("c-2".to_string(), 1)]
+        );
+        // Keyed replay applies the mutations exactly like plain ones.
+        let session = r.session.unwrap();
+        assert_eq!(session.arranger.epoch(), 3);
+        let prefix = replay_prefix(&records, DynamicConfig::default()).unwrap();
+        assert_eq!(
+            prefix.arranger.fingerprint(),
+            session.arranger.fingerprint()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_wal_wipes_the_log_and_snapshot() {
+        let dir = tmp_dir("reset");
+        write_records(&dir, &session_records(), FsyncPolicy::Always);
+        std::fs::write(snapshot_path(&dir), b"{}").unwrap();
+        let mut w = reset_wal(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(w.offset(), 0);
+        assert!(!snapshot_path(&dir).exists());
+        assert_eq!(std::fs::metadata(wal_path(&dir)).unwrap().len(), 0);
+        // The fresh writer appends from a clean offset.
+        w.append(&session_records()[0]).unwrap();
+        let r = recover(&dir, DynamicConfig::default()).unwrap();
+        assert_eq!(r.wal_records, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -38,6 +38,7 @@
 use crate::metrics::{MetricsSnapshot, Op, ServerMetrics};
 use crate::protocol::{self, ServiceError};
 use crate::recovery;
+use crate::repl;
 use crate::service::Service;
 use crate::wal::FsyncPolicy;
 use geacc_core::parallel::Threads;
@@ -75,6 +76,14 @@ pub struct ServerConfig {
     /// Auto-snapshot cadence in mutations; `None` never rotates (the
     /// WAL alone carries recovery).
     pub snapshot_every: Option<u64>,
+    /// Serve `replicate` handshakes (stream the WAL to followers).
+    /// Requires `wal_dir`.
+    pub accept_replicas: bool,
+    /// Follow this `host:port` as a read-only replica. Requires
+    /// `wal_dir`.
+    pub replica_of: Option<String>,
+    /// The `retry_after_ms` hint attached to `overloaded` rejections.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +98,9 @@ impl Default for ServerConfig {
             wal_dir: None,
             fsync: FsyncPolicy::Always,
             snapshot_every: None,
+            accept_replicas: false,
+            replica_of: None,
+            retry_after_ms: 25,
         }
     }
 }
@@ -113,6 +125,9 @@ pub struct Server {
     /// One human-readable line describing what startup recovery found
     /// (`None` without a `--wal-dir`); the CLI prints it at boot.
     recovery_summary: Option<String>,
+    /// One line describing the replication role (`None` when
+    /// replication is off); the CLI prints it at boot.
+    replication_summary: Option<String>,
 }
 
 /// How often blocked loops (accept, reader) wake to poll the stop flag.
@@ -168,12 +183,27 @@ impl Server {
                 config.snapshot_every,
             );
         }
+        service.init_replication(config.accept_replicas, config.replica_of.is_some())?;
+        let replication_summary = if let Some(primary) = &config.replica_of {
+            Some(format!(
+                "replicating from {primary} (generation {})",
+                service.replication().generation()
+            ))
+        } else if config.accept_replicas {
+            Some(format!(
+                "accepting replicas (generation {})",
+                service.replication().generation()
+            ))
+        } else {
+            None
+        };
         Ok(Server {
             listener,
             config,
             service,
             stop,
             recovery_summary,
+            replication_summary,
         })
     }
 
@@ -181,6 +211,12 @@ impl Server {
     /// without a `wal_dir`).
     pub fn recovery_summary(&self) -> Option<&str> {
         self.recovery_summary.as_deref()
+    }
+
+    /// The replication role line for the boot log (`None` when
+    /// replication is off).
+    pub fn replication_summary(&self) -> Option<&str> {
+        self.replication_summary.as_deref()
     }
 
     /// The actually-bound address (resolves port 0).
@@ -208,7 +244,18 @@ impl Server {
             worker_handles.push(std::thread::spawn(move || worker_loop(&rx, &service)));
         }
 
+        // The follower thread: connects out to the primary, applies the
+        // shipped stream, reconnects with backoff until promoted.
+        let replica_handle = self.config.replica_of.clone().map(|primary| {
+            let service = Arc::clone(&self.service);
+            let stop = Arc::clone(&self.stop);
+            std::thread::spawn(move || {
+                repl::run_replica_loop(service, primary, stop, 0x9e37_79b9_7f4a_7c15);
+            })
+        });
+
         self.listener.set_nonblocking(true)?;
+        let retry_after_ms = self.config.retry_after_ms;
         let mut reader_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
@@ -222,7 +269,14 @@ impl Server {
                     let stop = Arc::clone(&self.stop);
                     let default_timeout = Duration::from_millis(self.config.default_timeout_ms);
                     reader_handles.push(std::thread::spawn(move || {
-                        reader_loop(stream, &tx, &service, &stop, default_timeout);
+                        reader_loop(
+                            stream,
+                            &tx,
+                            &service,
+                            &stop,
+                            default_timeout,
+                            retry_after_ms,
+                        );
                     }));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -244,6 +298,9 @@ impl Server {
         for handle in worker_handles {
             let _ = handle.join();
         }
+        if let Some(handle) = replica_handle {
+            let _ = handle.join();
+        }
         // Final durability barrier: under `interval`/`never` fsync, any
         // buffered WAL bytes reach disk before the process exits. Best
         // effort — a sync failure must not eat the metrics dump.
@@ -257,9 +314,10 @@ impl Server {
 fn reader_loop(
     stream: TcpStream,
     tx: &SyncSender<Job>,
-    service: &Service,
-    stop: &AtomicBool,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
     default_timeout: Duration,
+    retry_after_ms: u64,
 ) {
     if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
         return;
@@ -291,6 +349,12 @@ fn reader_loop(
         let received = Instant::now();
         match protocol::parse_request(text) {
             Ok(request) => {
+                if request.op == "replicate" {
+                    // Hijack: this connection becomes a replication
+                    // stream and this thread serves it until hangup.
+                    repl::serve_replica(reader, writer, service, stop, &request);
+                    return;
+                }
                 let timeout = protocol::get_u64(&request.body, "timeout_ms")
                     .map_or(default_timeout, Duration::from_millis);
                 let job = Job {
@@ -307,7 +371,8 @@ fn reader_loop(
                         let err = ServiceError::new(
                             "overloaded",
                             "request queue is full; retry with backoff",
-                        );
+                        )
+                        .with_retry_after(retry_after_ms);
                         respond(&job.writer, &protocol::err_envelope(job.request.id, &err));
                     }
                     Err(TrySendError::Disconnected(job)) => {

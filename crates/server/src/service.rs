@@ -31,6 +31,7 @@
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, ServiceError};
 use crate::recovery::{self, Recovery};
+use crate::repl::{self, ReplState, Shipment};
 use crate::wal::{self, FsyncPolicy, SnapshotDoc, WalRecord, WalWriter};
 use geacc_core::loader::{self, LoadError};
 use geacc_core::parallel::Threads;
@@ -40,6 +41,7 @@ use geacc_core::{
 };
 use serde::Serialize;
 use serde_json::{json, Value};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -79,10 +81,105 @@ pub struct Service {
     /// session lock is held (mutating ops) or alone for read-only stats
     /// — never the other way round.
     durability: Mutex<Option<Durability>>,
+    /// Idempotency dedup: the last `(client_id, seq)` and its cached
+    /// response, per client. Locked only under the session lock (or
+    /// alone, briefly, nowhere else) — always after it, never before.
+    dedup: Mutex<DedupTable>,
+    /// Replication role, generation, and cursor (all atomics), plus the
+    /// fan-out hub for connected replica streams.
+    pub(crate) repl: ReplState,
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) stop: Arc<AtomicBool>,
     threads: Threads,
     drift_ratio: f64,
+}
+
+/// Cap on tracked dedup clients; the least recently *stored* client is
+/// evicted at the cap, bounding the table regardless of client churn.
+const DEDUP_MAX_CLIENTS: usize = 1024;
+
+struct DedupEntry {
+    seq: u64,
+    response: Value,
+    tick: u64,
+}
+
+/// Per-client last-seq dedup. A client retries with the *same* seq, so
+/// one entry per client suffices: `seq == stored` replays the cached
+/// response, `seq < stored` is a protocol error (`stale_seq`), and
+/// `seq > stored` is fresh work.
+#[derive(Default)]
+struct DedupTable {
+    entries: BTreeMap<String, DedupEntry>,
+    tick: u64,
+}
+
+enum DedupCheck {
+    Fresh,
+    Hit(Value),
+    Stale(u64),
+}
+
+/// The response replayed for a key learned from the WAL rather than a
+/// live call (the original response is gone; the point is not to
+/// double-apply).
+fn deduped_marker() -> Value {
+    json!({"deduped": true})
+}
+
+impl DedupTable {
+    fn check(&mut self, client: &str, seq: u64) -> DedupCheck {
+        match self.entries.get(client) {
+            Some(e) if seq == e.seq => DedupCheck::Hit(e.response.clone()),
+            Some(e) if seq < e.seq => DedupCheck::Stale(e.seq),
+            _ => DedupCheck::Fresh,
+        }
+    }
+
+    fn store(&mut self, client: String, seq: u64, response: Value) {
+        self.tick += 1;
+        let tick = self.tick;
+        if !self.entries.contains_key(&client) && self.entries.len() >= DEDUP_MAX_CLIENTS {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone());
+            if let Some(oldest) = oldest {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(
+            client,
+            DedupEntry {
+                seq,
+                response,
+                tick,
+            },
+        );
+    }
+
+    fn seed(&mut self, keys: &[(String, u64)]) {
+        for (client, seq) in keys {
+            self.store(client.clone(), *seq, deduped_marker());
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Why a replica could not apply a shipped record.
+#[derive(Debug)]
+pub enum ReplicaApplyError {
+    /// The record's offset does not match the replica's cursor (a line
+    /// was lost); the follower resyncs.
+    Desync { expected: u64, got: u64 },
+    /// The record failed to parse or re-encode.
+    Bad(String),
+    /// The local WAL append failed; durability is poisoned.
+    Wal(String),
 }
 
 /// A loaded instance under management: the arranger plus the pristine
@@ -116,11 +213,18 @@ impl Service {
         Service {
             state: Mutex::new(None),
             durability: Mutex::new(None),
+            dedup: Mutex::new(DedupTable::default()),
+            repl: ReplState::new(),
             metrics,
             stop,
             threads,
             drift_ratio,
         }
+    }
+
+    /// The replication state (role, generation, cursor, hub).
+    pub fn replication(&self) -> &ReplState {
+        &self.repl
     }
 
     fn lock(&self) -> MutexGuard<'_, Option<Session>> {
@@ -132,6 +236,10 @@ impl Service {
 
     fn dlock(&self) -> MutexGuard<'_, Option<Durability>> {
         self.durability.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn dedup_lock(&self) -> MutexGuard<'_, DedupTable> {
+        self.dedup.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Adopt the state recovery reconstructed from a `--wal-dir` and
@@ -152,6 +260,7 @@ impl Service {
         );
         self.metrics
             .record_wal(writer.records(), writer.offset(), writer.fsyncs());
+        self.dedup_lock().seed(&recovery.dedup_keys);
         if let Some(found) = recovery.session {
             *self.lock() = Some(Session {
                 arranger: found.arranger,
@@ -194,8 +303,13 @@ impl Service {
         if let Some(why) = &d.poisoned {
             return Err(wal_failed(why));
         }
-        match d.writer.append(record) {
-            Ok(_) => {
+        // Serialize once: the same bytes go to the local WAL frame and
+        // (verbatim) to every connected replica, which appends them
+        // byte-for-byte — replica WALs stay bit-identical to ours.
+        let payload = serde_json::to_string(record)
+            .map_err(|e| ServiceError::new("internal", format!("encoding WAL record: {e}")))?;
+        match d.writer.append_payload(payload.as_bytes()) {
+            Ok(start) => {
                 if matches!(record, WalRecord::Load { .. }) {
                     // A fresh session restarts the epoch clock; the
                     // auto-snapshot cadence restarts with it.
@@ -203,6 +317,16 @@ impl Service {
                 }
                 self.metrics
                     .record_wal(d.writer.records(), d.writer.offset(), d.writer.fsyncs());
+                if self.repl.hub.has_subscribers() {
+                    let base = self.repl.remote_base();
+                    let records_base = self.repl.remote_records_base();
+                    self.repl.hub.publish(Shipment::Record {
+                        offset: base + start,
+                        head: base + d.writer.offset(),
+                        head_records: records_base + d.writer.records(),
+                        payload: Arc::new(payload),
+                    });
+                }
                 Ok(())
             }
             Err(e) => {
@@ -280,12 +404,29 @@ impl Service {
                 "request timed out in queue before a worker picked it up",
             ));
         }
+        // A replica serves reads but refuses mutations with a stable
+        // code — clients fail over to the primary (or wait for a
+        // promote) instead of diverging the follower.
+        if self.repl.is_replica()
+            && matches!(request.op.as_str(), "load" | "mutate" | "solve" | "restore")
+        {
+            return Err(ServiceError::new(
+                "read_only",
+                format!(
+                    "this node is a replica; {:?} is only served by the \
+                     primary (send \"promote\" to take over)",
+                    request.op
+                ),
+            ));
+        }
         match request.op.as_str() {
             "load" => self.load(&request.body),
             "mutate" => self.mutate(&request.body),
             "query_user" => self.query_user(&request.body),
             "query_event" => self.query_event(&request.body),
             "stats" => self.stats(),
+            "health" => self.health(),
+            "promote" => self.promote(),
             "solve" => self.solve(&request.body, deadline),
             "snapshot" => self.snapshot(&request.body),
             "restore" => self.restore(&request.body),
@@ -323,6 +464,7 @@ impl Service {
             field("max_sum", &arranger.max_sum())?,
             field("drift", &arranger.drift())?,
             field("needs_rebuild", &arranger.needs_rebuild())?,
+            field("fingerprint", &arranger.fingerprint())?,
         ]))
     }
 
@@ -378,10 +520,51 @@ impl Service {
                 .map_err(|e| bad_request(format!("bad mutation: {e}")))?,
             None => return Err(bad_request("mutate needs a \"mutation\" object")),
         };
+        // Optional idempotency key: both fields or neither.
+        let key = match (
+            protocol::get_str(body, "client_id"),
+            protocol::get_u64(body, "seq"),
+        ) {
+            (Some(client), Some(seq)) => Some((client.to_string(), seq)),
+            (None, None) => None,
+            _ => {
+                return Err(bad_request(
+                    "idempotent mutate needs both \"client_id\" and \"seq\"",
+                ))
+            }
+        };
         self.with_session(|session| {
-            self.log_record(&WalRecord::Mutation {
-                mutation: mutation.clone(),
-            })?;
+            if let Some((client, seq)) = &key {
+                match self.dedup_lock().check(client, *seq) {
+                    DedupCheck::Hit(response) => {
+                        // A retry of an already-applied mutation: replay
+                        // the original ack, apply nothing.
+                        self.metrics.record_dedup_hit();
+                        return Ok(response);
+                    }
+                    DedupCheck::Stale(latest) => {
+                        return Err(ServiceError::new(
+                            "stale_seq",
+                            format!(
+                                "seq {seq} is behind the newest seq {latest} \
+                                 seen for client {client:?}"
+                            ),
+                        ));
+                    }
+                    DedupCheck::Fresh => {}
+                }
+            }
+            let record = match &key {
+                Some((client, seq)) => WalRecord::KeyedMutation {
+                    client: client.clone(),
+                    seq: *seq,
+                    mutation: mutation.clone(),
+                },
+                None => WalRecord::Mutation {
+                    mutation: mutation.clone(),
+                },
+            };
+            self.log_record(&record)?;
             let report = session
                 .arranger
                 .apply(mutation)
@@ -397,6 +580,12 @@ impl Service {
                 field("drift", &session.arranger.drift())?,
                 field("needs_rebuild", &session.arranger.needs_rebuild())?,
             ]);
+            // Arm the dedup only for an *applied* mutation: a failed
+            // one fails identically on retry (the arranger is
+            // deterministic), so re-trying it is harmless and correct.
+            if let Some((client, seq)) = key {
+                self.dedup_lock().store(client, seq, response.clone());
+            }
             self.maybe_auto_snapshot(session);
             Ok(response)
         })
@@ -503,6 +692,129 @@ impl Service {
             ("arranger".to_string(), arranger),
             ("engine".to_string(), Value::Array(engine)),
             ("durability".to_string(), durability),
+            ("replication".to_string(), self.replication_stats()?),
+        ]))
+    }
+
+    /// The `replication` section of `stats` (same lag fields `health`
+    /// reports).
+    fn replication_stats(&self) -> Result<Value, ServiceError> {
+        if self.repl.is_replica() {
+            Ok(Value::Object(vec![
+                field("role", &"replica")?,
+                field("generation", &self.repl.generation())?,
+                field("connected", &self.repl.connected())?,
+                field(
+                    "lag_records",
+                    &self
+                        .repl
+                        .last_seen_head_records()
+                        .saturating_sub(self.repl.remote_records_cursor()),
+                )?,
+                field(
+                    "lag_bytes",
+                    &self
+                        .repl
+                        .last_seen_head()
+                        .saturating_sub(self.repl.remote_cursor()),
+                )?,
+                field("remote_offset", &self.repl.remote_cursor())?,
+            ]))
+        } else {
+            let (replicas, min_acked) = self.repl.hub.lag();
+            Ok(Value::Object(vec![
+                field("role", &"primary")?,
+                field("generation", &self.repl.generation())?,
+                field("accepting_replicas", &self.repl.accepts_replicas())?,
+                field("replicas", &replicas)?,
+                field("min_acked_offset", &min_acked)?,
+            ]))
+        }
+    }
+
+    /// `health`: a one-line liveness/role probe. `status` is `"ok"`,
+    /// `"degraded"` (WAL poisoned — reads still serve, state changes
+    /// refuse), or `"replica"` (read-only follower, with lag).
+    fn health(&self) -> Result<Value, ServiceError> {
+        let (epoch, fingerprint) = match self.lock().as_ref() {
+            Some(session) => (
+                Some(session.arranger.epoch()),
+                Some(session.arranger.fingerprint()),
+            ),
+            None => (None, None),
+        };
+        let wal: Option<&str> = match self.dlock().as_ref() {
+            Some(d) if d.poisoned.is_some() => Some("failed"),
+            Some(_) => Some("ok"),
+            None => None,
+        };
+        let replica = self.repl.is_replica();
+        let status = if wal == Some("failed") {
+            "degraded"
+        } else if replica {
+            "replica"
+        } else {
+            "ok"
+        };
+        let (connected, lag_records, lag_bytes) = if replica {
+            (
+                Some(self.repl.connected()),
+                Some(
+                    self.repl
+                        .last_seen_head_records()
+                        .saturating_sub(self.repl.remote_records_cursor()),
+                ),
+                Some(
+                    self.repl
+                        .last_seen_head()
+                        .saturating_sub(self.repl.remote_cursor()),
+                ),
+            )
+        } else {
+            (None, None, None)
+        };
+        Ok(Value::Object(vec![
+            field("status", &status)?,
+            field("role", &if replica { "replica" } else { "primary" })?,
+            field("wal", &wal)?,
+            field("generation", &self.repl.generation())?,
+            field("connected", &connected)?,
+            field("lag_records", &lag_records)?,
+            field("lag_bytes", &lag_bytes)?,
+            field("epoch", &epoch)?,
+            field("fingerprint", &fingerprint)?,
+        ]))
+    }
+
+    /// `promote`: turn a replica into the primary. Bumps the fencing
+    /// generation above anything seen from the old primary and persists
+    /// it **before** acking — a stale primary that comes back is then
+    /// refused at the replication handshake. Idempotent on a primary.
+    fn promote(&self) -> Result<Value, ServiceError> {
+        if !self.repl.is_replica() {
+            return Ok(Value::Object(vec![
+                field("promoted", &false)?,
+                field("role", &"primary")?,
+                field("generation", &self.repl.generation())?,
+            ]));
+        }
+        let generation = self.repl.generation().max(self.repl.last_seen_generation()) + 1;
+        self.repl.set_generation(generation);
+        self.repl.set_role_replica(false);
+        self.repl.set_connected(false);
+        {
+            let guard = self.dlock();
+            if let Some(d) = guard.as_ref() {
+                repl::store_meta(&d.dir, &self.repl.meta())
+                    .map_err(|e| ServiceError::new("io", format!("persisting repl.meta: {e}")))?;
+            }
+        }
+        let epoch = self.lock().as_ref().map(|s| s.arranger.epoch());
+        Ok(Value::Object(vec![
+            field("promoted", &true)?,
+            field("role", &"primary")?,
+            field("generation", &generation)?,
+            field("epoch", &epoch)?,
         ]))
     }
 
@@ -630,6 +942,18 @@ impl Service {
         let summary = Self::summary(&arranger)?;
         let mut guard = self.lock();
         self.persist_restored(&arranger, &base)?;
+        // Restore is not WAL-logged: replaying the log from below this
+        // offset no longer reproduces the served state. Raise the
+        // replication floor (resume below it is refused) and force
+        // connected replicas through the snapshot catch-up path.
+        {
+            let dguard = self.dlock();
+            if let Some(d) = dguard.as_ref() {
+                self.repl.set_floor(d.writer.offset());
+                let _ = repl::store_meta(&d.dir, &self.repl.meta());
+            }
+        }
+        self.repl.hub.publish(Shipment::Resync);
         *guard = Some(Session { arranger, base });
         Ok(summary)
     }
@@ -666,6 +990,237 @@ impl Service {
                 ))
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Replication plumbing (see crate::repl for the protocol).
+    // -----------------------------------------------------------------
+
+    /// Arm the replication state from the durable `repl.meta` and the
+    /// node's startup role. Called once at bind time, after
+    /// [`Self::install_recovered`].
+    pub fn init_replication(&self, accept_replicas: bool, replica: bool) -> std::io::Result<()> {
+        let guard = self.dlock();
+        match guard.as_ref() {
+            Some(d) => {
+                let meta = repl::load_meta(&d.dir)?;
+                self.repl.init(
+                    &meta,
+                    accept_replicas,
+                    replica,
+                    d.writer.offset(),
+                    d.writer.records(),
+                );
+                Ok(())
+            }
+            None if accept_replicas || replica => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replication requires a --wal-dir (the WAL is what gets shipped)",
+            )),
+            None => {
+                self.repl
+                    .init(&repl::ReplMeta::default(), false, false, 0, 0);
+                Ok(())
+            }
+        }
+    }
+
+    /// The WAL directory and current head, for a replica stream. Syncs
+    /// the writer first so the file holds every byte up to the head.
+    pub(crate) fn repl_stream_info(&self) -> Result<(PathBuf, u64, u64), ServiceError> {
+        let mut guard = self.dlock();
+        match guard.as_mut() {
+            Some(d) => {
+                if let Some(why) = &d.poisoned {
+                    return Err(wal_failed(why));
+                }
+                d.writer
+                    .sync_now()
+                    .map_err(|e| ServiceError::new("io", format!("syncing WAL: {e}")))?;
+                Ok((d.dir.clone(), d.writer.offset(), d.writer.records()))
+            }
+            None => Err(ServiceError::new(
+                "replication_unsupported",
+                "replication requires a --wal-dir",
+            )),
+        }
+    }
+
+    /// A snapshot of the live session at the current WAL head, for
+    /// replica catch-up. `None` when there is nothing to snapshot (no
+    /// session) or durability cannot vouch for the head.
+    pub(crate) fn repl_snapshot_doc(&self) -> Option<SnapshotDoc> {
+        let sguard = self.lock();
+        let session = sguard.as_ref()?;
+        let mut dguard = self.dlock();
+        let d = dguard.as_mut()?;
+        if d.poisoned.is_some() || d.writer.sync_now().is_err() {
+            return None;
+        }
+        Some(SnapshotDoc {
+            version: 1,
+            wal_offset: d.writer.offset(),
+            wal_records: d.writer.records(),
+            epoch: session.arranger.epoch(),
+            base: session.base.clone(),
+            live: session.arranger.instance().clone(),
+            log: session.arranger.log().to_vec(),
+            arrangement: session.arranger.arrangement().clone(),
+            baseline: session.arranger.baseline_max_sum(),
+        })
+    }
+
+    /// Replica: adopt a `reset` handshake — wipe the local WAL and
+    /// snapshot, drop the session (the snapshot doc or the record
+    /// stream from `start` rebuilds it), and re-base the cursor.
+    pub(crate) fn replica_begin_resync(
+        &self,
+        start: u64,
+        start_records: u64,
+        generation: u64,
+    ) -> std::io::Result<()> {
+        let mut sguard = self.lock();
+        let mut dguard = self.dlock();
+        let Some(d) = dguard.as_mut() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replica requires a --wal-dir",
+            ));
+        };
+        d.writer = recovery::reset_wal(&d.dir, d.policy)?;
+        d.last_snapshot_epoch = None;
+        d.poisoned = None;
+        self.metrics.record_wal(0, 0, d.writer.fsyncs());
+        *sguard = None;
+        self.repl.begin_resync(generation, start, start_records);
+        repl::store_meta(&d.dir, &self.repl.meta())?;
+        self.dedup_lock().clear();
+        Ok(())
+    }
+
+    /// Replica: install a catch-up snapshot shipped by the primary (in
+    /// remote coordinates). Persists a *localized* snapshot (offset 0 of
+    /// the just-reset local WAL) so a crash recovers to the same point,
+    /// then swaps the session in. Returns the remote cursor to ack.
+    pub(crate) fn replica_install_snapshot(&self, doc: SnapshotDoc) -> Result<u64, String> {
+        let config = DynamicConfig {
+            rebuild_drift_ratio: self.drift_ratio,
+        };
+        let arranger =
+            IncrementalArranger::resume(doc.live, doc.log, doc.arrangement, doc.baseline, config)
+                .map_err(|e| format!("infeasible snapshot from primary: {e:?}"))?;
+        let base = doc.base;
+        let mut sguard = self.lock();
+        {
+            let mut dguard = self.dlock();
+            let Some(d) = dguard.as_mut() else {
+                return Err("replica requires a --wal-dir".to_string());
+            };
+            let local = SnapshotDoc {
+                version: 1,
+                wal_offset: d.writer.offset(),
+                wal_records: d.writer.records(),
+                epoch: arranger.epoch(),
+                base: base.clone(),
+                live: arranger.instance().clone(),
+                log: arranger.log().to_vec(),
+                arrangement: arranger.arrangement().clone(),
+                baseline: arranger.baseline_max_sum(),
+            };
+            wal::write_snapshot(&recovery::snapshot_path(&d.dir), &local)
+                .map_err(|e| format!("persisting catch-up snapshot: {e}"))?;
+            d.last_snapshot_epoch = Some(local.epoch);
+            self.metrics.record_snapshot(local.epoch);
+        }
+        self.repl.set_cursor(doc.wal_offset, doc.wal_records);
+        *sguard = Some(Session { arranger, base });
+        Ok(doc.wal_offset)
+    }
+
+    /// Replica: append one shipped record byte-for-byte to the local
+    /// WAL and apply it through the exact replay path recovery uses —
+    /// the follower's state is a recovery of the primary's log, always.
+    /// Returns the new remote cursor to ack. A duplicate delivery
+    /// (offset below the cursor) is skipped idempotently.
+    pub(crate) fn replica_apply(
+        &self,
+        offset: u64,
+        record_value: &Value,
+    ) -> Result<u64, ReplicaApplyError> {
+        let record: WalRecord = serde_json::from_value(record_value.clone())
+            .map_err(|e| ReplicaApplyError::Bad(format!("bad shipped record: {e}")))?;
+        let payload = serde_json::to_string(&record)
+            .map_err(|e| ReplicaApplyError::Bad(format!("re-encoding record: {e}")))?;
+        let mut sguard = self.lock();
+        let expected = self.repl.remote_cursor();
+        if offset < expected {
+            return Ok(expected);
+        }
+        if offset > expected {
+            return Err(ReplicaApplyError::Desync {
+                expected,
+                got: offset,
+            });
+        }
+        {
+            let mut dguard = self.dlock();
+            let Some(d) = dguard.as_mut() else {
+                return Err(ReplicaApplyError::Wal(
+                    "replica requires a --wal-dir".into(),
+                ));
+            };
+            if let Some(why) = &d.poisoned {
+                return Err(ReplicaApplyError::Wal(why.clone()));
+            }
+            if let Err(e) = d.writer.append_payload(payload.as_bytes()) {
+                let detail = e.to_string();
+                d.poisoned = Some(detail.clone());
+                return Err(ReplicaApplyError::Wal(detail));
+            }
+            if matches!(record, WalRecord::Load { .. }) {
+                d.last_snapshot_epoch = None;
+            }
+            self.metrics
+                .record_wal(d.writer.records(), d.writer.offset(), d.writer.fsyncs());
+        }
+        // Re-arm the dedup so a client retry against this node after a
+        // failover replays instead of double-applying.
+        if let WalRecord::KeyedMutation { client, seq, .. } = &record {
+            self.dedup_lock()
+                .store(client.clone(), *seq, deduped_marker());
+        }
+        let config = DynamicConfig {
+            rebuild_drift_ratio: self.drift_ratio,
+        };
+        let mut state = sguard.take().map(|s| recovery::RecoveredSession {
+            arranger: s.arranger,
+            base: s.base,
+        });
+        recovery::apply_record(&mut state, &record, config);
+        *sguard = state.map(|r| Session {
+            arranger: r.arranger,
+            base: r.base,
+        });
+        self.repl
+            .advance_cursor(wal::HEADER_LEN + payload.len() as u64);
+        self.metrics.record_repl_applied();
+        let cursor = self.repl.remote_cursor();
+        // Chain: a replica can itself feed replicas (same coordinates).
+        if self.repl.hub.has_subscribers() {
+            self.repl.hub.publish(Shipment::Record {
+                offset,
+                head: self.repl.last_seen_head().max(cursor),
+                head_records: self
+                    .repl
+                    .last_seen_head_records()
+                    .max(self.repl.remote_records_cursor()),
+                payload: Arc::new(payload),
+            });
+        }
+        if let Some(session) = sguard.as_ref() {
+            self.maybe_auto_snapshot(session);
+        }
+        Ok(cursor)
     }
 }
 
@@ -1088,6 +1643,67 @@ mod tests {
         let stats = call(&svc2, r#"{"op": "stats"}"#).unwrap();
         let arranger = protocol::get(&stats, "arranger").unwrap();
         assert_eq!(protocol::get_u64(arranger, "epoch"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a handler that panics while holding the session,
+    /// durability, and dedup locks must not wedge the service — every
+    /// lock is taken through `unwrap_or_else(|e| e.into_inner())`, so
+    /// later requests recover the poison and serve, the observable
+    /// state is exactly what was acked before the panic, and the live
+    /// arranger still matches a recovery replay of the WAL (no
+    /// half-applied divergence).
+    #[test]
+    fn panic_poisoned_locks_keep_serving_without_half_applied_state() {
+        let dir = tmp_dir("poisoned-locks");
+        let svc = durable_service(&dir, None);
+        call(&svc, &toy_line()).unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "client_id": "c", "seq": 0, "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+        )
+        .unwrap();
+        let before = call(&svc, r#"{"op": "health"}"#).unwrap();
+
+        // Die mid-mutation in the worst posture: all three service
+        // locks held. catch_unwind plays the worker's panic guard.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _session = svc.state.lock().unwrap();
+            let _durability = svc.durability.lock().unwrap();
+            let _dedup = svc.dedup.lock().unwrap();
+            panic!("simulated handler death mid-mutation");
+        }));
+        assert!(panicked.is_err());
+
+        // Reads recover the poisoned locks and see the acked state.
+        assert_eq!(call(&svc, r#"{"op": "health"}"#).unwrap(), before);
+        // The dedup table still answers for the pre-panic key…
+        let replay = call(
+            &svc,
+            r#"{"op": "mutate", "client_id": "c", "seq": 0, "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+        )
+        .unwrap();
+        assert_eq!(protocol::get_u64(&replay, "epoch"), Some(1));
+        // …and fresh mutations apply and are WAL-logged as usual.
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 1}}}"#,
+        )
+        .unwrap();
+        let live = call(&svc, r#"{"op": "health"}"#).unwrap();
+
+        // The live arranger is byte-for-byte what booting recovery on
+        // the same WAL reconstructs: nothing half-applied leaked.
+        let rec = recovery::recover(&dir, DynamicConfig::default()).unwrap();
+        let session = rec.session.expect("load record recovered");
+        assert_eq!(
+            protocol::get_u64(&live, "fingerprint"),
+            Some(session.arranger.fingerprint())
+        );
+        assert_eq!(
+            protocol::get_u64(&live, "epoch"),
+            Some(session.arranger.epoch())
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

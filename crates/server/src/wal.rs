@@ -113,6 +113,15 @@ pub enum WalRecord {
     Load { instance: Instance },
     /// A `mutate` op, logged before it is applied.
     Mutation { mutation: Mutation },
+    /// A `mutate` op carrying an idempotency key. Replays exactly like
+    /// [`WalRecord::Mutation`] and additionally re-arms the server-side
+    /// `(client, seq)` dedup table, so a client retry after a crash or
+    /// failover cannot double-apply.
+    KeyedMutation {
+        client: String,
+        seq: u64,
+        mutation: Mutation,
+    },
     /// A wholesale arrangement swap (a `solve`/rebuild, or the install
     /// step of a `restore`) with its new drift baseline.
     Install {
@@ -296,9 +305,17 @@ impl<S: WalSink> WalWriter<S> {
     /// only after this returns `Ok` — that is the durability contract.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
         let payload = serde_json::to_string(record)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
-            .into_bytes();
-        let frame = encode_frame(&payload);
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.append_payload(payload.as_bytes())
+    }
+
+    /// Frame, append, and sync (per policy) an already-serialized record
+    /// payload. The caller guarantees `payload` is a JSON [`WalRecord`];
+    /// replicas use this to append the primary's bytes verbatim, so the
+    /// local log stays byte-identical to the shipped stream and byte
+    /// offsets line up exactly across the pair.
+    pub fn append_payload(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let frame = encode_frame(payload);
         let start = self.offset;
         self.sink.write_frame(&frame)?;
         self.offset += frame.len() as u64;
@@ -801,6 +818,25 @@ mod tests {
         assert_eq!(never.fsyncs(), 1);
         assert_eq!(always.records(), 5);
         assert_eq!(always.offset(), always.into_sink().written.len() as u64);
+    }
+
+    #[test]
+    fn keyed_records_roundtrip_and_payload_append_is_byte_identical() {
+        let keyed = WalRecord::KeyedMutation {
+            client: "c-1".to_string(),
+            seq: 7,
+            mutation: mutation(0),
+        };
+        let mut direct = WalWriter::with_sink(FaultSink::new(usize::MAX), FsyncPolicy::Never);
+        direct.append(&keyed).unwrap();
+        let mut via_payload = WalWriter::with_sink(FaultSink::new(usize::MAX), FsyncPolicy::Never);
+        let payload = serde_json::to_string(&keyed).unwrap();
+        via_payload.append_payload(payload.as_bytes()).unwrap();
+        let a = direct.into_sink().written;
+        let b = via_payload.into_sink().written;
+        assert_eq!(a, b, "replica-side payload append must mirror the primary");
+        let scanned = scan(&a).unwrap();
+        assert_eq!(scanned.records[0].record, keyed);
     }
 
     #[test]

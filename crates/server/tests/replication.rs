@@ -1,0 +1,675 @@
+//! End-to-end replication tests: live streaming into a read-only
+//! follower, the deterministic crash-point sweep (cut the stream at
+//! every record boundary, promote, check the promoted node serves the
+//! exact acked prefix bit-identically), generation fencing of a stale
+//! primary, `retry_after_ms` + the retrying client under overload, and
+//! a property check that client-side retry storms never double-apply a
+//! keyed mutation.
+
+use geacc_server::chaos::{ChaosPlan, ChaosProxy, LinePolicy};
+use geacc_server::client::{ClientConfig, RetryClient};
+use geacc_server::{protocol, recovery, wal, MetricsSnapshot, Server, ServerConfig};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// A blocking line-protocol client (same shape as tests/server.rs).
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        serde_json::from_str(line.trim()).expect("response is JSON")
+    }
+
+    fn call(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn ok_data(response: &Value) -> &Value {
+    assert_eq!(
+        protocol::get(response, "ok"),
+        Some(&Value::Bool(true)),
+        "expected success, got {response:?}"
+    );
+    protocol::get(response, "data").expect("ok response has data")
+}
+
+fn err_body(response: &Value) -> &Value {
+    assert_eq!(
+        protocol::get(response, "ok"),
+        Some(&Value::Bool(false)),
+        "expected error, got {response:?}"
+    );
+    protocol::get(response, "error").expect("error body")
+}
+
+struct ServerHandle {
+    addr: String,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    thread: std::thread::JoinHandle<MetricsSnapshot>,
+}
+
+impl ServerHandle {
+    fn spawn(config: ServerConfig) -> ServerHandle {
+        let server = Server::bind(config).expect("bind");
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.stop_handle();
+        let thread = std::thread::spawn(move || server.run().expect("server run"));
+        ServerHandle { addr, stop, thread }
+    }
+
+    fn shutdown(self) -> MetricsSnapshot {
+        // Structured shutdown if the socket still answers, stop flag
+        // either way (a fenced replica loop only watches the flag).
+        if let Ok(stream) = TcpStream::connect(&self.addr) {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let _ = writer.write_all(b"{\"op\": \"shutdown\"}\n");
+            let mut line = String::new();
+            let _ = BufReader::new(stream).read_line(&mut line);
+        }
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.thread.join().expect("server thread")
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("geacc-repl-tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        default_timeout_ms: 10_000,
+        wal_dir: Some(dir.to_path_buf()),
+        fsync: geacc_server::FsyncPolicy::Always,
+        ..ServerConfig::default()
+    }
+}
+
+fn load_line() -> String {
+    let inst = geacc_core::toy::table1_instance();
+    format!(
+        r#"{{"op": "load", "instance": {}}}"#,
+        serde_json::to_string(&inst).unwrap()
+    )
+}
+
+/// Branch-and-bound's worst case (narrow similarity band, dense
+/// conflicts, deep trees): a budgeted Prune-GEACC solve reliably
+/// occupies a worker for its whole timeout (same shape tests/server.rs
+/// uses for its overload test).
+fn pathological_load_line() -> String {
+    use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
+    let (nv, nu) = (8usize, 24usize);
+    let values: Vec<f64> = (0..nv * nu)
+        .map(|i| 0.55 + 0.01 * ((i * 37 % 97) as f64 / 97.0))
+        .collect();
+    let conflicts = ConflictGraph::from_pairs(
+        nv,
+        (0..nv as u32).flat_map(|i| {
+            (i + 1..nv as u32)
+                .filter(move |j| (i * 7 + j * 13) % 3 != 0)
+                .map(move |j| (EventId(i), EventId(j)))
+        }),
+    );
+    let inst = Instance::from_matrix(
+        SimMatrix::from_flat(nv, nu, values),
+        vec![6; nv],
+        vec![8; nu],
+        conflicts,
+    )
+    .unwrap();
+    format!(
+        r#"{{"op": "load", "instance": {}}}"#,
+        serde_json::to_string(&inst).unwrap()
+    )
+}
+
+/// The mutation stream every test replays: valid on the toy instance.
+fn mutation_bodies() -> Vec<&'static str> {
+    vec![
+        r#"{"AddConflict": {"a": 0, "b": 1}}"#,
+        r#"{"SetCapacity": {"side": "User", "id": 0, "capacity": 1}}"#,
+        r#"{"SetCapacity": {"side": "Event", "id": 1, "capacity": 4}}"#,
+    ]
+}
+
+/// Poll `probe` until it returns Some or the deadline passes.
+fn wait_for<T>(what: &str, timeout: Duration, mut probe: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(value) = probe() {
+            return value;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn health(client: &mut Client) -> Value {
+    ok_data(&client.call(r#"{"op": "health"}"#)).clone()
+}
+
+fn fingerprint(health: &Value) -> u64 {
+    protocol::get_u64(health, "fingerprint").expect("health has fingerprint")
+}
+
+/// Replica streams the primary's records live, matches its state
+/// exactly, and refuses writes with a structured `read_only` error.
+#[test]
+fn replica_follows_live_and_rejects_writes() {
+    let primary_dir = tmp_dir("live-primary");
+    let replica_dir = tmp_dir("live-replica");
+    let primary = ServerHandle::spawn(ServerConfig {
+        accept_replicas: true,
+        ..durable_config(&primary_dir)
+    });
+    let replica = ServerHandle::spawn(ServerConfig {
+        replica_of: Some(primary.addr.clone()),
+        ..durable_config(&replica_dir)
+    });
+
+    let mut on_primary = Client::connect(&primary.addr);
+    ok_data(&on_primary.call(&load_line()));
+    for mutation in mutation_bodies() {
+        ok_data(&on_primary.call(&format!(r#"{{"op": "mutate", "mutation": {mutation}}}"#)));
+    }
+    let primary_health = health(&mut on_primary);
+    let want = fingerprint(&primary_health);
+
+    let mut on_replica = Client::connect(&replica.addr);
+    wait_for("replica to converge", Duration::from_secs(10), || {
+        let h = health(&mut on_replica);
+        (protocol::get_u64(&h, "fingerprint") == Some(want)).then_some(())
+    });
+
+    let h = health(&mut on_replica);
+    assert_eq!(protocol::get_str(&h, "status"), Some("replica"));
+    assert_eq!(protocol::get_str(&h, "role"), Some("replica"));
+    assert_eq!(protocol::get_u64(&h, "lag_records"), Some(0));
+    assert_eq!(protocol::get_u64(&h, "lag_bytes"), Some(0));
+    assert_eq!(
+        protocol::get_u64(&h, "epoch"),
+        protocol::get_u64(&primary_health, "epoch")
+    );
+
+    // Reads serve; writes refuse with a structured error.
+    let query = on_replica.call(r#"{"op": "query_user", "user": 0}"#);
+    assert!(protocol::get(ok_data(&query), "events").is_some());
+    let denied = on_replica.call(
+        r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 1, "capacity": 2}}}"#,
+    );
+    assert_eq!(
+        protocol::get_str(err_body(&denied), "code"),
+        Some("read_only")
+    );
+
+    // The stats section agrees with health on both roles.
+    let stats = on_replica.call(r#"{"op": "stats"}"#);
+    let replication = protocol::get(ok_data(&stats), "replication").unwrap();
+    assert_eq!(protocol::get_str(replication, "role"), Some("replica"));
+    assert_eq!(protocol::get_u64(replication, "lag_records"), Some(0));
+    let stats = on_primary.call(r#"{"op": "stats"}"#);
+    let replication = protocol::get(ok_data(&stats), "replication").unwrap();
+    assert_eq!(protocol::get_str(replication, "role"), Some("primary"));
+    assert_eq!(protocol::get_u64(replication, "replicas"), Some(1));
+
+    replica.shutdown();
+    primary.shutdown();
+}
+
+/// A replica that joins *after* the primary has state catches up via
+/// the snapshot path, then streams the tail.
+#[test]
+fn late_replica_catches_up_via_snapshot() {
+    let primary_dir = tmp_dir("snap-primary");
+    let replica_dir = tmp_dir("snap-replica");
+    let primary = ServerHandle::spawn(ServerConfig {
+        accept_replicas: true,
+        ..durable_config(&primary_dir)
+    });
+    let mut on_primary = Client::connect(&primary.addr);
+    ok_data(&on_primary.call(&load_line()));
+    for mutation in mutation_bodies() {
+        ok_data(&on_primary.call(&format!(r#"{{"op": "mutate", "mutation": {mutation}}}"#)));
+    }
+    let want = fingerprint(&health(&mut on_primary));
+
+    let replica = ServerHandle::spawn(ServerConfig {
+        replica_of: Some(primary.addr.clone()),
+        ..durable_config(&replica_dir)
+    });
+    let mut on_replica = Client::connect(&replica.addr);
+    wait_for("snapshot catch-up", Duration::from_secs(10), || {
+        let h = health(&mut on_replica);
+        (protocol::get_u64(&h, "fingerprint") == Some(want)).then_some(())
+    });
+
+    // And it keeps following: one more mutation flows through.
+    ok_data(&on_primary.call(
+        r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 2, "capacity": 3}}}"#,
+    ));
+    let want = fingerprint(&health(&mut on_primary));
+    wait_for("post-snapshot tail", Duration::from_secs(10), || {
+        let h = health(&mut on_replica);
+        (protocol::get_u64(&h, "fingerprint") == Some(want)).then_some(())
+    });
+
+    replica.shutdown();
+    primary.shutdown();
+}
+
+/// The tentpole acceptance sweep: for every record boundary k, cut the
+/// replication stream after exactly k shipped records (the chaos cut
+/// budget is global, so reconnects cannot sneak past it), promote the
+/// replica, and check the promoted node serves precisely the replay of
+/// the first k acked records — with a WAL that is bit-identical to the
+/// primary's first k-record prefix.
+#[test]
+fn crash_point_sweep_promotes_the_exact_acked_prefix() {
+    let mutations = mutation_bodies();
+    let total_records = 1 + mutations.len() as u64; // load + mutations
+
+    for k in 1..=total_records {
+        let primary_dir = tmp_dir(&format!("sweep-primary-{k}"));
+        let replica_dir = tmp_dir(&format!("sweep-replica-{k}"));
+        let primary = ServerHandle::spawn(ServerConfig {
+            accept_replicas: true,
+            ..durable_config(&primary_dir)
+        });
+
+        // The proxy sits on the replica→primary path and cuts the
+        // primary→replica direction before the (k+1)th record line.
+        let plan = ChaosPlan {
+            seed: 0xC0FFEE ^ k,
+            server_to_client: LinePolicy {
+                cut_after_matching: Some((r#""repl":"record""#.to_string(), k)),
+                ..LinePolicy::default()
+            },
+            ..ChaosPlan::default()
+        };
+        let proxy = ChaosProxy::spawn(primary.addr.parse().unwrap(), plan).unwrap();
+        let replica = ServerHandle::spawn(ServerConfig {
+            replica_of: Some(proxy.addr().to_string()),
+            ..durable_config(&replica_dir)
+        });
+
+        // Wait until the replica is attached before writing, so its WAL
+        // is a byte prefix of the primary's (no snapshot shortcut).
+        let mut on_replica = Client::connect(&replica.addr);
+        wait_for("replica attach", Duration::from_secs(10), || {
+            let h = health(&mut on_replica);
+            (protocol::get(&h, "connected") == Some(&Value::Bool(true))).then_some(())
+        });
+
+        let mut on_primary = Client::connect(&primary.addr);
+        ok_data(&on_primary.call(&load_line()));
+        for mutation in &mutations {
+            ok_data(&on_primary.call(&format!(r#"{{"op": "mutate", "mutation": {mutation}}}"#)));
+        }
+
+        // Record boundaries come from the primary's own WAL.
+        let primary_wal = std::fs::read(recovery::wal_path(&primary_dir)).unwrap();
+        let scan = wal::scan(&primary_wal).unwrap();
+        assert_eq!(scan.records.len() as u64, total_records);
+        let boundary = if k == total_records {
+            scan.valid_len
+        } else {
+            scan.records[k as usize].offset
+        };
+
+        wait_for(
+            &format!("replica to stall at boundary {k}"),
+            Duration::from_secs(10),
+            || {
+                let stats = on_replica.call(r#"{"op": "stats"}"#);
+                let replication = protocol::get(ok_data(&stats), "replication")?.clone();
+                (protocol::get_u64(&replication, "remote_offset") == Some(boundary)).then_some(())
+            },
+        );
+
+        // Promote. The replica becomes a primary at a higher generation
+        // and stops following.
+        let promoted = ok_data(&on_replica.call(r#"{"op": "promote"}"#)).clone();
+        assert_eq!(
+            protocol::get(&promoted, "promoted"),
+            Some(&Value::Bool(true))
+        );
+        assert!(protocol::get_u64(&promoted, "generation") >= Some(1));
+
+        // The promoted node serves exactly the replay of the acked
+        // k-record prefix.
+        let prefix: Vec<_> = scan.records[..k as usize]
+            .iter()
+            .map(|r| r.record.clone())
+            .collect();
+        let expected = recovery::replay_prefix(&prefix, geacc_core::DynamicConfig::default())
+            .expect("prefix starts with load");
+        let h = health(&mut on_replica);
+        assert_eq!(protocol::get_str(&h, "role"), Some("primary"));
+        assert_eq!(
+            protocol::get_u64(&h, "fingerprint"),
+            Some(expected.arranger.fingerprint()),
+            "promoted state diverged from replay of the first {k} records"
+        );
+        assert_eq!(
+            protocol::get_u64(&h, "epoch"),
+            Some(expected.arranger.epoch())
+        );
+
+        // Bit-identical WAL prefix: the replica's log is the primary's
+        // first `boundary` bytes, verbatim.
+        let replica_wal = std::fs::read(recovery::wal_path(&replica_dir)).unwrap();
+        assert_eq!(
+            replica_wal,
+            primary_wal[..boundary as usize],
+            "replica WAL is not a byte-identical prefix at k={k}"
+        );
+
+        // And it accepts writes now.
+        let resumed = on_replica.call(
+            r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 3, "capacity": 2}}}"#,
+        );
+        ok_data(&resumed);
+
+        replica.shutdown();
+        drop(proxy);
+        primary.shutdown();
+        std::fs::remove_dir_all(&primary_dir).ok();
+        std::fs::remove_dir_all(&replica_dir).ok();
+    }
+}
+
+/// Generation fencing: once a replica has been promoted, pointing its
+/// data directory back at the stale old primary is refused at the
+/// handshake, and its state stays intact.
+#[test]
+fn stale_primary_is_fenced_after_promotion() {
+    let primary_dir = tmp_dir("fence-primary");
+    let replica_dir = tmp_dir("fence-replica");
+    let primary = ServerHandle::spawn(ServerConfig {
+        accept_replicas: true,
+        ..durable_config(&primary_dir)
+    });
+    let replica = ServerHandle::spawn(ServerConfig {
+        replica_of: Some(primary.addr.clone()),
+        ..durable_config(&replica_dir)
+    });
+
+    let mut on_primary = Client::connect(&primary.addr);
+    ok_data(&on_primary.call(&load_line()));
+    ok_data(&on_primary.call(
+        r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 2}}}"#,
+    ));
+    let want = fingerprint(&health(&mut on_primary));
+
+    let mut on_replica = Client::connect(&replica.addr);
+    wait_for("replica to converge", Duration::from_secs(10), || {
+        let h = health(&mut on_replica);
+        (protocol::get_u64(&h, "fingerprint") == Some(want)).then_some(())
+    });
+    let promoted = ok_data(&on_replica.call(r#"{"op": "promote"}"#)).clone();
+    assert_eq!(
+        protocol::get(&promoted, "promoted"),
+        Some(&Value::Bool(true))
+    );
+    let promoted_generation = protocol::get_u64(&promoted, "generation").unwrap();
+    replica.shutdown();
+
+    // Restart the promoted node's directory as a replica of the stale
+    // primary: its persisted generation outranks the primary's, so the
+    // handshake is refused and nothing is applied or reset.
+    let rejoined = ServerHandle::spawn(ServerConfig {
+        replica_of: Some(primary.addr.clone()),
+        ..durable_config(&replica_dir)
+    });
+    let mut on_rejoined = Client::connect(&rejoined.addr);
+    wait_for("fencing to trip", Duration::from_secs(10), || {
+        let stats = on_rejoined.call(r#"{"op": "stats"}"#);
+        let server = protocol::get(ok_data(&stats), "server")?.clone();
+        (protocol::get_u64(&server, "repl_fenced") >= Some(1)).then_some(())
+    });
+    let h = health(&mut on_rejoined);
+    assert_eq!(protocol::get(&h, "connected"), Some(&Value::Bool(false)));
+    assert_eq!(protocol::get_u64(&h, "fingerprint"), Some(want));
+    assert_eq!(
+        protocol::get_u64(&h, "generation"),
+        Some(promoted_generation)
+    );
+
+    rejoined.shutdown();
+    primary.shutdown();
+}
+
+/// `overloaded` rejections carry the configured `retry_after_ms` hint,
+/// and the retrying client rides them out to a successful mutate.
+#[test]
+fn retry_client_rides_out_overload_with_the_server_hint() {
+    let handle = ServerHandle::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        default_timeout_ms: 10_000,
+        retry_after_ms: 7,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&handle.addr);
+    ok_data(&client.call(&pathological_load_line()));
+
+    // Occupy the single worker with a budgeted solve, then fill the
+    // depth-1 queue, so the next arrival is rejected immediately.
+    client.send(r#"{"op": "solve", "id": 1, "algorithm": "prune", "timeout_ms": 700}"#);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut filler = Client::connect(&handle.addr);
+    filler.send(r#"{"op": "stats", "id": 2}"#);
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut probe = Client::connect(&handle.addr);
+    let rejected = probe.call(r#"{"op": "stats", "id": 3}"#);
+    let error = err_body(&rejected);
+    assert_eq!(protocol::get_str(error, "code"), Some("overloaded"));
+    assert_eq!(protocol::get_u64(error, "retry_after_ms"), Some(7));
+
+    // The retrying client backs off on the hint and lands the mutation
+    // once the worker frees up.
+    let mut retry = RetryClient::new(
+        handle.addr.clone(),
+        ClientConfig {
+            seed: 42,
+            ..ClientConfig::default()
+        },
+    );
+    let mutation: Value =
+        serde_json::from_str(r#"{"SetCapacity": {"side": "User", "id": 0, "capacity": 3}}"#)
+            .unwrap();
+    let applied = retry.mutate(mutation).expect("retries ride out overload");
+    assert!(protocol::get_u64(&applied, "epoch").is_some());
+    assert!(
+        retry.stats().retries >= 1,
+        "expected at least one retry, stats: {:?}",
+        retry.stats()
+    );
+
+    // Drain the in-flight responses so shutdown is orderly.
+    ok_data(&filler.recv());
+    client.recv();
+    handle.shutdown();
+}
+
+/// Chaos duplication on the replication stream: record lines delivered
+/// twice are applied once (the replica skips offsets below its cursor),
+/// so the follower still converges to the primary's exact state.
+#[test]
+fn duplicated_record_lines_apply_once() {
+    let primary_dir = tmp_dir("dup-primary");
+    let replica_dir = tmp_dir("dup-replica");
+    let primary = ServerHandle::spawn(ServerConfig {
+        accept_replicas: true,
+        ..durable_config(&primary_dir)
+    });
+    let plan = ChaosPlan {
+        seed: 7,
+        server_to_client: LinePolicy {
+            dup_pct: 60,
+            ..LinePolicy::default()
+        },
+        ..ChaosPlan::default()
+    };
+    let proxy = ChaosProxy::spawn(primary.addr.parse().unwrap(), plan).unwrap();
+    let replica = ServerHandle::spawn(ServerConfig {
+        replica_of: Some(proxy.addr().to_string()),
+        ..durable_config(&replica_dir)
+    });
+
+    // Attach before writing so the replica's WAL is a byte prefix of
+    // the primary's (no snapshot shortcut hiding the Load record).
+    let mut on_replica = Client::connect(&replica.addr);
+    wait_for("replica attach", Duration::from_secs(10), || {
+        let h = health(&mut on_replica);
+        (protocol::get(&h, "connected") == Some(&Value::Bool(true))).then_some(())
+    });
+
+    let mut on_primary = Client::connect(&primary.addr);
+    ok_data(&on_primary.call(&load_line()));
+    for mutation in mutation_bodies() {
+        ok_data(&on_primary.call(&format!(r#"{{"op": "mutate", "mutation": {mutation}}}"#)));
+    }
+    let want = fingerprint(&health(&mut on_primary));
+
+    wait_for(
+        "replica to converge through dups",
+        Duration::from_secs(10),
+        || {
+            let h = health(&mut on_replica);
+            (protocol::get_u64(&h, "fingerprint") == Some(want)).then_some(())
+        },
+    );
+    // The WAL stayed a clean prefix (each record applied exactly once).
+    let replica_wal = std::fs::read(recovery::wal_path(&replica_dir)).unwrap();
+    let primary_wal = std::fs::read(recovery::wal_path(&primary_dir)).unwrap();
+    assert_eq!(replica_wal, primary_wal);
+
+    replica.shutdown();
+    drop(proxy);
+    primary.shutdown();
+}
+
+/// Property: replaying every keyed mutation 0–3 extra times (a client
+/// retry storm after reconnects) yields exactly the state of the
+/// retry-free run — the dedup table absorbs the repeats.
+mod dedup_storm {
+    use super::*;
+    use geacc_core::parallel::Threads;
+    use geacc_server::{ServerMetrics, Service};
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn service() -> Service {
+        Service::new(
+            Arc::new(ServerMetrics::default()),
+            Arc::new(AtomicBool::new(false)),
+            Threads::single(),
+            0.2,
+        )
+    }
+
+    fn call(svc: &Service, line: &str) -> Value {
+        let req = protocol::parse_request(line).unwrap();
+        svc.handle(&req, Instant::now() + Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("{line} failed: {e:?}"))
+    }
+
+    fn mutation_json(choice: u8) -> String {
+        // Capacity churn over the toy ids; all apply cleanly or fail
+        // deterministically, either way identically on both runs.
+        let side = if choice % 2 == 0 { "User" } else { "Event" };
+        let id = (choice / 2) % 3;
+        let capacity = 1 + (choice % 4);
+        format!(r#"{{"SetCapacity": {{"side": "{side}", "id": {id}, "capacity": {capacity}}}}}"#)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn retry_storms_never_double_apply(
+            choices in proptest::collection::vec(0u8..24, 1..12),
+            repeats in proptest::collection::vec(0usize..4, 1..12),
+        ) {
+            let clean = service();
+            let stormy = service();
+            call(&clean, &super::load_line());
+            call(&stormy, &super::load_line());
+
+            for (i, choice) in choices.iter().enumerate() {
+                let mutation = mutation_json(*choice);
+                let line = format!(
+                    r#"{{"op": "mutate", "client_id": "storm", "seq": {i}, "mutation": {mutation}}}"#
+                );
+                let clean_response = call(&clean, &line);
+                // The stormy run sends the same keyed request 1 + r
+                // times, as a client that lost the ack would. Replays
+                // answer from the dedup cache with the original ack,
+                // byte for byte.
+                let r = repeats[i % repeats.len()];
+                let first = call(&stormy, &line);
+                for _ in 0..r {
+                    let replayed = call(&stormy, &line);
+                    prop_assert_eq!(&replayed, &first, "replayed ack diverged");
+                }
+                prop_assert_eq!(
+                    protocol::get_u64(&first, "epoch"),
+                    protocol::get_u64(&clean_response, "epoch")
+                );
+            }
+
+            let clean_health = call(&clean, r#"{"op": "health"}"#);
+            let stormy_health = call(&stormy, r#"{"op": "health"}"#);
+            prop_assert_eq!(
+                protocol::get_u64(&stormy_health, "epoch"),
+                protocol::get_u64(&clean_health, "epoch"),
+                "retry storm changed the epoch"
+            );
+            prop_assert_eq!(
+                protocol::get_u64(&stormy_health, "fingerprint"),
+                protocol::get_u64(&clean_health, "fingerprint"),
+                "retry storm changed the arrangement"
+            );
+        }
+    }
+}

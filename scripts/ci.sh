@@ -59,8 +59,12 @@ echo "== server smoke =="
 # shut down, and check the daemon exits 0 after draining.
 SMOKE_DIR=$(mktemp -d)
 SERVE_PID=""
+REPLICA_PID=""
+RECOVER_PID=""
 cleanup() {
-    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    for pid in "$SERVE_PID" "$REPLICA_PID" "$RECOVER_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -170,5 +174,123 @@ exec 3<&- 3>&-
 wait "$SERVE_PID"
 SERVE_PID=""
 echo "crash-recovery smoke: ok"
+
+echo "== replication failover smoke =="
+# WAL-shipping replication end to end: a primary streams acked records
+# to a live replica, the primary is SIGKILLed mid-life, the replica is
+# promoted with `geacc promote`, and the promoted node must serve the
+# exact acked state — cross-checked against a recovery replay of the
+# dead primary's own WAL (same fingerprint both ways).
+PRIMARY_DIR="$SMOKE_DIR/repl-primary"
+REPLICA_DIR="$SMOKE_DIR/repl-replica"
+mkdir -p "$PRIMARY_DIR" "$REPLICA_DIR"
+
+wait_port() { # logfile
+    local port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$1")
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    [ -n "$port" ] || { echo "failover smoke: no port in $1" >&2; exit 1; }
+    printf '%s' "$port"
+}
+
+probe() { # port request — one-shot call on a fresh connection
+    exec 4<>"/dev/tcp/127.0.0.1/$1"
+    printf '%s\n' "$2" >&4
+    IFS= read -r PROBE_REPLY <&4
+    exec 4<&- 4>&-
+    printf '%s' "$PROBE_REPLY"
+}
+
+fingerprint_of() { # health-response
+    printf '%s' "$1" | sed -n 's/.*"fingerprint":\([0-9][0-9]*\).*/\1/p'
+}
+
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    --wal-dir "$PRIMARY_DIR" --fsync always --accept-replicas \
+    > "$SMOKE_DIR/serve-primary.log" &
+SERVE_PID=$!
+PRIMARY_PORT=$(wait_port "$SMOKE_DIR/serve-primary.log")
+grep -q '^accepting replicas' "$SMOKE_DIR/serve-primary.log" \
+    || { echo "failover smoke: primary printed no replication summary"; exit 1; }
+
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    --wal-dir "$REPLICA_DIR" --fsync always \
+    --replica-of "127.0.0.1:$PRIMARY_PORT" \
+    > "$SMOKE_DIR/serve-replica.log" &
+REPLICA_PID=$!
+REPLICA_PORT=$(wait_port "$SMOKE_DIR/serve-replica.log")
+
+exec 3<>"/dev/tcp/127.0.0.1/$PRIMARY_PORT"
+request "{\"op\": \"load\", \"path\": \"$SMOKE_DIR/toy.json\"}" > /dev/null
+request '{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 2}}}' > /dev/null
+request '{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}' > /dev/null
+request '{"op": "mutate", "mutation": {"SetCapacity": {"side": "Event", "id": 1, "capacity": 4}}}' > /dev/null
+PRIMARY_HEALTH=$(request '{"op": "health"}')
+exec 3<&- 3>&-
+ACKED_FP=$(fingerprint_of "$PRIMARY_HEALTH")
+[ -n "$ACKED_FP" ] || { echo "failover smoke: no fingerprint in $PRIMARY_HEALTH"; exit 1; }
+
+CAUGHT_UP=""
+for _ in $(seq 1 100); do
+    REPLICA_HEALTH=$(probe "$REPLICA_PORT" '{"op": "health"}')
+    case "$REPLICA_HEALTH" in
+        *'"lag_records":0'*"\"fingerprint\":$ACKED_FP"*) CAUGHT_UP=1; break ;;
+    esac
+    sleep 0.1
+done
+[ -n "$CAUGHT_UP" ] || { echo "failover smoke: replica never caught up: $REPLICA_HEALTH"; exit 1; }
+
+# The replica is read-only until promoted.
+DENIED=$(probe "$REPLICA_PORT" '{"op": "mutate", "mutation": {"AddConflict": {"a": 1, "b": 2}}}')
+case "$DENIED" in
+    *'"code":"read_only"'*) ;;
+    *) echo "failover smoke: replica accepted a write: $DENIED"; exit 1 ;;
+esac
+
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+PROMOTE_OUT=$(./target/release/geacc promote --addr "127.0.0.1:$REPLICA_PORT")
+case "$PROMOTE_OUT" in
+    'promoted '*) ;;
+    *) echo "failover smoke: promote did not report success: $PROMOTE_OUT"; exit 1 ;;
+esac
+
+PROMOTED_HEALTH=$(probe "$REPLICA_PORT" '{"op": "health"}')
+case "$PROMOTED_HEALTH" in
+    *'"role":"primary"'*"\"fingerprint\":$ACKED_FP"*) ;;
+    *) echo "failover smoke: promoted state diverged (wanted fp $ACKED_FP): $PROMOTED_HEALTH"; exit 1 ;;
+esac
+
+# Cross-check: recovery replay of the dead primary's WAL reconstructs
+# the same fingerprint the promoted replica serves.
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    --wal-dir "$PRIMARY_DIR" --fsync always \
+    > "$SMOKE_DIR/serve-replay.log" &
+RECOVER_PID=$!
+REPLAY_PORT=$(wait_port "$SMOKE_DIR/serve-replay.log")
+REPLAY_HEALTH=$(probe "$REPLAY_PORT" '{"op": "health"}')
+REPLAY_FP=$(fingerprint_of "$REPLAY_HEALTH")
+[ "$REPLAY_FP" = "$ACKED_FP" ] \
+    || { echo "failover smoke: WAL replay fp $REPLAY_FP != acked fp $ACKED_FP"; exit 1; }
+probe "$REPLAY_PORT" '{"op": "shutdown"}' > /dev/null
+wait "$RECOVER_PID" 2>/dev/null || true
+RECOVER_PID=""
+
+# The promoted node accepts writes again.
+RESUMED=$(probe "$REPLICA_PORT" '{"op": "mutate", "mutation": {"AddConflict": {"a": 1, "b": 2}}}')
+case "$RESUMED" in
+    '{"ok":true'*) ;;
+    *) echo "failover smoke: promoted node refused a write: $RESUMED"; exit 1 ;;
+esac
+
+probe "$REPLICA_PORT" '{"op": "shutdown"}' > /dev/null
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+echo "replication failover smoke: ok"
 
 echo "ci.sh: all green"
