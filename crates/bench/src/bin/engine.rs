@@ -36,11 +36,11 @@
 //! ```
 
 use geacc_bench::cli;
-use geacc_core::algorithms::{Algorithm, McfConfig, SspHeap};
+use geacc_core::algorithms::{relaxation_upper_bound, Algorithm, McfConfig, SspHeap};
 use geacc_core::engine::{self, CandidateGraph, EngineStats, SolveParams, SolverRegistry};
 use geacc_core::parallel::Threads;
-use geacc_core::runtime::BudgetMeter;
-use geacc_core::Instance;
+use geacc_core::runtime::{BudgetMeter, SolveBudget};
+use geacc_core::{AlnsConfig, Instance};
 use geacc_datagen::{CapDistribution, SyntheticConfig};
 use serde::Serialize;
 use std::time::Instant;
@@ -59,8 +59,30 @@ struct Snapshot {
     note: String,
     graph_build: Vec<BuildCell>,
     solvers: Vec<SolverCell>,
+    alns_quality: AlnsQualityCell,
     #[serde(skip_serializing_if = "Option::is_none")]
     baseline: Option<serde_json::Value>,
+}
+
+/// The anytime-quality curve: how much of the greedy↔best-known MaxSum
+/// gap a short ALNS budget closes on the fig3 workload.
+#[derive(Serialize)]
+struct AlnsQualityCell {
+    instance: String,
+    seed: u64,
+    budget_ms: u64,
+    greedy_max_sum: f64,
+    alns_max_sum: f64,
+    alns_iterations: u64,
+    alns_improvements: u64,
+    /// Best MaxSum any longer ALNS run found (the denominator's anchor).
+    best_known_max_sum: f64,
+    best_known_budget_ms: u64,
+    /// MinCostFlow relaxation bound: no arrangement can exceed this.
+    relaxation_upper_bound: f64,
+    /// `(alns − greedy) / (best_known − greedy)`, in percent. 100 when
+    /// the budgeted run already matches the best known.
+    gap_closed_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -295,6 +317,94 @@ fn main() {
         ));
     }
 
+    // --- ALNS anytime quality: a fixed 2 s budget on fig3, measured
+    // against Greedy-GEACC (the seed it must beat) and a longer
+    // multi-seed ALNS run (the best-known anchor for the gap).
+    let budget_ms = 2_000u64;
+    let best_known_ms = if quick { 3_000 } else { 8_000 };
+    let alns_seed = 2015u64;
+    let greedy_max_sum = engine::solve_on(
+        &fig3_graph,
+        Algorithm::Greedy,
+        &defaults,
+        &BudgetMeter::unlimited(),
+    )
+    .arrangement
+    .max_sum();
+    let start = Instant::now();
+    let alns_out = engine::solve_on(
+        &fig3_graph,
+        Algorithm::Alns { seed: alns_seed },
+        &defaults,
+        &BudgetMeter::new(&SolveBudget::from_timeout_ms(budget_ms)),
+    );
+    let alns_secs = start.elapsed().as_secs_f64();
+    let alns_stats = alns_out.alns.expect("ALNS outcomes carry run counters");
+    let alns_max_sum = alns_out.arrangement.max_sum();
+    assert!(
+        alns_out
+            .arrangement
+            .validate(fig3_graph.instance())
+            .is_empty(),
+        "ALNS-GEACC produced an infeasible arrangement"
+    );
+    // Best known: longer budget, uncapped iterations, three seeds.
+    let long_params = SolveParams {
+        alns: AlnsConfig {
+            max_iterations: u32::MAX,
+            ..AlnsConfig::default()
+        },
+        ..SolveParams::default()
+    };
+    let mut best_known = alns_max_sum;
+    for seed in [1u64, 7, 42] {
+        let long = engine::solve_on(
+            &fig3_graph,
+            Algorithm::Alns { seed },
+            &long_params,
+            &BudgetMeter::new(&SolveBudget::from_timeout_ms(best_known_ms)),
+        );
+        best_known = best_known.max(long.arrangement.max_sum());
+    }
+    let gap = best_known - greedy_max_sum;
+    let gap_closed_pct = if gap <= 1e-9 {
+        100.0
+    } else {
+        (alns_max_sum - greedy_max_sum) / gap * 100.0
+    };
+    eprintln!(
+        "[ALNS-GEACC] {alns_secs:.4}s on {fig3_desc}: greedy {greedy_max_sum:.4} -> \
+         alns {alns_max_sum:.4} (best known {best_known:.4}, gap closed {gap_closed_pct:.1}%)"
+    );
+    let alns_calls = EngineStats::snapshot()
+        .iter()
+        .find(|t| t.stage == "alns")
+        .map_or(0, |t| t.calls);
+    solvers.push(SolverCell {
+        solver: "ALNS-GEACC".to_string(),
+        stage: "alns".to_string(),
+        instance: format!("{fig3_desc} [{budget_ms}ms budget]"),
+        exact: false,
+        budget_aware: true,
+        seconds: alns_secs,
+        max_sum: alns_max_sum,
+        pairs: alns_out.arrangement.len(),
+        engine_stat_calls: alns_calls,
+    });
+    let alns_quality = AlnsQualityCell {
+        instance: fig3_desc.clone(),
+        seed: alns_seed,
+        budget_ms,
+        greedy_max_sum,
+        alns_max_sum,
+        alns_iterations: alns_stats.iterations,
+        alns_improvements: alns_stats.improvements,
+        best_known_max_sum: best_known,
+        best_known_budget_ms: best_known_ms,
+        relaxation_upper_bound: relaxation_upper_bound(&fig3_instance),
+        gap_closed_pct,
+    };
+
     let baseline = baseline_from(&out);
     let snapshot = Snapshot {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -310,12 +420,16 @@ fn main() {
                engine_stat_calls cross-checks the EngineStats accumulation. The \
                [binary-heap] row reruns MinCostFlow-GEACC with the comparison-heap SSP \
                fallback (bit-identical result) to isolate the radix frontier's share of \
-               the speedup. baseline carries the oldest recorded snapshot forward across \
+               the speedup. alns_quality records the anytime curve: the MaxSum a 2s \
+               ALNS-GEACC budget reaches on fig3 vs Greedy-GEACC and a longer multi-seed \
+               best-known run, as the percentage of the greedy-to-best-known gap closed. \
+               baseline carries the oldest recorded snapshot forward across \
                regenerations. Compare the Greedy-GEACC row against BENCH_parallel.json's \
                greedy_shared_graph for the no-regression check."
             .to_string(),
         graph_build,
         solvers,
+        alns_quality,
         baseline,
     };
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
@@ -337,6 +451,17 @@ fn main() {
         eprintln!(
             "smoke gate: MinCostFlow-GEACC {:.3}s <= {MCF_SMOKE_CEILING_SECS}s ceiling: ok",
             mcf.seconds
+        );
+        let q = &snapshot.alns_quality;
+        assert!(
+            q.alns_max_sum >= q.greedy_max_sum - 1e-9,
+            "smoke gate: ALNS-GEACC ({:.4}) fell below its Greedy-GEACC seed ({:.4})",
+            q.alns_max_sum,
+            q.greedy_max_sum
+        );
+        eprintln!(
+            "smoke gate: ALNS-GEACC {:.4} >= Greedy-GEACC {:.4} ({:.1}% of gap closed): ok",
+            q.alns_max_sum, q.greedy_max_sum, q.gap_closed_pct
         );
     }
 }

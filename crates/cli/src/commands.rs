@@ -53,9 +53,9 @@ USAGE:
                  [--attr-dist uniform|normal|zipf] [--conflict-ratio R]
                  [--city vancouver|auckland|singapore] [--seed S] [--output FILE]
   geacc solve    --input FILE [--algorithm greedy|mincostflow|prune|exhaustive|
-                 exact-dp|random-v|random-u] [--seed S] [--threads N] [--output FILE]
-                 [--timeout-ms MS] [--max-nodes N]
-                 [--on-timeout incumbent|greedy|error]
+                 exact-dp|random-v|random-u|alns] [--seed S] [--threads N]
+                 [--output FILE] [--timeout-ms MS] [--max-nodes N]
+                 [--on-timeout incumbent|greedy|alns|error]
   geacc validate --input FILE --arrangement FILE
   geacc stats    --input FILE
   geacc inspect  --input FILE --arrangement FILE [--top N] [--certify]
@@ -74,12 +74,19 @@ FILE may be '-' for stdin/stdout. Instances and arrangements are JSON.
 host's available parallelism; it affects wall-clock only (greedy and the
 exact search produce identical results at every thread count).
 
+--seed (default 0) drives the stochastic solvers (random-v, random-u,
+alns) and is echoed in every solve report line; an alns run is fully
+reproduced by (instance, seed, --max-nodes) at any --threads.
+
 --timeout-ms / --max-nodes bound the solve (wall clock / search-tree
 nodes); either makes `solve` anytime: it always returns a feasible
 arrangement and reports how it was produced. --on-timeout picks what a
 budget stop yields: the solver's best incumbent (default), a greedy
-fallback, or an error. Exit codes: 0 complete, 3 incumbent, 4 degraded
-to a fallback algorithm, 5 timed out without an arrangement.
+fallback, `alns` (spend the same budget again refining the incumbent
+with the adaptive large-neighborhood search — reported as degraded to
+ALNS-GEACC only when it actually improves the arrangement), or an
+error. Exit codes: 0 complete, 3 incumbent, 4 degraded to a fallback
+algorithm, 5 timed out without an arrangement.
 
 `serve` runs the long-lived arrangement daemon: newline-delimited JSON
 over TCP (load/mutate/query_user/query_event/solve/snapshot/restore/
@@ -236,9 +243,9 @@ fn solve(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
         .transpose()?;
     let on_timeout = args.value("on-timeout")?;
     if let Some(policy) = on_timeout {
-        if !matches!(policy, "incumbent" | "greedy" | "error") {
+        if !matches!(policy, "incumbent" | "greedy" | "alns" | "error") {
             return Err(CliError(format!(
-                "unknown on-timeout policy {policy:?} (incumbent, greedy, error)"
+                "unknown on-timeout policy {policy:?} (incumbent, greedy, alns, error)"
             )));
         }
         if timeout_ms.is_none() && max_nodes.is_none() {
@@ -304,7 +311,7 @@ fn solve(args: &ParsedArgs) -> Result<CmdOutput, CliError> {
         write_output(output, &to_json(&arrangement)?)?;
     }
     Ok(format!(
-        "{}: MaxSum {:.4}, {} pairs, {:.3?}",
+        "{}: MaxSum {:.4}, {} pairs, {:.3?}, seed {seed}",
         algorithm.name(),
         arrangement.max_sum(),
         arrangement.len(),
@@ -325,10 +332,14 @@ fn solve_budgeted_cmd(
     budget: SolveBudget,
     on_timeout: &str,
 ) -> Result<CmdOutput, CliError> {
-    let pipeline = SolverPipeline::new(algorithm, budget)
+    let mut pipeline = SolverPipeline::new(algorithm, budget)
         .with_threads(threads)
         .with_seed(seed)
         .degrade_on_stop(on_timeout == "greedy");
+    if on_timeout == "alns" {
+        // Spend the same budget again refining the stopped incumbent.
+        pipeline = pipeline.with_alns_refine(budget);
+    }
     let outcome = pipeline.run(instance);
     if on_timeout == "error" && !outcome.status.is_complete() {
         // The operator asked for all-or-nothing: report the stop
@@ -348,16 +359,24 @@ fn solve_budgeted_cmd(
     if let Some(output) = args.value("output")? {
         write_output(output, &to_json(&outcome.arrangement)?)?;
     }
+    let mut text = format!(
+        "{}: MaxSum {:.4}, {} pairs, {:.3?}, {} nodes, seed {seed}, {}",
+        algorithm.name(),
+        outcome.arrangement.max_sum(),
+        outcome.arrangement.len(),
+        outcome.elapsed,
+        outcome.nodes,
+        outcome.status.label()
+    );
+    if let Some(alns) = &outcome.alns {
+        // Anytime progress: how hard the destroy/repair search worked.
+        text.push_str(&format!(
+            " [alns: {} iterations, {} improvements]",
+            alns.iterations, alns.improvements
+        ));
+    }
     Ok(CmdOutput {
-        text: format!(
-            "{}: MaxSum {:.4}, {} pairs, {:.3?}, {} nodes, {}",
-            algorithm.name(),
-            outcome.arrangement.max_sum(),
-            outcome.arrangement.len(),
-            outcome.elapsed,
-            outcome.nodes,
-            outcome.status.label()
-        ),
+        text,
         code: outcome.status.exit_code(),
     })
 }
@@ -962,9 +981,62 @@ mod tests {
             "exhaustive",
             "random-v",
             "random-u",
+            "alns",
         ] {
             let out = run_str(&format!("solve --input {inst} --algorithm {algo}")).unwrap();
             assert!(out.contains("MaxSum"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn alns_solve_echoes_the_seed_and_reproduces_per_seed() {
+        let inst = tmp("alns_instance.json");
+        run_str(&format!(
+            "generate --events 6 --users 24 --seed 2 --output {inst}"
+        ))
+        .unwrap();
+        let max_sum = |s: &str| {
+            s.split("MaxSum ")
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        let a = run_str(&format!("solve --input {inst} --algorithm alns --seed 7")).unwrap();
+        let b = run_str(&format!("solve --input {inst} --algorithm alns --seed 7")).unwrap();
+        assert!(a.contains("ALNS-GEACC"), "{}", a.text);
+        assert!(a.contains("seed 7"), "{}", a.text);
+        assert_eq!(max_sum(&a), max_sum(&b), "same seed, same MaxSum");
+        // The default seed is 0 and is echoed too.
+        let d = run_str(&format!("solve --input {inst} --algorithm alns")).unwrap();
+        assert!(d.contains("seed 0"), "{}", d.text);
+    }
+
+    #[test]
+    fn on_timeout_alns_refines_or_keeps_the_stopped_incumbent() {
+        let inst = tmp("alns_policy_instance.json");
+        run_str(&format!(
+            "generate --events 10 --users 40 --seed 6 --output {inst}"
+        ))
+        .unwrap();
+        let out = run_str(&format!(
+            "solve --input {inst} --algorithm prune --max-nodes 50 --on-timeout alns"
+        ))
+        .unwrap();
+        // Either ALNS improved the incumbent (degraded-to attribution,
+        // exit 4) or it could not (the primary's incumbent, exit 3).
+        assert!(
+            out.code == 3 || out.code == 4,
+            "{} (code {})",
+            out.text,
+            out.code
+        );
+        if out.code == 4 {
+            assert!(out.contains("degraded to ALNS-GEACC"), "{}", out.text);
+        } else {
+            assert!(out.contains("incumbent"), "{}", out.text);
         }
     }
 }

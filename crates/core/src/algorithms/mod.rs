@@ -60,6 +60,10 @@ pub enum Algorithm {
     RandomV { seed: u64 },
     /// Random-U baseline with the given seed.
     RandomU { seed: u64 },
+    /// ALNS-GEACC (extension): adaptive large-neighborhood search with
+    /// the given seed — destroy/repair anytime refinement, see
+    /// [`crate::alns`].
+    Alns { seed: u64 },
 }
 
 impl Algorithm {
@@ -73,6 +77,7 @@ impl Algorithm {
             Algorithm::ExactDp => "Exact-DP",
             Algorithm::RandomV { .. } => "Random-V",
             Algorithm::RandomU { .. } => "Random-U",
+            Algorithm::Alns { .. } => "ALNS-GEACC",
         }
     }
 }

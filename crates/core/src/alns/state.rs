@@ -1,0 +1,227 @@
+//! [`AlnsState`]: the working arrangement plus the incremental
+//! bookkeeping every destroy/repair move reads and writes.
+//!
+//! The search mutates one arrangement in place, thousands of times per
+//! second, so nothing here may rescan the instance: every evict/insert
+//! is `O(degree)` — the conflict test scans only the user's currently
+//! assigned events (capacity-bounded), the objective moves by the
+//! pair's similarity, and the per-event attendee mirror (which
+//! [`Arrangement`] itself does not keep) is maintained with
+//! `swap_remove` on lists bounded by event capacity.
+//!
+//! Floating-point hygiene: the cached `MaxSum` drifts by ~1 ulp per
+//! evict/insert cycle (see [`Arrangement::remove_pair`]), so the state
+//! counts mutations and resynchronizes the cache from the standing
+//! pairs every [`RESYNC_INTERVAL`] — deterministic (the counter is part
+//! of the trajectory) and cheap (amortized `O(1)` per move).
+
+use crate::engine::CandidateGraph;
+use crate::model::arrangement::Arrangement;
+use crate::model::ids::{EventId, UserId};
+
+/// Evict/insert mutations between `MaxSum` cache resynchronizations.
+const RESYNC_INTERVAL: u32 = 1 << 16;
+
+/// The incumbent-in-progress: one arrangement plus the incremental
+/// capacity, attendee, and objective ledgers the operators consult.
+#[derive(Debug, Clone)]
+pub struct AlnsState {
+    arrangement: Arrangement,
+    /// Remaining event capacity (instance capacity minus attendees).
+    free_v: Vec<u32>,
+    /// Remaining user capacity.
+    free_u: Vec<u32>,
+    /// Users currently assigned to each event — the mirror of
+    /// [`Arrangement::events_of`] that eviction-by-event needs without
+    /// an `O(pairs)` scan. Unordered (swap_remove).
+    attendees: Vec<Vec<UserId>>,
+    /// Mutations since the last `MaxSum` resync.
+    ops_since_resync: u32,
+}
+
+impl AlnsState {
+    /// Wrap a feasible arrangement, deriving the capacity and attendee
+    /// ledgers in one `O(|V| + |U| + pairs)` pass.
+    pub fn new(graph: &CandidateGraph, arrangement: Arrangement) -> Self {
+        let inst = graph.instance();
+        let mut free_v: Vec<u32> = inst.events().map(|v| inst.event_capacity(v)).collect();
+        let mut free_u: Vec<u32> = inst.users().map(|u| inst.user_capacity(u)).collect();
+        let mut attendees: Vec<Vec<UserId>> = vec![Vec::new(); inst.num_events()];
+        for (v, u) in arrangement.pairs() {
+            free_v[v.index()] -= 1;
+            free_u[u.index()] -= 1;
+            attendees[v.index()].push(u);
+        }
+        AlnsState {
+            arrangement,
+            free_v,
+            free_u,
+            attendees,
+            ops_since_resync: 0,
+        }
+    }
+
+    /// The standing arrangement (always feasible between moves).
+    pub fn arrangement(&self) -> &Arrangement {
+        &self.arrangement
+    }
+
+    /// Consume the state, yielding the arrangement with its `MaxSum`
+    /// cache resynchronized (clearing accumulated rounding residue).
+    pub fn into_arrangement(mut self, graph: &CandidateGraph) -> Arrangement {
+        self.arrangement.resync_max_sum(graph.instance());
+        self.arrangement
+    }
+
+    /// The current objective (cached, drift-bounded by the periodic
+    /// resync).
+    #[inline]
+    pub fn objective(&self) -> f64 {
+        self.arrangement.max_sum()
+    }
+
+    /// Matched pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arrangement.len()
+    }
+
+    /// Whether no pair is matched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arrangement.is_empty()
+    }
+
+    /// Remaining capacity of `v`.
+    #[inline]
+    pub fn free_event_capacity(&self, v: EventId) -> u32 {
+        self.free_v[v.index()]
+    }
+
+    /// Remaining capacity of `u`.
+    #[inline]
+    pub fn free_user_capacity(&self, u: UserId) -> u32 {
+        self.free_u[u.index()]
+    }
+
+    /// Users currently assigned to `v` (unordered).
+    #[inline]
+    pub fn attendees_of(&self, v: EventId) -> &[UserId] {
+        &self.attendees[v.index()]
+    }
+
+    /// Events currently assigned to `u`.
+    #[inline]
+    pub fn events_of(&self, u: UserId) -> &[EventId] {
+        self.arrangement.events_of(u)
+    }
+
+    /// Whether the pair is currently matched.
+    #[inline]
+    pub fn contains(&self, v: EventId, u: UserId) -> bool {
+        self.arrangement.contains(v, u)
+    }
+
+    /// Whether `(v, u)` can be inserted right now: spare capacity on
+    /// both sides, not already matched, and no conflict with `u`'s
+    /// assigned events. `O(|events_of(u)|)` — the delta evaluation the
+    /// repair frontier runs per candidate.
+    pub fn can_insert(&self, graph: &CandidateGraph, v: EventId, u: UserId) -> bool {
+        self.free_v[v.index()] > 0
+            && self.free_u[u.index()] > 0
+            && !self.contains(v, u)
+            && !graph
+                .instance()
+                .conflicts()
+                .conflicts_with_any(v, self.events_of(u))
+    }
+
+    /// Remove a matched pair. `sim` must be the pair's similarity (the
+    /// objective delta is exactly `-sim`). Panics in debug builds if the
+    /// pair is absent — operators only evict pairs they just looked up.
+    pub fn evict(&mut self, graph: &CandidateGraph, v: EventId, u: UserId, sim: f64) {
+        let present = self.arrangement.remove_pair(v, u, sim);
+        debug_assert!(present, "evicting unmatched pair ({v}, {u})");
+        self.free_v[v.index()] += 1;
+        self.free_u[u.index()] += 1;
+        let list = &mut self.attendees[v.index()];
+        let pos = list
+            .iter()
+            .position(|&x| x == u)
+            .expect("attendee mirror out of sync");
+        list.swap_remove(pos);
+        self.bump_resync(graph);
+    }
+
+    /// Insert a pair the caller has proven feasible via
+    /// [`can_insert`][Self::can_insert]. The objective delta is exactly
+    /// `+sim`.
+    pub fn insert(&mut self, graph: &CandidateGraph, v: EventId, u: UserId, sim: f64) {
+        debug_assert!(self.can_insert(graph, v, u), "inserting infeasible pair");
+        self.arrangement.push_unchecked(v, u, sim);
+        self.free_v[v.index()] -= 1;
+        self.free_u[u.index()] -= 1;
+        self.attendees[v.index()].push(u);
+        self.bump_resync(graph);
+    }
+
+    fn bump_resync(&mut self, graph: &CandidateGraph) {
+        self.ops_since_resync += 1;
+        if self.ops_since_resync >= RESYNC_INTERVAL {
+            self.arrangement.resync_max_sum(graph.instance());
+            self.ops_since_resync = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::Threads;
+    use crate::toy;
+
+    #[test]
+    fn ledgers_track_evict_and_insert() {
+        let inst = toy::table1_instance();
+        let graph = CandidateGraph::build(&inst, Threads::single());
+        let seeded = crate::algorithms::greedy_on(&graph, None).0;
+        let mut state = AlnsState::new(&graph, seeded.clone());
+        assert_eq!(state.len(), seeded.len());
+
+        let (v, u) = seeded.pairs().next().unwrap();
+        let sim = graph.similarity(v, u);
+        let before_free_v = state.free_event_capacity(v);
+        let obj = state.objective();
+        state.evict(&graph, v, u, sim);
+        assert_eq!(state.free_event_capacity(v), before_free_v + 1);
+        assert!(!state.contains(v, u));
+        assert!(!state.attendees_of(v).contains(&u));
+        assert!((state.objective() - (obj - sim)).abs() < 1e-9);
+
+        assert!(state.can_insert(&graph, v, u));
+        state.insert(&graph, v, u, sim);
+        assert_eq!(state.free_event_capacity(v), before_free_v);
+        assert!(state.contains(v, u));
+        assert!(state.arrangement().validate(&inst).is_empty());
+    }
+
+    #[test]
+    fn into_arrangement_resyncs_the_cache() {
+        let inst = toy::table1_instance();
+        let graph = CandidateGraph::build(&inst, Threads::single());
+        let seeded = crate::algorithms::greedy_on(&graph, None).0;
+        let mut state = AlnsState::new(&graph, seeded);
+        // Cycle a pair many times to accumulate (tiny) drift; the final
+        // arrangement must still validate with an exact cache.
+        let (v, u) = state.arrangement().pairs().next().unwrap();
+        let sim = graph.similarity(v, u);
+        for _ in 0..1000 {
+            state.evict(&graph, v, u, sim);
+            state.insert(&graph, v, u, sim);
+        }
+        let arrangement = state.into_arrangement(&graph);
+        assert!(arrangement.validate(&inst).is_empty());
+        let exact = arrangement.recompute_max_sum(&inst);
+        assert_eq!(arrangement.max_sum(), exact);
+    }
+}

@@ -32,9 +32,9 @@ mod solver;
 mod stats;
 
 pub use graph::CandidateGraph;
-pub use registry::{solve_instance, solve_on, SolverRegistry, UnknownAlgorithm};
+pub use registry::{refine_on, solve_instance, solve_on, SolverRegistry, UnknownAlgorithm};
 pub use solver::{
-    ExactDpSolver, ExhaustiveSolver, GreedySolver, MinCostFlowSolver, PruneSolver, RandomUSolver,
-    RandomVSolver, SolveParams, Solver, SolverCaps,
+    AlnsSolver, ExactDpSolver, ExhaustiveSolver, GreedySolver, MinCostFlowSolver, PruneSolver,
+    RandomUSolver, RandomVSolver, SolveParams, Solver, SolverCaps,
 };
 pub use stats::{EngineStats, SolverTiming, NUM_SOLVER_SLOTS};

@@ -10,14 +10,16 @@
 //! solve, and records the cost in [`EngineStats`].
 
 use crate::algorithms::Algorithm;
+use crate::alns::alns_on;
 use crate::engine::solver::{
-    ExactDpSolver, ExhaustiveSolver, GreedySolver, MinCostFlowSolver, PruneSolver, RandomUSolver,
-    RandomVSolver, SolveParams, Solver,
+    AlnsSolver, ExactDpSolver, ExhaustiveSolver, GreedySolver, MinCostFlowSolver, PruneSolver,
+    RandomUSolver, RandomVSolver, SolveParams, Solver,
 };
 use crate::engine::stats::EngineStats;
 use crate::engine::CandidateGraph;
+use crate::model::arrangement::Arrangement;
 use crate::runtime::budget::BudgetMeter;
-use crate::runtime::outcome::Outcome;
+use crate::runtime::outcome::{Outcome, Provenance, SolveStatus};
 use crate::Instance;
 use std::time::Instant;
 
@@ -28,10 +30,11 @@ static EXHAUSTIVE: ExhaustiveSolver = ExhaustiveSolver;
 static EXACT_DP: ExactDpSolver = ExactDpSolver;
 static RANDOM_V: RandomVSolver = RandomVSolver;
 static RANDOM_U: RandomUSolver = RandomUSolver;
+static ALNS: AlnsSolver = AlnsSolver;
 
 /// Registry order (the order `entries` iterates and `EngineStats`
 /// snapshots report).
-static ENTRIES: [&dyn Solver; 7] = [
+static ENTRIES: [&dyn Solver; 8] = [
     &GREEDY,
     &MINCOSTFLOW,
     &PRUNE,
@@ -39,6 +42,7 @@ static ENTRIES: [&dyn Solver; 7] = [
     &EXACT_DP,
     &RANDOM_V,
     &RANDOM_U,
+    &ALNS,
 ];
 
 /// A solver name the registry does not know. Displays the same message
@@ -53,7 +57,7 @@ impl std::fmt::Display for UnknownAlgorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown algorithm {:?} (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u)",
+            "unknown algorithm {:?} (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u, alns)",
             self.requested
         )
     }
@@ -101,6 +105,7 @@ impl SolverRegistry {
             "exact-dp" | "exactdp" => Algorithm::ExactDp,
             "random-v" | "random_v" => Algorithm::RandomV { seed },
             "random-u" | "random_u" => Algorithm::RandomU { seed },
+            "alns" => Algorithm::Alns { seed },
             other => {
                 return Err(UnknownAlgorithm {
                     requested: other.to_string(),
@@ -123,10 +128,13 @@ pub fn solve_on(
     let effective = SolveParams {
         threads: params.threads,
         seed: match algorithm {
-            Algorithm::RandomV { seed } | Algorithm::RandomU { seed } => seed,
+            Algorithm::RandomV { seed }
+            | Algorithm::RandomU { seed }
+            | Algorithm::Alns { seed } => seed,
             _ => params.seed,
         },
         mcf: params.mcf,
+        alns: params.alns,
     };
     let start = Instant::now();
     let outcome = SolverRegistry::global()
@@ -134,6 +142,35 @@ pub fn solve_on(
         .solve(graph, &effective, meter);
     EngineStats::record(algorithm, start.elapsed());
     outcome
+}
+
+/// Warm-started ALNS refinement: run ALNS-GEACC from `warm` instead of
+/// a fresh greedy seed, recording the dispatch in [`EngineStats`] like
+/// any other engine call. This is how [`SolverPipeline`][crate::runtime::SolverPipeline]
+/// turns a budget-stopped exact incumbent into a better one — the
+/// [`Solver`] trait has no incumbent input, so warm starts enter here.
+pub fn refine_on(
+    graph: &CandidateGraph,
+    params: &SolveParams,
+    meter: &BudgetMeter,
+    warm: &Arrangement,
+) -> Outcome {
+    let algorithm = Algorithm::Alns { seed: params.seed };
+    let start = Instant::now();
+    let (arrangement, stopped, stats) = alns_on(graph, params, meter, Some(warm));
+    EngineStats::record(algorithm, start.elapsed());
+    let status = match stopped {
+        None => SolveStatus::Feasible(Provenance::Completed),
+        Some(reason) => SolveStatus::Feasible(Provenance::Incumbent(reason)),
+    };
+    Outcome {
+        arrangement,
+        status,
+        nodes: meter.nodes(),
+        elapsed: meter.elapsed(),
+        search: None,
+        alns: Some(stats),
+    }
 }
 
 /// Convenience for callers without a prebuilt graph: build the
@@ -166,6 +203,7 @@ mod tests {
             (Algorithm::ExactDp, "Exact-DP", "exact-dp"),
             (Algorithm::RandomV { seed: 3 }, "Random-V", "random-v"),
             (Algorithm::RandomU { seed: 3 }, "Random-U", "random-u"),
+            (Algorithm::Alns { seed: 3 }, "ALNS-GEACC", "alns"),
         ] {
             let solver = reg.solver(algo);
             assert_eq!(solver.name(), name);
@@ -173,7 +211,7 @@ mod tests {
             assert_eq!(solver.name(), algo.name(), "registry/enum name drift");
             assert!(reg.by_stage(stage).is_some());
         }
-        assert_eq!(reg.entries().len(), 7);
+        assert_eq!(reg.entries().len(), 8);
         assert!(reg.by_stage("annealing").is_none());
     }
 
@@ -186,10 +224,11 @@ mod tests {
         assert_eq!(reg.parse("random-v", 5), Ok(Algorithm::RandomV { seed: 5 }));
         assert_eq!(reg.parse("random_v", 5), Ok(Algorithm::RandomV { seed: 5 }));
         assert_eq!(reg.parse("random_u", 9), Ok(Algorithm::RandomU { seed: 9 }));
+        assert_eq!(reg.parse("alns", 7), Ok(Algorithm::Alns { seed: 7 }));
         let err = reg.parse("magic", 0).unwrap_err();
         assert_eq!(
             err.to_string(),
-            "unknown algorithm \"magic\" (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u)"
+            "unknown algorithm \"magic\" (greedy, mincostflow, prune, exhaustive, exact-dp, random-v, random-u, alns)"
         );
     }
 
@@ -204,6 +243,7 @@ mod tests {
             Algorithm::ExactDp,
             Algorithm::RandomV { seed: 1 },
             Algorithm::RandomU { seed: 1 },
+            Algorithm::Alns { seed: 1 },
         ] {
             let out = solve_instance(
                 &inst,
@@ -245,6 +285,24 @@ mod tests {
             .unwrap()
             .calls;
         assert!(calls_after > calls_before);
+    }
+
+    #[test]
+    fn refine_on_never_loses_to_its_warm_start() {
+        let inst = toy::table1_instance();
+        let graph = CandidateGraph::build(&inst, Threads::single());
+        let warm = crate::algorithms::greedy_on(&graph, None).0;
+        let warm_sum = warm.max_sum();
+        let out = refine_on(
+            &graph,
+            &SolveParams::default(),
+            &BudgetMeter::unlimited(),
+            &warm,
+        );
+        assert!(out.arrangement.validate(&inst).is_empty());
+        assert!(out.arrangement.max_sum() >= warm_sum - 1e-9);
+        assert!(out.alns.is_some());
+        assert!(out.status.is_complete());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::algorithms::{
     exact_dp, greedy_on, mincostflow_on, prune_on, random_u, random_v, McfConfig, PruneConfig,
     SearchStats,
 };
+use crate::alns::{alns_on, AlnsConfig};
 use crate::engine::CandidateGraph;
 use crate::model::arrangement::Arrangement;
 use crate::parallel::Threads;
@@ -64,6 +65,9 @@ pub struct SolveParams {
     /// heap choice); ignored by every other solver. The default is the
     /// paper's Algorithm 1 with the fast radix-heap frontier.
     pub mcf: McfConfig,
+    /// ALNS-GEACC knobs (destroy intensity, weight adaptation, cooling
+    /// schedule — see [`AlnsConfig`]); ignored by every other solver.
+    pub alns: AlnsConfig,
 }
 
 impl Default for SolveParams {
@@ -72,6 +76,7 @@ impl Default for SolveParams {
             threads: Threads::single(),
             seed: 0,
             mcf: McfConfig::default(),
+            alns: AlnsConfig::default(),
         }
     }
 }
@@ -115,6 +120,7 @@ fn outcome(
         nodes: meter.nodes(),
         elapsed: meter.elapsed(),
         search,
+        alns: None,
     }
 }
 
@@ -129,6 +135,7 @@ fn failed(graph: &CandidateGraph, err: SolveError, meter: &BudgetMeter) -> Outco
         nodes: meter.nodes(),
         elapsed: meter.elapsed(),
         search: None,
+        alns: None,
     }
 }
 
@@ -340,6 +347,35 @@ impl Solver for RandomUSolver {
     }
 }
 
+/// ALNS-GEACC (extension): seeded destroy/repair large-neighborhood
+/// search — the anytime quality closer for sizes where exact search is
+/// hopeless. Deterministic per (instance, seed, node budget); see
+/// [`crate::alns`] for the operators and acceptance schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlnsSolver;
+
+impl Solver for AlnsSolver {
+    fn name(&self) -> &'static str {
+        "ALNS-GEACC"
+    }
+    fn stage(&self) -> &'static str {
+        "alns"
+    }
+    fn capabilities(&self) -> SolverCaps {
+        SolverCaps {
+            exact: false,
+            budget_aware: true,
+            incremental_seed: false,
+        }
+    }
+    fn solve(&self, graph: &CandidateGraph, params: &SolveParams, meter: &BudgetMeter) -> Outcome {
+        let (arrangement, stopped, stats) = alns_on(graph, params, meter, None);
+        let mut out = outcome(arrangement, stopped, false, meter, None);
+        out.alns = Some(stats);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,7 +386,7 @@ mod tests {
         let inst = toy::table1_instance();
         let graph = CandidateGraph::build(&inst, Threads::single());
         let params = SolveParams::default();
-        let solvers: [&dyn Solver; 7] = [
+        let solvers: [&dyn Solver; 8] = [
             &GreedySolver,
             &MinCostFlowSolver,
             &PruneSolver,
@@ -358,6 +394,7 @@ mod tests {
             &ExactDpSolver,
             &RandomVSolver,
             &RandomUSolver,
+            &AlnsSolver,
         ];
         for solver in solvers {
             let meter = BudgetMeter::unlimited();

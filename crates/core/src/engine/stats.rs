@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of registry slots (one per [`Algorithm`] variant).
-pub const NUM_SOLVER_SLOTS: usize = 7;
+pub const NUM_SOLVER_SLOTS: usize = 8;
 
 /// Stage keys, indexed by slot — the same strings
 /// [`Solver::stage`][crate::engine::Solver::stage] returns.
@@ -26,12 +26,15 @@ const STAGES: [&str; NUM_SOLVER_SLOTS] = [
     "exact-dp",
     "random-v",
     "random-u",
+    "alns",
 ];
 
 #[allow(clippy::declare_interior_mutable_const)]
 const ZERO: AtomicU64 = AtomicU64::new(0);
 static CALLS: [AtomicU64; NUM_SOLVER_SLOTS] = [ZERO; NUM_SOLVER_SLOTS];
 static NANOS: [AtomicU64; NUM_SOLVER_SLOTS] = [ZERO; NUM_SOLVER_SLOTS];
+static IMPROVEMENTS: [AtomicU64; NUM_SOLVER_SLOTS] = [ZERO; NUM_SOLVER_SLOTS];
+static BEST: [AtomicU64; NUM_SOLVER_SLOTS] = [ZERO; NUM_SOLVER_SLOTS];
 
 /// The registry slot an algorithm records under (random seeds collapse
 /// into one slot per baseline).
@@ -44,6 +47,7 @@ pub(crate) fn slot(algorithm: Algorithm) -> usize {
         Algorithm::ExactDp => 4,
         Algorithm::RandomV { .. } => 5,
         Algorithm::RandomU { .. } => 6,
+        Algorithm::Alns { .. } => 7,
     }
 }
 
@@ -56,9 +60,21 @@ pub struct SolverTiming {
     pub calls: u64,
     /// Total wall-clock nanoseconds across those dispatches.
     pub total_nanos: u64,
+    /// Incumbent improvements streamed by anytime solvers (ALNS)
+    /// mid-run; zero for one-shot solvers.
+    pub improvements: u64,
+    /// Bit pattern of the latest streamed incumbent `MaxSum` (kept as
+    /// bits so the struct stays `Eq`); read via
+    /// [`last_incumbent`][Self::last_incumbent].
+    pub last_best_bits: u64,
 }
 
 impl SolverTiming {
+    /// The latest incumbent objective streamed by this solver, if it
+    /// ever streamed one.
+    pub fn last_incumbent(&self) -> Option<f64> {
+        (self.improvements > 0).then(|| f64::from_bits(self.last_best_bits))
+    }
     /// Total wall-clock time as a [`Duration`].
     pub fn total(&self) -> Duration {
         Duration::from_nanos(self.total_nanos)
@@ -85,6 +101,15 @@ impl EngineStats {
         NANOS[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Stream one incumbent improvement from an anytime solver: bump
+    /// the improvement counter and publish the new best objective, so
+    /// monitoring surfaces see progress *while* the solve runs.
+    pub fn record_improvement(algorithm: Algorithm, best_max_sum: f64) {
+        let i = slot(algorithm);
+        BEST[i].store(best_max_sum.to_bits(), Ordering::Relaxed);
+        IMPROVEMENTS[i].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A snapshot of every slot, in registry order.
     pub fn snapshot() -> Vec<SolverTiming> {
         (0..NUM_SOLVER_SLOTS)
@@ -92,6 +117,8 @@ impl EngineStats {
                 stage: STAGES[i],
                 calls: CALLS[i].load(Ordering::Relaxed),
                 total_nanos: NANOS[i].load(Ordering::Relaxed),
+                improvements: IMPROVEMENTS[i].load(Ordering::Relaxed),
+                last_best_bits: BEST[i].load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -103,6 +130,8 @@ impl EngineStats {
         for i in 0..NUM_SOLVER_SLOTS {
             CALLS[i].store(0, Ordering::Relaxed);
             NANOS[i].store(0, Ordering::Relaxed);
+            IMPROVEMENTS[i].store(0, Ordering::Relaxed);
+            BEST[i].store(0, Ordering::Relaxed);
         }
     }
 }
@@ -139,15 +168,32 @@ mod tests {
             stage: "greedy",
             calls: 4,
             total_nanos: 4000,
+            improvements: 0,
+            last_best_bits: 0,
         };
         assert_eq!(t.total(), Duration::from_nanos(4000));
         assert_eq!(t.mean(), Duration::from_nanos(1000));
+        assert_eq!(t.last_incumbent(), None);
         let never = SolverTiming {
             stage: "prune",
             calls: 0,
             total_nanos: 0,
+            improvements: 0,
+            last_best_bits: 0,
         };
         assert_eq!(never.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn improvement_stream_publishes_the_latest_incumbent() {
+        EngineStats::record_improvement(Algorithm::Alns { seed: 4 }, 3.25);
+        EngineStats::record_improvement(Algorithm::Alns { seed: 4 }, 3.75);
+        let snap = EngineStats::snapshot();
+        let alns = snap.iter().find(|t| t.stage == "alns").unwrap();
+        assert!(alns.improvements >= 2);
+        // Another test may have streamed a later value concurrently, but
+        // some improvement is always visible once recorded.
+        assert!(alns.last_incumbent().is_some());
     }
 
     #[test]
@@ -160,6 +206,7 @@ mod tests {
             Algorithm::ExactDp,
             Algorithm::RandomV { seed: 1 },
             Algorithm::RandomU { seed: 2 },
+            Algorithm::Alns { seed: 3 },
         ];
         let mut seen = [false; NUM_SOLVER_SLOTS];
         for algo in algos {

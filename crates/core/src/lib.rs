@@ -55,6 +55,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod alns;
 pub mod dynamic;
 pub mod engine;
 pub mod loader;
@@ -65,6 +66,7 @@ pub mod runtime;
 pub mod similarity;
 pub mod toy;
 
+pub use alns::{alns_on, AlnsConfig, AlnsState, AlnsStats};
 pub use dynamic::{
     DynamicConfig, IncrementalArranger, Mutation, MutationError, RepairReport, ReplayStats, Side,
     WireError,

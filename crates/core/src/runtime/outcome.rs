@@ -10,6 +10,7 @@
 //! empty arrangement is trivially feasible too).
 
 use crate::algorithms::SearchStats;
+use crate::alns::AlnsStats;
 use crate::model::arrangement::Arrangement;
 use crate::runtime::budget::StopReason;
 use std::time::Duration;
@@ -19,6 +20,10 @@ use std::time::Duration;
 pub enum FallbackAlgo {
     /// Greedy-GEACC (the `1/(1 + max c_u)`-approximation).
     Greedy,
+    /// ALNS-GEACC (the pipeline's anytime refinement stage improved the
+    /// budget-stopped primary's incumbent, so the final arrangement is
+    /// ALNS's, not the primary's).
+    Alns,
     /// Random-V (the unconditional last resort).
     RandomV,
 }
@@ -27,6 +32,7 @@ impl std::fmt::Display for FallbackAlgo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             FallbackAlgo::Greedy => "Greedy-GEACC",
+            FallbackAlgo::Alns => "ALNS-GEACC",
             FallbackAlgo::RandomV => "Random-V",
         })
     }
@@ -163,6 +169,10 @@ pub struct Outcome {
     /// searches (Prune-GEACC and Exhaustive). `None` for every other
     /// solver.
     pub search: Option<SearchStats>,
+    /// ALNS run counters (iterations, incumbent improvements),
+    /// populated only when ALNS-GEACC produced or refined the
+    /// arrangement. `None` for every other solver.
+    pub alns: Option<AlnsStats>,
 }
 
 #[cfg(test)]
@@ -178,9 +188,14 @@ mod tests {
             3
         );
         assert_eq!(SolveStatus::DegradedTo(FallbackAlgo::Greedy).exit_code(), 4);
+        assert_eq!(SolveStatus::DegradedTo(FallbackAlgo::Alns).exit_code(), 4);
         assert_eq!(
             SolveStatus::DegradedTo(FallbackAlgo::RandomV).exit_code(),
             4
+        );
+        assert_eq!(
+            SolveStatus::DegradedTo(FallbackAlgo::Alns).label(),
+            "degraded to ALNS-GEACC"
         );
         assert_eq!(SolveStatus::TimedOut.exit_code(), 5);
         assert_eq!(

@@ -5,11 +5,17 @@
 //! chain the ROADMAP's production-service north-star needs:
 //!
 //! 1. the **primary** algorithm under the main budget;
-//! 2. **Greedy-GEACC** under the (separate) fallback budget, if the
+//! 2. optionally **ALNS-GEACC** under its own budget
+//!    ([`with_alns_refine`][SolverPipeline::with_alns_refine]): a
+//!    budget-stopped primary's incumbent is warm-started into the
+//!    destroy/repair search, and the result is reported as
+//!    `DegradedTo(Alns)` **only if ALNS actually improved it** — the
+//!    stage that produced the final incumbent is the one named;
+//! 3. **Greedy-GEACC** under the (separate) fallback budget, if the
 //!    primary panicked, produced an infeasible arrangement, or was
 //!    budget-stopped with degradation requested;
-//! 3. **Random-V** as the unconditional last resort;
-//! 4. the empty arrangement with [`SolveStatus::TimedOut`] if even that
+//! 4. **Random-V** as the unconditional last resort;
+//! 5. the empty arrangement with [`SolveStatus::TimedOut`] if even that
 //!    failed.
 //!
 //! The candidate graph is built **once** per `run` and shared by every
@@ -46,6 +52,7 @@ pub struct SolverPipeline {
     fallback_budget: SolveBudget,
     threads: Threads,
     degrade_on_stop: bool,
+    alns_refine: Option<SolveBudget>,
     cancel: Option<Arc<CancelToken>>,
     fault: Option<Arc<FaultPlan>>,
     seed: u64,
@@ -62,6 +69,7 @@ impl SolverPipeline {
             fallback_budget: SolveBudget::UNLIMITED,
             threads: Threads::single(),
             degrade_on_stop: false,
+            alns_refine: None,
             cancel: None,
             fault: None,
             seed: 0,
@@ -86,6 +94,19 @@ impl SolverPipeline {
     /// `Feasible(Incumbent(_))`.
     pub fn degrade_on_stop(mut self, degrade: bool) -> Self {
         self.degrade_on_stop = degrade;
+        self
+    }
+
+    /// When the primary is budget-stopped, spend `budget` refining its
+    /// incumbent with warm-started ALNS-GEACC (the CLI's `--on-timeout
+    /// alns`). The refined arrangement replaces the incumbent — and is
+    /// reported as `DegradedTo(Alns)` — only when ALNS strictly
+    /// improves it; otherwise the primary's incumbent and status are
+    /// returned unchanged. If the primary produced *nothing* (panic or
+    /// structured failure), a cold ALNS run is tried before the Greedy
+    /// fallback. A no-op when the primary is ALNS itself.
+    pub fn with_alns_refine(mut self, budget: SolveBudget) -> Self {
+        self.alns_refine = Some(budget);
         self
     }
 
@@ -166,11 +187,19 @@ impl SolverPipeline {
             engine::solve_on(&graph, self.primary, &params, &meter)
         });
         nodes += meter.nodes();
+        // ALNS refinement applies to budget-stopped incumbents of any
+        // primary but ALNS itself (re-refining its own output would
+        // just continue the same search with a colder schedule).
+        let refine = self
+            .alns_refine
+            .filter(|_| !matches!(self.primary, Algorithm::Alns { .. }));
+        let mut incumbent = None;
         if let Some(solved) = solved {
             match solved.status.stop_reason() {
                 // Completed: the solver's own status (Optimal or
                 // Feasible(Completed)) is already honest.
                 None => return self.outcome(solved, nodes, start),
+                Some(_) if refine.is_some() => incumbent = Some(solved),
                 // A budget-stopped Greedy *is* the Greedy fallback;
                 // degrading would just re-run a weaker version of it.
                 Some(_) if !self.degrade_on_stop || matches!(self.primary, Algorithm::Greedy) => {
@@ -180,7 +209,40 @@ impl SolverPipeline {
             }
         }
 
-        // Stage 2: Greedy under the fallback budget, over the same graph.
+        // Stage 2 (opt-in): ALNS-GEACC refinement under its own budget.
+        // Honest attribution: the stage that produced the *final*
+        // incumbent is the one named — ALNS improving a Prune incumbent
+        // reports DegradedTo(Alns), not Prune's incumbent status; ALNS
+        // failing to improve leaves the primary's status untouched.
+        if let Some(budget) = refine {
+            if let Some(primary) = incumbent {
+                let meter = self.meter_for(&budget);
+                let refined = self.run_stage(&graph, "alns", || {
+                    engine::refine_on(&graph, &params, &meter, &primary.arrangement)
+                });
+                nodes += meter.nodes();
+                if let Some(mut refined) = refined {
+                    if refined.arrangement.max_sum() > primary.arrangement.max_sum() + 1e-9 {
+                        refined.status = SolveStatus::DegradedTo(FallbackAlgo::Alns);
+                        return self.outcome(refined, nodes, start);
+                    }
+                }
+                return self.outcome(primary, nodes, start);
+            }
+            // The primary produced nothing: try a cold (greedy-seeded)
+            // ALNS run before the plain Greedy fallback.
+            let meter = self.meter_for(&budget);
+            let refined = self.run_stage(&graph, "alns", || {
+                engine::solve_on(&graph, Algorithm::Alns { seed: self.seed }, &params, &meter)
+            });
+            nodes += meter.nodes();
+            if let Some(mut refined) = refined {
+                refined.status = SolveStatus::DegradedTo(FallbackAlgo::Alns);
+                return self.outcome(refined, nodes, start);
+            }
+        }
+
+        // Stage 3: Greedy under the fallback budget, over the same graph.
         if !matches!(self.primary, Algorithm::Greedy) {
             let meter = self.meter_for(&self.fallback_budget);
             let solved = self.run_stage(&graph, "greedy", || {
@@ -193,7 +255,7 @@ impl SolverPipeline {
             }
         }
 
-        // Stage 3: Random-V, the unconditional last resort (unbudgeted:
+        // Stage 4: Random-V, the unconditional last resort (unbudgeted:
         // it is a single linear pass).
         let solved = self.run_stage(&graph, "random-v", || {
             engine::solve_on(
@@ -217,6 +279,7 @@ impl SolverPipeline {
                 nodes: 0,
                 elapsed: start.elapsed(),
                 search: None,
+                alns: None,
             },
             nodes,
             start,

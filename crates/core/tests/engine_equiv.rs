@@ -12,7 +12,7 @@ use geacc_core::algorithms::{self, Algorithm, GreedyConfig, PruneConfig};
 use geacc_core::engine::{self, CandidateGraph, SolveParams};
 use geacc_core::parallel::Threads;
 use geacc_core::runtime::{BudgetMeter, SolveStatus};
-use geacc_core::{Arrangement, ConflictGraph, EventId, Instance, SimMatrix};
+use geacc_core::{AlnsConfig, Arrangement, ConflictGraph, EventId, Instance, SimMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -73,8 +73,11 @@ fn assert_bit_identical(engine: &Arrangement, legacy: &Arrangement, what: &str) 
     );
 }
 
-/// The legacy (paper) entry point for `algo`, meterless.
-fn legacy_solve(inst: &Instance, algo: Algorithm, threads: Threads) -> Arrangement {
+/// The legacy (paper) entry point for `algo`, meterless. ALNS never had
+/// a pre-engine entry point; its reference is the library function the
+/// engine wraps, over its own (bit-identical) graph build.
+fn legacy_solve(inst: &Instance, algo: Algorithm, params: &SolveParams) -> Arrangement {
+    let threads = params.threads;
     match algo {
         Algorithm::Greedy => algorithms::greedy_with(inst, GreedyConfig { threads }),
         Algorithm::MinCostFlow => algorithms::mincostflow(inst).arrangement,
@@ -92,10 +95,15 @@ fn legacy_solve(inst: &Instance, algo: Algorithm, threads: Threads) -> Arrangeme
         Algorithm::ExactDp => algorithms::exact_dp(inst).expect("spec sizes fit the DP"),
         Algorithm::RandomV { seed } => algorithms::random_v(inst, &mut StdRng::seed_from_u64(seed)),
         Algorithm::RandomU { seed } => algorithms::random_u(inst, &mut StdRng::seed_from_u64(seed)),
+        Algorithm::Alns { seed } => {
+            let graph = CandidateGraph::build(inst, threads);
+            let p = SolveParams { seed, ..*params };
+            geacc_core::alns_on(&graph, &p, &BudgetMeter::unlimited(), None).0
+        }
     }
 }
 
-const ALL: [Algorithm; 7] = [
+const ALL: [Algorithm; 8] = [
     Algorithm::Greedy,
     Algorithm::MinCostFlow,
     Algorithm::Prune,
@@ -103,6 +111,7 @@ const ALL: [Algorithm; 7] = [
     Algorithm::ExactDp,
     Algorithm::RandomV { seed: 42 },
     Algorithm::RandomU { seed: 42 },
+    Algorithm::Alns { seed: 42 },
 ];
 
 proptest! {
@@ -117,10 +126,13 @@ proptest! {
         for t in [1usize, 4] {
             let threads = Threads::new(t);
             let graph = CandidateGraph::build(&inst, threads);
-            let params = SolveParams { threads, seed: 0, ..SolveParams::default() };
+            // A short ALNS run keeps the 8-algorithm sweep fast; the
+            // equivalence holds at any iteration count.
+            let alns = AlnsConfig { max_iterations: 200, ..AlnsConfig::default() };
+            let params = SolveParams { threads, seed: 0, alns, ..SolveParams::default() };
             for algo in ALL {
                 let out = engine::solve_on(&graph, algo, &params, &BudgetMeter::unlimited());
-                let legacy = legacy_solve(&inst, algo, threads);
+                let legacy = legacy_solve(&inst, algo, &params);
                 assert_bit_identical(
                     &out.arrangement,
                     &legacy,

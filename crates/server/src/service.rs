@@ -672,6 +672,8 @@ impl Service {
                     field("calls", &t.calls)?,
                     field("total_ms", &(t.total().as_secs_f64() * 1e3))?,
                     field("mean_ms", &(t.mean().as_secs_f64() * 1e3))?,
+                    field("improvements", &t.improvements)?,
+                    field("last_incumbent", &t.last_incumbent())?,
                 ]))
             })
             .collect::<Result<Vec<Value>, ServiceError>>()?;
@@ -827,10 +829,11 @@ impl Service {
     /// and durability is poisoned, so the in-memory/log divergence
     /// cannot compound — a restart recovers the pre-solve state.
     fn solve(&self, body: &Value, deadline: Instant) -> Result<Value, ServiceError> {
+        let seed = protocol::get_u64(body, "seed").unwrap_or(0);
         let algorithm = SolverRegistry::global()
             .parse(
                 protocol::get_str(body, "algorithm").unwrap_or("greedy"),
-                protocol::get_u64(body, "seed").unwrap_or(0),
+                seed,
             )
             .map_err(|e| bad_request(e.to_string()))?;
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -844,7 +847,14 @@ impl Service {
         if let Some(nodes) = protocol::get_u64(body, "max_nodes") {
             budget.max_nodes = Some(nodes);
         }
-        let pipeline = SolverPipeline::new(algorithm, budget).with_threads(self.threads);
+        let mut pipeline = SolverPipeline::new(algorithm, budget)
+            .with_threads(self.threads)
+            .with_seed(seed);
+        // Mirror of the CLI's `--on-timeout alns`: spend the same budget
+        // refining a budget-stopped incumbent with warm-started ALNS.
+        if protocol::get_str(body, "on_timeout") == Some("alns") {
+            pipeline = pipeline.with_alns_refine(budget);
+        }
         self.with_session(|session| {
             let outcome = session.arranger.rebuild(&pipeline);
             self.log_record(&WalRecord::Install {
@@ -858,6 +868,9 @@ impl Service {
                 field("pairs", &session.arranger.arrangement().len())?,
                 field("nodes", &outcome.nodes)?,
                 field("elapsed_ms", &(outcome.elapsed.as_millis() as u64))?,
+                field("seed", &seed)?,
+                field("alns_iterations", &outcome.alns.map(|a| a.iterations))?,
+                field("alns_improvements", &outcome.alns.map(|a| a.improvements))?,
                 field("epoch", &session.arranger.epoch())?,
             ]))
         })
@@ -1389,8 +1402,29 @@ mod tests {
         assert_eq!(
             err.message,
             "unknown algorithm \"annealing\" (greedy, mincostflow, prune, exhaustive, \
-             exact-dp, random-v, random-u)"
+             exact-dp, random-v, random-u, alns)"
         );
+    }
+
+    #[test]
+    fn solve_with_alns_echoes_the_seed_and_run_counters() {
+        let svc = service();
+        call(&svc, &toy_line()).unwrap();
+        let solved = call(
+            &svc,
+            r#"{"op": "solve", "algorithm": "alns", "seed": 7, "timeout_ms": 5000}"#,
+        )
+        .unwrap();
+        assert_eq!(protocol::get_u64(&solved, "seed"), Some(7));
+        assert!(protocol::get_u64(&solved, "alns_iterations").unwrap() > 0);
+        // Greedy solves echo the (default) seed too, with null ALNS
+        // counters.
+        let solved = call(&svc, r#"{"op": "solve", "algorithm": "greedy"}"#).unwrap();
+        assert_eq!(protocol::get_u64(&solved, "seed"), Some(0));
+        assert!(matches!(
+            protocol::get(&solved, "alns_iterations"),
+            Some(Value::Null)
+        ));
     }
 
     #[test]
@@ -1403,7 +1437,7 @@ mod tests {
             Some(Value::Array(rows)) => rows,
             other => panic!("stats must carry an engine array, got {other:?}"),
         };
-        assert_eq!(engine.len(), 7, "one row per registered solver");
+        assert_eq!(engine.len(), 8, "one row per registered solver");
         let greedy = engine
             .iter()
             .find(|row| protocol::get_str(row, "solver") == Some("greedy"))

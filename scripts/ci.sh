@@ -52,6 +52,31 @@ BENCH_SMOKE_DIR=$(mktemp -d)
     --out "$BENCH_SMOKE_DIR/BENCH_engine.json"
 rm -rf "$BENCH_SMOKE_DIR"
 
+echo "== alns anytime smoke =="
+# The anytime-quality gate end to end through the CLI: on a fig3-shaped
+# synthetic instance, a 2 s ALNS run must return at least the MaxSum of
+# the Greedy-GEACC seed it starts from (exit 3 = budget-stopped
+# incumbent is the expected status for the budgeted run).
+ALNS_SMOKE_DIR=$(mktemp -d)
+./target/release/geacc generate --kind synthetic --events 50 --users 500 \
+    --seed 2015 --output "$ALNS_SMOKE_DIR/fig3.json" > /dev/null
+GREEDY_LINE=$(./target/release/geacc solve --input "$ALNS_SMOKE_DIR/fig3.json" \
+    --algorithm greedy)
+ALNS_LINE=$(./target/release/geacc solve --input "$ALNS_SMOKE_DIR/fig3.json" \
+    --algorithm alns --seed 2015 --timeout-ms 2000) || [ $? -eq 3 ]
+GREEDY_SUM=$(printf '%s' "$GREEDY_LINE" | sed -n 's/.*MaxSum \([0-9.]*\).*/\1/p')
+ALNS_SUM=$(printf '%s' "$ALNS_LINE" | sed -n 's/.*MaxSum \([0-9.]*\).*/\1/p')
+[ -n "$GREEDY_SUM" ] && [ -n "$ALNS_SUM" ] \
+    || { echo "alns smoke: could not parse MaxSum: [$GREEDY_LINE] [$ALNS_LINE]"; exit 1; }
+awk -v a="$ALNS_SUM" -v g="$GREEDY_SUM" 'BEGIN { exit !(a >= g) }' \
+    || { echo "alns smoke: ALNS $ALNS_SUM fell below greedy $GREEDY_SUM"; exit 1; }
+case "$ALNS_LINE" in
+    *'seed 2015'*) ;;
+    *) echo "alns smoke: solve line did not echo the seed: $ALNS_LINE"; exit 1 ;;
+esac
+rm -rf "$ALNS_SMOKE_DIR"
+echo "alns anytime smoke: ok (greedy $GREEDY_SUM -> alns $ALNS_SUM)"
+
 echo "== server smoke =="
 # Boot the daemon on an ephemeral port, drive one session with bash's
 # /dev/tcp, and require a clean exit: load the toy instance from a
