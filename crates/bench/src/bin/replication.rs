@@ -11,6 +11,10 @@
 //!    stop the primary, `promote` the replica, and time until the
 //!    promoted node acks its first mutation. Reports the failover-time
 //!    distribution.
+//! 3. **Unattended failover (MTTR)** — same shape, but *nobody calls
+//!    `promote`*: the supervised replica's lease expires, it elects
+//!    itself, and a topology-aware client lands the first write.
+//!    Reports kill→first-acked-write time, i.e. the self-healing MTTR.
 //!
 //! Results land in `BENCH_replication.json` (or `--out <path>`).
 //!
@@ -38,6 +42,7 @@ struct Snapshot {
     note: String,
     steady_lag: SteadyLagPhase,
     failover: FailoverPhase,
+    unattended_failover: UnattendedPhase,
 }
 
 #[derive(Serialize)]
@@ -58,6 +63,18 @@ struct FailoverPhase {
     rounds: usize,
     records_per_round: usize,
     failover_ms: Quantiles,
+    promote_generation_max: u64,
+}
+
+#[derive(Serialize)]
+struct UnattendedPhase {
+    rounds: usize,
+    records_per_round: usize,
+    lease_interval_ms: u64,
+    missed_leases: u32,
+    /// Kill → first acked write on the self-promoted replica, with no
+    /// human `promote` anywhere in the loop.
+    mttr_ms: Quantiles,
     promote_generation_max: u64,
 }
 
@@ -385,6 +402,96 @@ fn failover_phase(rounds: usize, records_per_round: usize) -> FailoverPhase {
     }
 }
 
+fn unattended_failover_phase(rounds: usize, records_per_round: usize) -> UnattendedPhase {
+    const LEASE_MS: u64 = 100;
+    const MISSED: u32 = 2;
+    let inst = SyntheticConfig {
+        num_events: 20,
+        num_users: 200,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate();
+    let nu = inst.num_users();
+
+    let mut mttr_ms: Vec<u64> = Vec::with_capacity(rounds);
+    let mut generation_max = 0u64;
+
+    for round in 0..rounds {
+        let primary_dir = fresh_dir(&format!("unattended-primary-{round}"));
+        let replica_dir = fresh_dir(&format!("unattended-replica-{round}"));
+        let primary = Node::spawn(ServerConfig {
+            accept_replicas: true,
+            supervise: true,
+            lease_interval_ms: LEASE_MS,
+            missed_leases: MISSED,
+            node_id: Some(10),
+            ..durable_config(&primary_dir)
+        });
+        let replica = Node::spawn(ServerConfig {
+            replica_of: Some(primary.addr.clone()),
+            supervise: true,
+            lease_interval_ms: LEASE_MS,
+            missed_leases: MISSED,
+            node_id: Some(1),
+            ..durable_config(&replica_dir)
+        });
+
+        let mut writer = Client::connect(&primary.addr);
+        ok_data(&writer.call(&load_line(&inst)));
+        for i in 0..records_per_round {
+            ok_data(&writer.call(&mutation_line(i, nu)));
+        }
+        let primary_epoch = health_u64(&mut writer, "epoch");
+
+        let mut on_replica = Client::connect(&replica.addr);
+        wait_for("replica sync", Duration::from_secs(30), || {
+            (health_u64(&mut on_replica, "lag_records") == Some(0)
+                && health_u64(&mut on_replica, "epoch") == primary_epoch)
+                .then_some(())
+        });
+
+        // The MTTR clock: primary gone → (lease expiry, self-election,
+        // durable generation bump) → first acked write. No `promote`.
+        let started = Instant::now();
+        primary.stop();
+        let mut retry = RetryClient::new(
+            replica.addr.clone(),
+            ClientConfig {
+                request_timeout: Duration::from_secs(30),
+                max_retries: 500,
+                backoff_cap: Duration::from_millis(50),
+                seed: round as u64 + 1,
+                ..ClientConfig::default()
+            },
+        );
+        let mutation: Value =
+            serde_json::from_str(r#"{"SetCapacity": {"side": "User", "id": 0, "capacity": 5}}"#)
+                .unwrap();
+        retry
+            .mutate(mutation)
+            .expect("self-promoted replica accepts writes");
+        mttr_ms.push(started.elapsed().as_millis() as u64);
+
+        let h = on_replica.call(r#"{"op": "health"}"#);
+        generation_max =
+            generation_max.max(protocol::get_u64(ok_data(&h), "generation").unwrap_or(0));
+
+        replica.shutdown();
+        std::fs::remove_dir_all(&primary_dir).ok();
+        std::fs::remove_dir_all(&replica_dir).ok();
+    }
+
+    UnattendedPhase {
+        rounds,
+        records_per_round,
+        lease_interval_ms: LEASE_MS,
+        missed_leases: MISSED,
+        mttr_ms: Quantiles::from_sorted(&mut mttr_ms),
+        promote_generation_max: generation_max,
+    }
+}
+
 fn main() {
     let quick = cli::has_flag("quick");
     let out = cli::flag_value("out").unwrap_or_else(|| "BENCH_replication.json".to_string());
@@ -408,6 +515,13 @@ fn main() {
         failover.failover_ms.p50, failover.failover_ms.max
     );
 
+    eprintln!("replication: unattended-failover phase ({rounds} rounds x {records} records)");
+    let unattended_failover = unattended_failover_phase(rounds, records);
+    eprintln!(
+        "replication: unattended MTTR p50 {} ms, max {} ms (no promote)",
+        unattended_failover.mttr_ms.p50, unattended_failover.mttr_ms.max
+    );
+
     let snapshot = Snapshot {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         command: if quick {
@@ -416,10 +530,12 @@ fn main() {
             "cargo run -p geacc-bench --release --bin replication".to_string()
         },
         note: "WAL-shipping replication over loopback TCP: health-sampled replica lag \
-               during a write flood, and promote-to-first-ack failover time."
+               during a write flood, promote-to-first-ack failover time, and the \
+               unattended (lease-based, no-promote) failover MTTR."
             .to_string(),
         steady_lag,
         failover,
+        unattended_failover,
     };
     let mut json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
     json.push('\n');

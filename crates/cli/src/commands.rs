@@ -66,6 +66,8 @@ USAGE:
                  [--wal-dir DIR] [--fsync always|never|interval:MS]
                  [--snapshot-every N] [--accept-replicas]
                  [--replica-of HOST:PORT] [--retry-after-ms MS]
+                 [--supervise] [--lease-interval-ms MS] [--missed-leases N]
+                 [--node-id N] [--advertise HOST:PORT] [--peers A,B,...]
   geacc promote  --addr HOST:PORT [--timeout-ms MS]
   geacc help
 
@@ -111,6 +113,18 @@ serves queries, and answers mutations with a `read_only` error.
 `geacc promote` turns a follower into a primary (bumping its generation
 so the old primary is fenced if it comes back). --retry-after-ms sets
 the backoff hint attached to `overloaded` rejections.
+
+--supervise adds automatic failover on top of replication: heartbeats
+ride the replication stream, a follower that misses enough leases runs
+a deterministic election (highest acked WAL offset wins, ties broken by
+lowest --node-id), the winner bumps its generation durably before going
+writable, and a resurrected stale primary fences itself and rejoins as
+a replica — no human `promote` needed. --lease-interval-ms (default
+500) and --missed-leases (default 3) tune detection speed; --peers
+lists the *other* nodes each node probes during elections; --advertise
+is the address handed to clients in `primary_hint` redirects (defaults
+to the bound address). Requires --wal-dir, and --accept-replicas on a
+primary.
 ";
 
 /// Dispatch a parsed command line; returns the text to print plus the
@@ -556,6 +570,12 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "accept-replicas",
         "replica-of",
         "retry-after-ms",
+        "supervise",
+        "lease-interval-ms",
+        "missed-leases",
+        "node-id",
+        "advertise",
+        "peers",
     ])?;
     let defaults = geacc_server::ServerConfig::default();
     let config = geacc_server::ServerConfig {
@@ -587,6 +607,26 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         accept_replicas: args.has("accept-replicas"),
         replica_of: args.value("replica-of")?.map(String::from),
         retry_after_ms: args.parsed_or("retry-after-ms", defaults.retry_after_ms)?,
+        supervise: args.has("supervise"),
+        lease_interval_ms: args.parsed_or("lease-interval-ms", defaults.lease_interval_ms)?,
+        missed_leases: args.parsed_or("missed-leases", defaults.missed_leases)?,
+        node_id: match args.value("node-id")? {
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|e| CliError(format!("invalid value for --node-id: {e}")))?,
+            ),
+            None => defaults.node_id,
+        },
+        advertise: args.value("advertise")?.map(String::from),
+        peers: match args.value("peers")? {
+            Some(list) => list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
+            None => Vec::new(),
+        },
     };
     let server = geacc_server::Server::bind(config)
         .map_err(|e| CliError(format!("binding listener: {e}")))?;

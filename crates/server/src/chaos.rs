@@ -38,6 +38,12 @@ pub struct LinePolicy {
     /// "primary died at record boundary k" shape the failover sweep
     /// needs.
     pub cut_after_matching: Option<(String, u64)>,
+    /// Deterministic targeted delay: every line containing the needle
+    /// is held for the given milliseconds before forwarding. Unlike
+    /// `delay_pct` this hits *specific* traffic (e.g. heartbeat pings)
+    /// on every line — how the lease tests make a healthy-but-slow
+    /// primary look dead to its followers.
+    pub delay_matching: Option<(String, u64)>,
 }
 
 /// A full chaos plan: one policy per direction plus the jitter seed.
@@ -291,6 +297,12 @@ fn pump(
             }
         }
 
+        if let Some((needle, delay_ms)) = &policy.delay_matching {
+            if text.contains(needle.as_str()) {
+                std::thread::sleep(Duration::from_millis(*delay_ms));
+            }
+        }
+
         let roll = (xorshift(&mut rng) % 100) as u8;
         if roll < policy.drop_pct {
             continue;
@@ -410,6 +422,41 @@ mod tests {
         line2.clear();
         let n = reader2.read_line(&mut line2).unwrap_or(0);
         assert_eq!(n, 0, "cut budget is shared across connections");
+    }
+
+    #[test]
+    fn delay_matching_holds_only_matching_lines() {
+        let addr = echo_server();
+        let plan = ChaosPlan {
+            client_to_server: LinePolicy {
+                delay_matching: Some(("slow".to_string(), 120)),
+                ..LinePolicy::default()
+            },
+            ..ChaosPlan::default()
+        };
+        let proxy = ChaosProxy::spawn(addr, plan).unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+
+        let start = std::time::Instant::now();
+        stream.write_all(b"fast\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "echo:fast");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "non-matching line should not be delayed"
+        );
+
+        let start = std::time::Instant::now();
+        stream.write_all(b"slow ping\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "echo:slow ping");
+        assert!(
+            start.elapsed() >= Duration::from_millis(120),
+            "matching line should be held for the full delay"
+        );
     }
 
     #[test]

@@ -6,6 +6,28 @@
 //! server's `retry_after_ms` hint) and connect failures, and stamps
 //! every mutation with a `(client_id, seq)` idempotency key so a retry
 //! after an ambiguous failure cannot double-apply server-side.
+//!
+//! ## Topology awareness
+//!
+//! The client remembers its configured address as the **seed** and
+//! treats the address it currently talks to as mutable cluster state:
+//!
+//! - A `read_only`, `stale_generation`, or `lease_lost` rejection
+//!   carrying a `primary_hint` re-points the client at the hinted
+//!   address immediately (no backoff) and the request is retried there.
+//! - The same rejections without a usable hint — and any transport
+//!   error — fall back to the seed address with backoff; during a
+//!   failover the seed is often a replica that learns the winner first
+//!   and redirects us.
+//! - After every fresh connect the client pre-flights a `health` probe:
+//!   if the node answers as a replica that knows its primary, the
+//!   client follows the hint before sending the real request, so a
+//!   mutation is never burned discovering topology.
+//!
+//! Combined with idempotency keys this makes a retry that straddles a
+//! failover safe: the resent `(client_id, seq)` lands on the promoted
+//! replica, whose dedup table (shipped via the WAL) suppresses the
+//! double-apply.
 
 use crate::protocol::{get, get_str, get_u64};
 use serde_json::Value;
@@ -55,6 +77,9 @@ pub struct ClientStats {
     pub reconnects: u64,
     /// Logical requests that exhausted retries or their deadline.
     pub failed: u64,
+    /// Times the client re-pointed at another node (followed a
+    /// `primary_hint` or fell back to the seed address).
+    pub redirects: u64,
 }
 
 /// Why a logical request failed for good.
@@ -88,9 +113,16 @@ struct Conn {
 /// A line-protocol client with retries, reconnects, and idempotent
 /// mutations. Not thread-safe; one per worker thread.
 pub struct RetryClient {
+    /// Where requests currently go; follows `primary_hint` redirects.
     addr: String,
+    /// The configured address — the fallback when the cluster moves out
+    /// from under us and we have no better hint.
+    seed_addr: String,
     config: ClientConfig,
     conn: Option<Conn>,
+    /// Pre-flight the next fresh connection with a `health` probe
+    /// before spending a real request on it.
+    verify_role: bool,
     rng: u64,
     next_seq: u64,
     next_id: u64,
@@ -103,15 +135,21 @@ enum Attempt {
     Backoff(Option<u64>),
     Fatal(ClientError),
     Transport,
+    /// The node cannot take this write; re-point at the hinted primary
+    /// (or the seed, absent a hint) and retry.
+    Redirect(Option<String>),
 }
 
 impl RetryClient {
     pub fn new(addr: impl Into<String>, config: ClientConfig) -> Self {
+        let addr = addr.into();
         RetryClient {
-            addr: addr.into(),
+            seed_addr: addr.clone(),
+            addr,
             rng: config.seed | 1,
             config,
             conn: None,
+            verify_role: false,
             next_seq: 1,
             next_id: 1,
             stats: ClientStats::default(),
@@ -124,6 +162,12 @@ impl RetryClient {
 
     pub fn client_id(&self) -> &str {
         &self.config.client_id
+    }
+
+    /// The address requests currently go to (may differ from the
+    /// configured seed after following redirects across a failover).
+    pub fn current_addr(&self) -> &str {
+        &self.addr
     }
 
     /// Issue a read-style request (safe to resend blindly). `body` must
@@ -213,9 +257,47 @@ impl RetryClient {
                             "retries exhausted",
                         )));
                     }
+                    // The node we were on may be gone for good (a killed
+                    // primary); re-resolve from the seed, whose health
+                    // probe will redirect us to whoever got promoted.
+                    if self.addr != self.seed_addr {
+                        self.addr = self.seed_addr.clone();
+                        self.stats.redirects += 1;
+                    }
+                    self.verify_role = true;
                     attempts += 1;
                     self.stats.retries += 1;
                     self.sleep_backoff(attempts, None, deadline);
+                }
+                Attempt::Redirect(hint) => {
+                    self.conn = None;
+                    if attempts >= self.config.max_retries {
+                        self.stats.failed += 1;
+                        return Err(ClientError::Timeout);
+                    }
+                    attempts += 1;
+                    self.stats.retries += 1;
+                    match hint {
+                        // A fresh hint pointing elsewhere: follow it
+                        // immediately, no backoff — the hinted node is
+                        // (claimed to be) ready right now.
+                        Some(h) if h != self.addr => {
+                            self.addr = h;
+                            self.verify_role = true;
+                            self.stats.redirects += 1;
+                        }
+                        // Hint is where we already are (or absent): the
+                        // cluster is still converging. Fall back to the
+                        // seed and give it a beat.
+                        _ => {
+                            if self.addr != self.seed_addr {
+                                self.addr = self.seed_addr.clone();
+                                self.stats.redirects += 1;
+                            }
+                            self.verify_role = true;
+                            self.sleep_backoff(attempts, None, deadline);
+                        }
+                    }
                 }
             }
         }
@@ -229,6 +311,11 @@ impl RetryClient {
                     self.stats.reconnects += 1;
                 }
                 Err(_) => return Attempt::Transport,
+            }
+            if self.verify_role {
+                if let Some(attempt) = self.preflight(deadline) {
+                    return attempt;
+                }
             }
         }
         let Some(conn) = self.conn.as_mut() else {
@@ -278,6 +365,13 @@ impl RetryClient {
                         Attempt::Backoff(hint)
                     }
                     "shutting_down" => Attempt::Backoff(None),
+                    // The node can't take this request but the cluster
+                    // as a whole can: follow its hint to the primary.
+                    "read_only" | "stale_generation" | "lease_lost" => Attempt::Redirect(
+                        error
+                            .and_then(|e| get_str(e, "primary_hint"))
+                            .map(str::to_string),
+                    ),
                     _ => Attempt::Fatal(ClientError::Rejected {
                         code: code.to_string(),
                         message: error
@@ -289,6 +383,55 @@ impl RetryClient {
             }
             _ => Attempt::Transport,
         }
+    }
+
+    /// One `health` round trip on a fresh connection: if the node
+    /// answers as a replica that knows its primary, return a redirect
+    /// so the real request is never burned discovering topology.
+    /// Returns `None` when the node is fine to use as-is.
+    fn preflight(&mut self, deadline: Instant) -> Option<Attempt> {
+        let Some(conn) = self.conn.as_mut() else {
+            return Some(Attempt::Transport);
+        };
+        if conn
+            .writer
+            .write_all(b"{\"op\":\"health\",\"id\":0}\n")
+            .and_then(|_| conn.writer.flush())
+            .is_err()
+        {
+            return Some(Attempt::Transport);
+        }
+        let mut response = String::new();
+        loop {
+            if Instant::now() >= deadline {
+                self.conn = None;
+                return Some(Attempt::Fatal(ClientError::Timeout));
+            }
+            response.clear();
+            match conn.reader.read_line(&mut response) {
+                Ok(0) => return Some(Attempt::Transport),
+                Ok(_) => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue
+                }
+                Err(_) => return Some(Attempt::Transport),
+            }
+        }
+        let envelope: Value = match serde_json::from_str(&response) {
+            Ok(v) => v,
+            Err(_) => return Some(Attempt::Transport),
+        };
+        self.verify_role = false;
+        if let Some(data) = get(&envelope, "data") {
+            if get_str(data, "role") == Some("replica") {
+                if let Some(hint) = get_str(data, "primary_hint") {
+                    if hint != self.addr {
+                        return Some(Attempt::Redirect(Some(hint.to_string())));
+                    }
+                }
+            }
+        }
+        None
     }
 
     fn open(&self) -> io::Result<Conn> {

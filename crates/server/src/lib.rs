@@ -17,8 +17,11 @@
 //! - [`metrics`] — atomic counters and the log₂ latency histogram.
 //! - [`repl`] — WAL-shipping replication: primary→replica streaming,
 //!   generation fencing, snapshot catch-up, promote-based failover.
-//! - [`client`] — a retrying client with idempotency keys (CLI and
-//!   loadgen share it).
+//! - [`supervisor`] — lease-based automatic failover: heartbeats ride
+//!   the replication stream, replicas elect deterministically on lease
+//!   expiry, stale primaries self-fence and demote.
+//! - [`client`] — a retrying client with idempotency keys and cluster
+//!   topology awareness (CLI and loadgen share it).
 //! - [`chaos`] — a deterministic network-chaos proxy for tests.
 //!
 //! Start one from the CLI (`geacc serve --addr 127.0.0.1:7411`) and
@@ -39,6 +42,7 @@ pub mod recovery;
 pub mod repl;
 pub mod server;
 pub mod service;
+pub mod supervisor;
 pub mod wal;
 
 pub use chaos::{ChaosPlan, ChaosProxy, LinePolicy};
@@ -49,4 +53,5 @@ pub use recovery::{recover, Recovery, RecoveryError};
 pub use repl::{ReplMeta, ReplState};
 pub use server::{Server, ServerConfig};
 pub use service::Service;
+pub use supervisor::{SupervisorConfig, SupervisorState};
 pub use wal::{FsyncPolicy, WalRecord, WalWriter};

@@ -199,6 +199,14 @@ pub struct ServerMetrics {
     repl_connects: AtomicU64,
     /// Handshakes refused because the peer's generation was stale.
     repl_fenced: AtomicU64,
+    /// Supervisor: elections this node ran (replica side).
+    sup_elections: AtomicU64,
+    /// Supervisor: elections this node won (automatic promotions).
+    sup_promotions: AtomicU64,
+    /// Supervisor: times this node stepped down under a senior primary.
+    sup_demotions: AtomicU64,
+    /// Supervisor: times this primary fenced itself against writes.
+    sup_fenced: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -273,6 +281,22 @@ impl ServerMetrics {
         self.repl_fenced.fetch_add(1, Relaxed);
     }
 
+    pub fn record_sup_election(&self) {
+        self.sup_elections.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_sup_promotion(&self) {
+        self.sup_promotions.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_sup_demotion(&self) {
+        self.sup_demotions.fetch_add(1, Relaxed);
+    }
+
+    pub fn record_sup_fence(&self) {
+        self.sup_fenced.fetch_add(1, Relaxed);
+    }
+
     /// Set once at boot from the recovery report.
     pub fn record_recovery(&self, replayed: u64, skipped: u64, truncated_bytes: u64) {
         self.recovered_records.store(replayed, Relaxed);
@@ -319,6 +343,10 @@ impl ServerMetrics {
             repl_resyncs: self.repl_resyncs.load(Relaxed),
             repl_connects: self.repl_connects.load(Relaxed),
             repl_fenced: self.repl_fenced.load(Relaxed),
+            sup_elections: self.sup_elections.load(Relaxed),
+            sup_promotions: self.sup_promotions.load(Relaxed),
+            sup_demotions: self.sup_demotions.load(Relaxed),
+            sup_fenced: self.sup_fenced.load(Relaxed),
             latency_count: self.latency.count(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p95_us: self.latency.quantile_us(0.95),
@@ -373,6 +401,14 @@ pub struct MetricsSnapshot {
     pub repl_connects: u64,
     /// Handshakes refused for a stale generation.
     pub repl_fenced: u64,
+    /// Failover elections this node ran (replica side).
+    pub sup_elections: u64,
+    /// Elections won: automatic promotions to primary.
+    pub sup_promotions: u64,
+    /// Times this node stepped down under a senior primary.
+    pub sup_demotions: u64,
+    /// Times this primary fenced itself against writes.
+    pub sup_fenced: u64,
     pub latency_count: u64,
     pub latency_p50_us: u64,
     pub latency_p95_us: u64,

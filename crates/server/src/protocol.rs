@@ -33,12 +33,15 @@ pub struct Request {
 
 /// A structured service error: a stable machine code plus a human
 /// message, optionally carrying a `retry_after_ms` hint for rejections
-/// the client should retry later (`overloaded`).
+/// the client should retry later (`overloaded`), and/or a
+/// `primary_hint` address for rejections a client should redirect to
+/// the cluster primary for (`read_only`, `stale_generation`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceError {
     pub code: &'static str,
     pub message: String,
     pub retry_after_ms: Option<u64>,
+    pub primary_hint: Option<String>,
 }
 
 impl ServiceError {
@@ -47,6 +50,7 @@ impl ServiceError {
             code,
             message: message.into(),
             retry_after_ms: None,
+            primary_hint: None,
         }
     }
 
@@ -54,6 +58,13 @@ impl ServiceError {
     /// long before resending.
     pub fn with_retry_after(mut self, ms: u64) -> Self {
         self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// Attach a topology hint: the address where the current primary
+    /// (the node that can serve this request) is believed to live.
+    pub fn with_primary_hint(mut self, addr: impl Into<String>) -> Self {
+        self.primary_hint = Some(addr.into());
         self
     }
 }
@@ -134,6 +145,9 @@ pub fn err_envelope(id: Option<u64>, error: &ServiceError) -> Value {
         let ms = serde_json::to_value(&ms).unwrap_or(Value::Null);
         fields.push(("retry_after_ms".to_string(), ms));
     }
+    if let Some(addr) = &error.primary_hint {
+        fields.push(("primary_hint".to_string(), Value::String(addr.clone())));
+    }
     Value::Object(vec![
         ("ok".to_string(), json!(false)),
         ("id".to_string(), id_value(id)),
@@ -199,6 +213,15 @@ mod tests {
         let err = ServiceError::new("overloaded", "queue full").with_retry_after(25);
         let text = serde_json::to_string(&err_envelope(Some(1), &err)).unwrap();
         assert!(text.contains(r#""retry_after_ms":25"#));
+        assert!(!text.contains("primary_hint"));
+    }
+
+    #[test]
+    fn primary_hint_is_emitted_when_present() {
+        let err = ServiceError::new("read_only", "replica refuses writes")
+            .with_primary_hint("10.0.0.7:7411");
+        let text = serde_json::to_string(&err_envelope(Some(1), &err)).unwrap();
+        assert!(text.contains(r#""primary_hint":"10.0.0.7:7411""#));
     }
 
     #[test]

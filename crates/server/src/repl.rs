@@ -289,6 +289,12 @@ impl ReplState {
         self.accept_replicas.load(Ordering::SeqCst)
     }
 
+    /// Flip replica acceptance at runtime (a freshly promoted winner
+    /// must feed the losing replicas).
+    pub fn set_accepts_replicas(&self, accept: bool) {
+        self.accept_replicas.store(accept, Ordering::SeqCst);
+    }
+
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::SeqCst)
     }
@@ -400,6 +406,16 @@ impl ReplState {
 // accepts literals.
 // ---------------------------------------------------------------------------
 
+/// The optional `,"advertise":"…"` suffix carried on hello/ping lines:
+/// the primary's client-facing address, which followers hand out as
+/// `primary_hint`.
+fn advertise_suffix(advertise: Option<&str>) -> String {
+    match advertise {
+        Some(addr) => format!(",\"advertise\":\"{}\"", addr.escape_default()),
+        None => String::new(),
+    }
+}
+
 fn hello_line(
     generation: u64,
     mode: &str,
@@ -407,11 +423,23 @@ fn hello_line(
     start_records: u64,
     head: u64,
     head_records: u64,
+    advertise: Option<&str>,
 ) -> String {
     format!(
         "{{\"repl\":\"hello\",\"generation\":{generation},\"mode\":\"{mode}\",\
          \"start\":{start},\"start_records\":{start_records},\
-         \"head\":{head},\"head_records\":{head_records}}}\n"
+         \"head\":{head},\"head_records\":{head_records}{}}}\n",
+        advertise_suffix(advertise)
+    )
+}
+
+/// Idle heartbeat: renews the follower's lease when no record has
+/// shipped for a poll interval.
+fn ping_line(generation: u64, head: u64, head_records: u64, advertise: Option<&str>) -> String {
+    format!(
+        "{{\"repl\":\"ping\",\"generation\":{generation},\"head\":{head},\
+         \"head_records\":{head_records}{}}}\n",
+        advertise_suffix(advertise)
     )
 }
 
@@ -477,14 +505,21 @@ pub fn serve_replica(
     let peer_gen = get_u64(&request.body, "generation").unwrap_or(0);
     if peer_gen > my_gen {
         service.metrics.record_repl_fenced();
-        reject(
-            &writer,
-            request,
-            &ServiceError::new(
-                "stale_generation",
-                format!("replica generation {peer_gen} exceeds primary generation {my_gen}; this primary is stale"),
-            ),
+        let mut error = ServiceError::new(
+            "stale_generation",
+            format!("replica generation {peer_gen} exceeds primary generation {my_gen}; this primary is stale"),
         );
+        if let Some(hint) = service.supervision().primary_hint() {
+            error = error.with_primary_hint(hint);
+        }
+        reject(&writer, request, &error);
+        if service.supervision().enabled() {
+            // A successor was elected while we were away: step down and
+            // let the supervisor find it. (Unsupervised nodes keep the
+            // PR 7 behaviour — fenced until an operator intervenes.)
+            service.demote_to_replica(None);
+            service.metrics.record_sup_demotion();
+        }
         return;
     }
     let (dir, head_local, head_records_local) = match service.repl_stream_info() {
@@ -595,6 +630,16 @@ fn stream_to_replica(
             Arc::clone(&ack_stop),
         );
 
+        // Supervised primaries poll (and thus ping) at half the lease
+        // interval so one lost line cannot cost a whole window.
+        let sup = service.supervision();
+        let poll = if sup.enabled() {
+            (sup.lease_interval() / 2).clamp(Duration::from_millis(10), POLL)
+        } else {
+            POLL
+        };
+        let advertise = sup.advertise();
+
         let stream_result = (|| -> io::Result<()> {
             send_line(
                 writer,
@@ -605,6 +650,7 @@ fn stream_to_replica(
                     records_base + start_records_local,
                     head,
                     head_records,
+                    advertise.as_deref(),
                 ),
             )?;
             if let Some(doc) = snapshot_doc {
@@ -629,18 +675,23 @@ fn stream_to_replica(
             }
             let sent_until = base + scan.valid_len;
 
-            // …then the live feed, skipping anything already sent.
+            // …then the live feed, skipping anything already sent. Idle
+            // polls turn into pings: the stream doubles as the lease.
+            let mut live_head = head;
+            let mut live_head_records = head_records;
             loop {
                 if stop.load(Ordering::SeqCst) {
                     return Ok(());
                 }
-                match rx.recv_timeout(POLL) {
+                match rx.recv_timeout(poll) {
                     Ok(Shipment::Record {
                         offset,
                         head,
                         head_records,
                         payload,
                     }) => {
+                        live_head = live_head.max(head);
+                        live_head_records = live_head_records.max(head_records);
                         if offset < sent_until {
                             continue;
                         }
@@ -648,7 +699,12 @@ fn stream_to_replica(
                         service.metrics.record_repl_shipped(1);
                     }
                     Ok(Shipment::Resync) => return Ok(()),
-                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Timeout) => {
+                        send_line(
+                            writer,
+                            &ping_line(my_gen, live_head, live_head_records, advertise.as_deref()),
+                        )?;
+                    }
                     Err(RecvTimeoutError::Disconnected) => return Ok(()),
                 }
             }
@@ -691,6 +747,9 @@ fn spawn_ack_reader(
                 Ok(_) => {
                     if let Ok(value) = serde_json::from_str::<Value>(&line) {
                         if get_str(&value, "repl") == Some("ack") {
+                            // Any ack is proof a replica still sees us —
+                            // the primary side of the lease.
+                            service.supervision().note_replica_contact();
                             if let Some(offset) = get_u64(&value, "offset") {
                                 service.replication().hub.record_ack(sub_id, offset);
                             }
@@ -722,16 +781,45 @@ enum FollowEnd {
     Unsupported,
 }
 
-/// Follow `primary` until promoted or stopped, reconnecting with
-/// jittered exponential backoff.
-pub fn run_replica_loop(service: Arc<Service>, primary: String, stop: Arc<AtomicBool>, seed: u64) {
+/// Follow the configured primary until promoted or stopped,
+/// reconnecting with jittered exponential backoff. The target is
+/// re-read from the supervisor's `upstream` on every attempt (an
+/// election may re-point it), falling back to the `--replica-of`
+/// address. A supervised node outlives a promotion: the loop idles
+/// while the node is primary and resumes following if it is demoted.
+pub fn run_replica_loop(
+    service: Arc<Service>,
+    primary: Option<String>,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+) {
     let mut rng = seed | 1;
     let mut strikes: u32 = 0;
-    while !stop.load(Ordering::SeqCst) && service.replication().is_replica() {
-        let (end, made_progress) = follow(&service, &primary, &stop);
+    let supervised = service.supervision().enabled();
+    while !stop.load(Ordering::SeqCst) {
+        if !service.replication().is_replica() {
+            if !supervised {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
+        let Some(target) = service.supervision().upstream().or_else(|| primary.clone()) else {
+            // A demoted node with no known successor yet: the
+            // supervisor's election will fill in the upstream.
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        let (end, made_progress) = follow(&service, &target, &stop);
         service.replication().set_connected(false);
         match end {
-            FollowEnd::Promoted => return,
+            FollowEnd::Promoted => {
+                if !supervised {
+                    return;
+                }
+                strikes = 0;
+                continue;
+            }
             FollowEnd::Disconnected => {
                 strikes = if made_progress {
                     0
@@ -743,7 +831,7 @@ pub fn run_replica_loop(service: Arc<Service>, primary: String, stop: Arc<Atomic
                 strikes = strikes.saturating_add(4);
             }
         }
-        if stop.load(Ordering::SeqCst) || !service.replication().is_replica() {
+        if stop.load(Ordering::SeqCst) {
             return;
         }
         let delay = backoff_delay(strikes, &mut rng);
@@ -789,11 +877,16 @@ enum PollRead {
 
 /// Read one line, polling the stop flag and the role across read
 /// timeouts. Partial lines survive timeouts (the buffer accumulates).
+/// `followed` is the address this connection was made to: if an
+/// election re-points the supervisor's upstream elsewhere while the
+/// connection sits idle (a silently dead primary never sends EOF), the
+/// read reports EOF so the follower reconnects to the new target.
 fn read_line_poll(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
     stop: &Arc<AtomicBool>,
     service: &Arc<Service>,
+    followed: &str,
 ) -> io::Result<PollRead> {
     line.clear();
     let mut partial = Vec::new();
@@ -823,6 +916,13 @@ fn read_line_poll(
                 partial.push(byte[0]);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if partial.is_empty() && service.supervision().enabled() {
+                    if let Some(upstream) = service.supervision().upstream() {
+                        if upstream != followed {
+                            return Ok(PollRead::Eof);
+                        }
+                    }
+                }
                 continue;
             }
             Err(e) => return Err(e),
@@ -871,7 +971,7 @@ fn follow(service: &Arc<Service>, primary: &str, stop: &Arc<AtomicBool>) -> (Fol
 
     let mut line = String::new();
     // Hello (or an error envelope).
-    match read_line_poll(&mut reader, &mut line, stop, service) {
+    match read_line_poll(&mut reader, &mut line, stop, service, primary) {
         Ok(PollRead::Line) => {}
         Ok(PollRead::Promoted) => return (FollowEnd::Promoted, made_progress),
         _ => return (FollowEnd::Disconnected, made_progress),
@@ -930,9 +1030,17 @@ fn follow(service: &Arc<Service>, primary: &str, stop: &Arc<AtomicBool>) -> (Fol
     repl.note_remote(primary_gen, head, head_records);
     repl.set_connected(true);
     service.metrics.record_repl_connect();
+    // The hello renews the lease and may carry the primary's
+    // client-facing address for `primary_hint`.
+    service.supervision().note_lease();
+    if let Some(adv) = get_str(&hello, "advertise") {
+        service
+            .supervision()
+            .set_primary_hint(Some(adv.to_string()));
+    }
 
     loop {
-        match read_line_poll(&mut reader, &mut line, stop, service) {
+        match read_line_poll(&mut reader, &mut line, stop, service, primary) {
             Ok(PollRead::Line) => {}
             Ok(PollRead::Promoted) => return (FollowEnd::Promoted, made_progress),
             _ => return (FollowEnd::Disconnected, made_progress),
@@ -941,7 +1049,29 @@ fn follow(service: &Arc<Service>, primary: &str, stop: &Arc<AtomicBool>) -> (Fol
             Ok(v) => v,
             Err(_) => return (FollowEnd::Disconnected, made_progress),
         };
+        // Every stream line from the primary is a heartbeat.
+        service.supervision().note_lease();
         match get_str(&msg, "repl") {
+            Some("ping") => {
+                if let Some(h) = get_u64(&msg, "head") {
+                    let hr = get_u64(&msg, "head_records").unwrap_or(0);
+                    repl.note_remote(primary_gen, h, hr);
+                }
+                if let Some(adv) = get_str(&msg, "advertise") {
+                    service
+                        .supervision()
+                        .set_primary_hint(Some(adv.to_string()));
+                }
+                // Ack the cursor so the primary's replica-contact clock
+                // keeps running through idle stretches.
+                if writer
+                    .write_all(ack_line(repl.remote_cursor()).as_bytes())
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    return (FollowEnd::Disconnected, made_progress);
+                }
+            }
             Some("snapshot") => {
                 let Some(doc_value) = get(&msg, "doc") else {
                     return (FollowEnd::Disconnected, made_progress);
@@ -1084,12 +1214,24 @@ mod tests {
 
     #[test]
     fn wire_lines_parse_back() {
-        let hello = hello_line(3, "resume", 10, 1, 20, 2);
+        let hello = hello_line(3, "resume", 10, 1, 20, 2, None);
         let v: Value = serde_json::from_str(hello.trim()).unwrap();
         assert_eq!(get_str(&v, "repl"), Some("hello"));
         assert_eq!(get_u64(&v, "generation"), Some(3));
         assert_eq!(get_str(&v, "mode"), Some("resume"));
         assert_eq!(get_u64(&v, "head"), Some(20));
+        assert_eq!(get_str(&v, "advertise"), None);
+
+        let hello = hello_line(3, "reset", 0, 0, 20, 2, Some("127.0.0.1:7411"));
+        let v: Value = serde_json::from_str(hello.trim()).unwrap();
+        assert_eq!(get_str(&v, "advertise"), Some("127.0.0.1:7411"));
+
+        let ping = ping_line(4, 30, 3, Some("127.0.0.1:7411"));
+        let v: Value = serde_json::from_str(ping.trim()).unwrap();
+        assert_eq!(get_str(&v, "repl"), Some("ping"));
+        assert_eq!(get_u64(&v, "generation"), Some(4));
+        assert_eq!(get_u64(&v, "head"), Some(30));
+        assert_eq!(get_str(&v, "advertise"), Some("127.0.0.1:7411"));
 
         let rec = record_line(
             10,

@@ -84,6 +84,24 @@ pub struct ServerConfig {
     pub replica_of: Option<String>,
     /// The `retry_after_ms` hint attached to `overloaded` rejections.
     pub retry_after_ms: u64,
+    /// Run the failover supervisor (lease monitoring, automatic
+    /// promotion/demotion). Requires `wal_dir`; on a primary it
+    /// implies `accept_replicas` must be set.
+    pub supervise: bool,
+    /// Heartbeat cadence for the lease protocol.
+    pub lease_interval_ms: u64,
+    /// Missed intervals before the primary fences itself; replicas
+    /// wait two more before electing.
+    pub missed_leases: u32,
+    /// Election tiebreak identity; defaults to a hash of the advertise
+    /// address. Must be unique across the cluster.
+    pub node_id: Option<u64>,
+    /// Client-facing address handed out as `primary_hint`; defaults to
+    /// the bound listener address.
+    pub advertise: Option<String>,
+    /// Client-facing addresses of the other cluster members, probed
+    /// during elections and fence checks.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +119,12 @@ impl Default for ServerConfig {
             accept_replicas: false,
             replica_of: None,
             retry_after_ms: 25,
+            supervise: false,
+            lease_interval_ms: 500,
+            missed_leases: 3,
+            node_id: None,
+            advertise: None,
+            peers: Vec::new(),
         }
     }
 }
@@ -184,14 +208,54 @@ impl Server {
             );
         }
         service.init_replication(config.accept_replicas, config.replica_of.is_some())?;
+        // Topology is tracked even unsupervised: a plain replica knows
+        // its upstream and hands it out as `primary_hint` so a client
+        // misconfigured to point at the replica self-corrects.
+        if let Some(primary) = &config.replica_of {
+            service.supervision().set_upstream(Some(primary.clone()));
+        }
+        if config.supervise {
+            if config.wal_dir.is_none() {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidInput,
+                    "supervision requires a --wal-dir (failover ships the WAL)",
+                ));
+            }
+            if config.replica_of.is_none() && !config.accept_replicas {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidInput,
+                    "a supervised primary must accept replicas (--accept-replicas); \
+                     a lease with no followers protects nothing",
+                ));
+            }
+            let advertise = match &config.advertise {
+                Some(addr) => addr.clone(),
+                None => listener.local_addr()?.to_string(),
+            };
+            let node_id = config
+                .node_id
+                .unwrap_or_else(|| fnv1a(advertise.as_bytes()));
+            service.begin_supervision(&crate::supervisor::SupervisorConfig {
+                lease_interval: Duration::from_millis(config.lease_interval_ms.max(1)),
+                missed_leases: config.missed_leases,
+                node_id,
+                advertise,
+                peers: config.peers.clone(),
+            });
+        }
+        let supervised_note = if config.supervise {
+            ", supervised (auto-failover)"
+        } else {
+            ""
+        };
         let replication_summary = if let Some(primary) = &config.replica_of {
             Some(format!(
-                "replicating from {primary} (generation {})",
+                "replicating from {primary} (generation {}){supervised_note}",
                 service.replication().generation()
             ))
         } else if config.accept_replicas {
             Some(format!(
-                "accepting replicas (generation {})",
+                "accepting replicas (generation {}){supervised_note}",
                 service.replication().generation()
             ))
         } else {
@@ -245,14 +309,33 @@ impl Server {
         }
 
         // The follower thread: connects out to the primary, applies the
-        // shipped stream, reconnects with backoff until promoted.
-        let replica_handle = self.config.replica_of.clone().map(|primary| {
+        // shipped stream, reconnects with backoff until promoted. A
+        // supervised node keeps this thread alive even when it boots as
+        // a primary: if it is ever demoted it starts following whatever
+        // upstream the supervisor points it at.
+        let replica_handle =
+            if self.config.replica_of.is_some() || self.service.supervision().enabled() {
+                let primary = self.config.replica_of.clone();
+                let service = Arc::clone(&self.service);
+                let stop = Arc::clone(&self.stop);
+                Some(std::thread::spawn(move || {
+                    repl::run_replica_loop(service, primary, stop, 0x9e37_79b9_7f4a_7c15);
+                }))
+            } else {
+                None
+            };
+
+        // The lease monitor: renews/watches heartbeats and drives the
+        // promotion / fencing / demotion state machine.
+        let supervisor_handle = if self.service.supervision().enabled() {
             let service = Arc::clone(&self.service);
             let stop = Arc::clone(&self.stop);
-            std::thread::spawn(move || {
-                repl::run_replica_loop(service, primary, stop, 0x9e37_79b9_7f4a_7c15);
-            })
-        });
+            Some(std::thread::spawn(move || {
+                crate::supervisor::run_supervisor(service, stop);
+            }))
+        } else {
+            None
+        };
 
         self.listener.set_nonblocking(true)?;
         let retry_after_ms = self.config.retry_after_ms;
@@ -301,12 +384,26 @@ impl Server {
         if let Some(handle) = replica_handle {
             let _ = handle.join();
         }
+        if let Some(handle) = supervisor_handle {
+            let _ = handle.join();
+        }
         // Final durability barrier: under `interval`/`never` fsync, any
         // buffered WAL bytes reach disk before the process exits. Best
         // effort — a sync failure must not eat the metrics dump.
         let _ = self.service.sync_wal();
         Ok(self.service.metrics.snapshot())
     }
+}
+
+/// FNV-1a over the advertise address: a stable, dependency-free default
+/// node id. Operators who want explicit ranking pass `--node-id`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Read newline-delimited requests off one connection until EOF or

@@ -32,7 +32,8 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request, ServiceError};
 use crate::recovery::{self, Recovery};
 use crate::repl::{self, ReplState, Shipment};
-use crate::wal::{self, FsyncPolicy, SnapshotDoc, WalRecord, WalWriter};
+use crate::supervisor::{SupervisorConfig, SupervisorState};
+use crate::wal::{self, FsyncPolicy, SnapshotDoc, WalRecord, WalSink, WalWriter};
 use geacc_core::loader::{self, LoadError};
 use geacc_core::parallel::Threads;
 use geacc_core::{
@@ -88,6 +89,9 @@ pub struct Service {
     /// Replication role, generation, and cursor (all atomics), plus the
     /// fan-out hub for connected replica streams.
     pub(crate) repl: ReplState,
+    /// Supervision: lease clocks, cluster topology, and the write
+    /// fence. Always present; inert until [`Self::begin_supervision`].
+    sup: SupervisorState,
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) stop: Arc<AtomicBool>,
     threads: Threads,
@@ -189,10 +193,12 @@ struct Session {
     base: Instance,
 }
 
-/// The live durability state behind a `--wal-dir`.
+/// The live durability state behind a `--wal-dir`. The writer's sink
+/// is type-erased so tests can run the whole service over an injected
+/// fault sink (disk-full, torn tail) instead of a real file.
 struct Durability {
     dir: PathBuf,
-    writer: WalWriter,
+    writer: WalWriter<Box<dyn WalSink + Send>>,
     policy: FsyncPolicy,
     /// Auto-snapshot cadence in mutations; `None` disables rotation.
     snapshot_every: Option<u64>,
@@ -215,6 +221,7 @@ impl Service {
             durability: Mutex::new(None),
             dedup: Mutex::new(DedupTable::default()),
             repl: ReplState::new(),
+            sup: SupervisorState::new(),
             metrics,
             stop,
             threads,
@@ -225,6 +232,24 @@ impl Service {
     /// The replication state (role, generation, cursor, hub).
     pub fn replication(&self) -> &ReplState {
         &self.repl
+    }
+
+    /// The supervision state (lease clocks, topology hints, the fence).
+    pub fn supervision(&self) -> &SupervisorState {
+        &self.sup
+    }
+
+    /// Arm supervision. Called once at bind time, after
+    /// [`Self::init_replication`]. A supervised *primary* with peers
+    /// starts fenced on probation: after a `kill -9` and restart it may
+    /// not ack a single write until one probe round reaches every peer
+    /// and finds no senior generation — the window in which a
+    /// resurrected stale primary would otherwise split the brain.
+    pub fn begin_supervision(&self, config: &SupervisorConfig) {
+        self.sup.configure(config);
+        if !self.repl.is_replica() && !config.peers.is_empty() {
+            self.sup.set_fenced(true);
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, Option<Session>> {
@@ -245,14 +270,15 @@ impl Service {
     /// Adopt the state recovery reconstructed from a `--wal-dir` and
     /// arm the WAL writer at the offset recovery validated. Called once
     /// at bind time, before any request thread exists.
-    pub fn install_recovered(
+    pub fn install_recovered<S: WalSink + Send + 'static>(
         &self,
         recovery: Recovery,
-        writer: WalWriter,
+        writer: WalWriter<S>,
         dir: PathBuf,
         policy: FsyncPolicy,
         snapshot_every: Option<u64>,
     ) {
+        let writer = writer.boxed();
         self.metrics.record_recovery(
             recovery.replayed,
             recovery.skipped,
@@ -406,18 +432,39 @@ impl Service {
         }
         // A replica serves reads but refuses mutations with a stable
         // code — clients fail over to the primary (or wait for a
-        // promote) instead of diverging the follower.
-        if self.repl.is_replica()
-            && matches!(request.op.as_str(), "load" | "mutate" | "solve" | "restore")
-        {
-            return Err(ServiceError::new(
+        // promote) instead of diverging the follower. The rejection
+        // carries the primary's address when known, so a misdirected
+        // client self-corrects instead of erroring forever.
+        let writes = matches!(request.op.as_str(), "load" | "mutate" | "solve" | "restore");
+        if self.repl.is_replica() && writes {
+            let mut error = ServiceError::new(
                 "read_only",
                 format!(
                     "this node is a replica; {:?} is only served by the \
                      primary (send \"promote\" to take over)",
                     request.op
                 ),
-            ));
+            );
+            if let Some(hint) = self.sup.primary_hint() {
+                error = error.with_primary_hint(hint);
+            }
+            return Err(error);
+        }
+        // A fenced supervised primary refuses writes: the replicas it
+        // lost contact with may be electing a successor, and acking a
+        // write now is exactly how split-brain happens.
+        if writes && self.sup.enabled() && !self.repl.is_replica() && self.sup.fenced() {
+            let mut error = ServiceError::new(
+                "lease_lost",
+                "this primary is fenced (replica contact lost, or probation \
+                 after a restart) and refuses writes until the cluster view \
+                 settles; reads still serve",
+            )
+            .with_retry_after(self.sup.lease_interval().as_millis() as u64);
+            if let Some(hint) = self.sup.primary_hint() {
+                error = error.with_primary_hint(hint);
+            }
+            return Err(error);
         }
         match request.op.as_str() {
             "load" => self.load(&request.body),
@@ -736,7 +783,11 @@ impl Service {
 
     /// `health`: a one-line liveness/role probe. `status` is `"ok"`,
     /// `"degraded"` (WAL poisoned — reads still serve, state changes
-    /// refuse), or `"replica"` (read-only follower, with lag).
+    /// refuse), `"fenced"` (supervised primary refusing writes), or
+    /// `"replica"` (read-only follower, with lag). Also the wire the
+    /// supervisor's peer probes and the client's topology re-resolution
+    /// ride on: `node_id`, `repl_offset` (the election rank),
+    /// `fenced`, `advertise`, and `primary_hint` when known.
     fn health(&self) -> Result<Value, ServiceError> {
         let (epoch, fingerprint) = match self.lock().as_ref() {
             Some(session) => (
@@ -745,18 +796,28 @@ impl Service {
             ),
             None => (None, None),
         };
-        let wal: Option<&str> = match self.dlock().as_ref() {
-            Some(d) if d.poisoned.is_some() => Some("failed"),
-            Some(_) => Some("ok"),
-            None => None,
+        let (wal, wal_offset): (Option<&str>, u64) = match self.dlock().as_ref() {
+            Some(d) if d.poisoned.is_some() => (Some("failed"), d.writer.offset()),
+            Some(d) => (Some("ok"), d.writer.offset()),
+            None => (None, 0),
         };
         let replica = self.repl.is_replica();
+        let fenced = !replica && self.sup.enabled() && self.sup.fenced();
         let status = if wal == Some("failed") {
             "degraded"
+        } else if fenced {
+            "fenced"
         } else if replica {
             "replica"
         } else {
             "ok"
+        };
+        // The election rank: how much acked history this node holds, in
+        // remote (primary-space) coordinates on both roles.
+        let repl_offset = if replica {
+            self.repl.remote_cursor()
+        } else {
+            self.repl.remote_base() + wal_offset
         };
         let (connected, lag_records, lag_bytes) = if replica {
             (
@@ -775,7 +836,7 @@ impl Service {
         } else {
             (None, None, None)
         };
-        Ok(Value::Object(vec![
+        let mut fields = vec![
             field("status", &status)?,
             field("role", &if replica { "replica" } else { "primary" })?,
             field("wal", &wal)?,
@@ -785,32 +846,36 @@ impl Service {
             field("lag_bytes", &lag_bytes)?,
             field("epoch", &epoch)?,
             field("fingerprint", &fingerprint)?,
-        ]))
+            field("node_id", &self.sup.node_id())?,
+            field("repl_offset", &repl_offset)?,
+            field("fenced", &fenced)?,
+            field("supervised", &self.sup.enabled())?,
+        ];
+        if let Some(advertise) = self.sup.advertise() {
+            fields.push(field("advertise", &advertise)?);
+        }
+        if let Some(hint) = self.sup.primary_hint() {
+            fields.push(field("primary_hint", &hint)?);
+        }
+        Ok(Value::Object(fields))
     }
 
-    /// `promote`: turn a replica into the primary. Bumps the fencing
-    /// generation above anything seen from the old primary and persists
-    /// it **before** acking — a stale primary that comes back is then
-    /// refused at the replication handshake. Idempotent on a primary.
+    /// `promote`: turn a replica into the primary. Idempotent on a
+    /// primary — except that an operator promoting a *fenced* primary
+    /// is asserting there is no successor to defer to, so the fence
+    /// lifts.
     fn promote(&self) -> Result<Value, ServiceError> {
         if !self.repl.is_replica() {
+            if self.sup.enabled() && self.sup.fenced() {
+                self.sup.set_fenced(false);
+            }
             return Ok(Value::Object(vec![
                 field("promoted", &false)?,
                 field("role", &"primary")?,
                 field("generation", &self.repl.generation())?,
             ]));
         }
-        let generation = self.repl.generation().max(self.repl.last_seen_generation()) + 1;
-        self.repl.set_generation(generation);
-        self.repl.set_role_replica(false);
-        self.repl.set_connected(false);
-        {
-            let guard = self.dlock();
-            if let Some(d) = guard.as_ref() {
-                repl::store_meta(&d.dir, &self.repl.meta())
-                    .map_err(|e| ServiceError::new("io", format!("persisting repl.meta: {e}")))?;
-            }
-        }
+        let generation = self.promote_to_primary()?;
         let epoch = self.lock().as_ref().map(|s| s.arranger.epoch());
         Ok(Value::Object(vec![
             field("promoted", &true)?,
@@ -818,6 +883,50 @@ impl Service {
             field("generation", &generation)?,
             field("epoch", &epoch)?,
         ]))
+    }
+
+    /// Take over as primary: bump the fencing generation above anything
+    /// seen from the old primary and persist it to `repl.meta`
+    /// **before** the role flips writable — a crash between the two
+    /// leaves a node that fences the old primary but never acked a
+    /// write, never the other way round. Shared by the `promote` op and
+    /// the supervisor's auto-promotion; returns the new generation.
+    pub(crate) fn promote_to_primary(&self) -> Result<u64, ServiceError> {
+        let generation = self.repl.generation().max(self.repl.last_seen_generation()) + 1;
+        {
+            let guard = self.dlock();
+            if let Some(d) = guard.as_ref() {
+                let mut meta = self.repl.meta();
+                meta.generation = generation;
+                repl::store_meta(&d.dir, &meta)
+                    .map_err(|e| ServiceError::new("io", format!("persisting repl.meta: {e}")))?;
+            }
+        }
+        self.repl.set_generation(generation);
+        self.repl.set_role_replica(false);
+        self.repl.set_connected(false);
+        if self.dlock().is_some() {
+            // The new primary must feed the losing replicas.
+            self.repl.set_accepts_replicas(true);
+        }
+        self.sup.on_promoted();
+        Ok(generation)
+    }
+
+    /// Step down to replica under a senior primary. `successor` is
+    /// `(follow_addr, client_hint)` when known; `None` leaves the
+    /// follower idle until the supervisor's election finds the winner.
+    /// The generation is left as-is: it is lower than the successor's,
+    /// so the next handshake lands on the reset path and resyncs.
+    pub(crate) fn demote_to_replica(&self, successor: Option<(String, String)>) {
+        if let Some((addr, hint)) = successor {
+            self.sup.set_upstream(Some(addr));
+            self.sup.set_primary_hint(Some(hint));
+        }
+        self.repl.set_role_replica(true);
+        self.repl.set_connected(false);
+        self.sup.set_fenced(false);
+        self.sup.note_lease();
     }
 
     /// `solve`: re-solve the live instance under a budget and adopt the
@@ -1100,7 +1209,7 @@ impl Service {
                 "replica requires a --wal-dir",
             ));
         };
-        d.writer = recovery::reset_wal(&d.dir, d.policy)?;
+        d.writer = recovery::reset_wal(&d.dir, d.policy)?.boxed();
         d.last_snapshot_epoch = None;
         d.poisoned = None;
         self.metrics.record_wal(0, 0, d.writer.fsyncs());
@@ -1738,6 +1847,119 @@ mod tests {
             protocol::get_u64(&live, "epoch"),
             Some(session.arranger.epoch())
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sink handle shared with the test: the service writes through
+    /// it while the test watches what actually reached the "disk".
+    #[derive(Clone)]
+    struct SharedSink(Arc<Mutex<crate::wal::FaultSink>>);
+
+    impl WalSink for SharedSink {
+        fn write_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+            self.0.lock().unwrap().write_frame(frame)
+        }
+
+        fn sync(&mut self) -> std::io::Result<()> {
+            self.0.lock().unwrap().sync()
+        }
+    }
+
+    /// Satellite: disk-full degradation. A WAL append that hits
+    /// `ENOSPC` mid-frame poisons durability with a structured
+    /// `wal_failed` naming the OS error; reads keep serving the acked
+    /// state; and once space returns, recovery classifies the
+    /// short-written frame as an ordinary torn tail — truncate and
+    /// resume — not as corruption that refuses to boot.
+    #[test]
+    fn disk_full_poisons_then_recovers_as_torn_tail() {
+        // Dry run on a bottomless disk to learn the exact byte budget
+        // that admits the load and the first mutation in full.
+        let measured = {
+            let svc = service();
+            let dir = tmp_dir("disk-full-dry");
+            let rec = recovery::recover(&dir, DynamicConfig::default()).unwrap();
+            let sink = Arc::new(Mutex::new(crate::wal::FaultSink::disk_full(usize::MAX)));
+            let writer = WalWriter::with_sink(SharedSink(Arc::clone(&sink)), FsyncPolicy::Never);
+            svc.install_recovered(rec, writer, dir.clone(), FsyncPolicy::Never, None);
+            call(&svc, &toy_line()).unwrap();
+            call(
+                &svc,
+                r#"{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+            )
+            .unwrap();
+            let len = sink.lock().unwrap().bytes().len();
+            std::fs::remove_dir_all(&dir).ok();
+            len
+        };
+
+        // The real run: the disk fills 10 bytes into the second
+        // mutation's frame — an ENOSPC short write.
+        let dir = tmp_dir("disk-full");
+        let svc = service();
+        let rec = recovery::recover(&dir, DynamicConfig::default()).unwrap();
+        let sink = Arc::new(Mutex::new(crate::wal::FaultSink::disk_full(measured + 10)));
+        let writer = WalWriter::with_sink(SharedSink(Arc::clone(&sink)), FsyncPolicy::Never);
+        svc.install_recovered(rec, writer, dir.clone(), FsyncPolicy::Never, None);
+        call(&svc, &toy_line()).unwrap();
+        call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}"#,
+        )
+        .unwrap();
+        let acked = call(&svc, r#"{"op": "health"}"#).unwrap();
+
+        let failed = call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 1}}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(failed.code, "wal_failed");
+        assert!(
+            failed.message.contains("os error 28"),
+            "expected ENOSPC in the error, got: {}",
+            failed.message
+        );
+
+        // Poisoned for state changes, healthy for reads — at exactly
+        // the acked state.
+        let h = call(&svc, r#"{"op": "health"}"#).unwrap();
+        assert_eq!(protocol::get_str(&h, "status"), Some("degraded"));
+        assert_eq!(
+            protocol::get_u64(&h, "fingerprint"),
+            protocol::get_u64(&acked, "fingerprint")
+        );
+        assert!(call(&svc, r#"{"op": "query_user", "user": 0}"#).is_ok());
+        let again = call(
+            &svc,
+            r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 1}}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(again.code, "wal_failed");
+
+        // "Space returns": persist what the full disk actually held —
+        // including the short-written tail — and boot on it.
+        std::fs::write(recovery::wal_path(&dir), sink.lock().unwrap().bytes()).unwrap();
+        let rec = recovery::recover(&dir, DynamicConfig::default()).unwrap();
+        assert!(
+            rec.truncated_bytes > 0,
+            "short write should surface as a torn tail"
+        );
+        assert_eq!(rec.replayed, 2, "load + first mutation replay");
+
+        let revived = durable_service(&dir, None);
+        let h = call(&revived, r#"{"op": "health"}"#).unwrap();
+        assert_eq!(protocol::get_str(&h, "status"), Some("ok"));
+        assert_eq!(
+            protocol::get_u64(&h, "fingerprint"),
+            protocol::get_u64(&acked, "fingerprint")
+        );
+        // Writes resume.
+        call(
+            &revived,
+            r#"{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 1}}}"#,
+        )
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -191,6 +191,16 @@ impl WalSink for File {
     }
 }
 
+impl WalSink for Box<dyn WalSink + Send> {
+    fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        (**self).write_frame(frame)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+}
+
 /// A deterministic fault-injecting sink: accepts bytes into memory until
 /// a total byte budget is exhausted, then short-writes the final frame
 /// and fails — every later operation fails too. `FaultSink::new(n)`
@@ -201,6 +211,9 @@ pub struct FaultSink {
     written: Vec<u8>,
     fail_after: usize,
     failed: bool,
+    /// Raw OS errno reported on failure (e.g. 28 = `ENOSPC` for the
+    /// disk-full model); `None` keeps the generic crash error.
+    errno: Option<i32>,
 }
 
 impl FaultSink {
@@ -209,6 +222,27 @@ impl FaultSink {
             written: Vec::new(),
             fail_after,
             failed: false,
+            errno: None,
+        }
+    }
+
+    /// A full disk: accepts `fail_after` bytes, short-writes the frame
+    /// that crosses the budget, and fails with `ENOSPC` (errno 28) —
+    /// the degradation path a real `write(2)` takes when the volume
+    /// fills mid-append.
+    pub fn disk_full(fail_after: usize) -> FaultSink {
+        FaultSink {
+            written: Vec::new(),
+            fail_after,
+            failed: false,
+            errno: Some(28),
+        }
+    }
+
+    fn fault(&self) -> io::Error {
+        match self.errno {
+            Some(code) => io::Error::from_raw_os_error(code),
+            None => io::Error::new(io::ErrorKind::WriteZero, "injected fault: crash mid-append"),
         }
     }
 
@@ -221,7 +255,7 @@ impl FaultSink {
 impl WalSink for FaultSink {
     fn write_frame(&mut self, frame: &[u8]) -> io::Result<()> {
         if self.failed {
-            return Err(io::Error::other("injected fault: sink already failed"));
+            return Err(self.fault());
         }
         let budget = self.fail_after.saturating_sub(self.written.len());
         if frame.len() <= budget {
@@ -230,16 +264,13 @@ impl WalSink for FaultSink {
         } else {
             self.written.extend_from_slice(&frame[..budget]);
             self.failed = true;
-            Err(io::Error::new(
-                io::ErrorKind::WriteZero,
-                "injected fault: crash mid-append",
-            ))
+            Err(self.fault())
         }
     }
 
     fn sync(&mut self) -> io::Result<()> {
         if self.failed {
-            Err(io::Error::other("injected fault: sink already failed"))
+            Err(self.fault())
         } else {
             Ok(())
         }
@@ -358,6 +389,22 @@ impl<S: WalSink> WalWriter<S> {
     /// The sink back (tests inspect the bytes a [`FaultSink`] absorbed).
     pub fn into_sink(self) -> S {
         self.sink
+    }
+}
+
+impl<S: WalSink + Send + 'static> WalWriter<S> {
+    /// Erase the sink type, preserving every counter. The service
+    /// stores writers behind one field whether they sit on a real file
+    /// or an injected fault sink.
+    pub fn boxed(self) -> WalWriter<Box<dyn WalSink + Send>> {
+        WalWriter {
+            sink: Box::new(self.sink),
+            policy: self.policy,
+            offset: self.offset,
+            records: self.records,
+            fsyncs: self.fsyncs,
+            last_sync: self.last_sync,
+        }
     }
 }
 

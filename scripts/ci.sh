@@ -85,9 +85,10 @@ echo "== server smoke =="
 SMOKE_DIR=$(mktemp -d)
 SERVE_PID=""
 REPLICA_PID=""
+REPLICA2_PID=""
 RECOVER_PID=""
 cleanup() {
-    for pid in "$SERVE_PID" "$REPLICA_PID" "$RECOVER_PID"; do
+    for pid in "$SERVE_PID" "$REPLICA_PID" "$REPLICA2_PID" "$RECOVER_PID"; do
         [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
     done
     rm -rf "$SMOKE_DIR"
@@ -317,5 +318,127 @@ probe "$REPLICA_PORT" '{"op": "shutdown"}' > /dev/null
 wait "$REPLICA_PID" 2>/dev/null || true
 REPLICA_PID=""
 echo "replication failover smoke: ok"
+
+echo "== unattended failover smoke =="
+# Self-healing end to end with ZERO human ops: a supervised primary and
+# two supervised replicas (peers of each other), the primary is
+# SIGKILLed, and with no `promote` anywhere a replica must elect
+# itself, go writable, and serve the exact acked state — cross-checked
+# against a recovery replay of the dead primary's own WAL.
+SUP_PRIMARY_DIR="$SMOKE_DIR/sup-primary"
+SUP_R1_DIR="$SMOKE_DIR/sup-r1"
+SUP_R2_DIR="$SMOKE_DIR/sup-r2"
+mkdir -p "$SUP_PRIMARY_DIR" "$SUP_R1_DIR" "$SUP_R2_DIR"
+
+free_port() { # a port nothing is listening on right now
+    local p
+    while :; do
+        p=$(( (RANDOM % 20000) + 20000 ))
+        if ! (exec 5<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+            printf '%s' "$p"
+            return
+        fi
+    done
+}
+R1_PORT=$(free_port)
+R2_PORT=$(free_port)
+while [ "$R2_PORT" = "$R1_PORT" ]; do R2_PORT=$(free_port); done
+
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    --wal-dir "$SUP_PRIMARY_DIR" --fsync always --accept-replicas \
+    --supervise --lease-interval-ms 100 --missed-leases 3 --node-id 10 \
+    > "$SMOKE_DIR/serve-sup-primary.log" &
+SERVE_PID=$!
+SUP_PRIMARY_PORT=$(wait_port "$SMOKE_DIR/serve-sup-primary.log")
+
+./target/release/geacc serve --addr "127.0.0.1:$R1_PORT" --workers 2 \
+    --wal-dir "$SUP_R1_DIR" --fsync always \
+    --replica-of "127.0.0.1:$SUP_PRIMARY_PORT" \
+    --supervise --lease-interval-ms 100 --missed-leases 3 --node-id 1 \
+    --peers "127.0.0.1:$R2_PORT" \
+    > "$SMOKE_DIR/serve-sup-r1.log" &
+REPLICA_PID=$!
+./target/release/geacc serve --addr "127.0.0.1:$R2_PORT" --workers 2 \
+    --wal-dir "$SUP_R2_DIR" --fsync always \
+    --replica-of "127.0.0.1:$SUP_PRIMARY_PORT" \
+    --supervise --lease-interval-ms 100 --missed-leases 3 --node-id 2 \
+    --peers "127.0.0.1:$R1_PORT" \
+    > "$SMOKE_DIR/serve-sup-r2.log" &
+REPLICA2_PID=$!
+wait_port "$SMOKE_DIR/serve-sup-r1.log" > /dev/null
+wait_port "$SMOKE_DIR/serve-sup-r2.log" > /dev/null
+
+exec 3<>"/dev/tcp/127.0.0.1/$SUP_PRIMARY_PORT"
+request "{\"op\": \"load\", \"path\": \"$SMOKE_DIR/toy.json\"}" > /dev/null
+request '{"op": "mutate", "mutation": {"SetCapacity": {"side": "User", "id": 0, "capacity": 2}}}' > /dev/null
+request '{"op": "mutate", "mutation": {"AddConflict": {"a": 0, "b": 1}}}' > /dev/null
+SUP_HEALTH=$(request '{"op": "health"}')
+exec 3<&- 3>&-
+SUP_FP=$(fingerprint_of "$SUP_HEALTH")
+[ -n "$SUP_FP" ] || { echo "unattended smoke: no fingerprint in $SUP_HEALTH"; exit 1; }
+
+for port in "$R1_PORT" "$R2_PORT"; do
+    CAUGHT_UP=""
+    for _ in $(seq 1 100); do
+        H=$(probe "$port" '{"op": "health"}')
+        case "$H" in
+            *'"lag_records":0'*"\"fingerprint\":$SUP_FP"*) CAUGHT_UP=1; break ;;
+        esac
+        sleep 0.1
+    done
+    [ -n "$CAUGHT_UP" ] || { echo "unattended smoke: replica $port never caught up: $H"; exit 1; }
+done
+
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# No `promote` from here on: a replica must go writable on its own.
+WINNER_PORT=""
+for _ in $(seq 1 200); do
+    for port in "$R1_PORT" "$R2_PORT"; do
+        H=$(probe "$port" '{"op": "health"}' 2>/dev/null) || continue
+        case "$H" in
+            *'"role":"primary"'*'"status":"ok"'*|*'"status":"ok"'*'"role":"primary"'*)
+                WINNER_PORT=$port; break 2 ;;
+        esac
+    done
+    sleep 0.1
+done
+[ -n "$WINNER_PORT" ] || { echo "unattended smoke: no replica self-promoted"; exit 1; }
+
+WINNER_HEALTH=$(probe "$WINNER_PORT" '{"op": "health"}')
+WINNER_FP=$(fingerprint_of "$WINNER_HEALTH")
+[ "$WINNER_FP" = "$SUP_FP" ] \
+    || { echo "unattended smoke: promoted fp $WINNER_FP != acked fp $SUP_FP"; exit 1; }
+
+# Cross-check: a recovery replay of the dead primary's WAL (the acked
+# record prefix) reconstructs exactly what the winner serves.
+./target/release/geacc serve --addr 127.0.0.1:0 --workers 2 \
+    --wal-dir "$SUP_PRIMARY_DIR" --fsync always \
+    > "$SMOKE_DIR/serve-sup-replay.log" &
+RECOVER_PID=$!
+SUP_REPLAY_PORT=$(wait_port "$SMOKE_DIR/serve-sup-replay.log")
+SUP_REPLAY_FP=$(fingerprint_of "$(probe "$SUP_REPLAY_PORT" '{"op": "health"}')")
+[ "$SUP_REPLAY_FP" = "$SUP_FP" ] \
+    || { echo "unattended smoke: WAL replay fp $SUP_REPLAY_FP != acked fp $SUP_FP"; exit 1; }
+probe "$SUP_REPLAY_PORT" '{"op": "shutdown"}' > /dev/null
+wait "$RECOVER_PID" 2>/dev/null || true
+RECOVER_PID=""
+
+# The self-promoted node acks writes.
+SUP_RESUMED=$(probe "$WINNER_PORT" '{"op": "mutate", "mutation": {"AddConflict": {"a": 1, "b": 2}}}')
+case "$SUP_RESUMED" in
+    '{"ok":true'*) ;;
+    *) echo "unattended smoke: winner refused a write: $SUP_RESUMED"; exit 1 ;;
+esac
+
+probe "$R1_PORT" '{"op": "shutdown"}' > /dev/null 2>&1 || true
+probe "$R2_PORT" '{"op": "shutdown"}' > /dev/null 2>&1 || true
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+wait "$REPLICA2_PID" 2>/dev/null || true
+REPLICA2_PID=""
+echo "unattended failover smoke: ok (winner on port $WINNER_PORT)"
 
 echo "ci.sh: all green"
