@@ -1,28 +1,53 @@
 //! Load generator for `geacc-server`: throughput, tail latency, and
 //! admission control under overload, measured over real TCP sockets.
 //!
-//! Two phases, each against an in-process server on an ephemeral port:
+//! Phases, each against an in-process server on an ephemeral port:
 //!
 //! 1. **Steady state** — a worker pool sized to the host serves a seeded
 //!    request mix (70% `query_user`, 10% `query_event`, 15% `mutate`,
-//!    5% `stats`) from several concurrent clients. Records throughput
-//!    and client-observed p50/p95/p99 latency.
-//! 2. **Overload** — one worker and a depth-2 queue, wedged by
+//!    5% `stats`) from several concurrent clients, one request in
+//!    flight per client. Records throughput and client-observed
+//!    p50/p95/p99 latency, split by class (read / mutate / stats).
+//! 2. **Read-heavy** — the serving-layer headline: clients pipeline a
+//!    window of read-class requests (70% `query_user`, 20%
+//!    `query_event`, 5% `stats`, 5% `health`) that the event loops
+//!    answer inline over epoch-pinned state, never touching the worker
+//!    queue. Records aggregate throughput and latency quantiles.
+//! 3. **Concurrency** — wedge the only worker with a 2 s budgeted
+//!    exact solve, then measure synchronous read latency *during* the
+//!    solve: the non-blocking-reads contract is p99 ≪ the solve budget.
+//!    Afterwards, fire concurrent identical solves from separate
+//!    connections so the batcher coalesces them, and record the
+//!    server's batch-size histogram. `--smoke` runs only this phase and
+//!    exits nonzero if p99 read latency ≥ 10 ms (CI gate).
+//! 4. **Overload** — one worker and a depth-2 queue, wedged by
 //!    budget-bounded exact solves on the pathological narrow-band
-//!    instance, then hit with a pipelined burst. Records how many
-//!    requests were admitted vs. rejected with the structured
-//!    `overloaded` error — the backpressure contract: reject loudly,
-//!    never queue unbounded.
+//!    instance, then hit with a pipelined burst of queue-class
+//!    mutates. Records how many requests were admitted vs. rejected
+//!    with the structured `overloaded` error — the backpressure
+//!    contract: reject loudly, never queue unbounded. (Reads cannot
+//!    exercise this any more: the event loop answers them inline.)
+//! 5. **Rebuild curve** — in-process `geacc-core` timing of the
+//!    drift-proportional CSR rebuild: incremental `epoch_flats` cost
+//!    is measured against a from-scratch `GraphFlats::build` while
+//!    (a) instance size grows at fixed drift and (b) drift grows at
+//!    fixed size. Proportional-to-drift means (a) stays near-flat for
+//!    the incremental column while scratch grows with size.
 //!
 //! Results land in `BENCH_server.json` (or `--out <path>`).
 //!
 //! ```sh
 //! cargo run -p geacc-bench --release --bin loadgen
 //! cargo run -p geacc-bench --release --bin loadgen -- --quick --out /tmp/s.json
+//! cargo run -p geacc-bench --release --bin loadgen -- --smoke
 //! ```
 
 use geacc_bench::cli;
-use geacc_core::{ConflictGraph, EventId, Instance, SimMatrix};
+use geacc_core::parallel::Threads;
+use geacc_core::{
+    ConflictGraph, DynamicConfig, EventId, GraphFlats, IncrementalArranger, Instance, Mutation,
+    SimMatrix,
+};
 use geacc_datagen::{ArrivalOrder, SyntheticConfig};
 use geacc_server::{protocol, ClientConfig, MetricsSnapshot, RetryClient, Server, ServerConfig};
 use serde::Serialize;
@@ -38,7 +63,10 @@ struct Snapshot {
     command: String,
     note: String,
     steady: SteadyPhase,
+    read_heavy: ReadHeavyPhase,
+    concurrency: ConcurrencyPhase,
     overload: OverloadPhase,
+    rebuild_curve: RebuildCurve,
 }
 
 #[derive(Serialize)]
@@ -59,7 +87,54 @@ struct SteadyPhase {
     wall_seconds: f64,
     throughput_rps: f64,
     latency_us: LatencyQuantiles,
+    read_latency_us: LatencyQuantiles,
+    mutate_latency_us: LatencyQuantiles,
+    stats_latency_us: LatencyQuantiles,
     server_metrics: MetricsSnapshot,
+}
+
+#[derive(Serialize)]
+struct ReadHeavyPhase {
+    instance: String,
+    io_threads: usize,
+    clients: usize,
+    requests_per_client: usize,
+    pipeline_window: usize,
+    mix: BTreeMap<String, String>,
+    requests_total: usize,
+    client_errors: u64,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    /// Client-observed, *including* time spent queued in the client's
+    /// own pipeline window — an honest closed-loop number.
+    latency_us: LatencyQuantiles,
+    server_metrics: MetricsSnapshot,
+}
+
+#[derive(Serialize)]
+struct ConcurrencyPhase {
+    instance: String,
+    workers: usize,
+    solve_timeout_ms: u64,
+    /// Synchronous reads completed while the solve wedged the worker.
+    reads_during_solve: usize,
+    /// The headline cell: read latency measured with the solve
+    /// demonstrably in flight.
+    read_latency_during_solve_us: LatencyQuantiles,
+    solve_wall_ms: u64,
+    solve_ok: bool,
+    /// Identical solves fired concurrently from separate connections
+    /// against a second server with one worker per solver (a follower
+    /// must occupy a worker to reach the batcher); the batcher
+    /// coalesces them into shared pipeline runs.
+    coalesced_solvers: usize,
+    coalesce_workers: usize,
+    solve_batches: u64,
+    solve_batch_requests: u64,
+    solve_batch_max: u64,
+    solve_batch_sizes: BTreeMap<String, u64>,
+    epoch_snapshots_built: u64,
+    epoch_pinned_reads: u64,
 }
 
 #[derive(Serialize)]
@@ -68,6 +143,27 @@ struct LatencyQuantiles {
     p95: u64,
     p99: u64,
     max: u64,
+}
+
+impl LatencyQuantiles {
+    fn from_sorted(latencies: &[u64]) -> LatencyQuantiles {
+        if latencies.is_empty() {
+            return LatencyQuantiles {
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0,
+            };
+        }
+        let q =
+            |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
+        LatencyQuantiles {
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: *latencies.last().unwrap(),
+        }
+    }
 }
 
 #[derive(Serialize)]
@@ -90,6 +186,26 @@ struct OverloadPhase {
     retry_calls: u64,
     retry_retries: u64,
     retry_failed: u64,
+}
+
+#[derive(Serialize)]
+struct RebuildCurve {
+    note: String,
+    /// Instance size varies, mutation count fixed: the incremental
+    /// column must stay near-flat while scratch grows.
+    size_sweep: Vec<RebuildPoint>,
+    /// Mutation count varies, instance size fixed: the incremental
+    /// column must grow with drift.
+    drift_sweep: Vec<RebuildPoint>,
+}
+
+#[derive(Serialize)]
+struct RebuildPoint {
+    num_events: usize,
+    num_users: usize,
+    mutations: usize,
+    incremental_us: u64,
+    scratch_us: u64,
 }
 
 /// A blocking newline-delimited-JSON client.
@@ -187,8 +303,10 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
     ));
     assert!(is_ok(&loaded), "load failed: {loaded:?}");
 
+    // Per-class latency vectors: reads (query_*), mutates, stats.
+    type ClientResult = ([Vec<u64>; 3], u64, geacc_server::ClientStats);
     let started = Instant::now();
-    let results: Vec<(Vec<u64>, u64, geacc_server::ClientStats)> = std::thread::scope(|scope| {
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
         let arrivals = &arrivals;
         let handles: Vec<_> = (0..clients)
             .map(|c| {
@@ -207,7 +325,7 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
                         },
                     );
                     let mut rng = Stream(0x9e37_79b9_7f4a_7c15 ^ (c as u64 + 1));
-                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut latencies: [Vec<u64>; 3] = Default::default();
                     let mut errors = 0u64;
                     for i in 0..per_client {
                         let roll = rng.next() % 100;
@@ -230,20 +348,26 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
                             if mutator.mutate(mutation).is_err() {
                                 errors += 1;
                             }
-                            latencies.push(sent.elapsed().as_micros() as u64);
+                            latencies[1].push(sent.elapsed().as_micros() as u64);
                             continue;
                         }
-                        let line = if roll < 70 {
+                        let (line, class) = if roll < 70 {
                             let u = arrivals[(c * per_client + i) % arrivals.len()];
-                            format!(r#"{{"op": "query_user", "user": {}}}"#, u.0)
+                            (format!(r#"{{"op": "query_user", "user": {}}}"#, u.0), 0)
                         } else if roll < 80 {
-                            format!(r#"{{"op": "query_event", "event": {}}}"#, rng.next() as usize % nv)
+                            (
+                                format!(
+                                    r#"{{"op": "query_event", "event": {}}}"#,
+                                    rng.next() as usize % nv
+                                ),
+                                0,
+                            )
                         } else {
-                            r#"{"op": "stats"}"#.to_string()
+                            (r#"{"op": "stats"}"#.to_string(), 2)
                         };
                         let sent = Instant::now();
                         let response = client.call(&line);
-                        latencies.push(sent.elapsed().as_micros() as u64);
+                        latencies[class].push(sent.elapsed().as_micros() as u64);
                         if !is_ok(&response) {
                             errors += 1;
                         }
@@ -259,18 +383,23 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
     setup.call(r#"{"op": "shutdown"}"#);
     let server_metrics = handle.join().expect("server thread");
 
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut by_class: [Vec<u64>; 3] = Default::default();
     let mut client_errors = 0;
     let (mut mutate_calls, mut mutate_retries, mut mutate_failed) = (0u64, 0u64, 0u64);
-    for (mut l, e, stats) in results {
-        latencies.append(&mut l);
+    for (classes, e, stats) in results {
+        for (all, mut class) in by_class.iter_mut().zip(classes) {
+            all.append(&mut class);
+        }
         client_errors += e;
         mutate_calls += stats.requests;
         mutate_retries += stats.retries;
         mutate_failed += stats.failed;
     }
+    let mut latencies: Vec<u64> = by_class.iter().flatten().copied().collect();
     latencies.sort_unstable();
-    let q = |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
+    for class in &mut by_class {
+        class.sort_unstable();
+    }
     let requests_total = latencies.len();
 
     let mut mix = BTreeMap::new();
@@ -292,12 +421,152 @@ fn steady_phase(clients: usize, per_client: usize, workers: usize) -> SteadyPhas
         mutate_failed,
         wall_seconds: wall,
         throughput_rps: requests_total as f64 / wall,
-        latency_us: LatencyQuantiles {
-            p50: q(0.50),
-            p95: q(0.95),
-            p99: q(0.99),
-            max: *latencies.last().unwrap(),
-        },
+        latency_us: LatencyQuantiles::from_sorted(&latencies),
+        read_latency_us: LatencyQuantiles::from_sorted(&by_class[0]),
+        mutate_latency_us: LatencyQuantiles::from_sorted(&by_class[1]),
+        stats_latency_us: LatencyQuantiles::from_sorted(&by_class[2]),
+        server_metrics,
+    }
+}
+
+/// Read-heavy phase: every client pipelines a window of read-class
+/// requests; the event loops answer all of them inline.
+fn read_heavy_phase(clients: usize, per_client: usize, window: usize) -> ReadHeavyPhase {
+    let config = SyntheticConfig {
+        num_events: 20,
+        num_users: 200,
+        seed: 42,
+        ..Default::default()
+    };
+    let inst = config.generate();
+    let (nv, nu) = (inst.num_events(), inst.num_users());
+
+    let server_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 64,
+        default_timeout_ms: 30_000,
+        ..ServerConfig::default()
+    };
+    let io_threads = server_config.io_threads;
+    let (addr, handle) = spawn_server(server_config);
+    let mut setup = Client::connect(addr);
+    let loaded = setup.call(&format!(
+        r#"{{"op": "load", "instance": {}}}"#,
+        serde_json::to_string(&inst).unwrap()
+    ));
+    assert!(is_ok(&loaded), "load failed: {loaded:?}");
+
+    // Pregenerate the request-line pool outside the timed region; the
+    // per-request client cost is then an index + memcpy, so the
+    // measurement is the serving layer, not client-side formatting.
+    // (Reads over a pinned epoch are pure functions of the line, so
+    // repeating pool lines is exactly the workload the server's
+    // epoch-keyed response cache is built for.)
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    for u in 0..nu {
+        pool.push(format!("{{\"op\": \"query_user\", \"user\": {u}}}\n").into_bytes());
+    }
+    let user_lines = pool.len();
+    for v in 0..nv {
+        pool.push(format!("{{\"op\": \"query_event\", \"event\": {v}}}\n").into_bytes());
+    }
+    let event_lines = pool.len() - user_lines;
+    pool.push(b"{\"op\": \"stats\"}\n".to_vec());
+    pool.push(b"{\"op\": \"health\"}\n".to_vec());
+    let pool = &pool;
+
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect to loadgen server");
+                    stream.set_nodelay(true).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut rng = Stream(0x5bd1_e995 ^ (c as u64 + 1));
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut errors = 0u64;
+                    let mut sent = 0usize;
+                    let mut outbuf: Vec<u8> = Vec::with_capacity(window * 48);
+                    let mut line: Vec<u8> = Vec::with_capacity(256);
+                    // Chunked pipelining: write a whole window of
+                    // pool lines in one syscall, then drain the
+                    // responses. Inline ops answer in request order,
+                    // so one flush timestamp covers the chunk; the
+                    // recorded latency honestly includes the client's
+                    // own queueing inside the window.
+                    while sent < per_client {
+                        let chunk = window.min(per_client - sent);
+                        outbuf.clear();
+                        for _ in 0..chunk {
+                            let roll = rng.next() % 100;
+                            let idx = if roll < 70 {
+                                rng.next() as usize % user_lines
+                            } else if roll < 90 {
+                                user_lines + rng.next() as usize % event_lines
+                            } else if roll < 95 {
+                                pool.len() - 2
+                            } else {
+                                pool.len() - 1
+                            };
+                            outbuf.extend_from_slice(&pool[idx]);
+                        }
+                        writer.write_all(&outbuf).unwrap();
+                        let flushed = Instant::now();
+                        for _ in 0..chunk {
+                            line.clear();
+                            reader.read_until(b'\n', &mut line).expect("read response");
+                            latencies.push(flushed.elapsed().as_micros() as u64);
+                            if !line.starts_with(b"{\"ok\":true")
+                                && !line.starts_with(b"{\"ok\": true")
+                            {
+                                errors += 1;
+                            }
+                        }
+                        sent += chunk;
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    setup.call(r#"{"op": "shutdown"}"#);
+    let server_metrics = handle.join().expect("server thread");
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut client_errors = 0;
+    for (mut l, e) in results {
+        latencies.append(&mut l);
+        client_errors += e;
+    }
+    latencies.sort_unstable();
+    let requests_total = latencies.len();
+
+    let mut mix = BTreeMap::new();
+    mix.insert("query_user".to_string(), "70%".to_string());
+    mix.insert("query_event".to_string(), "20%".to_string());
+    mix.insert("stats".to_string(), "5%".to_string());
+    mix.insert("health".to_string(), "5%".to_string());
+
+    ReadHeavyPhase {
+        instance: format!("synthetic {nv}x{nu} (seed 42)"),
+        io_threads,
+        clients,
+        requests_per_client: per_client,
+        pipeline_window: window,
+        mix,
+        requests_total,
+        client_errors,
+        wall_seconds: wall,
+        throughput_rps: requests_total as f64 / wall,
+        latency_us: LatencyQuantiles::from_sorted(&latencies),
         server_metrics,
     }
 }
@@ -325,6 +594,125 @@ fn pathological_instance() -> Instance {
         conflicts,
     )
     .unwrap()
+}
+
+/// Concurrency phase: reads measured while a 2 s solve wedges the only
+/// worker, then a coalescing burst of identical solves.
+fn concurrency_phase() -> ConcurrencyPhase {
+    let solve_timeout_ms = 2000u64;
+    let (addr, handle) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 16,
+        default_timeout_ms: 30_000,
+        ..ServerConfig::default()
+    });
+    let mut setup = Client::connect(addr);
+    let loaded = setup.call(&format!(
+        r#"{{"op": "load", "instance": {}}}"#,
+        serde_json::to_string(&pathological_instance()).unwrap()
+    ));
+    assert!(is_ok(&loaded), "load failed: {loaded:?}");
+
+    // Wedge the single worker for the full 2 s budget, then read
+    // synchronously against it for ~75% of that window, so every
+    // recorded latency demonstrably overlaps the in-flight solve.
+    let mut solver = Client::connect(addr);
+    let solve_started = Instant::now();
+    solver.send(&format!(
+        r#"{{"op": "solve", "id": 1, "algorithm": "prune", "timeout_ms": {solve_timeout_ms}}}"#
+    ));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut reader = Client::connect(addr);
+    let mut rng = Stream(0xFACE);
+    let mut latencies: Vec<u64> = Vec::new();
+    let read_window = Duration::from_millis(solve_timeout_ms * 3 / 4);
+    let read_started = Instant::now();
+    while read_started.elapsed() < read_window {
+        let line = match rng.next() % 3 {
+            0 => format!(r#"{{"op": "query_user", "user": {}}}"#, rng.next() % 24),
+            1 => format!(r#"{{"op": "query_event", "event": {}}}"#, rng.next() % 8),
+            _ => r#"{"op": "health"}"#.to_string(),
+        };
+        let sent = Instant::now();
+        let response = reader.call(&line);
+        latencies.push(sent.elapsed().as_micros() as u64);
+        assert!(is_ok(&response), "read failed during solve: {response:?}");
+    }
+    let solve_response = solver.recv();
+    let solve_wall_ms = solve_started.elapsed().as_millis() as u64;
+    let solve_ok = is_ok(&solve_response);
+    assert!(
+        solve_wall_ms >= solve_timeout_ms * 3 / 4,
+        "solve finished too early ({solve_wall_ms} ms) to prove anything about overlap"
+    );
+    latencies.sort_unstable();
+
+    setup.call(r#"{"op": "shutdown"}"#);
+    let read_metrics = handle.join().expect("server thread");
+
+    // Coalescing: identical solves from separate connections land in
+    // the same epoch; the batcher's leader runs one pipeline for all.
+    // Followers block inside a worker while they wait on the leader,
+    // so this server needs one worker per concurrent solver (plus one
+    // for the opener) — with a single worker the extra solves would
+    // sit in the admission queue and time out before ever reaching
+    // the batcher. An opening solve holds the batch gate while the
+    // four solvers connect and enqueue, so they demonstrably land in
+    // the *same* batch rather than racing to lead singleton batches.
+    let coalesced_solvers = 4usize;
+    let coalesce_workers = coalesced_solvers + 1;
+    let (caddr, chandle) = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: coalesce_workers,
+        queue_depth: 16,
+        default_timeout_ms: 30_000,
+        ..ServerConfig::default()
+    });
+    let mut csetup = Client::connect(caddr);
+    let loaded = csetup.call(&format!(
+        r#"{{"op": "load", "instance": {}}}"#,
+        serde_json::to_string(&pathological_instance()).unwrap()
+    ));
+    assert!(is_ok(&loaded), "load failed: {loaded:?}");
+    let mut opener = Client::connect(caddr);
+    opener.send(r#"{"op": "solve", "algorithm": "prune", "timeout_ms": 400}"#);
+    std::thread::sleep(Duration::from_millis(50));
+    std::thread::scope(|scope| {
+        for _ in 0..coalesced_solvers {
+            scope.spawn(|| {
+                let mut c = Client::connect(caddr);
+                // Budget covers the opener's remaining run plus this
+                // batch's own pipeline; all four share one deadline
+                // window, so the batcher groups them into one run.
+                let r = c.call(r#"{"op": "solve", "algorithm": "prune", "timeout_ms": 2000}"#);
+                assert!(is_ok(&r), "coalesced solve failed: {r:?}");
+            });
+        }
+    });
+    assert!(is_ok(&opener.recv()), "opening solve failed");
+    csetup.call(r#"{"op": "shutdown"}"#);
+    let coalesce_metrics = chandle.join().expect("coalesce server thread");
+
+    ConcurrencyPhase {
+        instance: "pathological 8x24 narrow-band".to_string(),
+        workers: 1,
+        solve_timeout_ms,
+        reads_during_solve: latencies.len(),
+        read_latency_during_solve_us: LatencyQuantiles::from_sorted(&latencies),
+        solve_wall_ms,
+        solve_ok,
+        coalesced_solvers,
+        coalesce_workers,
+        solve_batches: coalesce_metrics.solve_batches,
+        solve_batch_requests: coalesce_metrics.solve_batch_requests,
+        solve_batch_max: coalesce_metrics.solve_batch_max,
+        solve_batch_sizes: coalesce_metrics.solve_batch_sizes.clone(),
+        epoch_snapshots_built: read_metrics.epoch_snapshots_built
+            + coalesce_metrics.epoch_snapshots_built,
+        epoch_pinned_reads: read_metrics.epoch_pinned_reads + coalesce_metrics.epoch_pinned_reads,
+    }
 }
 
 /// Overload phase: wedge a single worker with slow solves, then burst.
@@ -361,10 +749,15 @@ fn overload_phase(burst_clients: usize, per_client: usize) -> OverloadPhase {
                 .map(|c| {
                     scope.spawn(move || {
                         let mut client = Client::connect(addr);
+                        // Queue-class ops only: the event loop answers
+                        // reads inline, so only mutates can provoke the
+                        // admission limit.
                         for i in 0..per_client {
                             client.send(&format!(
-                                r#"{{"op": "stats", "id": {}}}"#,
-                                c * per_client + i
+                                r#"{{"op": "mutate", "id": {}, "mutation": {{"SetCapacity": {{"side": "User", "id": {}, "capacity": {}}}}}}}"#,
+                                c * per_client + i,
+                                (c * per_client + i) % 24,
+                                2 + (i % 4),
                             ));
                         }
                         let (mut admitted, mut overloaded, mut other) = (0u64, 0u64, 0u64);
@@ -395,6 +788,11 @@ fn overload_phase(burst_clients: usize, per_client: usize) -> OverloadPhase {
                                 client_id: format!("wedge-{m}"),
                                 seed: 0xD00D ^ (m as u64 + 1),
                                 request_timeout: Duration::from_secs(30),
+                                // Hint-paced retries are fast (the
+                                // server suggests tens of ms), so a
+                                // deep budget is needed to outlast a
+                                // multi-second wedge.
+                                max_retries: 32,
                                 ..ClientConfig::default()
                             },
                         );
@@ -463,10 +861,103 @@ fn overload_phase(burst_clients: usize, per_client: usize) -> OverloadPhase {
     }
 }
 
+/// Deterministic pseudo-similarities for appended users.
+fn sims(seed: u64, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((seed.wrapping_add(i as u64 * 7919)) % 101) as f64 / 100.0)
+        .map(|s| if s < 0.3 { 0.0 } else { s })
+        .collect()
+}
+
+/// One rebuild measurement: apply `mutations` user registrations to a
+/// `nv`×`nu` instance, then time the incremental epoch-flats extension
+/// against a from-scratch CSR build of the same live instance.
+fn rebuild_point(nv: usize, nu: usize, mutations: usize) -> RebuildPoint {
+    let inst = SyntheticConfig {
+        num_events: nv,
+        num_users: nu,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate();
+    let mut arranger = IncrementalArranger::new(inst, DynamicConfig::default());
+    // Seed the cache so the timed call measures `extended`, not the
+    // first-use scratch build.
+    let _ = arranger.epoch_flats(Threads::new(1));
+    for m in 0..mutations {
+        arranger
+            .apply(Mutation::AddUser {
+                attrs: sims(0xABCD ^ m as u64, nv),
+                capacity: 2,
+            })
+            .expect("AddUser is always valid");
+    }
+    let started = Instant::now();
+    let incremental = arranger.epoch_flats(Threads::new(1));
+    let incremental_us = started.elapsed().as_micros() as u64;
+    let started = Instant::now();
+    let scratch = GraphFlats::build(arranger.instance(), Threads::new(1));
+    let scratch_us = started.elapsed().as_micros() as u64;
+    assert!(
+        incremental.bit_eq(&scratch),
+        "incremental flats diverged from scratch at {nv}x{nu}+{mutations}"
+    );
+    RebuildPoint {
+        num_events: nv,
+        num_users: nu,
+        mutations,
+        incremental_us,
+        scratch_us,
+    }
+}
+
+/// The drift-proportionality evidence: size sweep at fixed drift,
+/// drift sweep at fixed size.
+fn rebuild_curve() -> RebuildCurve {
+    let fixed_mutations = 64;
+    let size_sweep = [500, 2000, 8000]
+        .iter()
+        .map(|&nu| rebuild_point(20, nu, fixed_mutations))
+        .collect();
+    let drift_sweep = [16, 64, 256]
+        .iter()
+        .map(|&m| rebuild_point(20, 2000, m))
+        .collect();
+    RebuildCurve {
+        note: "incremental_us must track `mutations` (drift sweep) and stay near-flat \
+               across `num_users` (size sweep); scratch_us grows with instance size. \
+               Single-threaded timings; flats asserted bit-identical to scratch."
+            .to_string(),
+        size_sweep,
+        drift_sweep,
+    }
+}
+
 fn main() {
     let quick = cli::has_flag("quick");
+    let smoke = cli::has_flag("smoke");
     let out = cli::flag_value("out").unwrap_or_else(|| "BENCH_server.json".to_string());
     let workers = cli::threads().get().min(8);
+
+    if smoke {
+        // CI gate: reads must not queue behind an in-flight solve.
+        eprintln!("loadgen: smoke — measuring read p99 during a 2 s solve");
+        let phase = concurrency_phase();
+        let p99_ms = phase.read_latency_during_solve_us.p99 as f64 / 1000.0;
+        eprintln!(
+            "loadgen: {} reads during the solve, p50 {} us, p99 {} us (solve ran {} ms)",
+            phase.reads_during_solve,
+            phase.read_latency_during_solve_us.p50,
+            phase.read_latency_during_solve_us.p99,
+            phase.solve_wall_ms
+        );
+        if p99_ms >= 10.0 {
+            eprintln!("loadgen: FAIL — p99 read latency {p99_ms:.2} ms >= 10 ms during a solve");
+            std::process::exit(1);
+        }
+        eprintln!("loadgen: OK — p99 read latency {p99_ms:.2} ms < 10 ms during a solve");
+        return;
+    }
 
     let (clients, per_client) = if quick { (2, 100) } else { (4, 500) };
     eprintln!(
@@ -474,8 +965,37 @@ fn main() {
     );
     let steady = steady_phase(clients, per_client, workers);
     eprintln!(
+        "loadgen: {:.0} req/s, p50 {} us, p99 {} us (read p99 {} us, mutate p99 {} us)",
+        steady.throughput_rps,
+        steady.latency_us.p50,
+        steady.latency_us.p99,
+        steady.read_latency_us.p99,
+        steady.mutate_latency_us.p99
+    );
+
+    let (rh_clients, rh_per_client, window) = if quick {
+        (4, 5_000, 64)
+    } else {
+        (12, 20_000, 128)
+    };
+    eprintln!(
+        "loadgen: read-heavy phase ({rh_clients} clients x {rh_per_client} pipelined, window {window})"
+    );
+    let read_heavy = read_heavy_phase(rh_clients, rh_per_client, window);
+    eprintln!(
         "loadgen: {:.0} req/s, p50 {} us, p99 {} us",
-        steady.throughput_rps, steady.latency_us.p50, steady.latency_us.p99
+        read_heavy.throughput_rps, read_heavy.latency_us.p50, read_heavy.latency_us.p99
+    );
+
+    eprintln!("loadgen: concurrency phase (reads during a 2 s solve + coalescing burst)");
+    let concurrency = concurrency_phase();
+    eprintln!(
+        "loadgen: {} reads during solve, read p99 {} us; {} solves coalesced into {} batch(es), max batch {}",
+        concurrency.reads_during_solve,
+        concurrency.read_latency_during_solve_us.p99,
+        concurrency.solve_batch_requests,
+        concurrency.solve_batches,
+        concurrency.solve_batch_max
     );
 
     let (burst_clients, burst_per_client) = if quick { (4, 25) } else { (8, 50) };
@@ -485,6 +1005,19 @@ fn main() {
         "loadgen: {} admitted, {} rejected as overloaded",
         overload.admitted, overload.overloaded
     );
+
+    eprintln!("loadgen: rebuild curve (drift-proportional CSR extension vs scratch)");
+    let rebuild_curve = rebuild_curve();
+    for p in rebuild_curve
+        .size_sweep
+        .iter()
+        .chain(&rebuild_curve.drift_sweep)
+    {
+        eprintln!(
+            "loadgen: {}x{} +{} mutations: incremental {} us, scratch {} us",
+            p.num_events, p.num_users, p.mutations, p.incremental_us, p.scratch_us
+        );
+    }
 
     let snapshot = Snapshot {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -496,7 +1029,10 @@ fn main() {
         note: "Client-observed latency over loopback TCP, newline-delimited JSON protocol."
             .to_string(),
         steady,
+        read_heavy,
+        concurrency,
         overload,
+        rebuild_curve,
     };
     let mut json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
     json.push('\n');

@@ -61,7 +61,8 @@ USAGE:
   geacc inspect  --input FILE --arrangement FILE [--top N] [--certify]
   geacc improve  --input FILE --arrangement FILE [--output FILE] [--max-passes N]
   geacc toy      [--output FILE]
-  geacc serve    [--addr HOST:PORT] [--workers N] [--queue-depth N]
+  geacc serve    [--addr HOST:PORT] [--workers N] [--io-threads N]
+                 [--queue-depth N]
                  [--default-timeout-ms MS] [--threads N] [--drift-ratio R]
                  [--wal-dir DIR] [--fsync always|never|interval:MS]
                  [--snapshot-every N] [--accept-replicas]
@@ -96,6 +97,9 @@ stats/shutdown — see DESIGN.md §10). It prints `listening on ADDR` once
 bound, serves until a shutdown request, then prints final metrics.
 --queue-depth bounds admitted-but-unserved requests; beyond it the
 server answers structured `overloaded` errors instead of queueing.
+--io-threads sets the poll event-loop threads multiplexing connections
+(reads and health/stats are answered there, never queued behind
+solves); --workers sets the pool executing the heavy ops.
 
 --wal-dir makes the daemon durable: every load/mutate/solve is appended
 to a checksummed write-ahead log before it is acknowledged, and restarts
@@ -560,6 +564,7 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     args.expect_only(&[
         "addr",
         "workers",
+        "io-threads",
         "queue-depth",
         "default-timeout-ms",
         "threads",
@@ -581,6 +586,7 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let config = geacc_server::ServerConfig {
         addr: args.value("addr")?.unwrap_or(&defaults.addr).to_string(),
         workers: args.parsed_or("workers", defaults.workers)?,
+        io_threads: args.parsed_or("io-threads", defaults.io_threads)?,
         queue_depth: args.parsed_or("queue-depth", defaults.queue_depth)?,
         default_timeout_ms: args.parsed_or("default-timeout-ms", defaults.default_timeout_ms)?,
         solve_threads: match args.value("threads")? {

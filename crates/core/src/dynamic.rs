@@ -36,12 +36,15 @@
 //! alongside the log and reinstall it via [`IncrementalArranger::install`].
 
 use crate::algorithms::NeighborOracle;
+use crate::engine::{CandidateGraph, GraphFlats};
 use crate::model::arrangement::{Arrangement, Violation};
 use crate::model::ids::{EventId, UserId};
 use crate::model::instance::{Instance, InstanceError};
+use crate::parallel::Threads;
 use crate::runtime::{Outcome, SolverPipeline};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Which side of the bipartition a [`Mutation::SetCapacity`] targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -272,6 +275,13 @@ pub struct IncrementalArranger {
     epoch: u64,
     baseline: f64,
     config: DynamicConfig,
+    /// The candidate-graph flats of the newest epoch they were asked
+    /// for ([`Self::epoch_flats`]), refreshed incrementally: mutations
+    /// only ever *grow* the similarity space (`AddUser` / `AddEvent`
+    /// append ids; capacity and conflict edits live outside the sim
+    /// model), so a stale cache is extended via [`GraphFlats::extended`]
+    /// at drift-proportional cost instead of rebuilt from scratch.
+    flats: Option<Arc<GraphFlats>>,
 }
 
 impl IncrementalArranger {
@@ -288,6 +298,7 @@ impl IncrementalArranger {
             epoch: 0,
             baseline,
             config,
+            flats: None,
         }
     }
 
@@ -333,6 +344,7 @@ impl IncrementalArranger {
             epoch,
             baseline,
             config,
+            flats: None,
         })
     }
 
@@ -428,16 +440,60 @@ impl IncrementalArranger {
         h
     }
 
+    /// The candidate-graph flats of the current epoch, built on first
+    /// use and **incrementally extended** thereafter: dimension-changing
+    /// mutations (`AddUser` / `AddEvent`) trigger a
+    /// [`GraphFlats::extended`] refresh costing similarity evaluations
+    /// proportional to the drift (new rows × all users + old rows × new
+    /// users), while every other mutation reuses the cached `Arc`
+    /// outright — capacities and conflicts are not part of the sim
+    /// model. Bit-identical to `GraphFlats::build` of the live instance
+    /// at every thread count.
+    pub fn epoch_flats(&mut self, threads: Threads) -> Arc<GraphFlats> {
+        let fresh = match &self.flats {
+            Some(f) if f.covers(&self.inst) => Arc::clone(f),
+            Some(f) => Arc::new(f.extended(&self.inst, threads)),
+            None => Arc::new(GraphFlats::build(&self.inst, threads)),
+        };
+        self.flats = Some(Arc::clone(&fresh));
+        fresh
+    }
+
     /// Re-run the full budgeted pipeline on the current instance and
     /// adopt its arrangement as the new standing solution and drift
     /// baseline. By construction this equals solving the mutated
     /// instance from scratch with the same pipeline (the differential
-    /// suite pins it).
+    /// suite pins it); the candidate graph itself is produced by the
+    /// incremental epoch cache, so repeated rebuilds of a drifting
+    /// session pay per-mutation graph cost, not per-instance.
     pub fn rebuild(&mut self, pipeline: &SolverPipeline) -> Outcome {
-        let outcome = pipeline.run(&self.inst);
+        let flats = self.epoch_flats(pipeline.threads());
+        let outcome = {
+            let graph = CandidateGraph::from_flats(&self.inst, flats);
+            pipeline.run_on(&graph)
+        };
         self.arrangement = outcome.arrangement.clone();
         self.baseline = self.arrangement.max_sum();
         outcome
+    }
+
+    /// Adopt an arrangement solved against an epoch-pinned graph of
+    /// this session (the serving layer's batched solve path, which runs
+    /// the pipeline *outside* the session lock). Rejected — state
+    /// unchanged — if mutations applied since that epoch made it
+    /// infeasible; on success it becomes the standing solution and
+    /// drift baseline, grown to the current dimensions so later
+    /// mutations index safely.
+    pub fn adopt(&mut self, arrangement: Arrangement) -> Result<(), Vec<Violation>> {
+        let violations = arrangement.validate(&self.inst);
+        if !violations.is_empty() {
+            return Err(violations);
+        }
+        self.arrangement = arrangement;
+        self.arrangement
+            .grow_to(self.inst.num_events(), self.inst.num_users());
+        self.baseline = self.arrangement.max_sum();
+        Ok(())
     }
 
     /// Install an externally produced arrangement (snapshot restore, a

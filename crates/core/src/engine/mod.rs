@@ -31,7 +31,7 @@ mod registry;
 mod solver;
 mod stats;
 
-pub use graph::CandidateGraph;
+pub use graph::{CandidateGraph, GraphFlats};
 pub use registry::{refine_on, solve_instance, solve_on, SolverRegistry, UnknownAlgorithm};
 pub use solver::{
     AlnsSolver, ExactDpSolver, ExhaustiveSolver, GreedySolver, MinCostFlowSolver, PruneSolver,

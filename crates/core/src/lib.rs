@@ -71,7 +71,9 @@ pub use dynamic::{
     DynamicConfig, IncrementalArranger, Mutation, MutationError, RepairReport, ReplayStats, Side,
     WireError,
 };
-pub use engine::{CandidateGraph, EngineStats, SolveParams, Solver, SolverCaps, SolverRegistry};
+pub use engine::{
+    CandidateGraph, EngineStats, GraphFlats, SolveParams, Solver, SolverCaps, SolverRegistry,
+};
 pub use loader::LoadError;
 pub use model::arrangement::{Arrangement, Violation};
 pub use model::conflict::{ConflictGraph, ConflictPairOutOfRange};

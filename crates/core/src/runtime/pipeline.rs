@@ -129,6 +129,11 @@ impl SolverPipeline {
         self
     }
 
+    /// The worker budget this pipeline solves (and builds graphs) with.
+    pub fn threads(&self) -> Threads {
+        self.threads
+    }
+
     fn meter_for(&self, budget: &SolveBudget) -> BudgetMeter {
         let mut meter = BudgetMeter::new(budget);
         if let Some(cancel) = &self.cancel {
@@ -168,8 +173,19 @@ impl SolverPipeline {
             .then_some(solved)
     }
 
-    /// Run the chain to its first acceptable arrangement.
+    /// Run the chain to its first acceptable arrangement, building the
+    /// candidate graph from scratch. Epoch-pinned callers that already
+    /// hold a graph (the serving layer) use [`run_on`][Self::run_on].
     pub fn run(&self, inst: &crate::Instance) -> Outcome {
+        // One graph for every stage.
+        let graph = CandidateGraph::build(inst, self.threads);
+        self.run_on(&graph)
+    }
+
+    /// Run the chain over an already-built candidate graph — the shared
+    /// entry point for batched serving, where many solves reuse one
+    /// epoch's CSR instead of rebuilding it per request.
+    pub fn run_on(&self, graph: &CandidateGraph) -> Outcome {
         let start = Instant::now();
         let mut nodes = 0u64;
         let registry = SolverRegistry::global();
@@ -178,13 +194,11 @@ impl SolverPipeline {
             seed: self.seed,
             ..SolveParams::default()
         };
-        // One graph for every stage.
-        let graph = CandidateGraph::build(inst, self.threads);
 
         // Stage 1: the primary algorithm under the main budget.
         let meter = self.meter_for(&self.budget);
-        let solved = self.run_stage(&graph, registry.solver(self.primary).stage(), || {
-            engine::solve_on(&graph, self.primary, &params, &meter)
+        let solved = self.run_stage(graph, registry.solver(self.primary).stage(), || {
+            engine::solve_on(graph, self.primary, &params, &meter)
         });
         nodes += meter.nodes();
         // ALNS refinement applies to budget-stopped incumbents of any
@@ -217,8 +231,8 @@ impl SolverPipeline {
         if let Some(budget) = refine {
             if let Some(primary) = incumbent {
                 let meter = self.meter_for(&budget);
-                let refined = self.run_stage(&graph, "alns", || {
-                    engine::refine_on(&graph, &params, &meter, &primary.arrangement)
+                let refined = self.run_stage(graph, "alns", || {
+                    engine::refine_on(graph, &params, &meter, &primary.arrangement)
                 });
                 nodes += meter.nodes();
                 if let Some(mut refined) = refined {
@@ -232,8 +246,8 @@ impl SolverPipeline {
             // The primary produced nothing: try a cold (greedy-seeded)
             // ALNS run before the plain Greedy fallback.
             let meter = self.meter_for(&budget);
-            let refined = self.run_stage(&graph, "alns", || {
-                engine::solve_on(&graph, Algorithm::Alns { seed: self.seed }, &params, &meter)
+            let refined = self.run_stage(graph, "alns", || {
+                engine::solve_on(graph, Algorithm::Alns { seed: self.seed }, &params, &meter)
             });
             nodes += meter.nodes();
             if let Some(mut refined) = refined {
@@ -245,8 +259,8 @@ impl SolverPipeline {
         // Stage 3: Greedy under the fallback budget, over the same graph.
         if !matches!(self.primary, Algorithm::Greedy) {
             let meter = self.meter_for(&self.fallback_budget);
-            let solved = self.run_stage(&graph, "greedy", || {
-                engine::solve_on(&graph, Algorithm::Greedy, &params, &meter)
+            let solved = self.run_stage(graph, "greedy", || {
+                engine::solve_on(graph, Algorithm::Greedy, &params, &meter)
             });
             nodes += meter.nodes();
             if let Some(mut solved) = solved {
@@ -257,9 +271,9 @@ impl SolverPipeline {
 
         // Stage 4: Random-V, the unconditional last resort (unbudgeted:
         // it is a single linear pass).
-        let solved = self.run_stage(&graph, "random-v", || {
+        let solved = self.run_stage(graph, "random-v", || {
             engine::solve_on(
-                &graph,
+                graph,
                 Algorithm::RandomV { seed: self.seed },
                 &params,
                 &BudgetMeter::unlimited(),
@@ -274,7 +288,7 @@ impl SolverPipeline {
         // trivially feasible) arrangement.
         self.outcome(
             Outcome {
-                arrangement: Arrangement::empty_for(inst),
+                arrangement: Arrangement::empty_for(graph.instance()),
                 status: SolveStatus::TimedOut,
                 nodes: 0,
                 elapsed: start.elapsed(),

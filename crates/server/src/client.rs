@@ -2,8 +2,10 @@
 //!
 //! Backs both the CLI (`geacc promote`, ad-hoc ops) and the bench
 //! loadgen. Handles per-request deadlines, reconnects on transport
-//! errors, jittered exponential backoff on `overloaded` (honoring the
-//! server's `retry_after_ms` hint) and connect failures, and stamps
+//! errors, jittered exponential backoff on `overloaded` and connect
+//! failures (a server `retry_after_ms` hint replaces the exponential
+//! outright — the server knows its drain rate better than a guess
+//! doubling does), and stamps
 //! every mutation with a `(client_id, seq)` idempotency key so a retry
 //! after an ambiguous failure cannot double-apply server-side.
 //!
@@ -136,8 +138,13 @@ enum Attempt {
     Fatal(ClientError),
     Transport,
     /// The node cannot take this write; re-point at the hinted primary
-    /// (or the seed, absent a hint) and retry.
-    Redirect(Option<String>),
+    /// (or the seed, absent a hint) and retry. A fencing node may also
+    /// attach `retry_after_ms` (how long until the cluster converges);
+    /// it paces the fallback wait exactly like an overload hint.
+    Redirect {
+        primary: Option<String>,
+        retry_after: Option<u64>,
+    },
 }
 
 impl RetryClient {
@@ -269,7 +276,10 @@ impl RetryClient {
                     self.stats.retries += 1;
                     self.sleep_backoff(attempts, None, deadline);
                 }
-                Attempt::Redirect(hint) => {
+                Attempt::Redirect {
+                    primary,
+                    retry_after,
+                } => {
                     self.conn = None;
                     if attempts >= self.config.max_retries {
                         self.stats.failed += 1;
@@ -277,7 +287,7 @@ impl RetryClient {
                     }
                     attempts += 1;
                     self.stats.retries += 1;
-                    match hint {
+                    match primary {
                         // A fresh hint pointing elsewhere: follow it
                         // immediately, no backoff — the hinted node is
                         // (claimed to be) ready right now.
@@ -288,14 +298,15 @@ impl RetryClient {
                         }
                         // Hint is where we already are (or absent): the
                         // cluster is still converging. Fall back to the
-                        // seed and give it a beat.
+                        // seed, pacing the wait on the server's
+                        // `retry_after_ms` when it sent one.
                         _ => {
                             if self.addr != self.seed_addr {
                                 self.addr = self.seed_addr.clone();
                                 self.stats.redirects += 1;
                             }
                             self.verify_role = true;
-                            self.sleep_backoff(attempts, None, deadline);
+                            self.sleep_backoff(attempts, retry_after, deadline);
                         }
                     }
                 }
@@ -366,12 +377,14 @@ impl RetryClient {
                     }
                     "shutting_down" => Attempt::Backoff(None),
                     // The node can't take this request but the cluster
-                    // as a whole can: follow its hint to the primary.
-                    "read_only" | "stale_generation" | "lease_lost" => Attempt::Redirect(
-                        error
+                    // as a whole can: follow its hint to the primary,
+                    // keeping any pacing hint alongside it.
+                    "read_only" | "stale_generation" | "lease_lost" => Attempt::Redirect {
+                        primary: error
                             .and_then(|e| get_str(e, "primary_hint"))
                             .map(str::to_string),
-                    ),
+                        retry_after: error.and_then(|e| get_u64(e, "retry_after_ms")),
+                    },
                     _ => Attempt::Fatal(ClientError::Rejected {
                         code: code.to_string(),
                         message: error
@@ -426,7 +439,10 @@ impl RetryClient {
             if get_str(data, "role") == Some("replica") {
                 if let Some(hint) = get_str(data, "primary_hint") {
                     if hint != self.addr {
-                        return Some(Attempt::Redirect(Some(hint.to_string())));
+                        return Some(Attempt::Redirect {
+                            primary: Some(hint.to_string()),
+                            retry_after: None,
+                        });
                     }
                 }
             }
@@ -450,15 +466,28 @@ impl RetryClient {
     }
 
     fn sleep_backoff(&mut self, attempt: u32, hint: Option<u64>, deadline: Instant) {
-        let base = self.config.backoff_base.as_millis() as u64;
+        // An explicit `retry_after_ms` takes precedence over the
+        // generic exponential: the server measured how long it needs,
+        // so the first retry waits exactly that (plus upward jitter to
+        // spread a retry herd) — whether it is shorter or longer than
+        // the exponential would have been. Consecutive rejections
+        // double the hint, because a repeat means the server's own
+        // estimate was optimistic; the cap still bounds escalation
+        // unless the hint itself is larger.
         let cap = self.config.backoff_cap.as_millis() as u64;
-        let exp = base.saturating_mul(1u64 << attempt.min(5)).min(cap).max(1);
-        let jittered = exp / 2 + self.roll() % (exp / 2 + 1);
-        // An explicit server hint is a floor: wait at least that long
-        // (plus a little jitter so a retry herd spreads out).
         let ms = match hint {
-            Some(h) => jittered.max(h + self.roll() % (h / 2 + 1)),
-            None => jittered,
+            Some(h) => {
+                let h = h.max(1);
+                let scaled = h
+                    .saturating_mul(1u64 << attempt.saturating_sub(1).min(5))
+                    .min(cap.max(h));
+                scaled + self.roll() % (h / 2 + 1)
+            }
+            None => {
+                let base = self.config.backoff_base.as_millis() as u64;
+                let exp = base.saturating_mul(1u64 << attempt.min(5)).min(cap).max(1);
+                exp / 2 + self.roll() % (exp / 2 + 1)
+            }
         };
         let wait = Duration::from_millis(ms);
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -522,5 +551,28 @@ mod tests {
         let start = Instant::now();
         client.sleep_backoff(1, Some(30), start + Duration::from_secs(2));
         assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn hint_overrides_the_exponential_in_both_directions() {
+        // A small hint beats a large exponential: at attempt 5 the
+        // generic backoff would be >= cap/2 = 250 ms, but a 5 ms hint
+        // must pace the wait (5..=7 ms + scheduling slop), not the
+        // exponential.
+        let mut client = RetryClient::new("127.0.0.1:1", ClientConfig::default());
+        let start = Instant::now();
+        client.sleep_backoff(5, Some(5), start + Duration::from_secs(2));
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "hint should shorten the wait, slept {:?}",
+            start.elapsed()
+        );
+
+        // And a hint larger than the exponential still floors it: at
+        // attempt 1 the generic backoff is at most 40 ms, a 120 ms hint
+        // must stretch the wait past it.
+        let start = Instant::now();
+        client.sleep_backoff(1, Some(120), start + Duration::from_secs(2));
+        assert!(start.elapsed() >= Duration::from_millis(120));
     }
 }

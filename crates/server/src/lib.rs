@@ -9,8 +9,11 @@
 //! the workspace's vendored serde, and the worker pool is plain scoped
 //! ownership over `std::sync::mpsc`.
 //!
-//! - [`server`] — accept loop, bounded queue, worker pool, shutdown
-//!   drain (see its docs for the threading and backpressure model).
+//! - [`server`] — poll-based event loop front end, bounded queue,
+//!   worker pool, shutdown drain (see its docs for the threading and
+//!   backpressure model).
+//! - [`poll`] — the vendored `poll(2)` shim the event loop multiplexes
+//!   nonblocking sockets with (std-only, no `libc` dependency).
 //! - [`service`] — op handlers over the arranger (`load`, `mutate`,
 //!   `query_*`, `solve`, `snapshot`/`restore`, `stats`, `shutdown`).
 //! - [`protocol`] — request/response envelopes.
@@ -25,8 +28,9 @@
 //! - [`chaos`] — a deterministic network-chaos proxy for tests.
 //!
 //! Start one from the CLI (`geacc serve --addr 127.0.0.1:7411`) and
-//! drive it with `nc`; DESIGN.md §10 documents the wire protocol and
-//! the mutation/repair semantics.
+//! drive it with [`RetryClient`] or any newline-JSON speaker; DESIGN.md
+//! §10 documents the wire protocol and the mutation/repair semantics,
+//! §17 the event loop and epoch-based concurrency model.
 
 // The request path must never panic: a poisoned worker turns into a
 // wedged connection, not a structured error. Non-test server code is
@@ -37,6 +41,7 @@
 pub mod chaos;
 pub mod client;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 pub mod recovery;
 pub mod repl;

@@ -207,13 +207,71 @@ pub struct ServerMetrics {
     sup_demotions: AtomicU64,
     /// Supervisor: times this primary fenced itself against writes.
     sup_fenced: AtomicU64,
+    /// Solve batches dispatched by the coalescer (each batch is one
+    /// pipeline run per distinct parameter group).
+    solve_batches: AtomicU64,
+    /// Individual solve requests those batches carried.
+    solve_batch_requests: AtomicU64,
+    /// Largest batch coalesced so far.
+    solve_batch_max: AtomicU64,
+    /// Batch-size histogram: buckets 1, 2, ≤4, ≤8, ≤16, >16.
+    solve_batch_sizes: [AtomicU64; 6],
+    /// Epoch read snapshots built (one per state version a read saw).
+    epoch_snapshots_built: AtomicU64,
+    /// Reads served from an already-pinned epoch snapshot (no session
+    /// lock touched).
+    epoch_pinned_reads: AtomicU64,
     latency: LatencyHistogram,
+    /// Per-class latency splits: reads must stay flat while solves run.
+    read_latency: LatencyHistogram,
+    mutate_latency: LatencyHistogram,
+    solve_latency: LatencyHistogram,
+}
+
+/// Snapshot keys for the batch-size buckets, in bucket order.
+const BATCH_BUCKET_KEYS: [&str; 6] = ["le_01", "le_02", "le_04", "le_08", "le_16", "gt_16"];
+
+fn batch_bucket(size: u64) -> usize {
+    match size {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
 }
 
 impl ServerMetrics {
     pub fn record_request(&self, op: Op, latency: Duration) {
         self.requests[op as usize].fetch_add(1, Relaxed);
         self.latency.record(latency);
+        match op {
+            Op::QueryUser | Op::QueryEvent | Op::Stats | Op::Health => {
+                self.read_latency.record(latency)
+            }
+            Op::Mutate => self.mutate_latency.record(latency),
+            Op::Solve => self.solve_latency.record(latency),
+            _ => {}
+        }
+    }
+
+    /// One coalesced solve batch of `size` requests was dispatched.
+    pub fn record_solve_batch(&self, size: u64) {
+        self.solve_batches.fetch_add(1, Relaxed);
+        self.solve_batch_requests.fetch_add(size, Relaxed);
+        self.solve_batch_max.fetch_max(size, Relaxed);
+        self.solve_batch_sizes[batch_bucket(size)].fetch_add(1, Relaxed);
+    }
+
+    /// A read pinned an epoch snapshot; `built` when this read had to
+    /// construct it (state changed since the last pin).
+    pub fn record_epoch_pin(&self, built: bool) {
+        if built {
+            self.epoch_snapshots_built.fetch_add(1, Relaxed);
+        } else {
+            self.epoch_pinned_reads.fetch_add(1, Relaxed);
+        }
     }
 
     pub fn record_error(&self) {
@@ -347,10 +405,33 @@ impl ServerMetrics {
             sup_promotions: self.sup_promotions.load(Relaxed),
             sup_demotions: self.sup_demotions.load(Relaxed),
             sup_fenced: self.sup_fenced.load(Relaxed),
+            solve_batches: self.solve_batches.load(Relaxed),
+            solve_batch_requests: self.solve_batch_requests.load(Relaxed),
+            solve_batch_max: self.solve_batch_max.load(Relaxed),
+            solve_batch_sizes: BATCH_BUCKET_KEYS
+                .iter()
+                .zip(&self.solve_batch_sizes)
+                .filter_map(|(key, count)| {
+                    let n = count.load(Relaxed);
+                    (n > 0).then(|| (key.to_string(), n))
+                })
+                .collect(),
+            epoch_snapshots_built: self.epoch_snapshots_built.load(Relaxed),
+            epoch_pinned_reads: self.epoch_pinned_reads.load(Relaxed),
             latency_count: self.latency.count(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p95_us: self.latency.quantile_us(0.95),
             latency_p99_us: self.latency.quantile_us(0.99),
+            read_latency_count: self.read_latency.count(),
+            read_latency_p50_us: self.read_latency.quantile_us(0.50),
+            read_latency_p95_us: self.read_latency.quantile_us(0.95),
+            read_latency_p99_us: self.read_latency.quantile_us(0.99),
+            mutate_latency_count: self.mutate_latency.count(),
+            mutate_latency_p50_us: self.mutate_latency.quantile_us(0.50),
+            mutate_latency_p99_us: self.mutate_latency.quantile_us(0.99),
+            solve_latency_count: self.solve_latency.count(),
+            solve_latency_p50_us: self.solve_latency.quantile_us(0.50),
+            solve_latency_p99_us: self.solve_latency.quantile_us(0.99),
         }
     }
 }
@@ -409,10 +490,51 @@ pub struct MetricsSnapshot {
     pub sup_demotions: u64,
     /// Times this primary fenced itself against writes.
     pub sup_fenced: u64,
+    /// Solve batches dispatched by the coalescer.
+    #[serde(default)]
+    pub solve_batches: u64,
+    /// Individual solve requests carried by those batches.
+    #[serde(default)]
+    pub solve_batch_requests: u64,
+    /// Largest coalesced batch.
+    #[serde(default)]
+    pub solve_batch_max: u64,
+    /// Batch-size histogram (`le_01` … `gt_16`; empty buckets omitted).
+    #[serde(default)]
+    pub solve_batch_sizes: BTreeMap<String, u64>,
+    /// Epoch read snapshots built (one per state version read).
+    #[serde(default)]
+    pub epoch_snapshots_built: u64,
+    /// Reads served from an already-pinned epoch snapshot.
+    #[serde(default)]
+    pub epoch_pinned_reads: u64,
     pub latency_count: u64,
     pub latency_p50_us: u64,
     pub latency_p95_us: u64,
     pub latency_p99_us: u64,
+    /// Read-class (`query_*`/`stats`/`health`) latency split.
+    #[serde(default)]
+    pub read_latency_count: u64,
+    #[serde(default)]
+    pub read_latency_p50_us: u64,
+    #[serde(default)]
+    pub read_latency_p95_us: u64,
+    #[serde(default)]
+    pub read_latency_p99_us: u64,
+    /// Mutate-class latency split.
+    #[serde(default)]
+    pub mutate_latency_count: u64,
+    #[serde(default)]
+    pub mutate_latency_p50_us: u64,
+    #[serde(default)]
+    pub mutate_latency_p99_us: u64,
+    /// Solve-class latency split.
+    #[serde(default)]
+    pub solve_latency_count: u64,
+    #[serde(default)]
+    pub solve_latency_p50_us: u64,
+    #[serde(default)]
+    pub solve_latency_p99_us: u64,
 }
 
 #[cfg(test)]
@@ -514,6 +636,35 @@ mod tests {
         assert_eq!(snap.repl_resyncs, 1);
         assert_eq!(snap.repl_connects, 1);
         assert_eq!(snap.repl_fenced, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn batch_and_class_counters_roundtrip() {
+        let m = ServerMetrics::default();
+        m.record_solve_batch(1);
+        m.record_solve_batch(3);
+        m.record_solve_batch(3);
+        m.record_epoch_pin(true);
+        m.record_epoch_pin(false);
+        m.record_request(Op::QueryUser, Duration::from_micros(5));
+        m.record_request(Op::Mutate, Duration::from_micros(40));
+        m.record_request(Op::Solve, Duration::from_micros(900));
+        let snap = m.snapshot();
+        assert_eq!(snap.solve_batches, 3);
+        assert_eq!(snap.solve_batch_requests, 7);
+        assert_eq!(snap.solve_batch_max, 3);
+        assert_eq!(snap.solve_batch_sizes.get("le_01"), Some(&1));
+        assert_eq!(snap.solve_batch_sizes.get("le_04"), Some(&2));
+        assert_eq!(snap.solve_batch_sizes.get("gt_16"), None);
+        assert_eq!(snap.epoch_snapshots_built, 1);
+        assert_eq!(snap.epoch_pinned_reads, 1);
+        assert_eq!(snap.read_latency_count, 1);
+        assert_eq!(snap.mutate_latency_count, 1);
+        assert_eq!(snap.solve_latency_count, 1);
+        assert_eq!(snap.latency_count, 3);
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);

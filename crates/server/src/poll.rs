@@ -1,0 +1,117 @@
+//! A vendored `poll(2)` shim: readiness notification for the event
+//! loop without taking a dependency on the `libc` crate (the server is
+//! std-only by policy).
+//!
+//! `poll` has been in POSIX since 2001 with a stable ABI — three
+//! `i16`/`i32` fields per descriptor — so declaring the symbol directly
+//! is as safe as linking `libc` would be, and `std::os::fd::RawFd`
+//! gives us the descriptor type. Only the three readiness bits the
+//! event loop uses are exposed; everything else stays behind
+//! [`PollFd::revents`] for callers that care.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always polled, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is invalid (always polled, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One descriptor's poll registration, ABI-compatible with
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    pub fd: RawFd,
+    pub events: i16,
+    pub revents: i16,
+}
+
+impl PollFd {
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The descriptor is readable (or in an error/hangup state the
+    /// read path must observe to learn about).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// The descriptor is writable (or errored; a write will surface it).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Wait until a registered descriptor is ready or `timeout_ms` passes
+/// (`-1` blocks indefinitely). Returns the number of descriptors with
+/// non-zero `revents`. `EINTR` is retried internally — signal delivery
+/// is not an event the loop distinguishes from a timeout.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs, and `len()` bounds it.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn reports_readable_and_writable_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+
+        // Nothing sent yet: `b` is not readable, both are writable.
+        let mut fds = [
+            PollFd::new(b.as_raw_fd(), POLLIN),
+            PollFd::new(a.as_raw_fd(), POLLOUT),
+        ];
+        let ready = poll_fds(&mut fds, 0).unwrap();
+        assert!(ready >= 1);
+        assert!(!fds[0].readable());
+        assert!(fds[1].writable());
+
+        // After a write, `b` becomes readable (allow the loopback a
+        // beat via the poll timeout itself).
+        a.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn empty_set_times_out_cleanly() {
+        assert_eq!(poll_fds(&mut [], 0).unwrap(), 0);
+    }
+}

@@ -479,11 +479,13 @@ fn reject(writer: &Arc<Mutex<TcpStream>>, request: &Request, error: &ServiceErro
 // ---------------------------------------------------------------------------
 
 /// Handle a `replicate` handshake: turn this connection into a one-way
-/// shipment stream (plus inbound acks). Called from the server's reader
-/// thread, which it occupies until the replica disconnects or the
-/// server stops.
-pub fn serve_replica(
-    reader: BufReader<TcpStream>,
+/// shipment stream (plus inbound acks). Called from a thread the server
+/// hijacks off its event loop, which it occupies until the replica
+/// disconnects or the server stops. The reader is generic because the
+/// event loop may have buffered bytes past the handshake line; the
+/// server feeds them back in ahead of the live socket.
+pub fn serve_replica<R: BufRead + Send + 'static>(
+    reader: R,
     writer: Arc<Mutex<TcpStream>>,
     service: &Arc<Service>,
     stop: &Arc<AtomicBool>,
@@ -550,8 +552,8 @@ pub fn serve_replica(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn stream_to_replica(
-    reader: BufReader<TcpStream>,
+fn stream_to_replica<R: BufRead + Send + 'static>(
+    reader: R,
     writer: &Arc<Mutex<TcpStream>>,
     service: &Arc<Service>,
     stop: &Arc<AtomicBool>,
@@ -728,8 +730,8 @@ fn shift_doc(mut doc: SnapshotDoc, base: u64, records_base: u64) -> SnapshotDoc 
     doc
 }
 
-fn spawn_ack_reader(
-    mut reader: BufReader<TcpStream>,
+fn spawn_ack_reader<R: BufRead + Send + 'static>(
+    mut reader: R,
     service: Arc<Service>,
     sub_id: u64,
     stop: Arc<AtomicBool>,

@@ -1,41 +1,65 @@
-//! The TCP daemon: accept loop, per-connection readers, a bounded job
-//! queue, and a fixed worker pool.
+//! The TCP daemon: a poll-based event loop front end feeding a bounded
+//! worker pool.
 //!
 //! ## Threading model
 //!
 //! ```text
-//! accept loop ──spawns──▶ reader (1 per connection)
-//!                           │  parse line → Job
-//!                           ▼  try_send
-//!                    bounded sync_channel(queue_depth)
-//!                           │  recv
-//!                           ▼
-//!                    worker pool (N threads) ──▶ Service::handle
-//!                           │
-//!                           ▼  response line → the connection's writer
+//! event loops (io_threads, poll(2) over nonblocking sockets)
+//!   loop 0 also owns the listener; accepts hand off round-robin
+//!     │ parse frame
+//!     ├─ read ops (query_*, stats, health) ── answered INLINE on the
+//!     │      loop thread over epoch-pinned state; never queued
+//!     ├─ replicate ── connection hijacked to a dedicated stream thread
+//!     └─ heavy ops (load, mutate, solve, …) → Job ──try_send──▶
+//!                       bounded sync_channel(queue_depth)
+//!                              │ recv
+//!                              ▼
+//!                       worker pool (N threads) ──▶ Service::handle
+//!                              │
+//!                              ▼ response line → the connection's outbox
 //! ```
+//!
+//! Read-class ops execute on the event-loop thread itself: they touch
+//! only the published summary cell or an epoch-pinned snapshot (see
+//! `service`), so a 2-second solve occupying every worker cannot add a
+//! microsecond to `health`, `stats`, or `query_*` latency — reads never
+//! queue behind solves.
+//!
+//! ## The outbox
+//!
+//! Sockets are nonblocking, so a response writer can't just block until
+//! the kernel takes the bytes. Each connection owns a `ConnOut`: a
+//! worker (or the loop) writes directly while the outbox is empty and
+//! stashes the remainder on `WouldBlock`; the event loop polls
+//! `POLLOUT` for connections with stashed bytes and drains them as the
+//! socket opens up. All writes serialize through the outbox lock, so
+//! responses never interleave mid-line.
 //!
 //! ## Backpressure and admission control
 //!
-//! The queue is a `sync_channel` of fixed depth. Readers **never block**
-//! on it: a full queue fails `try_send` immediately and the reader
-//! answers `{"error": {"code": "overloaded"}}` itself, so an overloaded
-//! server keeps its memory bounded and its rejections structured instead
-//! of stalling accepts or buffering without limit. Each admitted request
-//! carries a deadline (`default_timeout_ms`, or the request's own
-//! `timeout_ms`); a worker that dequeues an already-expired job answers
-//! `deadline_exceeded` without doing the work.
+//! The queue is a `sync_channel` of fixed depth. The event loop
+//! **never blocks** on it: a full queue fails `try_send` immediately
+//! and the loop answers `{"error": {"code": "overloaded"}}` itself, so
+//! an overloaded server keeps its memory bounded and its rejections
+//! structured instead of stalling accepts or buffering without limit.
+//! Each admitted request carries a deadline (`default_timeout_ms`, or
+//! the request's own `timeout_ms`); a worker that dequeues an
+//! already-expired job answers `deadline_exceeded` without doing the
+//! work. Inline read ops are not admission-controlled — they cost less
+//! than the rejection would.
 //!
 //! ## Shutdown
 //!
-//! The `shutdown` op raises a shared stop flag. The accept loop polls it
-//! between non-blocking accepts; readers poll it on their socket read
-//! timeout; workers drain the queue until every reader (and the accept
-//! loop's own sender) has hung up. `run` then joins everything and
-//! returns the final [`MetricsSnapshot`], which the CLI prints — no
-//! request is abandoned mid-flight.
+//! The `shutdown` op raises a shared stop flag. Event loops observe it
+//! within one poll tick, drop their connections and queue senders;
+//! workers drain the queue until every sender is gone, answering every
+//! admitted request (responses ride each job's own outbox handle, which
+//! keeps the socket open until the response is written). `run` then
+//! joins everything and returns the final [`MetricsSnapshot`], which
+//! the CLI prints — no request is abandoned mid-flight.
 
 use crate::metrics::{MetricsSnapshot, Op, ServerMetrics};
+use crate::poll::{self, PollFd, POLLIN, POLLOUT};
 use crate::protocol::{self, ServiceError};
 use crate::recovery;
 use crate::repl;
@@ -43,8 +67,10 @@ use crate::service::Service;
 use crate::wal::FsyncPolicy;
 use geacc_core::parallel::Threads;
 use geacc_core::DynamicConfig;
-use std::io::{BufRead, BufReader, ErrorKind};
+use serde_json::Value;
+use std::io::{BufReader, Cursor, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -57,10 +83,14 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (tests, CI smoke).
     pub addr: String,
-    /// Worker threads executing requests.
+    /// Worker threads executing heavy requests (everything the event
+    /// loop does not answer inline).
     pub workers: usize,
-    /// Bounded queue depth between readers and workers; the admission
-    /// limit.
+    /// Event-loop threads multiplexing connections; loop 0 also owns
+    /// the listener.
+    pub io_threads: usize,
+    /// Bounded queue depth between the event loops and workers; the
+    /// admission limit.
     pub queue_depth: usize,
     /// Deadline for requests that do not set their own `timeout_ms`.
     pub default_timeout_ms: u64,
@@ -104,11 +134,21 @@ pub struct ServerConfig {
     pub peers: Vec<String>,
 }
 
+/// Enough loops to keep reads flat under load without burning cores on
+/// idle pollers.
+fn default_io_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(4)
+}
+
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7411".to_string(),
             workers: 4,
+            io_threads: default_io_threads(),
             queue_depth: 64,
             default_timeout_ms: 5000,
             solve_threads: Threads::from_env(),
@@ -129,14 +169,14 @@ impl Default for ServerConfig {
     }
 }
 
-/// One admitted request travelling from a reader to a worker.
+/// One admitted request travelling from an event loop to a worker.
 struct Job {
     request: protocol::Request,
     /// Admission time; latency is measured from here, and the deadline
     /// is anchored to it so queue time counts against the budget.
     received: Instant,
     deadline: Instant,
-    writer: Arc<Mutex<TcpStream>>,
+    writer: Arc<ConnOut>,
 }
 
 /// A bound listener ready to serve. Created with [`Server::bind`], run
@@ -154,10 +194,13 @@ pub struct Server {
     replication_summary: Option<String>,
 }
 
-/// How often blocked loops (accept, reader) wake to poll the stop flag.
+/// The poll timeout: how fast a loop notices the stop flag, injected
+/// connections, and worker-stashed outbox bytes with no socket event.
+const POLL_TICK_MS: i32 = 5;
+/// Backoff when `poll(2)` itself errors (resource exhaustion).
 const POLL_INTERVAL: Duration = Duration::from_millis(5);
-/// Socket read timeout for readers; bounds how long shutdown waits on an
-/// idle connection.
+/// Socket read timeout for hijacked replication streams (they leave
+/// the event loop and block on their own thread).
 const READ_TIMEOUT: Duration = Duration::from_millis(200);
 
 impl Server {
@@ -297,14 +340,21 @@ impl Server {
     /// Serve until the stop flag rises, drain every in-flight request,
     /// join all threads, and return the final metrics.
     pub fn run(self) -> std::io::Result<MetricsSnapshot> {
-        let workers = self.config.workers.max(1);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.config.queue_depth.max(1));
+        let Server {
+            listener,
+            config,
+            service,
+            stop,
+            ..
+        } = self;
+        let workers = config.workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = Arc::clone(&rx);
-            let service = Arc::clone(&self.service);
+            let service = Arc::clone(&service);
             worker_handles.push(std::thread::spawn(move || worker_loop(&rx, &service)));
         }
 
@@ -313,23 +363,22 @@ impl Server {
         // supervised node keeps this thread alive even when it boots as
         // a primary: if it is ever demoted it starts following whatever
         // upstream the supervisor points it at.
-        let replica_handle =
-            if self.config.replica_of.is_some() || self.service.supervision().enabled() {
-                let primary = self.config.replica_of.clone();
-                let service = Arc::clone(&self.service);
-                let stop = Arc::clone(&self.stop);
-                Some(std::thread::spawn(move || {
-                    repl::run_replica_loop(service, primary, stop, 0x9e37_79b9_7f4a_7c15);
-                }))
-            } else {
-                None
-            };
+        let replica_handle = if config.replica_of.is_some() || service.supervision().enabled() {
+            let primary = config.replica_of.clone();
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            Some(std::thread::spawn(move || {
+                repl::run_replica_loop(service, primary, stop, 0x9e37_79b9_7f4a_7c15);
+            }))
+        } else {
+            None
+        };
 
         // The lease monitor: renews/watches heartbeats and drives the
         // promotion / fencing / demotion state machine.
-        let supervisor_handle = if self.service.supervision().enabled() {
-            let service = Arc::clone(&self.service);
-            let stop = Arc::clone(&self.stop);
+        let supervisor_handle = if service.supervision().enabled() {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
             Some(std::thread::spawn(move || {
                 crate::supervisor::run_supervisor(service, stop);
             }))
@@ -337,47 +386,38 @@ impl Server {
             None
         };
 
-        self.listener.set_nonblocking(true)?;
-        let retry_after_ms = self.config.retry_after_ms;
-        let mut reader_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.stop.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // Responses are single short writes; leaving Nagle on
-                    // costs a delayed-ACK round trip (~40 ms) per line.
-                    let _ = stream.set_nodelay(true);
-                    self.service.metrics.record_connection();
-                    let tx = tx.clone();
-                    let service = Arc::clone(&self.service);
-                    let stop = Arc::clone(&self.stop);
-                    let default_timeout = Duration::from_millis(self.config.default_timeout_ms);
-                    reader_handles.push(std::thread::spawn(move || {
-                        reader_loop(
-                            stream,
-                            &tx,
-                            &service,
-                            &stop,
-                            default_timeout,
-                            retry_after_ms,
-                        );
-                    }));
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL_INTERVAL);
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-            reader_handles.retain(|h| !h.is_finished());
-        }
-
-        // Readers notice the stop flag within READ_TIMEOUT and hang up
-        // their queue senders; once the last sender (ours included) is
-        // gone, workers see the channel close and drain out.
-        for handle in reader_handles {
-            let _ = handle.join();
+        listener.set_nonblocking(true)?;
+        let io_threads = config.io_threads.max(1);
+        let injectors: Arc<Vec<Mutex<Vec<TcpStream>>>> =
+            Arc::new((0..io_threads).map(|_| Mutex::new(Vec::new())).collect());
+        let mut loop_handles = Vec::with_capacity(io_threads);
+        for idx in 0..io_threads {
+            let listener = if idx == 0 {
+                Some(listener.try_clone()?)
+            } else {
+                None
+            };
+            let injectors = Arc::clone(&injectors);
+            let ctx = LoopCtx {
+                service: Arc::clone(&service),
+                stop: Arc::clone(&stop),
+                tx: tx.clone(),
+                default_timeout: Duration::from_millis(config.default_timeout_ms),
+                retry_after_ms: config.retry_after_ms,
+            };
+            loop_handles.push(std::thread::spawn(move || {
+                event_loop(idx, listener, &injectors, &ctx);
+            }));
         }
         drop(tx);
+        drop(listener);
+
+        // Event loops exit within a poll tick of the stop flag and drop
+        // their queue senders; once the last sender is gone, workers see
+        // the channel close and drain out.
+        for handle in loop_handles {
+            let _ = handle.join();
+        }
         for handle in worker_handles {
             let _ = handle.join();
         }
@@ -390,8 +430,8 @@ impl Server {
         // Final durability barrier: under `interval`/`never` fsync, any
         // buffered WAL bytes reach disk before the process exits. Best
         // effort — a sync failure must not eat the metrics dump.
-        let _ = self.service.sync_wal();
-        Ok(self.service.metrics.snapshot())
+        let _ = service.sync_wal();
+        Ok(service.metrics.snapshot())
     }
 }
 
@@ -406,89 +446,469 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Read newline-delimited requests off one connection until EOF or
-/// server stop, admitting each to the queue (or rejecting it inline).
-fn reader_loop(
-    stream: TcpStream,
-    tx: &SyncSender<Job>,
-    service: &Arc<Service>,
-    stop: &Arc<AtomicBool>,
+/// Per-loop immutable context.
+struct LoopCtx {
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    tx: SyncSender<Job>,
     default_timeout: Duration,
     retry_after_ms: u64,
-) {
-    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
-        return;
-    }
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        if stop.load(Ordering::SeqCst) {
+}
+
+/// The write half of a connection, shared by the owning event loop and
+/// any worker holding a job for it. Writers go straight to the
+/// (nonblocking) socket while the outbox is empty and stash the
+/// remainder on `WouldBlock`; the loop drains stashed bytes on
+/// `POLLOUT`. Everything serializes through the outbox lock, so
+/// response lines never interleave. Write errors drop the bytes — a
+/// dead peer's loss.
+struct ConnOut {
+    stream: TcpStream,
+    queued: Mutex<Vec<u8>>,
+}
+
+impl ConnOut {
+    /// Queue-or-write one response. Ordering: bytes already queued keep
+    /// their place ahead of this write.
+    fn send(&self, bytes: &[u8]) {
+        let mut queued = self.queued.lock().unwrap_or_else(|e| e.into_inner());
+        if !queued.is_empty() {
+            queued.extend_from_slice(bytes);
             return;
         }
-        // A timeout can fire mid-line; `read_line` keeps what it read in
-        // `line`, so looping just resumes the same line.
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF: client hung up.
-            Ok(_) => {}
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+        let mut offset = 0;
+        while offset < bytes.len() {
+            match (&self.stream).write(&bytes[offset..]) {
+                Ok(0) => return,
+                Ok(n) => offset += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    queued.extend_from_slice(&bytes[offset..]);
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drain stashed bytes into the socket; `true` when some remain
+    /// (keep polling `POLLOUT`).
+    fn flush_pending(&self) -> bool {
+        let mut queued = self.queued.lock().unwrap_or_else(|e| e.into_inner());
+        while !queued.is_empty() {
+            match (&self.stream).write(&queued) {
+                Ok(0) => {
+                    queued.clear();
+                    return false;
+                }
+                Ok(n) => {
+                    queued.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    queued.clear();
+                    return false;
+                }
+            }
+        }
+        false
+    }
+
+    fn has_pending(&self) -> bool {
+        !self
+            .queued
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+}
+
+/// One multiplexed connection, owned by exactly one event loop.
+struct Conn {
+    stream: TcpStream,
+    out: Arc<ConnOut>,
+    /// Bytes read but not yet framed into a full line.
+    inbuf: Vec<u8>,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream) -> Option<Conn> {
+        // Responses are single short writes; leaving Nagle on costs a
+        // delayed-ACK round trip (~40 ms) per line.
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true).ok()?;
+        let out = Arc::new(ConnOut {
+            stream: stream.try_clone().ok()?,
+            queued: Mutex::new(Vec::new()),
+        });
+        Some(Conn {
+            stream,
+            out,
+            inbuf: Vec::new(),
+        })
+    }
+}
+
+/// What the loop does with a connection after servicing it.
+enum ConnFate {
+    Keep,
+    Close,
+    /// A `replicate` handshake: the connection leaves the event loop
+    /// and becomes a blocking replication stream on its own thread.
+    Hijack(protocol::Request),
+}
+
+/// A per-event-loop cache of inline read responses, keyed on the raw
+/// request line and guarded by the service's state version. Epoch
+/// serving makes this sound: `query_user`/`query_event` responses are a
+/// pure function of (request line, state version) — identical bytes in,
+/// identical bytes out, until a mutation bumps the version and the
+/// whole cache drops. Single-threaded (one per loop), so no locks on
+/// the hit path: a hash lookup and a memcpy replace parse → pin →
+/// serialize for every repeated read in an epoch.
+#[derive(Default)]
+struct ReadCache {
+    version: u64,
+    map: std::collections::HashMap<Vec<u8>, (Op, Vec<u8>)>,
+}
+
+/// Entry cap: a rogue client enumerating unique lines evicts everything
+/// rather than growing without bound.
+const READ_CACHE_MAX: usize = 8192;
+
+impl ReadCache {
+    /// Drop stale entries if the state moved; returns the version the
+    /// cache is now valid for.
+    fn sync(&mut self, version: u64) -> u64 {
+        if self.version != version {
+            self.map.clear();
+            self.version = version;
+        }
+        version
+    }
+
+    fn insert(&mut self, line: &[u8], op: Op, response: &[u8]) {
+        if self.map.len() >= READ_CACHE_MAX {
+            self.map.clear();
+        }
+        self.map.insert(line.to_vec(), (op, response.to_vec()));
+    }
+}
+
+/// One event loop: poll the listener (loop 0) and this loop's
+/// connections, answer read ops inline, feed heavy ops to the worker
+/// queue, and drain outboxes as sockets open up.
+fn event_loop(
+    idx: usize,
+    listener: Option<TcpListener>,
+    injectors: &[Mutex<Vec<TcpStream>>],
+    ctx: &LoopCtx,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut hijacked: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut next = idx;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut cache = ReadCache::default();
+    let mut outbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    while !ctx.stop.load(Ordering::SeqCst) {
+        {
+            let mut inj = injectors[idx].lock().unwrap_or_else(|e| e.into_inner());
+            for stream in inj.drain(..) {
+                if let Some(conn) = Conn::adopt(stream) {
+                    conns.push(conn);
+                }
+            }
+        }
+        fds.clear();
+        if let Some(l) = &listener {
+            fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+        }
+        let base = fds.len();
+        for conn in &conns {
+            let mut events = POLLIN;
+            if conn.out.has_pending() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+        }
+        if poll::poll_fds(&mut fds, POLL_TICK_MS).is_err() {
+            std::thread::sleep(POLL_INTERVAL);
+            continue;
+        }
+        if let Some(l) = &listener {
+            if fds[0].readable() {
+                accept_ready(l, injectors, &mut next, ctx);
+            }
+        }
+        let mut kept = Vec::with_capacity(conns.len());
+        for (slot, mut conn) in conns.into_iter().enumerate() {
+            let pf = &fds[base + slot];
+            if pf.writable() && conn.out.has_pending() {
+                conn.out.flush_pending();
+            }
+            let fate = if pf.readable() {
+                read_conn(&mut conn, &mut buf, ctx, &mut cache, &mut outbuf)
+            } else {
+                ConnFate::Keep
+            };
+            match fate {
+                ConnFate::Keep => kept.push(conn),
+                ConnFate::Close => {
+                    // Best effort on anything still queued; the peer is
+                    // (half-)gone either way.
+                    conn.out.flush_pending();
+                }
+                ConnFate::Hijack(request) => {
+                    if let Some(handle) = hijack_replica(conn, request, ctx) {
+                        hijacked.push(handle);
+                    }
+                }
+            }
+        }
+        conns = kept;
+        hijacked.retain(|h| !h.is_finished());
+    }
+    // Replication streams watch the same stop flag; join them so the
+    // final WAL sync in `run` happens after their last append.
+    for handle in hijacked {
+        let _ = handle.join();
+    }
+}
+
+/// Accept everything ready and deal connections round-robin across the
+/// loops (including this one) via the injection queues.
+fn accept_ready(
+    listener: &TcpListener,
+    injectors: &[Mutex<Vec<TcpStream>>],
+    next: &mut usize,
+    ctx: &LoopCtx,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ctx.service.metrics.record_connection();
+                let target = *next % injectors.len();
+                *next = next.wrapping_add(1);
+                injectors[target]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return,
         }
-        let text = line.trim();
-        if text.is_empty() {
-            line.clear();
+    }
+}
+
+/// Pull everything the socket has, then frame and dispatch buffered
+/// lines.
+fn read_conn(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    ctx: &LoopCtx,
+    cache: &mut ReadCache,
+    outbuf: &mut Vec<u8>,
+) -> ConnFate {
+    let mut eof = false;
+    loop {
+        match (&conn.stream).read(buf) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&buf[..n]);
+                if n < buf.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ConnFate::Close,
+        }
+    }
+    // A client may pipeline requests and half-close; serve what it sent
+    // before honoring the EOF.
+    match drain_lines(conn, ctx, cache, outbuf) {
+        ConnFate::Keep if eof => ConnFate::Close,
+        fate => fate,
+    }
+}
+
+/// Frame complete lines out of the connection's buffer and dispatch
+/// each: inline reads on this thread, heavy ops to the worker queue.
+///
+/// Inline responses accumulate in `outbuf` and go to the socket as one
+/// write when the batch ends (or before a job is queued, so worker
+/// responses cannot overtake earlier inline ones) — a pipelined window
+/// of reads costs one write syscall, not one per response.
+fn drain_lines(
+    conn: &mut Conn,
+    ctx: &LoopCtx,
+    cache: &mut ReadCache,
+    outbuf: &mut Vec<u8>,
+) -> ConnFate {
+    let mut start = 0usize;
+    let fate = loop {
+        let Some(rel) = conn.inbuf[start..].iter().position(|&b| b == b'\n') else {
+            break ConnFate::Keep;
+        };
+        let line_end = start + rel;
+        let line = &conn.inbuf[start..line_end];
+        start = line_end + 1;
+
+        // Trim without allocating (clients may send \r\n or padding).
+        let trimmed = {
+            let mut lo = 0;
+            let mut hi = line.len();
+            while lo < hi && line[lo].is_ascii_whitespace() {
+                lo += 1;
+            }
+            while hi > lo && line[hi - 1].is_ascii_whitespace() {
+                hi -= 1;
+            }
+            &line[lo..hi]
+        };
+        if trimmed.is_empty() {
             continue;
         }
         let received = Instant::now();
+
+        // Cache hit: identical read line, unchanged state version —
+        // answer from bytes without parsing anything.
+        let version = cache.sync(ctx.service.state_version());
+        if let Some((op, response)) = cache.map.get(trimmed) {
+            outbuf.extend_from_slice(response);
+            ctx.service.metrics.record_request(*op, received.elapsed());
+            continue;
+        }
+
+        let Ok(text) = std::str::from_utf8(trimmed) else {
+            ctx.service.metrics.record_error();
+            let err = ServiceError::new("bad_json", "request line is not valid UTF-8");
+            envelope_bytes_into(outbuf, &protocol::err_envelope(None, &err));
+            continue;
+        };
         match protocol::parse_request(text) {
             Ok(request) => {
                 if request.op == "replicate" {
-                    // Hijack: this connection becomes a replication
-                    // stream and this thread serves it until hangup.
-                    repl::serve_replica(reader, writer, service, stop, &request);
-                    return;
+                    break ConnFate::Hijack(request);
                 }
                 let timeout = protocol::get_u64(&request.body, "timeout_ms")
-                    .map_or(default_timeout, Duration::from_millis);
+                    .map_or(ctx.default_timeout, Duration::from_millis);
+                let deadline = received + timeout;
+                if matches!(
+                    request.op.as_str(),
+                    "query_user" | "query_event" | "stats" | "health"
+                ) {
+                    // Read ops never queue: they run on the loop thread
+                    // over epoch-pinned state, out of every solve's way.
+                    let op = Op::from_name(&request.op);
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| ctx.service.handle(&request, deadline)))
+                            .unwrap_or_else(|_| {
+                                Err(ServiceError::new(
+                                    "internal",
+                                    "request handler panicked; see server log",
+                                ))
+                            });
+                    let mark = outbuf.len();
+                    match result {
+                        Ok(data) => {
+                            envelope_bytes_into(outbuf, &protocol::ok_envelope(request.id, data));
+                            // Query responses are deterministic per
+                            // (line, version); stats/health mix in live
+                            // counters, so only queries are cacheable.
+                            // Skip the insert if the state moved during
+                            // the handler — the response may already
+                            // belong to the next version.
+                            if matches!(request.op.as_str(), "query_user" | "query_event")
+                                && ctx.service.state_version() == version
+                            {
+                                cache.insert(trimmed, op, &outbuf[mark..]);
+                            }
+                        }
+                        Err(err) => {
+                            ctx.service.metrics.record_error();
+                            envelope_bytes_into(outbuf, &protocol::err_envelope(request.id, &err));
+                        }
+                    }
+                    ctx.service.metrics.record_request(op, received.elapsed());
+                    continue;
+                }
+                // Queue-class op: flush inline responses first so the
+                // worker's response cannot overtake them on the wire.
+                if !outbuf.is_empty() {
+                    conn.out.send(outbuf);
+                    outbuf.clear();
+                }
                 let job = Job {
                     received,
-                    deadline: received + timeout,
+                    deadline,
                     request,
-                    writer: Arc::clone(&writer),
+                    writer: Arc::clone(&conn.out),
                 };
-                match tx.try_send(job) {
+                match ctx.tx.try_send(job) {
                     Ok(()) => {}
                     Err(TrySendError::Full(job)) => {
-                        service.metrics.record_rejected();
-                        service.metrics.record_error();
+                        ctx.service.metrics.record_rejected();
+                        ctx.service.metrics.record_error();
                         let err = ServiceError::new(
                             "overloaded",
                             "request queue is full; retry with backoff",
                         )
-                        .with_retry_after(retry_after_ms);
-                        respond(&job.writer, &protocol::err_envelope(job.request.id, &err));
+                        .with_retry_after(ctx.retry_after_ms);
+                        envelope_bytes_into(outbuf, &protocol::err_envelope(job.request.id, &err));
                     }
                     Err(TrySendError::Disconnected(job)) => {
                         let err = ServiceError::new(
                             "shutting_down",
                             "server is draining; reconnect later",
                         );
-                        respond(&job.writer, &protocol::err_envelope(job.request.id, &err));
-                        return;
+                        envelope_bytes_into(outbuf, &protocol::err_envelope(job.request.id, &err));
+                        break ConnFate::Close;
                     }
                 }
             }
             Err(err) => {
-                service.metrics.record_error();
-                respond(&writer, &protocol::err_envelope(None, &err));
+                ctx.service.metrics.record_error();
+                envelope_bytes_into(outbuf, &protocol::err_envelope(None, &err));
             }
         }
-        line.clear();
+    };
+    // One compaction for the whole batch (a hijacked handshake leaves
+    // any bytes past its line in place for the stream thread).
+    conn.inbuf.drain(..start);
+    if !outbuf.is_empty() {
+        conn.out.send(outbuf);
+        outbuf.clear();
     }
+    fate
+}
+
+/// Move a `replicate` connection off the event loop: restore blocking
+/// mode (shared fd flags — the outbox clone follows), flush anything
+/// queued, and hand the socket (with any bytes already buffered past
+/// the handshake line) to a dedicated stream thread.
+fn hijack_replica(
+    conn: Conn,
+    request: protocol::Request,
+    ctx: &LoopCtx,
+) -> Option<std::thread::JoinHandle<()>> {
+    let Conn { stream, out, inbuf } = conn;
+    stream.set_nonblocking(false).ok()?;
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok()?;
+    while out.flush_pending() {}
+    let writer = Arc::new(Mutex::new(stream.try_clone().ok()?));
+    let reader = Cursor::new(inbuf).chain(BufReader::new(stream));
+    let service = Arc::clone(&ctx.service);
+    let stop = Arc::clone(&ctx.stop);
+    Some(std::thread::spawn(move || {
+        repl::serve_replica(reader, writer, &service, &stop, &request);
+    }))
 }
 
 /// Execute admitted jobs until every sender hangs up.
@@ -516,13 +936,26 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, service: &Service) {
                 protocol::err_envelope(job.request.id, &err)
             }
         };
-        respond(&job.writer, &envelope);
+        job.writer.send(&envelope_bytes(&envelope));
         service.metrics.record_request(op, job.received.elapsed());
     }
 }
 
-/// Write one response line, ignoring a dead peer (their loss).
-fn respond(writer: &Mutex<TcpStream>, envelope: &serde_json::Value) {
-    let mut guard = writer.lock().unwrap_or_else(|e| e.into_inner());
-    let _ = protocol::write_response(&mut *guard, envelope);
+/// Serialize one response envelope to its wire line.
+fn envelope_bytes(envelope: &Value) -> Vec<u8> {
+    let mut line = Vec::with_capacity(256);
+    envelope_bytes_into(&mut line, envelope);
+    line
+}
+
+/// Serialize one response envelope onto the end of a batch buffer.
+fn envelope_bytes_into(out: &mut Vec<u8>, envelope: &Value) {
+    let mark = out.len();
+    if serde_json::to_writer(&mut *out, envelope).is_err() {
+        out.truncate(mark);
+        out.extend_from_slice(
+            br#"{"ok":false,"error":{"code":"internal","message":"response serialization failed"}}"#,
+        );
+    }
+    out.push(b'\n');
 }

@@ -1,13 +1,30 @@
 //! Op handlers: the bridge from wire requests to the
 //! [`IncrementalArranger`].
 //!
-//! One [`Service`] is shared by every worker. All arranger state sits
-//! behind a single mutex — mutations are localized repairs (microseconds
-//! on serving-size instances), so the lock is held briefly and the
-//! worker pool's parallelism goes to the serialization, socket, and
-//! (budgeted) solve work around it. `solve` is the exception: it holds
-//! the lock for the whole budgeted pipeline run, which is why its budget
-//! is clamped to the request deadline.
+//! One [`Service`] is shared by every worker. The session lock guards
+//! the *mutation path* only — mutations are localized repairs
+//! (microseconds on serving-size instances), so it is held briefly.
+//! Everything else reads through epoch-pinned state published under
+//! that lock (DESIGN.md §17):
+//!
+//! - `health`/`stats` read a scalar summary cell republished on every
+//!   state change — they never touch the session lock at all;
+//! - `query_user`/`query_event` pin an immutable per-epoch snapshot
+//!   (capacities, the arrangement, and the epoch's shared
+//!   [`GraphFlats`] CSR), rebuilt lazily on the first read after a
+//!   state change and shared by every read in the same epoch;
+//! - `solve` goes through a coalescing batcher: concurrent solves pin
+//!   one epoch — an `Arc`'d instance plus that epoch's CSR — run one
+//!   budgeted pipeline per distinct parameter group *off* the session
+//!   lock, then re-take it only to adopt the best result and append
+//!   one WAL `Install` record for the whole batch.
+//!
+//! The epoch CSR itself is maintained incrementally by
+//! [`IncrementalArranger::epoch_flats`]: growth mutations extend the
+//! previous epoch's arrays in time proportional to the drift, and
+//! non-growth mutations reuse them outright (bit-identity against a
+//! from-scratch build is property-tested in
+//! `crates/core/tests/graph_incremental.rs`).
 //!
 //! ## Durability
 //!
@@ -34,19 +51,22 @@ use crate::recovery::{self, Recovery};
 use crate::repl::{self, ReplState, Shipment};
 use crate::supervisor::{SupervisorConfig, SupervisorState};
 use crate::wal::{self, FsyncPolicy, SnapshotDoc, WalRecord, WalSink, WalWriter};
+use geacc_core::algorithms::Algorithm;
 use geacc_core::loader::{self, LoadError};
 use geacc_core::parallel::Threads;
 use geacc_core::{
-    Arrangement, DynamicConfig, EngineStats, EventId, IncrementalArranger, Instance, Mutation,
-    SolveBudget, SolverPipeline, SolverRegistry, UserId,
+    Arrangement, CandidateGraph, DynamicConfig, EngineStats, EventId, GraphFlats,
+    IncrementalArranger, Instance, Mutation, Outcome, SolveBudget, SolverPipeline, SolverRegistry,
+    UserId,
 };
 use serde::Serialize;
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Serialize one response field. Failures (a NaN drift, say) become a
 /// structured `internal` error — the request path never panics.
@@ -62,6 +82,10 @@ fn field<T: Serialize>(key: &str, value: &T) -> Result<(String, Value), ServiceE
 
 fn bad_request(message: impl Into<String>) -> ServiceError {
     ServiceError::new("bad_request", message)
+}
+
+fn no_instance() -> ServiceError {
+    ServiceError::new("no_instance", "no instance loaded; send a \"load\" first")
 }
 
 fn wal_failed(detail: impl std::fmt::Display) -> ServiceError {
@@ -96,6 +120,175 @@ pub struct Service {
     pub(crate) stop: Arc<AtomicBool>,
     threads: Threads,
     drift_ratio: f64,
+    /// Monotone state-version clock, bumped (under the session lock) by
+    /// every state change. Ties the published summary and the epoch
+    /// pins below to the exact state they were cut from.
+    state_version: AtomicU64,
+    /// Scalar summary of the last published state, for `health`/`stats`
+    /// — a leaf lock, never held while taking any other.
+    summary_cell: Mutex<Option<StateSummary>>,
+    /// Epoch-pinned read view for `query_*`, rebuilt lazily on the
+    /// first read after a state change (leaf lock).
+    read_pin: Mutex<Option<Arc<ReadSnapshot>>>,
+    /// Epoch-pinned `(instance, CSR)` pair for solve batches (leaf
+    /// lock); reused verbatim while the state version holds still.
+    solve_pin: Mutex<Option<Arc<SolvePin>>>,
+    /// Solve coalescer: concurrent solves in one epoch share one
+    /// pipeline run per distinct parameter group.
+    batcher: SolveBatcher,
+}
+
+/// The scalars `health` and `stats` serve without the session lock,
+/// republished under that lock on every state change.
+struct StateSummary {
+    epoch: u64,
+    fingerprint: u64,
+    /// The full arranger summary object (`epoch`/`max_sum`/`drift`/…).
+    summary: Value,
+}
+
+/// An immutable per-epoch view for point reads: everything
+/// `query_user`/`query_event` answer from, with pair similarities
+/// served by the epoch's shared CSR (a positive-similarity pair is in
+/// the CSR by construction, and assigned pairs always have positive
+/// similarity).
+struct ReadSnapshot {
+    version: u64,
+    num_events: usize,
+    num_users: usize,
+    cap_v: Vec<u32>,
+    cap_u: Vec<u32>,
+    flats: Arc<GraphFlats>,
+    arrangement: Arc<Arrangement>,
+}
+
+/// An immutable per-epoch `(instance, CSR)` pair solve batches run
+/// over, off the session lock. The instance clone is paid once per
+/// epoch that actually solves, not once per request.
+struct SolvePin {
+    version: u64,
+    inst: Arc<Instance>,
+    flats: Arc<GraphFlats>,
+}
+
+/// One solve request's parameters, parsed up front so identical
+/// requests in a batch collapse into a single pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SolveSpec {
+    algorithm: Algorithm,
+    seed: u64,
+    timeout_ms: Option<u64>,
+    max_nodes: Option<u64>,
+    refine: bool,
+}
+
+/// A request parked in the batcher: its spec, its admission deadline,
+/// and the slot its result lands in.
+struct PendingSolve {
+    spec: SolveSpec,
+    deadline: Instant,
+    slot: Arc<SolveSlot>,
+}
+
+/// A one-shot result mailbox (filled exactly once per request).
+#[derive(Default)]
+struct SolveSlot {
+    done: Mutex<Option<Result<Value, ServiceError>>>,
+    cv: Condvar,
+}
+
+impl SolveSlot {
+    fn fill(&self, result: Result<Value, ServiceError>) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn filled(&self) -> bool {
+        self.done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    fn take(&self) -> Result<Value, ServiceError> {
+        let mut guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+#[derive(Default)]
+struct BatchGate {
+    pending: Vec<PendingSolve>,
+    /// A leader is currently executing a batch.
+    running: bool,
+}
+
+/// Leader/follower solve coalescing. A solve enqueues itself and, if
+/// no batch is in flight, becomes the leader: it takes *everything*
+/// pending as one batch and executes it. Requests arriving while a
+/// batch runs park until the leader finishes, then either find their
+/// slot filled (the leader carried them) or contend to lead the next
+/// batch themselves. Every batch completion wakes all waiters, so
+/// exactly one leader runs at a time and no request waits forever.
+#[derive(Default)]
+struct SolveBatcher {
+    gate: Mutex<BatchGate>,
+    cv: Condvar,
+}
+
+impl SolveBatcher {
+    fn submit(
+        &self,
+        svc: &Service,
+        spec: SolveSpec,
+        deadline: Instant,
+    ) -> Result<Value, ServiceError> {
+        let slot = Arc::new(SolveSlot::default());
+        let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        gate.pending.push(PendingSolve {
+            spec,
+            deadline,
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            if !gate.running {
+                gate.running = true;
+                let batch = std::mem::take(&mut gate.pending);
+                drop(gate);
+                // The leader executes on its own worker thread. A panic
+                // in the batch machinery (the pipeline already contains
+                // solver panics) must not strand followers or wedge the
+                // gate.
+                if catch_unwind(AssertUnwindSafe(|| svc.execute_batch(&batch))).is_err() {
+                    for p in &batch {
+                        if !p.slot.filled() {
+                            p.slot.fill(Err(ServiceError::new(
+                                "internal",
+                                "solve batch panicked; see server logs",
+                            )));
+                        }
+                    }
+                }
+                let mut gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+                gate.running = false;
+                drop(gate);
+                self.cv.notify_all();
+                return slot.take();
+            }
+            // A batch is in flight; it either carried this request
+            // (slot filled on wake) or left it pending for the next
+            // leader — possibly us.
+            gate = self.cv.wait(gate).unwrap_or_else(|e| e.into_inner());
+            if slot.filled() {
+                return slot.take();
+            }
+        }
+    }
 }
 
 /// Cap on tracked dedup clients; the least recently *stored* client is
@@ -226,6 +419,11 @@ impl Service {
             stop,
             threads,
             drift_ratio,
+            state_version: AtomicU64::new(0),
+            summary_cell: Mutex::new(None),
+            read_pin: Mutex::new(None),
+            solve_pin: Mutex::new(None),
+            batcher: SolveBatcher::default(),
         }
     }
 
@@ -267,6 +465,100 @@ impl Service {
         self.dedup.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn summary_lock(&self) -> MutexGuard<'_, Option<StateSummary>> {
+        self.summary_cell.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Republish the scalar summary and bump the state version. Must be
+    /// called with the session lock held after every state change —
+    /// it is what keeps `health`/`stats` and the epoch pins coherent
+    /// without their ever taking the session lock.
+    fn publish_session(&self, session: &Session) {
+        let cell = StateSummary {
+            epoch: session.arranger.epoch(),
+            fingerprint: session.arranger.fingerprint(),
+            summary: Self::summary(&session.arranger).unwrap_or(Value::Null),
+        };
+        self.state_version.fetch_add(1, Ordering::SeqCst);
+        *self.summary_lock() = Some(cell);
+    }
+
+    /// Publish "no session" (replica resync wipes the state).
+    fn publish_cleared(&self) {
+        self.state_version.fetch_add(1, Ordering::SeqCst);
+        *self.summary_lock() = None;
+    }
+
+    /// The monotonic state-version counter, bumped on every published
+    /// state change. Deterministic read responses are a pure function
+    /// of (request line, version) — the event loops key their inline
+    /// response caches on it.
+    pub(crate) fn state_version(&self) -> u64 {
+        self.state_version.load(Ordering::SeqCst)
+    }
+
+    /// Pin the current epoch for a point read. The fast path is a
+    /// version check plus an `Arc` clone; only the first read after a
+    /// state change takes the session lock, to cut a fresh snapshot
+    /// (reusing — or drift-proportionally extending — the epoch CSR).
+    fn pin_read(&self) -> Result<Arc<ReadSnapshot>, ServiceError> {
+        let version = self.state_version.load(Ordering::SeqCst);
+        {
+            let pin = self.read_pin.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(snap) = pin.as_ref() {
+                if snap.version == version {
+                    self.metrics.record_epoch_pin(false);
+                    return Ok(Arc::clone(snap));
+                }
+            }
+        }
+        let mut guard = self.lock();
+        let session = guard.as_mut().ok_or_else(no_instance)?;
+        // Re-read under the lock: the version cannot advance while we
+        // hold it, so the pin is cut from exactly this version's state.
+        let version = self.state_version.load(Ordering::SeqCst);
+        let flats = session.arranger.epoch_flats(self.threads);
+        let inst = session.arranger.instance();
+        let snap = Arc::new(ReadSnapshot {
+            version,
+            num_events: inst.num_events(),
+            num_users: inst.num_users(),
+            cap_v: inst.events().map(|v| inst.event_capacity(v)).collect(),
+            cap_u: inst.users().map(|u| inst.user_capacity(u)).collect(),
+            flats,
+            arrangement: Arc::new(session.arranger.arrangement().clone()),
+        });
+        *self.read_pin.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&snap));
+        self.metrics.record_epoch_pin(true);
+        Ok(snap)
+    }
+
+    /// Pin the current epoch for a solve batch: the epoch's CSR plus an
+    /// owned instance clone the pipeline can borrow off the session
+    /// lock. `None` when no instance is loaded.
+    fn pin_solve(&self) -> Option<Arc<SolvePin>> {
+        let version = self.state_version.load(Ordering::SeqCst);
+        {
+            let pin = self.solve_pin.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(p) = pin.as_ref() {
+                if p.version == version {
+                    return Some(Arc::clone(p));
+                }
+            }
+        }
+        let mut guard = self.lock();
+        let session = guard.as_mut()?;
+        let version = self.state_version.load(Ordering::SeqCst);
+        let flats = session.arranger.epoch_flats(self.threads);
+        let pin = Arc::new(SolvePin {
+            version,
+            inst: Arc::new(session.arranger.instance().clone()),
+            flats,
+        });
+        *self.solve_pin.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&pin));
+        Some(pin)
+    }
+
     /// Adopt the state recovery reconstructed from a `--wal-dir` and
     /// arm the WAL writer at the offset recovery validated. Called once
     /// at bind time, before any request thread exists.
@@ -288,10 +580,12 @@ impl Service {
             .record_wal(writer.records(), writer.offset(), writer.fsyncs());
         self.dedup_lock().seed(&recovery.dedup_keys);
         if let Some(found) = recovery.session {
-            *self.lock() = Some(Session {
+            let session = Session {
                 arranger: found.arranger,
                 base: found.base,
-            });
+            };
+            self.publish_session(&session);
+            *self.lock() = Some(session);
         }
         *self.dlock() = Some(Durability {
             dir,
@@ -495,10 +789,7 @@ impl Service {
         let mut guard = self.lock();
         match guard.as_mut() {
             Some(session) => f(session),
-            None => Err(ServiceError::new(
-                "no_instance",
-                "no instance loaded; send a \"load\" first",
-            )),
+            None => Err(no_instance()),
         }
     }
 
@@ -549,10 +840,12 @@ impl Service {
             },
         );
         let summary = Self::summary(&arranger)?;
-        *guard = Some(Session {
+        let session = Session {
             arranger,
             base: instance,
-        });
+        };
+        self.publish_session(&session);
+        *guard = Some(session);
         Ok(summary)
     }
 
@@ -633,82 +926,84 @@ impl Service {
             if let Some((client, seq)) = key {
                 self.dedup_lock().store(client, seq, response.clone());
             }
+            self.publish_session(session);
             self.maybe_auto_snapshot(session);
             Ok(response)
         })
     }
 
-    /// `query_user`: a user's current assignments with similarities.
+    /// `query_user`: a user's current assignments with similarities,
+    /// answered from the pinned epoch snapshot (assigned pairs always
+    /// have positive similarity, so the epoch CSR carries every value
+    /// this op reports).
     fn query_user(&self, body: &Value) -> Result<Value, ServiceError> {
         let id = protocol::get_u64(body, "user")
             .ok_or_else(|| bad_request("query_user needs a numeric \"user\""))?;
-        self.with_session(|session| {
-            let inst = session.arranger.instance();
-            if id >= inst.num_users() as u64 {
-                return Err(bad_request(format!(
-                    "user u{id} out of range (instance has {})",
-                    inst.num_users()
-                )));
-            }
-            let u = UserId(id as u32);
-            let events = session
-                .arranger
-                .arrangement()
-                .events_of(u)
-                .iter()
-                .map(|&v| {
-                    Ok(Value::Object(vec![
-                        field("event", &v)?,
-                        field("similarity", &inst.similarity(v, u))?,
-                    ]))
-                })
-                .collect::<Result<Vec<Value>, ServiceError>>()?;
-            Ok(Value::Object(vec![
-                field("user", &u)?,
-                field("capacity", &inst.user_capacity(u))?,
-                ("events".to_string(), Value::Array(events)),
-            ]))
-        })
+        let snap = self.pin_read()?;
+        if id >= snap.num_users as u64 {
+            return Err(bad_request(format!(
+                "user u{id} out of range (instance has {})",
+                snap.num_users
+            )));
+        }
+        let u = UserId(id as u32);
+        let events = snap
+            .arrangement
+            .events_of(u)
+            .iter()
+            .map(|&v| {
+                Ok(Value::Object(vec![
+                    field("event", &v)?,
+                    field("similarity", &snap.flats.similarity(v, u))?,
+                ]))
+            })
+            .collect::<Result<Vec<Value>, ServiceError>>()?;
+        Ok(Value::Object(vec![
+            field("user", &u)?,
+            field("capacity", &snap.cap_u[id as usize])?,
+            ("events".to_string(), Value::Array(events)),
+        ]))
     }
 
-    /// `query_event`: an event's current attendees with similarities.
+    /// `query_event`: an event's current attendees with similarities,
+    /// answered from the pinned epoch snapshot.
     fn query_event(&self, body: &Value) -> Result<Value, ServiceError> {
         let id = protocol::get_u64(body, "event")
             .ok_or_else(|| bad_request("query_event needs a numeric \"event\""))?;
-        self.with_session(|session| {
-            let inst = session.arranger.instance();
-            if id >= inst.num_events() as u64 {
-                return Err(bad_request(format!(
-                    "event v{id} out of range (instance has {})",
-                    inst.num_events()
-                )));
-            }
-            let v = EventId(id as u32);
-            let attendees = inst
-                .users()
-                .filter(|&u| session.arranger.arrangement().contains(v, u))
-                .map(|u| {
-                    Ok(Value::Object(vec![
-                        field("user", &u)?,
-                        field("similarity", &inst.similarity(v, u))?,
-                    ]))
-                })
-                .collect::<Result<Vec<Value>, ServiceError>>()?;
-            Ok(Value::Object(vec![
-                field("event", &v)?,
-                field("capacity", &inst.event_capacity(v))?,
-                field("count", &session.arranger.arrangement().attendees_of(v))?,
-                ("attendees".to_string(), Value::Array(attendees)),
-            ]))
-        })
+        let snap = self.pin_read()?;
+        if id >= snap.num_events as u64 {
+            return Err(bad_request(format!(
+                "event v{id} out of range (instance has {})",
+                snap.num_events
+            )));
+        }
+        let v = EventId(id as u32);
+        let attendees = (0..snap.num_users as u32)
+            .map(UserId)
+            .filter(|&u| snap.arrangement.contains(v, u))
+            .map(|u| {
+                Ok(Value::Object(vec![
+                    field("user", &u)?,
+                    field("similarity", &snap.flats.similarity(v, u))?,
+                ]))
+            })
+            .collect::<Result<Vec<Value>, ServiceError>>()?;
+        Ok(Value::Object(vec![
+            field("event", &v)?,
+            field("capacity", &snap.cap_v[id as usize])?,
+            field("count", &snap.arrangement.attendees_of(v))?,
+            ("attendees".to_string(), Value::Array(attendees)),
+        ]))
     }
 
     /// `stats`: live metrics plus the arranger summary (null before
     /// `load`), per-solver engine timings, and the durability state
-    /// (null without `--wal-dir`).
+    /// (null without `--wal-dir`). Served from the published summary
+    /// cell — never the session lock — so it stays flat while mutates
+    /// and solves contend.
     fn stats(&self) -> Result<Value, ServiceError> {
-        let arranger = match self.lock().as_ref() {
-            Some(session) => Self::summary(&session.arranger)?,
+        let arranger = match self.summary_lock().as_ref() {
+            Some(cell) => cell.summary.clone(),
             None => Value::Null,
         };
         let engine = EngineStats::snapshot()
@@ -789,11 +1084,11 @@ impl Service {
     /// ride on: `node_id`, `repl_offset` (the election rank),
     /// `fenced`, `advertise`, and `primary_hint` when known.
     fn health(&self) -> Result<Value, ServiceError> {
-        let (epoch, fingerprint) = match self.lock().as_ref() {
-            Some(session) => (
-                Some(session.arranger.epoch()),
-                Some(session.arranger.fingerprint()),
-            ),
+        // From the published summary cell, never the session lock: a
+        // supervisor probe or load balancer must get an answer even
+        // while a long mutation stream hammers the arranger.
+        let (epoch, fingerprint) = match self.summary_lock().as_ref() {
+            Some(cell) => (Some(cell.epoch), Some(cell.fingerprint)),
             None => (None, None),
         };
         let (wal, wal_offset): (Option<&str>, u64) = match self.dlock().as_ref() {
@@ -930,13 +1225,18 @@ impl Service {
     }
 
     /// `solve`: re-solve the live instance under a budget and adopt the
-    /// result ([`IncrementalArranger::rebuild`]). The budget is the
-    /// requested `timeout_ms`/`max_nodes` clamped to the request's
-    /// remaining deadline, so a queued solve can never overstay its
-    /// admission contract. The adopted arrangement is WAL-logged as an
-    /// `Install` record; if that append fails the op errors (un-acked)
-    /// and durability is poisoned, so the in-memory/log divergence
-    /// cannot compound — a restart recovers the pre-solve state.
+    /// result. The budget is the requested `timeout_ms`/`max_nodes`
+    /// clamped to the request's remaining deadline, so a queued solve
+    /// can never overstay its admission contract.
+    ///
+    /// Concurrent solves coalesce ([`SolveBatcher`]): the batch pins
+    /// one epoch's `(instance, CSR)`, runs one pipeline per distinct
+    /// parameter group *off* the session lock, then re-takes the lock
+    /// only to adopt the best result and append a single WAL `Install`
+    /// record for the whole batch. If that append fails every batched
+    /// op errors (un-acked) and durability is poisoned, so the
+    /// in-memory/log divergence cannot compound — a restart recovers
+    /// the pre-solve state.
     fn solve(&self, body: &Value, deadline: Instant) -> Result<Value, ServiceError> {
         let seed = protocol::get_u64(body, "seed").unwrap_or(0);
         let algorithm = SolverRegistry::global()
@@ -945,44 +1245,189 @@ impl Service {
                 seed,
             )
             .map_err(|e| bad_request(e.to_string()))?;
-        let remaining = deadline.saturating_duration_since(Instant::now());
+        let spec = SolveSpec {
+            algorithm,
+            seed,
+            timeout_ms: protocol::get_u64(body, "timeout_ms"),
+            max_nodes: protocol::get_u64(body, "max_nodes"),
+            // Mirror of the CLI's `--on-timeout alns`: spend the same
+            // budget refining a budget-stopped incumbent with
+            // warm-started ALNS.
+            refine: protocol::get_str(body, "on_timeout") == Some("alns"),
+        };
+        self.batcher.submit(self, spec, deadline)
+    }
+
+    /// The pipeline a [`SolveSpec`] describes, budget-clamped to
+    /// `remaining` (the tightest admission deadline in its group).
+    fn pipeline_for(&self, spec: &SolveSpec, remaining: Duration) -> SolverPipeline {
         let mut budget = SolveBudget {
-            deadline: Some(match protocol::get_u64(body, "timeout_ms") {
-                Some(ms) => std::time::Duration::from_millis(ms).min(remaining),
+            deadline: Some(match spec.timeout_ms {
+                Some(ms) => Duration::from_millis(ms).min(remaining),
                 None => remaining,
             }),
             ..SolveBudget::UNLIMITED
         };
-        if let Some(nodes) = protocol::get_u64(body, "max_nodes") {
+        if let Some(nodes) = spec.max_nodes {
             budget.max_nodes = Some(nodes);
         }
-        let mut pipeline = SolverPipeline::new(algorithm, budget)
+        let mut pipeline = SolverPipeline::new(spec.algorithm, budget)
             .with_threads(self.threads)
-            .with_seed(seed);
-        // Mirror of the CLI's `--on-timeout alns`: spend the same budget
-        // refining a budget-stopped incumbent with warm-started ALNS.
-        if protocol::get_str(body, "on_timeout") == Some("alns") {
+            .with_seed(spec.seed);
+        if spec.refine {
             pipeline = pipeline.with_alns_refine(budget);
         }
-        self.with_session(|session| {
-            let outcome = session.arranger.rebuild(&pipeline);
-            self.log_record(&WalRecord::Install {
-                arrangement: session.arranger.arrangement().clone(),
-                baseline: session.arranger.baseline_max_sum(),
-            })?;
-            Ok(Value::Object(vec![
-                field("status", &outcome.status.to_string())?,
-                field("exit_code", &outcome.status.exit_code())?,
-                field("max_sum", &session.arranger.max_sum())?,
-                field("pairs", &session.arranger.arrangement().len())?,
-                field("nodes", &outcome.nodes)?,
-                field("elapsed_ms", &(outcome.elapsed.as_millis() as u64))?,
-                field("seed", &seed)?,
-                field("alns_iterations", &outcome.alns.map(|a| a.iterations))?,
-                field("alns_improvements", &outcome.alns.map(|a| a.improvements))?,
-                field("epoch", &session.arranger.epoch())?,
-            ]))
-        })
+        pipeline
+    }
+
+    /// Execute one coalesced solve batch (leader thread only; see
+    /// [`SolveBatcher`]). Fills every request's slot exactly once.
+    fn execute_batch(&self, batch: &[PendingSolve]) {
+        let Some(pin) = self.pin_solve() else {
+            for p in batch {
+                p.slot.fill(Err(no_instance()));
+            }
+            return;
+        };
+        self.metrics.record_solve_batch(batch.len() as u64);
+
+        // Group identical parameter sets: one pipeline run each, over
+        // the one shared epoch graph.
+        let mut groups: Vec<(SolveSpec, Vec<usize>)> = Vec::new();
+        for (i, p) in batch.iter().enumerate() {
+            match groups.iter_mut().find(|(spec, _)| *spec == p.spec) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((p.spec, vec![i])),
+            }
+        }
+
+        let graph = CandidateGraph::from_flats(&pin.inst, Arc::clone(&pin.flats));
+        let mut solved: Vec<(SolveSpec, Vec<usize>, Outcome)> = Vec::new();
+        for (spec, members) in groups {
+            let now = Instant::now();
+            // Members whose admission deadline passed while the batch
+            // queued are answered individually; the group's budget is
+            // the tightest surviving deadline.
+            let (live, expired): (Vec<usize>, Vec<usize>) =
+                members.iter().partition(|&&i| batch[i].deadline > now);
+            for &i in &expired {
+                batch[i].slot.fill(Err(ServiceError::new(
+                    "deadline_exceeded",
+                    "request timed out waiting for a solve batch slot",
+                )));
+            }
+            let Some(tightest) = live.iter().map(|&i| batch[i].deadline).min() else {
+                continue;
+            };
+            let pipeline = self.pipeline_for(&spec, tightest.saturating_duration_since(now));
+            let outcome = pipeline.run_on(&graph);
+            solved.push((spec, live, outcome));
+        }
+        if solved.is_empty() {
+            return; // every member expired; nothing to adopt
+        }
+
+        // Adopt the best arrangement across the batch (ties: first in
+        // arrival order), under the session lock, with ONE Install
+        // record for the whole batch.
+        let best = solved
+            .iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| {
+                a.2.arrangement
+                    .max_sum()
+                    .total_cmp(&b.2.arrangement.max_sum())
+                    .then(bi.cmp(ai)) // prefer the earlier group on ties
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let adopted: Result<(u64, f64, usize), ServiceError> = {
+            let mut guard = self.lock();
+            match guard.as_mut() {
+                None => Err(no_instance()),
+                Some(session) => {
+                    let (best_spec, _, best_outcome) = &solved[best];
+                    if session
+                        .arranger
+                        .adopt(best_outcome.arrangement.clone())
+                        .is_err()
+                    {
+                        // The instance drifted under the batch and the
+                        // solved arrangement no longer fits: fall back
+                        // to one synchronous rebuild under the lock
+                        // (the pre-batching behavior, bounded to once
+                        // per batch).
+                        let remaining = solved[best]
+                            .1
+                            .iter()
+                            .map(|&i| batch[i].deadline)
+                            .min()
+                            .map(|d| d.saturating_duration_since(Instant::now()))
+                            .unwrap_or(Duration::ZERO);
+                        let pipeline = self.pipeline_for(best_spec, remaining);
+                        session.arranger.rebuild(&pipeline);
+                    }
+                    let logged = self.log_record(&WalRecord::Install {
+                        arrangement: session.arranger.arrangement().clone(),
+                        baseline: session.arranger.baseline_max_sum(),
+                    });
+                    match logged {
+                        Ok(()) => {
+                            self.publish_session(session);
+                            Ok((
+                                session.arranger.epoch(),
+                                session.arranger.max_sum(),
+                                session.arranger.arrangement().len(),
+                            ))
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+            }
+        };
+
+        let batch_size = batch.len() as u64;
+        for (spec, members, outcome) in &solved {
+            for &i in members {
+                batch[i].slot.fill(match &adopted {
+                    Ok((epoch, max_sum, pairs)) => {
+                        Self::solve_response(spec, outcome, *epoch, *max_sum, *pairs, batch_size)
+                    }
+                    Err(e) => Err(e.clone()),
+                });
+            }
+        }
+    }
+
+    /// One solve request's response: its own group's outcome, plus the
+    /// post-adoption state shared by the batch.
+    fn solve_response(
+        spec: &SolveSpec,
+        outcome: &Outcome,
+        epoch: u64,
+        max_sum: f64,
+        pairs: usize,
+        batch_size: u64,
+    ) -> Result<Value, ServiceError> {
+        Ok(Value::Object(vec![
+            field("status", &outcome.status.to_string())?,
+            field("exit_code", &outcome.status.exit_code())?,
+            field("max_sum", &max_sum)?,
+            field("pairs", &pairs)?,
+            field("nodes", &outcome.nodes)?,
+            field("elapsed_ms", &(outcome.elapsed.as_millis() as u64))?,
+            field("seed", &spec.seed)?,
+            field(
+                "alns_iterations",
+                &outcome.alns.as_ref().map(|a| a.iterations),
+            )?,
+            field(
+                "alns_improvements",
+                &outcome.alns.as_ref().map(|a| a.improvements),
+            )?,
+            field("epoch", &epoch)?,
+            field("batch_size", &batch_size)?,
+        ]))
     }
 
     /// `snapshot`: persist the session to a file — base instance,
@@ -1076,7 +1521,9 @@ impl Service {
             }
         }
         self.repl.hub.publish(Shipment::Resync);
-        *guard = Some(Session { arranger, base });
+        let session = Session { arranger, base };
+        self.publish_session(&session);
+        *guard = Some(session);
         Ok(summary)
     }
 
@@ -1214,6 +1661,7 @@ impl Service {
         d.poisoned = None;
         self.metrics.record_wal(0, 0, d.writer.fsyncs());
         *sguard = None;
+        self.publish_cleared();
         self.repl.begin_resync(generation, start, start_records);
         repl::store_meta(&d.dir, &self.repl.meta())?;
         self.dedup_lock().clear();
@@ -1255,7 +1703,9 @@ impl Service {
             self.metrics.record_snapshot(local.epoch);
         }
         self.repl.set_cursor(doc.wal_offset, doc.wal_records);
-        *sguard = Some(Session { arranger, base });
+        let session = Session { arranger, base };
+        self.publish_session(&session);
+        *sguard = Some(session);
         Ok(doc.wal_offset)
     }
 
@@ -1323,6 +1773,10 @@ impl Service {
             arranger: r.arranger,
             base: r.base,
         });
+        match sguard.as_ref() {
+            Some(session) => self.publish_session(session),
+            None => self.publish_cleared(),
+        }
         self.repl
             .advance_cursor(wal::HEADER_LEN + payload.len() as u64);
         self.metrics.record_repl_applied();

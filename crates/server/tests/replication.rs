@@ -492,15 +492,21 @@ fn retry_client_rides_out_overload_with_the_server_hint() {
     ok_data(&client.call(&pathological_load_line()));
 
     // Occupy the single worker with a budgeted solve, then fill the
-    // depth-1 queue, so the next arrival is rejected immediately.
+    // depth-1 queue with a mutate, so the next queued arrival is
+    // rejected immediately. (Reads like `stats` can't exercise this any
+    // more — the event loop answers them inline, never queueing them.)
     client.send(r#"{"op": "solve", "id": 1, "algorithm": "prune", "timeout_ms": 700}"#);
     std::thread::sleep(Duration::from_millis(100));
     let mut filler = Client::connect(&handle.addr);
-    filler.send(r#"{"op": "stats", "id": 2}"#);
+    filler.send(
+        r#"{"op": "mutate", "id": 2, "mutation": {"SetCapacity": {"side": "User", "id": 1, "capacity": 2}}}"#,
+    );
     std::thread::sleep(Duration::from_millis(50));
 
     let mut probe = Client::connect(&handle.addr);
-    let rejected = probe.call(r#"{"op": "stats", "id": 3}"#);
+    let rejected = probe.call(
+        r#"{"op": "mutate", "id": 3, "mutation": {"SetCapacity": {"side": "User", "id": 2, "capacity": 2}}}"#,
+    );
     let error = err_body(&rejected);
     assert_eq!(protocol::get_str(error, "code"), Some("overloaded"));
     assert_eq!(protocol::get_u64(error, "retry_after_ms"), Some(7));

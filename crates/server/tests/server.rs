@@ -217,13 +217,18 @@ fn overload_rejects_with_structured_errors() {
     client.send(r#"{"op": "solve", "id": 1, "algorithm": "prune", "timeout_ms": 1000}"#);
     std::thread::sleep(Duration::from_millis(100));
 
-    // Saturate: pipeline a burst without reading. With the worker busy,
-    // at most one request fits the depth-1 queue; the rest bounce with a
-    // structured error the moment they arrive.
+    // Saturate: pipeline a burst of mutates without reading. With the
+    // worker busy, at most one request fits the depth-1 queue; the rest
+    // bounce with a structured error the moment they arrive. (The burst
+    // must be queue-class ops — the event loop answers reads like
+    // `stats` inline no matter how wedged the workers are.)
     let mut flood = Client::connect(addr);
     let n = 20;
     for i in 0..n {
-        flood.send(&format!(r#"{{"op": "stats", "id": {}}}"#, 1000 + i));
+        flood.send(&format!(
+            r#"{{"op": "mutate", "id": {}, "mutation": {{"SetCapacity": {{"side": "User", "id": 3, "capacity": 2}}}}}}"#,
+            1000 + i
+        ));
     }
     let mut overloaded = 0;
     let mut admitted = 0;

@@ -5,8 +5,9 @@
 # paths (including the resilience suite's worker-panic and
 # mid-flight-cancellation scenarios, which behave differently under
 # contention) — a one-repeat engine-bench run under its `--smoke`
-# wall-clock gate, and an end-to-end smoke of the `geacc serve` daemon
-# over a real socket.
+# wall-clock gate, a non-blocking-reads gate (loadgen --smoke: read
+# p99 under 10 ms while a solve wedges the worker), and an end-to-end
+# smoke of the `geacc serve` daemon over a real socket.
 #
 # Usage: scripts/ci.sh
 
@@ -51,6 +52,14 @@ BENCH_SMOKE_DIR=$(mktemp -d)
 ./target/release/engine --repeats 1 --smoke \
     --out "$BENCH_SMOKE_DIR/BENCH_engine.json"
 rm -rf "$BENCH_SMOKE_DIR"
+
+echo "== non-blocking reads smoke =="
+# The serving-layer contract: while a 2 s budgeted exact solve wedges
+# the only worker, synchronous reads answered inline on the event loop
+# must hold a p99 under 10 ms — reads never queue behind solves. The
+# loadgen's --smoke mode runs just that phase and exits nonzero on a
+# violation (it also exercises the solve-batch coalescing path).
+./target/release/loadgen --smoke
 
 echo "== alns anytime smoke =="
 # The anytime-quality gate end to end through the CLI: on a fig3-shaped
